@@ -1,0 +1,36 @@
+//! **Graphs 1–4** — a non-replicated server accessed via the NewTop
+//! service: response time and throughput vs client count, on the LAN
+//! (graphs 1–2) and with distant clients (graphs 3–4), plus the plain
+//! CORBA reference the §5.1.1 discussion compares against (the ≈2.5×
+//! single-client overhead).
+
+use newtop_bench::{bench_seed, CLIENT_SWEEP};
+use newtop_net::stats::TextTable;
+use newtop_workloads::figures::{graphs_1_4_nonreplicated, plain_corba_sweep};
+
+fn main() {
+    let seed = bench_seed();
+    for (wan, label) in [(false, "Graphs 1-2: LAN"), (true, "Graphs 3-4: distant clients")] {
+        let (ms, rps) = graphs_1_4_nonreplicated(wan, CLIENT_SWEEP, seed);
+        let table = TextTable::from_series(
+            format!("{label} — non-replicated server via NewTop"),
+            "clients",
+            &[ms, rps],
+        );
+        println!("{table}");
+    }
+    let (newtop_ms, _) = graphs_1_4_nonreplicated(false, &[1], seed);
+    let (plain_ms, _) = plain_corba_sweep(false, &[1], seed);
+    let ratio = newtop_ms.y_at(1.0).unwrap_or(0.0) / plain_ms.y_at(1.0).unwrap_or(1.0);
+    println!(
+        "single-client LAN cost: NewTop {:.2} ms vs plain CORBA {:.2} ms -> {ratio:.2}x \
+         (paper: around 2.5x)",
+        newtop_ms.y_at(1.0).unwrap_or(0.0),
+        plain_ms.y_at(1.0).unwrap_or(0.0),
+    );
+    println!(
+        "paper shape: a single LAN client nearly saturates the server (throughput \
+         plateaus, response time grows); over the WAN throughput scales with \
+         client count at near-flat response times."
+    );
+}

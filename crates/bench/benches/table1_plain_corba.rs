@@ -1,0 +1,27 @@
+//! **Table 1** — performance of plain CORBA (no group service): timed
+//! request (ms) and throughput (req/s) for one client and one server at
+//! the paper's four placements.
+
+use newtop_bench::bench_seed;
+use newtop_net::stats::TextTable;
+use newtop_workloads::figures::table1_plain_corba;
+
+fn main() {
+    let rows = table1_plain_corba(bench_seed());
+    let mut table = TextTable::new(
+        "Table 1: Performance of CORBA (plain, no group service)",
+        &["placement", "timed request (ms)", "requests/s"],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.placement.clone(),
+            format!("{:.2}", r.response_ms),
+            format!("{:.0}", r.throughput),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "paper shape: LAN fastest; Pisa–Newcastle the slowest WAN pair; \
+         throughput the reciprocal ordering."
+    );
+}

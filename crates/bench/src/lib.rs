@@ -1,0 +1,37 @@
+//! Benchmark harness for the NewTop reproduction.
+//!
+//! Every table and figure of the paper's evaluation (§5) has a bench
+//! target under `benches/` that regenerates it on the deterministic
+//! simulator and prints the rows/series in the paper's format:
+//!
+//! | Paper exhibit | Bench target |
+//! |---|---|
+//! | Table 1 (plain CORBA) | `table1_plain_corba` |
+//! | Graphs 1–4 (non-replicated via NewTop) | `graphs_1_4_nonreplicated` |
+//! | Graphs 5–10 (optimised open vs non-replicated) | `graphs_5_10_optimised` |
+//! | Graphs 11–16 (closed vs open) | `graphs_11_16_closed_open` |
+//! | Graphs 17–18 (peer participation) | `graphs_17_18_peer` |
+//! | §5.1.3 / §4.2 design choices | `ablations` |
+//!
+//! `micro` contains criterion micro-benchmarks of the substrate (CDR
+//! marshalling, wire codecs, the delivery engine's ordering pipelines).
+//!
+//! Run everything with `cargo bench --workspace`; each figure target also
+//! accepts `NEWTOP_BENCH_SEED` to vary the simulation seed.
+
+/// The default seed used by the figure benches (override with the
+/// `NEWTOP_BENCH_SEED` environment variable).
+#[must_use]
+pub fn bench_seed() -> u64 {
+    std::env::var("NEWTOP_BENCH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000)
+}
+
+/// The client sweep used by the request-reply figures (the paper swept 1
+/// to 20 clients).
+pub const CLIENT_SWEEP: &[usize] = &[1, 2, 4, 8, 12, 16, 20];
+
+/// The group sizes used by the peer figures.
+pub const PEER_SIZES: &[usize] = &[2, 3, 4, 6, 8, 10];

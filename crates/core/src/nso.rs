@@ -1,0 +1,1156 @@
+//! The NewTop service object (NSO).
+//!
+//! One [`Nso`] runs beside each application object and multiplexes every
+//! group its node participates in (Fig. 2 of the paper): it owns the
+//! node's mini-ORB, its group-communication member, the client- and
+//! server-side invocation cores, and the application's group servants.
+//! Group-communication traffic, invocation messages and binding-control
+//! requests all arrive as ORB traffic on the node's
+//! [`newtop_gcs::NSO_OBJECT_KEY`] endpoint and are routed here.
+//!
+//! The NSO is sans-IO: the hosting runtime (simulator or threads) feeds
+//! [`Nso::on_packet`] / [`Nso::on_timer`] and applies the queued outbox
+//! actions; results surface through [`Nso::take_outputs`].
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use newtop_gcs::group::{DeliveryOrder, GroupConfig, GroupId, Liveness, OrderProtocol};
+use newtop_gcs::member::{GcsError, GcsMember, GcsNet, GcsOutput};
+use newtop_gcs::messages::GcsMessage;
+use newtop_gcs::view::View;
+use newtop_gcs::{GCS_OPERATION, NSO_OBJECT_KEY};
+use newtop_invocation::api::{
+    BindingStyle, CallId, InvCommand, OpenOptimisation, Replication, ReplyMode,
+};
+use newtop_invocation::client::{ClientCore, ClientError, ClientEvent};
+use newtop_invocation::g2g::G2gCaller;
+use newtop_invocation::server::ServerCore;
+use newtop_invocation::INV_OPERATION;
+use newtop_net::sim::{Outbox, Packet};
+use newtop_net::site::NodeId;
+use newtop_net::time::SimTime;
+use newtop_orb::cdr::{CdrDecode, CdrEncode};
+use newtop_orb::ior::ObjectRef;
+use newtop_orb::orb::{InvokeError, OrbCore, OrbIncoming, RequestId};
+use newtop_orb::servant::ServantError;
+
+use crate::control::CtrlMessage;
+use crate::tags;
+use crate::INV_CTRL_OPERATION;
+
+/// The implementation of a replicated object: operations with marshalled
+/// arguments and results. Executed in the server group's total order, so
+/// deterministic servants stay replica-consistent.
+pub trait GroupServant: Send {
+    /// Executes one operation.
+    fn invoke(&mut self, op: &str, args: &[u8]) -> Bytes;
+}
+
+impl<F> GroupServant for F
+where
+    F: FnMut(&str, &[u8]) -> Bytes + Send,
+{
+    fn invoke(&mut self, op: &str, args: &[u8]) -> Bytes {
+        self(op, args)
+    }
+}
+
+/// Errors from the NSO API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NsoError {
+    /// This node does not host the named server group.
+    NotAServer(GroupId),
+    /// No binding or monitor attachment exists under that group.
+    Unbound(GroupId),
+    /// The group id is already in use on this node.
+    GroupInUse(GroupId),
+    /// An error from the group communication layer.
+    Gcs(GcsError),
+    /// An error from the client invocation core.
+    Client(ClientError),
+}
+
+impl fmt::Display for NsoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NsoError::NotAServer(g) => write!(f, "node does not serve group {g}"),
+            NsoError::Unbound(g) => write!(f, "no binding for group {g}"),
+            NsoError::GroupInUse(g) => write!(f, "group id already in use: {g}"),
+            NsoError::Gcs(e) => write!(f, "group communication error: {e}"),
+            NsoError::Client(e) => write!(f, "invocation error: {e}"),
+        }
+    }
+}
+
+impl Error for NsoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NsoError::Gcs(e) => Some(e),
+            NsoError::Client(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GcsError> for NsoError {
+    fn from(e: GcsError) -> Self {
+        NsoError::Gcs(e)
+    }
+}
+
+impl From<ClientError> for NsoError {
+    fn from(e: ClientError) -> Self {
+        NsoError::Client(e)
+    }
+}
+
+/// Things the NSO reports to the application.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NsoOutput {
+    /// A binding initiated with [`Nso::bind_open`] / [`Nso::bind_closed`]
+    /// is ready for invocations.
+    BindingReady {
+        /// The client/server group of the binding.
+        group: GroupId,
+    },
+    /// A binding could not be established (server unreachable or not
+    /// serving).
+    BindFailed {
+        /// The client/server group that failed.
+        group: GroupId,
+    },
+    /// An invocation completed with the replies its mode required.
+    InvocationComplete {
+        /// The completed call.
+        call: CallId,
+        /// `(server, result)` pairs.
+        replies: Vec<(NodeId, Bytes)>,
+    },
+    /// An open binding's request manager vanished (§4.1): rebind and
+    /// retry.
+    BindingBroken {
+        /// The broken client/server group.
+        group: GroupId,
+        /// The manager that disappeared.
+        manager: NodeId,
+        /// Calls still pending on the binding.
+        pending_calls: Vec<u64>,
+    },
+    /// A peer-group multicast was delivered.
+    PeerDeliver {
+        /// The peer group.
+        group: GroupId,
+        /// The multicasting member.
+        sender: NodeId,
+        /// Application payload.
+        payload: Bytes,
+    },
+    /// A group-to-group call completed.
+    G2gComplete {
+        /// The origin (client) group.
+        origin: GroupId,
+        /// The origin group's call number.
+        number: u64,
+        /// `(server, result)` pairs.
+        replies: Vec<(NodeId, Bytes)>,
+    },
+    /// A view change in any group this node belongs to.
+    ViewChanged {
+        /// The group.
+        group: GroupId,
+        /// Its new view.
+        view: View,
+    },
+    /// A plain (non-group) ORB invocation issued with
+    /// [`Nso::plain_invoke`] completed.
+    PlainReply {
+        /// The request.
+        request: RequestId,
+        /// Its outcome.
+        result: Result<Bytes, InvokeError>,
+    },
+    /// This node became the primary of a passively replicated server
+    /// group and replayed its backlog.
+    Promoted {
+        /// The server group.
+        group: GroupId,
+        /// Requests replayed from the backlog.
+        replayed: usize,
+    },
+}
+
+/// Options for creating a binding.
+#[derive(Clone, Debug)]
+pub struct BindOptions {
+    /// Total-order protocol of the client/server group.
+    pub ordering: OrderProtocol,
+    /// Time-silence period of the client/server group.
+    pub time_silence: Duration,
+    /// How long to wait for the servers' acknowledgements.
+    pub timeout: Duration,
+    /// Explicit group id; autogenerated when `None`.
+    pub group_id: Option<GroupId>,
+}
+
+impl Default for BindOptions {
+    /// Asymmetric ordering and a 100 ms time-silence period. Client/server
+    /// groups are numerous (one per client), so their heartbeats are
+    /// deliberately coarser than a server group's: a server in n bindings
+    /// pays n per-member null fan-outs per period.
+    fn default() -> Self {
+        BindOptions {
+            ordering: OrderProtocol::Asymmetric,
+            time_silence: Duration::from_millis(100),
+            timeout: Duration::from_secs(2),
+            group_id: None,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum GroupRole {
+    /// I am the client of this client/server group.
+    ClientBinding,
+    /// I am a replica of this server group.
+    ServerGroup,
+    /// I am the server of this client/server group; requests route to the
+    /// named server group's core.
+    Served { server_group: GroupId },
+    /// I am the request manager of this client monitor group.
+    MonitorManager { server_group: GroupId },
+    /// I am an origin-group member in this monitor group.
+    MonitorCaller,
+    /// A plain peer group: deliveries go straight to the application.
+    Peer,
+}
+
+#[derive(Debug)]
+struct PendingBind {
+    style: BindingStyle,
+    members: Vec<NodeId>,
+    server_count: usize,
+    outstanding: usize,
+    config: GroupConfig,
+}
+
+#[derive(Debug)]
+enum NsoTimer {
+    BindTimeout(GroupId),
+}
+
+/// The NewTop service object. See the [module docs](self).
+pub struct Nso {
+    node: NodeId,
+    orb: OrbCore,
+    gcs: GcsMember,
+    client: ClientCore,
+    servers: HashMap<GroupId, ServerCore>,
+    servants: HashMap<GroupId, Box<dyn GroupServant>>,
+    g2g_callers: HashMap<GroupId, G2gCaller>,
+    roles: HashMap<GroupId, GroupRole>,
+    pending_bind_requests: HashMap<RequestId, GroupId>,
+    binds: HashMap<GroupId, PendingBind>,
+    was_primary: HashMap<GroupId, bool>,
+    nso_timers: HashMap<u64, NsoTimer>,
+    next_tag: u64,
+    next_binding: u64,
+    outputs: Vec<NsoOutput>,
+}
+
+impl fmt::Debug for Nso {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Nso")
+            .field("node", &self.node)
+            .field("groups", &self.roles.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Nso {
+    /// Creates the service object for `node`.
+    #[must_use]
+    pub fn new(node: NodeId) -> Self {
+        Nso {
+            node,
+            orb: OrbCore::new(node),
+            gcs: GcsMember::new(node, tags::GCS_BASE),
+            client: ClientCore::new(node),
+            servers: HashMap::new(),
+            servants: HashMap::new(),
+            g2g_callers: HashMap::new(),
+            roles: HashMap::new(),
+            pending_bind_requests: HashMap::new(),
+            binds: HashMap::new(),
+            was_primary: HashMap::new(),
+            nso_timers: HashMap::new(),
+            next_tag: 0,
+            next_binding: 1,
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The hosting node.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The current view of a group this node belongs to.
+    #[must_use]
+    pub fn view_of(&self, group: &GroupId) -> Option<&View> {
+        self.gcs.view_of(group)
+    }
+
+    /// Group-communication diagnostics for one group.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn gcs_diagnostics(&self, group: &GroupId) -> String {
+        self.gcs.diagnostics(group)
+    }
+
+    /// Server-core access for diagnostics.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn server_core(&self, group: &GroupId) -> Option<&ServerCore> {
+        self.servers.get(group)
+    }
+
+    /// Drains the outputs produced since the last call. Runtimes loop on
+    /// this after every event so application reactions (which may enqueue
+    /// further outputs) are all surfaced.
+    pub fn take_outputs(&mut self) -> Vec<NsoOutput> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    /// Whether a timer tag belongs to this NSO (as opposed to the
+    /// application layer).
+    #[must_use]
+    pub fn owns_tag(&self, tag: u64) -> bool {
+        self.gcs.owns_tag(tag) || self.nso_timers.contains_key(&tag)
+    }
+
+    // --- server-side setup ------------------------------------------------
+
+    /// Statically creates a server group on this replica (every listed
+    /// member must call this with the same arguments), with the given
+    /// replication discipline and open-group optimisation policy.
+    ///
+    /// # Errors
+    ///
+    /// Any [`GcsError`] from group creation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_server_group(
+        &mut self,
+        group: GroupId,
+        members: Vec<NodeId>,
+        replication: Replication,
+        optimisation: OpenOptimisation,
+        config: GroupConfig,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<(), NsoError> {
+        let outs = {
+            let mut net = GcsNet::new(&mut self.orb, out);
+            self.gcs
+                .create_group(group.clone(), config, members.clone(), now, &mut net)?
+        };
+        let mut core = ServerCore::new(self.node, group.clone(), replication, optimisation);
+        core.set_server_view(members);
+        self.was_primary.insert(group.clone(), core.is_primary());
+        self.servers.insert(group.clone(), core);
+        self.roles.insert(group.clone(), GroupRole::ServerGroup);
+        self.route_gcs(outs, now, out);
+        Ok(())
+    }
+
+    /// Registers the application servant executed for a server group's
+    /// requests.
+    pub fn register_group_servant(&mut self, group: GroupId, servant: Box<dyn GroupServant>) {
+        self.servants.insert(group, servant);
+    }
+
+    /// The designated request manager of a server group this node hosts
+    /// (for the restricted-group optimisation).
+    #[must_use]
+    pub fn designated_manager(&self, server_group: &GroupId) -> Option<NodeId> {
+        self.servers.get(server_group)?.designated_manager()
+    }
+
+    // --- client-side bindings ----------------------------------------------
+
+    /// Starts an **open** binding: asks `manager` (a member of
+    /// `server_group`) to form a two-member client/server group.
+    /// Completion surfaces as [`NsoOutput::BindingReady`].
+    ///
+    /// # Errors
+    ///
+    /// [`NsoError::GroupInUse`] if the chosen group id already exists.
+    pub fn bind_open(
+        &mut self,
+        server_group: GroupId,
+        manager: NodeId,
+        opts: BindOptions,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<GroupId, NsoError> {
+        let members = vec![self.node, manager];
+        self.start_bind(
+            server_group,
+            members,
+            BindingStyle::Open { manager },
+            0,
+            opts,
+            now,
+            out,
+        )
+    }
+
+    /// Starts a **closed** binding: asks every server to form a
+    /// client/server group containing the client and the full server
+    /// group. Completion surfaces as [`NsoOutput::BindingReady`].
+    ///
+    /// # Errors
+    ///
+    /// [`NsoError::GroupInUse`] if the chosen group id already exists.
+    pub fn bind_closed(
+        &mut self,
+        server_group: GroupId,
+        servers: Vec<NodeId>,
+        opts: BindOptions,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<GroupId, NsoError> {
+        let mut members = vec![self.node];
+        members.extend(servers.iter().copied());
+        let count = servers.len();
+        self.start_bind(
+            server_group,
+            members,
+            BindingStyle::Closed,
+            count,
+            opts,
+            now,
+            out,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_bind(
+        &mut self,
+        server_group: GroupId,
+        members: Vec<NodeId>,
+        style: BindingStyle,
+        server_count: usize,
+        opts: BindOptions,
+        _now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<GroupId, NsoError> {
+        let group = opts.group_id.unwrap_or_else(|| {
+            let id = GroupId::new(format!("cs:{}:{}", self.node, self.next_binding));
+            self.next_binding += 1;
+            id
+        });
+        if self.roles.contains_key(&group) || self.binds.contains_key(&group) {
+            return Err(NsoError::GroupInUse(group));
+        }
+        let config = GroupConfig {
+            ordering: opts.ordering,
+            liveness: Liveness::EventDriven,
+            time_silence: opts.time_silence,
+            ..GroupConfig::default()
+        };
+        let ctrl = CtrlMessage::BindRequest {
+            group: group.clone(),
+            client: self.node,
+            server_group: server_group.clone(),
+            members: members.clone(),
+            closed: style == BindingStyle::Closed,
+            ordering: opts.ordering,
+            time_silence_micros: opts.time_silence.as_micros() as u64,
+        };
+        let body = ctrl.to_cdr();
+        let servers: Vec<NodeId> = members
+            .iter()
+            .copied()
+            .filter(|&m| m != self.node)
+            .collect();
+        for &s in &servers {
+            let req = self.orb.invoke(
+                &ObjectRef::new(s, NSO_OBJECT_KEY),
+                INV_CTRL_OPERATION,
+                body.clone(),
+                out,
+            );
+            self.pending_bind_requests.insert(req, group.clone());
+        }
+        self.binds.insert(
+            group.clone(),
+            PendingBind {
+                style,
+                members,
+                server_count,
+                outstanding: servers.len(),
+                config,
+            },
+        );
+        let tag = self.alloc_tag(NsoTimer::BindTimeout(group.clone()));
+        out.set_timer(opts.timeout, tag);
+        Ok(group)
+    }
+
+    /// Tears down a client binding: leaves the client/server group and
+    /// forgets it.
+    ///
+    /// # Errors
+    ///
+    /// [`NsoError::Unbound`] if no such binding exists.
+    pub fn unbind(
+        &mut self,
+        group: &GroupId,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<(), NsoError> {
+        if !matches!(self.roles.get(group), Some(GroupRole::ClientBinding)) {
+            return Err(NsoError::Unbound(group.clone()));
+        }
+        self.roles.remove(group);
+        self.client.remove_binding(group);
+        let outs = {
+            let mut net = GcsNet::new(&mut self.orb, out);
+            self.gcs
+                .leave_group(group, now, &mut net)
+                .unwrap_or_default()
+        };
+        self.route_gcs(outs, now, out);
+        Ok(())
+    }
+
+    /// Invokes an operation over a binding with the given reply mode.
+    /// Completion surfaces as [`NsoOutput::InvocationComplete`].
+    ///
+    /// # Errors
+    ///
+    /// [`NsoError::Client`] if the binding is unknown.
+    #[allow(clippy::too_many_arguments)]
+    pub fn invoke(
+        &mut self,
+        binding: &GroupId,
+        op: &str,
+        args: Bytes,
+        mode: ReplyMode,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<CallId, NsoError> {
+        let (call, cmds, events) = self.client.invoke(binding, op, args, mode)?;
+        self.run_commands(cmds, now, out);
+        self.map_client_events(events, now, out);
+        Ok(call)
+    }
+
+    /// Re-issues a pending call over a (new) binding with its original
+    /// call number (§4.1 rebind-and-retry).
+    ///
+    /// # Errors
+    ///
+    /// [`NsoError::Client`] if the call or binding is unknown.
+    pub fn retry(
+        &mut self,
+        call_number: u64,
+        binding: &GroupId,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<(), NsoError> {
+        let cmds = self.client.retry(call_number, binding)?;
+        self.run_commands(cmds, now, out);
+        Ok(())
+    }
+
+    // --- peer groups ---------------------------------------------------------
+
+    /// Statically creates a peer group (every member calls this with the
+    /// same arguments). Deliveries surface as [`NsoOutput::PeerDeliver`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`GcsError`] from group creation.
+    pub fn create_peer_group(
+        &mut self,
+        group: GroupId,
+        members: Vec<NodeId>,
+        config: GroupConfig,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<(), NsoError> {
+        let outs = {
+            let mut net = GcsNet::new(&mut self.orb, out);
+            self.gcs
+                .create_group(group.clone(), config, members, now, &mut net)?
+        };
+        self.roles.insert(group, GroupRole::Peer);
+        self.route_gcs(outs, now, out);
+        Ok(())
+    }
+
+    /// Dynamically joins an existing peer group through `contact`, a
+    /// current member (the GCS join protocol: the contact triggers a view
+    /// change that admits this node). Completion surfaces as a
+    /// [`NsoOutput::ViewChanged`] whose view contains this node.
+    ///
+    /// # Errors
+    ///
+    /// Any [`GcsError`] (e.g. already a member).
+    pub fn join_peer_group(
+        &mut self,
+        group: GroupId,
+        config: GroupConfig,
+        contact: NodeId,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<(), NsoError> {
+        {
+            let mut net = GcsNet::new(&mut self.orb, out);
+            self.gcs.join_group(group.clone(), config, contact, now, &mut net)?;
+        }
+        self.roles.insert(group, GroupRole::Peer);
+        Ok(())
+    }
+
+    /// Gracefully leaves a peer group; the remaining members install a
+    /// view without this node.
+    ///
+    /// # Errors
+    ///
+    /// [`NsoError::Unbound`] if this node is not a member.
+    pub fn leave_peer_group(
+        &mut self,
+        group: &GroupId,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<(), NsoError> {
+        if !matches!(self.roles.get(group), Some(GroupRole::Peer)) {
+            return Err(NsoError::Unbound(group.clone()));
+        }
+        let outs = {
+            let mut net = GcsNet::new(&mut self.orb, out);
+            self.gcs.leave_group(group, now, &mut net)?
+        };
+        self.route_gcs(outs, now, out);
+        Ok(())
+    }
+
+    /// One-way multicast in a peer group (the peer-participation mode).
+    ///
+    /// # Errors
+    ///
+    /// Any [`GcsError`] if the node is not a member.
+    pub fn peer_send(
+        &mut self,
+        group: &GroupId,
+        payload: Bytes,
+        order: DeliveryOrder,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<(), NsoError> {
+        let mut net = GcsNet::new(&mut self.orb, out);
+        self.gcs.multicast(group, order, payload, now, &mut net)?;
+        Ok(())
+    }
+
+    // --- group-to-group -------------------------------------------------------
+
+    /// Statically sets up a client monitor group (Fig. 6) for
+    /// group-to-group invocation: `members` must be the origin group's
+    /// members plus the request `manager` (a member of `server_group`),
+    /// and every one of them calls this with the same arguments.
+    ///
+    /// # Errors
+    ///
+    /// [`NsoError::NotAServer`] at the manager if it does not host
+    /// `server_group`; any [`GcsError`] from group creation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn setup_monitor_group(
+        &mut self,
+        monitor: GroupId,
+        origin: GroupId,
+        manager: NodeId,
+        server_group: GroupId,
+        members: Vec<NodeId>,
+        config: GroupConfig,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<(), NsoError> {
+        if self.node == manager && !self.servers.contains_key(&server_group) {
+            return Err(NsoError::NotAServer(server_group));
+        }
+        let outs = {
+            let mut net = GcsNet::new(&mut self.orb, out);
+            self.gcs
+                .create_group(monitor.clone(), config, members, now, &mut net)?
+        };
+        if self.node == manager {
+            self.servers
+                .get_mut(&server_group)
+                .expect("checked")
+                .register_monitor_group(monitor.clone(), origin);
+            self.roles
+                .insert(monitor, GroupRole::MonitorManager { server_group });
+        } else {
+            self.g2g_callers.insert(
+                monitor.clone(),
+                G2gCaller::new(self.node, origin, monitor.clone()),
+            );
+            self.roles.insert(monitor, GroupRole::MonitorCaller);
+        }
+        self.route_gcs(outs, now, out);
+        Ok(())
+    }
+
+    /// Issues this origin-group member's copy of a group-to-group call.
+    /// All origin members must call in the same relative order.
+    /// Completion surfaces as [`NsoOutput::G2gComplete`].
+    ///
+    /// # Errors
+    ///
+    /// [`NsoError::Unbound`] if the monitor group is not attached.
+    #[allow(clippy::too_many_arguments)]
+    pub fn g2g_invoke(
+        &mut self,
+        monitor: &GroupId,
+        op: &str,
+        args: Bytes,
+        mode: ReplyMode,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<u64, NsoError> {
+        let caller = self
+            .g2g_callers
+            .get_mut(monitor)
+            .ok_or_else(|| NsoError::Unbound(monitor.clone()))?;
+        let (number, cmds, done) = caller.invoke(op, args, mode);
+        if let Some(done) = done {
+            self.outputs.push(NsoOutput::G2gComplete {
+                origin: done.origin,
+                number: done.number,
+                replies: done.replies,
+            });
+        }
+        self.run_commands(cmds, now, out);
+        Ok(number)
+    }
+
+    // --- plain ORB access (the non-replicated baseline) -------------------------
+
+    /// Issues a plain one-to-one ORB request (no groups involved). The
+    /// reply surfaces as [`NsoOutput::PlainReply`].
+    pub fn plain_invoke(
+        &mut self,
+        target: &ObjectRef,
+        op: &str,
+        args: Bytes,
+        out: &mut Outbox,
+    ) -> RequestId {
+        self.orb.invoke(target, op, args, out)
+    }
+
+    /// Registers an ordinary (non-group) servant in the node's object
+    /// adapter; the ORB answers its requests directly.
+    pub fn register_plain_servant(
+        &mut self,
+        key: &str,
+        servant: Box<dyn newtop_orb::servant::Servant>,
+    ) {
+        self.orb.adapter_mut().activate(key, servant);
+    }
+
+    // --- event entry points -------------------------------------------------------
+
+    /// Feeds one incoming packet. Outputs accumulate for
+    /// [`Nso::take_outputs`].
+    pub fn on_packet(&mut self, pkt: &Packet, now: SimTime, out: &mut Outbox) {
+        let Some(incoming) = self.orb.handle_packet(pkt, out) else {
+            return;
+        };
+        match incoming {
+            OrbIncoming::Reply { request, result } => {
+                if let Some(group) = self.pending_bind_requests.remove(&request) {
+                    self.on_bind_ack(group, result.is_ok(), now, out);
+                } else {
+                    self.outputs.push(NsoOutput::PlainReply { request, result });
+                }
+            }
+            OrbIncoming::Upcall {
+                from,
+                request_id,
+                key,
+                operation,
+                body,
+                response_expected,
+            } => {
+                if key.as_str() != NSO_OBJECT_KEY {
+                    if response_expected {
+                        self.orb.send_reply(
+                            from,
+                            request_id,
+                            Err(ServantError::BadOperation(operation)),
+                            out,
+                        );
+                    }
+                    return;
+                }
+                match operation.as_str() {
+                    GCS_OPERATION => {
+                        if let Ok(msg) = GcsMessage::from_cdr(&body) {
+                            let outs = {
+                                let mut net = GcsNet::new(&mut self.orb, out);
+                                self.gcs.on_message(msg, now, &mut net)
+                            };
+                            self.route_gcs(outs, now, out);
+                        }
+                    }
+                    INV_OPERATION => {
+                        let events = self.client.on_message(&body);
+                        self.map_client_events(events, now, out);
+                    }
+                    INV_CTRL_OPERATION => {
+                        let result = self.handle_ctrl(&body, now, out);
+                        if response_expected {
+                            self.orb.send_reply(from, request_id, result, out);
+                        }
+                    }
+                    other => {
+                        if response_expected {
+                            self.orb.send_reply(
+                                from,
+                                request_id,
+                                Err(ServantError::BadOperation(other.to_owned())),
+                                out,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Feeds a fired timer whose tag this NSO owns.
+    pub fn on_timer(&mut self, tag: u64, now: SimTime, out: &mut Outbox) {
+        if self.gcs.owns_tag(tag) {
+            let outs = {
+                let mut net = GcsNet::new(&mut self.orb, out);
+                self.gcs.on_timer(tag, now, &mut net)
+            };
+            self.route_gcs(outs, now, out);
+            return;
+        }
+        if let Some(timer) = self.nso_timers.remove(&tag) {
+            match timer {
+                NsoTimer::BindTimeout(group) => {
+                    if self.binds.remove(&group).is_some() {
+                        self.pending_bind_requests.retain(|_, g| g != &group);
+                        self.outputs.push(NsoOutput::BindFailed { group });
+                    }
+                }
+            }
+        }
+    }
+
+    // --- internals ---------------------------------------------------------------
+
+    fn alloc_tag(&mut self, timer: NsoTimer) -> u64 {
+        let tag = tags::NSO_BASE + self.next_tag;
+        self.next_tag += 1;
+        self.nso_timers.insert(tag, timer);
+        tag
+    }
+
+    /// Server side of the binding-control protocol.
+    fn handle_ctrl(
+        &mut self,
+        body: &[u8],
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<Bytes, ServantError> {
+        let msg = CtrlMessage::from_cdr(body)
+            .map_err(|_| ServantError::User(Bytes::from_static(b"malformed control message")))?;
+        match msg {
+            CtrlMessage::BindRequest {
+                group,
+                client,
+                server_group,
+                members,
+                closed,
+                ordering,
+                time_silence_micros,
+            } => {
+                if !self.servers.contains_key(&server_group) {
+                    return Err(ServantError::User(Bytes::from_static(
+                        b"not a member of that server group",
+                    )));
+                }
+                if !self.roles.contains_key(&group) {
+                    let config = GroupConfig {
+                        ordering,
+                        liveness: Liveness::EventDriven,
+                        time_silence: Duration::from_micros(time_silence_micros),
+                        ..GroupConfig::default()
+                    };
+                    let outs = {
+                        let mut net = GcsNet::new(&mut self.orb, out);
+                        self.gcs
+                            .create_group(group.clone(), config, members, now, &mut net)
+                            .map_err(|_| {
+                                ServantError::User(Bytes::from_static(b"group creation failed"))
+                            })?
+                    };
+                    self.servers
+                        .get_mut(&server_group)
+                        .expect("checked")
+                        .register_client_group(group.clone(), client, closed);
+                    self.roles
+                        .insert(group.clone(), GroupRole::Served { server_group });
+                    self.route_gcs(outs, now, out);
+                }
+                Ok(Bytes::new())
+            }
+        }
+    }
+
+    /// Client side: one server acknowledged (or refused) a bind.
+    fn on_bind_ack(&mut self, group: GroupId, ok: bool, now: SimTime, out: &mut Outbox) {
+        let Some(bind) = self.binds.get_mut(&group) else {
+            return; // timed out already
+        };
+        if !ok {
+            self.binds.remove(&group);
+            self.pending_bind_requests.retain(|_, g| g != &group);
+            self.outputs.push(NsoOutput::BindFailed { group });
+            return;
+        }
+        bind.outstanding = bind.outstanding.saturating_sub(1);
+        if bind.outstanding > 0 {
+            return;
+        }
+        let bind = self.binds.remove(&group).expect("present");
+        let outs = {
+            let mut net = GcsNet::new(&mut self.orb, out);
+            match self.gcs.create_group(
+                group.clone(),
+                bind.config.clone(),
+                bind.members.clone(),
+                now,
+                &mut net,
+            ) {
+                Ok(o) => o,
+                Err(_) => {
+                    self.outputs.push(NsoOutput::BindFailed { group });
+                    return;
+                }
+            }
+        };
+        self.client
+            .register_binding(group.clone(), bind.style.clone(), bind.server_count);
+        self.roles.insert(group.clone(), GroupRole::ClientBinding);
+        self.outputs.push(NsoOutput::BindingReady { group });
+        self.route_gcs(outs, now, out);
+    }
+
+    fn run_commands(&mut self, cmds: Vec<InvCommand>, now: SimTime, out: &mut Outbox) {
+        for cmd in cmds {
+            match cmd {
+                InvCommand::Multicast { group, payload } => {
+                    let mut net = GcsNet::new(&mut self.orb, out);
+                    let _ = self
+                        .gcs
+                        .multicast(&group, DeliveryOrder::Total, payload, now, &mut net);
+                }
+                InvCommand::Direct { to, payload } => {
+                    self.orb.oneway(
+                        &ObjectRef::new(to, NSO_OBJECT_KEY),
+                        INV_OPERATION,
+                        payload,
+                        out,
+                    );
+                }
+            }
+        }
+    }
+
+    fn map_client_events(&mut self, events: Vec<ClientEvent>, now: SimTime, out: &mut Outbox) {
+        for ev in events {
+            match ev {
+                ClientEvent::Complete { call, replies } => {
+                    self.outputs
+                        .push(NsoOutput::InvocationComplete { call, replies });
+                }
+                ClientEvent::BindingBroken {
+                    group,
+                    manager,
+                    pending_calls,
+                } => {
+                    self.roles.remove(&group);
+                    let _ = {
+                        let mut net = GcsNet::new(&mut self.orb, out);
+                        self.gcs.leave_group(&group, now, &mut net)
+                    };
+                    self.outputs.push(NsoOutput::BindingBroken {
+                        group,
+                        manager,
+                        pending_calls,
+                    });
+                }
+            }
+        }
+    }
+
+    fn route_gcs(&mut self, outs: Vec<GcsOutput>, now: SimTime, out: &mut Outbox) {
+        for o in outs {
+            match o {
+                GcsOutput::Delivered {
+                    group,
+                    sender,
+                    payload,
+                    ..
+                } => self.route_delivery(&group, sender, payload, now, out),
+                GcsOutput::ViewInstalled { group, view, .. } => {
+                    self.route_view_change(&group, &view, now, out);
+                    self.outputs.push(NsoOutput::ViewChanged { group, view });
+                }
+                GcsOutput::LeftGroup { group } => {
+                    self.roles.remove(&group);
+                }
+            }
+        }
+    }
+
+    fn route_delivery(
+        &mut self,
+        group: &GroupId,
+        sender: NodeId,
+        payload: Bytes,
+        now: SimTime,
+        out: &mut Outbox,
+    ) {
+        let Some(role) = self.roles.get(group).cloned() else {
+            return;
+        };
+        match role {
+            GroupRole::ClientBinding => {
+                let events = self.client.on_message(&payload);
+                self.map_client_events(events, now, out);
+            }
+            GroupRole::ServerGroup => {
+                self.serve_delivery(group.clone(), group, sender, &payload, now, out);
+            }
+            GroupRole::Served { server_group } | GroupRole::MonitorManager { server_group } => {
+                self.serve_delivery(server_group, group, sender, &payload, now, out);
+            }
+            GroupRole::MonitorCaller => {
+                if let Some(caller) = self.g2g_callers.get_mut(group) {
+                    if let Some(done) = caller.on_delivered(group, &payload) {
+                        self.outputs.push(NsoOutput::G2gComplete {
+                            origin: done.origin,
+                            number: done.number,
+                            replies: done.replies,
+                        });
+                    }
+                }
+            }
+            GroupRole::Peer => {
+                self.outputs.push(NsoOutput::PeerDeliver {
+                    group: group.clone(),
+                    sender,
+                    payload,
+                });
+            }
+        }
+    }
+
+    /// Routes a delivery to a server core, running the group servant.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_delivery(
+        &mut self,
+        server_group: GroupId,
+        delivered_in: &GroupId,
+        sender: NodeId,
+        payload: &[u8],
+        now: SimTime,
+        out: &mut Outbox,
+    ) {
+        let cmds = {
+            let Some(core) = self.servers.get_mut(&server_group) else {
+                return;
+            };
+            let mut servant = self.servants.get_mut(&server_group);
+            let mut exec = |op: &str, args: &[u8]| -> Bytes {
+                match servant {
+                    Some(ref mut s) => s.invoke(op, args),
+                    None => Bytes::new(),
+                }
+            };
+            core.on_delivered(delivered_in, sender, payload, &mut exec)
+        };
+        self.run_commands(cmds, now, out);
+    }
+
+    fn route_view_change(&mut self, group: &GroupId, view: &View, now: SimTime, out: &mut Outbox) {
+        let Some(role) = self.roles.get(group).cloned() else {
+            return;
+        };
+        match role {
+            GroupRole::ClientBinding => {
+                let events = self.client.on_binding_view_change(group, view.members());
+                self.map_client_events(events, now, out);
+            }
+            GroupRole::ServerGroup => {
+                let (replayed, quorum_cmds) = {
+                    let Some(core) = self.servers.get_mut(group) else {
+                        return;
+                    };
+                    let quorum_cmds = core.set_server_view(view.members().to_vec());
+                    let was = self.was_primary.insert(group.clone(), core.is_primary());
+                    if core.replication() == Replication::Passive
+                        && core.is_primary()
+                        && was == Some(false)
+                    {
+                        let mut servant = self.servants.get_mut(group);
+                        let mut exec = |op: &str, args: &[u8]| -> Bytes {
+                            match servant {
+                                Some(ref mut s) => s.invoke(op, args),
+                                None => Bytes::new(),
+                            }
+                        };
+                        (Some(core.promote(&mut exec)), quorum_cmds)
+                    } else {
+                        (None, quorum_cmds)
+                    }
+                };
+                self.run_commands(quorum_cmds, now, out);
+                if let Some(replayed) = replayed {
+                    self.outputs.push(NsoOutput::Promoted {
+                        group: group.clone(),
+                        replayed,
+                    });
+                }
+            }
+            GroupRole::Served { server_group } => {
+                // If the client departed, the binding is dead: drop it.
+                if view.len() <= 1 {
+                    if let Some(core) = self.servers.get_mut(&server_group) {
+                        core.remove_client_group(group);
+                    }
+                    self.roles.remove(group);
+                    let _ = {
+                        let mut net = GcsNet::new(&mut self.orb, out);
+                        self.gcs.leave_group(group, now, &mut net)
+                    };
+                }
+            }
+            GroupRole::MonitorManager { .. } | GroupRole::MonitorCaller | GroupRole::Peer => {}
+        }
+    }
+}

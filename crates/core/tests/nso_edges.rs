@@ -1,0 +1,324 @@
+//! Edge cases of the NSO public API: bind failures and timeouts, unknown
+//! bindings, plain (non-group) ORB invocations and the naming service.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use newtop::nso::{BindOptions, Nso, NsoError, NsoOutput};
+use newtop::simnode::{NsoApp, NsoNode};
+use newtop_gcs::group::{DeliveryOrder, GroupConfig, GroupId};
+use newtop_invocation::api::{OpenOptimisation, Replication, ReplyMode};
+use newtop_net::sim::{Outbox, Sim, SimConfig};
+use newtop_net::site::{NodeId, Site};
+use newtop_net::time::SimTime;
+use newtop_orb::naming::{NameServer, NamingClient};
+use newtop_orb::servant::Servant;
+
+/// A scriptable app: runs closures against the NSO and records outputs.
+struct Probe {
+    outputs: Vec<NsoOutput>,
+    on_start: Option<Box<dyn FnOnce(&mut Nso, SimTime, &mut Outbox) + Send>>,
+}
+
+impl Probe {
+    fn new(start: impl FnOnce(&mut Nso, SimTime, &mut Outbox) + Send + 'static) -> Self {
+        Probe {
+            outputs: Vec::new(),
+            on_start: Some(Box::new(start)),
+        }
+    }
+}
+
+impl NsoApp for Probe {
+    fn on_start(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        if let Some(f) = self.on_start.take() {
+            f(nso, now, out);
+        }
+    }
+    fn on_output(&mut self, _: &mut Nso, output: NsoOutput, _: SimTime, _: &mut Outbox) {
+        self.outputs.push(output);
+    }
+}
+
+fn probe_outputs(sim: &Sim, node: NodeId) -> Vec<NsoOutput> {
+    sim.node_ref::<NsoNode>(node)
+        .unwrap()
+        .app_ref::<Probe>()
+        .unwrap()
+        .outputs
+        .clone()
+}
+
+#[test]
+fn binding_to_a_non_server_fails() {
+    let mut sim = Sim::new(SimConfig::lan(71));
+    // Node 0 exists but serves nothing.
+    let bystander = sim.add_node(Site::Lan, Box::new(NsoNode::new(
+        NodeId::from_index(0),
+        Box::new(Probe::new(|_, _, _| {})),
+    )));
+    let client = sim.add_node(
+        Site::Lan,
+        Box::new(NsoNode::new(
+            NodeId::from_index(1),
+            Box::new(Probe::new(move |nso, now, out| {
+                nso.bind_open(GroupId::new("ghost"), bystander, BindOptions::default(), now, out)
+                    .unwrap();
+            })),
+        )),
+    );
+    sim.run_until(SimTime::from_secs(5));
+    let outs = probe_outputs(&sim, client);
+    assert!(
+        outs.iter().any(|o| matches!(o, NsoOutput::BindFailed { .. })),
+        "refusal from a non-serving node surfaces as BindFailed: {outs:?}"
+    );
+}
+
+#[test]
+fn binding_to_a_dead_node_times_out() {
+    let mut sim = Sim::new(SimConfig::lan(72));
+    let dead = sim.add_node(Site::Lan, Box::new(NsoNode::new(
+        NodeId::from_index(0),
+        Box::new(Probe::new(|_, _, _| {})),
+    )));
+    sim.schedule_crash(SimTime::ZERO, dead);
+    let client = sim.add_node(
+        Site::Lan,
+        Box::new(NsoNode::new(
+            NodeId::from_index(1),
+            Box::new(Probe::new(move |nso, now, out| {
+                nso.bind_open(
+                    GroupId::new("svc"),
+                    dead,
+                    BindOptions {
+                        timeout: Duration::from_millis(300),
+                        ..BindOptions::default()
+                    },
+                    now,
+                    out,
+                )
+                .unwrap();
+            })),
+        )),
+    );
+    sim.run_until(SimTime::from_secs(2));
+    let outs = probe_outputs(&sim, client);
+    assert!(outs.iter().any(|o| matches!(o, NsoOutput::BindFailed { .. })));
+}
+
+#[test]
+fn api_errors_are_reported_synchronously() {
+    let mut sim = Sim::new(SimConfig::lan(73));
+    sim.add_node(
+        Site::Lan,
+        Box::new(NsoNode::new(
+            NodeId::from_index(0),
+            Box::new(Probe::new(|nso, now, out| {
+                // Unknown binding.
+                let err = nso
+                    .invoke(&GroupId::new("nope"), "op", Bytes::new(), ReplyMode::All, now, out)
+                    .unwrap_err();
+                assert!(matches!(err, NsoError::Client(_)));
+                // Unknown monitor attachment.
+                let err = nso
+                    .g2g_invoke(&GroupId::new("nope"), "op", Bytes::new(), ReplyMode::All, now, out)
+                    .unwrap_err();
+                assert!(matches!(err, NsoError::Unbound(_)));
+                // Unknown peer group.
+                let err = nso
+                    .peer_send(&GroupId::new("nope"), Bytes::new(), DeliveryOrder::Total, now, out)
+                    .unwrap_err();
+                assert!(matches!(err, NsoError::Gcs(_)));
+                // Unbind without a binding.
+                let err = nso.unbind(&GroupId::new("nope"), now, out).unwrap_err();
+                assert!(matches!(err, NsoError::Unbound(_)));
+                // Group id collision for an explicit binding id.
+                nso.create_peer_group(
+                    GroupId::new("taken"),
+                    vec![nso.node()],
+                    GroupConfig::peer(),
+                    now,
+                    out,
+                )
+                .unwrap();
+                let err = nso
+                    .bind_open(
+                        GroupId::new("svc"),
+                        NodeId::from_index(9),
+                        BindOptions {
+                            group_id: Some(GroupId::new("taken")),
+                            ..BindOptions::default()
+                        },
+                        now,
+                        out,
+                    )
+                    .unwrap_err();
+                assert!(matches!(err, NsoError::GroupInUse(_)));
+                // Monitor setup at a non-server manager.
+                let err = nso
+                    .setup_monitor_group(
+                        GroupId::new("gz"),
+                        GroupId::new("gx"),
+                        nso.node(), // we are the manager but serve nothing
+                        GroupId::new("gy"),
+                        vec![nso.node()],
+                        GroupConfig::request_reply(),
+                        now,
+                        out,
+                    )
+                    .unwrap_err();
+                assert!(matches!(err, NsoError::NotAServer(_)));
+            })),
+        )),
+    );
+    sim.run_until(SimTime::from_millis(100));
+}
+
+#[test]
+fn plain_invocations_and_naming_work_through_the_nso() {
+    let mut sim = Sim::new(SimConfig::lan(74));
+    // Node 0 hosts the name server and a plain servant.
+    let server = sim.add_node(
+        Site::Lan,
+        Box::new(NsoNode::new(
+            NodeId::from_index(0),
+            Box::new(Probe::new(|nso, _, _| {
+                nso.register_plain_servant(
+                    newtop_orb::naming::NAME_SERVICE_KEY,
+                    Box::new(NameServer::new()) as Box<dyn Servant>,
+                );
+                nso.register_plain_servant(
+                    "greeter",
+                    Box::new(|_op: &str, args: &[u8]| {
+                        Ok(Bytes::from(format!("hello {}", String::from_utf8_lossy(args))))
+                    }),
+                );
+            })),
+        )),
+    );
+    // Node 1: bind the greeter in the name service, resolve it back, then
+    // invoke it — all plain one-to-one ORB calls.
+    let client = sim.add_node(
+        Site::Lan,
+        Box::new(NsoNode::new(
+            NodeId::from_index(1),
+            Box::new(Probe::new(move |nso, _, out| {
+                let ns = NamingClient::server_ref(server);
+                let greeter = newtop_orb::ior::ObjectRef::new(server, "greeter");
+                nso.plain_invoke(
+                    &ns,
+                    newtop_orb::naming::ops::BIND,
+                    NamingClient::encode_bind("greeter", &greeter),
+                    out,
+                );
+                nso.plain_invoke(
+                    &ns,
+                    newtop_orb::naming::ops::RESOLVE,
+                    NamingClient::encode_resolve("greeter"),
+                    out,
+                );
+                nso.plain_invoke(&greeter, "greet", Bytes::from_static(b"newtop"), out);
+            })),
+        )),
+    );
+    sim.run_until(SimTime::from_secs(2));
+    let outs = probe_outputs(&sim, client);
+    let replies: Vec<&NsoOutput> = outs
+        .iter()
+        .filter(|o| matches!(o, NsoOutput::PlainReply { .. }))
+        .collect();
+    assert_eq!(replies.len(), 3, "bind + resolve + greet all replied");
+    // The resolve reply decodes to the greeter's reference.
+    let resolved = replies.iter().find_map(|o| {
+        let NsoOutput::PlainReply { result: Ok(body), .. } = o else {
+            return None;
+        };
+        NamingClient::decode_resolve_reply(body).ok().flatten()
+    });
+    assert_eq!(
+        resolved,
+        Some(newtop_orb::ior::ObjectRef::new(server, "greeter"))
+    );
+    // And the greeting came back.
+    assert!(replies.iter().any(|o| {
+        matches!(o, NsoOutput::PlainReply { result: Ok(b), .. } if b.as_ref() == b"hello newtop")
+    }));
+}
+
+#[test]
+fn unbind_tears_the_binding_down() {
+    let mut sim = Sim::new(SimConfig::lan(75));
+    let servers: Vec<NodeId> = (0..2).map(NodeId::from_index).collect();
+    for &s in &servers {
+        let members = servers.clone();
+        sim.add_node(
+            Site::Lan,
+            Box::new(NsoNode::new(
+                s,
+                Box::new(Probe::new(move |nso, now, out| {
+                    nso.create_server_group(
+                        GroupId::new("svc"),
+                        members,
+                        Replication::Active,
+                        OpenOptimisation::None,
+                        GroupConfig::request_reply(),
+                        now,
+                        out,
+                    )
+                    .unwrap();
+                    nso.register_group_servant(
+                        GroupId::new("svc"),
+                        Box::new(|_: &str, _: &[u8]| Bytes::from_static(b"ok")),
+                    );
+                })),
+            )),
+        );
+    }
+    struct UnbindClient {
+        servers: Vec<NodeId>,
+        phase: u32,
+    }
+    impl NsoApp for UnbindClient {
+        fn on_start(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+            nso.bind_open(
+                GroupId::new("svc"),
+                self.servers[0],
+                BindOptions::default(),
+                now,
+                out,
+            )
+            .unwrap();
+        }
+        fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {
+            if let NsoOutput::BindingReady { group } = output {
+                self.phase = 1;
+                nso.unbind(&group, now, out).unwrap();
+                // Invoking after unbind fails synchronously.
+                let err = nso
+                    .invoke(&group, "op", Bytes::new(), ReplyMode::All, now, out)
+                    .unwrap_err();
+                assert!(matches!(err, NsoError::Client(_)));
+                self.phase = 2;
+            }
+        }
+    }
+    let client = sim.add_node(
+        Site::Lan,
+        Box::new(NsoNode::new(
+            NodeId::from_index(2),
+            Box::new(UnbindClient {
+                servers: servers.clone(),
+                phase: 0,
+            }),
+        )),
+    );
+    sim.run_until(SimTime::from_secs(3));
+    let app = sim
+        .node_ref::<NsoNode>(client)
+        .unwrap()
+        .app_ref::<UnbindClient>()
+        .unwrap();
+    assert_eq!(app.phase, 2, "bind, unbind and post-unbind error all ran");
+}

@@ -1,0 +1,251 @@
+//! Logical clocks.
+//!
+//! NewTop's symmetric total-order protocol orders messages by Lamport
+//! timestamp (ties broken by member id). One [`LamportClock`] is shared by
+//! *all* the groups a member belongs to — that sharing is what keeps total
+//! order causality-consistent for multi-group (overlapping-group) members,
+//! the distinguishing property of the NewTop protocols.
+//!
+//! Causal delivery uses [`DepsVector`]s: per-sender delivered-sequence
+//! vectors piggybacked on every data message.
+
+use std::collections::BTreeMap;
+
+use newtop_net::site::NodeId;
+
+/// A Lamport logical clock.
+///
+/// `tick` before each send; `observe` on each receive. If event `a`
+/// happened-before event `b`, then `ts(a) < ts(b)`.
+///
+/// ```
+/// use newtop_gcs::clock::LamportClock;
+///
+/// let mut c = LamportClock::new();
+/// let t1 = c.tick();
+/// c.observe(100);
+/// let t2 = c.tick();
+/// assert!(t2 > 100 && t2 > t1);
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct LamportClock {
+    value: u64,
+}
+
+impl LamportClock {
+    /// A clock at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        LamportClock::default()
+    }
+
+    /// The current value (the timestamp of the last local event).
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Advances for a local send event and returns the new timestamp.
+    pub fn tick(&mut self) -> u64 {
+        self.value += 1;
+        self.value
+    }
+
+    /// Folds in a timestamp observed on a received message.
+    pub fn observe(&mut self, ts: u64) {
+        self.value = self.value.max(ts);
+    }
+}
+
+/// A per-sender sequence-number vector: for causal delivery, the set of
+/// messages (per sender, a prefix) that the sending member had delivered
+/// when it multicast a message. A receiver may deliver the message only
+/// after delivering at least that prefix from every sender.
+///
+/// Entries with sequence 0 are never stored (an empty prefix constrains
+/// nothing).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DepsVector {
+    entries: BTreeMap<NodeId, u64>,
+}
+
+impl DepsVector {
+    /// An empty vector (no causal constraints).
+    #[must_use]
+    pub fn new() -> Self {
+        DepsVector::default()
+    }
+
+    /// Builds a vector from `(sender, delivered-up-to)` pairs, dropping
+    /// zero entries.
+    #[must_use]
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (NodeId, u64)>) -> Self {
+        let mut v = DepsVector::new();
+        for (n, s) in pairs {
+            v.set(n, s);
+        }
+        v
+    }
+
+    /// Records that messages from `sender` up to `seq` are required.
+    pub fn set(&mut self, sender: NodeId, seq: u64) {
+        if seq == 0 {
+            self.entries.remove(&sender);
+        } else {
+            self.entries.insert(sender, seq);
+        }
+    }
+
+    /// The required prefix from `sender` (0 if unconstrained).
+    #[must_use]
+    pub fn get(&self, sender: NodeId) -> u64 {
+        self.entries.get(&sender).copied().unwrap_or(0)
+    }
+
+    /// Iterates the non-zero entries in sender order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.entries.iter().map(|(&n, &s)| (n, s))
+    }
+
+    /// True if `delivered` covers every requirement: for each entry
+    /// `(q, s)`, `delivered(q) >= s`.
+    #[must_use]
+    pub fn satisfied_by(&self, delivered: impl Fn(NodeId) -> u64) -> bool {
+        self.entries.iter().all(|(&q, &s)| delivered(q) >= s)
+    }
+
+    /// Pointwise maximum with another vector.
+    pub fn merge(&mut self, other: &DepsVector) {
+        for (n, s) in other.iter() {
+            let cur = self.get(n);
+            if s > cur {
+                self.set(n, s);
+            }
+        }
+    }
+
+    /// True if this vector requires nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of constrained senders.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `self ≤ other` pointwise — every requirement of `self` is implied
+    /// by `other`. This is the happened-before-or-equal relation on
+    /// dependency knowledge.
+    #[must_use]
+    pub fn dominated_by(&self, other: &DepsVector) -> bool {
+        self.entries.iter().all(|(&q, &s)| other.get(q) >= s)
+    }
+}
+
+impl FromIterator<(NodeId, u64)> for DepsVector {
+    fn from_iter<I: IntoIterator<Item = (NodeId, u64)>>(iter: I) -> Self {
+        DepsVector::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn lamport_is_monotonic() {
+        let mut c = LamportClock::new();
+        let mut prev = 0;
+        for _ in 0..10 {
+            let t = c.tick();
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn lamport_observe_jumps_forward_never_back() {
+        let mut c = LamportClock::new();
+        c.tick();
+        c.observe(50);
+        assert_eq!(c.value(), 50);
+        c.observe(3);
+        assert_eq!(c.value(), 50);
+        assert_eq!(c.tick(), 51);
+    }
+
+    #[test]
+    fn deps_zero_entries_are_dropped() {
+        let mut v = DepsVector::new();
+        v.set(n(1), 0);
+        assert!(v.is_empty());
+        v.set(n(1), 2);
+        assert_eq!(v.len(), 1);
+        v.set(n(1), 0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn satisfied_by_checks_prefixes() {
+        let v = DepsVector::from_pairs([(n(1), 3), (n(2), 1)]);
+        assert!(v.satisfied_by(|q| if q == n(1) { 3 } else { 5 }));
+        assert!(!v.satisfied_by(|q| if q == n(1) { 2 } else { 5 }));
+        assert!(DepsVector::new().satisfied_by(|_| 0));
+    }
+
+    #[test]
+    fn merge_takes_pointwise_max() {
+        let mut a = DepsVector::from_pairs([(n(1), 3), (n(2), 1)]);
+        let b = DepsVector::from_pairs([(n(1), 2), (n(3), 7)]);
+        a.merge(&b);
+        assert_eq!(a.get(n(1)), 3);
+        assert_eq!(a.get(n(2)), 1);
+        assert_eq!(a.get(n(3)), 7);
+    }
+
+    #[test]
+    fn domination_is_reflexive_and_ordered() {
+        let a = DepsVector::from_pairs([(n(1), 2)]);
+        let b = DepsVector::from_pairs([(n(1), 3), (n(2), 1)]);
+        assert!(a.dominated_by(&a));
+        assert!(a.dominated_by(&b));
+        assert!(!b.dominated_by(&a));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_merge_dominates_both(
+            xs in proptest::collection::vec((0u32..8, 1u64..100), 0..8),
+            ys in proptest::collection::vec((0u32..8, 1u64..100), 0..8),
+        ) {
+            let a = DepsVector::from_pairs(xs.iter().map(|&(i, s)| (n(i), s)));
+            let b = DepsVector::from_pairs(ys.iter().map(|&(i, s)| (n(i), s)));
+            let mut m = a.clone();
+            m.merge(&b);
+            prop_assert!(a.dominated_by(&m));
+            prop_assert!(b.dominated_by(&m));
+        }
+
+        #[test]
+        fn prop_lamport_respects_happened_before(seq in proptest::collection::vec(0u64..1000, 1..50)) {
+            // A chain of send/observe events yields strictly increasing sends.
+            let mut c = LamportClock::new();
+            let mut last = 0;
+            for obs in seq {
+                c.observe(obs);
+                let t = c.tick();
+                prop_assert!(t > last);
+                prop_assert!(t > obs);
+                last = t;
+            }
+        }
+    }
+}

@@ -1,0 +1,1014 @@
+//! The pure delivery engine: one group, one view, no runtime.
+//!
+//! A [`DeliveryEngine`] turns a stream of received [`DataMsg`]s (plus
+//! null-message heartbeats and, for the asymmetric protocol, sequencer
+//! ordering records) into a delivery sequence satisfying:
+//!
+//! * **per-sender FIFO** — a sender's messages are delivered in sequence
+//!   order, with gaps detected for NACK-based retransmission;
+//! * **causal order** — a message is delivered only after the per-sender
+//!   prefixes its sender had delivered when multicasting it
+//!   ([`DataMsg::deps`]);
+//! * **total order** (for messages sent with
+//!   [`DeliveryOrder::Total`]) — by Lamport timestamp (ties broken by
+//!   member id) under the **symmetric** protocol, or by sequencer-assigned
+//!   global positions under the **asymmetric** protocol. Both are
+//!   causality-preserving.
+//!
+//! The engine also tracks stability from piggybacked acknowledgement
+//! vectors (for garbage collection and the view-change flush) and
+//! implements the flush itself: [`DeliveryEngine::flush_remaining`]
+//! deterministically delivers everything left so all view-change survivors
+//! end on the same message set (virtual synchrony).
+//!
+//! The symmetric protocol's delivery condition uses *effective* heard
+//! timestamps: a peer's timestamp only advances once the local member
+//! holds that peer's data contiguously up to the sequence the timestamp
+//! was attached to. Without this, a null message racing ahead of a lost
+//! data message could commit a total-order position too early.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::group::{DeliveryOrder, OrderProtocol};
+use crate::messages::{ContigVector, DataMsg};
+use crate::view::ViewId;
+use newtop_net::site::NodeId;
+
+/// Outcome of offering a data message to the engine.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Ingest {
+    /// New message, buffered.
+    Accepted,
+    /// Already seen (or already delivered); dropped.
+    Duplicate,
+}
+
+#[derive(Debug, Default)]
+struct SenderTrack {
+    /// Received messages by sequence, retained until delivered *and*
+    /// stable (they may be needed for retransmission or the flush).
+    buffer: BTreeMap<u64, DataMsg>,
+    /// Highest contiguously received sequence.
+    contig: u64,
+    /// Highest delivered sequence (always ≤ `contig`).
+    delivered: u64,
+    /// Highest sequence known to exist (from gaps or null `last_seq`).
+    max_seen: u64,
+    /// Lamport timestamp of the message at `contig` (0 if none).
+    contig_ts: u64,
+    /// Latest null heartbeat: (timestamp, sender's last data seq).
+    null_heard: Option<(u64, u64)>,
+}
+
+impl SenderTrack {
+    /// The timestamp this sender is known to have passed, *restricted to
+    /// what we hold contiguously* — see the module docs.
+    fn effective_heard(&self) -> u64 {
+        let mut ts = self.contig_ts;
+        if let Some((null_ts, last_seq)) = self.null_heard {
+            if last_seq <= self.contig {
+                ts = ts.max(null_ts);
+            }
+        }
+        ts
+    }
+}
+
+#[derive(Debug, Default)]
+struct SequencerState {
+    /// Per sender: all messages with seq ≤ this have been examined
+    /// (total ones assigned positions, causal ones skipped).
+    processed: BTreeMap<NodeId, u64>,
+    /// Next global position to assign (1-based).
+    next_pos: u64,
+}
+
+/// The per-group, per-view delivery engine. See the [module docs](self).
+#[derive(Debug)]
+pub struct DeliveryEngine {
+    me: NodeId,
+    view: ViewId,
+    members: Vec<NodeId>,
+    protocol: OrderProtocol,
+    senders: BTreeMap<NodeId, SenderTrack>,
+    /// Symmetric protocol: undelivered total-order messages keyed by
+    /// (lamport, sender, seq).
+    total_queue: BTreeSet<(u64, NodeId, u64)>,
+    /// Asymmetric protocol: the global order log (position 1 at index 0).
+    order_log: Vec<(NodeId, u64)>,
+    /// Out-of-order ordering records awaiting earlier positions.
+    pending_order: BTreeMap<u64, (NodeId, u64)>,
+    /// Next global position to deliver (1-based).
+    next_deliver_pos: u64,
+    /// Sequencer-side state (used only while `me` is the sequencer).
+    seq_state: SequencerState,
+    /// acked[by][sender] = contiguous prefix `by` has acknowledged.
+    acked: BTreeMap<NodeId, BTreeMap<NodeId, u64>>,
+}
+
+impl DeliveryEngine {
+    /// Creates an engine for one view of a group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is not in `members`.
+    #[must_use]
+    pub fn new(me: NodeId, view: ViewId, mut members: Vec<NodeId>, protocol: OrderProtocol) -> Self {
+        members.sort_unstable();
+        members.dedup();
+        assert!(members.contains(&me), "engine owner must be a view member");
+        let senders = members
+            .iter()
+            .map(|&m| (m, SenderTrack::default()))
+            .collect();
+        DeliveryEngine {
+            me,
+            view,
+            members,
+            protocol,
+            senders,
+            total_queue: BTreeSet::new(),
+            order_log: Vec::new(),
+            pending_order: BTreeMap::new(),
+            next_deliver_pos: 1,
+            seq_state: SequencerState {
+                processed: BTreeMap::new(),
+                next_pos: 1,
+            },
+            acked: BTreeMap::new(),
+        }
+    }
+
+    /// The view this engine serves.
+    #[must_use]
+    pub fn view_id(&self) -> ViewId {
+        self.view
+    }
+
+    /// The sorted view membership.
+    #[must_use]
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Whether the owning member is this view's sequencer (asymmetric
+    /// protocol: the lowest-id member).
+    #[must_use]
+    pub fn is_sequencer(&self) -> bool {
+        self.members.first() == Some(&self.me)
+    }
+
+    /// The ordering protocol in force.
+    #[must_use]
+    pub fn protocol(&self) -> OrderProtocol {
+        self.protocol
+    }
+
+    /// Offers a received data message (including the member's own, which
+    /// arrive via self-loopback).
+    pub fn ingest_data(&mut self, msg: DataMsg) -> Ingest {
+        debug_assert_eq!(msg.view, self.view, "caller must filter stale views");
+        let Some(track) = self.senders.get_mut(&msg.sender) else {
+            return Ingest::Duplicate; // not a member of this view
+        };
+        if msg.seq <= track.contig || track.buffer.contains_key(&msg.seq) {
+            return Ingest::Duplicate;
+        }
+        track.max_seen = track.max_seen.max(msg.seq);
+        let key = (msg.lamport, msg.sender, msg.seq);
+        let is_total = msg.order == DeliveryOrder::Total;
+        track.buffer.insert(msg.seq, msg);
+        // Advance the contiguous prefix.
+        while let Some(next) = track.buffer.get(&(track.contig + 1)) {
+            track.contig += 1;
+            track.contig_ts = track.contig_ts.max(next.lamport);
+        }
+        if is_total && self.protocol == OrderProtocol::Symmetric {
+            self.total_queue.insert(key);
+        }
+        Ingest::Accepted
+    }
+
+    /// Notes a null heartbeat from `sender`.
+    pub fn note_null(&mut self, sender: NodeId, lamport: u64, last_seq: u64) {
+        if let Some(track) = self.senders.get_mut(&sender) {
+            track.max_seen = track.max_seen.max(last_seq);
+            let better = match track.null_heard {
+                Some((ts, _)) => lamport > ts,
+                None => true,
+            };
+            if better {
+                track.null_heard = Some((lamport, last_seq));
+            }
+        }
+    }
+
+    /// Folds in an acknowledgement vector piggybacked by `by`.
+    pub fn apply_acks(&mut self, by: NodeId, acks: &ContigVector) {
+        if !self.members.contains(&by) {
+            return;
+        }
+        let entry = self.acked.entry(by).or_default();
+        for &(sender, seq) in acks {
+            let cur = entry.entry(sender).or_insert(0);
+            *cur = (*cur).max(seq);
+        }
+    }
+
+    /// The member's own contiguously-received vector (what it would
+    /// piggyback as acks).
+    #[must_use]
+    pub fn contig_vector(&self) -> ContigVector {
+        self.senders
+            .iter()
+            .filter(|(_, t)| t.contig > 0)
+            .map(|(&s, t)| (s, t.contig))
+            .collect()
+    }
+
+    /// The member's delivered vector (stamped as `deps` on outgoing
+    /// multicasts).
+    #[must_use]
+    pub fn delivered_vector(&self) -> ContigVector {
+        self.senders
+            .iter()
+            .filter(|(_, t)| t.delivered > 0)
+            .map(|(&s, t)| (s, t.delivered))
+            .collect()
+    }
+
+    /// Messages this member holds with sequences beyond `contig` — the
+    /// state-response payload during view agreement.
+    #[must_use]
+    pub fn export_msgs_beyond(&self, contig: &ContigVector) -> Vec<DataMsg> {
+        let floor = |sender: NodeId| {
+            contig
+                .iter()
+                .find(|&&(s, _)| s == sender)
+                .map_or(0, |&(_, seq)| seq)
+        };
+        let mut out = Vec::new();
+        for (&sender, track) in &self.senders {
+            let fl = floor(sender);
+            for (&seq, msg) in &track.buffer {
+                if seq > fl {
+                    out.push(msg.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-sender gaps needing retransmission: `(sender, from, to)`
+    /// inclusive ranges.
+    #[must_use]
+    pub fn missing_ranges(&self) -> Vec<(NodeId, u64, u64)> {
+        let mut out = Vec::new();
+        for (&sender, track) in &self.senders {
+            if track.max_seen <= track.contig {
+                continue;
+            }
+            let mut gap_start = None;
+            for seq in (track.contig + 1)..=track.max_seen {
+                let have = track.buffer.contains_key(&seq);
+                match (have, gap_start) {
+                    (false, None) => gap_start = Some(seq),
+                    (true, Some(start)) => {
+                        out.push((sender, start, seq - 1));
+                        gap_start = None;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(start) = gap_start {
+                out.push((sender, start, track.max_seen));
+            }
+        }
+        out
+    }
+
+    /// A buffered message, if still held (serves NACKs).
+    #[must_use]
+    pub fn get_buffered(&self, sender: NodeId, seq: u64) -> Option<&DataMsg> {
+        self.senders.get(&sender)?.buffer.get(&seq)
+    }
+
+    /// First missing global order position (asymmetric protocol; triggers
+    /// an order NACK at the sequencer).
+    ///
+    /// Two cases: a later record is buffered past a hole, or — the *tail
+    /// loss* case — every known record has been consumed yet a
+    /// contiguously-received total-order message is still undelivered,
+    /// meaning its ordering record never arrived.
+    #[must_use]
+    pub fn order_gap(&self) -> Option<u64> {
+        if self.protocol != OrderProtocol::Asymmetric {
+            return None;
+        }
+        if !self.pending_order.is_empty() {
+            return Some(self.order_log.len() as u64 + 1);
+        }
+        let consumed_all = self.next_deliver_pos > self.order_log.len() as u64;
+        if consumed_all {
+            let unordered_total = self.senders.values().any(|t| {
+                t.buffer
+                    .iter()
+                    .any(|(&seq, m)| seq <= t.contig && seq > t.delivered && m.order == DeliveryOrder::Total)
+            });
+            if unordered_total {
+                return Some(self.order_log.len() as u64 + 1);
+            }
+        }
+        None
+    }
+
+    /// Ingests sequencer ordering records starting at global position
+    /// `start`.
+    pub fn ingest_order(&mut self, start: u64, entries: &[(NodeId, u64)]) {
+        // An ordering record proves the data message exists: make the gap
+        // detector chase it (under redirection, data for other senders
+        // flows through the sequencer and may be lost independently).
+        for &(sender, seq) in entries {
+            if let Some(track) = self.senders.get_mut(&sender) {
+                track.max_seen = track.max_seen.max(seq);
+            }
+        }
+        for (i, &e) in entries.iter().enumerate() {
+            let pos = start + i as u64;
+            let next = self.order_log.len() as u64 + 1;
+            match pos.cmp(&next) {
+                std::cmp::Ordering::Less => {} // duplicate
+                std::cmp::Ordering::Equal => {
+                    self.order_log.push(e);
+                    // Drain any buffered successors.
+                    loop {
+                        let want = self.order_log.len() as u64 + 1;
+                        match self.pending_order.remove(&want) {
+                            Some(buffered) => self.order_log.push(buffered),
+                            None => break,
+                        }
+                    }
+                }
+                std::cmp::Ordering::Greater => {
+                    self.pending_order.insert(pos, e);
+                }
+            }
+        }
+    }
+
+    /// Length of the global order log received/produced so far.
+    #[must_use]
+    pub fn order_log_len(&self) -> u64 {
+        self.order_log.len() as u64
+    }
+
+    /// A slice of the order log from global position `from_pos`, for
+    /// answering order NACKs. Returns `(start, entries)`.
+    #[must_use]
+    pub fn order_log_slice(&self, from_pos: u64, max: usize) -> (u64, Vec<(NodeId, u64)>) {
+        let start = from_pos.max(1);
+        let idx = (start - 1) as usize;
+        if idx >= self.order_log.len() {
+            return (start, Vec::new());
+        }
+        let end = (idx + max).min(self.order_log.len());
+        (start, self.order_log[idx..end].to_vec())
+    }
+
+    /// Sequencer duty cycle: assign global positions to newly-orderable
+    /// messages. The entries are appended to the local order log *and*
+    /// returned so the caller can multicast them. Call only when
+    /// [`Self::is_sequencer`] is true.
+    pub fn sequencer_poll(&mut self) -> Vec<(NodeId, u64)> {
+        debug_assert!(self.is_sequencer());
+        let mut new_entries = Vec::new();
+        loop {
+            let mut progressed = false;
+            for &sender in &self.members.clone() {
+                loop {
+                    let processed = *self.seq_state.processed.get(&sender).unwrap_or(&0);
+                    let next_seq = processed + 1;
+                    let track = &self.senders[&sender];
+                    if next_seq > track.contig {
+                        break;
+                    }
+                    let msg = track.buffer.get(&next_seq);
+                    let Some(msg) = msg else {
+                        // Already garbage collected: can only happen once
+                        // delivered, hence already processed; skip.
+                        self.seq_state.processed.insert(sender, next_seq);
+                        progressed = true;
+                        continue;
+                    };
+                    if msg.order == DeliveryOrder::Total {
+                        // Respect causality: all of the message's
+                        // dependencies must have been examined first.
+                        let deps_ok = msg.deps.satisfied_by(|q| {
+                            *self.seq_state.processed.get(&q).unwrap_or(&0)
+                        });
+                        if !deps_ok {
+                            break;
+                        }
+                        self.order_log.push((sender, next_seq));
+                        new_entries.push((sender, next_seq));
+                        self.seq_state.next_pos += 1;
+                    }
+                    self.seq_state.processed.insert(sender, next_seq);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        new_entries
+    }
+
+    /// True if any received message is still awaiting delivery.
+    #[must_use]
+    pub fn has_undelivered(&self) -> bool {
+        self.senders
+            .values()
+            .any(|t| t.buffer.keys().any(|&s| s > t.delivered))
+    }
+
+    /// Delivers everything currently deliverable, in order.
+    pub fn drain_deliverable(&mut self) -> Vec<DataMsg> {
+        let mut out = Vec::new();
+        loop {
+            let mut progressed = false;
+            progressed |= self.deliver_causal(&mut out);
+            progressed |= match self.protocol {
+                OrderProtocol::Symmetric => self.deliver_symmetric(&mut out),
+                OrderProtocol::Asymmetric => self.deliver_asymmetric(&mut out),
+            };
+            if !progressed {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Delivers causal-order messages whose FIFO and dependency conditions
+    /// hold.
+    fn deliver_causal(&mut self, out: &mut Vec<DataMsg>) -> bool {
+        let mut progressed = false;
+        let members = self.members.clone();
+        loop {
+            let mut round = false;
+            for &sender in &members {
+                loop {
+                    let track = &self.senders[&sender];
+                    let next = track.delivered + 1;
+                    if next > track.contig {
+                        break;
+                    }
+                    let Some(msg) = track.buffer.get(&next) else {
+                        break;
+                    };
+                    if msg.order != DeliveryOrder::Causal {
+                        break;
+                    }
+                    if !self.deps_satisfied(&msg.deps.clone()) {
+                        break;
+                    }
+                    let msg = msg.clone();
+                    self.mark_delivered(sender, next);
+                    out.push(msg);
+                    round = true;
+                }
+            }
+            if !round {
+                break;
+            }
+            progressed = true;
+        }
+        progressed
+    }
+
+    fn deps_satisfied(&self, deps: &crate::clock::DepsVector) -> bool {
+        deps.satisfied_by(|q| self.senders.get(&q).map_or(0, |t| t.delivered))
+    }
+
+    fn mark_delivered(&mut self, sender: NodeId, seq: u64) {
+        let track = self.senders.get_mut(&sender).expect("sender tracked");
+        debug_assert_eq!(track.delivered + 1, seq, "FIFO delivery");
+        track.delivered = seq;
+    }
+
+    /// Symmetric total order: deliver from the head of the timestamp
+    /// queue while the head is safe.
+    fn deliver_symmetric(&mut self, out: &mut Vec<DataMsg>) -> bool {
+        let mut progressed = false;
+        while let Some(&(ts, sender, seq)) = self.total_queue.iter().next() {
+            let track = &self.senders[&sender];
+            if seq > track.contig {
+                // Head not contiguously received yet (should not happen:
+                // queue entries are only inserted when buffered, but a
+                // flush may have consumed them).
+                break;
+            }
+            if track.delivered + 1 != seq {
+                // An earlier (causal) message from this sender must be
+                // delivered first; deliver_causal handles it.
+                break;
+            }
+            let msg = match track.buffer.get(&seq) {
+                Some(m) => m.clone(),
+                None => {
+                    self.total_queue.remove(&(ts, sender, seq));
+                    continue;
+                }
+            };
+            if !self.deps_satisfied(&msg.deps) {
+                break;
+            }
+            // Every *other* member must have reached this timestamp: a
+            // member's events carry strictly increasing timestamps and
+            // `effective_heard` only counts its contiguous prefix, so
+            // once `heard >= ts` no message of that member ordered before
+            // `(ts, sender)` can still be missing (an equal-timestamp one
+            // is already buffered and the queue's `(ts, id)` key orders
+            // it correctly).
+            let safe = self.members.iter().all(|&q| {
+                if q == sender || q == self.me {
+                    return true;
+                }
+                self.senders[&q].effective_heard() >= ts
+            });
+            if !safe {
+                break;
+            }
+            self.total_queue.remove(&(ts, sender, seq));
+            self.mark_delivered(sender, seq);
+            out.push(msg);
+            progressed = true;
+        }
+        progressed
+    }
+
+    /// Asymmetric total order: deliver along the sequencer's global log.
+    fn deliver_asymmetric(&mut self, out: &mut Vec<DataMsg>) -> bool {
+        let mut progressed = false;
+        loop {
+            let idx = (self.next_deliver_pos - 1) as usize;
+            let Some(&(sender, seq)) = self.order_log.get(idx) else {
+                break;
+            };
+            let track = &self.senders[&sender];
+            if seq > track.contig {
+                break; // data not yet received
+            }
+            if track.delivered + 1 != seq {
+                break; // an earlier causal message must go first
+            }
+            let Some(msg) = track.buffer.get(&seq).cloned() else {
+                break;
+            };
+            if !self.deps_satisfied(&msg.deps) {
+                break;
+            }
+            self.next_deliver_pos += 1;
+            self.mark_delivered(sender, seq);
+            out.push(msg);
+            progressed = true;
+        }
+        progressed
+    }
+
+    /// View-change flush: deterministically delivers every remaining
+    /// message (per-sender FIFO prefixes, globally by Lamport timestamp),
+    /// so all survivors of the view end with the same delivery set.
+    ///
+    /// Messages beyond a sequence gap of a (necessarily crashed) sender
+    /// are dropped: no survivor holds the gap message, and FIFO forbids
+    /// skipping it.
+    pub fn flush_remaining(&mut self) -> Vec<DataMsg> {
+        let mut out = Vec::new();
+        loop {
+            // Candidate per sender: the next FIFO message, if buffered.
+            let mut best: Option<(u64, NodeId, u64)> = None;
+            for (&sender, track) in &self.senders {
+                let next = track.delivered + 1;
+                if let Some(msg) = track.buffer.get(&next) {
+                    let key = (msg.lamport, sender, next);
+                    if best.is_none() || key < best.expect("checked") {
+                        best = Some(key);
+                    }
+                }
+            }
+            let Some((_, sender, seq)) = best else {
+                break;
+            };
+            let msg = self.senders[&sender].buffer[&seq].clone();
+            self.total_queue.remove(&(msg.lamport, sender, seq));
+            self.mark_delivered(sender, seq);
+            out.push(msg);
+        }
+        out
+    }
+
+    /// Garbage-collects messages that are delivered locally and
+    /// acknowledged by every member.
+    pub fn gc_stable(&mut self) {
+        let members = self.members.clone();
+        for (&sender, track) in &mut self.senders {
+            let mut stable = track.contig;
+            for &by in &members {
+                if by == self.me {
+                    continue;
+                }
+                let acked = self
+                    .acked
+                    .get(&by)
+                    .and_then(|m| m.get(&sender))
+                    .copied()
+                    .unwrap_or(0);
+                stable = stable.min(acked);
+            }
+            let limit = stable.min(track.delivered);
+            if limit > 0 {
+                track.buffer.retain(|&seq, _| seq > limit);
+            }
+        }
+    }
+
+    /// Number of messages currently buffered (diagnostics / tests).
+    #[must_use]
+    pub fn buffered_count(&self) -> usize {
+        self.senders.values().map(|t| t.buffer.len()).sum()
+    }
+
+    /// The delivered prefix of `sender` (0 if nothing yet).
+    #[must_use]
+    pub fn delivered_of(&self, sender: NodeId) -> u64 {
+        self.senders.get(&sender).map_or(0, |t| t.delivered)
+    }
+
+    /// Ingests a batch of union messages during a view change (duplicates
+    /// ignored), without delivering.
+    pub fn ingest_union(&mut self, msgs: Vec<DataMsg>) {
+        let mut arrivals: VecDeque<DataMsg> = msgs.into();
+        while let Some(m) = arrivals.pop_front() {
+            if m.view == self.view {
+                let _ = self.ingest_data(m);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::DepsVector;
+    use crate::group::GroupId;
+    use bytes::Bytes;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    fn msg(sender: u32, seq: u64, ts: u64, order: DeliveryOrder) -> DataMsg {
+        DataMsg {
+            group: GroupId::new("g"),
+            view: ViewId(1),
+            sender: n(sender),
+            seq,
+            lamport: ts,
+            order,
+            deps: DepsVector::new(),
+            acks: vec![],
+            payload: Bytes::from(format!("{sender}:{seq}")),
+        }
+    }
+
+    fn msg_deps(
+        sender: u32,
+        seq: u64,
+        ts: u64,
+        order: DeliveryOrder,
+        deps: &[(u32, u64)],
+    ) -> DataMsg {
+        let mut m = msg(sender, seq, ts, order);
+        m.deps = DepsVector::from_pairs(deps.iter().map(|&(i, s)| (n(i), s)));
+        m
+    }
+
+    fn engine(me: u32, members: &[u32], protocol: OrderProtocol) -> DeliveryEngine {
+        DeliveryEngine::new(
+            n(me),
+            ViewId(1),
+            members.iter().map(|&i| n(i)).collect(),
+            protocol,
+        )
+    }
+
+    fn ids(msgs: &[DataMsg]) -> Vec<(u32, u64)> {
+        msgs.iter().map(|m| (m.sender.index(), m.seq)).collect()
+    }
+
+    // --- FIFO / reassembly --------------------------------------------
+
+    #[test]
+    fn duplicates_are_rejected() {
+        let mut e = engine(0, &[0, 1], OrderProtocol::Symmetric);
+        assert_eq!(e.ingest_data(msg(1, 1, 5, DeliveryOrder::Causal)), Ingest::Accepted);
+        assert_eq!(e.ingest_data(msg(1, 1, 5, DeliveryOrder::Causal)), Ingest::Duplicate);
+        let delivered = e.drain_deliverable();
+        assert_eq!(ids(&delivered), vec![(1, 1)]);
+        // Delivered and GC'd-from-contig duplicates are still duplicates.
+        assert_eq!(e.ingest_data(msg(1, 1, 5, DeliveryOrder::Causal)), Ingest::Duplicate);
+    }
+
+    #[test]
+    fn non_member_senders_are_ignored() {
+        let mut e = engine(0, &[0, 1], OrderProtocol::Symmetric);
+        assert_eq!(e.ingest_data(msg(9, 1, 5, DeliveryOrder::Causal)), Ingest::Duplicate);
+    }
+
+    #[test]
+    fn out_of_order_receipt_is_reassembled() {
+        let mut e = engine(0, &[0, 1], OrderProtocol::Symmetric);
+        e.ingest_data(msg(1, 2, 6, DeliveryOrder::Causal));
+        assert!(e.drain_deliverable().is_empty());
+        assert_eq!(e.missing_ranges(), vec![(n(1), 1, 1)]);
+        e.ingest_data(msg(1, 1, 5, DeliveryOrder::Causal));
+        assert_eq!(ids(&e.drain_deliverable()), vec![(1, 1), (1, 2)]);
+        assert!(e.missing_ranges().is_empty());
+    }
+
+    #[test]
+    fn tail_loss_is_detected_via_null_last_seq() {
+        let mut e = engine(0, &[0, 1], OrderProtocol::Symmetric);
+        e.ingest_data(msg(1, 1, 5, DeliveryOrder::Causal));
+        e.note_null(n(1), 9, 3);
+        assert_eq!(e.missing_ranges(), vec![(n(1), 2, 3)]);
+    }
+
+    // --- causal order ---------------------------------------------------
+
+    #[test]
+    fn causal_deps_block_until_satisfied() {
+        let mut e = engine(0, &[0, 1, 2], OrderProtocol::Symmetric);
+        // Message from 2 depends on having delivered 1's first message.
+        e.ingest_data(msg_deps(2, 1, 7, DeliveryOrder::Causal, &[(1, 1)]));
+        assert!(e.drain_deliverable().is_empty());
+        e.ingest_data(msg(1, 1, 5, DeliveryOrder::Causal));
+        assert_eq!(ids(&e.drain_deliverable()), vec![(1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn causal_chain_across_three_members() {
+        let mut e = engine(0, &[0, 1, 2, 3], OrderProtocol::Symmetric);
+        e.ingest_data(msg_deps(3, 1, 9, DeliveryOrder::Causal, &[(2, 1)]));
+        e.ingest_data(msg_deps(2, 1, 7, DeliveryOrder::Causal, &[(1, 1)]));
+        assert!(e.drain_deliverable().is_empty());
+        e.ingest_data(msg(1, 1, 5, DeliveryOrder::Causal));
+        assert_eq!(ids(&e.drain_deliverable()), vec![(1, 1), (2, 1), (3, 1)]);
+    }
+
+    // --- symmetric total order ------------------------------------------
+
+    #[test]
+    fn symmetric_orders_by_timestamp_and_waits_for_silence() {
+        let mut e = engine(0, &[0, 1, 2], OrderProtocol::Symmetric);
+        e.ingest_data(msg(1, 1, 10, DeliveryOrder::Total));
+        // Member 2 has not been heard past ts 10 yet: no delivery.
+        assert!(e.drain_deliverable().is_empty());
+        e.note_null(n(2), 11, 0);
+        assert_eq!(ids(&e.drain_deliverable()), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn symmetric_interleaves_two_senders_by_timestamp() {
+        let mut e = engine(0, &[0, 1, 2], OrderProtocol::Symmetric);
+        e.ingest_data(msg(2, 1, 8, DeliveryOrder::Total));
+        e.ingest_data(msg(1, 1, 10, DeliveryOrder::Total));
+        e.note_null(n(1), 12, 1);
+        e.note_null(n(2), 12, 1);
+        // ts 8 before ts 10 regardless of receipt order.
+        assert_eq!(ids(&e.drain_deliverable()), vec![(2, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn symmetric_ties_break_by_member_id() {
+        let mut e = engine(0, &[0, 1, 2], OrderProtocol::Symmetric);
+        e.ingest_data(msg(2, 1, 8, DeliveryOrder::Total));
+        e.ingest_data(msg(1, 1, 8, DeliveryOrder::Total));
+        e.note_null(n(1), 9, 1);
+        e.note_null(n(2), 9, 1);
+        assert_eq!(ids(&e.drain_deliverable()), vec![(1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn null_racing_ahead_of_lost_data_does_not_unlock() {
+        // Member 1 sent data seq1 (lost) then data seq2; member 2's null
+        // says ts 20. Without the effective-heard rule, 2's message could
+        // deliver before 1's seq1 arrives even though seq1 has a smaller
+        // timestamp.
+        let mut e = engine(0, &[0, 1, 2], OrderProtocol::Symmetric);
+        e.ingest_data(msg(1, 2, 6, DeliveryOrder::Total)); // seq 1 missing!
+        e.ingest_data(msg(2, 1, 10, DeliveryOrder::Total));
+        // Null from 1 with high ts but admitting last_seq=2: we only hold
+        // seq 2 non-contiguously, so 1's effective heard stays 0.
+        e.note_null(n(1), 20, 2);
+        e.note_null(n(2), 21, 1);
+        assert!(e.drain_deliverable().is_empty(), "must wait for 1's seq 1");
+        e.ingest_data(msg(1, 1, 5, DeliveryOrder::Total));
+        assert_eq!(
+            ids(&e.drain_deliverable()),
+            vec![(1, 1), (1, 2), (2, 1)],
+            "timestamp order restored after retransmission"
+        );
+    }
+
+    #[test]
+    fn symmetric_two_member_group_delivers_immediately() {
+        let mut e = engine(0, &[0, 1], OrderProtocol::Symmetric);
+        e.ingest_data(msg(1, 1, 4, DeliveryOrder::Total));
+        assert_eq!(ids(&e.drain_deliverable()), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn own_messages_participate_in_the_order() {
+        let mut e = engine(0, &[0, 1, 2], OrderProtocol::Symmetric);
+        e.ingest_data(msg(0, 1, 5, DeliveryOrder::Total)); // own, via loopback
+        e.ingest_data(msg(1, 1, 7, DeliveryOrder::Total));
+        e.note_null(n(1), 9, 1);
+        e.note_null(n(2), 9, 0);
+        assert_eq!(ids(&e.drain_deliverable()), vec![(0, 1), (1, 1)]);
+    }
+
+    // --- asymmetric total order ------------------------------------------
+
+    #[test]
+    fn sequencer_orders_and_members_follow() {
+        // Node 0 is sequencer.
+        let mut seq = engine(0, &[0, 1, 2], OrderProtocol::Asymmetric);
+        let mut member = engine(1, &[0, 1, 2], OrderProtocol::Asymmetric);
+
+        let m_a = msg(1, 1, 5, DeliveryOrder::Total);
+        let m_b = msg(2, 1, 7, DeliveryOrder::Total);
+        seq.ingest_data(m_b.clone());
+        seq.ingest_data(m_a.clone());
+        let entries = seq.sequencer_poll();
+        assert_eq!(entries.len(), 2);
+        // Sequencer delivers along its own log.
+        assert_eq!(seq.drain_deliverable().len(), 2);
+
+        // Member receives data in the opposite order plus the records.
+        member.ingest_data(m_a);
+        member.ingest_data(m_b);
+        member.ingest_order(1, &entries);
+        let delivered = member.drain_deliverable();
+        assert_eq!(ids(&delivered), entries.iter().map(|&(s, q)| (s.index(), q)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn member_waits_for_order_records() {
+        let mut member = engine(1, &[0, 1], OrderProtocol::Asymmetric);
+        member.ingest_data(msg(0, 1, 3, DeliveryOrder::Total));
+        assert!(member.drain_deliverable().is_empty());
+        member.ingest_order(1, &[(n(0), 1)]);
+        assert_eq!(ids(&member.drain_deliverable()), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn order_gap_is_detected_and_healed() {
+        let mut member = engine(1, &[0, 1], OrderProtocol::Asymmetric);
+        member.ingest_data(msg(0, 1, 3, DeliveryOrder::Total));
+        member.ingest_data(msg(0, 2, 4, DeliveryOrder::Total));
+        member.ingest_order(2, &[(n(0), 2)]); // first record lost
+        assert_eq!(member.order_gap(), Some(1));
+        assert!(member.drain_deliverable().is_empty());
+        member.ingest_order(1, &[(n(0), 1)]);
+        assert_eq!(member.order_gap(), None);
+        assert_eq!(ids(&member.drain_deliverable()), vec![(0, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn sequencer_respects_causal_deps_across_senders() {
+        let mut seq = engine(0, &[0, 1, 2], OrderProtocol::Asymmetric);
+        // 2's message depends on 1's, but arrives first.
+        seq.ingest_data(msg_deps(2, 1, 9, DeliveryOrder::Total, &[(1, 1)]));
+        assert!(seq.sequencer_poll().is_empty());
+        seq.ingest_data(msg(1, 1, 5, DeliveryOrder::Total));
+        let entries = seq.sequencer_poll();
+        assert_eq!(entries, vec![(n(1), 1), (n(2), 1)]);
+    }
+
+    #[test]
+    fn causal_messages_skip_the_sequencer() {
+        let mut seq = engine(0, &[0, 1], OrderProtocol::Asymmetric);
+        seq.ingest_data(msg(1, 1, 5, DeliveryOrder::Causal));
+        seq.ingest_data(msg(1, 2, 6, DeliveryOrder::Total));
+        let entries = seq.sequencer_poll();
+        assert_eq!(entries, vec![(n(1), 2)]);
+        // Both deliver: causal immediately, total via the log.
+        assert_eq!(ids(&seq.drain_deliverable()), vec![(1, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn order_log_slice_serves_nacks() {
+        let mut seq = engine(0, &[0, 1], OrderProtocol::Asymmetric);
+        for s in 1..=5 {
+            seq.ingest_data(msg(1, s, s, DeliveryOrder::Total));
+        }
+        let _ = seq.sequencer_poll();
+        let (start, entries) = seq.order_log_slice(2, 2);
+        assert_eq!(start, 2);
+        assert_eq!(entries, vec![(n(1), 2), (n(1), 3)]);
+        let (_, empty) = seq.order_log_slice(99, 10);
+        assert!(empty.is_empty());
+    }
+
+    // --- stability & GC ---------------------------------------------------
+
+    #[test]
+    fn gc_requires_all_members_acks() {
+        let mut e = engine(0, &[0, 1, 2], OrderProtocol::Symmetric);
+        e.ingest_data(msg(1, 1, 5, DeliveryOrder::Causal));
+        assert_eq!(e.drain_deliverable().len(), 1);
+        assert_eq!(e.buffered_count(), 1);
+        e.gc_stable();
+        assert_eq!(e.buffered_count(), 1, "no acks yet: retained");
+        e.apply_acks(n(1), &vec![(n(1), 1)]);
+        e.gc_stable();
+        assert_eq!(e.buffered_count(), 1, "member 2 has not acked");
+        e.apply_acks(n(2), &vec![(n(1), 1)]);
+        e.gc_stable();
+        assert_eq!(e.buffered_count(), 0, "stable and delivered: collected");
+    }
+
+    #[test]
+    fn undelivered_messages_survive_gc() {
+        let mut e = engine(0, &[0, 1, 2], OrderProtocol::Symmetric);
+        e.ingest_data(msg(1, 1, 10, DeliveryOrder::Total)); // blocked
+        e.apply_acks(n(1), &vec![(n(1), 1)]);
+        e.apply_acks(n(2), &vec![(n(1), 1)]);
+        e.gc_stable();
+        assert_eq!(e.buffered_count(), 1);
+    }
+
+    // --- view-change support ----------------------------------------------
+
+    #[test]
+    fn export_beyond_contig_vector() {
+        let mut e = engine(0, &[0, 1, 2], OrderProtocol::Symmetric);
+        e.ingest_data(msg(1, 1, 5, DeliveryOrder::Causal));
+        e.ingest_data(msg(1, 2, 6, DeliveryOrder::Causal));
+        e.ingest_data(msg(2, 1, 7, DeliveryOrder::Causal));
+        let exported = e.export_msgs_beyond(&vec![(n(1), 1)]);
+        assert_eq!(ids(&exported), vec![(1, 2), (2, 1)]);
+        assert_eq!(e.export_msgs_beyond(&e.contig_vector()).len(), 0);
+    }
+
+    #[test]
+    fn flush_delivers_everything_in_timestamp_order() {
+        // Member 3 is never heard from, so nothing is deliverable until
+        // the flush.
+        let mut e = engine(0, &[0, 1, 2, 3], OrderProtocol::Symmetric);
+        e.ingest_data(msg(1, 1, 10, DeliveryOrder::Total)); // blocked: no nulls
+        e.ingest_data(msg(2, 1, 8, DeliveryOrder::Total));
+        e.ingest_data(msg(2, 2, 12, DeliveryOrder::Causal));
+        assert!(e.drain_deliverable().is_empty());
+        let flushed = e.flush_remaining();
+        assert_eq!(ids(&flushed), vec![(2, 1), (1, 1), (2, 2)]);
+        assert!(!e.has_undelivered());
+    }
+
+    #[test]
+    fn flush_stops_at_gaps() {
+        let mut e = engine(0, &[0, 1], OrderProtocol::Symmetric);
+        e.ingest_data(msg(1, 1, 5, DeliveryOrder::Total));
+        e.ingest_data(msg(1, 3, 9, DeliveryOrder::Total)); // seq 2 lost forever
+        let flushed = e.flush_remaining();
+        assert_eq!(ids(&flushed), vec![(1, 1)], "cannot skip the FIFO gap");
+    }
+
+    #[test]
+    fn ingest_union_ignores_duplicates_and_stale_views() {
+        let mut e = engine(0, &[0, 1], OrderProtocol::Symmetric);
+        e.ingest_data(msg(1, 1, 5, DeliveryOrder::Causal));
+        let mut stale = msg(1, 2, 6, DeliveryOrder::Causal);
+        stale.view = ViewId(0);
+        e.ingest_union(vec![msg(1, 1, 5, DeliveryOrder::Causal), stale]);
+        assert_eq!(e.buffered_count(), 1);
+    }
+
+    #[test]
+    fn delivered_vector_tracks_progress() {
+        let mut e = engine(0, &[0, 1], OrderProtocol::Symmetric);
+        assert!(e.delivered_vector().is_empty());
+        e.ingest_data(msg(1, 1, 5, DeliveryOrder::Causal));
+        e.drain_deliverable();
+        assert_eq!(e.delivered_vector(), vec![(n(1), 1)]);
+        assert_eq!(e.delivered_of(n(1)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "view member")]
+    fn owner_must_be_member() {
+        let _ = engine(9, &[0, 1], OrderProtocol::Symmetric);
+    }
+}

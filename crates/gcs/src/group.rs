@@ -1,0 +1,260 @@
+//! Group identity and configuration.
+//!
+//! A group is created with a [`GroupConfig`] choosing its total-order
+//! technique ([`OrderProtocol`]) and its liveness regime ([`Liveness`]),
+//! exactly the two customisation axes §3 of the paper exposes to
+//! applications.
+
+use std::fmt;
+use std::time::Duration;
+
+use newtop_orb::cdr::{CdrDecode, CdrDecoder, CdrEncode, CdrEncoder, CdrError};
+
+/// Names a group. Members of the same group use the same id everywhere.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(String);
+
+impl GroupId {
+    /// Creates a group id from a name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        GroupId(name.into())
+    }
+
+    /// The name as a string.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for GroupId {
+    fn from(s: &str) -> Self {
+        GroupId::new(s)
+    }
+}
+
+impl From<String> for GroupId {
+    fn from(s: String) -> Self {
+        GroupId(s)
+    }
+}
+
+impl CdrEncode for GroupId {
+    fn encode(&self, enc: &mut CdrEncoder) {
+        enc.write_string(&self.0);
+    }
+}
+
+impl CdrDecode for GroupId {
+    fn decode(dec: &mut CdrDecoder<'_>) -> Result<Self, CdrError> {
+        Ok(GroupId(dec.read_string()?))
+    }
+}
+
+/// The delivery guarantee requested for one multicast.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum DeliveryOrder {
+    /// Causal order: delivered after everything that happened-before it.
+    Causal,
+    /// Causality-preserving total order: all members deliver in the same
+    /// order, consistent with causality.
+    Total,
+}
+
+impl DeliveryOrder {
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            DeliveryOrder::Causal => 0,
+            DeliveryOrder::Total => 1,
+        }
+    }
+
+    pub(crate) fn from_code(c: u8) -> Result<Self, CdrError> {
+        match c {
+            0 => Ok(DeliveryOrder::Causal),
+            1 => Ok(DeliveryOrder::Total),
+            other => Err(CdrError::BadDiscriminant(u32::from(other))),
+        }
+    }
+}
+
+/// How total order is enforced in a group (§1, §3 of the paper).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum OrderProtocol {
+    /// All members run a deterministic ordering algorithm over Lamport
+    /// timestamps; progress requires periodic protocol messages from every
+    /// member (the time-silence nulls). Best for lively peer groups.
+    Symmetric,
+    /// One member (the sequencer — the lowest-ranked member of the current
+    /// view) decides the order. Best for request-reply style groups.
+    Asymmetric,
+}
+
+/// How a multicast's per-member invocations are issued (§2.2, §5.2).
+///
+/// Present-day ORBs only offer one-to-one invocation, so a multicast is a
+/// loop of per-member invocations. Made **synchronously** ("in turn to
+/// all the members"), each invocation's round trip gates the next — the
+/// paper's request-reply path. The **asynchronous** mode models the
+/// deferred/oneway invocations the peer-participation experiments used
+/// ("multicasting by using the asynchronous method invocation
+/// operation"): invocations are issued back-to-back without waiting.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FanoutMode {
+    /// Sequential synchronous invocations; round trips chain.
+    Synchronous,
+    /// Back-to-back asynchronous invocations; only sender CPU serialises.
+    Asynchronous,
+}
+
+/// Whether the time-silence and failure-suspicion machinery runs
+/// permanently or only while application messages are in flight (§3).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Liveness {
+    /// Time-silence and suspicion active for the whole group lifetime.
+    /// Appropriate for peer groups.
+    Lively,
+    /// Active only while undelivered application messages exist (plus a
+    /// short linger); shut down when the group goes quiet. Appropriate
+    /// for request-reply groups.
+    EventDriven,
+}
+
+/// Per-group configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupConfig {
+    /// Total-order technique.
+    pub ordering: OrderProtocol,
+    /// Liveness regime.
+    pub liveness: Liveness,
+    /// Multicast fan-out style.
+    pub fanout: FanoutMode,
+    /// The time-silence period: a member that has sent nothing for this
+    /// long emits an "I am alive" null message (while the mechanism is
+    /// active).
+    pub time_silence: Duration,
+    /// A member unheard-from for `time_silence * suspicion_multiple` is
+    /// suspected to have failed.
+    pub suspicion_multiple: u32,
+    /// How long a receiver waits on a sequence gap before NACKing.
+    pub nack_delay: Duration,
+    /// How long a view-change coordinator waits for state responses (and
+    /// participants wait for the install) before escalating.
+    pub view_change_timeout: Duration,
+}
+
+impl GroupConfig {
+    /// A request-reply flavoured configuration: asymmetric ordering,
+    /// event-driven liveness.
+    #[must_use]
+    pub fn request_reply() -> Self {
+        GroupConfig {
+            ordering: OrderProtocol::Asymmetric,
+            liveness: Liveness::EventDriven,
+            ..GroupConfig::default()
+        }
+    }
+
+    /// A peer-group flavoured configuration: symmetric ordering, lively.
+    #[must_use]
+    pub fn peer() -> Self {
+        GroupConfig {
+            ordering: OrderProtocol::Symmetric,
+            liveness: Liveness::Lively,
+            fanout: FanoutMode::Asynchronous,
+            ..GroupConfig::default()
+        }
+    }
+
+    /// Sets the ordering protocol.
+    #[must_use]
+    pub fn with_ordering(mut self, ordering: OrderProtocol) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Sets the liveness regime.
+    #[must_use]
+    pub fn with_liveness(mut self, liveness: Liveness) -> Self {
+        self.liveness = liveness;
+        self
+    }
+
+    /// Sets the time-silence period.
+    #[must_use]
+    pub fn with_time_silence(mut self, period: Duration) -> Self {
+        self.time_silence = period;
+        self
+    }
+
+    /// The suspicion timeout implied by the configuration.
+    #[must_use]
+    pub fn suspicion_timeout(&self) -> Duration {
+        self.time_silence * self.suspicion_multiple
+    }
+}
+
+impl Default for GroupConfig {
+    /// Asymmetric, event-driven, 25 ms time-silence, 14× suspicion (a
+    /// loaded member's heartbeats queue behind its traffic; suspicion must
+    /// tolerate that), 10 ms NACK delay, 150 ms view-change timeout.
+    fn default() -> Self {
+        GroupConfig {
+            ordering: OrderProtocol::Asymmetric,
+            liveness: Liveness::EventDriven,
+            fanout: FanoutMode::Synchronous,
+            time_silence: Duration::from_millis(25),
+            suspicion_multiple: 14,
+            nack_delay: Duration::from_millis(10),
+            view_change_timeout: Duration::from_millis(150),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_id_round_trips_via_cdr() {
+        let g = GroupId::new("servers");
+        let b = g.to_cdr();
+        assert_eq!(GroupId::from_cdr(&b).unwrap(), g);
+        assert_eq!(g.to_string(), "servers");
+    }
+
+    #[test]
+    fn delivery_order_codes_round_trip() {
+        for o in [DeliveryOrder::Causal, DeliveryOrder::Total] {
+            assert_eq!(DeliveryOrder::from_code(o.code()).unwrap(), o);
+        }
+        assert!(DeliveryOrder::from_code(9).is_err());
+    }
+
+    #[test]
+    fn presets_match_the_paper() {
+        let rr = GroupConfig::request_reply();
+        assert_eq!(rr.ordering, OrderProtocol::Asymmetric);
+        assert_eq!(rr.liveness, Liveness::EventDriven);
+        let peer = GroupConfig::peer();
+        assert_eq!(peer.ordering, OrderProtocol::Symmetric);
+        assert_eq!(peer.liveness, Liveness::Lively);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = GroupConfig::default()
+            .with_ordering(OrderProtocol::Symmetric)
+            .with_liveness(Liveness::Lively)
+            .with_time_silence(Duration::from_millis(10));
+        assert_eq!(c.ordering, OrderProtocol::Symmetric);
+        assert_eq!(c.suspicion_timeout(), Duration::from_millis(140));
+    }
+}

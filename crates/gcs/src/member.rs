@@ -1,0 +1,1709 @@
+//! The per-node group-communication state machine.
+//!
+//! A [`GcsMember`] is the group-communication half of a NewTop service
+//! object: it manages every group its node belongs to (overlapping groups
+//! share one Lamport clock, keeping cross-group total order
+//! causality-consistent), drives the per-view [`DeliveryEngine`]s, and
+//! implements the parts of the protocol that need a network and timers:
+//!
+//! * multicast (one oneway ORB invocation per member, including a
+//!   loopback to self — the paper's per-member invocation fan-out);
+//! * NACK-based retransmission and sequencer order-log repair;
+//! * the time-silence mechanism (null messages), in *lively* or
+//!   *event-driven* mode;
+//! * the failure suspector;
+//! * view agreement: coordinator-led propose → state-response →
+//!   flush/install, giving virtually-synchronous view changes; the
+//!   protocol is partitionable (disjoint partitions install disjoint
+//!   views) and tolerates coordinator failure by re-election
+//!   (lowest-ranked candidate) with monotonic attempt numbers;
+//! * dynamic join and graceful leave.
+//!
+//! All methods are sans-IO: network sends go through a [`GcsNet`]
+//! (an ORB plus an outbox) and time is a parameter.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::error::Error;
+use std::fmt;
+
+use bytes::Bytes;
+
+use newtop_net::sim::Outbox;
+use newtop_net::site::NodeId;
+use newtop_net::time::SimTime;
+use newtop_orb::cdr::CdrEncode;
+use newtop_orb::ior::ObjectRef;
+use newtop_orb::orb::OrbCore;
+
+use crate::clock::{DepsVector, LamportClock};
+use crate::engine::DeliveryEngine;
+use crate::group::{DeliveryOrder, GroupConfig, GroupId, Liveness, OrderProtocol};
+use crate::messages::{ContigVector, DataMsg, GcsMessage, NullMsg};
+use crate::view::{View, ViewId};
+use crate::{GCS_OPERATION, NSO_OBJECT_KEY};
+
+/// Maximum retransmissions served per NACK.
+const MAX_RETRANS_PER_NACK: u64 = 64;
+/// Maximum order-log entries served per order NACK.
+const MAX_ORDER_ENTRIES_PER_NACK: usize = 256;
+/// Activity linger: an event-driven group keeps its liveness machinery
+/// running for this many time-silence periods after the last activity.
+const EVENT_DRIVEN_LINGER: u32 = 3;
+/// How many times a view-change round is re-sent on timeout before the
+/// silent party is written off (agreement traffic is not NACK-protected,
+/// so a lost message must not immediately look like a crash).
+const VC_RETRIES: u32 = 2;
+/// Minimum spacing between a sequencer's ordering multicasts. When
+/// records become due faster than this, they are batched into one
+/// `SeqOrder` — at light load every record still goes out immediately.
+const ORDER_FLUSH_INTERVAL: std::time::Duration = std::time::Duration::from_micros(500);
+
+/// Errors returned by the group API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GcsError {
+    /// The node is not in the named group.
+    UnknownGroup(GroupId),
+    /// The node already belongs to the named group.
+    AlreadyMember(GroupId),
+    /// The operation needs full membership but the node is still joining.
+    NotMember(GroupId),
+    /// `create_group` was called with a member list not containing the
+    /// local node, or an empty list.
+    BadMembership,
+}
+
+impl fmt::Display for GcsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GcsError::UnknownGroup(g) => write!(f, "unknown group {g}"),
+            GcsError::AlreadyMember(g) => write!(f, "already a member of {g}"),
+            GcsError::NotMember(g) => write!(f, "not a full member of {g}"),
+            GcsError::BadMembership => {
+                f.write_str("initial membership must include the local node")
+            }
+        }
+    }
+}
+
+impl Error for GcsError {}
+
+/// Things the GCS hands up to the invocation layer / application.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GcsOutput {
+    /// A multicast became deliverable.
+    Delivered {
+        /// Group it was sent in.
+        group: GroupId,
+        /// The multicasting member (may be the local node itself).
+        sender: NodeId,
+        /// The guarantee it was sent with.
+        order: DeliveryOrder,
+        /// The message's Lamport timestamp (diagnostic; symmetric total
+        /// order delivers in `(lamport, sender)` order).
+        lamport: u64,
+        /// Application payload.
+        payload: Bytes,
+    },
+    /// A new view was installed.
+    ViewInstalled {
+        /// Group concerned.
+        group: GroupId,
+        /// The new view.
+        view: View,
+        /// Members present now but not before.
+        joined: Vec<NodeId>,
+        /// Members present before but not now.
+        departed: Vec<NodeId>,
+    },
+    /// The local node has left the group (after
+    /// [`GcsMember::leave_group`]).
+    LeftGroup {
+        /// Group concerned.
+        group: GroupId,
+    },
+}
+
+/// The network context for one call: the node's ORB plus the outbox the
+/// runtime will apply.
+pub struct GcsNet<'a> {
+    /// The node's ORB core.
+    pub orb: &'a mut OrbCore,
+    /// The action sink.
+    pub out: &'a mut Outbox,
+}
+
+impl<'a> GcsNet<'a> {
+    /// Creates a context.
+    pub fn new(orb: &'a mut OrbCore, out: &'a mut Outbox) -> Self {
+        GcsNet { orb, out }
+    }
+
+    fn send(&mut self, to: NodeId, msg: &GcsMessage) {
+        let body = msg.to_cdr();
+        self.orb.oneway(
+            &ObjectRef::new(to, NSO_OBJECT_KEY),
+            GCS_OPERATION,
+            body,
+            self.out,
+        );
+    }
+
+    /// Sends one message to many members as a single multicast fan-out.
+    /// Synchronous mode chains the per-member invocations' round trips
+    /// (§2.2); asynchronous mode issues them back-to-back (§5.2).
+    fn send_fanout<I: IntoIterator<Item = NodeId>>(
+        &mut self,
+        mode: crate::group::FanoutMode,
+        targets: I,
+        msg: &GcsMessage,
+    ) {
+        if mode == crate::group::FanoutMode::Synchronous {
+            self.out.begin_fanout();
+        }
+        for t in targets {
+            self.send(t, msg);
+        }
+        self.out.end_fanout();
+    }
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum TimerKind {
+    Null,
+    Suspicion,
+    NackScan,
+    ViewChange,
+    JoinRetry,
+    OrderFlush,
+}
+
+#[derive(Clone, Debug)]
+struct TimerRoute {
+    group: GroupId,
+    kind: TimerKind,
+    /// For `ViewChange`: the attempt this timer guards. Stale fires are
+    /// ignored.
+    stamp: u64,
+}
+
+#[derive(Debug)]
+enum Role {
+    Member,
+    Joining { contact: NodeId },
+}
+
+#[derive(Debug)]
+struct VcState {
+    attempt: u64,
+    coordinator: NodeId,
+    candidates: Vec<NodeId>,
+    /// Coordinator only: received state responses (self included).
+    responses: BTreeMap<NodeId, ContigVector>,
+    /// Agreement messages are not NACK-protected; on timeout they are
+    /// re-sent this many times before anyone is given up on.
+    retries: u32,
+    /// Participant only: the coordinator's received-vector from the
+    /// proposal, kept so a state response can be re-sent verbatim.
+    coord_contig: ContigVector,
+}
+
+#[derive(Debug)]
+struct GroupState {
+    config: GroupConfig,
+    role: Role,
+    view: View,
+    engine: DeliveryEngine,
+    next_seq: u64,
+    /// Highest view-agreement attempt seen or used.
+    attempt: u64,
+    last_heard: BTreeMap<NodeId, SimTime>,
+    suspects: BTreeSet<NodeId>,
+    joiners: BTreeSet<NodeId>,
+    leavers: BTreeSet<NodeId>,
+    vc: Option<VcState>,
+    /// The last install this member sent as coordinator, kept so a
+    /// participant whose install was lost (it re-sends its state
+    /// response) can be served again.
+    last_install: Option<(u64, View, Vec<DataMsg>)>,
+    last_sent: SimTime,
+    last_activity: SimTime,
+    liveness_running: bool,
+    nack_scheduled: bool,
+    /// Sequencer only: ordering records not yet multicast, and the pacing
+    /// state of the batching described at [`ORDER_FLUSH_INTERVAL`].
+    pending_order: Vec<(NodeId, u64)>,
+    last_order_flush: SimTime,
+    order_flush_scheduled: bool,
+}
+
+impl GroupState {
+    fn is_member(&self) -> bool {
+        matches!(self.role, Role::Member)
+    }
+}
+
+/// The group-communication state machine for one node. See the
+/// [module docs](self).
+pub struct GcsMember {
+    node: NodeId,
+    clock: LamportClock,
+    groups: BTreeMap<GroupId, GroupState>,
+    timer_routes: HashMap<u64, TimerRoute>,
+    tag_base: u64,
+    next_tag: u64,
+    /// Outputs produced by internal handlers, drained by the public entry
+    /// points.
+    pending: Vec<GcsOutput>,
+}
+
+impl fmt::Debug for GcsMember {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GcsMember")
+            .field("node", &self.node)
+            .field("groups", &self.groups.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl GcsMember {
+    /// Creates the state machine for `node`. Timer tags handed to the
+    /// outbox are offset by `tag_base` so several components can share one
+    /// node's tag space.
+    #[must_use]
+    pub fn new(node: NodeId, tag_base: u64) -> Self {
+        GcsMember {
+            node,
+            clock: LamportClock::new(),
+            groups: BTreeMap::new(),
+            timer_routes: HashMap::new(),
+            tag_base,
+            next_tag: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The local node.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The node's current Lamport clock value (shared by all its groups).
+    #[must_use]
+    pub fn clock_value(&self) -> u64 {
+        self.clock.value()
+    }
+
+    /// The current view of a group, if the node belongs to it.
+    #[must_use]
+    pub fn view_of(&self, group: &GroupId) -> Option<&View> {
+        self.groups.get(group).map(|g| &g.view)
+    }
+
+    /// Whether the node is a *full* member of the group (joined and not
+    /// left).
+    #[must_use]
+    pub fn is_member_of(&self, group: &GroupId) -> bool {
+        self.groups.get(group).is_some_and(GroupState::is_member)
+    }
+
+    /// The groups this node currently belongs to (including ones still
+    /// joining).
+    pub fn group_ids(&self) -> impl Iterator<Item = &GroupId> {
+        self.groups.keys()
+    }
+
+    /// Whether `tag` belongs to one of this member's timers.
+    #[must_use]
+    pub fn owns_tag(&self, tag: u64) -> bool {
+        self.timer_routes.contains_key(&tag)
+    }
+
+    /// Internal-state summary for debugging and tests.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn diagnostics(&self, group: &GroupId) -> String {
+        let Some(state) = self.groups.get(group) else {
+            return "no such group".to_owned();
+        };
+        format!(
+            "view={} missing={:?} order_gap={:?} order_len={} buffered={} undelivered={} nack_sched={} vc={} suspects={:?} delivered={:?} contig={:?}",
+            state.view,
+            state.engine.missing_ranges(),
+            state.engine.order_gap(),
+            state.engine.order_log_len(),
+            state.engine.buffered_count(),
+            state.engine.has_undelivered(),
+            state.nack_scheduled,
+            state.vc.is_some(),
+            state.suspects,
+            state.engine.delivered_vector(),
+            state.engine.contig_vector(),
+        )
+    }
+
+    // --- group API ---------------------------------------------------------
+
+    /// Creates (statically bootstraps) a group whose full initial
+    /// membership is known to every initial member — the configuration
+    /// used by all the paper's experiments. Every listed node must call
+    /// `create_group` with the same arguments.
+    ///
+    /// # Errors
+    ///
+    /// [`GcsError::AlreadyMember`] if this node already has the group;
+    /// [`GcsError::BadMembership`] if `members` is empty or omits the
+    /// local node.
+    pub fn create_group(
+        &mut self,
+        group: GroupId,
+        config: GroupConfig,
+        members: Vec<NodeId>,
+        now: SimTime,
+        net: &mut GcsNet<'_>,
+    ) -> Result<Vec<GcsOutput>, GcsError> {
+        if self.groups.contains_key(&group) {
+            return Err(GcsError::AlreadyMember(group));
+        }
+        if members.is_empty() || !members.contains(&self.node) {
+            return Err(GcsError::BadMembership);
+        }
+        let view = View::new(group.clone(), ViewId(1), members);
+        let engine = DeliveryEngine::new(
+            self.node,
+            view.id(),
+            view.members().to_vec(),
+            config.ordering,
+        );
+        let state = GroupState {
+            config,
+            role: Role::Member,
+            view: view.clone(),
+            engine,
+            next_seq: 1,
+            attempt: 0,
+            last_heard: view.members().iter().map(|&m| (m, now)).collect(),
+            suspects: BTreeSet::new(),
+            joiners: BTreeSet::new(),
+            leavers: BTreeSet::new(),
+            vc: None,
+            last_install: None,
+            last_sent: now,
+            last_activity: now,
+            liveness_running: false,
+            nack_scheduled: false,
+            pending_order: Vec::new(),
+            last_order_flush: SimTime::ZERO,
+            order_flush_scheduled: false,
+        };
+        self.groups.insert(group.clone(), state);
+        self.ensure_liveness(&group, now, net);
+        Ok(vec![GcsOutput::ViewInstalled {
+            group,
+            view: view.clone(),
+            joined: view.members().to_vec(),
+            departed: Vec::new(),
+        }])
+    }
+
+    /// Starts joining an existing group through `contact`, a current
+    /// member. Completion is signalled by a [`GcsOutput::ViewInstalled`]
+    /// containing the local node.
+    ///
+    /// # Errors
+    ///
+    /// [`GcsError::AlreadyMember`] if this node already has the group.
+    pub fn join_group(
+        &mut self,
+        group: GroupId,
+        config: GroupConfig,
+        contact: NodeId,
+        now: SimTime,
+        net: &mut GcsNet<'_>,
+    ) -> Result<(), GcsError> {
+        if self.groups.contains_key(&group) {
+            return Err(GcsError::AlreadyMember(group));
+        }
+        // Placeholder view until the install arrives.
+        let view = View::new(group.clone(), ViewId(0), vec![self.node]);
+        let engine = DeliveryEngine::new(self.node, view.id(), vec![self.node], config.ordering);
+        let retry = config.view_change_timeout;
+        self.groups.insert(
+            group.clone(),
+            GroupState {
+                config,
+                role: Role::Joining { contact },
+                view,
+                engine,
+                next_seq: 1,
+                attempt: 0,
+                last_heard: BTreeMap::new(),
+                suspects: BTreeSet::new(),
+                joiners: BTreeSet::new(),
+                leavers: BTreeSet::new(),
+                vc: None,
+                last_install: None,
+                last_sent: now,
+                last_activity: now,
+                liveness_running: false,
+                nack_scheduled: false,
+                pending_order: Vec::new(),
+                last_order_flush: SimTime::ZERO,
+                order_flush_scheduled: false,
+            },
+        );
+        net.send(
+            contact,
+            &GcsMessage::Join {
+                group: group.clone(),
+                joiner: self.node,
+            },
+        );
+        self.schedule(&group, TimerKind::JoinRetry, retry, 0, net);
+        Ok(())
+    }
+
+    /// Gracefully leaves a group. The remaining members run a view change
+    /// excluding this node.
+    ///
+    /// # Errors
+    ///
+    /// [`GcsError::UnknownGroup`] if the node is not in the group.
+    pub fn leave_group(
+        &mut self,
+        group: &GroupId,
+        _now: SimTime,
+        net: &mut GcsNet<'_>,
+    ) -> Result<Vec<GcsOutput>, GcsError> {
+        let state = self
+            .groups
+            .remove(group)
+            .ok_or_else(|| GcsError::UnknownGroup(group.clone()))?;
+        if state.is_member() {
+            let msg = GcsMessage::Leave {
+                group: group.clone(),
+                view: state.view.id(),
+                leaver: self.node,
+            };
+            let me = self.node;
+            let targets: Vec<NodeId> =
+                state.view.members().iter().copied().filter(|&m| m != me).collect();
+            net.send_fanout(state.config.fanout, targets, &msg);
+        }
+        self.timer_routes.retain(|_, r| &r.group != group);
+        Ok(vec![GcsOutput::LeftGroup {
+            group: group.clone(),
+        }])
+    }
+
+    /// Multicasts `payload` to the group with the requested delivery
+    /// guarantee. The message is also looped back to the local node and
+    /// surfaces as a [`GcsOutput::Delivered`] once its order is decided.
+    ///
+    /// # Errors
+    ///
+    /// [`GcsError::UnknownGroup`] / [`GcsError::NotMember`] when the node
+    /// cannot send in this group.
+    pub fn multicast(
+        &mut self,
+        group: &GroupId,
+        order: DeliveryOrder,
+        payload: Bytes,
+        now: SimTime,
+        net: &mut GcsNet<'_>,
+    ) -> Result<(), GcsError> {
+        if !self.groups.contains_key(group) {
+            return Err(GcsError::UnknownGroup(group.clone()));
+        }
+        if !self.groups[group].is_member() {
+            return Err(GcsError::NotMember(group.clone()));
+        }
+        let lamport = self.clock.tick();
+        let node = self.node;
+        let state = self.groups.get_mut(group).expect("checked");
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        let msg = DataMsg {
+            group: group.clone(),
+            view: state.view.id(),
+            sender: node,
+            seq,
+            lamport,
+            order,
+            deps: DepsVector::from_pairs(state.engine.delivered_vector()),
+            acks: state.engine.contig_vector(),
+            payload,
+        };
+        let wire = GcsMessage::Data(msg);
+        let targets: Vec<NodeId> = state.view.members().to_vec();
+        net.send_fanout(state.config.fanout, targets, &wire);
+        state.last_sent = now;
+        state.last_activity = now;
+        self.ensure_liveness(group, now, net);
+        Ok(())
+    }
+
+    // --- event entry points --------------------------------------------------
+
+    /// Handles a group-communication message (already unmarshalled by the
+    /// owner from the `gcs` ORB operation).
+    pub fn on_message(
+        &mut self,
+        msg: GcsMessage,
+        now: SimTime,
+        net: &mut GcsNet<'_>,
+    ) -> Vec<GcsOutput> {
+        let group = msg.group().clone();
+        if !self.groups.contains_key(&group) {
+            return Vec::new();
+        }
+        match msg {
+            GcsMessage::Data(d) => self.on_data(&group, d, now, net),
+            GcsMessage::Null(n) => self.on_null(&group, n, now, net),
+            GcsMessage::Nack {
+                view,
+                from,
+                sender,
+                from_seq,
+                to_seq,
+                ..
+            } => self.on_nack(&group, view, from, sender, from_seq, to_seq, net),
+            GcsMessage::SeqOrder {
+                view,
+                sender,
+                lamport,
+                start,
+                entries,
+                ..
+            } => self.on_seq_order(&group, view, sender, lamport, start, entries, now, net),
+            GcsMessage::OrderNack {
+                view,
+                from,
+                from_order_seq,
+                ..
+            } => self.on_order_nack(&group, view, from, from_order_seq, net),
+            GcsMessage::Join { joiner, .. } => self.on_join(&group, joiner, now, net),
+            GcsMessage::Leave { view, leaver, .. } => self.on_leave(&group, view, leaver, now, net),
+            GcsMessage::Suspect {
+                from,
+                suspects,
+                joiners,
+                ..
+            } => self.on_suspect(&group, from, suspects, joiners, now, net),
+            GcsMessage::Propose {
+                attempt,
+                coordinator,
+                candidates,
+                old_view,
+                coord_contig,
+                ..
+            } => self.on_propose(
+                &group,
+                attempt,
+                coordinator,
+                candidates,
+                old_view,
+                coord_contig,
+                now,
+                net,
+            ),
+            GcsMessage::StateResp {
+                attempt,
+                from,
+                contig,
+                msgs,
+                ..
+            } => self.on_state_resp(&group, attempt, from, contig, msgs, now, net),
+            GcsMessage::Install {
+                attempt,
+                view,
+                msgs,
+                ..
+            } => self.on_install(&group, attempt, view, msgs, now, net),
+        }
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Handles a fired timer whose tag belongs to this member
+    /// ([`Self::owns_tag`]).
+    pub fn on_timer(&mut self, tag: u64, now: SimTime, net: &mut GcsNet<'_>) -> Vec<GcsOutput> {
+        let Some(route) = self.timer_routes.remove(&tag) else {
+            return Vec::new();
+        };
+        if !self.groups.contains_key(&route.group) {
+            return Vec::new();
+        }
+        match route.kind {
+            TimerKind::Null => self.on_null_timer(&route.group, now, net),
+            TimerKind::Suspicion => self.on_suspicion_timer(&route.group, now, net),
+            TimerKind::NackScan => self.on_nack_timer(&route.group, now, net),
+            TimerKind::ViewChange => self.on_vc_timer(&route.group, route.stamp, now, net),
+            TimerKind::JoinRetry => self.on_join_retry(&route.group, now, net),
+            TimerKind::OrderFlush => self.on_order_flush_timer(&route.group, now, net),
+        }
+        std::mem::take(&mut self.pending)
+    }
+
+    // --- data path -----------------------------------------------------------
+
+    fn on_data(&mut self, group: &GroupId, d: DataMsg, now: SimTime, net: &mut GcsNet<'_>) {
+        self.clock.observe(d.lamport);
+        let state = self.groups.get_mut(group).expect("checked");
+        if !state.is_member() || d.view != state.view.id() {
+            return;
+        }
+        state.last_heard.insert(d.sender, now);
+        state.last_activity = now;
+        state.engine.apply_acks(d.sender, &d.acks);
+        let _ = state.engine.ingest_data(d);
+        self.after_ingest(group, now, net);
+    }
+
+    fn on_null(&mut self, group: &GroupId, n: NullMsg, now: SimTime, net: &mut GcsNet<'_>) {
+        self.clock.observe(n.lamport);
+        let state = self.groups.get_mut(group).expect("checked");
+        if !state.is_member() || n.view != state.view.id() {
+            return;
+        }
+        state.last_heard.insert(n.sender, now);
+        state.engine.note_null(n.sender, n.lamport, n.last_seq);
+        state.engine.apply_acks(n.sender, &n.acks);
+        self.after_ingest(group, now, net);
+    }
+
+    /// Common post-ingest path: run the sequencer, drain deliveries,
+    /// schedule gap repair, keep liveness running.
+    fn after_ingest(&mut self, group: &GroupId, now: SimTime, net: &mut GcsNet<'_>) {
+        let sequencer_duty = {
+            let state = &self.groups[group];
+            state.is_member()
+                && state.config.ordering == OrderProtocol::Asymmetric
+                && state.engine.is_sequencer()
+        };
+        if sequencer_duty {
+            let state = self.groups.get_mut(group).expect("checked");
+            let entries = state.engine.sequencer_poll();
+            state.pending_order.extend(entries);
+            if !state.pending_order.is_empty() {
+                // Rate-limited flush: immediate when the group is quiet,
+                // batched when records arrive faster than the interval.
+                if now.saturating_since(state.last_order_flush) >= ORDER_FLUSH_INTERVAL {
+                    self.flush_order_records(group, now, net);
+                } else if !state.order_flush_scheduled {
+                    state.order_flush_scheduled = true;
+                    self.schedule(group, TimerKind::OrderFlush, ORDER_FLUSH_INTERVAL, 0, net);
+                }
+            }
+        }
+        let state = self.groups.get_mut(group).expect("checked");
+        for m in state.engine.drain_deliverable() {
+            self.pending.push(GcsOutput::Delivered {
+                group: group.clone(),
+                sender: m.sender,
+                order: m.order,
+                lamport: m.lamport,
+                payload: m.payload,
+            });
+        }
+        state.engine.gc_stable();
+        let needs_scan = !state.nack_scheduled
+            && (!state.engine.missing_ranges().is_empty() || state.engine.order_gap().is_some());
+        let delay = state.config.nack_delay;
+        if needs_scan {
+            state.nack_scheduled = true;
+            self.schedule(group, TimerKind::NackScan, delay, 0, net);
+        }
+        self.ensure_liveness(group, now, net);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_nack(
+        &mut self,
+        group: &GroupId,
+        view: ViewId,
+        from: NodeId,
+        sender: NodeId,
+        from_seq: u64,
+        to_seq: u64,
+        net: &mut GcsNet<'_>,
+    ) {
+        let state = &self.groups[group];
+        if view != state.view.id() || !state.is_member() {
+            return;
+        }
+        let to_seq = to_seq.min(from_seq.saturating_add(MAX_RETRANS_PER_NACK));
+        for seq in from_seq..=to_seq {
+            if let Some(m) = state.engine.get_buffered(sender, seq) {
+                net.send(from, &GcsMessage::Data(m.clone()));
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_seq_order(
+        &mut self,
+        group: &GroupId,
+        view: ViewId,
+        sender: NodeId,
+        lamport: u64,
+        start: u64,
+        entries: Vec<(NodeId, u64)>,
+        now: SimTime,
+        net: &mut GcsNet<'_>,
+    ) {
+        self.clock.observe(lamport);
+        let state = self.groups.get_mut(group).expect("checked");
+        if !state.is_member() || view != state.view.id() {
+            return;
+        }
+        state.last_heard.insert(sender, now);
+        state.engine.ingest_order(start, &entries);
+        self.after_ingest(group, now, net);
+    }
+
+    fn on_order_nack(
+        &mut self,
+        group: &GroupId,
+        view: ViewId,
+        from: NodeId,
+        from_order_seq: u64,
+        net: &mut GcsNet<'_>,
+    ) {
+        let state = &self.groups[group];
+        if view != state.view.id() || !state.is_member() || !state.engine.is_sequencer() {
+            return;
+        }
+        let (start, entries) = state
+            .engine
+            .order_log_slice(from_order_seq, MAX_ORDER_ENTRIES_PER_NACK);
+        if entries.is_empty() {
+            return;
+        }
+        net.send(
+            from,
+            &GcsMessage::SeqOrder {
+                group: group.clone(),
+                view,
+                sender: self.node,
+                lamport: self.clock.value(),
+                start,
+                entries,
+            },
+        );
+    }
+
+    // --- membership events -----------------------------------------------------
+
+    fn on_join(&mut self, group: &GroupId, joiner: NodeId, now: SimTime, net: &mut GcsNet<'_>) {
+        let state = self.groups.get_mut(group).expect("checked");
+        if !state.is_member() || state.view.contains(joiner) {
+            return;
+        }
+        if state.joiners.insert(joiner) {
+            self.initiate_view_change(group, now, net);
+        }
+    }
+
+    fn on_leave(
+        &mut self,
+        group: &GroupId,
+        view: ViewId,
+        leaver: NodeId,
+        now: SimTime,
+        net: &mut GcsNet<'_>,
+    ) {
+        let state = self.groups.get_mut(group).expect("checked");
+        if !state.is_member() || view != state.view.id() || !state.view.contains(leaver) {
+            return;
+        }
+        if state.leavers.insert(leaver) {
+            self.initiate_view_change(group, now, net);
+        }
+    }
+
+    fn on_suspect(
+        &mut self,
+        group: &GroupId,
+        from: NodeId,
+        suspects: Vec<NodeId>,
+        joiners: Vec<NodeId>,
+        now: SimTime,
+        net: &mut GcsNet<'_>,
+    ) {
+        let node = self.node;
+        let state = self.groups.get_mut(group).expect("checked");
+        if !state.is_member() {
+            return;
+        }
+        state.last_heard.insert(from, now);
+        let mut changed = false;
+        for s in suspects {
+            if s != node && state.view.contains(s) {
+                changed |= state.suspects.insert(s);
+            }
+        }
+        for j in joiners {
+            if !state.view.contains(j) {
+                changed |= state.joiners.insert(j);
+            }
+        }
+        if changed {
+            self.initiate_view_change(group, now, net);
+        }
+    }
+
+    /// Computes the next candidate membership and either coordinates or
+    /// reports to the coordinator.
+    fn initiate_view_change(&mut self, group: &GroupId, now: SimTime, net: &mut GcsNet<'_>) {
+        let node = self.node;
+        let state = self.groups.get_mut(group).expect("checked");
+        if !state.is_member() {
+            return;
+        }
+        let mut candidates: Vec<NodeId> = state
+            .view
+            .members()
+            .iter()
+            .copied()
+            .filter(|m| !state.suspects.contains(m) && !state.leavers.contains(m))
+            .chain(state.joiners.iter().copied())
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        if candidates.is_empty() || !candidates.contains(&node) {
+            return;
+        }
+        // Already agreeing on exactly this membership? Let it run.
+        if let Some(vc) = &state.vc {
+            if vc.candidates == candidates {
+                return;
+            }
+        }
+        let coordinator = candidates[0];
+        if coordinator == node {
+            self.start_agreement(group, candidates, now, net);
+        } else {
+            // Report what we know and arm a timeout in case the
+            // coordinator never acts.
+            let msg = GcsMessage::Suspect {
+                group: group.clone(),
+                view: state.view.id(),
+                from: node,
+                suspects: state.suspects.iter().copied().collect(),
+                joiners: state.joiners.iter().copied().collect(),
+            };
+            net.send(coordinator, &msg);
+            let timeout = state.config.view_change_timeout;
+            let stamp = state.attempt + 1;
+            self.schedule(group, TimerKind::ViewChange, timeout, stamp, net);
+        }
+    }
+
+    fn start_agreement(
+        &mut self,
+        group: &GroupId,
+        candidates: Vec<NodeId>,
+        now: SimTime,
+        net: &mut GcsNet<'_>,
+    ) {
+        let node = self.node;
+        let state = self.groups.get_mut(group).expect("checked");
+        state.attempt += 1;
+        let attempt = state.attempt;
+        let contig = state.engine.contig_vector();
+        let mut responses = BTreeMap::new();
+        responses.insert(node, contig.clone());
+        state.vc = Some(VcState {
+            attempt,
+            coordinator: node,
+            candidates: candidates.clone(),
+            responses,
+            retries: 0,
+            coord_contig: Vec::new(),
+        });
+        let msg = GcsMessage::Propose {
+            group: group.clone(),
+            attempt,
+            coordinator: node,
+            candidates: candidates.clone(),
+            old_view: state.view.id(),
+            coord_contig: contig,
+        };
+        let fanout = state.config.fanout;
+        net.send_fanout(
+            fanout,
+            candidates.iter().copied().filter(|&c| c != node),
+            &msg,
+        );
+        let timeout = state.config.view_change_timeout;
+        self.schedule(group, TimerKind::ViewChange, timeout, attempt, net);
+        self.ensure_liveness(group, now, net);
+        // Single-survivor case resolves immediately.
+        self.maybe_finish_agreement(group, now, net);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_propose(
+        &mut self,
+        group: &GroupId,
+        attempt: u64,
+        coordinator: NodeId,
+        candidates: Vec<NodeId>,
+        old_view: ViewId,
+        coord_contig: ContigVector,
+        now: SimTime,
+        net: &mut GcsNet<'_>,
+    ) {
+        let node = self.node;
+        let state = self.groups.get_mut(group).expect("checked");
+        if !candidates.contains(&node) {
+            return;
+        }
+        if state.is_member() && old_view != state.view.id() {
+            return; // proposal against a view we no longer hold
+        }
+        if attempt < state.attempt {
+            return; // stale attempt
+        }
+        if let Some(vc) = &state.vc {
+            if (attempt, coordinator) < (vc.attempt, vc.coordinator) {
+                return;
+            }
+        }
+        state.attempt = attempt;
+        state.last_heard.insert(coordinator, now);
+        state.vc = Some(VcState {
+            attempt,
+            coordinator,
+            candidates,
+            responses: BTreeMap::new(),
+            retries: 0,
+            coord_contig: coord_contig.clone(),
+        });
+        let (contig, msgs) = if state.is_member() {
+            (
+                state.engine.contig_vector(),
+                state.engine.export_msgs_beyond(&coord_contig),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        net.send(
+            coordinator,
+            &GcsMessage::StateResp {
+                group: group.clone(),
+                attempt,
+                from: node,
+                contig,
+                msgs,
+            },
+        );
+        let timeout = state.config.view_change_timeout;
+        self.schedule(group, TimerKind::ViewChange, timeout, attempt, net);
+        self.ensure_liveness(group, now, net);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_state_resp(
+        &mut self,
+        group: &GroupId,
+        attempt: u64,
+        from: NodeId,
+        contig: ContigVector,
+        msgs: Vec<DataMsg>,
+        now: SimTime,
+        net: &mut GcsNet<'_>,
+    ) {
+        let node = self.node;
+        let state = self.groups.get_mut(group).expect("checked");
+        state.last_heard.insert(from, now);
+        {
+            let Some(vc) = state.vc.as_mut() else {
+                // The agreement already finished here; if this responder
+                // is still waiting, its install was lost — serve it
+                // again.
+                if let Some((last_attempt, view, msgs)) = state.last_install.clone() {
+                    if last_attempt == attempt && view.contains(from) {
+                        net.send(
+                            from,
+                            &GcsMessage::Install {
+                                group: group.clone(),
+                                attempt,
+                                view,
+                                msgs,
+                            },
+                        );
+                    }
+                }
+                return;
+            };
+            if vc.coordinator != node || vc.attempt != attempt {
+                return;
+            }
+            vc.responses.insert(from, contig);
+        }
+        if state.is_member() {
+            state.engine.ingest_union(msgs);
+        }
+        self.maybe_finish_agreement(group, now, net);
+    }
+
+    /// Coordinator: if every candidate has responded, build and send the
+    /// install (and apply it locally).
+    fn maybe_finish_agreement(&mut self, group: &GroupId, now: SimTime, net: &mut GcsNet<'_>) {
+        let node = self.node;
+        let (new_view, union, attempt) = {
+            let state = &self.groups[group];
+            let Some(vc) = state.vc.as_ref() else {
+                return;
+            };
+            if vc.coordinator != node {
+                return;
+            }
+            if !vc.candidates.iter().all(|c| vc.responses.contains_key(c)) {
+                return;
+            }
+            // Ship every message above the pointwise minimum of the
+            // responders' received vectors.
+            let mut floor: BTreeMap<NodeId, u64> = BTreeMap::new();
+            let mut first = true;
+            for contig in vc.responses.values() {
+                let as_map: BTreeMap<NodeId, u64> = contig.iter().copied().collect();
+                if first {
+                    floor = as_map;
+                    first = false;
+                } else {
+                    let keys: BTreeSet<NodeId> =
+                        floor.keys().chain(as_map.keys()).copied().collect();
+                    floor = keys
+                        .into_iter()
+                        .map(|k| {
+                            let a = floor.get(&k).copied().unwrap_or(0);
+                            let b = as_map.get(&k).copied().unwrap_or(0);
+                            (k, a.min(b))
+                        })
+                        .collect();
+                }
+            }
+            let floor_vec: ContigVector = floor.into_iter().collect();
+            let union = state.engine.export_msgs_beyond(&floor_vec);
+            let new_view = View::new(group.clone(), state.view.id().next(), vc.candidates.clone());
+            (new_view, union, vc.attempt)
+        };
+        let msg = GcsMessage::Install {
+            group: group.clone(),
+            attempt,
+            view: new_view.clone(),
+            msgs: union.clone(),
+        };
+        let fanout = self.groups[group].config.fanout;
+        net.send_fanout(
+            fanout,
+            new_view.members().iter().copied().filter(|&c| c != node),
+            &msg,
+        );
+        self.apply_install(group, new_view.clone(), union.clone(), now, net);
+        // Kept *after* the local install (which resets per-view state) so
+        // a participant whose install was lost can be served again.
+        self.groups.get_mut(group).expect("checked").last_install =
+            Some((attempt, new_view, union));
+    }
+
+    fn on_install(
+        &mut self,
+        group: &GroupId,
+        attempt: u64,
+        view: View,
+        msgs: Vec<DataMsg>,
+        now: SimTime,
+        net: &mut GcsNet<'_>,
+    ) {
+        {
+            let state = self.groups.get_mut(group).expect("checked");
+            if !view.contains(self.node) {
+                return;
+            }
+            if state.is_member() && view.id() <= state.view.id() {
+                return; // stale install
+            }
+            state.attempt = state.attempt.max(attempt);
+        }
+        self.apply_install(group, view, msgs, now, net);
+    }
+
+    /// Flush the old view, install the new one.
+    fn apply_install(
+        &mut self,
+        group: &GroupId,
+        view: View,
+        msgs: Vec<DataMsg>,
+        now: SimTime,
+        net: &mut GcsNet<'_>,
+    ) {
+        let node = self.node;
+        let state = self.groups.get_mut(group).expect("checked");
+        let was_member = state.is_member();
+        if was_member {
+            state.engine.ingest_union(msgs);
+            for m in state.engine.flush_remaining() {
+                self.pending.push(GcsOutput::Delivered {
+                    group: group.clone(),
+                    sender: m.sender,
+                    order: m.order,
+                    lamport: m.lamport,
+                    payload: m.payload,
+                });
+            }
+        }
+        let state = self.groups.get_mut(group).expect("checked");
+        let old_view = std::mem::replace(&mut state.view, view.clone());
+        let joined = if was_member {
+            view.members_not_in(&old_view)
+        } else {
+            view.members().to_vec()
+        };
+        let departed = if was_member {
+            old_view.members_not_in(&view)
+        } else {
+            Vec::new()
+        };
+        state.engine = DeliveryEngine::new(
+            node,
+            view.id(),
+            view.members().to_vec(),
+            state.config.ordering,
+        );
+        state.role = Role::Member;
+        state.next_seq = 1;
+        state.last_heard = view.members().iter().map(|&m| (m, now)).collect();
+        state.suspects.clear();
+        state.leavers.clear();
+        state.joiners.retain(|j| !view.contains(*j));
+        state.vc = None;
+        state.last_activity = now;
+        state.liveness_running = false;
+        state.pending_order.clear();
+        state.order_flush_scheduled = false;
+        // A newer view supersedes any install this member coordinated
+        // earlier (keep it only if it IS this install, set right after).
+        state.last_install = None;
+        let more_joiners = !state.joiners.is_empty();
+        self.pending.push(GcsOutput::ViewInstalled {
+            group: group.clone(),
+            view,
+            joined,
+            departed,
+        });
+        self.ensure_liveness(group, now, net);
+        if more_joiners {
+            self.initiate_view_change(group, now, net);
+        }
+    }
+
+    // --- timers ------------------------------------------------------------------
+
+    fn on_null_timer(&mut self, group: &GroupId, now: SimTime, net: &mut GcsNet<'_>) {
+        let node = self.node;
+        if !self.should_run_liveness(group, now) {
+            self.groups.get_mut(group).expect("checked").liveness_running = false;
+            return;
+        }
+        let period = self.groups[group].config.time_silence;
+        if now.saturating_since(self.groups[group].last_sent) >= period {
+            let lamport = self.clock.tick();
+            let state = self.groups.get_mut(group).expect("checked");
+            let msg = GcsMessage::Null(NullMsg {
+                group: group.clone(),
+                view: state.view.id(),
+                sender: node,
+                lamport,
+                last_seq: state.next_seq - 1,
+                acks: state.engine.contig_vector(),
+            });
+            let targets: Vec<NodeId> =
+                state.view.members().iter().copied().filter(|&m| m != node).collect();
+            net.send_fanout(state.config.fanout, targets, &msg);
+            state.last_sent = now;
+        }
+        self.schedule(group, TimerKind::Null, period, 0, net);
+    }
+
+    fn on_suspicion_timer(&mut self, group: &GroupId, now: SimTime, net: &mut GcsNet<'_>) {
+        let node = self.node;
+        if !self.should_run_liveness(group, now) {
+            self.groups.get_mut(group).expect("checked").liveness_running = false;
+            return;
+        }
+        let state = self.groups.get_mut(group).expect("checked");
+        let timeout = state.config.suspicion_timeout();
+        let mut newly_suspected = false;
+        for &m in state.view.members() {
+            if m == node || state.suspects.contains(&m) {
+                continue;
+            }
+            let heard = state.last_heard.get(&m).copied().unwrap_or(SimTime::ZERO);
+            if now.saturating_since(heard) > timeout {
+                state.suspects.insert(m);
+                newly_suspected = true;
+            }
+        }
+        let period = state.config.time_silence;
+        self.schedule(group, TimerKind::Suspicion, period, 0, net);
+        if newly_suspected {
+            self.initiate_view_change(group, now, net);
+        }
+    }
+
+    fn on_nack_timer(&mut self, group: &GroupId, _now: SimTime, net: &mut GcsNet<'_>) {
+        let node = self.node;
+        let state = self.groups.get_mut(group).expect("checked");
+        state.nack_scheduled = false;
+        if !state.is_member() {
+            return;
+        }
+        let view = state.view.id();
+        let ranges = state.engine.missing_ranges();
+        for &(sender, from, to) in &ranges {
+            net.send(
+                sender,
+                &GcsMessage::Nack {
+                    group: group.clone(),
+                    view,
+                    from: node,
+                    sender,
+                    from_seq: from,
+                    to_seq: to,
+                },
+            );
+        }
+        let order_gap = state.engine.order_gap();
+        if let Some(from_pos) = order_gap {
+            if let Some(seq) = state.view.sequencer() {
+                if seq != node {
+                    net.send(
+                        seq,
+                        &GcsMessage::OrderNack {
+                            group: group.clone(),
+                            view,
+                            from: node,
+                            from_order_seq: from_pos,
+                        },
+                    );
+                }
+            }
+        }
+        let delay = state.config.nack_delay;
+        if !ranges.is_empty() || order_gap.is_some() {
+            state.nack_scheduled = true;
+            self.schedule(group, TimerKind::NackScan, delay, 0, net);
+        }
+    }
+
+    fn on_vc_timer(&mut self, group: &GroupId, stamp: u64, now: SimTime, net: &mut GcsNet<'_>) {
+        let node = self.node;
+        let state = self.groups.get_mut(group).expect("checked");
+        match state.vc.as_mut() {
+            Some(vc) if vc.attempt != stamp => {} // superseded
+            Some(vc) if vc.coordinator == node => {
+                let missing: Vec<NodeId> = vc
+                    .candidates
+                    .iter()
+                    .copied()
+                    .filter(|c| !vc.responses.contains_key(c))
+                    .collect();
+                if vc.retries < VC_RETRIES {
+                    // The proposal (or a response) may simply have been
+                    // lost: re-propose to the silent candidates first.
+                    vc.retries += 1;
+                    let attempt = vc.attempt;
+                    let msg = GcsMessage::Propose {
+                        group: group.clone(),
+                        attempt,
+                        coordinator: node,
+                        candidates: vc.candidates.clone(),
+                        old_view: state.view.id(),
+                        coord_contig: state.engine.contig_vector(),
+                    };
+                    for m in missing {
+                        net.send(m, &msg);
+                    }
+                    let timeout = state.config.view_change_timeout;
+                    self.schedule(group, TimerKind::ViewChange, timeout, stamp, net);
+                    return;
+                }
+                // Still silent after the retries: drop them and go again.
+                for m in missing {
+                    if m != node {
+                        state.suspects.insert(m);
+                        state.joiners.remove(&m);
+                    }
+                }
+                state.vc = None;
+                self.initiate_view_change(group, now, net);
+            }
+            Some(vc) => {
+                let retry = vc.retries < VC_RETRIES;
+                let attempt = vc.attempt;
+                let coordinator = vc.coordinator;
+                let coord_contig = vc.coord_contig.clone();
+                if retry {
+                    vc.retries += 1;
+                }
+                if retry {
+                    // Our response (or the install) may have been lost:
+                    // re-send the state response and wait another round.
+                    let (contig, msgs) = if state.is_member() {
+                        (
+                            state.engine.contig_vector(),
+                            state.engine.export_msgs_beyond(&coord_contig),
+                        )
+                    } else {
+                        (Vec::new(), Vec::new())
+                    };
+                    net.send(
+                        coordinator,
+                        &GcsMessage::StateResp {
+                            group: group.clone(),
+                            attempt,
+                            from: node,
+                            contig,
+                            msgs,
+                        },
+                    );
+                    let timeout = state.config.view_change_timeout;
+                    self.schedule(group, TimerKind::ViewChange, timeout, stamp, net);
+                    return;
+                }
+                if !state.is_member() {
+                    // A joiner cannot run the change itself; fall back to
+                    // join retries.
+                    state.vc = None;
+                    return;
+                }
+                // The coordinator went quiet: suspect it and re-run.
+                state.suspects.insert(coordinator);
+                state.vc = None;
+                self.initiate_view_change(group, now, net);
+            }
+            None => {
+                if state.attempt >= stamp || !state.is_member() {
+                    return; // progress happened since the timer was armed
+                }
+                if state.suspects.is_empty()
+                    && state.joiners.is_empty()
+                    && state.leavers.is_empty()
+                {
+                    return;
+                }
+                // We reported to a coordinator that never acted: suspect
+                // it and go again.
+                let alive: Vec<NodeId> = state
+                    .view
+                    .members()
+                    .iter()
+                    .copied()
+                    .filter(|m| !state.suspects.contains(m) && !state.leavers.contains(m))
+                    .collect();
+                if let Some(&coord) = alive.first() {
+                    if coord != node {
+                        state.suspects.insert(coord);
+                    }
+                }
+                self.initiate_view_change(group, now, net);
+            }
+        }
+    }
+
+    /// Multicasts the sequencer's buffered ordering records as one
+    /// `SeqOrder`.
+    fn flush_order_records(&mut self, group: &GroupId, now: SimTime, net: &mut GcsNet<'_>) {
+        let node = self.node;
+        let lamport = self.clock.tick();
+        let state = self.groups.get_mut(group).expect("checked");
+        let entries = std::mem::take(&mut state.pending_order);
+        state.last_order_flush = now;
+        state.order_flush_scheduled = false;
+        if entries.is_empty() {
+            return;
+        }
+        let start = state.engine.order_log_len() - entries.len() as u64 + 1;
+        let wire = GcsMessage::SeqOrder {
+            group: group.clone(),
+            view: state.view.id(),
+            sender: node,
+            lamport,
+            start,
+            entries,
+        };
+        let targets: Vec<NodeId> =
+            state.view.members().iter().copied().filter(|&m| m != node).collect();
+        net.send_fanout(state.config.fanout, targets, &wire);
+        state.last_sent = now;
+    }
+
+    fn on_order_flush_timer(&mut self, group: &GroupId, now: SimTime, net: &mut GcsNet<'_>) {
+        let state = self.groups.get_mut(group).expect("checked");
+        state.order_flush_scheduled = false;
+        if !state.is_member() || !state.engine.is_sequencer() {
+            state.pending_order.clear();
+            return;
+        }
+        self.flush_order_records(group, now, net);
+    }
+
+    fn on_join_retry(&mut self, group: &GroupId, _now: SimTime, net: &mut GcsNet<'_>) {
+        let node = self.node;
+        let state = &self.groups[group];
+        let Role::Joining { contact } = state.role else {
+            return; // joined already
+        };
+        let retry = state.config.view_change_timeout;
+        if state.vc.is_none() {
+            net.send(
+                contact,
+                &GcsMessage::Join {
+                    group: group.clone(),
+                    joiner: node,
+                },
+            );
+        }
+        self.schedule(group, TimerKind::JoinRetry, retry, 0, net);
+    }
+
+    // --- liveness helpers -----------------------------------------------------------
+
+    fn should_run_liveness(&self, group: &GroupId, now: SimTime) -> bool {
+        let Some(state) = self.groups.get(group) else {
+            return false;
+        };
+        if !state.is_member() {
+            return false;
+        }
+        match state.config.liveness {
+            Liveness::Lively => true,
+            Liveness::EventDriven => {
+                state.engine.has_undelivered()
+                    || state.vc.is_some()
+                    || now.saturating_since(state.last_activity)
+                        < state.config.time_silence * EVENT_DRIVEN_LINGER
+            }
+        }
+    }
+
+    /// Starts the null/suspicion timers if the group should be live and
+    /// they are not already running.
+    fn ensure_liveness(&mut self, group: &GroupId, now: SimTime, net: &mut GcsNet<'_>) {
+        if !self.should_run_liveness(group, now) {
+            return;
+        }
+        let state = self.groups.get_mut(group).expect("checked");
+        if state.liveness_running {
+            return;
+        }
+        state.liveness_running = true;
+        let period = state.config.time_silence;
+        self.schedule(group, TimerKind::Null, period, 0, net);
+        self.schedule(group, TimerKind::Suspicion, period, 0, net);
+    }
+
+    fn schedule(
+        &mut self,
+        group: &GroupId,
+        kind: TimerKind,
+        delay: std::time::Duration,
+        stamp: u64,
+        net: &mut GcsNet<'_>,
+    ) {
+        let tag = self.tag_base + self.next_tag;
+        self.next_tag += 1;
+        self.timer_routes.insert(
+            tag,
+            TimerRoute {
+                group: group.clone(),
+                kind,
+                stamp,
+            },
+        );
+        net.out.set_timer(delay, tag);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    fn net_parts(node: NodeId) -> (OrbCore, Outbox) {
+        (OrbCore::new(node), Outbox::detached(0))
+    }
+
+    #[test]
+    fn create_group_validates_membership() {
+        let mut m = GcsMember::new(n(0), 0);
+        let (mut orb, mut out) = net_parts(n(0));
+        let mut net = GcsNet::new(&mut orb, &mut out);
+        assert_eq!(
+            m.create_group(
+                GroupId::new("g"),
+                GroupConfig::default(),
+                vec![n(1), n(2)],
+                SimTime::ZERO,
+                &mut net
+            ),
+            Err(GcsError::BadMembership)
+        );
+        assert_eq!(
+            m.create_group(
+                GroupId::new("g"),
+                GroupConfig::default(),
+                vec![],
+                SimTime::ZERO,
+                &mut net
+            ),
+            Err(GcsError::BadMembership)
+        );
+        let outs = m
+            .create_group(
+                GroupId::new("g"),
+                GroupConfig::default(),
+                vec![n(0), n(1)],
+                SimTime::ZERO,
+                &mut net,
+            )
+            .unwrap();
+        assert!(matches!(&outs[0], GcsOutput::ViewInstalled { view, .. } if view.len() == 2));
+        assert!(matches!(
+            m.create_group(
+                GroupId::new("g"),
+                GroupConfig::default(),
+                vec![n(0)],
+                SimTime::ZERO,
+                &mut net
+            ),
+            Err(GcsError::AlreadyMember(_))
+        ));
+    }
+
+    #[test]
+    fn multicast_requires_membership() {
+        let mut m = GcsMember::new(n(0), 0);
+        let (mut orb, mut out) = net_parts(n(0));
+        let mut net = GcsNet::new(&mut orb, &mut out);
+        assert!(matches!(
+            m.multicast(
+                &GroupId::new("nope"),
+                DeliveryOrder::Total,
+                Bytes::new(),
+                SimTime::ZERO,
+                &mut net
+            ),
+            Err(GcsError::UnknownGroup(_))
+        ));
+    }
+
+    #[test]
+    fn multicast_fans_out_to_every_member_including_self() {
+        let mut m = GcsMember::new(n(0), 0);
+        let mut orb = OrbCore::new(n(0));
+        let mut out = Outbox::detached(0);
+        {
+            let mut net = GcsNet::new(&mut orb, &mut out);
+            m.create_group(
+                GroupId::new("g"),
+                GroupConfig::peer(),
+                vec![n(0), n(1), n(2)],
+                SimTime::ZERO,
+                &mut net,
+            )
+            .unwrap();
+            m.multicast(
+                &GroupId::new("g"),
+                DeliveryOrder::Total,
+                Bytes::from_static(b"x"),
+                SimTime::ZERO,
+                &mut net,
+            )
+            .unwrap();
+        }
+        let parts = out.into_parts();
+        let dests: Vec<u32> = parts.sends.iter().map(|(d, _)| d.index()).collect();
+        // One data send per member (0, 1, 2), loopback included.
+        assert!(dests.contains(&0));
+        assert!(dests.contains(&1));
+        assert!(dests.contains(&2));
+    }
+
+    #[test]
+    fn lively_groups_arm_timers_at_creation() {
+        let mut m = GcsMember::new(n(0), 1000);
+        let mut orb = OrbCore::new(n(0));
+        let mut out = Outbox::detached(0);
+        {
+            let mut net = GcsNet::new(&mut orb, &mut out);
+            m.create_group(
+                GroupId::new("g"),
+                GroupConfig::peer(),
+                vec![n(0), n(1)],
+                SimTime::ZERO,
+                &mut net,
+            )
+            .unwrap();
+        }
+        let parts = out.into_parts();
+        assert_eq!(parts.timer_sets.len(), 2, "null + suspicion timers");
+        for (_, _, tag) in &parts.timer_sets {
+            assert!(m.owns_tag(*tag));
+            assert!(*tag >= 1000, "tags offset by the base");
+        }
+    }
+
+    #[test]
+    fn event_driven_groups_stay_quiet_until_traffic() {
+        let mut m = GcsMember::new(n(0), 0);
+        let mut orb = OrbCore::new(n(0));
+        let mut out = Outbox::detached(0);
+        {
+            let mut net = GcsNet::new(&mut orb, &mut out);
+            m.create_group(
+                GroupId::new("g"),
+                GroupConfig::request_reply(),
+                vec![n(0), n(1)],
+                SimTime::ZERO,
+                &mut net,
+            )
+            .unwrap();
+        }
+        // An event-driven group at creation has had "activity" at t=0, so
+        // the linger keeps liveness on; advance past the linger window.
+        let linger = GroupConfig::request_reply().time_silence * EVENT_DRIVEN_LINGER;
+        assert!(m.should_run_liveness(&GroupId::new("g"), SimTime::ZERO));
+        assert!(!m.should_run_liveness(&GroupId::new("g"), SimTime::ZERO + linger * 2));
+    }
+
+    #[test]
+    fn leave_group_notifies_peers_and_cleans_up() {
+        let mut m = GcsMember::new(n(0), 0);
+        let mut orb = OrbCore::new(n(0));
+        let mut out = Outbox::detached(0);
+        {
+            let mut net = GcsNet::new(&mut orb, &mut out);
+            m.create_group(
+                GroupId::new("g"),
+                GroupConfig::default(),
+                vec![n(0), n(1), n(2)],
+                SimTime::ZERO,
+                &mut net,
+            )
+            .unwrap();
+            let outs = m.leave_group(&GroupId::new("g"), SimTime::ZERO, &mut net).unwrap();
+            assert!(matches!(&outs[0], GcsOutput::LeftGroup { .. }));
+        }
+        assert!(m.view_of(&GroupId::new("g")).is_none());
+        assert!(m
+            .leave_group(&GroupId::new("g"), SimTime::ZERO, &mut GcsNet::new(&mut orb, &mut out))
+            .is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Membership views.
+//!
+//! A [`View`] is one epoch of a group's membership. View installations are
+//! atomic with respect to message delivery (virtual synchrony): every
+//! member surviving from view *v* to view *v+1* delivers the same set of
+//! messages in *v* before installing *v+1*.
+
+use std::fmt;
+
+use newtop_net::site::NodeId;
+use newtop_orb::cdr::{CdrDecode, CdrDecoder, CdrEncode, CdrEncoder, CdrError};
+
+use crate::group::GroupId;
+
+/// Identifies a view within a group; monotonically increasing.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ViewId(pub u64);
+
+impl ViewId {
+    /// The view id following this one.
+    #[must_use]
+    pub fn next(self) -> ViewId {
+        ViewId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for ViewId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl CdrEncode for ViewId {
+    fn encode(&self, enc: &mut CdrEncoder) {
+        enc.write_u64(self.0);
+    }
+}
+
+impl CdrDecode for ViewId {
+    fn decode(dec: &mut CdrDecoder<'_>) -> Result<Self, CdrError> {
+        Ok(ViewId(dec.read_u64()?))
+    }
+}
+
+/// One epoch of a group's membership.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct View {
+    group: GroupId,
+    id: ViewId,
+    /// Sorted, deduplicated member list.
+    members: Vec<NodeId>,
+}
+
+impl View {
+    /// Creates a view; the member list is sorted and deduplicated.
+    #[must_use]
+    pub fn new(group: GroupId, id: ViewId, mut members: Vec<NodeId>) -> Self {
+        members.sort_unstable();
+        members.dedup();
+        View { group, id, members }
+    }
+
+    /// The group this view belongs to.
+    #[must_use]
+    pub fn group(&self) -> &GroupId {
+        &self.group
+    }
+
+    /// The view id.
+    #[must_use]
+    pub fn id(&self) -> ViewId {
+        self.id
+    }
+
+    /// The members, sorted by node id.
+    #[must_use]
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True for a (degenerate) empty view.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `node` belongs to this view.
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.binary_search(&node).is_ok()
+    }
+
+    /// The member's rank (position in the sorted member list).
+    #[must_use]
+    pub fn rank_of(&self, node: NodeId) -> Option<usize> {
+        self.members.binary_search(&node).ok()
+    }
+
+    /// The sequencer of this view under the asymmetric protocol: the
+    /// lowest-ranked member. Deterministic, so electing a replacement
+    /// after a view change needs no extra protocol (§3).
+    #[must_use]
+    pub fn sequencer(&self) -> Option<NodeId> {
+        self.members.first().copied()
+    }
+
+    /// The number of members forming a majority of this view.
+    #[must_use]
+    pub fn majority(&self) -> usize {
+        self.members.len() / 2 + 1
+    }
+
+    /// Members of this view absent from `other`.
+    #[must_use]
+    pub fn members_not_in(&self, other: &View) -> Vec<NodeId> {
+        self.members
+            .iter()
+            .copied()
+            .filter(|m| !other.contains(*m))
+            .collect()
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}{:?}", self.group, self.id, self.members)
+    }
+}
+
+impl CdrEncode for View {
+    fn encode(&self, enc: &mut CdrEncoder) {
+        self.group.encode(enc);
+        self.id.encode(enc);
+        enc.write_seq_len(self.members.len());
+        for m in &self.members {
+            enc.write_u32(m.index());
+        }
+    }
+}
+
+impl CdrDecode for View {
+    fn decode(dec: &mut CdrDecoder<'_>) -> Result<Self, CdrError> {
+        let group = GroupId::decode(dec)?;
+        let id = ViewId::decode(dec)?;
+        let len = dec.read_seq_len()?;
+        let mut members = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            members.push(NodeId::from_index(dec.read_u32()?));
+        }
+        Ok(View::new(group, id, members))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    fn view(ids: &[u32]) -> View {
+        View::new(
+            GroupId::new("g"),
+            ViewId(1),
+            ids.iter().map(|&i| n(i)).collect(),
+        )
+    }
+
+    #[test]
+    fn members_are_sorted_and_deduped() {
+        let v = view(&[3, 1, 2, 1]);
+        assert_eq!(v.members(), &[n(1), n(2), n(3)]);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn rank_and_contains() {
+        let v = view(&[5, 9, 7]);
+        assert!(v.contains(n(7)));
+        assert!(!v.contains(n(6)));
+        assert_eq!(v.rank_of(n(5)), Some(0));
+        assert_eq!(v.rank_of(n(9)), Some(2));
+        assert_eq!(v.rank_of(n(6)), None);
+    }
+
+    #[test]
+    fn sequencer_is_lowest_member() {
+        assert_eq!(view(&[4, 2, 8]).sequencer(), Some(n(2)));
+        assert_eq!(view(&[]).sequencer(), None);
+    }
+
+    #[test]
+    fn majority_sizes() {
+        assert_eq!(view(&[1]).majority(), 1);
+        assert_eq!(view(&[1, 2]).majority(), 2);
+        assert_eq!(view(&[1, 2, 3]).majority(), 2);
+        assert_eq!(view(&[1, 2, 3, 4]).majority(), 3);
+        assert_eq!(view(&[1, 2, 3, 4, 5]).majority(), 3);
+    }
+
+    #[test]
+    fn departed_members_are_computed() {
+        let old = view(&[1, 2, 3]);
+        let new = view(&[2, 3, 4]);
+        assert_eq!(old.members_not_in(&new), vec![n(1)]);
+        assert_eq!(new.members_not_in(&old), vec![n(4)]);
+    }
+
+    #[test]
+    fn cdr_round_trip() {
+        let v = view(&[10, 20]);
+        assert_eq!(View::from_cdr(&v.to_cdr()).unwrap(), v);
+    }
+
+    #[test]
+    fn view_id_ordering() {
+        assert!(ViewId(1) < ViewId(2));
+        assert_eq!(ViewId(1).next(), ViewId(2));
+        assert_eq!(ViewId(7).to_string(), "v7");
+    }
+}

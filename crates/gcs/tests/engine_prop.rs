@@ -1,0 +1,239 @@
+//! Property tests of the delivery engine's ordering invariants, driven
+//! directly (no network): arbitrary arrival interleavings must never
+//! break per-sender FIFO, causal precedence, or cross-member total-order
+//! agreement.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use newtop_gcs::clock::DepsVector;
+use newtop_gcs::engine::DeliveryEngine;
+use newtop_gcs::group::{DeliveryOrder, GroupId, OrderProtocol};
+use newtop_gcs::messages::DataMsg;
+use newtop_gcs::view::ViewId;
+use newtop_net::site::NodeId;
+
+fn n(i: u32) -> NodeId {
+    NodeId::from_index(i)
+}
+
+/// Builds a coherent message history: `senders` members each multicast
+/// `per_sender` messages with strictly increasing shared Lamport time and
+/// causal deps reflecting what each had "delivered" so far (a prefix of
+/// the others' streams).
+fn history(senders: u32, per_sender: u64, causal_every: u64) -> Vec<DataMsg> {
+    let mut msgs = Vec::new();
+    let mut clock = 0u64;
+    let mut sent = vec![0u64; senders as usize];
+    // Round-robin senders so timestamps interleave.
+    for round in 0..per_sender {
+        for s in 0..senders {
+            clock += 1 + u64::from(s % 2);
+            sent[s as usize] += 1;
+            let seq = sent[s as usize];
+            // Deps: everything the sender could have delivered — the
+            // previous full round from everyone.
+            let deps = DepsVector::from_pairs(
+                (0..senders).filter(|&q| q != s).map(|q| (n(q), round)),
+            );
+            let order = if causal_every > 0 && seq % causal_every == 0 {
+                DeliveryOrder::Causal
+            } else {
+                DeliveryOrder::Total
+            };
+            msgs.push(DataMsg {
+                group: GroupId::new("prop"),
+                view: ViewId(1),
+                sender: n(s),
+                seq,
+                lamport: clock,
+                order,
+                deps,
+                acks: vec![],
+                payload: Bytes::from(format!("{s}:{seq}")),
+            });
+        }
+    }
+    msgs
+}
+
+/// Builds the (single, authoritative) sequencer's order log for a run:
+/// the sequencer ingests messages in its own arrival order and assigns
+/// global positions.
+fn sequencer_log(
+    members: u32,
+    msgs: &[DataMsg],
+    arrival: &[usize],
+) -> Vec<(NodeId, u64)> {
+    let mut seqr = DeliveryEngine::new(
+        n(0),
+        ViewId(1),
+        (0..members).map(n).collect(),
+        OrderProtocol::Asymmetric,
+    );
+    for &idx in arrival {
+        let _ = seqr.ingest_data(msgs[idx].clone());
+        let _ = seqr.sequencer_poll();
+    }
+    let (_, log) = seqr.order_log_slice(1, usize::MAX);
+    log
+}
+
+/// Feeds `msgs` to an engine in the given arrival order, interleaving
+/// heartbeats so symmetric delivery can progress (or consuming the shared
+/// sequencer log for asymmetric runs), and returns the delivered ids in
+/// order. `me` must be a member that sends nothing.
+fn run_engine(
+    me: u32,
+    members: u32,
+    protocol: OrderProtocol,
+    msgs: &[DataMsg],
+    arrival: &[usize],
+    shared_log: Option<&[(NodeId, u64)]>,
+) -> Vec<(u32, u64)> {
+    let view: Vec<NodeId> = (0..members).map(n).collect();
+    let mut e = DeliveryEngine::new(n(me), ViewId(1), view, protocol);
+    let mut delivered = Vec::new();
+    let max_ts = msgs.iter().map(|m| m.lamport).max().unwrap_or(0);
+    for &idx in arrival {
+        let _ = e.ingest_data(msgs[idx].clone());
+        delivered.extend(
+            e.drain_deliverable()
+                .into_iter()
+                .map(|d| (d.sender.index(), d.seq)),
+        );
+    }
+    if let Some(log) = shared_log {
+        // The sequencer's records arrive (order within them is fixed).
+        e.ingest_order(1, log);
+    }
+    // End of traffic: everyone goes quiet with a final heartbeat beyond
+    // the last timestamp (the time-silence mechanism).
+    for q in 0..members {
+        let last = msgs
+            .iter()
+            .filter(|m| m.sender == n(q))
+            .map(|m| m.seq)
+            .max()
+            .unwrap_or(0);
+        e.note_null(n(q), max_ts + 1 + u64::from(q), last);
+    }
+    delivered.extend(
+        e.drain_deliverable()
+            .into_iter()
+            .map(|d| (d.sender.index(), d.seq)),
+    );
+    delivered
+}
+
+fn assert_fifo(delivered: &[(u32, u64)], senders: u32) {
+    for s in 0..senders {
+        let seqs: Vec<u64> = delivered
+            .iter()
+            .filter(|(q, _)| *q == s)
+            .map(|&(_, seq)| seq)
+            .collect();
+        for (i, &seq) in seqs.iter().enumerate() {
+            assert_eq!(seq, i as u64 + 1, "FIFO violated for sender {s}: {seqs:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any arrival permutation delivers everything, in per-sender FIFO
+    /// order, under both protocols.
+    #[test]
+    fn prop_fifo_and_completeness_under_any_arrival(
+        perm_seed in 0u64..10_000,
+        symmetric in any::<bool>(),
+        causal_every in 0u64..4,
+    ) {
+        let senders = 3;
+        let per_sender = 6;
+        let msgs = history(senders, per_sender, causal_every);
+        // Deterministic pseudo-random permutation of arrivals.
+        let mut arrival: Vec<usize> = (0..msgs.len()).collect();
+        let mut state = perm_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for i in (1..arrival.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            arrival.swap(i, j);
+        }
+        let protocol = if symmetric { OrderProtocol::Symmetric } else { OrderProtocol::Asymmetric };
+        let log = (!symmetric).then(|| sequencer_log(senders + 1, &msgs, &arrival));
+        // `me` is member 3 (an observer that sends nothing).
+        let delivered = run_engine(3, senders + 1, protocol, &msgs, &arrival, log.as_deref());
+        prop_assert_eq!(delivered.len(), msgs.len(), "all messages delivered");
+        assert_fifo(&delivered, senders);
+    }
+
+    /// Two members receiving the same messages in *different* orders
+    /// deliver the identical total-order sequence.
+    #[test]
+    fn prop_total_order_agreement_across_arrival_orders(
+        seed_a in 0u64..10_000,
+        seed_b in 0u64..10_000,
+        symmetric in any::<bool>(),
+    ) {
+        let senders = 3;
+        let msgs = history(senders, 5, 0); // all total-order
+        let shuffle = |seed: u64| {
+            let mut arrival: Vec<usize> = (0..msgs.len()).collect();
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            for i in (1..arrival.len()).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (state >> 33) as usize % (i + 1);
+                arrival.swap(i, j);
+            }
+            arrival
+        };
+        let protocol = if symmetric { OrderProtocol::Symmetric } else { OrderProtocol::Asymmetric };
+        // One authoritative sequencer log (asymmetric); members see the
+        // data in different orders.
+        let log = (!symmetric).then(|| sequencer_log(senders + 2, &msgs, &shuffle(seed_a ^ 0xABCD)));
+        let a = run_engine(3, senders + 2, protocol, &msgs, &shuffle(seed_a), log.as_deref());
+        let b = run_engine(4, senders + 2, protocol, &msgs, &shuffle(seed_b), log.as_deref());
+        prop_assert_eq!(a.len(), msgs.len());
+        prop_assert_eq!(a, b, "total order must not depend on arrival order");
+    }
+
+    /// Causal precedence: a message never delivers before the per-sender
+    /// prefixes named in its dependency vector.
+    #[test]
+    fn prop_causal_deps_respected(
+        perm_seed in 0u64..10_000,
+        symmetric in any::<bool>(),
+    ) {
+        let senders = 3;
+        let msgs = history(senders, 5, 2); // every 2nd message causal-only
+        let mut arrival: Vec<usize> = (0..msgs.len()).collect();
+        let mut state = perm_seed | 1;
+        for i in (1..arrival.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            arrival.swap(i, j);
+        }
+        let protocol = if symmetric { OrderProtocol::Symmetric } else { OrderProtocol::Asymmetric };
+        let log = (!symmetric).then(|| sequencer_log(senders + 1, &msgs, &arrival));
+        let delivered = run_engine(3, senders + 1, protocol, &msgs, &arrival, log.as_deref());
+        // Reconstruct delivery positions and check each message's deps.
+        let pos_of = |sender: u32, seq: u64| {
+            delivered.iter().position(|&(q, s)| q == sender && s == seq)
+        };
+        for m in &msgs {
+            let me_pos = pos_of(m.sender.index(), m.seq).expect("delivered");
+            for (q, prefix) in m.deps.iter() {
+                for s in 1..=prefix {
+                    let dep_pos = pos_of(q.index(), s).expect("dep delivered");
+                    prop_assert!(
+                        dep_pos < me_pos,
+                        "{}:{} delivered at {} before its dependency {}:{} at {}",
+                        m.sender, m.seq, me_pos, q, s, dep_pos
+                    );
+                }
+            }
+        }
+    }
+}

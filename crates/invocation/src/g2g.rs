@@ -1,0 +1,262 @@
+//! Group-to-group invocation, client-group side (Fig. 6).
+//!
+//! Every member of a client group gx holds a [`G2gCaller`] attached to a
+//! *client monitor group* gz = gx ∪ {request manager}. When the members
+//! of gx decide to invoke the server group (each triggered by the same
+//! totally-ordered event in gx, so their call counters agree), each
+//! multicasts the request in gz; the manager filters the duplicates,
+//! forwards one into the server group, and multicasts the collected
+//! replies back in gz, where every gx member receives them atomically.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use newtop_gcs::group::GroupId;
+use newtop_net::site::NodeId;
+use newtop_orb::cdr::CdrDecode;
+
+use crate::api::{InvCommand, InvMessage, ReplyMode};
+
+/// A completed group-to-group call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct G2gComplete {
+    /// The origin (client) group.
+    pub origin: GroupId,
+    /// The origin group's call counter value.
+    pub number: u64,
+    /// `(server, result)` pairs.
+    pub replies: Vec<(NodeId, Bytes)>,
+}
+
+/// The per-member client side of group-to-group invocation.
+#[derive(Debug)]
+pub struct G2gCaller {
+    node: NodeId,
+    origin: GroupId,
+    monitor: GroupId,
+    next_number: u64,
+    pending: HashMap<u64, ()>,
+    /// Replies that arrived before this member issued its own copy of the
+    /// call (possible: the group reply may be totally ordered before a
+    /// slow member's request copy).
+    early: HashMap<u64, Vec<(NodeId, Bytes)>>,
+}
+
+impl G2gCaller {
+    /// Creates the caller for a member of `origin` attached to the
+    /// monitor group `monitor`.
+    #[must_use]
+    pub fn new(node: NodeId, origin: GroupId, monitor: GroupId) -> Self {
+        G2gCaller {
+            node,
+            origin,
+            monitor,
+            next_number: 1,
+            pending: HashMap::new(),
+            early: HashMap::new(),
+        }
+    }
+
+    /// The owning node.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The origin (client) group.
+    #[must_use]
+    pub fn origin(&self) -> &GroupId {
+        &self.origin
+    }
+
+    /// The monitor group this caller multicasts in.
+    #[must_use]
+    pub fn monitor(&self) -> &GroupId {
+        &self.monitor
+    }
+
+    /// Call numbers awaiting replies.
+    #[must_use]
+    pub fn pending(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.pending.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Issues the group's next call. All origin-group members must invoke
+    /// in the same relative order (e.g. driven by a totally-ordered
+    /// trigger in the origin group) so their counters agree.
+    ///
+    /// If the group's reply already arrived (another member's copy was
+    /// forwarded and answered before this member invoked), the completion
+    /// is returned immediately.
+    pub fn invoke(
+        &mut self,
+        op: &str,
+        args: Bytes,
+        mode: ReplyMode,
+    ) -> (u64, Vec<InvCommand>, Option<G2gComplete>) {
+        let number = self.next_number;
+        self.next_number += 1;
+        let msg = InvMessage::G2gRequest {
+            origin: self.origin.clone(),
+            number,
+            op: op.to_owned(),
+            args,
+            mode,
+        };
+        let commands = vec![InvCommand::multicast(self.monitor.clone(), &msg)];
+        if mode == ReplyMode::OneWay {
+            return (number, commands, None);
+        }
+        if let Some(replies) = self.early.remove(&number) {
+            return (
+                number,
+                commands,
+                Some(G2gComplete {
+                    origin: self.origin.clone(),
+                    number,
+                    replies,
+                }),
+            );
+        }
+        self.pending.insert(number, ());
+        (number, commands, None)
+    }
+
+    /// Feeds a message delivered in the monitor group. Returns the
+    /// completion if this was the awaited reply.
+    pub fn on_delivered(&mut self, group: &GroupId, payload: &[u8]) -> Option<G2gComplete> {
+        if group != &self.monitor {
+            return None;
+        }
+        let Ok(InvMessage::G2gReply {
+            origin,
+            number,
+            replies,
+        }) = InvMessage::from_cdr(payload)
+        else {
+            return None;
+        };
+        if origin != self.origin {
+            return None;
+        }
+        if self.pending.remove(&number).is_none() {
+            // Not yet invoked here (or a duplicate): buffer fresh replies
+            // for numbers we have not issued; drop true duplicates.
+            if number >= self.next_number && !self.early.contains_key(&number) {
+                self.early.insert(number, replies);
+            }
+            return None;
+        }
+        Some(G2gComplete {
+            origin,
+            number,
+            replies,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newtop_orb::cdr::CdrEncode;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    fn caller() -> G2gCaller {
+        G2gCaller::new(n(5), GroupId::new("gx"), GroupId::new("gz"))
+    }
+
+    #[test]
+    fn invoke_numbers_are_sequential() {
+        let mut c = caller();
+        let (n1, cmds, _) = c.invoke("op", Bytes::new(), ReplyMode::All);
+        let (n2, _, _) = c.invoke("op", Bytes::new(), ReplyMode::All);
+        assert_eq!((n1, n2), (1, 2));
+        assert_eq!(c.pending(), vec![1, 2]);
+        let InvCommand::Multicast { group, .. } = &cmds[0] else {
+            panic!()
+        };
+        assert_eq!(group, &GroupId::new("gz"));
+    }
+
+    #[test]
+    fn one_way_does_not_wait() {
+        let mut c = caller();
+        let (_, cmds, _) = c.invoke("op", Bytes::new(), ReplyMode::OneWay);
+        assert_eq!(cmds.len(), 1);
+        assert!(c.pending().is_empty());
+    }
+
+    #[test]
+    fn reply_completes_exactly_once() {
+        let mut c = caller();
+        let (number, _, _) = c.invoke("op", Bytes::new(), ReplyMode::All);
+        let reply = InvMessage::G2gReply {
+            origin: GroupId::new("gx"),
+            number,
+            replies: vec![(n(1), Bytes::from_static(b"r"))],
+        };
+        let payload = reply.to_cdr();
+        let done = c.on_delivered(&GroupId::new("gz"), &payload).unwrap();
+        assert_eq!(done.number, number);
+        assert_eq!(done.replies.len(), 1);
+        // Duplicate is ignored.
+        assert!(c.on_delivered(&GroupId::new("gz"), &payload).is_none());
+    }
+
+    #[test]
+    fn foreign_replies_are_ignored() {
+        let mut c = caller();
+        let (number, _, _) = c.invoke("op", Bytes::new(), ReplyMode::All);
+        let wrong_origin = InvMessage::G2gReply {
+            origin: GroupId::new("other"),
+            number,
+            replies: vec![],
+        };
+        assert!(c
+            .on_delivered(&GroupId::new("gz"), &wrong_origin.to_cdr())
+            .is_none());
+        let wrong_group = InvMessage::G2gReply {
+            origin: GroupId::new("gx"),
+            number,
+            replies: vec![],
+        };
+        assert!(c
+            .on_delivered(&GroupId::new("elsewhere"), &wrong_group.to_cdr())
+            .is_none());
+        assert_eq!(c.pending(), vec![number]);
+    }
+
+    #[test]
+    fn early_reply_completes_at_invoke_time() {
+        let mut c = caller();
+        // The group's reply for call 1 arrives before this member invokes.
+        let reply = InvMessage::G2gReply {
+            origin: GroupId::new("gx"),
+            number: 1,
+            replies: vec![(n(9), Bytes::from_static(b"r"))],
+        };
+        assert!(c.on_delivered(&GroupId::new("gz"), &reply.to_cdr()).is_none());
+        let (number, _, done) = c.invoke("op", Bytes::new(), ReplyMode::All);
+        assert_eq!(number, 1);
+        let done = done.expect("buffered reply surfaces at invoke");
+        assert_eq!(done.replies.len(), 1);
+        assert!(c.pending().is_empty());
+    }
+
+    #[test]
+    fn own_request_copies_are_not_replies() {
+        let mut c = caller();
+        let (_number, cmds, _) = c.invoke("op", Bytes::new(), ReplyMode::All);
+        let InvCommand::Multicast { payload, .. } = &cmds[0] else {
+            panic!()
+        };
+        // Seeing another member's (or our own) request copy does nothing.
+        assert!(c.on_delivered(&GroupId::new("gz"), payload).is_none());
+    }
+}

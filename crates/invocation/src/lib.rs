@@ -1,0 +1,56 @@
+//! NewTop's flexible object group invocation layer (§4 of the paper).
+//!
+//! The invocation layer sits on the group communication service and
+//! implements the three interaction modes the paper identifies, each with
+//! its customisations:
+//!
+//! * **request-reply** — a client invokes a replicated service through a
+//!   *client/server group*, either **closed** (the client joins a group
+//!   containing every server and multicasts directly — Fig. 3(i), best on
+//!   a LAN) or **open** (the client/server group contains the client and
+//!   one server, the **request manager**, which re-multicasts the request
+//!   inside the server group and relays the replies — Fig. 3(ii)/Fig. 4,
+//!   best over a WAN);
+//! * **group-to-group request-reply** — a whole client group invokes a
+//!   server group through a shared request manager and a *client monitor
+//!   group* (Fig. 6);
+//! * **peer participation** — plain one-way multicasts (no extra
+//!   machinery; provided by the GCS directly).
+//!
+//! Reply collection supports the paper's four primitives: **one-way
+//! send**, **wait-for-first**, **wait-for-majority** and **wait-for-all**;
+//! the open-group path supports the **restricted group** optimisation
+//! (all clients share one request manager — the view's lowest-ranked
+//! member) and **asynchronous message forwarding** (the manager answers
+//! itself and one-way forwards — the passive-replication configuration).
+//!
+//! Failure handling follows §4.1: a request-manager crash breaks the
+//! binding; the client *rebinds* to another server and retries with the
+//! same call number, and servers keep a last-reply cache so retries are
+//! answered without re-execution.
+//!
+//! The state machines here ([`client::ClientCore`],
+//! [`server::ServerCore`], [`g2g::G2gCaller`]) are pure: they consume
+//! delivered group messages and emit [`api::InvCommand`]s that the owning
+//! NewTop service object executes (group multicasts or direct ORB
+//! oneways).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod api;
+pub mod client;
+pub mod g2g;
+pub mod server;
+
+pub use api::{
+    BindingStyle, CallId, InvCommand, InvMessage, OpenOptimisation, Replication, ReplyMode,
+};
+pub use client::{ClientCore, ClientEvent};
+pub use g2g::G2gCaller;
+pub use server::ServerCore;
+
+/// The ORB operation name carrying direct (non-group) invocation-layer
+/// messages between NSOs, e.g. closed-group replies sent straight to the
+/// client.
+pub const INV_OPERATION: &str = "inv";

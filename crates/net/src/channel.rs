@@ -1,0 +1,162 @@
+//! In-process channel transport.
+//!
+//! Connects nodes living in one process through crossbeam channels. This is
+//! the default transport for the threaded runtime's loopback examples and
+//! integration tests: real threads, real wall-clock timers, no sockets.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+use crate::sim::Packet;
+use crate::site::NodeId;
+use crate::transport::{TransportError, WireTransport};
+
+#[derive(Default)]
+struct Registry {
+    inboxes: HashMap<NodeId, Sender<Packet>>,
+}
+
+/// A process-local network: every [`ChannelTransport`] endpoint created from
+/// the same `ChannelNetwork` can reach every other.
+///
+/// ```
+/// use newtop_net::channel::ChannelNetwork;
+/// use newtop_net::site::NodeId;
+/// use newtop_net::transport::WireTransport;
+/// use bytes::Bytes;
+///
+/// let net = ChannelNetwork::new();
+/// let (a, _a_rx) = net.endpoint(NodeId::from_index(0));
+/// let (_b, b_rx) = net.endpoint(NodeId::from_index(1));
+/// a.send(NodeId::from_index(1), Bytes::from_static(b"hello")).unwrap();
+/// let pkt = b_rx.recv().unwrap();
+/// assert_eq!(&pkt.payload[..], b"hello");
+/// assert_eq!(pkt.src, NodeId::from_index(0));
+/// ```
+#[derive(Clone, Default)]
+pub struct ChannelNetwork {
+    registry: Arc<RwLock<Registry>>,
+}
+
+impl ChannelNetwork {
+    /// Creates an empty network.
+    #[must_use]
+    pub fn new() -> Self {
+        ChannelNetwork::default()
+    }
+
+    /// Registers a node and returns its sending handle and inbox.
+    ///
+    /// Registering the same node id twice replaces the previous inbox.
+    #[must_use]
+    pub fn endpoint(&self, node: NodeId) -> (ChannelTransport, Receiver<Packet>) {
+        let (tx, rx) = unbounded();
+        self.registry.write().inboxes.insert(node, tx);
+        (
+            ChannelTransport {
+                local: node,
+                registry: Arc::clone(&self.registry),
+            },
+            rx,
+        )
+    }
+
+    /// Removes a node; subsequent sends to it fail with `UnknownPeer`.
+    pub fn remove(&self, node: NodeId) {
+        self.registry.write().inboxes.remove(&node);
+    }
+}
+
+impl std::fmt::Debug for ChannelNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.registry.read().inboxes.len();
+        write!(f, "ChannelNetwork({n} endpoints)")
+    }
+}
+
+/// The sending half of a [`ChannelNetwork`] endpoint.
+#[derive(Clone)]
+pub struct ChannelTransport {
+    local: NodeId,
+    registry: Arc<RwLock<Registry>>,
+}
+
+impl std::fmt::Debug for ChannelTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ChannelTransport(local={})", self.local)
+    }
+}
+
+impl WireTransport for ChannelTransport {
+    fn local(&self) -> NodeId {
+        self.local
+    }
+
+    fn send(&self, dst: NodeId, payload: Bytes) -> Result<(), TransportError> {
+        let registry = self.registry.read();
+        let tx = registry
+            .inboxes
+            .get(&dst)
+            .ok_or(TransportError::UnknownPeer(dst))?;
+        tx.send(Packet {
+            src: self.local,
+            dst,
+            payload,
+        })
+        .map_err(|_| TransportError::Closed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_between_two_endpoints() {
+        let net = ChannelNetwork::new();
+        let (a, a_rx) = net.endpoint(NodeId::from_index(0));
+        let (b, b_rx) = net.endpoint(NodeId::from_index(1));
+        a.send(b.local(), Bytes::from_static(b"ping")).unwrap();
+        let pkt = b_rx.recv().unwrap();
+        assert_eq!(&pkt.payload[..], b"ping");
+        b.send(pkt.src, Bytes::from_static(b"pong")).unwrap();
+        assert_eq!(&a_rx.recv().unwrap().payload[..], b"pong");
+    }
+
+    #[test]
+    fn unknown_peer_is_an_error() {
+        let net = ChannelNetwork::new();
+        let (a, _rx) = net.endpoint(NodeId::from_index(0));
+        let err = a
+            .send(NodeId::from_index(9), Bytes::from_static(b"x"))
+            .unwrap_err();
+        assert!(matches!(err, TransportError::UnknownPeer(_)));
+    }
+
+    #[test]
+    fn removed_peer_becomes_unreachable() {
+        let net = ChannelNetwork::new();
+        let (a, _a_rx) = net.endpoint(NodeId::from_index(0));
+        let (_b, _b_rx) = net.endpoint(NodeId::from_index(1));
+        net.remove(NodeId::from_index(1));
+        assert!(a.send(NodeId::from_index(1), Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn per_peer_ordering_is_preserved() {
+        let net = ChannelNetwork::new();
+        let (a, _a_rx) = net.endpoint(NodeId::from_index(0));
+        let (_b, b_rx) = net.endpoint(NodeId::from_index(1));
+        for i in 0..100u8 {
+            a.send(NodeId::from_index(1), Bytes::copy_from_slice(&[i]))
+                .unwrap();
+        }
+        for i in 0..100u8 {
+            assert_eq!(b_rx.recv().unwrap().payload[0], i);
+        }
+    }
+}

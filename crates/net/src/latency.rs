@@ -1,0 +1,265 @@
+//! Latency models.
+//!
+//! A [`LatencyMatrix`] gives the one-way network latency between two
+//! [`Site`]s as a base value plus uniform jitter. Two presets reproduce the
+//! paper's environments:
+//!
+//! * [`LatencyMatrix::lan`] — every node on the Newcastle 100 Mbit LAN;
+//! * [`LatencyMatrix::internet`] — Newcastle, London and Pisa connected over
+//!   the Internet (nodes at the *same* WAN site still talk at LAN latency).
+//!
+//! The WAN constants are calibrated so that a plain synchronous ORB call
+//! (request + reply, see `newtop-orb`) lands near the paper's Table 1:
+//! roughly 1 ms on the LAN, and tens of milliseconds between the WAN sites,
+//! with Pisa–Newcastle the slowest pair. Absolute values are not claimed —
+//! the reproduction targets the *shape* of the results.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use rand::Rng;
+
+use crate::site::Site;
+
+/// A one-way latency distribution: `base + uniform(0..=jitter)`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct LatencySpec {
+    base: Duration,
+    jitter: Duration,
+}
+
+impl LatencySpec {
+    /// Creates a spec with the given base latency and uniform jitter bound.
+    #[must_use]
+    pub const fn new(base: Duration, jitter: Duration) -> Self {
+        LatencySpec { base, jitter }
+    }
+
+    /// A constant latency with no jitter.
+    #[must_use]
+    pub const fn constant(base: Duration) -> Self {
+        LatencySpec {
+            base,
+            jitter: Duration::ZERO,
+        }
+    }
+
+    /// The base (minimum) latency.
+    #[must_use]
+    pub const fn base(&self) -> Duration {
+        self.base
+    }
+
+    /// The jitter bound (the maximum added on top of the base).
+    #[must_use]
+    pub const fn jitter(&self) -> Duration {
+        self.jitter
+    }
+
+    /// Draws one latency sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        if self.jitter.is_zero() {
+            return self.base;
+        }
+        let extra = rng.gen_range(0..=self.jitter.as_nanos() as u64);
+        self.base + Duration::from_nanos(extra)
+    }
+}
+
+/// One-way latency between pairs of sites.
+///
+/// Lookups are symmetric: the latency from A to B equals the latency from
+/// B to A unless both directions were set explicitly.
+///
+/// ```
+/// use newtop_net::latency::LatencyMatrix;
+/// use newtop_net::site::Site;
+///
+/// let m = LatencyMatrix::internet();
+/// let lan = m.spec(Site::Lan, Site::Lan).base();
+/// let wan = m.spec(Site::Newcastle, Site::Pisa).base();
+/// assert!(wan > lan * 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LatencyMatrix {
+    /// Latency between two nodes at the same site.
+    local: LatencySpec,
+    /// Fallback for site pairs with no explicit entry.
+    default_remote: LatencySpec,
+    pairs: HashMap<(Site, Site), LatencySpec>,
+}
+
+impl LatencyMatrix {
+    /// One-way latency between LAN peers: 180 µs ± 60 µs. With the default
+    /// per-message CPU costs this yields a plain synchronous ORB call of
+    /// about 1 ms, matching the paper's Table 1 LAN row.
+    const LAN_SPEC: LatencySpec = LatencySpec::new(
+        Duration::from_micros(180),
+        Duration::from_micros(60),
+    );
+
+    /// Creates a matrix where every pair of distinct sites uses
+    /// `default_remote` and co-located nodes use `local`.
+    #[must_use]
+    pub fn uniform(local: LatencySpec, default_remote: LatencySpec) -> Self {
+        LatencyMatrix {
+            local,
+            default_remote,
+            pairs: HashMap::new(),
+        }
+    }
+
+    /// The paper's LAN environment: everything at LAN latency.
+    #[must_use]
+    pub fn lan() -> Self {
+        LatencyMatrix::uniform(Self::LAN_SPEC, Self::LAN_SPEC)
+    }
+
+    /// The paper's Internet environment: Newcastle, London and Pisa.
+    ///
+    /// One-way base latencies: Newcastle–London 4.5 ms, London–Pisa 5.5 ms,
+    /// Newcastle–Pisa 6.8 ms, each with ±25 % uniform jitter. Nodes at the
+    /// same site communicate at LAN latency.
+    #[must_use]
+    pub fn internet() -> Self {
+        let mut m = LatencyMatrix::uniform(
+            Self::LAN_SPEC,
+            LatencySpec::new(Duration::from_micros(5_500), Duration::from_micros(1_400)),
+        );
+        m.set_pair(
+            Site::Newcastle,
+            Site::London,
+            LatencySpec::new(Duration::from_micros(4_500), Duration::from_micros(1_100)),
+        );
+        m.set_pair(
+            Site::London,
+            Site::Pisa,
+            LatencySpec::new(Duration::from_micros(5_500), Duration::from_micros(1_400)),
+        );
+        m.set_pair(
+            Site::Newcastle,
+            Site::Pisa,
+            LatencySpec::new(Duration::from_micros(6_800), Duration::from_micros(1_700)),
+        );
+        // The LAN site and Newcastle are the same physical place in the
+        // paper's setup (the servers' LAN was in Newcastle).
+        m.set_pair(Site::Lan, Site::Newcastle, Self::LAN_SPEC);
+        m.set_pair(
+            Site::Lan,
+            Site::London,
+            LatencySpec::new(Duration::from_micros(4_500), Duration::from_micros(1_100)),
+        );
+        m.set_pair(
+            Site::Lan,
+            Site::Pisa,
+            LatencySpec::new(Duration::from_micros(6_800), Duration::from_micros(1_700)),
+        );
+        m
+    }
+
+    /// Sets the latency for a pair of sites (both directions).
+    pub fn set_pair(&mut self, a: Site, b: Site, spec: LatencySpec) -> &mut Self {
+        self.pairs.insert(key(a, b), spec);
+        self
+    }
+
+    /// Sets the latency between co-located nodes.
+    pub fn set_local(&mut self, spec: LatencySpec) -> &mut Self {
+        self.local = spec;
+        self
+    }
+
+    /// The latency spec for a pair of sites.
+    #[must_use]
+    pub fn spec(&self, a: Site, b: Site) -> LatencySpec {
+        if a == b {
+            return self.local;
+        }
+        self.pairs
+            .get(&key(a, b))
+            .copied()
+            .unwrap_or(self.default_remote)
+    }
+
+    /// Draws one one-way latency sample between two sites.
+    pub fn sample<R: Rng + ?Sized>(&self, a: Site, b: Site, rng: &mut R) -> Duration {
+        self.spec(a, b).sample(rng)
+    }
+}
+
+impl Default for LatencyMatrix {
+    /// The LAN preset.
+    fn default() -> Self {
+        LatencyMatrix::lan()
+    }
+}
+
+fn key(a: Site, b: Site) -> (Site, Site) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_spec_has_no_jitter() {
+        let spec = LatencySpec::constant(Duration::from_millis(2));
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(spec.sample(&mut rng), Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn jitter_stays_in_bounds() {
+        let spec = LatencySpec::new(Duration::from_millis(1), Duration::from_millis(1));
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let s = spec.sample(&mut rng);
+            assert!(s >= Duration::from_millis(1));
+            assert!(s <= Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn lookup_is_symmetric() {
+        let m = LatencyMatrix::internet();
+        assert_eq!(
+            m.spec(Site::Newcastle, Site::Pisa),
+            m.spec(Site::Pisa, Site::Newcastle)
+        );
+    }
+
+    #[test]
+    fn internet_preset_orders_pairs_like_the_paper() {
+        // Table 1's ordering: LAN < London–Newcastle < Pisa–London < Pisa–Newcastle.
+        let m = LatencyMatrix::internet();
+        let lan = m.spec(Site::Lan, Site::Lan).base();
+        let lon_ncl = m.spec(Site::London, Site::Newcastle).base();
+        let pisa_lon = m.spec(Site::Pisa, Site::London).base();
+        let pisa_ncl = m.spec(Site::Pisa, Site::Newcastle).base();
+        assert!(lan < lon_ncl);
+        assert!(lon_ncl < pisa_lon);
+        assert!(pisa_lon < pisa_ncl);
+    }
+
+    #[test]
+    fn same_wan_site_is_local() {
+        let m = LatencyMatrix::internet();
+        assert_eq!(m.spec(Site::Pisa, Site::Pisa), m.spec(Site::Lan, Site::Lan));
+    }
+
+    #[test]
+    fn unknown_pair_falls_back_to_default() {
+        let m = LatencyMatrix::internet();
+        let spec = m.spec(Site::Custom(1), Site::Custom(2));
+        assert_eq!(spec, m.spec(Site::Custom(3), Site::Custom(4)));
+    }
+}

@@ -1,0 +1,123 @@
+//! Node identity and geographic placement.
+//!
+//! The paper's evaluation placed machines on a Newcastle LAN and across the
+//! Internet in Newcastle, London and Pisa. A [`Site`] captures where a node
+//! lives; the latency between two nodes is a function of their sites (see
+//! [`crate::latency::LatencyMatrix`]).
+
+use std::fmt;
+
+/// Identifies a node (one address space: an application object together with
+/// its NewTop service object).
+///
+/// Node ids are dense indices handed out by the runtime
+/// ([`crate::sim::Sim::add_node`] or the threaded runtime's registry).
+///
+/// ```
+/// use newtop_net::site::NodeId;
+///
+/// let n = NodeId::from_index(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(n.to_string(), "n3");
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    #[must_use]
+    pub const fn from_index(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The dense index of this node.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Where a node is located, for latency purposes.
+///
+/// `Lan` is the paper's 100 Mbit Newcastle LAN; `Newcastle`, `London` and
+/// `Pisa` are the three Internet sites of the WAN experiments. `Custom`
+/// supports additional synthetic sites in ablation experiments.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Default)]
+pub enum Site {
+    /// A machine on the local-area network (same segment as every other
+    /// `Lan` machine).
+    #[default]
+    Lan,
+    /// Newcastle upon Tyne, United Kingdom.
+    Newcastle,
+    /// London, United Kingdom.
+    London,
+    /// Pisa, Italy.
+    Pisa,
+    /// A synthetic site for custom latency matrices.
+    Custom(u8),
+}
+
+impl Site {
+    /// All the named sites used by the paper's experiments.
+    pub const NAMED: [Site; 4] = [Site::Lan, Site::Newcastle, Site::London, Site::Pisa];
+
+    /// A short human-readable label.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            Site::Lan => "LAN".to_owned(),
+            Site::Newcastle => "Newcastle".to_owned(),
+            Site::London => "London".to_owned(),
+            Site::Pisa => "Pisa".to_owned(),
+            Site::Custom(n) => format!("site{n}"),
+        }
+    }
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "n42");
+    }
+
+    #[test]
+    fn node_ids_order_by_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+    }
+
+    #[test]
+    fn site_labels() {
+        assert_eq!(Site::Lan.to_string(), "LAN");
+        assert_eq!(Site::Pisa.to_string(), "Pisa");
+        assert_eq!(Site::Custom(7).to_string(), "site7");
+    }
+
+    #[test]
+    fn named_sites_are_distinct() {
+        for (i, a) in Site::NAMED.iter().enumerate() {
+            for b in &Site::NAMED[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

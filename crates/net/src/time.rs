@@ -1,0 +1,210 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! [`SimTime`] is an instant on the simulator's virtual clock, stored as
+//! nanoseconds since the start of the run. Durations are ordinary
+//! [`std::time::Duration`] values, so protocol code reads identically under
+//! the simulator and under the threaded (wall-clock) runtime.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// An instant on the simulator's virtual clock.
+///
+/// `SimTime` is measured in nanoseconds from the start of the simulation.
+/// It is `Copy`, totally ordered, and supports arithmetic with
+/// [`Duration`]:
+///
+/// ```
+/// use newtop_net::time::SimTime;
+/// use std::time::Duration;
+///
+/// let t = SimTime::ZERO + Duration::from_millis(5);
+/// assert_eq!(t.as_micros(), 5_000);
+/// assert!(t > SimTime::ZERO);
+/// assert_eq!(t - SimTime::ZERO, Duration::from_millis(5));
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant; useful as an "infinity" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from nanoseconds since the start of the run.
+    #[must_use]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates an instant from microseconds since the start of the run.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros * 1_000)
+    }
+
+    /// Creates an instant from milliseconds since the start of the run.
+    #[must_use]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000_000)
+    }
+
+    /// Creates an instant from seconds since the start of the run.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    /// Nanoseconds since the start of the run.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since the start of the run (truncating).
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Milliseconds since the start of the run (truncating).
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds since the start of the run, as a float.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Milliseconds since the start of the run, as a float.
+    #[must_use]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The later of two instants.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating subtraction, returning a [`Duration`].
+    #[must_use]
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Adds a duration, saturating at [`SimTime::MAX`].
+    #[must_use]
+    pub fn saturating_add(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(duration_nanos(d)))
+    }
+}
+
+fn duration_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: Duration) -> SimTime {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+
+    /// Elapsed time between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when that can happen.
+    fn sub(self, rhs: SimTime) -> Duration {
+        assert!(
+            self.0 >= rhs.0,
+            "SimTime subtraction underflow: {self} - {rhs}"
+        );
+        Duration::from_nanos(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let millis = self.0 as f64 / 1e6;
+        write!(f, "{millis:.3}ms")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(SimTime::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimTime::from_secs(2).as_millis(), 2_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(10) + Duration::from_millis(5);
+        assert_eq!(t.as_millis(), 15);
+        assert_eq!(t - SimTime::from_millis(10), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        assert_eq!(SimTime::MAX + Duration::from_secs(1), SimTime::MAX);
+        assert_eq!(
+            SimTime::ZERO.saturating_since(SimTime::from_secs(1)),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = SimTime::ZERO - SimTime::from_nanos(1);
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        let a = SimTime::from_millis(1);
+        let b = SimTime::from_millis(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn display_is_millis() {
+        assert_eq!(SimTime::from_micros(1500).to_string(), "1.500ms");
+    }
+
+    #[test]
+    fn float_views() {
+        let t = SimTime::from_millis(2500);
+        assert!((t.as_secs_f64() - 2.5).abs() < 1e-12);
+        assert!((t.as_millis_f64() - 2500.0).abs() < 1e-9);
+    }
+}

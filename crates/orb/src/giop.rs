@@ -1,0 +1,331 @@
+//! GIOP-shaped request/reply framing.
+//!
+//! Every packet the mini-ORB puts on the wire is one [`GiopMessage`]: a
+//! magic header, a message type, and a CDR body. This mirrors CORBA's
+//! General Inter-ORB Protocol closely enough that the per-message
+//! marshalling cost the paper measures is honestly reproduced.
+
+use std::error::Error;
+use std::fmt;
+
+use bytes::Bytes;
+
+use crate::cdr::{CdrDecode, CdrDecoder, CdrEncode, CdrEncoder, CdrError};
+use crate::ior::ObjectKey;
+
+const MAGIC: &[u8; 4] = b"GIOP";
+const VERSION: u8 = 1;
+
+const TYPE_REQUEST: u8 = 0;
+const TYPE_REPLY: u8 = 1;
+
+/// System exceptions raised by the ORB itself (as opposed to user
+/// exceptions raised by servants).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SystemException {
+    /// No servant with the requested key exists at the target.
+    ObjectNotExist,
+    /// The servant exists but does not implement the operation.
+    BadOperation,
+    /// A communication failure was detected (e.g. the target crashed).
+    CommFailure,
+    /// The request could not be processed now; retrying may succeed.
+    Transient,
+}
+
+impl SystemException {
+    fn code(self) -> u32 {
+        match self {
+            SystemException::ObjectNotExist => 0,
+            SystemException::BadOperation => 1,
+            SystemException::CommFailure => 2,
+            SystemException::Transient => 3,
+        }
+    }
+
+    fn from_code(code: u32) -> Result<Self, CdrError> {
+        Ok(match code {
+            0 => SystemException::ObjectNotExist,
+            1 => SystemException::BadOperation,
+            2 => SystemException::CommFailure,
+            3 => SystemException::Transient,
+            other => return Err(CdrError::BadDiscriminant(other)),
+        })
+    }
+}
+
+impl fmt::Display for SystemException {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SystemException::ObjectNotExist => "object does not exist",
+            SystemException::BadOperation => "bad operation",
+            SystemException::CommFailure => "communication failure",
+            SystemException::Transient => "transient failure",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Error for SystemException {}
+
+/// The outcome carried by a reply message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplyStatus {
+    /// The operation completed; the body is its marshalled result.
+    NoException,
+    /// The servant raised an application-level exception; the body is its
+    /// marshalled payload.
+    UserException,
+    /// The ORB raised a system exception; the body is empty.
+    SystemException(SystemException),
+}
+
+/// A framed ORB message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GiopMessage {
+    /// An invocation of `operation` on the servant at `object_key`.
+    Request {
+        /// Correlates the reply; unique per sending ORB.
+        request_id: u64,
+        /// Target servant.
+        object_key: ObjectKey,
+        /// Operation name.
+        operation: String,
+        /// False for oneway invocations (no reply will be sent).
+        response_expected: bool,
+        /// Marshalled in-arguments.
+        body: Bytes,
+    },
+    /// The response to an earlier request.
+    Reply {
+        /// The id of the request being answered.
+        request_id: u64,
+        /// Outcome.
+        status: ReplyStatus,
+        /// Marshalled result or user exception payload.
+        body: Bytes,
+    },
+}
+
+/// Errors raised while parsing a frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The magic bytes or version did not match.
+    BadHeader,
+    /// The header was fine but the body was malformed.
+    BadBody(CdrError),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadHeader => f.write_str("not a GIOP frame"),
+            FrameError::BadBody(e) => write!(f, "malformed GIOP body: {e}"),
+        }
+    }
+}
+
+impl Error for FrameError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FrameError::BadBody(e) => Some(e),
+            FrameError::BadHeader => None,
+        }
+    }
+}
+
+impl From<CdrError> for FrameError {
+    fn from(e: CdrError) -> Self {
+        FrameError::BadBody(e)
+    }
+}
+
+impl GiopMessage {
+    /// Marshals the message into a wire frame.
+    #[must_use]
+    pub fn to_frame(&self) -> Bytes {
+        let mut enc = CdrEncoder::with_capacity(64);
+        for b in MAGIC {
+            enc.write_u8(*b);
+        }
+        enc.write_u8(VERSION);
+        match self {
+            GiopMessage::Request {
+                request_id,
+                object_key,
+                operation,
+                response_expected,
+                body,
+            } => {
+                enc.write_u8(TYPE_REQUEST);
+                enc.write_u64(*request_id);
+                object_key.encode(&mut enc);
+                enc.write_string(operation);
+                enc.write_bool(*response_expected);
+                enc.write_bytes(body);
+            }
+            GiopMessage::Reply {
+                request_id,
+                status,
+                body,
+            } => {
+                enc.write_u8(TYPE_REPLY);
+                enc.write_u64(*request_id);
+                match status {
+                    ReplyStatus::NoException => enc.write_u32(0),
+                    ReplyStatus::UserException => enc.write_u32(1),
+                    ReplyStatus::SystemException(se) => {
+                        enc.write_u32(2);
+                        enc.write_u32(se.code());
+                    }
+                }
+                enc.write_bytes(body);
+            }
+        }
+        enc.finish()
+    }
+
+    /// Parses a wire frame.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::BadHeader`] if the frame is not GIOP;
+    /// [`FrameError::BadBody`] if the body is malformed.
+    pub fn from_frame(frame: &[u8]) -> Result<Self, FrameError> {
+        let mut dec = CdrDecoder::new(frame);
+        let mut magic = [0u8; 4];
+        for b in &mut magic {
+            *b = dec.read_u8().map_err(|_| FrameError::BadHeader)?;
+        }
+        if &magic != MAGIC {
+            return Err(FrameError::BadHeader);
+        }
+        let version = dec.read_u8().map_err(|_| FrameError::BadHeader)?;
+        if version != VERSION {
+            return Err(FrameError::BadHeader);
+        }
+        let msg_type = dec.read_u8().map_err(|_| FrameError::BadHeader)?;
+        match msg_type {
+            TYPE_REQUEST => {
+                let request_id = dec.read_u64()?;
+                let object_key = ObjectKey::decode(&mut dec)?;
+                let operation = dec.read_string()?;
+                let response_expected = dec.read_bool()?;
+                let body = Bytes::from(dec.read_bytes()?);
+                Ok(GiopMessage::Request {
+                    request_id,
+                    object_key,
+                    operation,
+                    response_expected,
+                    body,
+                })
+            }
+            TYPE_REPLY => {
+                let request_id = dec.read_u64()?;
+                let status = match dec.read_u32()? {
+                    0 => ReplyStatus::NoException,
+                    1 => ReplyStatus::UserException,
+                    2 => ReplyStatus::SystemException(SystemException::from_code(
+                        dec.read_u32()?,
+                    )?),
+                    other => return Err(CdrError::BadDiscriminant(other).into()),
+                };
+                let body = Bytes::from(dec.read_bytes()?);
+                Ok(GiopMessage::Reply {
+                    request_id,
+                    status,
+                    body,
+                })
+            }
+            _ => Err(FrameError::BadHeader),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn request_round_trip() {
+        let msg = GiopMessage::Request {
+            request_id: 42,
+            object_key: ObjectKey::new("nso"),
+            operation: "multicast".to_owned(),
+            response_expected: true,
+            body: Bytes::from_static(b"payload"),
+        };
+        let frame = msg.to_frame();
+        assert_eq!(GiopMessage::from_frame(&frame).unwrap(), msg);
+    }
+
+    #[test]
+    fn reply_round_trip_all_statuses() {
+        for status in [
+            ReplyStatus::NoException,
+            ReplyStatus::UserException,
+            ReplyStatus::SystemException(SystemException::CommFailure),
+            ReplyStatus::SystemException(SystemException::ObjectNotExist),
+        ] {
+            let msg = GiopMessage::Reply {
+                request_id: 7,
+                status: status.clone(),
+                body: Bytes::from_static(b"r"),
+            };
+            assert_eq!(GiopMessage::from_frame(&msg.to_frame()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn non_giop_frames_are_rejected() {
+        assert_eq!(
+            GiopMessage::from_frame(b"HTTP/1.1 200 OK"),
+            Err(FrameError::BadHeader)
+        );
+        assert_eq!(GiopMessage::from_frame(b""), Err(FrameError::BadHeader));
+        assert_eq!(GiopMessage::from_frame(b"GIO"), Err(FrameError::BadHeader));
+    }
+
+    #[test]
+    fn truncated_body_is_bad_body() {
+        let msg = GiopMessage::Request {
+            request_id: 1,
+            object_key: ObjectKey::new("k"),
+            operation: "op".to_owned(),
+            response_expected: false,
+            body: Bytes::from_static(b"xyz"),
+        };
+        let frame = msg.to_frame();
+        let truncated = &frame[..frame.len() - 2];
+        assert!(matches!(
+            GiopMessage::from_frame(truncated),
+            Err(FrameError::BadBody(_))
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_frames_round_trip(
+            id in any::<u64>(),
+            key in "[a-z]{1,16}",
+            op in "[a-z_]{1,24}",
+            expected in any::<bool>(),
+            body in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let msg = GiopMessage::Request {
+                request_id: id,
+                object_key: ObjectKey::new(key),
+                operation: op,
+                response_expected: expected,
+                body: Bytes::from(body),
+            };
+            prop_assert_eq!(GiopMessage::from_frame(&msg.to_frame()).unwrap(), msg);
+        }
+
+        #[test]
+        fn prop_parser_never_panics(frame in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = GiopMessage::from_frame(&frame);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Object references (IORs) and object group references (IOGRs).
+//!
+//! An [`ObjectRef`] locates one servant: the node that hosts it plus its
+//! key within that node's object adapter — a miniature Interoperable
+//! Object Reference. A [`GroupObjectRef`] embeds several member IORs in a
+//! single reference with a designated primary, mirroring the IOGR of the
+//! CORBA fault-tolerance specification the paper anticipates (§2.2): the
+//! ORB tries the primary first and fails over to the remaining members,
+//! which is exactly the transparent open-group rebinding hook NewTop
+//! exploits.
+
+use std::fmt;
+
+use crate::cdr::{CdrDecode, CdrDecoder, CdrEncode, CdrEncoder, CdrError};
+use newtop_net::site::NodeId;
+
+/// The key of an object within a node's object adapter.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectKey(String);
+
+impl ObjectKey {
+    /// Creates a key from a name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        ObjectKey(name.into())
+    }
+
+    /// The key as a string.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ObjectKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ObjectKey {
+    fn from(s: &str) -> Self {
+        ObjectKey::new(s)
+    }
+}
+
+impl From<String> for ObjectKey {
+    fn from(s: String) -> Self {
+        ObjectKey(s)
+    }
+}
+
+impl CdrEncode for ObjectKey {
+    fn encode(&self, enc: &mut CdrEncoder) {
+        enc.write_string(&self.0);
+    }
+}
+
+impl CdrDecode for ObjectKey {
+    fn decode(dec: &mut CdrDecoder<'_>) -> Result<Self, CdrError> {
+        Ok(ObjectKey(dec.read_string()?))
+    }
+}
+
+/// A reference to a single remote object: node + object key.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectRef {
+    /// The node hosting the servant.
+    pub node: NodeId,
+    /// The servant's key within that node's adapter.
+    pub key: ObjectKey,
+}
+
+impl ObjectRef {
+    /// Creates a reference.
+    #[must_use]
+    pub fn new(node: NodeId, key: impl Into<ObjectKey>) -> Self {
+        ObjectRef {
+            node,
+            key: key.into(),
+        }
+    }
+}
+
+impl fmt::Display for ObjectRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.key, self.node)
+    }
+}
+
+impl CdrEncode for ObjectRef {
+    fn encode(&self, enc: &mut CdrEncoder) {
+        enc.write_u32(self.node.index());
+        self.key.encode(enc);
+    }
+}
+
+impl CdrDecode for ObjectRef {
+    fn decode(dec: &mut CdrDecoder<'_>) -> Result<Self, CdrError> {
+        let node = NodeId::from_index(dec.read_u32()?);
+        let key = ObjectKey::decode(dec)?;
+        Ok(ObjectRef { node, key })
+    }
+}
+
+/// An interoperable object *group* reference: the member IORs of a group
+/// embedded in one reference, with a primary to try first.
+///
+/// ```
+/// use newtop_orb::ior::{GroupObjectRef, ObjectRef};
+/// use newtop_net::site::NodeId;
+///
+/// let members = vec![
+///     ObjectRef::new(NodeId::from_index(0), "svc"),
+///     ObjectRef::new(NodeId::from_index(1), "svc"),
+/// ];
+/// let mut iogr = GroupObjectRef::new(members).unwrap();
+/// let first = iogr.primary().clone();
+/// let next = iogr.fail_over().unwrap().clone();
+/// assert_ne!(first, next);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupObjectRef {
+    members: Vec<ObjectRef>,
+    primary: usize,
+}
+
+impl GroupObjectRef {
+    /// Creates a group reference with the first member as primary.
+    ///
+    /// Returns `None` for an empty member list.
+    #[must_use]
+    pub fn new(members: Vec<ObjectRef>) -> Option<Self> {
+        if members.is_empty() {
+            return None;
+        }
+        Some(GroupObjectRef {
+            members,
+            primary: 0,
+        })
+    }
+
+    /// All member references, in profile order.
+    #[must_use]
+    pub fn members(&self) -> &[ObjectRef] {
+        &self.members
+    }
+
+    /// The member the ORB should try first.
+    #[must_use]
+    pub fn primary(&self) -> &ObjectRef {
+        &self.members[self.primary]
+    }
+
+    /// Marks the current primary failed and advances to the next member,
+    /// returning it — or `None` when every member has been tried since the
+    /// last [`Self::reset`].
+    pub fn fail_over(&mut self) -> Option<&ObjectRef> {
+        if self.primary + 1 >= self.members.len() {
+            return None;
+        }
+        self.primary += 1;
+        Some(&self.members[self.primary])
+    }
+
+    /// Makes the first member primary again (e.g. after the group has been
+    /// repaired).
+    pub fn reset(&mut self) {
+        self.primary = 0;
+    }
+
+    /// Number of member profiles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Always false: group references hold at least one member.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl fmt::Display for GroupObjectRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "group[")?;
+        for (i, m) in self.members.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if i == self.primary {
+                write!(f, "*{m}")?;
+            } else {
+                write!(f, "{m}")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+impl CdrEncode for GroupObjectRef {
+    fn encode(&self, enc: &mut CdrEncoder) {
+        self.members.encode(enc);
+        enc.write_u32(self.primary as u32);
+    }
+}
+
+impl CdrDecode for GroupObjectRef {
+    fn decode(dec: &mut CdrDecoder<'_>) -> Result<Self, CdrError> {
+        let members: Vec<ObjectRef> = Vec::decode(dec)?;
+        let primary = dec.read_u32()? as usize;
+        if members.is_empty() || primary >= members.len() {
+            return Err(CdrError::BadDiscriminant(primary as u32));
+        }
+        Ok(GroupObjectRef { members, primary })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(n: u32) -> ObjectRef {
+        ObjectRef::new(NodeId::from_index(n), format!("obj{n}").as_str())
+    }
+
+    #[test]
+    fn object_ref_round_trip() {
+        let r = obj(3);
+        let b = r.to_cdr();
+        assert_eq!(ObjectRef::from_cdr(&b).unwrap(), r);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(obj(2).to_string(), "obj2@n2");
+        let g = GroupObjectRef::new(vec![obj(0), obj(1)]).unwrap();
+        assert_eq!(g.to_string(), "group[*obj0@n0, obj1@n1]");
+    }
+
+    #[test]
+    fn group_ref_requires_members() {
+        assert!(GroupObjectRef::new(vec![]).is_none());
+    }
+
+    #[test]
+    fn fail_over_walks_all_members_then_stops() {
+        let mut g = GroupObjectRef::new(vec![obj(0), obj(1), obj(2)]).unwrap();
+        assert_eq!(g.primary().node.index(), 0);
+        assert_eq!(g.fail_over().unwrap().node.index(), 1);
+        assert_eq!(g.fail_over().unwrap().node.index(), 2);
+        assert!(g.fail_over().is_none());
+        g.reset();
+        assert_eq!(g.primary().node.index(), 0);
+    }
+
+    #[test]
+    fn group_ref_round_trip_preserves_primary() {
+        let mut g = GroupObjectRef::new(vec![obj(0), obj(1)]).unwrap();
+        g.fail_over();
+        let b = g.to_cdr();
+        let g2 = GroupObjectRef::from_cdr(&b).unwrap();
+        assert_eq!(g2.primary().node.index(), 1);
+    }
+
+    #[test]
+    fn corrupt_group_ref_is_rejected() {
+        let g = GroupObjectRef::new(vec![obj(0)]).unwrap();
+        let mut enc = CdrEncoder::new();
+        g.members.encode(&mut enc);
+        enc.write_u32(17); // primary out of range
+        assert!(GroupObjectRef::from_cdr(&enc.finish()).is_err());
+    }
+}

@@ -1,0 +1,509 @@
+//! The sans-IO ORB core: invocation, correlation and dispatch.
+//!
+//! [`OrbCore`] owns one node's outgoing request table and its
+//! [`ObjectAdapter`]. It is driven by whichever runtime hosts it: feed it
+//! incoming packets with [`OrbCore::handle_packet`] and give every call an
+//! [`Outbox`] to emit wire traffic into.
+//!
+//! Two kinds of targets exist above this layer. Ordinary servants are
+//! registered in the adapter and dispatched automatically, with the reply
+//! sent in the same turn — that is the plain-CORBA path of the paper's
+//! Table 1. Protocol endpoints (the NewTop service object itself) are
+//! *not* registered; their traffic comes back from `handle_packet` as an
+//! [`OrbIncoming::Upcall`] so the owning state machine can run the group
+//! protocols and reply later via [`OrbCore::send_reply`].
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use bytes::Bytes;
+
+use newtop_net::sim::{Outbox, Packet};
+use newtop_net::site::NodeId;
+
+use crate::giop::{FrameError, GiopMessage, ReplyStatus, SystemException};
+use crate::ior::{ObjectKey, ObjectRef};
+use crate::servant::{ObjectAdapter, ServantError};
+
+/// Identifies an in-flight request issued by this ORB.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// Why an invocation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InvokeError {
+    /// The ORB raised a system exception.
+    System(SystemException),
+    /// The servant raised a user exception with this payload.
+    User(Bytes),
+}
+
+impl fmt::Display for InvokeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvokeError::System(se) => write!(f, "system exception: {se}"),
+            InvokeError::User(b) => write!(f, "user exception ({} bytes)", b.len()),
+        }
+    }
+}
+
+impl Error for InvokeError {}
+
+/// Something `handle_packet` wants the owner to know about.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OrbIncoming {
+    /// A reply to a request this ORB issued arrived.
+    Reply {
+        /// The completed request.
+        request: RequestId,
+        /// Its outcome.
+        result: Result<Bytes, InvokeError>,
+    },
+    /// A request arrived for an object key with no registered servant —
+    /// a protocol endpoint the owner must handle itself.
+    Upcall {
+        /// The invoking node.
+        from: NodeId,
+        /// The sender's request id; echo it in [`OrbCore::send_reply`].
+        request_id: u64,
+        /// Target key.
+        key: ObjectKey,
+        /// Operation name.
+        operation: String,
+        /// Marshalled arguments.
+        body: Bytes,
+        /// False for oneway invocations.
+        response_expected: bool,
+    },
+}
+
+#[derive(Debug)]
+struct Pending {
+    target: NodeId,
+}
+
+/// One node's ORB: request correlation plus servant dispatch.
+pub struct OrbCore {
+    local: NodeId,
+    next_request: u64,
+    pending: HashMap<u64, Pending>,
+    adapter: ObjectAdapter,
+}
+
+impl fmt::Debug for OrbCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrbCore")
+            .field("local", &self.local)
+            .field("pending", &self.pending.len())
+            .field("adapter", &self.adapter)
+            .finish()
+    }
+}
+
+impl OrbCore {
+    /// Creates an ORB for `local`.
+    #[must_use]
+    pub fn new(local: NodeId) -> Self {
+        OrbCore {
+            local,
+            next_request: 1,
+            pending: HashMap::new(),
+            adapter: ObjectAdapter::new(),
+        }
+    }
+
+    /// The node this ORB runs on.
+    #[must_use]
+    pub fn local(&self) -> NodeId {
+        self.local
+    }
+
+    /// The node's object adapter.
+    pub fn adapter_mut(&mut self) -> &mut ObjectAdapter {
+        &mut self.adapter
+    }
+
+    /// Number of requests awaiting replies.
+    #[must_use]
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Issues a request expecting a reply. The returned id identifies the
+    /// eventual [`OrbIncoming::Reply`].
+    pub fn invoke(
+        &mut self,
+        target: &ObjectRef,
+        operation: &str,
+        body: Bytes,
+        out: &mut Outbox,
+    ) -> RequestId {
+        let id = self.next_request;
+        self.next_request += 1;
+        self.pending.insert(id, Pending { target: target.node });
+        let msg = GiopMessage::Request {
+            request_id: id,
+            object_key: target.key.clone(),
+            operation: operation.to_owned(),
+            response_expected: true,
+            body,
+        };
+        out.send(target.node, msg.to_frame());
+        RequestId(id)
+    }
+
+    /// Issues a oneway (no-reply) request.
+    pub fn oneway(&mut self, target: &ObjectRef, operation: &str, body: Bytes, out: &mut Outbox) {
+        let id = self.next_request;
+        self.next_request += 1;
+        let msg = GiopMessage::Request {
+            request_id: id,
+            object_key: target.key.clone(),
+            operation: operation.to_owned(),
+            response_expected: false,
+            body,
+        };
+        out.send(target.node, msg.to_frame());
+    }
+
+    /// Forgets an in-flight request (e.g. the owner timed it out). Returns
+    /// whether it was still pending.
+    pub fn abandon(&mut self, request: RequestId) -> bool {
+        self.pending.remove(&request.0).is_some()
+    }
+
+    /// Fails every pending request addressed to `node` with
+    /// [`SystemException::CommFailure`], returning the failed ids. Called
+    /// by the owner when a peer is known to have crashed.
+    pub fn fail_pending_to(&mut self, node: NodeId) -> Vec<RequestId> {
+        let ids: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.target == node)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut failed: Vec<RequestId> = ids
+            .into_iter()
+            .map(|id| {
+                self.pending.remove(&id);
+                RequestId(id)
+            })
+            .collect();
+        failed.sort();
+        failed
+    }
+
+    /// Answers an [`OrbIncoming::Upcall`].
+    pub fn send_reply(
+        &mut self,
+        to: NodeId,
+        request_id: u64,
+        result: Result<Bytes, ServantError>,
+        out: &mut Outbox,
+    ) {
+        let (status, body) = match result {
+            Ok(b) => (ReplyStatus::NoException, b),
+            Err(ServantError::User(b)) => (ReplyStatus::UserException, b),
+            Err(ServantError::BadOperation(_)) => (
+                ReplyStatus::SystemException(SystemException::BadOperation),
+                Bytes::new(),
+            ),
+        };
+        let msg = GiopMessage::Reply {
+            request_id,
+            status,
+            body,
+        };
+        out.send(to, msg.to_frame());
+    }
+
+    /// Processes one incoming packet.
+    ///
+    /// Requests for registered servants are dispatched and answered here;
+    /// everything the owner must act on is returned. Non-GIOP or
+    /// malformed packets are dropped (returned as `None`), as are replies
+    /// to unknown (abandoned) requests.
+    pub fn handle_packet(&mut self, pkt: &Packet, out: &mut Outbox) -> Option<OrbIncoming> {
+        let msg = match GiopMessage::from_frame(&pkt.payload) {
+            Ok(m) => m,
+            Err(FrameError::BadHeader | FrameError::BadBody(_)) => return None,
+        };
+        match msg {
+            GiopMessage::Request {
+                request_id,
+                object_key,
+                operation,
+                response_expected,
+                body,
+            } => {
+                match self.adapter.dispatch(&object_key, &operation, &body) {
+                    Some(result) => {
+                        if response_expected {
+                            self.send_reply(pkt.src, request_id, result, out);
+                        }
+                        None
+                    }
+                    None => Some(OrbIncoming::Upcall {
+                        from: pkt.src,
+                        request_id,
+                        key: object_key,
+                        operation,
+                        body,
+                        response_expected,
+                    }),
+                }
+            }
+            GiopMessage::Reply {
+                request_id,
+                status,
+                body,
+            } => {
+                self.pending.remove(&request_id)?;
+                let result = match status {
+                    ReplyStatus::NoException => Ok(body),
+                    ReplyStatus::UserException => Err(InvokeError::User(body)),
+                    ReplyStatus::SystemException(se) => Err(InvokeError::System(se)),
+                };
+                Some(OrbIncoming::Reply {
+                    request: RequestId(request_id),
+                    result,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newtop_net::sim::{NodeEvent, Sim, SimConfig, SimNode};
+    use newtop_net::site::Site;
+    use newtop_net::time::SimTime;
+
+    /// A sim node hosting an OrbCore with an "add_one" servant.
+    struct ServerNode {
+        orb: Option<OrbCore>,
+    }
+
+    impl SimNode for ServerNode {
+        fn on_event(&mut self, _now: SimTime, ev: NodeEvent, out: &mut Outbox) {
+            if let NodeEvent::Packet(pkt) = ev {
+                if let Some(orb) = self.orb.as_mut() {
+                    let _ = orb.handle_packet(&pkt, out);
+                }
+            }
+        }
+    }
+
+    /// A sim node that calls "add_one" on the server and records the reply.
+    struct ClientNode {
+        orb: Option<OrbCore>,
+        server: ObjectRef,
+        reply: Option<Result<Bytes, InvokeError>>,
+    }
+
+    impl SimNode for ClientNode {
+        fn on_event(&mut self, _now: SimTime, ev: NodeEvent, out: &mut Outbox) {
+            let orb = self.orb.as_mut().expect("orb installed");
+            match ev {
+                NodeEvent::Start => {
+                    let mut enc = crate::cdr::CdrEncoder::new();
+                    enc.write_u32(41);
+                    orb.invoke(&self.server, "add_one", enc.finish(), out);
+                }
+                NodeEvent::Packet(pkt) => {
+                    if let Some(OrbIncoming::Reply { result, .. }) = orb.handle_packet(&pkt, out) {
+                        self.reply = Some(result);
+                    }
+                }
+                NodeEvent::Timer(..) => {}
+            }
+        }
+    }
+
+    fn add_one_servant() -> Box<dyn crate::servant::Servant> {
+        Box::new(|op: &str, args: &[u8]| {
+            if op != "add_one" {
+                return Err(ServantError::BadOperation(op.to_owned()));
+            }
+            let mut dec = crate::cdr::CdrDecoder::new(args);
+            let v = dec.read_u32().map_err(|_| ServantError::User(Bytes::new()))?;
+            let mut enc = crate::cdr::CdrEncoder::new();
+            enc.write_u32(v + 1);
+            Ok(enc.finish())
+        })
+    }
+
+    fn run_invocation(op_registered: bool) -> Option<Result<Bytes, InvokeError>> {
+        let mut sim = Sim::new(SimConfig::default());
+        let server_id = sim.add_node(Site::Lan, Box::new(ServerNode { orb: None }));
+        let client_id = sim.add_node(
+            Site::Lan,
+            Box::new(ClientNode {
+                orb: None,
+                server: ObjectRef::new(server_id, "svc"),
+                reply: None,
+            }),
+        );
+        {
+            let mut orb = OrbCore::new(server_id);
+            if op_registered {
+                orb.adapter_mut().activate("svc", add_one_servant());
+            }
+            sim.node_mut::<ServerNode>(server_id).unwrap().orb = Some(orb);
+            sim.node_mut::<ClientNode>(client_id).unwrap().orb = Some(OrbCore::new(client_id));
+        }
+        sim.run_until_idle();
+        sim.node_mut::<ClientNode>(client_id).unwrap().reply.take()
+    }
+
+    #[test]
+    fn end_to_end_invocation_over_the_sim() {
+        let reply = run_invocation(true).expect("reply arrived");
+        let body = reply.expect("no exception");
+        let mut dec = crate::cdr::CdrDecoder::new(&body);
+        assert_eq!(dec.read_u32().unwrap(), 42);
+    }
+
+    #[test]
+    fn missing_servant_surfaces_as_upcall_not_reply() {
+        // With no servant registered the server just drops the upcall, so
+        // the client never gets a reply.
+        assert!(run_invocation(false).is_none());
+    }
+
+    /// Runs `f` against a fresh detached outbox and returns the sends it
+    /// produced.
+    fn collect_sends(f: impl FnOnce(&mut Outbox)) -> Vec<(NodeId, Bytes)> {
+        let mut out = Outbox::detached(0);
+        f(&mut out);
+        out.into_parts().sends
+    }
+
+    #[test]
+    fn bad_operation_becomes_system_exception() {
+        let server_node = NodeId::from_index(0);
+        let client_node = NodeId::from_index(1);
+        let mut server = OrbCore::new(server_node);
+        server.adapter_mut().activate("svc", add_one_servant());
+        let mut client = OrbCore::new(client_node);
+        let mut id = None;
+        let mut sends = collect_sends(|out| {
+            id = Some(client.invoke(
+                &ObjectRef::new(server_node, "svc"),
+                "no_such_op",
+                Bytes::new(),
+                out,
+            ));
+        });
+        // Carry the request to the server by hand.
+        let (dst, frame) = sends.pop().unwrap();
+        assert_eq!(dst, server_node);
+        let req = Packet {
+            src: client_node,
+            dst,
+            payload: frame,
+        };
+        let mut sends = collect_sends(|out| {
+            assert!(server.handle_packet(&req, out).is_none());
+        });
+        let (dst, frame) = sends.pop().unwrap();
+        assert_eq!(dst, client_node);
+        let rep = Packet {
+            src: server_node,
+            dst,
+            payload: frame,
+        };
+        let mut incoming = None;
+        collect_sends(|out| {
+            incoming = client.handle_packet(&rep, out);
+        });
+        assert_eq!(
+            incoming.unwrap(),
+            OrbIncoming::Reply {
+                request: id.unwrap(),
+                result: Err(InvokeError::System(SystemException::BadOperation)),
+            }
+        );
+    }
+
+    #[test]
+    fn abandoned_requests_ignore_late_replies() {
+        let mut out = Outbox::detached(0);
+        let server_node = NodeId::from_index(0);
+        let mut client = OrbCore::new(NodeId::from_index(1));
+        let id = client.invoke(
+            &ObjectRef::new(server_node, "svc"),
+            "op",
+            Bytes::new(),
+            &mut out,
+        );
+        assert!(client.abandon(id));
+        assert!(!client.abandon(id));
+        let reply = GiopMessage::Reply {
+            request_id: 1,
+            status: ReplyStatus::NoException,
+            body: Bytes::new(),
+        };
+        let pkt = Packet {
+            src: server_node,
+            dst: client.local(),
+            payload: reply.to_frame(),
+        };
+        assert!(client.handle_packet(&pkt, &mut out).is_none());
+    }
+
+    #[test]
+    fn fail_pending_to_reports_only_that_node() {
+        let mut out = Outbox::detached(0);
+        let mut client = OrbCore::new(NodeId::from_index(9));
+        let a = client.invoke(
+            &ObjectRef::new(NodeId::from_index(1), "x"),
+            "op",
+            Bytes::new(),
+            &mut out,
+        );
+        let _b = client.invoke(
+            &ObjectRef::new(NodeId::from_index(2), "x"),
+            "op",
+            Bytes::new(),
+            &mut out,
+        );
+        let failed = client.fail_pending_to(NodeId::from_index(1));
+        assert_eq!(failed, vec![a]);
+        assert_eq!(client.pending_count(), 1);
+    }
+
+    #[test]
+    fn garbage_packets_are_dropped() {
+        let mut out = Outbox::detached(0);
+        let mut orb = OrbCore::new(NodeId::from_index(0));
+        let pkt = Packet {
+            src: NodeId::from_index(1),
+            dst: NodeId::from_index(0),
+            payload: Bytes::from_static(b"not giop at all"),
+        };
+        assert!(orb.handle_packet(&pkt, &mut out).is_none());
+    }
+
+    #[test]
+    fn oneway_requests_do_not_track_pending() {
+        let mut out = Outbox::detached(0);
+        let mut orb = OrbCore::new(NodeId::from_index(0));
+        orb.oneway(
+            &ObjectRef::new(NodeId::from_index(1), "x"),
+            "notify",
+            Bytes::new(),
+            &mut out,
+        );
+        assert_eq!(orb.pending_count(), 0);
+    }
+
+}

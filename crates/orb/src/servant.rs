@@ -1,0 +1,186 @@
+//! Servants and the object adapter.
+//!
+//! A [`Servant`] is the implementation side of an object reference: it
+//! receives operation names with marshalled arguments and produces
+//! marshalled results. The [`ObjectAdapter`] maps object keys to servants,
+//! the way a CORBA POA does.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use bytes::Bytes;
+
+use crate::ior::ObjectKey;
+
+/// Errors a servant can raise.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServantError {
+    /// The operation name is not implemented by this servant.
+    BadOperation(String),
+    /// An application-level (user) exception with a marshalled payload.
+    User(Bytes),
+}
+
+impl fmt::Display for ServantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServantError::BadOperation(op) => write!(f, "operation not implemented: {op}"),
+            ServantError::User(b) => write!(f, "user exception ({} bytes)", b.len()),
+        }
+    }
+}
+
+impl Error for ServantError {}
+
+/// The implementation of one object.
+pub trait Servant: Send {
+    /// Executes `operation` with marshalled `args`, returning the
+    /// marshalled result.
+    ///
+    /// # Errors
+    ///
+    /// [`ServantError::BadOperation`] for unknown operations, or
+    /// [`ServantError::User`] to raise an application exception.
+    fn dispatch(&mut self, operation: &str, args: &[u8]) -> Result<Bytes, ServantError>;
+}
+
+impl<F> Servant for F
+where
+    F: FnMut(&str, &[u8]) -> Result<Bytes, ServantError> + Send,
+{
+    fn dispatch(&mut self, operation: &str, args: &[u8]) -> Result<Bytes, ServantError> {
+        self(operation, args)
+    }
+}
+
+/// Maps object keys to servants for one node.
+#[derive(Default)]
+pub struct ObjectAdapter {
+    servants: HashMap<ObjectKey, Box<dyn Servant>>,
+}
+
+impl fmt::Debug for ObjectAdapter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut keys: Vec<&ObjectKey> = self.servants.keys().collect();
+        keys.sort();
+        f.debug_struct("ObjectAdapter").field("keys", &keys).finish()
+    }
+}
+
+impl ObjectAdapter {
+    /// Creates an empty adapter.
+    #[must_use]
+    pub fn new() -> Self {
+        ObjectAdapter::default()
+    }
+
+    /// Activates a servant under `key`, replacing any previous one.
+    pub fn activate(&mut self, key: impl Into<ObjectKey>, servant: Box<dyn Servant>) {
+        self.servants.insert(key.into(), servant);
+    }
+
+    /// Deactivates the servant under `key`, returning it if present.
+    pub fn deactivate(&mut self, key: &ObjectKey) -> Option<Box<dyn Servant>> {
+        self.servants.remove(key)
+    }
+
+    /// Whether a servant is active under `key`.
+    #[must_use]
+    pub fn is_active(&self, key: &ObjectKey) -> bool {
+        self.servants.contains_key(key)
+    }
+
+    /// Dispatches an operation to the servant under `key`.
+    ///
+    /// Returns `None` if no servant is active under that key (the caller
+    /// turns this into an `ObjectNotExist` system exception).
+    pub fn dispatch(
+        &mut self,
+        key: &ObjectKey,
+        operation: &str,
+        args: &[u8],
+    ) -> Option<Result<Bytes, ServantError>> {
+        self.servants
+            .get_mut(key)
+            .map(|s| s.dispatch(operation, args))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        n: u64,
+    }
+
+    impl Servant for Counter {
+        fn dispatch(&mut self, operation: &str, _args: &[u8]) -> Result<Bytes, ServantError> {
+            match operation {
+                "incr" => {
+                    self.n += 1;
+                    Ok(Bytes::copy_from_slice(&self.n.to_be_bytes()))
+                }
+                other => Err(ServantError::BadOperation(other.to_owned())),
+            }
+        }
+    }
+
+    #[test]
+    fn adapter_routes_to_servant() {
+        let mut oa = ObjectAdapter::new();
+        oa.activate("counter", Box::new(Counter { n: 0 }));
+        let r = oa
+            .dispatch(&ObjectKey::new("counter"), "incr", &[])
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.as_ref(), 1u64.to_be_bytes());
+        let r = oa
+            .dispatch(&ObjectKey::new("counter"), "incr", &[])
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.as_ref(), 2u64.to_be_bytes());
+    }
+
+    #[test]
+    fn unknown_key_is_none() {
+        let mut oa = ObjectAdapter::new();
+        assert!(oa.dispatch(&ObjectKey::new("ghost"), "op", &[]).is_none());
+    }
+
+    #[test]
+    fn unknown_operation_is_bad_operation() {
+        let mut oa = ObjectAdapter::new();
+        oa.activate("counter", Box::new(Counter { n: 0 }));
+        let err = oa
+            .dispatch(&ObjectKey::new("counter"), "zap", &[])
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(err, ServantError::BadOperation("zap".to_owned()));
+    }
+
+    #[test]
+    fn closures_are_servants() {
+        let mut oa = ObjectAdapter::new();
+        oa.activate(
+            "echo",
+            Box::new(|_op: &str, args: &[u8]| Ok(Bytes::copy_from_slice(args))),
+        );
+        let r = oa
+            .dispatch(&ObjectKey::new("echo"), "any", b"hello")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.as_ref(), b"hello");
+    }
+
+    #[test]
+    fn deactivate_removes() {
+        let mut oa = ObjectAdapter::new();
+        oa.activate("counter", Box::new(Counter { n: 0 }));
+        assert!(oa.is_active(&ObjectKey::new("counter")));
+        assert!(oa.deactivate(&ObjectKey::new("counter")).is_some());
+        assert!(!oa.is_active(&ObjectKey::new("counter")));
+        assert!(oa.deactivate(&ObjectKey::new("counter")).is_none());
+    }
+}

@@ -1,0 +1,380 @@
+//! Threaded runtime for the NewTop service object.
+//!
+//! The [`Nso`] is a sans-IO state machine; this crate hosts one per
+//! thread with wall-clock timers and a real transport (the in-process
+//! [`newtop_net::channel::ChannelNetwork`] or framed TCP via
+//! [`newtop_net::tcp::TcpEndpoint`]), so the runnable examples are
+//! genuinely concurrent programs rather than simulations.
+//!
+//! Each node runs an event loop selecting over incoming packets,
+//! application commands and its timer wheel. Applications drive the node
+//! through a [`NodeHandle`]: [`NodeHandle::with_nso`] runs a closure
+//! against the NSO inside the loop (so no locking is ever needed), and
+//! [`NodeHandle::outputs`] / [`NodeHandle::wait_for_output`] receive the
+//! NSO's outputs.
+//!
+//! ```
+//! use newtop_rt::NodeRuntime;
+//! use newtop_net::channel::ChannelNetwork;
+//! use newtop_net::site::NodeId;
+//!
+//! let net = ChannelNetwork::new();
+//! let a = NodeId::from_index(0);
+//! let (transport, incoming) = net.endpoint(a);
+//! let node = NodeRuntime::spawn(a, transport, incoming);
+//! let id = node.with_nso(|nso, _now, _out| nso.node());
+//! assert_eq!(id, a);
+//! node.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+
+use newtop::nso::{Nso, NsoOutput};
+use newtop_net::sim::{Outbox, Packet, TimerId};
+use newtop_net::site::NodeId;
+use newtop_net::time::SimTime;
+use newtop_net::transport::WireTransport;
+
+type Command = Box<dyn FnOnce(&mut Nso, SimTime, &mut Outbox) + Send>;
+
+/// A handle to a node hosted by [`NodeRuntime::spawn`].
+pub struct NodeHandle {
+    node: NodeId,
+    commands: Sender<Command>,
+    outputs: Receiver<NsoOutput>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for NodeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NodeHandle({})", self.node)
+    }
+}
+
+impl NodeHandle {
+    /// The hosted node's id.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Runs a closure against the NSO inside its event loop and returns
+    /// the result. Blocks until the loop has executed it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node's event loop has stopped.
+    pub fn with_nso<R, F>(&self, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut Nso, SimTime, &mut Outbox) -> R + Send + 'static,
+    {
+        let (tx, rx) = bounded(1);
+        self.commands
+            .send(Box::new(move |nso, now, out| {
+                let _ = tx.send(f(nso, now, out));
+            }))
+            .expect("node event loop stopped");
+        rx.recv().expect("node event loop stopped")
+    }
+
+    /// The stream of NSO outputs.
+    #[must_use]
+    pub fn outputs(&self) -> &Receiver<NsoOutput> {
+        &self.outputs
+    }
+
+    /// Waits until an output matching `pred` arrives (discarding
+    /// non-matching outputs), or the timeout elapses.
+    pub fn wait_for_output(
+        &self,
+        timeout: Duration,
+        mut pred: impl FnMut(&NsoOutput) -> bool,
+    ) -> Option<NsoOutput> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            match self.outputs.recv_timeout(remaining) {
+                Ok(o) if pred(&o) => return Some(o),
+                Ok(_) => {}
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Stops the event loop and joins the thread. Idempotent; also done
+    /// on drop.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        // Closing the command channel stops the loop.
+        let (dead_tx, _) = unbounded();
+        let _ = std::mem::replace(&mut self.commands, dead_tx);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for NodeHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Spawns NSO event loops on threads.
+pub struct NodeRuntime;
+
+impl NodeRuntime {
+    /// Spawns a node: an NSO event loop over `transport`, receiving
+    /// packets from `incoming`.
+    pub fn spawn<T: WireTransport>(
+        node: NodeId,
+        transport: T,
+        incoming: Receiver<Packet>,
+    ) -> NodeHandle {
+        let (cmd_tx, cmd_rx) = unbounded::<Command>();
+        let (out_tx, out_rx) = unbounded::<NsoOutput>();
+        let join = std::thread::Builder::new()
+            .name(format!("nso-{node}"))
+            .spawn(move || event_loop(node, &transport, &incoming, &cmd_rx, &out_tx))
+            .expect("failed to spawn node thread");
+        NodeHandle {
+            node,
+            commands: cmd_tx,
+            outputs: out_rx,
+            join: Some(join),
+        }
+    }
+}
+
+struct TimerEntry {
+    deadline: Instant,
+    seq: u64,
+    id: TimerId,
+    tag: u64,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.deadline, self.seq) == (other.deadline, other.seq)
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+fn event_loop(
+    node: NodeId,
+    transport: &dyn WireTransport,
+    incoming: &Receiver<Packet>,
+    commands: &Receiver<Command>,
+    outputs: &Sender<NsoOutput>,
+) {
+    let start = Instant::now();
+    let mut nso = Nso::new(node);
+    let mut timers: BinaryHeap<Reverse<TimerEntry>> = BinaryHeap::new();
+    let mut cancelled: HashSet<TimerId> = HashSet::new();
+    let mut next_outbox_timer: u64 = 0;
+    let mut timer_seq: u64 = 0;
+
+    let now = |start: Instant| SimTime::from_nanos(start.elapsed().as_nanos() as u64);
+
+    loop {
+        // Fire due timers.
+        let mut due: Vec<(TimerId, u64)> = Vec::new();
+        let instant_now = Instant::now();
+        while let Some(Reverse(head)) = timers.peek() {
+            if head.deadline > instant_now {
+                break;
+            }
+            let Reverse(entry) = timers.pop().expect("peeked");
+            if !cancelled.remove(&entry.id) {
+                due.push((entry.id, entry.tag));
+            }
+        }
+        for (_, tag) in due {
+            let mut out = Outbox::detached(next_outbox_timer);
+            nso.on_timer(tag, now(start), &mut out);
+            next_outbox_timer = apply_outbox(
+                transport,
+                &mut timers,
+                &mut cancelled,
+                &mut timer_seq,
+                out,
+            );
+            drain_outputs(&mut nso, outputs);
+        }
+
+        // Wait for the next packet/command, bounded by the next timer.
+        let timeout = timers
+            .peek()
+            .map_or(Duration::from_millis(50), |Reverse(t)| {
+                t.deadline.saturating_duration_since(Instant::now())
+            });
+
+        crossbeam::channel::select! {
+            recv(incoming) -> pkt => {
+                let Ok(pkt) = pkt else { return };
+                let mut out = Outbox::detached(next_outbox_timer);
+                nso.on_packet(&pkt, now(start), &mut out);
+                next_outbox_timer = apply_outbox(transport, &mut timers, &mut cancelled, &mut timer_seq, out);
+                drain_outputs(&mut nso, outputs);
+            }
+            recv(commands) -> cmd => {
+                let Ok(cmd) = cmd else { return };
+                let mut out = Outbox::detached(next_outbox_timer);
+                cmd(&mut nso, now(start), &mut out);
+                next_outbox_timer = apply_outbox(transport, &mut timers, &mut cancelled, &mut timer_seq, out);
+                drain_outputs(&mut nso, outputs);
+            }
+            default(timeout) => {}
+        }
+    }
+}
+
+fn apply_outbox(
+    transport: &dyn WireTransport,
+    timers: &mut BinaryHeap<Reverse<TimerEntry>>,
+    cancelled: &mut HashSet<TimerId>,
+    timer_seq: &mut u64,
+    out: Outbox,
+) -> u64 {
+    let parts = out.into_parts();
+    for id in parts.timer_cancels {
+        cancelled.insert(id);
+    }
+    let now = Instant::now();
+    for (id, delay, tag) in parts.timer_sets {
+        if cancelled.remove(&id) {
+            continue;
+        }
+        *timer_seq += 1;
+        timers.push(Reverse(TimerEntry {
+            deadline: now + delay,
+            seq: *timer_seq,
+            id,
+            tag,
+        }));
+    }
+    for (dst, payload) in parts.sends {
+        // Best effort: the protocol layers handle loss via NACKs and
+        // suspicion.
+        let _ = transport.send(dst, payload);
+    }
+    parts.next_timer
+}
+
+fn drain_outputs(nso: &mut Nso, outputs: &Sender<NsoOutput>) {
+    for o in nso.take_outputs() {
+        let _ = outputs.send(o);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use newtop::nso::BindOptions;
+    use newtop_gcs::group::{GroupConfig, GroupId};
+    use newtop_invocation::api::{OpenOptimisation, Replication, ReplyMode};
+    use newtop_net::channel::ChannelNetwork;
+
+    fn spawn_cluster(n: usize) -> Vec<NodeHandle> {
+        let net = ChannelNetwork::new();
+        (0..n)
+            .map(|i| {
+                let id = NodeId::from_index(i as u32);
+                let (transport, rx) = net.endpoint(id);
+                NodeRuntime::spawn(id, transport, rx)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn with_nso_runs_in_the_loop() {
+        let nodes = spawn_cluster(1);
+        let id = nodes[0].with_nso(|nso, _, _| nso.node());
+        assert_eq!(id, NodeId::from_index(0));
+    }
+
+    #[test]
+    fn request_reply_over_threads() {
+        let nodes = spawn_cluster(3);
+        let servers: Vec<NodeId> = (0..2).map(NodeId::from_index).collect();
+        let group = GroupId::new("svc");
+
+        for handle in &nodes[..2] {
+            let group = group.clone();
+            let members = servers.clone();
+            handle.with_nso(move |nso, now, out| {
+                nso.create_server_group(
+                    group.clone(),
+                    members,
+                    Replication::Active,
+                    OpenOptimisation::None,
+                    GroupConfig::request_reply(),
+                    now,
+                    out,
+                )
+                .unwrap();
+                let me = nso.node().index();
+                nso.register_group_servant(
+                    group,
+                    Box::new(move |op: &str, _: &[u8]| Bytes::from(format!("{op}@{me}"))),
+                );
+            });
+        }
+
+        let client = &nodes[2];
+        let g = group.clone();
+        let svrs = servers.clone();
+        client.with_nso(move |nso, now, out| {
+            nso.bind_closed(g, svrs, BindOptions::default(), now, out)
+                .unwrap();
+        });
+        let ready = client
+            .wait_for_output(Duration::from_secs(10), |o| {
+                matches!(o, NsoOutput::BindingReady { .. })
+            })
+            .expect("binding established");
+        let NsoOutput::BindingReady { group: binding } = ready else {
+            unreachable!()
+        };
+        let b = binding.clone();
+        client.with_nso(move |nso, now, out| {
+            nso.invoke(&b, "ping", Bytes::new(), ReplyMode::All, now, out)
+                .unwrap();
+        });
+        let done = client
+            .wait_for_output(Duration::from_secs(10), |o| {
+                matches!(o, NsoOutput::InvocationComplete { .. })
+            })
+            .expect("invocation completed");
+        let NsoOutput::InvocationComplete { replies, .. } = done else {
+            unreachable!()
+        };
+        assert_eq!(replies.len(), 2);
+        for h in nodes {
+            h.shutdown();
+        }
+    }
+}

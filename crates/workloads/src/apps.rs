@@ -1,0 +1,336 @@
+//! NSO applications driving the paper's workloads.
+//!
+//! * [`ServerApp`] — one replica of the random-number service.
+//! * [`ClientApp`] — a closed-loop request-reply client (open or closed
+//!   binding), with §4.1 rebind-and-retry on a broken binding.
+//! * [`PeerApp`] — a peer-participation member multicasting 100-character
+//!   strings as fast as its own deliveries come back.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use newtop::nso::{BindOptions, Nso, NsoOutput};
+use newtop::simnode::NsoApp;
+use newtop::tags;
+use newtop_gcs::group::{DeliveryOrder, GroupConfig, GroupId, OrderProtocol};
+use newtop_invocation::api::{OpenOptimisation, Replication, ReplyMode};
+use newtop_net::sim::Outbox;
+use newtop_net::site::NodeId;
+use newtop_net::time::SimTime;
+use newtop_orb::cdr::{CdrDecoder, CdrEncoder};
+
+use crate::plain::RandomServant;
+
+/// One replica of the replicated random-number service.
+pub struct ServerApp {
+    /// The server group's id.
+    pub group: GroupId,
+    /// Full membership (every replica runs this app with the same list).
+    pub members: Vec<NodeId>,
+    /// Replication discipline.
+    pub replication: Replication,
+    /// Open-group optimisation policy.
+    pub optimisation: OpenOptimisation,
+    /// Group configuration (ordering protocol, liveness, time-silence).
+    pub config: GroupConfig,
+    /// Servant seed.
+    pub seed: u64,
+}
+
+impl NsoApp for ServerApp {
+    fn on_start(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        nso.create_server_group(
+            self.group.clone(),
+            self.members.clone(),
+            self.replication,
+            self.optimisation,
+            self.config.clone(),
+            now,
+            out,
+        )
+        .expect("server group creation");
+        let mut servant = RandomServant::new(self.seed ^ u64::from(nso.node().index()));
+        nso.register_group_servant(
+            self.group.clone(),
+            Box::new(move |op: &str, _args: &[u8]| {
+                servant.run(op).unwrap_or_default()
+            }),
+        );
+    }
+
+    fn on_output(&mut self, _nso: &mut Nso, _output: NsoOutput, _now: SimTime, _out: &mut Outbox) {}
+}
+
+/// How a [`ClientApp`] binds to the service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientStyle {
+    /// Closed client/server group containing every server.
+    Closed,
+    /// Open binding to the given server (an index into the server list).
+    Open {
+        /// Which server acts as this client's request manager.
+        manager_index: usize,
+    },
+}
+
+/// A closed-loop request-reply client: issues the next request the moment
+/// the previous reply completes (the paper's measurement client).
+pub struct ClientApp {
+    /// The server group to bind to.
+    pub server_group: GroupId,
+    /// The service's replicas (for binding and rebinding).
+    pub servers: Vec<NodeId>,
+    /// Binding style.
+    pub style: ClientStyle,
+    /// Reply-collection primitive.
+    pub mode: ReplyMode,
+    /// Ordering protocol for the client/server group.
+    pub ordering: OrderProtocol,
+    /// Stagger before binding.
+    pub start_delay: Duration,
+    /// `(completion time, response time)` per completed call.
+    pub completions: Vec<(SimTime, Duration)>,
+    /// Times a binding broke and the client rebound.
+    pub rebinds: u32,
+    binding: Option<GroupId>,
+    issued_at: HashMap<u64, SimTime>,
+    current_manager_index: usize,
+}
+
+impl ClientApp {
+    /// Creates a client for the standard sweep.
+    #[must_use]
+    pub fn new(
+        server_group: GroupId,
+        servers: Vec<NodeId>,
+        style: ClientStyle,
+        mode: ReplyMode,
+        ordering: OrderProtocol,
+        start_delay: Duration,
+    ) -> Self {
+        let current_manager_index = match &style {
+            ClientStyle::Open { manager_index } => *manager_index,
+            ClientStyle::Closed => 0,
+        };
+        ClientApp {
+            server_group,
+            servers,
+            style,
+            mode,
+            ordering,
+            start_delay,
+            completions: Vec::new(),
+            rebinds: 0,
+            binding: None,
+            issued_at: HashMap::new(),
+            current_manager_index,
+        }
+    }
+
+    fn bind(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        let opts = BindOptions {
+            ordering: self.ordering,
+            ..BindOptions::default()
+        };
+        match &self.style {
+            ClientStyle::Closed => {
+                nso.bind_closed(
+                    self.server_group.clone(),
+                    self.servers.clone(),
+                    opts,
+                    now,
+                    out,
+                )
+                .expect("bind");
+            }
+            ClientStyle::Open { .. } => {
+                let manager = self.servers[self.current_manager_index % self.servers.len()];
+                nso.bind_open(self.server_group.clone(), manager, opts, now, out)
+                    .expect("bind");
+            }
+        }
+    }
+
+    fn issue(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        let Some(binding) = self.binding.clone() else {
+            return;
+        };
+        match nso.invoke(&binding, "rand", Bytes::new(), self.mode, now, out) {
+            Ok(call) => {
+                self.issued_at.insert(call.number, now);
+            }
+            Err(_) => {
+                // Binding raced away; a rebind is in flight.
+            }
+        }
+    }
+}
+
+impl NsoApp for ClientApp {
+    fn on_start(&mut self, _nso: &mut Nso, _now: SimTime, out: &mut Outbox) {
+        out.set_timer(self.start_delay, tags::APP_BASE);
+    }
+
+    fn on_timer(&mut self, nso: &mut Nso, _tag: u64, now: SimTime, out: &mut Outbox) {
+        self.bind(nso, now, out);
+    }
+
+    fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {
+        match output {
+            NsoOutput::BindingReady { group } => {
+                self.binding = Some(group.clone());
+                // Rebind-and-retry (§4.1): re-issue whatever is still
+                // pending with the original call numbers; only start fresh
+                // traffic when nothing is outstanding.
+                let pending: Vec<u64> = self.issued_at.keys().copied().collect();
+                if pending.is_empty() {
+                    self.issue(nso, now, out);
+                }
+                for number in pending {
+                    let _ = nso.retry(number, &group, now, out);
+                }
+            }
+            NsoOutput::BindFailed { .. } => {
+                // Try the next server.
+                self.current_manager_index += 1;
+                self.bind(nso, now, out);
+            }
+            NsoOutput::BindingBroken { .. } => {
+                self.rebinds += 1;
+                self.binding = None;
+                self.current_manager_index += 1;
+                self.bind(nso, now, out);
+            }
+            NsoOutput::InvocationComplete { call, .. } => {
+                if let Some(at) = self.issued_at.remove(&call.number) {
+                    self.completions.push((now, now - at));
+                }
+                self.issue(nso, now, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A peer-participation member: multicasts fixed-size payloads "as
+/// frequently as possible" (§5.2) — open-loop sends paced by the ORB's
+/// per-invocation cost, with a small outstanding cap so an overloaded
+/// group applies backpressure instead of flooding unboundedly.
+pub struct PeerApp {
+    /// The peer group.
+    pub group: GroupId,
+    /// Full membership.
+    pub members: Vec<NodeId>,
+    /// Group configuration (the peer experiments sweep the ordering
+    /// protocol; liveness is lively).
+    pub config: GroupConfig,
+    /// Payload size in bytes (the paper used 100-character strings).
+    pub payload_len: usize,
+    /// Interval between send attempts (models the ORB's asynchronous
+    /// invocation issue rate).
+    pub pace: Duration,
+    /// Maximum own multicasts in flight (sent but not yet self-delivered)
+    /// before the sender holds off.
+    pub max_outstanding: u64,
+    /// Stagger before the first send.
+    pub start_delay: Duration,
+    /// When each of this member's multicasts was issued, by index.
+    pub sent_at: HashMap<u64, SimTime>,
+    /// Every delivery observed here: `(sender, index, delivery time)`.
+    pub deliveries: Vec<(NodeId, u64, SimTime)>,
+    next_index: u64,
+    own_delivered: u64,
+}
+
+impl PeerApp {
+    /// Creates a peer member.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        group: GroupId,
+        members: Vec<NodeId>,
+        config: GroupConfig,
+        payload_len: usize,
+        pace: Duration,
+        max_outstanding: u64,
+        start_delay: Duration,
+    ) -> Self {
+        PeerApp {
+            group,
+            members,
+            config,
+            payload_len,
+            pace,
+            max_outstanding,
+            start_delay,
+            sent_at: HashMap::new(),
+            deliveries: Vec::new(),
+            next_index: 1,
+            own_delivered: 0,
+        }
+    }
+
+    fn send_next(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        let idx = self.next_index;
+        self.next_index += 1;
+        let mut enc = CdrEncoder::new();
+        enc.write_u32(nso.node().index());
+        enc.write_u64(idx);
+        let body = "x".repeat(self.payload_len.saturating_sub(12));
+        enc.write_string(&body);
+        self.sent_at.insert(idx, now);
+        let _ = nso.peer_send(&self.group, enc.finish(), DeliveryOrder::Total, now, out);
+    }
+
+    /// Decodes a peer payload into `(sender index, message index)`.
+    fn decode(payload: &[u8]) -> Option<(u32, u64)> {
+        let mut dec = CdrDecoder::new(payload);
+        let sender = dec.read_u32().ok()?;
+        let idx = dec.read_u64().ok()?;
+        Some((sender, idx))
+    }
+}
+
+impl NsoApp for PeerApp {
+    fn on_start(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        nso.create_peer_group(
+            self.group.clone(),
+            self.members.clone(),
+            self.config.clone(),
+            now,
+            out,
+        )
+        .expect("peer group creation");
+        out.set_timer(self.start_delay, tags::APP_BASE);
+    }
+
+    fn on_timer(&mut self, nso: &mut Nso, _tag: u64, now: SimTime, out: &mut Outbox) {
+        let outstanding = (self.next_index - 1).saturating_sub(self.own_delivered);
+        if outstanding < self.max_outstanding {
+            self.send_next(nso, now, out);
+        }
+        out.set_timer(self.pace, tags::APP_BASE);
+    }
+
+    fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, _out: &mut Outbox) {
+        if let NsoOutput::PeerDeliver {
+            group,
+            sender,
+            payload,
+        } = output
+        {
+            if group != self.group {
+                return;
+            }
+            if let Some((sender_idx, msg_idx)) = PeerApp::decode(&payload) {
+                debug_assert_eq!(sender_idx, sender.index());
+                self.deliveries.push((sender, msg_idx, now));
+                if sender == nso.node() {
+                    self.own_delivered = self.own_delivered.max(msg_idx);
+                }
+            }
+        }
+    }
+}

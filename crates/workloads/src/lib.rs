@@ -1,0 +1,26 @@
+//! Experiment harness for the NewTop reproduction.
+//!
+//! This crate regenerates the paper's evaluation (§5): workload drivers
+//! for the three interaction modes, the two network environments (LAN and
+//! the Newcastle/London/Pisa Internet placement), metric collection, and
+//! one function per table/figure in [`figures`]. The bench targets in
+//! `newtop-bench` are thin wrappers that print these results in the
+//! paper's format.
+//!
+//! * [`plain`] — the plain-CORBA baseline (no group service): Table 1 and
+//!   the non-replicated reference curves.
+//! * [`apps`] — NSO applications: replicated servers, closed-loop
+//!   request-reply clients (with §4.1 rebind-and-retry), and peer
+//!   participants.
+//! * [`scenario`] — placements, scenario runners and metric extraction.
+//! * [`figures`] — per-exhibit reproduction functions.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod apps;
+pub mod figures;
+pub mod plain;
+pub mod scenario;
+
+pub use scenario::{PeerResult, Placement, RequestReplyResult};

@@ -1,0 +1,217 @@
+//! The plain-CORBA baseline: one-to-one ORB invocation with no group
+//! service. Reproduces the paper's Table 1 measurements and the
+//! non-replicated reference the §5.1 figures compare against.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use newtop_net::sim::{NodeEvent, Outbox, SimNode};
+use newtop_net::site::NodeId;
+use newtop_net::time::SimTime;
+use newtop_orb::cdr::CdrEncoder;
+use newtop_orb::ior::ObjectRef;
+use newtop_orb::orb::{OrbCore, OrbIncoming, RequestId};
+use newtop_orb::servant::ServantError;
+
+/// The paper's test servant: returns a pseudo-random number on request.
+/// Deterministic (seeded LCG) so runs are reproducible.
+#[derive(Debug)]
+pub struct RandomServant {
+    state: u64,
+}
+
+impl RandomServant {
+    /// Creates the servant with a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        RandomServant {
+            state: seed | 1,
+        }
+    }
+
+    /// The next pseudo-random value (LCG step).
+    pub fn next_value(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.state
+    }
+
+    /// Executes the `rand` operation, marshalling the result.
+    pub fn run(&mut self, op: &str) -> Result<Bytes, ServantError> {
+        if op != "rand" {
+            return Err(ServantError::BadOperation(op.to_owned()));
+        }
+        let v = self.next_value();
+        let mut enc = CdrEncoder::new();
+        enc.write_u64(v);
+        Ok(enc.finish())
+    }
+}
+
+/// A plain ORB server node hosting the random-number servant.
+pub struct PlainServer {
+    orb: OrbCore,
+    /// Requests served.
+    pub served: u64,
+}
+
+impl PlainServer {
+    /// Creates the server for `node`.
+    #[must_use]
+    pub fn new(node: NodeId, seed: u64) -> Self {
+        let mut orb = OrbCore::new(node);
+        let mut servant = RandomServant::new(seed);
+        orb.adapter_mut().activate(
+            "rand-server",
+            Box::new(move |op: &str, _args: &[u8]| servant.run(op)),
+        );
+        PlainServer { orb, served: 0 }
+    }
+
+    /// The reference clients invoke.
+    #[must_use]
+    pub fn object_ref(node: NodeId) -> ObjectRef {
+        ObjectRef::new(node, "rand-server")
+    }
+}
+
+impl SimNode for PlainServer {
+    fn on_event(&mut self, _now: SimTime, ev: NodeEvent, out: &mut Outbox) {
+        if let NodeEvent::Packet(pkt) = ev {
+            // Registered servants are dispatched inside the ORB.
+            if self.orb.handle_packet(&pkt, out).is_none() {
+                self.served += 1;
+            }
+        }
+    }
+}
+
+/// A closed-loop plain ORB client: issues the next request the moment the
+/// previous reply arrives (the paper's client behaviour).
+pub struct PlainClient {
+    orb: OrbCore,
+    server: ObjectRef,
+    start_delay: Duration,
+    issued_at: Option<(RequestId, SimTime)>,
+    /// `(completion time, response time)` per completed call.
+    pub completions: Vec<(SimTime, Duration)>,
+}
+
+impl PlainClient {
+    /// Creates the client; it starts calling `server` after
+    /// `start_delay`.
+    #[must_use]
+    pub fn new(node: NodeId, server: ObjectRef, start_delay: Duration) -> Self {
+        PlainClient {
+            orb: OrbCore::new(node),
+            server,
+            start_delay,
+            issued_at: None,
+            completions: Vec::new(),
+        }
+    }
+
+    fn issue(&mut self, now: SimTime, out: &mut Outbox) {
+        let req = self.orb.invoke(&self.server, "rand", Bytes::new(), out);
+        self.issued_at = Some((req, now));
+    }
+}
+
+impl SimNode for PlainClient {
+    fn on_event(&mut self, now: SimTime, ev: NodeEvent, out: &mut Outbox) {
+        match ev {
+            NodeEvent::Start => {
+                out.set_timer(self.start_delay, 0);
+            }
+            NodeEvent::Timer(..) => {
+                self.issue(now, out);
+            }
+            NodeEvent::Packet(pkt) => {
+                if let Some(OrbIncoming::Reply { request, .. }) = self.orb.handle_packet(&pkt, out)
+                {
+                    if let Some((pending, at)) = self.issued_at {
+                        if pending == request {
+                            self.completions.push((now, now - at));
+                            self.issue(now, out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newtop_net::sim::{Sim, SimConfig};
+    use newtop_net::site::Site;
+
+    #[test]
+    fn random_servant_is_deterministic_and_nonconstant() {
+        let mut a = RandomServant::new(42);
+        let mut b = RandomServant::new(42);
+        let va: Vec<u64> = (0..5).map(|_| a.next_value()).collect();
+        let vb: Vec<u64> = (0..5).map(|_| b.next_value()).collect();
+        assert_eq!(va, vb);
+        assert!(va.windows(2).any(|w| w[0] != w[1]));
+        assert!(a.run("rand").is_ok());
+        assert!(a.run("zap").is_err());
+    }
+
+    #[test]
+    fn closed_loop_client_saturates_a_lan_server() {
+        let mut sim = Sim::new(SimConfig::lan(7));
+        let server_id = NodeId::from_index(0);
+        sim.add_node(Site::Lan, Box::new(PlainServer::new(server_id, 1)));
+        let client_id = sim.add_node(
+            Site::Lan,
+            Box::new(PlainClient::new(
+                NodeId::from_index(1),
+                PlainServer::object_ref(server_id),
+                Duration::from_millis(1),
+            )),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        let client = sim.node_ref::<PlainClient>(client_id).unwrap();
+        // With ~1 ms per call, a second of closed-loop traffic yields
+        // hundreds of completions.
+        assert!(client.completions.len() > 300, "{}", client.completions.len());
+        let mean: f64 = client
+            .completions
+            .iter()
+            .map(|(_, d)| d.as_secs_f64())
+            .sum::<f64>()
+            / client.completions.len() as f64;
+        // Around a millisecond on the LAN (Table 1's order of magnitude).
+        assert!(mean > 0.0003 && mean < 0.003, "mean {mean}");
+    }
+
+    #[test]
+    fn wan_calls_are_tens_of_milliseconds() {
+        let mut sim = Sim::new(SimConfig::internet(8));
+        let server_id = NodeId::from_index(0);
+        sim.add_node(Site::Newcastle, Box::new(PlainServer::new(server_id, 1)));
+        let client_id = sim.add_node(
+            Site::Pisa,
+            Box::new(PlainClient::new(
+                NodeId::from_index(1),
+                PlainServer::object_ref(server_id),
+                Duration::from_millis(1),
+            )),
+        );
+        sim.run_until(SimTime::from_secs(2));
+        let client = sim.node_ref::<PlainClient>(client_id).unwrap();
+        assert!(!client.completions.is_empty());
+        let mean: f64 = client
+            .completions
+            .iter()
+            .map(|(_, d)| d.as_secs_f64())
+            .sum::<f64>()
+            / client.completions.len() as f64;
+        assert!(mean > 0.010 && mean < 0.040, "mean {mean}");
+    }
+}

@@ -1,0 +1,496 @@
+//! Scenario construction and metric extraction.
+//!
+//! The paper's experiments share one skeleton: place servers and clients
+//! on a LAN or across Newcastle/London/Pisa, run closed-loop traffic for
+//! a while, and report the mean client response time plus aggregate
+//! server throughput inside a measurement window (discarding warm-up and
+//! tail). [`run_request_reply`], [`run_plain`] and [`run_peer`] implement
+//! that skeleton over the deterministic simulator.
+
+use std::time::Duration;
+
+use newtop::simnode::NsoNode;
+use newtop_gcs::group::{FanoutMode, GroupConfig, GroupId, Liveness, OrderProtocol};
+use newtop_invocation::api::{OpenOptimisation, Replication, ReplyMode};
+use newtop_net::sim::{Sim, SimConfig};
+use newtop_net::site::{NodeId, Site};
+use newtop_net::time::SimTime;
+
+use crate::apps::{ClientApp, ClientStyle, PeerApp, ServerApp};
+use crate::plain::{PlainClient, PlainServer};
+
+/// The three client/server placements of §5.1.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Clients and servers all on the same LAN.
+    AllLan,
+    /// Servers on the Newcastle LAN; clients split between London and
+    /// Pisa.
+    ServersLanClientsWan,
+    /// Servers and clients geographically separated across Newcastle,
+    /// London and Pisa.
+    AllWan,
+}
+
+impl Placement {
+    /// Where the `i`-th server lives.
+    #[must_use]
+    pub fn server_site(self, i: usize) -> Site {
+        match self {
+            Placement::AllLan => Site::Lan,
+            Placement::ServersLanClientsWan => Site::Lan,
+            Placement::AllWan => [Site::Newcastle, Site::London, Site::Pisa][i % 3],
+        }
+    }
+
+    /// Where the `i`-th client lives.
+    #[must_use]
+    pub fn client_site(self, i: usize) -> Site {
+        match self {
+            Placement::AllLan => Site::Lan,
+            Placement::ServersLanClientsWan => [Site::London, Site::Pisa][i % 2],
+            Placement::AllWan => [Site::Newcastle, Site::London, Site::Pisa][i % 3],
+        }
+    }
+
+    /// The simulator configuration for this placement.
+    #[must_use]
+    pub fn sim_config(self, seed: u64) -> SimConfig {
+        match self {
+            Placement::AllLan => SimConfig::lan(seed),
+            _ => SimConfig::internet(seed),
+        }
+    }
+
+    /// How long to run so enough requests land in the window.
+    #[must_use]
+    pub fn default_duration(self) -> Duration {
+        match self {
+            Placement::AllLan => Duration::from_secs(2),
+            _ => Duration::from_secs(8),
+        }
+    }
+
+    /// A short label for tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Placement::AllLan => "clients & servers on LAN",
+            Placement::ServersLanClientsWan => "servers on LAN, clients distant",
+            Placement::AllWan => "geographically separated",
+        }
+    }
+}
+
+/// A request-reply experiment.
+#[derive(Clone, Debug)]
+pub struct RequestReplyScenario {
+    /// Number of service replicas (the paper used 3; 1 = non-replicated).
+    pub servers: usize,
+    /// Number of concurrent closed-loop clients.
+    pub clients: usize,
+    /// Placement of the parties.
+    pub placement: Placement,
+    /// Binding style policy.
+    pub binding: BindingPolicy,
+    /// Reply-collection primitive.
+    pub mode: ReplyMode,
+    /// Replication discipline of the service.
+    pub replication: Replication,
+    /// Open-group optimisation.
+    pub optimisation: OpenOptimisation,
+    /// Ordering protocol (used for both the server group and the
+    /// client/server groups).
+    pub ordering: OrderProtocol,
+    /// Virtual duration of the run.
+    pub duration: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// How clients attach to the service.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BindingPolicy {
+    /// Every client forms a closed client/server group.
+    Closed,
+    /// Client `i` binds openly to server `i mod n` (Fig. 5(i)).
+    OpenAnyServer,
+    /// Every client binds openly to the designated manager — the
+    /// restricted-group optimisation (Fig. 5(ii)).
+    OpenRestricted,
+}
+
+impl RequestReplyScenario {
+    /// The paper's default: 3 active replicas, wait-for-all, asymmetric
+    /// ordering, open bindings.
+    #[must_use]
+    pub fn paper_default(placement: Placement, clients: usize, seed: u64) -> Self {
+        RequestReplyScenario {
+            servers: 3,
+            clients,
+            placement,
+            binding: BindingPolicy::OpenAnyServer,
+            mode: ReplyMode::All,
+            replication: Replication::Active,
+            optimisation: OpenOptimisation::None,
+            ordering: OrderProtocol::Asymmetric,
+            duration: placement.default_duration(),
+            seed,
+        }
+    }
+}
+
+/// Results of a request-reply run.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct RequestReplyResult {
+    /// Mean client response time inside the window.
+    pub mean_response: Duration,
+    /// Aggregate completions per second inside the window (the paper's
+    /// server throughput).
+    pub throughput: f64,
+    /// Completions counted in the window.
+    pub completed: u64,
+    /// Rebinds observed (failure experiments).
+    pub rebinds: u32,
+}
+
+fn window(duration: Duration) -> (SimTime, SimTime) {
+    let d = duration.as_nanos() as u64;
+    (
+        SimTime::from_nanos(d / 4),
+        SimTime::from_nanos(d * 19 / 20),
+    )
+}
+
+fn summarize(completions: &[(SimTime, Duration)], duration: Duration) -> RequestReplyResult {
+    let (lo, hi) = window(duration);
+    let in_window: Vec<Duration> = completions
+        .iter()
+        .filter(|(at, _)| *at >= lo && *at < hi)
+        .map(|&(_, d)| d)
+        .collect();
+    let completed = in_window.len() as u64;
+    let mean = if in_window.is_empty() {
+        Duration::ZERO
+    } else {
+        Duration::from_nanos(
+            (in_window.iter().map(Duration::as_nanos).sum::<u128>() / in_window.len() as u128)
+                as u64,
+        )
+    };
+    let span = (hi - lo).as_secs_f64();
+    RequestReplyResult {
+        mean_response: mean,
+        throughput: completed as f64 / span,
+        completed,
+        rebinds: 0,
+    }
+}
+
+/// Runs a request-reply scenario through the NewTop service.
+#[must_use]
+pub fn run_request_reply(s: &RequestReplyScenario) -> RequestReplyResult {
+    let mut sim = Sim::new(s.placement.sim_config(s.seed));
+    let group = GroupId::new("service");
+    let server_ids: Vec<NodeId> = (0..s.servers)
+        .map(|i| NodeId::from_index(i as u32))
+        .collect();
+    let gs_config = GroupConfig {
+        ordering: s.ordering,
+        liveness: Liveness::EventDriven,
+        ..GroupConfig::default()
+    };
+    for (i, &id) in server_ids.iter().enumerate() {
+        let app = ServerApp {
+            group: group.clone(),
+            members: server_ids.clone(),
+            replication: s.replication,
+            optimisation: s.optimisation,
+            config: gs_config.clone(),
+            seed: s.seed,
+        };
+        let added = sim.add_node(
+            s.placement.server_site(i),
+            Box::new(NsoNode::new(id, Box::new(app))),
+        );
+        assert_eq!(added, id);
+    }
+    let mut client_ids = Vec::new();
+    for i in 0..s.clients {
+        let id = NodeId::from_index((s.servers + i) as u32);
+        let style = match s.binding {
+            BindingPolicy::Closed => ClientStyle::Closed,
+            BindingPolicy::OpenAnyServer => ClientStyle::Open { manager_index: i },
+            BindingPolicy::OpenRestricted => ClientStyle::Open { manager_index: 0 },
+        };
+        // Stagger the binds so control traffic doesn't burst at t=0.
+        let app = ClientApp::new(
+            group.clone(),
+            server_ids.clone(),
+            style,
+            s.mode,
+            s.ordering,
+            Duration::from_millis(1 + i as u64),
+        );
+        let added = sim.add_node(
+            s.placement.client_site(i),
+            Box::new(NsoNode::new(id, Box::new(app))),
+        );
+        assert_eq!(added, id);
+        client_ids.push(id);
+    }
+    sim.run_until(SimTime::ZERO + s.duration);
+    let mut all = Vec::new();
+    let mut rebinds = 0;
+    for id in client_ids {
+        let node = sim.node_ref::<NsoNode>(id).expect("client node");
+        let app = node.app_ref::<ClientApp>().expect("client app");
+        all.extend(app.completions.iter().copied());
+        rebinds += app.rebinds;
+    }
+    let mut result = summarize(&all, s.duration);
+    result.rebinds = rebinds;
+    result
+}
+
+/// Runs the plain-CORBA baseline: `clients` closed-loop clients against
+/// one unreplicated ORB server.
+#[must_use]
+pub fn run_plain(
+    server_site: Site,
+    client_sites: &[Site],
+    duration: Duration,
+    seed: u64,
+) -> RequestReplyResult {
+    let cfg = if server_site == Site::Lan && client_sites.iter().all(|&s| s == Site::Lan) {
+        SimConfig::lan(seed)
+    } else {
+        SimConfig::internet(seed)
+    };
+    let mut sim = Sim::new(cfg);
+    let server_id = NodeId::from_index(0);
+    sim.add_node(server_site, Box::new(PlainServer::new(server_id, seed)));
+    let mut client_ids = Vec::new();
+    for (i, &site) in client_sites.iter().enumerate() {
+        let id = NodeId::from_index(1 + i as u32);
+        let added = sim.add_node(
+            site,
+            Box::new(PlainClient::new(
+                id,
+                PlainServer::object_ref(server_id),
+                Duration::from_millis(1 + i as u64),
+            )),
+        );
+        assert_eq!(added, id);
+        client_ids.push(id);
+    }
+    sim.run_until(SimTime::ZERO + duration);
+    let mut all = Vec::new();
+    for id in client_ids {
+        let client = sim.node_ref::<PlainClient>(id).expect("client");
+        all.extend(client.completions.iter().copied());
+    }
+    summarize(&all, duration)
+}
+
+/// A peer-participation experiment (§5.2).
+#[derive(Clone, Debug)]
+pub struct PeerScenario {
+    /// Group size.
+    pub members: usize,
+    /// True for the Newcastle/London/Pisa placement; false for the LAN.
+    pub wan: bool,
+    /// Ordering protocol under test.
+    pub ordering: OrderProtocol,
+    /// Multicast payload size (the paper used 100 characters).
+    pub payload_len: usize,
+    /// Interval between each member's send attempts.
+    pub pace: Duration,
+    /// Time-silence period of the group (the ablation benches sweep it).
+    pub time_silence: Duration,
+    /// Virtual duration.
+    pub duration: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Results of a peer run.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct PeerResult {
+    /// Mean time for a multicast to become deliverable at *every* member
+    /// (the paper's latency metric).
+    pub mean_latency: Duration,
+    /// The paper's group throughput: the sum over members of
+    /// `1 / mean single-multicast time` (messages per second).
+    pub group_throughput: f64,
+    /// Multicasts measured.
+    pub measured: u64,
+}
+
+/// Runs a peer-participation scenario.
+#[must_use]
+pub fn run_peer(s: &PeerScenario) -> PeerResult {
+    let cfg = if s.wan {
+        SimConfig::internet(s.seed)
+    } else {
+        SimConfig::lan(s.seed)
+    };
+    let mut sim = Sim::new(cfg);
+    let group = GroupId::new("peers");
+    let members: Vec<NodeId> = (0..s.members)
+        .map(|i| NodeId::from_index(i as u32))
+        .collect();
+    let config = GroupConfig {
+        ordering: s.ordering,
+        liveness: Liveness::Lively,
+        // Peer members multicast with the asynchronous method invocation
+        // operation (§5.2): fan-outs do not chain round trips.
+        fanout: FanoutMode::Asynchronous,
+        time_silence: s.time_silence,
+        ..GroupConfig::default()
+    };
+    let sites = [Site::Newcastle, Site::London, Site::Pisa];
+    for (i, &id) in members.iter().enumerate() {
+        let site = if s.wan { sites[i % 3] } else { Site::Lan };
+        let app = PeerApp::new(
+            group.clone(),
+            members.clone(),
+            config.clone(),
+            s.payload_len,
+            s.pace,
+            32,
+            Duration::from_millis(1 + i as u64),
+        );
+        let added = sim.add_node(site, Box::new(NsoNode::new(id, Box::new(app))));
+        assert_eq!(added, id);
+    }
+    sim.run_until(SimTime::ZERO + s.duration);
+
+    // For each multicast: latency = (last delivery anywhere) - (send).
+    // Restrict to the measurement window and to messages delivered by
+    // every member.
+    let (lo, hi) = window(s.duration);
+    let mut sent: std::collections::HashMap<(NodeId, u64), SimTime> =
+        std::collections::HashMap::new();
+    let mut last_delivery: std::collections::HashMap<(NodeId, u64), (SimTime, usize)> =
+        std::collections::HashMap::new();
+    for &id in &members {
+        let node = sim.node_ref::<NsoNode>(id).expect("peer node");
+        let app = node.app_ref::<PeerApp>().expect("peer app");
+        for (&idx, &at) in &app.sent_at {
+            sent.insert((id, idx), at);
+        }
+        for &(sender, idx, at) in &app.deliveries {
+            let e = last_delivery
+                .entry((sender, idx))
+                .or_insert((SimTime::ZERO, 0));
+            e.0 = e.0.max(at);
+            e.1 += 1;
+        }
+    }
+    // Per-member mean latency, then the paper's summed throughput.
+    let mut per_member_latencies: std::collections::HashMap<NodeId, Vec<Duration>> =
+        std::collections::HashMap::new();
+    for ((sender, idx), (last, count)) in &last_delivery {
+        if *count < s.members {
+            continue; // not yet everywhere
+        }
+        let Some(&at) = sent.get(&(*sender, *idx)) else {
+            continue;
+        };
+        if at < lo || at >= hi {
+            continue;
+        }
+        per_member_latencies
+            .entry(*sender)
+            .or_default()
+            .push(last.saturating_since(at));
+    }
+    let mut total_rate = 0.0;
+    let mut all: Vec<Duration> = Vec::new();
+    for lats in per_member_latencies.values() {
+        if lats.is_empty() {
+            continue;
+        }
+        let mean =
+            lats.iter().map(Duration::as_secs_f64).sum::<f64>() / lats.len() as f64;
+        if mean > 0.0 {
+            total_rate += 1.0 / mean;
+        }
+        all.extend(lats.iter().copied());
+    }
+    let mean_latency = if all.is_empty() {
+        Duration::ZERO
+    } else {
+        Duration::from_nanos(
+            (all.iter().map(Duration::as_nanos).sum::<u128>() / all.len() as u128) as u64,
+        )
+    };
+    PeerResult {
+        mean_latency,
+        group_throughput: total_rate,
+        measured: all.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placements_map_sites() {
+        assert_eq!(Placement::AllLan.server_site(0), Site::Lan);
+        assert_eq!(Placement::AllLan.client_site(5), Site::Lan);
+        assert_eq!(Placement::ServersLanClientsWan.server_site(2), Site::Lan);
+        assert_ne!(Placement::ServersLanClientsWan.client_site(0), Site::Lan);
+        assert_ne!(Placement::AllWan.server_site(1), Site::Lan);
+    }
+
+    #[test]
+    fn plain_lan_baseline_shape() {
+        let r = run_plain(Site::Lan, &[Site::Lan], Duration::from_secs(1), 3);
+        assert!(r.completed > 100);
+        let ms = r.mean_response.as_secs_f64() * 1e3;
+        assert!(ms > 0.3 && ms < 3.0, "LAN plain call {ms} ms");
+    }
+
+    #[test]
+    fn request_reply_open_lan_works() {
+        let s = RequestReplyScenario {
+            clients: 2,
+            duration: Duration::from_secs(1),
+            ..RequestReplyScenario::paper_default(Placement::AllLan, 2, 5)
+        };
+        let r = run_request_reply(&s);
+        assert!(r.completed > 20, "completed {}", r.completed);
+        assert!(r.mean_response > Duration::ZERO);
+    }
+
+    #[test]
+    fn request_reply_closed_lan_works() {
+        let s = RequestReplyScenario {
+            binding: BindingPolicy::Closed,
+            duration: Duration::from_secs(1),
+            ..RequestReplyScenario::paper_default(Placement::AllLan, 2, 6)
+        };
+        let r = run_request_reply(&s);
+        assert!(r.completed > 20, "completed {}", r.completed);
+    }
+
+    #[test]
+    fn peer_scenario_measures_throughput() {
+        let s = PeerScenario {
+            members: 3,
+            wan: false,
+            ordering: OrderProtocol::Symmetric,
+            payload_len: 100,
+            pace: Duration::from_millis(1),
+            time_silence: Duration::from_millis(25),
+            duration: Duration::from_secs(1),
+            seed: 9,
+        };
+        let r = run_peer(&s);
+        assert!(r.measured > 10, "measured {}", r.measured);
+        assert!(r.group_throughput > 0.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Group-to-group invocation (Fig. 6 of the paper): a replicated *client*
+//! group gx invokes a replicated *server* group gy through a shared
+//! request manager and a client monitor group gz = gx ∪ {manager}.
+//!
+//! Every member of gx issues its copy of the call; the manager filters
+//! the duplicates, forwards one into gy, and multicasts the collected
+//! replies in gz so all of gx receives them atomically.
+//!
+//! ```text
+//! cargo run -p newtop-examples --bin group_to_group
+//! ```
+
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use newtop::nso::{Nso, NsoOutput};
+use newtop::simnode::{NsoApp, NsoNode};
+use newtop::tags;
+use newtop_gcs::group::{DeliveryOrder, GroupConfig, GroupId};
+use newtop_invocation::api::{OpenOptimisation, Replication, ReplyMode};
+use newtop_net::sim::{Outbox, Sim, SimConfig};
+use newtop_net::site::{NodeId, Site};
+use newtop_net::time::SimTime;
+
+fn gy() -> GroupId {
+    GroupId::new("gy")
+}
+fn gx() -> GroupId {
+    GroupId::new("gx")
+}
+fn gz() -> GroupId {
+    GroupId::new("gz")
+}
+
+struct Server {
+    gy_members: Vec<NodeId>,
+    gz_members: Vec<NodeId>,
+    manager: NodeId,
+}
+
+impl NsoApp for Server {
+    fn on_start(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        nso.create_server_group(
+            gy(),
+            self.gy_members.clone(),
+            Replication::Active,
+            OpenOptimisation::None,
+            GroupConfig::request_reply(),
+            now,
+            out,
+        )
+        .expect("gy");
+        let me = nso.node();
+        nso.register_group_servant(
+            gy(),
+            Box::new(move |op: &str, args: &[u8]| {
+                Bytes::from(format!("{op}[{}] by {me}", String::from_utf8_lossy(args)))
+            }),
+        );
+        if nso.node() == self.manager {
+            nso.setup_monitor_group(
+                gz(),
+                gx(),
+                self.manager,
+                gy(),
+                self.gz_members.clone(),
+                GroupConfig::request_reply(),
+                now,
+                out,
+            )
+            .expect("gz");
+        }
+    }
+
+    fn on_output(&mut self, _: &mut Nso, _: NsoOutput, _: SimTime, _: &mut Outbox) {}
+}
+
+struct ClientMember {
+    gx_members: Vec<NodeId>,
+    gz_members: Vec<NodeId>,
+    manager: NodeId,
+    trigger: bool,
+    results: Vec<(u64, Vec<(NodeId, Bytes)>)>,
+}
+
+impl NsoApp for ClientMember {
+    fn on_start(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        nso.create_peer_group(
+            gx(),
+            self.gx_members.clone(),
+            GroupConfig::peer().with_time_silence(Duration::from_millis(15)),
+            now,
+            out,
+        )
+        .expect("gx");
+        nso.setup_monitor_group(
+            gz(),
+            gx(),
+            self.manager,
+            gy(),
+            self.gz_members.clone(),
+            GroupConfig::request_reply(),
+            now,
+            out,
+        )
+        .expect("gz");
+        if self.trigger {
+            out.set_timer(Duration::from_millis(20), tags::APP_BASE);
+        }
+    }
+
+    fn on_timer(&mut self, nso: &mut Nso, _tag: u64, now: SimTime, out: &mut Outbox) {
+        // Totally-ordered trigger in gx keeps every member's group-call
+        // counter aligned.
+        let _ = nso.peer_send(&gx(), Bytes::from_static(b"query"), DeliveryOrder::Total, now, out);
+    }
+
+    fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {
+        match output {
+            NsoOutput::PeerDeliver { group, payload, .. } if group == gx() => {
+                let _ = nso.g2g_invoke(&gz(), "survey", payload, ReplyMode::All, now, out);
+            }
+            NsoOutput::G2gComplete { number, replies, .. } => {
+                self.results.push((number, replies));
+            }
+            _ => {}
+        }
+    }
+}
+
+fn main() {
+    let mut sim = Sim::new(SimConfig::lan(13));
+    let gy_members: Vec<NodeId> = (0..3).map(NodeId::from_index).collect();
+    let gx_members: Vec<NodeId> = (3..6).map(NodeId::from_index).collect();
+    let manager = gy_members[0];
+    let mut gz_members = gx_members.clone();
+    gz_members.push(manager);
+
+    for &s in &gy_members {
+        sim.add_node(
+            Site::Lan,
+            Box::new(NsoNode::new(
+                s,
+                Box::new(Server {
+                    gy_members: gy_members.clone(),
+                    gz_members: gz_members.clone(),
+                    manager,
+                }),
+            )),
+        );
+    }
+    for (i, &m) in gx_members.iter().enumerate() {
+        sim.add_node(
+            Site::Lan,
+            Box::new(NsoNode::new(
+                m,
+                Box::new(ClientMember {
+                    gx_members: gx_members.clone(),
+                    gz_members: gz_members.clone(),
+                    manager,
+                    trigger: i == 0,
+                    results: Vec::new(),
+                }),
+            )),
+        );
+    }
+    sim.run_until(SimTime::from_secs(5));
+
+    println!("group-to-group: client group gx{:?} -> server group gy{:?}", [3, 4, 5], [0, 1, 2]);
+    println!("request manager {manager}; monitor group gz = gx + manager\n");
+    let all: Vec<_> = gx_members
+        .iter()
+        .map(|&m| {
+            sim.node_ref::<NsoNode>(m)
+                .unwrap()
+                .app_ref::<ClientMember>()
+                .unwrap()
+                .results
+                .clone()
+        })
+        .collect();
+    let reference = &all[0];
+    assert!(!reference.is_empty(), "the group call completed");
+    for (i, r) in all.iter().enumerate() {
+        assert_eq!(r, reference, "gx member {i} diverged");
+    }
+    for (number, replies) in reference {
+        println!("group call #{number} — replies delivered atomically to all of gx:");
+        for (server, body) in replies {
+            println!("  {server}: {}", String::from_utf8_lossy(body));
+        }
+    }
+    println!(
+        "\nall {} gx members received identical reply sets ({} gy replies each)",
+        gx_members.len(),
+        reference[0].1.len()
+    );
+}

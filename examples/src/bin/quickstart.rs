@@ -1,0 +1,104 @@
+//! Quickstart: a replicated echo service on the threaded runtime.
+//!
+//! Three real threads host the replicas, a fourth hosts the client; they
+//! talk over the in-process channel transport. The client binds openly
+//! (one server acts as its request manager), invokes with wait-for-all,
+//! and prints every replica's answer.
+//!
+//! ```text
+//! cargo run -p newtop-examples --bin quickstart
+//! ```
+
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use newtop::nso::{BindOptions, NsoOutput};
+use newtop_gcs::group::{GroupConfig, GroupId};
+use newtop_invocation::api::{OpenOptimisation, Replication, ReplyMode};
+use newtop_net::channel::ChannelNetwork;
+use newtop_net::site::NodeId;
+use newtop_rt::NodeRuntime;
+
+fn main() {
+    let service = GroupId::new("echo");
+    let net = ChannelNetwork::new();
+
+    // Three replicas.
+    let servers: Vec<NodeId> = (0..3).map(NodeId::from_index).collect();
+    let mut handles = Vec::new();
+    for &id in &servers {
+        let (transport, rx) = net.endpoint(id);
+        let handle = NodeRuntime::spawn(id, transport, rx);
+        let group = service.clone();
+        let members = servers.clone();
+        handle.with_nso(move |nso, now, out| {
+            nso.create_server_group(
+                group.clone(),
+                members,
+                Replication::Active,
+                OpenOptimisation::None,
+                GroupConfig::request_reply(),
+                now,
+                out,
+            )
+            .expect("create server group");
+            let me = nso.node();
+            nso.register_group_servant(
+                group,
+                Box::new(move |op: &str, args: &[u8]| {
+                    Bytes::from(format!("[{me}] {op}({})", String::from_utf8_lossy(args)))
+                }),
+            );
+        });
+        handles.push(handle);
+    }
+    println!("started {} replicas of the 'echo' service", servers.len());
+
+    // A client: bind openly to the first replica.
+    let client_id = NodeId::from_index(3);
+    let (transport, rx) = net.endpoint(client_id);
+    let client = NodeRuntime::spawn(client_id, transport, rx);
+    let group = service.clone();
+    let manager = servers[0];
+    client.with_nso(move |nso, now, out| {
+        nso.bind_open(group, manager, BindOptions::default(), now, out)
+            .expect("bind");
+    });
+    let ready = client
+        .wait_for_output(Duration::from_secs(10), |o| {
+            matches!(o, NsoOutput::BindingReady { .. })
+        })
+        .expect("binding established");
+    let NsoOutput::BindingReady { group: binding } = ready else {
+        unreachable!()
+    };
+    println!("client bound openly via request manager {manager}");
+
+    for (i, text) in ["hello", "group", "invocation"].iter().enumerate() {
+        let b = binding.clone();
+        let args = Bytes::from(text.as_bytes().to_vec());
+        client.with_nso(move |nso, now, out| {
+            nso.invoke(&b, "echo", args, ReplyMode::All, now, out)
+                .expect("invoke");
+        });
+        let done = client
+            .wait_for_output(Duration::from_secs(10), |o| {
+                matches!(o, NsoOutput::InvocationComplete { .. })
+            })
+            .expect("invocation completed");
+        let NsoOutput::InvocationComplete { replies, .. } = done else {
+            unreachable!()
+        };
+        println!("call {}:", i + 1);
+        for (server, body) in replies {
+            println!("  {server} -> {}", String::from_utf8_lossy(&body));
+        }
+    }
+
+    client.shutdown();
+    for h in handles {
+        h.shutdown();
+    }
+    println!("done");
+}

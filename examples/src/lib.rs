@@ -1,0 +1,12 @@
+//! Runnable examples for the NewTop object group service. See the
+//! binaries under `src/bin/`:
+//!
+//! * `quickstart` — a replicated echo service over the threaded runtime.
+//! * `replicated_bank` — active replication with closed groups: a crash
+//!   is masked without client involvement.
+//! * `conference` — peer participation: a three-way chat with identical
+//!   totally-ordered transcripts.
+//! * `passive_store` — passive replication (restricted open group +
+//!   asynchronous forwarding): primary crash, promotion, rebind.
+//! * `group_to_group` — a client *group* invoking a server group through
+//!   a client monitor group.

@@ -1,0 +1,2 @@
+//! Integration-test crate for the NewTop reproduction. All content lives
+//! in `tests/`.

@@ -1,0 +1,260 @@
+//! Randomized fault-injection ("churn") tests at the full stack: under
+//! arbitrary crash timings and reply modes, every call a client issues
+//! completes exactly once.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use newtop::nso::{BindOptions, Nso, NsoOutput};
+use newtop::simnode::{NsoApp, NsoNode};
+use newtop::tags;
+use newtop_gcs::group::{GroupConfig, GroupId, OrderProtocol};
+use newtop_invocation::api::{OpenOptimisation, Replication, ReplyMode};
+use newtop_net::sim::{Outbox, Sim, SimConfig};
+use newtop_net::site::{NodeId, Site};
+use newtop_net::time::SimTime;
+
+fn gid() -> GroupId {
+    GroupId::new("churn-svc")
+}
+
+struct Server {
+    members: Vec<NodeId>,
+    replication: Replication,
+    optimisation: OpenOptimisation,
+}
+
+impl NsoApp for Server {
+    fn on_start(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        nso.create_server_group(
+            gid(),
+            self.members.clone(),
+            self.replication,
+            self.optimisation,
+            GroupConfig {
+                ordering: OrderProtocol::Asymmetric,
+                time_silence: Duration::from_millis(20),
+                ..GroupConfig::request_reply()
+            },
+            now,
+            out,
+        )
+        .expect("server group");
+        let me = nso.node().index();
+        nso.register_group_servant(
+            gid(),
+            Box::new(move |_op: &str, args: &[u8]| {
+                let mut body = vec![me as u8];
+                body.extend_from_slice(args);
+                Bytes::from(body)
+            }),
+        );
+    }
+
+    fn on_output(&mut self, _: &mut Nso, _: NsoOutput, _: SimTime, _: &mut Outbox) {}
+}
+
+struct Client {
+    servers: Vec<NodeId>,
+    mode: ReplyMode,
+    manager_index: usize,
+    total: usize,
+    issued: usize,
+    completed: Vec<u64>,
+    outstanding: std::collections::HashMap<u64, SimTime>,
+    binding: Option<GroupId>,
+}
+
+const BIND_TAG: u64 = tags::APP_BASE;
+const TICK_TAG: u64 = tags::APP_BASE + 1;
+
+impl Client {
+    fn bind(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        let manager = self.servers[self.manager_index % self.servers.len()];
+        let _ = nso.bind_open(
+            gid(),
+            manager,
+            BindOptions {
+                time_silence: Duration::from_millis(20),
+                ..BindOptions::default()
+            },
+            now,
+            out,
+        );
+    }
+
+    fn issue(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        if self.issued >= self.total {
+            return;
+        }
+        let Some(binding) = self.binding.clone() else {
+            return;
+        };
+        if let Ok(call) = nso.invoke(
+            &binding,
+            "work",
+            Bytes::from(vec![(self.issued % 251) as u8]),
+            self.mode,
+            now,
+            out,
+        ) {
+            self.issued += 1;
+            self.outstanding.insert(call.number, now);
+        }
+    }
+}
+
+impl NsoApp for Client {
+    fn on_start(&mut self, _nso: &mut Nso, _now: SimTime, out: &mut Outbox) {
+        out.set_timer(Duration::from_millis(5), BIND_TAG);
+        out.set_timer(Duration::from_millis(250), TICK_TAG);
+    }
+
+    fn on_timer(&mut self, nso: &mut Nso, tag: u64, now: SimTime, out: &mut Outbox) {
+        match tag {
+            BIND_TAG => self.bind(nso, now, out),
+            _ => {
+                if let Some(binding) = self.binding.clone() {
+                    let stalled: Vec<u64> = self
+                        .outstanding
+                        .iter()
+                        .filter(|(_, &at)| now.saturating_since(at) > Duration::from_millis(200))
+                        .map(|(&n, _)| n)
+                        .collect();
+                    for number in stalled {
+                        let _ = nso.retry(number, &binding, now, out);
+                    }
+                }
+                out.set_timer(Duration::from_millis(250), TICK_TAG);
+            }
+        }
+    }
+
+    fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {
+        match output {
+            NsoOutput::BindingReady { group } => {
+                self.binding = Some(group.clone());
+                let pending: Vec<u64> = self.outstanding.keys().copied().collect();
+                if pending.is_empty() {
+                    self.issue(nso, now, out);
+                }
+                for number in pending {
+                    let _ = nso.retry(number, &group, now, out);
+                }
+            }
+            NsoOutput::BindFailed { .. } | NsoOutput::BindingBroken { .. } => {
+                self.binding = None;
+                self.manager_index += 1;
+                self.bind(nso, now, out);
+            }
+            NsoOutput::InvocationComplete { call, .. } => {
+                self.outstanding.remove(&call.number);
+                self.completed.push(call.number);
+                self.issue(nso, now, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn run_churn(
+    crash_ms: u64,
+    crash_which: usize,
+    mode: ReplyMode,
+    replication: Replication,
+    optimisation: OpenOptimisation,
+    seed: u64,
+) -> (Vec<u64>, usize) {
+    let total = 60;
+    let mut sim = Sim::new(SimConfig::lan(seed));
+    let servers: Vec<NodeId> = (0..3).map(NodeId::from_index).collect();
+    for &s in &servers {
+        sim.add_node(
+            Site::Lan,
+            Box::new(NsoNode::new(
+                s,
+                Box::new(Server {
+                    members: servers.clone(),
+                    replication,
+                    optimisation,
+                }),
+            )),
+        );
+    }
+    let client = NodeId::from_index(3);
+    sim.add_node(
+        Site::Lan,
+        Box::new(NsoNode::new(
+            client,
+            Box::new(Client {
+                servers: servers.clone(),
+                mode,
+                manager_index: 0,
+                total,
+                issued: 0,
+                completed: Vec::new(),
+                outstanding: std::collections::HashMap::new(),
+                binding: None,
+            }),
+        )),
+    );
+    sim.schedule_crash(SimTime::from_millis(crash_ms), servers[crash_which % 3]);
+    sim.run_until(SimTime::from_secs(30));
+    let app = sim
+        .node_ref::<NsoNode>(client)
+        .unwrap()
+        .app_ref::<Client>()
+        .unwrap();
+    let mut done = app.completed.clone();
+    done.sort_unstable();
+    (done, total)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// A crash at any time, of any replica, under any reply mode: every
+    /// call the client issues completes exactly once.
+    #[test]
+    fn prop_every_call_completes_exactly_once_under_crashes(
+        crash_ms in 5u64..300,
+        crash_which in 0usize..3,
+        mode_pick in 0u8..3,
+        seed in 0u64..1000,
+    ) {
+        let mode = match mode_pick {
+            0 => ReplyMode::First,
+            1 => ReplyMode::Majority,
+            _ => ReplyMode::All,
+        };
+        let (done, total) = run_churn(
+            crash_ms,
+            crash_which,
+            mode,
+            Replication::Active,
+            OpenOptimisation::None,
+            seed,
+        );
+        prop_assert_eq!(done, (1..=total as u64).collect::<Vec<_>>());
+    }
+
+    /// The same property for the passive-replication configuration
+    /// (crashing the primary forces promotion + backlog replay).
+    #[test]
+    fn prop_passive_store_survives_primary_crashes(
+        crash_ms in 5u64..200,
+        seed in 0u64..1000,
+    ) {
+        let (done, total) = run_churn(
+            crash_ms,
+            0, // the designated primary
+            ReplyMode::First,
+            Replication::Passive,
+            OpenOptimisation::AsyncForwarding,
+            seed,
+        );
+        prop_assert_eq!(done, (1..=total as u64).collect::<Vec<_>>());
+    }
+}

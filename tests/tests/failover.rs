@@ -1,0 +1,382 @@
+//! End-to-end failure-handling tests (§4.1 of the paper): request-manager
+//! crashes with rebind-and-retry, closed-group failure masking, and
+//! passive-replication promotion — all driven through the full NSO stack
+//! on the deterministic simulator.
+
+use std::sync::atomic::{AtomicU32, Ordering as AtomicOrdering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use newtop::nso::{BindOptions, Nso, NsoOutput};
+use newtop::simnode::{NsoApp, NsoNode};
+use newtop::tags;
+use newtop_gcs::group::{GroupConfig, GroupId, OrderProtocol};
+use newtop_invocation::api::{OpenOptimisation, Replication, ReplyMode};
+use newtop_net::sim::{Outbox, Sim, SimConfig};
+use newtop_net::site::{NodeId, Site};
+use newtop_net::time::SimTime;
+
+fn gid() -> GroupId {
+    GroupId::new("svc")
+}
+
+/// A server whose executions are counted through a shared atomic, so
+/// tests can prove retries are not re-executed.
+struct CountingServer {
+    members: Vec<NodeId>,
+    replication: Replication,
+    optimisation: OpenOptimisation,
+    executions: Arc<AtomicU32>,
+}
+
+impl NsoApp for CountingServer {
+    fn on_start(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        nso.create_server_group(
+            gid(),
+            self.members.clone(),
+            self.replication,
+            self.optimisation,
+            GroupConfig {
+                ordering: OrderProtocol::Asymmetric,
+                time_silence: Duration::from_millis(20),
+                ..GroupConfig::request_reply()
+            },
+            now,
+            out,
+        )
+        .expect("server group");
+        let count = Arc::clone(&self.executions);
+        let me = nso.node().index();
+        nso.register_group_servant(
+            gid(),
+            Box::new(move |op: &str, args: &[u8]| {
+                count.fetch_add(1, AtomicOrdering::SeqCst);
+                let mut body = format!("{op}@{me}:").into_bytes();
+                body.extend_from_slice(args);
+                Bytes::from(body)
+            }),
+        );
+    }
+
+    fn on_output(&mut self, _: &mut Nso, _: NsoOutput, _: SimTime, _: &mut Outbox) {}
+}
+
+/// A client that keeps a numbered call stream going, rebinding on broken
+/// bindings (the smart-proxy behaviour of §4.1).
+struct RetryClient {
+    servers: Vec<NodeId>,
+    mode: ReplyMode,
+    open: bool,
+    manager_index: usize,
+    total_calls: usize,
+    issued: usize,
+    completions: Vec<(u64, Vec<(NodeId, Bytes)>)>,
+    rebinds: u32,
+    binding: Option<GroupId>,
+    issued_at: std::collections::HashMap<u64, SimTime>,
+}
+
+impl RetryClient {
+    fn new(servers: Vec<NodeId>, mode: ReplyMode, open: bool, total_calls: usize) -> Self {
+        RetryClient {
+            servers,
+            mode,
+            open,
+            manager_index: 0,
+            total_calls,
+            issued: 0,
+            completions: Vec::new(),
+            rebinds: 0,
+            binding: None,
+            issued_at: std::collections::HashMap::new(),
+        }
+    }
+
+    fn bind(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        let opts = BindOptions {
+            time_silence: Duration::from_millis(20),
+            ..BindOptions::default()
+        };
+        if self.open {
+            let manager = self.servers[self.manager_index % self.servers.len()];
+            nso.bind_open(gid(), manager, opts, now, out).expect("bind");
+        } else {
+            nso.bind_closed(gid(), self.servers.clone(), opts, now, out)
+                .expect("bind");
+        }
+    }
+
+    fn issue(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        if self.issued >= self.total_calls {
+            return;
+        }
+        let Some(binding) = self.binding.clone() else {
+            return;
+        };
+        if let Ok(call) =
+            nso.invoke(&binding, "work", Bytes::from(vec![self.issued as u8]), self.mode, now, out)
+        {
+            self.issued += 1;
+            self.issued_at.insert(call.number, now);
+        }
+    }
+}
+
+const BIND_TAG: u64 = tags::APP_BASE;
+const RETRY_TAG: u64 = tags::APP_BASE + 1;
+
+impl NsoApp for RetryClient {
+    fn on_start(&mut self, _nso: &mut Nso, _now: SimTime, out: &mut Outbox) {
+        out.set_timer(Duration::from_millis(5), BIND_TAG);
+        out.set_timer(Duration::from_millis(200), RETRY_TAG);
+    }
+
+    fn on_timer(&mut self, nso: &mut Nso, tag: u64, now: SimTime, out: &mut Outbox) {
+        match tag {
+            BIND_TAG => self.bind(nso, now, out),
+            _ => {
+                // §4.1: client retries are standard app-level technique —
+                // re-issue calls that have stalled (e.g. lost in a view
+                // change window); servers deduplicate by call number.
+                if let Some(binding) = self.binding.clone() {
+                    let stalled: Vec<u64> = self
+                        .issued_at
+                        .iter()
+                        .filter(|(_, &at)| now.saturating_since(at) > Duration::from_millis(150))
+                        .map(|(&n, _)| n)
+                        .collect();
+                    for number in stalled {
+                        let _ = nso.retry(number, &binding, now, out);
+                    }
+                }
+                out.set_timer(Duration::from_millis(200), RETRY_TAG);
+            }
+        }
+    }
+
+    fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {
+        match output {
+            NsoOutput::BindingReady { group } => {
+                self.binding = Some(group.clone());
+                // Retry anything outstanding with its original call number
+                // (§4.1); only start fresh traffic when nothing is pending.
+                let pending: Vec<u64> = self.issued_at.keys().copied().collect();
+                if pending.is_empty() {
+                    self.issue(nso, now, out);
+                } else {
+                    for number in pending {
+                        let _ = nso.retry(number, &group, now, out);
+                    }
+                }
+            }
+            NsoOutput::BindFailed { .. } => {
+                self.manager_index += 1;
+                self.bind(nso, now, out);
+            }
+            NsoOutput::BindingBroken { .. } => {
+                self.rebinds += 1;
+                self.binding = None;
+                self.manager_index += 1;
+                self.bind(nso, now, out);
+            }
+            NsoOutput::InvocationComplete { call, replies } => {
+                self.issued_at.remove(&call.number);
+                self.completions.push((call.number, replies));
+                self.issue(nso, now, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+struct Cluster {
+    sim: Sim,
+    servers: Vec<NodeId>,
+    client: NodeId,
+    executions: Vec<Arc<AtomicU32>>,
+}
+
+fn build(
+    n_servers: usize,
+    replication: Replication,
+    optimisation: OpenOptimisation,
+    mode: ReplyMode,
+    open: bool,
+    total_calls: usize,
+    seed: u64,
+) -> Cluster {
+    let mut sim = Sim::new(SimConfig::lan(seed));
+    let servers: Vec<NodeId> = (0..n_servers).map(|i| NodeId::from_index(i as u32)).collect();
+    let mut executions = Vec::new();
+    for &s in &servers {
+        let count = Arc::new(AtomicU32::new(0));
+        executions.push(Arc::clone(&count));
+        sim.add_node(
+            Site::Lan,
+            Box::new(NsoNode::new(
+                s,
+                Box::new(CountingServer {
+                    members: servers.clone(),
+                    replication,
+                    optimisation,
+                    executions: count,
+                }),
+            )),
+        );
+    }
+    let client = NodeId::from_index(n_servers as u32);
+    sim.add_node(
+        Site::Lan,
+        Box::new(NsoNode::new(
+            client,
+            Box::new(RetryClient::new(servers.clone(), mode, open, total_calls)),
+        )),
+    );
+    Cluster {
+        sim,
+        servers,
+        client,
+        executions,
+    }
+}
+
+fn client_state(sim: &Sim, client: NodeId) -> (Vec<u64>, u32) {
+    let app = sim
+        .node_ref::<NsoNode>(client)
+        .unwrap()
+        .app_ref::<RetryClient>()
+        .unwrap();
+    let mut numbers: Vec<u64> = app.completions.iter().map(|(n, _)| *n).collect();
+    numbers.sort_unstable();
+    (numbers, app.rebinds)
+}
+
+#[test]
+fn manager_crash_rebinds_and_retries_without_reexecution() {
+    let total = 100;
+    let mut c = build(
+        3,
+        Replication::Active,
+        OpenOptimisation::None,
+        ReplyMode::All,
+        true,
+        total,
+        41,
+    );
+    // The client binds to servers[0]; kill it mid-stream.
+    c.sim.schedule_crash(SimTime::from_millis(50), c.servers[0]);
+    c.sim.run_until(SimTime::from_secs(20));
+
+    let (numbers, rebinds) = client_state(&c.sim, c.client);
+    assert!(rebinds >= 1, "the broken binding must be detected");
+    assert_eq!(
+        numbers,
+        (1..=total as u64).collect::<Vec<_>>(),
+        "every call completes exactly once, including the ones caught by the crash"
+    );
+    // The survivors never executed any call twice: at most one execution
+    // per call each (some early ones may also have run on the crashed
+    // manager before it died).
+    for (i, ex) in c.executions.iter().enumerate().skip(1) {
+        assert!(
+            ex.load(AtomicOrdering::SeqCst) <= total as u32,
+            "server {i} re-executed retried calls"
+        );
+    }
+}
+
+#[test]
+fn closed_group_masks_a_server_crash_without_rebinding() {
+    let total = 100;
+    let mut c = build(
+        3,
+        Replication::Active,
+        OpenOptimisation::None,
+        ReplyMode::Majority,
+        false,
+        total,
+        42,
+    );
+    c.sim.schedule_crash(SimTime::from_millis(50), c.servers[2]);
+    c.sim.run_until(SimTime::from_secs(20));
+    let (numbers, rebinds) = client_state(&c.sim, c.client);
+    assert_eq!(rebinds, 0, "closed groups mask failures without rebinding");
+    assert_eq!(numbers, (1..=total as u64).collect::<Vec<_>>());
+}
+
+#[test]
+fn passive_primary_crash_promotes_a_backup() {
+    let total = 80;
+    let mut c = build(
+        3,
+        Replication::Passive,
+        OpenOptimisation::AsyncForwarding,
+        ReplyMode::First,
+        true,
+        total,
+        43,
+    );
+    // The designated manager/primary is servers[0]; crash it.
+    c.sim.schedule_crash(SimTime::from_millis(40), c.servers[0]);
+    c.sim.run_until(SimTime::from_secs(20));
+    let (numbers, rebinds) = client_state(&c.sim, c.client);
+    assert!(rebinds >= 1);
+    assert_eq!(numbers, (1..=total as u64).collect::<Vec<_>>());
+    // The promoted backup replayed the backlog: its execution count covers
+    // the pre-crash calls it had only logged.
+    let ex1 = c.executions[1].load(AtomicOrdering::SeqCst);
+    assert!(ex1 > 0, "promoted backup executed requests");
+}
+
+#[test]
+fn wait_for_first_and_majority_complete_under_load() {
+    for (mode, seed) in [(ReplyMode::First, 44), (ReplyMode::Majority, 45)] {
+        let total = 20;
+        let mut c = build(
+            3,
+            Replication::Active,
+            OpenOptimisation::None,
+            mode,
+            true,
+            total,
+            seed,
+        );
+        c.sim.run_until(SimTime::from_secs(10));
+        let (numbers, _) = client_state(&c.sim, c.client);
+        assert_eq!(numbers, (1..=total as u64).collect::<Vec<_>>(), "{mode:?}");
+    }
+}
+
+#[test]
+fn replies_identify_the_executing_servers() {
+    let mut c = build(
+        3,
+        Replication::Active,
+        OpenOptimisation::None,
+        ReplyMode::All,
+        true,
+        5,
+        46,
+    );
+    c.sim.run_until(SimTime::from_secs(10));
+    let app = c
+        .sim
+        .node_ref::<NsoNode>(c.client)
+        .unwrap()
+        .app_ref::<RetryClient>()
+        .unwrap();
+    for (number, replies) in &app.completions {
+        assert_eq!(replies.len(), 3, "wait-for-all gathers all three");
+        for (server, body) in replies {
+            let text = String::from_utf8_lossy(body);
+            assert!(
+                text.starts_with(&format!("work@{}", server.index())),
+                "call {number}: reply {text} mislabelled"
+            );
+            // Active replication: all replicas computed the same call.
+            assert_eq!(body.last(), Some(&((*number - 1) as u8)));
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! End-to-end tests of the paper's three interaction modes through the
+//! full NSO stack: group-to-group request-reply (Fig. 6), peer
+//! participation, and mixed/overlapping deployments.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use newtop::nso::{Nso, NsoOutput};
+use newtop::simnode::{NsoApp, NsoNode};
+use newtop::tags;
+use newtop_gcs::group::{DeliveryOrder, GroupConfig, GroupId};
+use newtop_invocation::api::{OpenOptimisation, Replication, ReplyMode};
+use newtop_net::sim::{Outbox, Sim, SimConfig};
+use newtop_net::site::{NodeId, Site};
+use newtop_net::time::SimTime;
+
+fn gy() -> GroupId {
+    GroupId::new("gy-servers")
+}
+
+fn gx() -> GroupId {
+    GroupId::new("gx-clients")
+}
+
+fn gz() -> GroupId {
+    GroupId::new("gz-monitor")
+}
+
+/// A member of the server group gy; the designated manager also serves
+/// the monitor group.
+struct GyServer {
+    gy_members: Vec<NodeId>,
+    gz_members: Vec<NodeId>,
+    manager: NodeId,
+}
+
+impl NsoApp for GyServer {
+    fn on_start(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        nso.create_server_group(
+            gy(),
+            self.gy_members.clone(),
+            Replication::Active,
+            OpenOptimisation::None,
+            GroupConfig::request_reply(),
+            now,
+            out,
+        )
+        .expect("gy");
+        let me = nso.node().index();
+        nso.register_group_servant(
+            gy(),
+            Box::new(move |op: &str, args: &[u8]| {
+                Bytes::from(format!("{op}@{me}:{}", args.first().copied().unwrap_or(0)))
+            }),
+        );
+        if nso.node() == self.manager {
+            nso.setup_monitor_group(
+                gz(),
+                gx(),
+                self.manager,
+                gy(),
+                self.gz_members.clone(),
+                GroupConfig::request_reply(),
+                now,
+                out,
+            )
+            .expect("gz at manager");
+        }
+    }
+
+    fn on_output(&mut self, _: &mut Nso, _: NsoOutput, _: SimTime, _: &mut Outbox) {}
+}
+
+/// A member of the client group gx: joins gx (peer group) and the monitor
+/// group, and issues group-to-group calls driven by totally-ordered
+/// triggers in gx so all members' call counters agree.
+struct GxMember {
+    gx_members: Vec<NodeId>,
+    gz_members: Vec<NodeId>,
+    manager: NodeId,
+    trigger: bool,
+    calls_to_make: usize,
+    completions: Vec<(u64, Vec<(NodeId, Bytes)>)>,
+}
+
+impl NsoApp for GxMember {
+    fn on_start(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        nso.create_peer_group(
+            gx(),
+            self.gx_members.clone(),
+            GroupConfig::peer().with_time_silence(Duration::from_millis(20)),
+            now,
+            out,
+        )
+        .expect("gx");
+        nso.setup_monitor_group(
+            gz(),
+            gx(),
+            self.manager,
+            gy(),
+            self.gz_members.clone(),
+            GroupConfig::request_reply(),
+            now,
+            out,
+        )
+        .expect("gz at gx member");
+        if self.trigger {
+            out.set_timer(Duration::from_millis(20), tags::APP_BASE);
+        }
+    }
+
+    fn on_timer(&mut self, nso: &mut Nso, _tag: u64, now: SimTime, out: &mut Outbox) {
+        // The trigger member multicasts in gx; every member (itself
+        // included) reacts to the totally-ordered delivery by issuing the
+        // group call, keeping the per-group call counters aligned (§4.3).
+        let _ = nso.peer_send(
+            &gx(),
+            Bytes::from_static(b"go"),
+            DeliveryOrder::Total,
+            now,
+            out,
+        );
+    }
+
+    fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {
+        match output {
+            NsoOutput::PeerDeliver { group, .. } if group == gx() => {
+                let _ = nso.g2g_invoke(&gz(), "tally", Bytes::from(vec![1]), ReplyMode::All, now, out);
+            }
+            NsoOutput::G2gComplete {
+                origin,
+                number,
+                replies,
+            } => {
+                assert_eq!(origin, gx());
+                self.completions.push((number, replies));
+                if self.trigger && self.completions.len() < self.calls_to_make {
+                    out.set_timer(Duration::from_millis(5), tags::APP_BASE);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn group_to_group_invocation_fans_replies_to_every_client_member() {
+    let mut sim = Sim::new(SimConfig::lan(51));
+    // Nodes 0..2: gy servers; nodes 3..4: gx members.
+    let gy_members: Vec<NodeId> = (0..3).map(NodeId::from_index).collect();
+    let gx_members: Vec<NodeId> = (3..5).map(NodeId::from_index).collect();
+    let manager = gy_members[0];
+    let mut gz_members = gx_members.clone();
+    gz_members.push(manager);
+
+    for &s in &gy_members {
+        sim.add_node(
+            Site::Lan,
+            Box::new(NsoNode::new(
+                s,
+                Box::new(GyServer {
+                    gy_members: gy_members.clone(),
+                    gz_members: gz_members.clone(),
+                    manager,
+                }),
+            )),
+        );
+    }
+    for (i, &m) in gx_members.iter().enumerate() {
+        sim.add_node(
+            Site::Lan,
+            Box::new(NsoNode::new(
+                m,
+                Box::new(GxMember {
+                    gx_members: gx_members.clone(),
+                    gz_members: gz_members.clone(),
+                    manager,
+                    trigger: i == 0,
+                    calls_to_make: 5,
+                    completions: Vec::new(),
+                }),
+            )),
+        );
+    }
+    sim.run_until(SimTime::from_secs(10));
+
+    // Every gx member received the same replies for the same call
+    // numbers, atomically through the monitor group.
+    type MemberResults = Vec<(u64, Vec<(NodeId, Bytes)>)>;
+    let states: Vec<MemberResults> = gx_members
+        .iter()
+        .map(|&m| {
+            sim.node_ref::<NsoNode>(m)
+                .unwrap()
+                .app_ref::<GxMember>()
+                .unwrap()
+                .completions
+                .clone()
+        })
+        .collect();
+    assert!(
+        states[0].len() >= 5,
+        "trigger member completed {} group calls",
+        states[0].len()
+    );
+    assert_eq!(states[0], states[1], "both gx members saw identical results");
+    for (_, replies) in &states[0] {
+        assert_eq!(replies.len(), 3, "wait-for-all gathered every gy member");
+    }
+}
+
+/// Peer participation through the public API: members multicast, all
+/// deliver the identical totally-ordered sequence.
+struct Peer {
+    members: Vec<NodeId>,
+    to_send: usize,
+    sent: usize,
+    delivered: Vec<(NodeId, Bytes)>,
+}
+
+impl NsoApp for Peer {
+    fn on_start(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        nso.create_peer_group(
+            GroupId::new("conf"),
+            self.members.clone(),
+            GroupConfig::peer().with_time_silence(Duration::from_millis(15)),
+            now,
+            out,
+        )
+        .expect("peer group");
+        out.set_timer(Duration::from_millis(3), tags::APP_BASE);
+    }
+
+    fn on_timer(&mut self, nso: &mut Nso, _tag: u64, now: SimTime, out: &mut Outbox) {
+        if self.sent < self.to_send {
+            let body = format!("{}:{}", nso.node(), self.sent);
+            let _ = nso.peer_send(
+                &GroupId::new("conf"),
+                Bytes::from(body),
+                DeliveryOrder::Total,
+                now,
+                out,
+            );
+            self.sent += 1;
+            out.set_timer(Duration::from_millis(7), tags::APP_BASE);
+        }
+    }
+
+    fn on_output(&mut self, _nso: &mut Nso, output: NsoOutput, _now: SimTime, _out: &mut Outbox) {
+        if let NsoOutput::PeerDeliver { sender, payload, .. } = output {
+            self.delivered.push((sender, payload));
+        }
+    }
+}
+
+#[test]
+fn peer_participation_agrees_on_total_order_over_wan() {
+    let mut sim = Sim::new(SimConfig::internet(52));
+    let members: Vec<NodeId> = (0..3).map(NodeId::from_index).collect();
+    let sites = [Site::Newcastle, Site::London, Site::Pisa];
+    for (i, &m) in members.iter().enumerate() {
+        sim.add_node(
+            sites[i],
+            Box::new(NsoNode::new(
+                m,
+                Box::new(Peer {
+                    members: members.clone(),
+                    to_send: 8,
+                    sent: 0,
+                    delivered: Vec::new(),
+                }),
+            )),
+        );
+    }
+    sim.run_until(SimTime::from_secs(10));
+    let sequences: Vec<Vec<(NodeId, Bytes)>> = members
+        .iter()
+        .map(|&m| {
+            sim.node_ref::<NsoNode>(m)
+                .unwrap()
+                .app_ref::<Peer>()
+                .unwrap()
+                .delivered
+                .clone()
+        })
+        .collect();
+    assert_eq!(sequences[0].len(), 24, "all 3×8 multicasts delivered");
+    assert_eq!(sequences[0], sequences[1]);
+    assert_eq!(sequences[1], sequences[2]);
+}
+
+/// One node acting as a server in one group and a peer in another
+/// (overlapping groups through the public API).
+#[test]
+fn a_node_can_serve_and_peer_simultaneously() {
+    struct DualRole {
+        servers: Vec<NodeId>,
+        peers: Vec<NodeId>,
+        peer_deliveries: u32,
+    }
+    impl NsoApp for DualRole {
+        fn on_start(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+            nso.create_server_group(
+                GroupId::new("dual-svc"),
+                self.servers.clone(),
+                Replication::Active,
+                OpenOptimisation::None,
+                GroupConfig::request_reply(),
+                now,
+                out,
+            )
+            .expect("server group");
+            nso.register_group_servant(
+                GroupId::new("dual-svc"),
+                Box::new(|_: &str, _: &[u8]| Bytes::from_static(b"ok")),
+            );
+            nso.create_peer_group(
+                GroupId::new("dual-peer"),
+                self.peers.clone(),
+                GroupConfig::peer().with_time_silence(Duration::from_millis(15)),
+                now,
+                out,
+            )
+            .expect("peer group");
+            if nso.node().index() == 0 {
+                out.set_timer(Duration::from_millis(10), tags::APP_BASE);
+            }
+        }
+        fn on_timer(&mut self, nso: &mut Nso, _tag: u64, now: SimTime, out: &mut Outbox) {
+            let _ = nso.peer_send(
+                &GroupId::new("dual-peer"),
+                Bytes::from_static(b"tick"),
+                DeliveryOrder::Total,
+                now,
+                out,
+            );
+        }
+        fn on_output(&mut self, _: &mut Nso, output: NsoOutput, _: SimTime, _: &mut Outbox) {
+            if matches!(output, NsoOutput::PeerDeliver { .. }) {
+                self.peer_deliveries += 1;
+            }
+        }
+    }
+
+    struct SimpleClient {
+        servers: Vec<NodeId>,
+        replies: Option<usize>,
+    }
+    impl NsoApp for SimpleClient {
+        fn on_start(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+            nso.bind_open(
+                GroupId::new("dual-svc"),
+                self.servers[1],
+                Default::default(),
+                now,
+                out,
+            )
+            .expect("bind");
+        }
+        fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {
+            match output {
+                NsoOutput::BindingReady { group } => {
+                    nso.invoke(&group, "op", Bytes::new(), ReplyMode::All, now, out)
+                        .unwrap();
+                }
+                NsoOutput::InvocationComplete { replies, .. } => {
+                    self.replies = Some(replies.len());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut sim = Sim::new(SimConfig::lan(53));
+    let servers: Vec<NodeId> = (0..2).map(NodeId::from_index).collect();
+    let peers: Vec<NodeId> = (0..2).map(NodeId::from_index).collect();
+    for &s in &servers {
+        sim.add_node(
+            Site::Lan,
+            Box::new(NsoNode::new(
+                s,
+                Box::new(DualRole {
+                    servers: servers.clone(),
+                    peers: peers.clone(),
+                    peer_deliveries: 0,
+                }),
+            )),
+        );
+    }
+    let client = NodeId::from_index(2);
+    sim.add_node(
+        Site::Lan,
+        Box::new(NsoNode::new(
+            client,
+            Box::new(SimpleClient {
+                servers: servers.clone(),
+                replies: None,
+            }),
+        )),
+    );
+    sim.run_until(SimTime::from_secs(5));
+    assert_eq!(
+        sim.node_ref::<NsoNode>(client)
+            .unwrap()
+            .app_ref::<SimpleClient>()
+            .unwrap()
+            .replies,
+        Some(2)
+    );
+    for &s in &servers {
+        let d = sim
+            .node_ref::<NsoNode>(s)
+            .unwrap()
+            .app_ref::<DualRole>()
+            .unwrap()
+            .peer_deliveries;
+        assert!(d >= 1, "peer traffic delivered at {s}");
+    }
+}
