@@ -4,13 +4,16 @@
 
 use newtop_bench::{bench_seed, CLIENT_SWEEP};
 use newtop_net::stats::TextTable;
-use newtop_workloads::figures::graphs_11_16_closed_open;
+use newtop_workloads::figures::{graphs_11_16_closed_open, metrics_closed_open};
 use newtop_workloads::scenario::Placement;
 
 fn main() {
     let seed = bench_seed();
     let cases = [
-        (Placement::AllLan, "Graphs 11-12: clients & servers on the LAN"),
+        (
+            Placement::AllLan,
+            "Graphs 11-12: clients & servers on the LAN",
+        ),
         (
             Placement::ServersLanClientsWan,
             "Graphs 13-14: servers on the LAN, clients distant",
@@ -27,6 +30,9 @@ fn main() {
         );
         println!("{table}");
     }
+    // What the styles cost on the wire: GCS messages per completed
+    // request and the sequencer's ordering-record traffic.
+    println!("{}", metrics_closed_open(Placement::AllLan, 4, seed));
     println!(
         "paper shape: with clients across high-latency paths the open group \
          approach is most attractive (the closed client's request fan-out is a \

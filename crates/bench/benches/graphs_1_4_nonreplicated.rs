@@ -10,7 +10,10 @@ use newtop_workloads::figures::{graphs_1_4_nonreplicated, plain_corba_sweep};
 
 fn main() {
     let seed = bench_seed();
-    for (wan, label) in [(false, "Graphs 1-2: LAN"), (true, "Graphs 3-4: distant clients")] {
+    for (wan, label) in [
+        (false, "Graphs 1-2: LAN"),
+        (true, "Graphs 3-4: distant clients"),
+    ] {
         let (ms, rps) = graphs_1_4_nonreplicated(wan, CLIENT_SWEEP, seed);
         let table = TextTable::from_series(
             format!("{label} — non-replicated server via NewTop"),

@@ -11,7 +11,10 @@ use newtop_workloads::scenario::Placement;
 fn main() {
     let seed = bench_seed();
     let cases = [
-        (Placement::AllLan, "Graphs 5-6: clients & servers on the LAN"),
+        (
+            Placement::AllLan,
+            "Graphs 5-6: clients & servers on the LAN",
+        ),
         (
             Placement::ServersLanClientsWan,
             "Graphs 7-8: servers on the LAN, clients distant",

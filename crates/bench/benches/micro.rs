@@ -95,7 +95,14 @@ fn bench_engine_symmetric(c: &mut Criterion) {
     g.throughput(Throughput::Elements(100));
     g.bench_function("ingest_and_drain_100", |b| {
         b.iter_batched(
-            || DeliveryEngine::new(n(0), ViewId(1), vec![n(0), n(1), n(2)], OrderProtocol::Symmetric),
+            || {
+                DeliveryEngine::new(
+                    n(0),
+                    ViewId(1),
+                    vec![n(0), n(1), n(2)],
+                    OrderProtocol::Symmetric,
+                )
+            },
             |mut e| {
                 for i in 1..=100u64 {
                     let _ = e.ingest_data(data_msg(1, i, i * 2));
@@ -115,7 +122,14 @@ fn bench_engine_asymmetric(c: &mut Criterion) {
     g.throughput(Throughput::Elements(100));
     g.bench_function("sequencer_order_100", |b| {
         b.iter_batched(
-            || DeliveryEngine::new(n(0), ViewId(1), vec![n(0), n(1), n(2)], OrderProtocol::Asymmetric),
+            || {
+                DeliveryEngine::new(
+                    n(0),
+                    ViewId(1),
+                    vec![n(0), n(1), n(2)],
+                    OrderProtocol::Asymmetric,
+                )
+            },
             |mut e| {
                 for i in 1..=100u64 {
                     let _ = e.ingest_data(data_msg(1, i, i * 2));

@@ -56,8 +56,8 @@
 //! struct Client { servers: Vec<NodeId>, answer: Option<u8> }
 //! impl NsoApp for Client {
 //!     fn on_start(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
-//!         nso.bind_closed(GroupId::new("doubler"), self.servers.clone(),
-//!                         BindOptions::default(), now, out).unwrap();
+//!         nso.bind(GroupId::new("doubler"),
+//!                  BindOptions::closed(self.servers.clone()), now, out).unwrap();
 //!     }
 //!     fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {
 //!         match output {
@@ -83,6 +83,10 @@
 //! sim.run_until(SimTime::from_secs(5));
 //! let client: &NsoNode = sim.node_ref(c).unwrap();
 //! assert_eq!(client.app_ref::<Client>().unwrap().answer, Some(42));
+//! // Every node keeps protocol metrics and a trace; dump the client's:
+//! let snap = client.nso().metrics();
+//! assert_eq!(snap.counter("inv.calls_issued"), 1);
+//! println!("{snap}");
 //! ```
 
 #![warn(missing_docs)]
@@ -93,7 +97,9 @@ pub mod nso;
 pub mod proxy;
 pub mod simnode;
 
-pub use nso::{BindOptions, GroupServant, Nso, NsoError, NsoOutput};
+#[allow(deprecated)]
+pub use nso::NsoError;
+pub use nso::{BindOptions, BindTarget, GroupServant, NewtopError, Nso, NsoOutput};
 pub use proxy::{ProxyEvent, ProxyStyle, SmartProxy};
 
 /// The ORB operation carrying binding-control requests between NSOs.

@@ -31,9 +31,11 @@ use newtop_invocation::client::{ClientCore, ClientError, ClientEvent};
 use newtop_invocation::g2g::G2gCaller;
 use newtop_invocation::server::ServerCore;
 use newtop_invocation::INV_OPERATION;
+use newtop_net::metrics::{MetricsSnapshot, Observability};
 use newtop_net::sim::{Outbox, Packet};
 use newtop_net::site::NodeId;
 use newtop_net::time::SimTime;
+use newtop_net::trace::{TraceEvent, TraceRecord};
 use newtop_orb::cdr::{CdrDecode, CdrEncode};
 use newtop_orb::ior::ObjectRef;
 use newtop_orb::orb::{InvokeError, OrbCore, OrbIncoming, RequestId};
@@ -60,52 +62,66 @@ where
     }
 }
 
-/// Errors from the NSO API.
+/// The unified error type of the public NSO API: binding, invocation,
+/// group-management and transport failures all surface as one enum.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub enum NsoError {
+pub enum NewtopError {
     /// This node does not host the named server group.
     NotAServer(GroupId),
     /// No binding or monitor attachment exists under that group.
     Unbound(GroupId),
     /// The group id is already in use on this node.
     GroupInUse(GroupId),
+    /// [`Nso::bind`] was called without a [`BindTarget`] — the options
+    /// never said *who* to bind to.
+    BindTargetMissing(GroupId),
     /// An error from the group communication layer.
     Gcs(GcsError),
     /// An error from the client invocation core.
     Client(ClientError),
 }
 
-impl fmt::Display for NsoError {
+/// Former name of [`NewtopError`].
+#[deprecated(note = "renamed to NewtopError")]
+pub type NsoError = NewtopError;
+
+impl fmt::Display for NewtopError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NsoError::NotAServer(g) => write!(f, "node does not serve group {g}"),
-            NsoError::Unbound(g) => write!(f, "no binding for group {g}"),
-            NsoError::GroupInUse(g) => write!(f, "group id already in use: {g}"),
-            NsoError::Gcs(e) => write!(f, "group communication error: {e}"),
-            NsoError::Client(e) => write!(f, "invocation error: {e}"),
+            NewtopError::NotAServer(g) => write!(f, "node does not serve group {g}"),
+            NewtopError::Unbound(g) => write!(f, "no binding for group {g}"),
+            NewtopError::GroupInUse(g) => write!(f, "group id already in use: {g}"),
+            NewtopError::BindTargetMissing(g) => {
+                write!(
+                    f,
+                    "bind to {g} has no target (set BindOptions::open/closed/restricted)"
+                )
+            }
+            NewtopError::Gcs(e) => write!(f, "group communication error: {e}"),
+            NewtopError::Client(e) => write!(f, "invocation error: {e}"),
         }
     }
 }
 
-impl Error for NsoError {
+impl Error for NewtopError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            NsoError::Gcs(e) => Some(e),
-            NsoError::Client(e) => Some(e),
+            NewtopError::Gcs(e) => Some(e),
+            NewtopError::Client(e) => Some(e),
             _ => None,
         }
     }
 }
 
-impl From<GcsError> for NsoError {
+impl From<GcsError> for NewtopError {
     fn from(e: GcsError) -> Self {
-        NsoError::Gcs(e)
+        NewtopError::Gcs(e)
     }
 }
 
-impl From<ClientError> for NsoError {
+impl From<ClientError> for NewtopError {
     fn from(e: ClientError) -> Self {
-        NsoError::Client(e)
+        NewtopError::Client(e)
     }
 }
 
@@ -184,9 +200,51 @@ pub enum NsoOutput {
     },
 }
 
-/// Options for creating a binding.
+/// Who a binding connects to — the *style* half of [`BindOptions`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum BindTarget {
+    /// No target chosen yet; [`Nso::bind`] rejects this with
+    /// [`NewtopError::BindTargetMissing`].
+    #[default]
+    Unspecified,
+    /// Open binding (§3): a two-member client/server group with the named
+    /// request manager, a member of the server group.
+    Open {
+        /// The server acting as request manager.
+        manager: NodeId,
+    },
+    /// Closed binding (§3): a client/server group containing the client
+    /// and every server.
+    Closed {
+        /// The full server-group membership.
+        servers: Vec<NodeId>,
+    },
+    /// Open binding under the restricted-group optimisation (§4.2): the
+    /// manager is the *designated* one — the lowest-ranked server, which
+    /// the asymmetric protocol also makes the sequencer and passive
+    /// replication the primary.
+    Restricted {
+        /// The full server-group membership (the designated manager is
+        /// chosen from it).
+        servers: Vec<NodeId>,
+    },
+}
+
+/// Options for creating a binding with [`Nso::bind`]: the target (open /
+/// closed / restricted style), ordering and liveness parameters of the
+/// client/server group, and invocation defaults. Build with one of the
+/// constructors, then chain `with_*` methods:
+///
+/// ```ignore
+/// let opts = BindOptions::restricted(servers)
+///     .with_reply_mode(ReplyMode::First)
+///     .with_async_forwarding(true);
+/// let binding = nso.bind(server_group, opts, now, &mut out)?;
+/// ```
 #[derive(Clone, Debug)]
 pub struct BindOptions {
+    /// Who to bind to (open / closed / restricted).
+    pub target: BindTarget,
     /// Total-order protocol of the client/server group.
     pub ordering: OrderProtocol,
     /// Time-silence period of the client/server group.
@@ -195,20 +253,105 @@ pub struct BindOptions {
     pub timeout: Duration,
     /// Explicit group id; autogenerated when `None`.
     pub group_id: Option<GroupId>,
+    /// Default reply mode for calls issued over this binding with
+    /// [`Nso::invoke_default`].
+    pub default_mode: ReplyMode,
+    /// The client expects the §4.2 asynchronous-forwarding optimisation:
+    /// wait-for-first calls are answered by the manager before the group
+    /// round completes. Takes effect only when the server group was
+    /// created with [`OpenOptimisation::AsyncForwarding`]; setting it
+    /// here documents the intent and pairs naturally with
+    /// [`ReplyMode::First`] as the default mode.
+    pub async_forwarding: bool,
 }
 
 impl Default for BindOptions {
-    /// Asymmetric ordering and a 100 ms time-silence period. Client/server
-    /// groups are numerous (one per client), so their heartbeats are
-    /// deliberately coarser than a server group's: a server in n bindings
-    /// pays n per-member null fan-outs per period.
+    /// No target, asymmetric ordering and a 100 ms time-silence period.
+    /// Client/server groups are numerous (one per client), so their
+    /// heartbeats are deliberately coarser than a server group's: a
+    /// server in n bindings pays n per-member null fan-outs per period.
     fn default() -> Self {
         BindOptions {
+            target: BindTarget::Unspecified,
             ordering: OrderProtocol::Asymmetric,
             time_silence: Duration::from_millis(100),
             timeout: Duration::from_secs(2),
             group_id: None,
+            default_mode: ReplyMode::All,
+            async_forwarding: false,
         }
+    }
+}
+
+impl BindOptions {
+    /// Options for an open binding through `manager`.
+    #[must_use]
+    pub fn open(manager: NodeId) -> Self {
+        BindOptions {
+            target: BindTarget::Open { manager },
+            ..BindOptions::default()
+        }
+    }
+
+    /// Options for a closed binding to the full server group.
+    #[must_use]
+    pub fn closed(servers: Vec<NodeId>) -> Self {
+        BindOptions {
+            target: BindTarget::Closed { servers },
+            ..BindOptions::default()
+        }
+    }
+
+    /// Options for an open binding to the designated manager
+    /// (restricted-group optimisation, §4.2).
+    #[must_use]
+    pub fn restricted(servers: Vec<NodeId>) -> Self {
+        BindOptions {
+            target: BindTarget::Restricted { servers },
+            ..BindOptions::default()
+        }
+    }
+
+    /// Sets the total-order protocol of the client/server group.
+    #[must_use]
+    pub fn with_ordering(mut self, ordering: OrderProtocol) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Sets the time-silence period of the client/server group.
+    #[must_use]
+    pub fn with_time_silence(mut self, period: Duration) -> Self {
+        self.time_silence = period;
+        self
+    }
+
+    /// Sets how long to wait for the servers' acknowledgements.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Pins the client/server group's id instead of autogenerating one.
+    #[must_use]
+    pub fn with_group_id(mut self, group: GroupId) -> Self {
+        self.group_id = Some(group);
+        self
+    }
+
+    /// Sets the default reply mode used by [`Nso::invoke_default`].
+    #[must_use]
+    pub fn with_reply_mode(mut self, mode: ReplyMode) -> Self {
+        self.default_mode = mode;
+        self
+    }
+
+    /// Declares the binding expects asynchronous forwarding (§4.2).
+    #[must_use]
+    pub fn with_async_forwarding(mut self, on: bool) -> Self {
+        self.async_forwarding = on;
+        self
     }
 }
 
@@ -260,6 +403,14 @@ pub struct Nso {
     next_tag: u64,
     next_binding: u64,
     outputs: Vec<NsoOutput>,
+    /// Invocation-layer metrics and trace (the GCS member keeps its own;
+    /// [`Nso::metrics`] / [`Nso::trace`] merge the two).
+    obs: Observability,
+    /// Per-binding default reply mode (from [`BindOptions`]).
+    default_modes: HashMap<GroupId, ReplyMode>,
+    /// Issue time of outstanding calls, for the end-to-end invocation
+    /// latency histogram.
+    call_issued: HashMap<u64, SimTime>,
 }
 
 impl fmt::Debug for Nso {
@@ -269,6 +420,24 @@ impl fmt::Debug for Nso {
             .field("groups", &self.roles.keys().collect::<Vec<_>>())
             .finish()
     }
+}
+
+/// Runs `f` with a fresh [`GcsNet`], then folds the context's send count
+/// into the metric registry. Takes field-precise borrows (rather than
+/// `&mut Nso`) so the closure can still use `self.gcs`.
+fn with_net<R>(
+    orb: &mut OrbCore,
+    obs: &mut Observability,
+    out: &mut Outbox,
+    f: impl FnOnce(&mut GcsNet<'_>) -> R,
+) -> R {
+    let mut net = GcsNet::new(orb, out);
+    let r = f(&mut net);
+    let sent = net.sent();
+    if sent > 0 {
+        obs.metrics.add("gcs.msgs_sent", sent);
+    }
+    r
 }
 
 impl Nso {
@@ -291,6 +460,9 @@ impl Nso {
             next_tag: 0,
             next_binding: 1,
             outputs: Vec::new(),
+            obs: Observability::new(),
+            default_modes: HashMap::new(),
+            call_issued: HashMap::new(),
         }
     }
 
@@ -306,11 +478,45 @@ impl Nso {
         self.gcs.view_of(group)
     }
 
-    /// Group-communication diagnostics for one group.
+    /// Group-communication diagnostics for one group, with the node's
+    /// protocol-event counters appended.
     #[doc(hidden)]
     #[must_use]
     pub fn gcs_diagnostics(&self, group: &GroupId) -> String {
-        self.gcs.diagnostics(group)
+        let snap = self.metrics();
+        let events: Vec<String> = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("ev."))
+            .map(|(k, v)| format!("{}={v}", &k[3..]))
+            .collect();
+        format!(
+            "{} events[{}]",
+            self.gcs.diagnostics(group),
+            events.join(" ")
+        )
+    }
+
+    /// A merged snapshot of this node's metrics: protocol-event counters
+    /// (`ev.*`), group-communication counters (`gcs.*`) and invocation
+    /// counters/latencies (`inv.*`), from both the invocation layer and
+    /// the GCS member.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut merged = self.obs.metrics.clone();
+        merged.merge(&self.gcs.observability().metrics);
+        merged.snapshot()
+    }
+
+    /// The node's protocol-event trace: the invocation-layer and GCS
+    /// records merged in timestamp order. Bounded — under sustained load
+    /// the oldest records are gone (the `ev.*` counters stay exact).
+    #[must_use]
+    pub fn trace(&self) -> Vec<TraceRecord> {
+        let mut records = self.obs.trace.to_vec();
+        records.extend(self.gcs.observability().trace.iter().cloned());
+        records.sort_by_key(|r| r.at);
+        records
     }
 
     /// Server-core access for diagnostics.
@@ -353,12 +559,11 @@ impl Nso {
         config: GroupConfig,
         now: SimTime,
         out: &mut Outbox,
-    ) -> Result<(), NsoError> {
-        let outs = {
-            let mut net = GcsNet::new(&mut self.orb, out);
+    ) -> Result<(), NewtopError> {
+        let outs = with_net(&mut self.orb, &mut self.obs, out, |net| {
             self.gcs
-                .create_group(group.clone(), config, members.clone(), now, &mut net)?
-        };
+                .create_group(group.clone(), config, members.clone(), now, net)
+        })?;
         let mut core = ServerCore::new(self.node, group.clone(), replication, optimisation);
         core.set_server_view(members);
         self.was_primary.insert(group.clone(), core.is_primary());
@@ -383,13 +588,90 @@ impl Nso {
 
     // --- client-side bindings ----------------------------------------------
 
-    /// Starts an **open** binding: asks `manager` (a member of
-    /// `server_group`) to form a two-member client/server group.
-    /// Completion surfaces as [`NsoOutput::BindingReady`].
+    /// Establishes a client binding to `server_group` — the single entry
+    /// point for all binding styles. [`BindOptions::target`] selects the
+    /// shape:
+    ///
+    /// * [`BindTarget::Open`] — a two-member open binding through the
+    ///   given request manager (§3.2).
+    /// * [`BindTarget::Closed`] — a closed binding spanning the client
+    ///   plus the full listed server group (§3.2).
+    /// * [`BindTarget::Restricted`] — an open binding through the
+    ///   group's designated manager, chosen as the lowest-ranked listed
+    ///   server (the restricted-group optimisation, §4.2; servers must
+    ///   have been created with [`OpenOptimisation::Restricted`] for
+    ///   forwarding to be skipped).
+    ///
+    /// Completion surfaces as [`NsoOutput::BindingReady`]; the binding's
+    /// default reply mode (for [`Nso::invoke_default`]) and the
+    /// async-forwarding preference are taken from `opts`.
     ///
     /// # Errors
     ///
-    /// [`NsoError::GroupInUse`] if the chosen group id already exists.
+    /// [`NewtopError::BindTargetMissing`] if `opts.target` was never
+    /// set; [`NewtopError::GroupInUse`] if the chosen group id already
+    /// exists.
+    pub fn bind(
+        &mut self,
+        server_group: GroupId,
+        opts: BindOptions,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<GroupId, NewtopError> {
+        match opts.target.clone() {
+            BindTarget::Unspecified => Err(NewtopError::BindTargetMissing(server_group)),
+            BindTarget::Open { manager } => {
+                let members = vec![self.node, manager];
+                self.start_bind(
+                    server_group,
+                    members,
+                    BindingStyle::Open { manager },
+                    0,
+                    opts,
+                    now,
+                    out,
+                )
+            }
+            BindTarget::Closed { servers } => {
+                let mut members = vec![self.node];
+                members.extend(servers.iter().copied());
+                let count = servers.len();
+                self.start_bind(
+                    server_group,
+                    members,
+                    BindingStyle::Closed,
+                    count,
+                    opts,
+                    now,
+                    out,
+                )
+            }
+            BindTarget::Restricted { servers } => {
+                let manager = servers
+                    .iter()
+                    .copied()
+                    .min()
+                    .ok_or_else(|| NewtopError::BindTargetMissing(server_group.clone()))?;
+                let members = vec![self.node, manager];
+                self.start_bind(
+                    server_group,
+                    members,
+                    BindingStyle::Open { manager },
+                    0,
+                    opts,
+                    now,
+                    out,
+                )
+            }
+        }
+    }
+
+    /// Starts an **open** binding through `manager`.
+    ///
+    /// # Errors
+    ///
+    /// [`NewtopError::GroupInUse`] if the chosen group id already exists.
+    #[deprecated(note = "use Nso::bind with BindOptions::open")]
     pub fn bind_open(
         &mut self,
         server_group: GroupId,
@@ -397,26 +679,20 @@ impl Nso {
         opts: BindOptions,
         now: SimTime,
         out: &mut Outbox,
-    ) -> Result<GroupId, NsoError> {
-        let members = vec![self.node, manager];
-        self.start_bind(
-            server_group,
-            members,
-            BindingStyle::Open { manager },
-            0,
-            opts,
-            now,
-            out,
-        )
+    ) -> Result<GroupId, NewtopError> {
+        let opts = BindOptions {
+            target: BindTarget::Open { manager },
+            ..opts
+        };
+        self.bind(server_group, opts, now, out)
     }
 
-    /// Starts a **closed** binding: asks every server to form a
-    /// client/server group containing the client and the full server
-    /// group. Completion surfaces as [`NsoOutput::BindingReady`].
+    /// Starts a **closed** binding spanning the listed servers.
     ///
     /// # Errors
     ///
-    /// [`NsoError::GroupInUse`] if the chosen group id already exists.
+    /// [`NewtopError::GroupInUse`] if the chosen group id already exists.
+    #[deprecated(note = "use Nso::bind with BindOptions::closed")]
     pub fn bind_closed(
         &mut self,
         server_group: GroupId,
@@ -424,19 +700,12 @@ impl Nso {
         opts: BindOptions,
         now: SimTime,
         out: &mut Outbox,
-    ) -> Result<GroupId, NsoError> {
-        let mut members = vec![self.node];
-        members.extend(servers.iter().copied());
-        let count = servers.len();
-        self.start_bind(
-            server_group,
-            members,
-            BindingStyle::Closed,
-            count,
-            opts,
-            now,
-            out,
-        )
+    ) -> Result<GroupId, NewtopError> {
+        let opts = BindOptions {
+            target: BindTarget::Closed { servers },
+            ..opts
+        };
+        self.bind(server_group, opts, now, out)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -449,15 +718,16 @@ impl Nso {
         opts: BindOptions,
         _now: SimTime,
         out: &mut Outbox,
-    ) -> Result<GroupId, NsoError> {
+    ) -> Result<GroupId, NewtopError> {
         let group = opts.group_id.unwrap_or_else(|| {
             let id = GroupId::new(format!("cs:{}:{}", self.node, self.next_binding));
             self.next_binding += 1;
             id
         });
         if self.roles.contains_key(&group) || self.binds.contains_key(&group) {
-            return Err(NsoError::GroupInUse(group));
+            return Err(NewtopError::GroupInUse(group));
         }
+        self.default_modes.insert(group.clone(), opts.default_mode);
         let config = GroupConfig {
             ordering: opts.ordering,
             liveness: Liveness::EventDriven,
@@ -508,24 +778,22 @@ impl Nso {
     ///
     /// # Errors
     ///
-    /// [`NsoError::Unbound`] if no such binding exists.
+    /// [`NewtopError::Unbound`] if no such binding exists.
     pub fn unbind(
         &mut self,
         group: &GroupId,
         now: SimTime,
         out: &mut Outbox,
-    ) -> Result<(), NsoError> {
+    ) -> Result<(), NewtopError> {
         if !matches!(self.roles.get(group), Some(GroupRole::ClientBinding)) {
-            return Err(NsoError::Unbound(group.clone()));
+            return Err(NewtopError::Unbound(group.clone()));
         }
         self.roles.remove(group);
         self.client.remove_binding(group);
-        let outs = {
-            let mut net = GcsNet::new(&mut self.orb, out);
-            self.gcs
-                .leave_group(group, now, &mut net)
-                .unwrap_or_default()
-        };
+        self.default_modes.remove(group);
+        let outs = with_net(&mut self.orb, &mut self.obs, out, |net| {
+            self.gcs.leave_group(group, now, net).unwrap_or_default()
+        });
         self.route_gcs(outs, now, out);
         Ok(())
     }
@@ -535,7 +803,7 @@ impl Nso {
     ///
     /// # Errors
     ///
-    /// [`NsoError::Client`] if the binding is unknown.
+    /// [`NewtopError::Client`] if the binding is unknown.
     #[allow(clippy::too_many_arguments)]
     pub fn invoke(
         &mut self,
@@ -545,11 +813,37 @@ impl Nso {
         mode: ReplyMode,
         now: SimTime,
         out: &mut Outbox,
-    ) -> Result<CallId, NsoError> {
+    ) -> Result<CallId, NewtopError> {
         let (call, cmds, events) = self.client.invoke(binding, op, args, mode)?;
+        self.obs.metrics.incr("inv.calls_issued");
+        self.call_issued.insert(call.number, now);
         self.run_commands(cmds, now, out);
         self.map_client_events(events, now, out);
         Ok(call)
+    }
+
+    /// Invokes with the binding's default reply mode (set at bind time
+    /// via [`BindOptions::with_reply_mode`]; [`ReplyMode::All`] when
+    /// never set). Completion surfaces as
+    /// [`NsoOutput::InvocationComplete`].
+    ///
+    /// # Errors
+    ///
+    /// [`NewtopError::Client`] if the binding is unknown.
+    pub fn invoke_default(
+        &mut self,
+        binding: &GroupId,
+        op: &str,
+        args: Bytes,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<CallId, NewtopError> {
+        let mode = self
+            .default_modes
+            .get(binding)
+            .copied()
+            .unwrap_or(ReplyMode::All);
+        self.invoke(binding, op, args, mode, now, out)
     }
 
     /// Re-issues a pending call over a (new) binding with its original
@@ -557,14 +851,14 @@ impl Nso {
     ///
     /// # Errors
     ///
-    /// [`NsoError::Client`] if the call or binding is unknown.
+    /// [`NewtopError::Client`] if the call or binding is unknown.
     pub fn retry(
         &mut self,
         call_number: u64,
         binding: &GroupId,
         now: SimTime,
         out: &mut Outbox,
-    ) -> Result<(), NsoError> {
+    ) -> Result<(), NewtopError> {
         let cmds = self.client.retry(call_number, binding)?;
         self.run_commands(cmds, now, out);
         Ok(())
@@ -585,12 +879,11 @@ impl Nso {
         config: GroupConfig,
         now: SimTime,
         out: &mut Outbox,
-    ) -> Result<(), NsoError> {
-        let outs = {
-            let mut net = GcsNet::new(&mut self.orb, out);
+    ) -> Result<(), NewtopError> {
+        let outs = with_net(&mut self.orb, &mut self.obs, out, |net| {
             self.gcs
-                .create_group(group.clone(), config, members, now, &mut net)?
-        };
+                .create_group(group.clone(), config, members, now, net)
+        })?;
         self.roles.insert(group, GroupRole::Peer);
         self.route_gcs(outs, now, out);
         Ok(())
@@ -611,11 +904,11 @@ impl Nso {
         contact: NodeId,
         now: SimTime,
         out: &mut Outbox,
-    ) -> Result<(), NsoError> {
-        {
-            let mut net = GcsNet::new(&mut self.orb, out);
-            self.gcs.join_group(group.clone(), config, contact, now, &mut net)?;
-        }
+    ) -> Result<(), NewtopError> {
+        with_net(&mut self.orb, &mut self.obs, out, |net| {
+            self.gcs
+                .join_group(group.clone(), config, contact, now, net)
+        })?;
         self.roles.insert(group, GroupRole::Peer);
         Ok(())
     }
@@ -625,20 +918,19 @@ impl Nso {
     ///
     /// # Errors
     ///
-    /// [`NsoError::Unbound`] if this node is not a member.
+    /// [`NewtopError::Unbound`] if this node is not a member.
     pub fn leave_peer_group(
         &mut self,
         group: &GroupId,
         now: SimTime,
         out: &mut Outbox,
-    ) -> Result<(), NsoError> {
+    ) -> Result<(), NewtopError> {
         if !matches!(self.roles.get(group), Some(GroupRole::Peer)) {
-            return Err(NsoError::Unbound(group.clone()));
+            return Err(NewtopError::Unbound(group.clone()));
         }
-        let outs = {
-            let mut net = GcsNet::new(&mut self.orb, out);
-            self.gcs.leave_group(group, now, &mut net)?
-        };
+        let outs = with_net(&mut self.orb, &mut self.obs, out, |net| {
+            self.gcs.leave_group(group, now, net)
+        })?;
         self.route_gcs(outs, now, out);
         Ok(())
     }
@@ -655,9 +947,10 @@ impl Nso {
         order: DeliveryOrder,
         now: SimTime,
         out: &mut Outbox,
-    ) -> Result<(), NsoError> {
-        let mut net = GcsNet::new(&mut self.orb, out);
-        self.gcs.multicast(group, order, payload, now, &mut net)?;
+    ) -> Result<(), NewtopError> {
+        with_net(&mut self.orb, &mut self.obs, out, |net| {
+            self.gcs.multicast(group, order, payload, now, net)
+        })?;
         Ok(())
     }
 
@@ -670,7 +963,7 @@ impl Nso {
     ///
     /// # Errors
     ///
-    /// [`NsoError::NotAServer`] at the manager if it does not host
+    /// [`NewtopError::NotAServer`] at the manager if it does not host
     /// `server_group`; any [`GcsError`] from group creation.
     #[allow(clippy::too_many_arguments)]
     pub fn setup_monitor_group(
@@ -683,15 +976,14 @@ impl Nso {
         config: GroupConfig,
         now: SimTime,
         out: &mut Outbox,
-    ) -> Result<(), NsoError> {
+    ) -> Result<(), NewtopError> {
         if self.node == manager && !self.servers.contains_key(&server_group) {
-            return Err(NsoError::NotAServer(server_group));
+            return Err(NewtopError::NotAServer(server_group));
         }
-        let outs = {
-            let mut net = GcsNet::new(&mut self.orb, out);
+        let outs = with_net(&mut self.orb, &mut self.obs, out, |net| {
             self.gcs
-                .create_group(monitor.clone(), config, members, now, &mut net)?
-        };
+                .create_group(monitor.clone(), config, members, now, net)
+        })?;
         if self.node == manager {
             self.servers
                 .get_mut(&server_group)
@@ -716,7 +1008,7 @@ impl Nso {
     ///
     /// # Errors
     ///
-    /// [`NsoError::Unbound`] if the monitor group is not attached.
+    /// [`NewtopError::Unbound`] if the monitor group is not attached.
     #[allow(clippy::too_many_arguments)]
     pub fn g2g_invoke(
         &mut self,
@@ -726,11 +1018,11 @@ impl Nso {
         mode: ReplyMode,
         now: SimTime,
         out: &mut Outbox,
-    ) -> Result<u64, NsoError> {
+    ) -> Result<u64, NewtopError> {
         let caller = self
             .g2g_callers
             .get_mut(monitor)
-            .ok_or_else(|| NsoError::Unbound(monitor.clone()))?;
+            .ok_or_else(|| NewtopError::Unbound(monitor.clone()))?;
         let (number, cmds, done) = caller.invoke(op, args, mode);
         if let Some(done) = done {
             self.outputs.push(NsoOutput::G2gComplete {
@@ -805,10 +1097,9 @@ impl Nso {
                 match operation.as_str() {
                     GCS_OPERATION => {
                         if let Ok(msg) = GcsMessage::from_cdr(&body) {
-                            let outs = {
-                                let mut net = GcsNet::new(&mut self.orb, out);
-                                self.gcs.on_message(msg, now, &mut net)
-                            };
+                            let outs = with_net(&mut self.orb, &mut self.obs, out, |net| {
+                                self.gcs.on_message(msg, now, net)
+                            });
                             self.route_gcs(outs, now, out);
                         }
                     }
@@ -840,10 +1131,9 @@ impl Nso {
     /// Feeds a fired timer whose tag this NSO owns.
     pub fn on_timer(&mut self, tag: u64, now: SimTime, out: &mut Outbox) {
         if self.gcs.owns_tag(tag) {
-            let outs = {
-                let mut net = GcsNet::new(&mut self.orb, out);
-                self.gcs.on_timer(tag, now, &mut net)
-            };
+            let outs = with_net(&mut self.orb, &mut self.obs, out, |net| {
+                self.gcs.on_timer(tag, now, net)
+            });
             self.route_gcs(outs, now, out);
             return;
         }
@@ -852,6 +1142,13 @@ impl Nso {
                 NsoTimer::BindTimeout(group) => {
                     if self.binds.remove(&group).is_some() {
                         self.pending_bind_requests.retain(|_, g| g != &group);
+                        self.default_modes.remove(&group);
+                        self.obs.record(
+                            now,
+                            TraceEvent::BindFailed {
+                                group: group.as_str().to_string(),
+                            },
+                        );
                         self.outputs.push(NsoOutput::BindFailed { group });
                     }
                 }
@@ -899,14 +1196,13 @@ impl Nso {
                         time_silence: Duration::from_micros(time_silence_micros),
                         ..GroupConfig::default()
                     };
-                    let outs = {
-                        let mut net = GcsNet::new(&mut self.orb, out);
+                    let outs = with_net(&mut self.orb, &mut self.obs, out, |net| {
                         self.gcs
-                            .create_group(group.clone(), config, members, now, &mut net)
-                            .map_err(|_| {
-                                ServantError::User(Bytes::from_static(b"group creation failed"))
-                            })?
-                    };
+                            .create_group(group.clone(), config, members, now, net)
+                    })
+                    .map_err(|_| {
+                        ServantError::User(Bytes::from_static(b"group creation failed"))
+                    })?;
                     self.servers
                         .get_mut(&server_group)
                         .expect("checked")
@@ -928,6 +1224,13 @@ impl Nso {
         if !ok {
             self.binds.remove(&group);
             self.pending_bind_requests.retain(|_, g| g != &group);
+            self.default_modes.remove(&group);
+            self.obs.record(
+                now,
+                TraceEvent::BindFailed {
+                    group: group.as_str().to_string(),
+                },
+            );
             self.outputs.push(NsoOutput::BindFailed { group });
             return;
         }
@@ -936,25 +1239,38 @@ impl Nso {
             return;
         }
         let bind = self.binds.remove(&group).expect("present");
-        let outs = {
-            let mut net = GcsNet::new(&mut self.orb, out);
-            match self.gcs.create_group(
+        let created = with_net(&mut self.orb, &mut self.obs, out, |net| {
+            self.gcs.create_group(
                 group.clone(),
                 bind.config.clone(),
                 bind.members.clone(),
                 now,
-                &mut net,
-            ) {
-                Ok(o) => o,
-                Err(_) => {
-                    self.outputs.push(NsoOutput::BindFailed { group });
-                    return;
-                }
+                net,
+            )
+        });
+        let outs = match created {
+            Ok(o) => o,
+            Err(_) => {
+                self.default_modes.remove(&group);
+                self.obs.record(
+                    now,
+                    TraceEvent::BindFailed {
+                        group: group.as_str().to_string(),
+                    },
+                );
+                self.outputs.push(NsoOutput::BindFailed { group });
+                return;
             }
         };
         self.client
             .register_binding(group.clone(), bind.style.clone(), bind.server_count);
         self.roles.insert(group.clone(), GroupRole::ClientBinding);
+        self.obs.record(
+            now,
+            TraceEvent::BindReady {
+                group: group.as_str().to_string(),
+            },
+        );
         self.outputs.push(NsoOutput::BindingReady { group });
         self.route_gcs(outs, now, out);
     }
@@ -963,10 +1279,10 @@ impl Nso {
         for cmd in cmds {
             match cmd {
                 InvCommand::Multicast { group, payload } => {
-                    let mut net = GcsNet::new(&mut self.orb, out);
-                    let _ = self
-                        .gcs
-                        .multicast(&group, DeliveryOrder::Total, payload, now, &mut net);
+                    let _ = with_net(&mut self.orb, &mut self.obs, out, |net| {
+                        self.gcs
+                            .multicast(&group, DeliveryOrder::Total, payload, now, net)
+                    });
                 }
                 InvCommand::Direct { to, payload } => {
                     self.orb.oneway(
@@ -984,6 +1300,12 @@ impl Nso {
         for ev in events {
             match ev {
                 ClientEvent::Complete { call, replies } => {
+                    self.obs.metrics.incr("inv.calls_completed");
+                    if let Some(t0) = self.call_issued.remove(&call.number) {
+                        self.obs
+                            .metrics
+                            .record_latency("inv.latency", now.saturating_since(t0));
+                    }
                     self.outputs
                         .push(NsoOutput::InvocationComplete { call, replies });
                 }
@@ -992,11 +1314,18 @@ impl Nso {
                     manager,
                     pending_calls,
                 } => {
+                    self.obs.record(
+                        now,
+                        TraceEvent::Rebind {
+                            group: group.as_str().to_string(),
+                            manager,
+                        },
+                    );
                     self.roles.remove(&group);
-                    let _ = {
-                        let mut net = GcsNet::new(&mut self.orb, out);
-                        self.gcs.leave_group(&group, now, &mut net)
-                    };
+                    self.default_modes.remove(&group);
+                    let _ = with_net(&mut self.orb, &mut self.obs, out, |net| {
+                        self.gcs.leave_group(&group, now, net)
+                    });
                     self.outputs.push(NsoOutput::BindingBroken {
                         group,
                         manager,
@@ -1094,7 +1423,18 @@ impl Nso {
             };
             core.on_delivered(delivered_in, sender, payload, &mut exec)
         };
+        self.drain_server_events(&server_group, now);
         self.run_commands(cmds, now, out);
+    }
+
+    /// Stamps and records the trace events a server core accumulated
+    /// while processing (server cores have no clock of their own).
+    fn drain_server_events(&mut self, server_group: &GroupId, now: SimTime) {
+        if let Some(core) = self.servers.get_mut(server_group) {
+            for ev in core.take_events() {
+                self.obs.record(now, ev);
+            }
+        }
     }
 
     fn route_view_change(&mut self, group: &GroupId, view: &View, now: SimTime, out: &mut Outbox) {
@@ -1129,6 +1469,7 @@ impl Nso {
                         (None, quorum_cmds)
                     }
                 };
+                self.drain_server_events(group, now);
                 self.run_commands(quorum_cmds, now, out);
                 if let Some(replayed) = replayed {
                     self.outputs.push(NsoOutput::Promoted {
@@ -1144,10 +1485,9 @@ impl Nso {
                         core.remove_client_group(group);
                     }
                     self.roles.remove(group);
-                    let _ = {
-                        let mut net = GcsNet::new(&mut self.orb, out);
-                        self.gcs.leave_group(group, now, &mut net)
-                    };
+                    let _ = with_net(&mut self.orb, &mut self.obs, out, |net| {
+                        self.gcs.leave_group(group, now, net)
+                    });
                 }
             }
             GroupRole::MonitorManager { .. } | GroupRole::MonitorCaller | GroupRole::Peer => {}

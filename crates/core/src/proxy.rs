@@ -26,7 +26,7 @@ use newtop_net::sim::Outbox;
 use newtop_net::site::NodeId;
 use newtop_net::time::SimTime;
 
-use crate::nso::{BindOptions, Nso, NsoOutput};
+use crate::nso::{BindOptions, BindTarget, Nso, NsoOutput};
 use crate::tags;
 
 /// How the proxy attaches to the service.
@@ -193,20 +193,19 @@ impl SmartProxy {
 
     fn bind(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
         self.state = State::Binding;
-        let r = match self.style {
-            ProxyStyle::Closed => nso.bind_closed(
-                self.server_group.clone(),
-                self.servers.clone(),
-                self.opts.clone(),
-                now,
-                out,
-            ),
-            ProxyStyle::Open { .. } => {
-                let manager = self.servers[self.manager_index % self.servers.len()];
-                nso.bind_open(self.server_group.clone(), manager, self.opts.clone(), now, out)
-            }
+        let target = match self.style {
+            ProxyStyle::Closed => BindTarget::Closed {
+                servers: self.servers.clone(),
+            },
+            ProxyStyle::Open { .. } => BindTarget::Open {
+                manager: self.servers[self.manager_index % self.servers.len()],
+            },
         };
-        if r.is_err() {
+        let opts = BindOptions {
+            target,
+            ..self.opts.clone()
+        };
+        if nso.bind(self.server_group.clone(), opts, now, out).is_err() {
             self.state = State::Failed;
         }
     }
@@ -225,7 +224,8 @@ impl SmartProxy {
         // raced away — the call is then re-queued.)
         match nso.invoke(binding, &call.op, call.args.clone(), call.mode, now, out) {
             Ok(id) => {
-                self.outstanding.insert(id.number, (number, now, call.clone()));
+                self.outstanding
+                    .insert(id.number, (number, now, call.clone()));
             }
             Err(_) => self.queued.push((number, call.clone())),
         }

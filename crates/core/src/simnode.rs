@@ -144,25 +144,12 @@ mod tests {
 
     impl NsoApp for Client {
         fn on_start(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
-            if self.open {
-                nso.bind_open(
-                    GroupId::new("svc"),
-                    self.servers[0],
-                    BindOptions::default(),
-                    now,
-                    out,
-                )
-                .unwrap();
+            let opts = if self.open {
+                BindOptions::open(self.servers[0])
             } else {
-                nso.bind_closed(
-                    GroupId::new("svc"),
-                    self.servers.clone(),
-                    BindOptions::default(),
-                    now,
-                    out,
-                )
-                .unwrap();
-            }
+                BindOptions::closed(self.servers.clone())
+            };
+            nso.bind(GroupId::new("svc"), opts, now, out).unwrap();
         }
 
         fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {

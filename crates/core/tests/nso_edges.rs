@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 
-use newtop::nso::{BindOptions, Nso, NsoError, NsoOutput};
+use newtop::nso::{BindOptions, NewtopError, Nso, NsoOutput};
 use newtop::simnode::{NsoApp, NsoNode};
 use newtop_gcs::group::{DeliveryOrder, GroupConfig, GroupId};
 use newtop_invocation::api::{OpenOptimisation, Replication, ReplyMode};
@@ -15,10 +15,12 @@ use newtop_net::time::SimTime;
 use newtop_orb::naming::{NameServer, NamingClient};
 use newtop_orb::servant::Servant;
 
+type StartFn = Box<dyn FnOnce(&mut Nso, SimTime, &mut Outbox) + Send>;
+
 /// A scriptable app: runs closures against the NSO and records outputs.
 struct Probe {
     outputs: Vec<NsoOutput>,
-    on_start: Option<Box<dyn FnOnce(&mut Nso, SimTime, &mut Outbox) + Send>>,
+    on_start: Option<StartFn>,
 }
 
 impl Probe {
@@ -54,24 +56,33 @@ fn probe_outputs(sim: &Sim, node: NodeId) -> Vec<NsoOutput> {
 fn binding_to_a_non_server_fails() {
     let mut sim = Sim::new(SimConfig::lan(71));
     // Node 0 exists but serves nothing.
-    let bystander = sim.add_node(Site::Lan, Box::new(NsoNode::new(
-        NodeId::from_index(0),
-        Box::new(Probe::new(|_, _, _| {})),
-    )));
+    let bystander = sim.add_node(
+        Site::Lan,
+        Box::new(NsoNode::new(
+            NodeId::from_index(0),
+            Box::new(Probe::new(|_, _, _| {})),
+        )),
+    );
     let client = sim.add_node(
         Site::Lan,
         Box::new(NsoNode::new(
             NodeId::from_index(1),
             Box::new(Probe::new(move |nso, now, out| {
-                nso.bind_open(GroupId::new("ghost"), bystander, BindOptions::default(), now, out)
-                    .unwrap();
+                nso.bind(
+                    GroupId::new("ghost"),
+                    BindOptions::open(bystander),
+                    now,
+                    out,
+                )
+                .unwrap();
             })),
         )),
     );
     sim.run_until(SimTime::from_secs(5));
     let outs = probe_outputs(&sim, client);
     assert!(
-        outs.iter().any(|o| matches!(o, NsoOutput::BindFailed { .. })),
+        outs.iter()
+            .any(|o| matches!(o, NsoOutput::BindFailed { .. })),
         "refusal from a non-serving node surfaces as BindFailed: {outs:?}"
     );
 }
@@ -79,23 +90,22 @@ fn binding_to_a_non_server_fails() {
 #[test]
 fn binding_to_a_dead_node_times_out() {
     let mut sim = Sim::new(SimConfig::lan(72));
-    let dead = sim.add_node(Site::Lan, Box::new(NsoNode::new(
-        NodeId::from_index(0),
-        Box::new(Probe::new(|_, _, _| {})),
-    )));
+    let dead = sim.add_node(
+        Site::Lan,
+        Box::new(NsoNode::new(
+            NodeId::from_index(0),
+            Box::new(Probe::new(|_, _, _| {})),
+        )),
+    );
     sim.schedule_crash(SimTime::ZERO, dead);
     let client = sim.add_node(
         Site::Lan,
         Box::new(NsoNode::new(
             NodeId::from_index(1),
             Box::new(Probe::new(move |nso, now, out| {
-                nso.bind_open(
+                nso.bind(
                     GroupId::new("svc"),
-                    dead,
-                    BindOptions {
-                        timeout: Duration::from_millis(300),
-                        ..BindOptions::default()
-                    },
+                    BindOptions::open(dead).with_timeout(Duration::from_millis(300)),
                     now,
                     out,
                 )
@@ -105,7 +115,9 @@ fn binding_to_a_dead_node_times_out() {
     );
     sim.run_until(SimTime::from_secs(2));
     let outs = probe_outputs(&sim, client);
-    assert!(outs.iter().any(|o| matches!(o, NsoOutput::BindFailed { .. })));
+    assert!(outs
+        .iter()
+        .any(|o| matches!(o, NsoOutput::BindFailed { .. })));
 }
 
 #[test]
@@ -118,22 +130,42 @@ fn api_errors_are_reported_synchronously() {
             Box::new(Probe::new(|nso, now, out| {
                 // Unknown binding.
                 let err = nso
-                    .invoke(&GroupId::new("nope"), "op", Bytes::new(), ReplyMode::All, now, out)
+                    .invoke(
+                        &GroupId::new("nope"),
+                        "op",
+                        Bytes::new(),
+                        ReplyMode::All,
+                        now,
+                        out,
+                    )
                     .unwrap_err();
-                assert!(matches!(err, NsoError::Client(_)));
+                assert!(matches!(err, NewtopError::Client(_)));
                 // Unknown monitor attachment.
                 let err = nso
-                    .g2g_invoke(&GroupId::new("nope"), "op", Bytes::new(), ReplyMode::All, now, out)
+                    .g2g_invoke(
+                        &GroupId::new("nope"),
+                        "op",
+                        Bytes::new(),
+                        ReplyMode::All,
+                        now,
+                        out,
+                    )
                     .unwrap_err();
-                assert!(matches!(err, NsoError::Unbound(_)));
+                assert!(matches!(err, NewtopError::Unbound(_)));
                 // Unknown peer group.
                 let err = nso
-                    .peer_send(&GroupId::new("nope"), Bytes::new(), DeliveryOrder::Total, now, out)
+                    .peer_send(
+                        &GroupId::new("nope"),
+                        Bytes::new(),
+                        DeliveryOrder::Total,
+                        now,
+                        out,
+                    )
                     .unwrap_err();
-                assert!(matches!(err, NsoError::Gcs(_)));
+                assert!(matches!(err, NewtopError::Gcs(_)));
                 // Unbind without a binding.
                 let err = nso.unbind(&GroupId::new("nope"), now, out).unwrap_err();
-                assert!(matches!(err, NsoError::Unbound(_)));
+                assert!(matches!(err, NewtopError::Unbound(_)));
                 // Group id collision for an explicit binding id.
                 nso.create_peer_group(
                     GroupId::new("taken"),
@@ -144,18 +176,20 @@ fn api_errors_are_reported_synchronously() {
                 )
                 .unwrap();
                 let err = nso
-                    .bind_open(
+                    .bind(
                         GroupId::new("svc"),
-                        NodeId::from_index(9),
-                        BindOptions {
-                            group_id: Some(GroupId::new("taken")),
-                            ..BindOptions::default()
-                        },
+                        BindOptions::open(NodeId::from_index(9))
+                            .with_group_id(GroupId::new("taken")),
                         now,
                         out,
                     )
                     .unwrap_err();
-                assert!(matches!(err, NsoError::GroupInUse(_)));
+                assert!(matches!(err, NewtopError::GroupInUse(_)));
+                // A bind without a target is rejected up front.
+                let err = nso
+                    .bind(GroupId::new("svc"), BindOptions::default(), now, out)
+                    .unwrap_err();
+                assert!(matches!(err, NewtopError::BindTargetMissing(_)));
                 // Monitor setup at a non-server manager.
                 let err = nso
                     .setup_monitor_group(
@@ -169,7 +203,7 @@ fn api_errors_are_reported_synchronously() {
                         out,
                     )
                     .unwrap_err();
-                assert!(matches!(err, NsoError::NotAServer(_)));
+                assert!(matches!(err, NewtopError::NotAServer(_)));
             })),
         )),
     );
@@ -192,7 +226,10 @@ fn plain_invocations_and_naming_work_through_the_nso() {
                 nso.register_plain_servant(
                     "greeter",
                     Box::new(|_op: &str, args: &[u8]| {
-                        Ok(Bytes::from(format!("hello {}", String::from_utf8_lossy(args))))
+                        Ok(Bytes::from(format!(
+                            "hello {}",
+                            String::from_utf8_lossy(args)
+                        )))
                     }),
                 );
             })),
@@ -232,7 +269,10 @@ fn plain_invocations_and_naming_work_through_the_nso() {
     assert_eq!(replies.len(), 3, "bind + resolve + greet all replied");
     // The resolve reply decodes to the greeter's reference.
     let resolved = replies.iter().find_map(|o| {
-        let NsoOutput::PlainReply { result: Ok(body), .. } = o else {
+        let NsoOutput::PlainReply {
+            result: Ok(body), ..
+        } = o
+        else {
             return None;
         };
         NamingClient::decode_resolve_reply(body).ok().flatten()
@@ -282,10 +322,9 @@ fn unbind_tears_the_binding_down() {
     }
     impl NsoApp for UnbindClient {
         fn on_start(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
-            nso.bind_open(
+            nso.bind(
                 GroupId::new("svc"),
-                self.servers[0],
-                BindOptions::default(),
+                BindOptions::open(self.servers[0]),
                 now,
                 out,
             )
@@ -299,7 +338,7 @@ fn unbind_tears_the_binding_down() {
                 let err = nso
                     .invoke(&group, "op", Bytes::new(), ReplyMode::All, now, out)
                     .unwrap_err();
-                assert!(matches!(err, NsoError::Client(_)));
+                assert!(matches!(err, NewtopError::Client(_)));
                 self.phase = 2;
             }
         }

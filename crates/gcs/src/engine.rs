@@ -113,7 +113,12 @@ impl DeliveryEngine {
     ///
     /// Panics if `me` is not in `members`.
     #[must_use]
-    pub fn new(me: NodeId, view: ViewId, mut members: Vec<NodeId>, protocol: OrderProtocol) -> Self {
+    pub fn new(
+        me: NodeId,
+        view: ViewId,
+        mut members: Vec<NodeId>,
+        protocol: OrderProtocol,
+    ) -> Self {
         members.sort_unstable();
         members.dedup();
         assert!(members.contains(&me), "engine owner must be a view member");
@@ -311,9 +316,9 @@ impl DeliveryEngine {
         let consumed_all = self.next_deliver_pos > self.order_log.len() as u64;
         if consumed_all {
             let unordered_total = self.senders.values().any(|t| {
-                t.buffer
-                    .iter()
-                    .any(|(&seq, m)| seq <= t.contig && seq > t.delivered && m.order == DeliveryOrder::Total)
+                t.buffer.iter().any(|(&seq, m)| {
+                    seq <= t.contig && seq > t.delivered && m.order == DeliveryOrder::Total
+                })
             });
             if unordered_total {
                 return Some(self.order_log.len() as u64 + 1);
@@ -403,9 +408,9 @@ impl DeliveryEngine {
                     if msg.order == DeliveryOrder::Total {
                         // Respect causality: all of the message's
                         // dependencies must have been examined first.
-                        let deps_ok = msg.deps.satisfied_by(|q| {
-                            *self.seq_state.processed.get(&q).unwrap_or(&0)
-                        });
+                        let deps_ok = msg
+                            .deps
+                            .satisfied_by(|q| *self.seq_state.processed.get(&q).unwrap_or(&0));
                         if !deps_ok {
                             break;
                         }
@@ -712,18 +717,30 @@ mod tests {
     #[test]
     fn duplicates_are_rejected() {
         let mut e = engine(0, &[0, 1], OrderProtocol::Symmetric);
-        assert_eq!(e.ingest_data(msg(1, 1, 5, DeliveryOrder::Causal)), Ingest::Accepted);
-        assert_eq!(e.ingest_data(msg(1, 1, 5, DeliveryOrder::Causal)), Ingest::Duplicate);
+        assert_eq!(
+            e.ingest_data(msg(1, 1, 5, DeliveryOrder::Causal)),
+            Ingest::Accepted
+        );
+        assert_eq!(
+            e.ingest_data(msg(1, 1, 5, DeliveryOrder::Causal)),
+            Ingest::Duplicate
+        );
         let delivered = e.drain_deliverable();
         assert_eq!(ids(&delivered), vec![(1, 1)]);
         // Delivered and GC'd-from-contig duplicates are still duplicates.
-        assert_eq!(e.ingest_data(msg(1, 1, 5, DeliveryOrder::Causal)), Ingest::Duplicate);
+        assert_eq!(
+            e.ingest_data(msg(1, 1, 5, DeliveryOrder::Causal)),
+            Ingest::Duplicate
+        );
     }
 
     #[test]
     fn non_member_senders_are_ignored() {
         let mut e = engine(0, &[0, 1], OrderProtocol::Symmetric);
-        assert_eq!(e.ingest_data(msg(9, 1, 5, DeliveryOrder::Causal)), Ingest::Duplicate);
+        assert_eq!(
+            e.ingest_data(msg(9, 1, 5, DeliveryOrder::Causal)),
+            Ingest::Duplicate
+        );
     }
 
     #[test]
@@ -861,7 +878,13 @@ mod tests {
         member.ingest_data(m_b);
         member.ingest_order(1, &entries);
         let delivered = member.drain_deliverable();
-        assert_eq!(ids(&delivered), entries.iter().map(|&(s, q)| (s.index(), q)).collect::<Vec<_>>());
+        assert_eq!(
+            ids(&delivered),
+            entries
+                .iter()
+                .map(|&(s, q)| (s.index(), q))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

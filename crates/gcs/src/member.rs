@@ -28,9 +28,11 @@ use std::fmt;
 
 use bytes::Bytes;
 
+use newtop_net::metrics::Observability;
 use newtop_net::sim::Outbox;
 use newtop_net::site::NodeId;
 use newtop_net::time::SimTime;
+use newtop_net::trace::TraceEvent;
 use newtop_orb::cdr::CdrEncode;
 use newtop_orb::ior::ObjectRef;
 use newtop_orb::orb::OrbCore;
@@ -130,15 +132,25 @@ pub struct GcsNet<'a> {
     pub orb: &'a mut OrbCore,
     /// The action sink.
     pub out: &'a mut Outbox,
+    sent: u64,
 }
 
 impl<'a> GcsNet<'a> {
     /// Creates a context.
     pub fn new(orb: &'a mut OrbCore, out: &'a mut Outbox) -> Self {
-        GcsNet { orb, out }
+        GcsNet { orb, out, sent: 0 }
+    }
+
+    /// Point-to-point GCS messages sent through this context (multicast
+    /// fan-outs count one per member). The owner harvests this into its
+    /// metric registry after each batch of calls.
+    #[must_use]
+    pub fn sent(&self) -> u64 {
+        self.sent
     }
 
     fn send(&mut self, to: NodeId, msg: &GcsMessage) {
+        self.sent += 1;
         let body = msg.to_cdr();
         self.orb.oneway(
             &ObjectRef::new(to, NSO_OBJECT_KEY),
@@ -254,6 +266,8 @@ pub struct GcsMember {
     /// Outputs produced by internal handlers, drained by the public entry
     /// points.
     pending: Vec<GcsOutput>,
+    /// Metrics and protocol-event trace for all this node's groups.
+    obs: Observability,
 }
 
 impl fmt::Debug for GcsMember {
@@ -279,7 +293,19 @@ impl GcsMember {
             tag_base,
             next_tag: 0,
             pending: Vec::new(),
+            obs: Observability::new(),
         }
+    }
+
+    /// This member's metrics and protocol-event trace.
+    #[must_use]
+    pub fn observability(&self) -> &Observability {
+        &self.obs
+    }
+
+    /// Mutable access, e.g. for the owner to fold in transport counters.
+    pub fn observability_mut(&mut self) -> &mut Observability {
+        &mut self.obs
     }
 
     /// The local node.
@@ -397,6 +423,14 @@ impl GcsMember {
             order_flush_scheduled: false,
         };
         self.groups.insert(group.clone(), state);
+        self.obs.record(
+            now,
+            TraceEvent::ViewInstalled {
+                group: group.as_str().to_string(),
+                view: view.id().0,
+                members: view.len(),
+            },
+        );
         self.ensure_liveness(&group, now, net);
         Ok(vec![GcsOutput::ViewInstalled {
             group,
@@ -486,8 +520,13 @@ impl GcsMember {
                 leaver: self.node,
             };
             let me = self.node;
-            let targets: Vec<NodeId> =
-                state.view.members().iter().copied().filter(|&m| m != me).collect();
+            let targets: Vec<NodeId> = state
+                .view
+                .members()
+                .iter()
+                .copied()
+                .filter(|&m| m != me)
+                .collect();
             net.send_fanout(state.config.fanout, targets, &msg);
         }
         self.timer_routes.retain(|_, r| &r.group != group);
@@ -567,7 +606,7 @@ impl GcsMember {
                 from_seq,
                 to_seq,
                 ..
-            } => self.on_nack(&group, view, from, sender, from_seq, to_seq, net),
+            } => self.on_nack(&group, view, from, sender, from_seq, to_seq, now, net),
             GcsMessage::SeqOrder {
                 view,
                 sender,
@@ -696,7 +735,9 @@ impl GcsMember {
             }
         }
         let state = self.groups.get_mut(group).expect("checked");
+        let mut delivered = 0u64;
         for m in state.engine.drain_deliverable() {
+            delivered += 1;
             self.pending.push(GcsOutput::Delivered {
                 group: group.clone(),
                 sender: m.sender,
@@ -704,6 +745,9 @@ impl GcsMember {
                 lamport: m.lamport,
                 payload: m.payload,
             });
+        }
+        if delivered > 0 {
+            self.obs.metrics.add("gcs.delivered", delivered);
         }
         state.engine.gc_stable();
         let needs_scan = !state.nack_scheduled
@@ -725,6 +769,7 @@ impl GcsMember {
         sender: NodeId,
         from_seq: u64,
         to_seq: u64,
+        now: SimTime,
         net: &mut GcsNet<'_>,
     ) {
         let state = &self.groups[group];
@@ -732,10 +777,22 @@ impl GcsMember {
             return;
         }
         let to_seq = to_seq.min(from_seq.saturating_add(MAX_RETRANS_PER_NACK));
+        let mut served = 0;
         for seq in from_seq..=to_seq {
             if let Some(m) = state.engine.get_buffered(sender, seq) {
                 net.send(from, &GcsMessage::Data(m.clone()));
+                served += 1;
             }
+        }
+        if served > 0 {
+            self.obs.record(
+                now,
+                TraceEvent::Retransmit {
+                    group: group.as_str().to_string(),
+                    to: from,
+                    count: served,
+                },
+            );
         }
     }
 
@@ -1145,7 +1202,9 @@ impl GcsMember {
         let was_member = state.is_member();
         if was_member {
             state.engine.ingest_union(msgs);
+            let mut delivered = 0u64;
             for m in state.engine.flush_remaining() {
+                delivered += 1;
                 self.pending.push(GcsOutput::Delivered {
                     group: group.clone(),
                     sender: m.sender,
@@ -1153,6 +1212,9 @@ impl GcsMember {
                     lamport: m.lamport,
                     payload: m.payload,
                 });
+            }
+            if delivered > 0 {
+                self.obs.metrics.add("gcs.delivered", delivered);
             }
         }
         let state = self.groups.get_mut(group).expect("checked");
@@ -1188,6 +1250,14 @@ impl GcsMember {
         // earlier (keep it only if it IS this install, set right after).
         state.last_install = None;
         let more_joiners = !state.joiners.is_empty();
+        self.obs.record(
+            now,
+            TraceEvent::ViewInstalled {
+                group: group.as_str().to_string(),
+                view: view.id().0,
+                members: view.len(),
+            },
+        );
         self.pending.push(GcsOutput::ViewInstalled {
             group: group.clone(),
             view,
@@ -1205,7 +1275,10 @@ impl GcsMember {
     fn on_null_timer(&mut self, group: &GroupId, now: SimTime, net: &mut GcsNet<'_>) {
         let node = self.node;
         if !self.should_run_liveness(group, now) {
-            self.groups.get_mut(group).expect("checked").liveness_running = false;
+            self.groups
+                .get_mut(group)
+                .expect("checked")
+                .liveness_running = false;
             return;
         }
         let period = self.groups[group].config.time_silence;
@@ -1220,10 +1293,21 @@ impl GcsMember {
                 last_seq: state.next_seq - 1,
                 acks: state.engine.contig_vector(),
             });
-            let targets: Vec<NodeId> =
-                state.view.members().iter().copied().filter(|&m| m != node).collect();
+            let targets: Vec<NodeId> = state
+                .view
+                .members()
+                .iter()
+                .copied()
+                .filter(|&m| m != node)
+                .collect();
             net.send_fanout(state.config.fanout, targets, &msg);
             state.last_sent = now;
+            self.obs.record(
+                now,
+                TraceEvent::TimeSilenceNull {
+                    group: group.as_str().to_string(),
+                },
+            );
         }
         self.schedule(group, TimerKind::Null, period, 0, net);
     }
@@ -1231,12 +1315,15 @@ impl GcsMember {
     fn on_suspicion_timer(&mut self, group: &GroupId, now: SimTime, net: &mut GcsNet<'_>) {
         let node = self.node;
         if !self.should_run_liveness(group, now) {
-            self.groups.get_mut(group).expect("checked").liveness_running = false;
+            self.groups
+                .get_mut(group)
+                .expect("checked")
+                .liveness_running = false;
             return;
         }
         let state = self.groups.get_mut(group).expect("checked");
         let timeout = state.config.suspicion_timeout();
-        let mut newly_suspected = false;
+        let mut newly_suspected = Vec::new();
         for &m in state.view.members() {
             if m == node || state.suspects.contains(&m) {
                 continue;
@@ -1244,17 +1331,26 @@ impl GcsMember {
             let heard = state.last_heard.get(&m).copied().unwrap_or(SimTime::ZERO);
             if now.saturating_since(heard) > timeout {
                 state.suspects.insert(m);
-                newly_suspected = true;
+                newly_suspected.push(m);
             }
         }
         let period = state.config.time_silence;
+        for &suspect in &newly_suspected {
+            self.obs.record(
+                now,
+                TraceEvent::Suspected {
+                    group: group.as_str().to_string(),
+                    suspect,
+                },
+            );
+        }
         self.schedule(group, TimerKind::Suspicion, period, 0, net);
-        if newly_suspected {
+        if !newly_suspected.is_empty() {
             self.initiate_view_change(group, now, net);
         }
     }
 
-    fn on_nack_timer(&mut self, group: &GroupId, _now: SimTime, net: &mut GcsNet<'_>) {
+    fn on_nack_timer(&mut self, group: &GroupId, now: SimTime, net: &mut GcsNet<'_>) {
         let node = self.node;
         let state = self.groups.get_mut(group).expect("checked");
         state.nack_scheduled = false;
@@ -1273,6 +1369,14 @@ impl GcsMember {
                     sender,
                     from_seq: from,
                     to_seq: to,
+                },
+            );
+            self.obs.record(
+                now,
+                TraceEvent::NackSent {
+                    group: group.as_str().to_string(),
+                    to: sender,
+                    count: (to.saturating_sub(from) + 1) as usize,
                 },
             );
         }
@@ -1333,9 +1437,15 @@ impl GcsMember {
                 }
                 // Still silent after the retries: drop them and go again.
                 for m in missing {
-                    if m != node {
-                        state.suspects.insert(m);
+                    if m != node && state.suspects.insert(m) {
                         state.joiners.remove(&m);
+                        self.obs.record(
+                            now,
+                            TraceEvent::Suspected {
+                                group: group.as_str().to_string(),
+                                suspect: m,
+                            },
+                        );
                     }
                 }
                 state.vc = None;
@@ -1381,7 +1491,15 @@ impl GcsMember {
                     return;
                 }
                 // The coordinator went quiet: suspect it and re-run.
-                state.suspects.insert(coordinator);
+                if state.suspects.insert(coordinator) {
+                    self.obs.record(
+                        now,
+                        TraceEvent::Suspected {
+                            group: group.as_str().to_string(),
+                            suspect: coordinator,
+                        },
+                    );
+                }
                 state.vc = None;
                 self.initiate_view_change(group, now, net);
             }
@@ -1389,9 +1507,7 @@ impl GcsMember {
                 if state.attempt >= stamp || !state.is_member() {
                     return; // progress happened since the timer was armed
                 }
-                if state.suspects.is_empty()
-                    && state.joiners.is_empty()
-                    && state.leavers.is_empty()
+                if state.suspects.is_empty() && state.joiners.is_empty() && state.leavers.is_empty()
                 {
                     return;
                 }
@@ -1405,8 +1521,14 @@ impl GcsMember {
                     .filter(|m| !state.suspects.contains(m) && !state.leavers.contains(m))
                     .collect();
                 if let Some(&coord) = alive.first() {
-                    if coord != node {
-                        state.suspects.insert(coord);
+                    if coord != node && state.suspects.insert(coord) {
+                        self.obs.record(
+                            now,
+                            TraceEvent::Suspected {
+                                group: group.as_str().to_string(),
+                                suspect: coord,
+                            },
+                        );
                     }
                 }
                 self.initiate_view_change(group, now, net);
@@ -1426,6 +1548,7 @@ impl GcsMember {
         if entries.is_empty() {
             return;
         }
+        let records = entries.len();
         let start = state.engine.order_log_len() - entries.len() as u64 + 1;
         let wire = GcsMessage::SeqOrder {
             group: group.clone(),
@@ -1435,10 +1558,23 @@ impl GcsMember {
             start,
             entries,
         };
-        let targets: Vec<NodeId> =
-            state.view.members().iter().copied().filter(|&m| m != node).collect();
+        let targets: Vec<NodeId> = state
+            .view
+            .members()
+            .iter()
+            .copied()
+            .filter(|&m| m != node)
+            .collect();
         net.send_fanout(state.config.fanout, targets, &wire);
         state.last_sent = now;
+        self.obs.record(
+            now,
+            TraceEvent::SequencerBatch {
+                group: group.as_str().to_string(),
+                records,
+            },
+        );
+        self.obs.metrics.add("gcs.order_records", records as u64);
     }
 
     fn on_order_flush_timer(&mut self, group: &GroupId, now: SimTime, net: &mut GcsNet<'_>) {
@@ -1698,12 +1834,18 @@ mod tests {
                 &mut net,
             )
             .unwrap();
-            let outs = m.leave_group(&GroupId::new("g"), SimTime::ZERO, &mut net).unwrap();
+            let outs = m
+                .leave_group(&GroupId::new("g"), SimTime::ZERO, &mut net)
+                .unwrap();
             assert!(matches!(&outs[0], GcsOutput::LeftGroup { .. }));
         }
         assert!(m.view_of(&GroupId::new("g")).is_none());
         assert!(m
-            .leave_group(&GroupId::new("g"), SimTime::ZERO, &mut GcsNet::new(&mut orb, &mut out))
+            .leave_group(
+                &GroupId::new("g"),
+                SimTime::ZERO,
+                &mut GcsNet::new(&mut orb, &mut out)
+            )
             .is_err());
     }
 }

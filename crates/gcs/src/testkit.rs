@@ -243,9 +243,7 @@ impl GcsNode {
         self.outputs
             .iter()
             .filter_map(|(_, o)| match o {
-                GcsOutput::ViewInstalled { group: g, view, .. } if g == group => {
-                    Some(view.clone())
-                }
+                GcsOutput::ViewInstalled { group: g, view, .. } if g == group => Some(view.clone()),
                 _ => None,
             })
             .collect()
@@ -273,7 +271,9 @@ impl SimNode for GcsNode {
                             config,
                             contact,
                         } => {
-                            let _ = self.member.join_group(group, config, contact, now, &mut net);
+                            let _ = self
+                                .member
+                                .join_group(group, config, contact, now, &mut net);
                             Vec::new()
                         }
                         Command::Leave { group } => self

@@ -33,10 +33,9 @@ fn history(senders: u32, per_sender: u64, causal_every: u64) -> Vec<DataMsg> {
             let seq = sent[s as usize];
             // Deps: everything the sender could have delivered — the
             // previous full round from everyone.
-            let deps = DepsVector::from_pairs(
-                (0..senders).filter(|&q| q != s).map(|q| (n(q), round)),
-            );
-            let order = if causal_every > 0 && seq % causal_every == 0 {
+            let deps =
+                DepsVector::from_pairs((0..senders).filter(|&q| q != s).map(|q| (n(q), round)));
+            let order = if causal_every > 0 && seq.is_multiple_of(causal_every) {
                 DeliveryOrder::Causal
             } else {
                 DeliveryOrder::Total
@@ -60,11 +59,7 @@ fn history(senders: u32, per_sender: u64, causal_every: u64) -> Vec<DataMsg> {
 /// Builds the (single, authoritative) sequencer's order log for a run:
 /// the sequencer ingests messages in its own arrival order and assigns
 /// global positions.
-fn sequencer_log(
-    members: u32,
-    msgs: &[DataMsg],
-    arrival: &[usize],
-) -> Vec<(NodeId, u64)> {
+fn sequencer_log(members: u32, msgs: &[DataMsg], arrival: &[usize]) -> Vec<(NodeId, u64)> {
     let mut seqr = DeliveryEngine::new(
         n(0),
         ViewId(1),

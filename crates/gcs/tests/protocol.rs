@@ -51,7 +51,13 @@ fn run_burst(
     for (mi, &m) in members.iter().enumerate() {
         for i in 0..msgs_per_member {
             let at = SimTime::from_millis(10 + (i as u64) * 7 + mi as u64);
-            h.multicast(at, m, &gid(), DeliveryOrder::Total, payload(&format!("m{mi}"), i));
+            h.multicast(
+                at,
+                m,
+                &gid(),
+                DeliveryOrder::Total,
+                payload(&format!("m{mi}"), i),
+            );
         }
     }
     h.run_until(SimTime::from_secs(15));
@@ -250,7 +256,13 @@ fn join_expands_the_view_and_new_member_participates() {
     let config = GroupConfig::peer().with_time_silence(Duration::from_millis(20));
     // Only the first two create the group.
     h.create_group(SimTime::from_millis(1), &gid(), &config, &members[..2]);
-    h.join(SimTime::from_millis(50), members[2], &gid(), &config, members[0]);
+    h.join(
+        SimTime::from_millis(50),
+        members[2],
+        &gid(),
+        &config,
+        members[0],
+    );
     // Traffic after the join settles.
     for i in 0..5 {
         h.multicast(

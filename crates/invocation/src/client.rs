@@ -433,7 +433,10 @@ mod tests {
             .invoke(&gid(), "op", Bytes::new(), ReplyMode::All)
             .unwrap();
         assert_eq!(c.pending_calls(), vec![call.number]);
-        let replies = vec![(n(1), Bytes::from_static(b"a")), (n(2), Bytes::from_static(b"b"))];
+        let replies = vec![
+            (n(1), Bytes::from_static(b"a")),
+            (n(2), Bytes::from_static(b"b")),
+        ];
         let events = c.on_message(&relayed(call, replies.clone()));
         assert_eq!(events, vec![ClientEvent::Complete { call, replies }]);
         assert!(c.pending_calls().is_empty());
@@ -525,7 +528,10 @@ mod tests {
     #[test]
     fn retry_unknown_call_fails() {
         let mut c = open_client();
-        assert!(matches!(c.retry(42, &gid()), Err(ClientError::UnknownCall(42))));
+        assert!(matches!(
+            c.retry(42, &gid()),
+            Err(ClientError::UnknownCall(42))
+        ));
     }
 
     #[test]

@@ -241,7 +241,9 @@ mod tests {
             number: 1,
             replies: vec![(n(9), Bytes::from_static(b"r"))],
         };
-        assert!(c.on_delivered(&GroupId::new("gz"), &reply.to_cdr()).is_none());
+        assert!(c
+            .on_delivered(&GroupId::new("gz"), &reply.to_cdr())
+            .is_none());
         let (number, _, done) = c.invoke("op", Bytes::new(), ReplyMode::All);
         assert_eq!(number, 1);
         let done = done.expect("buffered reply surfaces at invoke");

@@ -24,6 +24,7 @@ use bytes::Bytes;
 
 use newtop_gcs::group::GroupId;
 use newtop_net::site::NodeId;
+use newtop_net::trace::TraceEvent;
 use newtop_orb::cdr::CdrDecode;
 
 use crate::api::{CallId, InvCommand, InvMessage, OpenOptimisation, Replication, ReplyMode};
@@ -88,6 +89,9 @@ pub struct ServerCore {
     last_exec: HashMap<NodeId, (u64, Bytes)>,
     /// Counter for synthesising call ids on the g2g forwarded leg.
     next_local_call: u64,
+    /// Protocol events produced by handlers, drained (and timestamped) by
+    /// the owning NSO via [`ServerCore::take_events`].
+    events: Vec<TraceEvent>,
 }
 
 impl fmt::Debug for ServerCore {
@@ -124,7 +128,15 @@ impl ServerCore {
             backlog: Vec::new(),
             last_exec: HashMap::new(),
             next_local_call: 1,
+            events: Vec::new(),
         }
+    }
+
+    /// Drains the protocol events produced since the last call. The owner
+    /// timestamps them into its observability log; the core itself has no
+    /// clock.
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
     }
 
     /// The owning node.
@@ -179,6 +191,10 @@ impl ServerCore {
                     call.client,
                     (call.number, CachedReply::Relayed(m.replies.clone())),
                 );
+                self.events.push(TraceEvent::ReplyCollected {
+                    client: call.client,
+                    number: call.number,
+                });
                 vec![InvCommand::multicast(
                     m.client_group,
                     &InvMessage::RelayedReply {
@@ -289,6 +305,10 @@ impl ServerCore {
                 count += 1;
             }
         }
+        self.events.push(TraceEvent::Promoted {
+            group: self.server_group.as_str().to_string(),
+            replayed: count,
+        });
         count
     }
 
@@ -359,6 +379,10 @@ impl ServerCore {
         // stale numbers.
         match self.reply_cache.get(&call.client) {
             Some((cached_num, cached)) if *cached_num == call.number => {
+                self.events.push(TraceEvent::RetryDeduped {
+                    client: call.client,
+                    number: call.number,
+                });
                 return match cached {
                     CachedReply::Direct(result) => {
                         if mode == ReplyMode::OneWay {
@@ -404,12 +428,23 @@ impl ServerCore {
         exec: Exec<'_>,
     ) -> Option<Bytes> {
         match self.last_exec.get(&call.client) {
-            Some((num, result)) if *num == call.number => Some(result.clone()),
+            Some((num, result)) if *num == call.number => {
+                let result = result.clone();
+                self.events.push(TraceEvent::RetryDeduped {
+                    client: call.client,
+                    number: call.number,
+                });
+                Some(result)
+            }
             Some((num, _)) if *num > call.number => None,
             _ => {
                 let result = exec(op, args);
                 self.last_exec
                     .insert(call.client, (call.number, result.clone()));
+                self.events.push(TraceEvent::Executed {
+                    client: call.client,
+                    number: call.number,
+                });
                 Some(result)
             }
         }
@@ -429,8 +464,10 @@ impl ServerCore {
         let Some(result) = self.execute_once(call, op, args, exec) else {
             return Vec::new();
         };
-        self.reply_cache
-            .insert(call.client, (call.number, CachedReply::Direct(result.clone())));
+        self.reply_cache.insert(
+            call.client,
+            (call.number, CachedReply::Direct(result.clone())),
+        );
         if mode == ReplyMode::OneWay {
             return Vec::new();
         }
@@ -456,6 +493,10 @@ impl ServerCore {
         exec: Exec<'_>,
     ) -> Vec<InvCommand> {
         let mut commands = Vec::new();
+        self.events.push(TraceEvent::RequestForwarded {
+            client: call.client,
+            number: call.number,
+        });
         let async_first =
             self.optimisation == OpenOptimisation::AsyncForwarding && mode == ReplyMode::First;
         if async_first {
@@ -464,8 +505,10 @@ impl ServerCore {
                 return Vec::new();
             };
             let replies = vec![(self.node, result)];
-            self.reply_cache
-                .insert(call.client, (call.number, CachedReply::Relayed(replies.clone())));
+            self.reply_cache.insert(
+                call.client,
+                (call.number, CachedReply::Relayed(replies.clone())),
+            );
             commands.push(InvCommand::multicast(
                 group.clone(),
                 &InvMessage::RelayedReply { call, replies },
@@ -707,7 +750,10 @@ mod tests {
         assert_eq!(group, &gs());
         assert!(matches!(
             InvMessage::from_cdr(payload).unwrap(),
-            InvMessage::Forwarded { no_reply: false, .. }
+            InvMessage::Forwarded {
+                no_reply: false,
+                ..
+            }
         ));
     }
 
@@ -735,8 +781,9 @@ mod tests {
             panic!("expected multicast");
         };
         assert_eq!(group, &gs());
-        let InvMessage::ServerReply { replier, result, .. } =
-            InvMessage::from_cdr(payload).unwrap()
+        let InvMessage::ServerReply {
+            replier, result, ..
+        } = InvMessage::from_cdr(payload).unwrap()
         else {
             panic!("expected server reply");
         };
@@ -877,7 +924,11 @@ mod tests {
         };
         assert_eq!(count, 1, "primary executes at request time");
         assert_eq!(cmds.len(), 2);
-        let InvCommand::Multicast { group: g0, payload: p0 } = &cmds[0] else {
+        let InvCommand::Multicast {
+            group: g0,
+            payload: p0,
+        } = &cmds[0]
+        else {
             panic!()
         };
         assert_eq!(g0, &cs());
@@ -885,7 +936,11 @@ mod tests {
             InvMessage::from_cdr(p0).unwrap(),
             InvMessage::RelayedReply { .. }
         ));
-        let InvCommand::Multicast { group: g1, payload: p1 } = &cmds[1] else {
+        let InvCommand::Multicast {
+            group: g1,
+            payload: p1,
+        } = &cmds[1]
+        else {
             panic!()
         };
         assert_eq!(g1, &gs());
@@ -920,7 +975,9 @@ mod tests {
         {
             let mut exec = counting_exec(2, &mut count);
             for i in 1..=3 {
-                assert!(s.on_delivered(&gs(), n(1), &enc(&fwd(i)), &mut exec).is_empty());
+                assert!(s
+                    .on_delivered(&gs(), n(1), &enc(&fwd(i)), &mut exec)
+                    .is_empty());
             }
         }
         assert_eq!(count, 0, "backups receive but do not act (§4.2)");
@@ -958,8 +1015,12 @@ mod tests {
         };
         assert_eq!(group, &gs());
         // Copies from the other gx members are filtered.
-        assert!(s.on_delivered(&gz, n(6), &enc(&req(6)), &mut exec).is_empty());
-        assert!(s.on_delivered(&gz, n(7), &enc(&req(7)), &mut exec).is_empty());
+        assert!(s
+            .on_delivered(&gz, n(6), &enc(&req(6)), &mut exec)
+            .is_empty());
+        assert!(s
+            .on_delivered(&gz, n(7), &enc(&req(7)), &mut exec)
+            .is_empty());
     }
 
     #[test]
@@ -999,8 +1060,11 @@ mod tests {
             panic!()
         };
         assert_eq!(group, &gz, "reply multicast in the monitor group");
-        let InvMessage::G2gReply { origin, number, replies } =
-            InvMessage::from_cdr(payload).unwrap()
+        let InvMessage::G2gReply {
+            origin,
+            number,
+            replies,
+        } = InvMessage::from_cdr(payload).unwrap()
         else {
             panic!()
         };
@@ -1014,8 +1078,15 @@ mod tests {
         let mut s = active_server(1);
         let mut exec = |_: &str, _: &[u8]| Bytes::new();
         assert!(s
-            .on_delivered(&GroupId::new("other"), n(0), &enc(&request(1, ReplyMode::All)), &mut exec)
+            .on_delivered(
+                &GroupId::new("other"),
+                n(0),
+                &enc(&request(1, ReplyMode::All)),
+                &mut exec
+            )
             .is_empty());
-        assert!(s.on_delivered(&gs(), n(0), b"garbage", &mut exec).is_empty());
+        assert!(s
+            .on_delivered(&gs(), n(0), b"garbage", &mut exec)
+            .is_empty());
     }
 }

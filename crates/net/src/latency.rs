@@ -57,7 +57,7 @@ impl LatencySpec {
     }
 
     /// Draws one latency sample.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Duration {
         if self.jitter.is_zero() {
             return self.base;
         }
@@ -93,10 +93,8 @@ impl LatencyMatrix {
     /// One-way latency between LAN peers: 180 µs ± 60 µs. With the default
     /// per-message CPU costs this yields a plain synchronous ORB call of
     /// about 1 ms, matching the paper's Table 1 LAN row.
-    const LAN_SPEC: LatencySpec = LatencySpec::new(
-        Duration::from_micros(180),
-        Duration::from_micros(60),
-    );
+    const LAN_SPEC: LatencySpec =
+        LatencySpec::new(Duration::from_micros(180), Duration::from_micros(60));
 
     /// Creates a matrix where every pair of distinct sites uses
     /// `default_remote` and co-located nodes use `local`.
@@ -182,7 +180,7 @@ impl LatencyMatrix {
     }
 
     /// Draws one one-way latency sample between two sites.
-    pub fn sample<R: Rng + ?Sized>(&self, a: Site, b: Site, rng: &mut R) -> Duration {
+    pub fn sample<R: Rng>(&self, a: Site, b: Site, rng: &mut R) -> Duration {
         self.spec(a, b).sample(rng)
     }
 }

@@ -16,6 +16,10 @@
 //!   framed TCP) used by the threaded runtime for the runnable examples.
 //! * [`stats`] — histograms, throughput meters and text tables used by the
 //!   experiment harness.
+//! * [`metrics`] and [`trace`] — zero-dependency observability shared by
+//!   every layer above: per-node counter/gauge/latency registries and
+//!   bounded rings of typed protocol events, timestamped in the host
+//!   runtime's time base.
 //!
 //! Everything above this crate is written sans-IO: protocol state machines
 //! consume [`sim::NodeEvent`]s and emit actions into a [`sim::Outbox`], so
@@ -59,14 +63,18 @@
 
 pub mod channel;
 pub mod latency;
+pub mod metrics;
 pub mod sim;
 pub mod site;
 pub mod stats;
 pub mod tcp;
 pub mod time;
+pub mod trace;
 pub mod transport;
 
 pub use latency::{LatencyMatrix, LatencySpec};
+pub use metrics::{MetricRegistry, MetricsSnapshot, Observability};
 pub use sim::{NodeEvent, Outbox, Packet, Sim, SimConfig, SimNode, TimerId};
 pub use site::{NodeId, Site};
 pub use time::SimTime;
+pub use trace::{TraceEvent, TraceLog, TraceRecord};

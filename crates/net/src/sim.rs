@@ -452,9 +452,7 @@ impl Sim {
     /// Whether a node is still running (has not been crashed).
     #[must_use]
     pub fn is_alive(&self, id: NodeId) -> bool {
-        self.nodes
-            .get(id.index() as usize)
-            .is_some_and(|s| s.alive)
+        self.nodes.get(id.index() as usize).is_some_and(|s| s.alive)
     }
 
     /// Schedules a crash: the node stops processing and all packets to or
@@ -600,10 +598,7 @@ impl Sim {
         }
         let mut out = Outbox::new(self.next_timer);
         // Temporarily take the node out so the handler can't alias the sim.
-        let mut node = std::mem::replace(
-            &mut self.nodes[idx].node,
-            Box::new(PlaceholderNode),
-        );
+        let mut node = std::mem::replace(&mut self.nodes[idx].node, Box::new(PlaceholderNode));
         node.on_event(self.now, event, &mut out);
         self.nodes[idx].node = node;
         self.next_timer = out.next_timer;
@@ -652,7 +647,10 @@ impl Sim {
             if src != dst {
                 // The synchronous invocation's round trip gates the next
                 // member of this fan-out's chain.
-                let one_way = self.cfg.latency.sample(src_site, self.site_of(dst), &mut self.rng);
+                let one_way = self
+                    .cfg
+                    .latency
+                    .sample(src_site, self.site_of(dst), &mut self.rng);
                 *chain += one_way * 2;
             }
             self.transmit(src, dst, payload, depart);
@@ -672,7 +670,9 @@ impl Sim {
         // Loopback delivery is in-process (the paper's m1/m6 local
         // messages): it cannot be lost or duplicated by the network.
         let loopback = src == dst;
-        if !loopback && self.cfg.drop_probability > 0.0 && self.rng.gen_bool(self.cfg.drop_probability)
+        if !loopback
+            && self.cfg.drop_probability > 0.0
+            && self.rng.gen_bool(self.cfg.drop_probability)
         {
             self.stats.packets_dropped += 1;
             return;

@@ -48,8 +48,7 @@ impl fmt::Display for NodeId {
 /// `Lan` is the paper's 100 Mbit Newcastle LAN; `Newcastle`, `London` and
 /// `Pisa` are the three Internet sites of the WAN experiments. `Custom`
 /// supports additional synthetic sites in ablation experiments.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(Default)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Site {
     /// A machine on the local-area network (same segment as every other
     /// `Lan` machine).
@@ -87,7 +86,6 @@ impl fmt::Display for Site {
         f.write_str(&self.label())
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -209,7 +209,11 @@ impl WireTransport for TcpTransport {
             .get(&dst)
             .ok_or(TransportError::UnknownPeer(dst))?;
         let mut frame = Vec::with_capacity(8 + payload.len());
-        frame.extend_from_slice(&u32::try_from(payload.len()).expect("frame too large").to_be_bytes());
+        frame.extend_from_slice(
+            &u32::try_from(payload.len())
+                .expect("frame too large")
+                .to_be_bytes(),
+        );
         frame.extend_from_slice(&self.shared.local.index().to_be_bytes());
         frame.extend_from_slice(&payload);
         // Write under the connection-table lock so concurrent sends to one

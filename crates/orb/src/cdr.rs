@@ -53,7 +53,10 @@ impl fmt::Display for CdrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CdrError::UnexpectedEof { needed, remaining } => {
-                write!(f, "unexpected end of buffer: needed {needed}, had {remaining}")
+                write!(
+                    f,
+                    "unexpected end of buffer: needed {needed}, had {remaining}"
+                )
             }
             CdrError::LengthOverflow(n) => write!(f, "length prefix too large: {n}"),
             CdrError::InvalidUtf8 => write!(f, "string field held invalid utf-8"),
@@ -254,37 +257,49 @@ impl<'a> CdrDecoder<'a> {
     /// Reads a `u16` (2-byte aligned).
     pub fn read_u16(&mut self) -> Result<u16, CdrError> {
         self.align(2);
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_be_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
 
     /// Reads a `u32` (4-byte aligned).
     pub fn read_u32(&mut self) -> Result<u32, CdrError> {
         self.align(4);
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads a `u64` (8-byte aligned).
     pub fn read_u64(&mut self) -> Result<u64, CdrError> {
         self.align(8);
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads an `i32` (4-byte aligned).
     pub fn read_i32(&mut self) -> Result<i32, CdrError> {
         self.align(4);
-        Ok(i32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(i32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads an `i64` (8-byte aligned).
     pub fn read_i64(&mut self) -> Result<i64, CdrError> {
         self.align(8);
-        Ok(i64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(i64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads an `f64` (8-byte aligned).
     pub fn read_f64(&mut self) -> Result<f64, CdrError> {
         self.align(8);
-        Ok(f64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(f64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads a length-prefixed UTF-8 string.
@@ -539,7 +554,10 @@ mod tests {
         enc.write_u32(u32::MAX);
         let b = enc.finish();
         let mut dec = CdrDecoder::new(&b);
-        assert_eq!(dec.read_string().unwrap_err(), CdrError::LengthOverflow(u32::MAX));
+        assert_eq!(
+            dec.read_string().unwrap_err(),
+            CdrError::LengthOverflow(u32::MAX)
+        );
     }
 
     #[test]

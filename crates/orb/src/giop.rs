@@ -225,9 +225,7 @@ impl GiopMessage {
                 let status = match dec.read_u32()? {
                     0 => ReplyStatus::NoException,
                     1 => ReplyStatus::UserException,
-                    2 => ReplyStatus::SystemException(SystemException::from_code(
-                        dec.read_u32()?,
-                    )?),
+                    2 => ReplyStatus::SystemException(SystemException::from_code(dec.read_u32()?)?),
                     other => return Err(CdrError::BadDiscriminant(other).into()),
                 };
                 let body = Bytes::from(dec.read_bytes()?);

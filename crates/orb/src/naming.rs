@@ -181,7 +181,10 @@ mod tests {
         let r = ns
             .dispatch(ops::RESOLVE, &NamingClient::encode_resolve("bank"))
             .unwrap();
-        assert_eq!(NamingClient::decode_resolve_reply(&r).unwrap(), Some(obj(3)));
+        assert_eq!(
+            NamingClient::decode_resolve_reply(&r).unwrap(),
+            Some(obj(3))
+        );
 
         let r = ns
             .dispatch(ops::UNBIND, &NamingClient::encode_unbind("bank"))
@@ -212,7 +215,10 @@ mod tests {
         let r = ns
             .dispatch(ops::RESOLVE, &NamingClient::encode_resolve("a"))
             .unwrap();
-        assert_eq!(NamingClient::decode_resolve_reply(&r).unwrap(), Some(obj(2)));
+        assert_eq!(
+            NamingClient::decode_resolve_reply(&r).unwrap(),
+            Some(obj(2))
+        );
     }
 
     #[test]

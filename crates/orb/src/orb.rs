@@ -147,7 +147,12 @@ impl OrbCore {
     ) -> RequestId {
         let id = self.next_request;
         self.next_request += 1;
-        self.pending.insert(id, Pending { target: target.node });
+        self.pending.insert(
+            id,
+            Pending {
+                target: target.node,
+            },
+        );
         let msg = GiopMessage::Request {
             request_id: id,
             object_key: target.key.clone(),
@@ -242,24 +247,22 @@ impl OrbCore {
                 operation,
                 response_expected,
                 body,
-            } => {
-                match self.adapter.dispatch(&object_key, &operation, &body) {
-                    Some(result) => {
-                        if response_expected {
-                            self.send_reply(pkt.src, request_id, result, out);
-                        }
-                        None
+            } => match self.adapter.dispatch(&object_key, &operation, &body) {
+                Some(result) => {
+                    if response_expected {
+                        self.send_reply(pkt.src, request_id, result, out);
                     }
-                    None => Some(OrbIncoming::Upcall {
-                        from: pkt.src,
-                        request_id,
-                        key: object_key,
-                        operation,
-                        body,
-                        response_expected,
-                    }),
+                    None
                 }
-            }
+                None => Some(OrbIncoming::Upcall {
+                    from: pkt.src,
+                    request_id,
+                    key: object_key,
+                    operation,
+                    body,
+                    response_expected,
+                }),
+            },
             GiopMessage::Reply {
                 request_id,
                 status,
@@ -334,7 +337,9 @@ mod tests {
                 return Err(ServantError::BadOperation(op.to_owned()));
             }
             let mut dec = crate::cdr::CdrDecoder::new(args);
-            let v = dec.read_u32().map_err(|_| ServantError::User(Bytes::new()))?;
+            let v = dec
+                .read_u32()
+                .map_err(|_| ServantError::User(Bytes::new()))?;
             let mut enc = crate::cdr::CdrEncoder::new();
             enc.write_u32(v + 1);
             Ok(enc.finish())
@@ -505,5 +510,4 @@ mod tests {
         );
         assert_eq!(orb.pending_count(), 0);
     }
-
 }

@@ -64,7 +64,9 @@ impl fmt::Debug for ObjectAdapter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut keys: Vec<&ObjectKey> = self.servants.keys().collect();
         keys.sort();
-        f.debug_struct("ObjectAdapter").field("keys", &keys).finish()
+        f.debug_struct("ObjectAdapter")
+            .field("keys", &keys)
+            .finish()
     }
 }
 

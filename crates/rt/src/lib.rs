@@ -214,13 +214,8 @@ fn event_loop(
         for (_, tag) in due {
             let mut out = Outbox::detached(next_outbox_timer);
             nso.on_timer(tag, now(start), &mut out);
-            next_outbox_timer = apply_outbox(
-                transport,
-                &mut timers,
-                &mut cancelled,
-                &mut timer_seq,
-                out,
-            );
+            next_outbox_timer =
+                apply_outbox(transport, &mut timers, &mut cancelled, &mut timer_seq, out);
             drain_outputs(&mut nso, outputs);
         }
 
@@ -348,8 +343,7 @@ mod tests {
         let g = group.clone();
         let svrs = servers.clone();
         client.with_nso(move |nso, now, out| {
-            nso.bind_closed(g, svrs, BindOptions::default(), now, out)
-                .unwrap();
+            nso.bind(g, BindOptions::closed(svrs), now, out).unwrap();
         });
         let ready = client
             .wait_for_output(Duration::from_secs(10), |o| {

@@ -54,9 +54,7 @@ impl NsoApp for ServerApp {
         let mut servant = RandomServant::new(self.seed ^ u64::from(nso.node().index()));
         nso.register_group_servant(
             self.group.clone(),
-            Box::new(move |op: &str, _args: &[u8]| {
-                servant.run(op).unwrap_or_default()
-            }),
+            Box::new(move |op: &str, _args: &[u8]| servant.run(op).unwrap_or_default()),
         );
     }
 
@@ -130,27 +128,16 @@ impl ClientApp {
     }
 
     fn bind(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
-        let opts = BindOptions {
-            ordering: self.ordering,
-            ..BindOptions::default()
-        };
-        match &self.style {
-            ClientStyle::Closed => {
-                nso.bind_closed(
-                    self.server_group.clone(),
-                    self.servers.clone(),
-                    opts,
-                    now,
-                    out,
-                )
-                .expect("bind");
-            }
+        let opts = match &self.style {
+            ClientStyle::Closed => BindOptions::closed(self.servers.clone()),
             ClientStyle::Open { .. } => {
                 let manager = self.servers[self.current_manager_index % self.servers.len()];
-                nso.bind_open(self.server_group.clone(), manager, opts, now, out)
-                    .expect("bind");
+                BindOptions::open(manager)
             }
         }
+        .with_ordering(self.ordering);
+        nso.bind(self.server_group.clone(), opts, now, out)
+            .expect("bind");
     }
 
     fn issue(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {

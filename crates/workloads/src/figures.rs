@@ -9,7 +9,7 @@ use std::time::Duration;
 use newtop_gcs::group::OrderProtocol;
 use newtop_invocation::api::{OpenOptimisation, Replication, ReplyMode};
 use newtop_net::site::Site;
-use newtop_net::stats::Series;
+use newtop_net::stats::{Series, TextTable};
 
 use crate::scenario::{
     run_peer, run_plain, run_request_reply, BindingPolicy, PeerScenario, Placement,
@@ -33,8 +33,16 @@ pub struct Table1Row {
 pub fn table1_plain_corba(seed: u64) -> Vec<Table1Row> {
     let cases = [
         ("client and server on LAN", Site::Lan, Site::Lan),
-        ("client in Pisa, server in Newcastle", Site::Newcastle, Site::Pisa),
-        ("client in London, server in Newcastle", Site::Newcastle, Site::London),
+        (
+            "client in Pisa, server in Newcastle",
+            Site::Newcastle,
+            Site::Pisa,
+        ),
+        (
+            "client in London, server in Newcastle",
+            Site::Newcastle,
+            Site::London,
+        ),
         ("client in Pisa, server in London", Site::London, Site::Pisa),
     ];
     cases
@@ -202,6 +210,98 @@ pub fn graphs_17_18_peer(wan: bool, sizes: &[usize], seed: u64) -> (Series, Seri
     (symmetric, asymmetric)
 }
 
+/// Protocol-metrics table accompanying the peer figures: per ordering ×
+/// group size, the group throughput plus the counters behind §5.2's
+/// explanation of the symmetric/asymmetric gap. `records/delivery` is
+/// ≈1 under the asymmetric protocol (every delivery waits for the
+/// sequencer's redirected ordering record) and exactly 0 under the
+/// symmetric one — the paper's asymmetric-redirection claim, made
+/// visible.
+#[must_use]
+pub fn metrics_peer(wan: bool, sizes: &[usize], seed: u64) -> TextTable {
+    let mut table = TextTable::new(
+        "peer protocol metrics (per run)",
+        &[
+            "members",
+            "ordering",
+            "msg/s",
+            "gcs msgs",
+            "order records",
+            "records/delivery",
+            "nulls",
+            "suspicions",
+        ],
+    );
+    for &members in sizes {
+        for (ordering, name) in [
+            (OrderProtocol::Symmetric, "symmetric"),
+            (OrderProtocol::Asymmetric, "asymmetric"),
+        ] {
+            let r = run_peer(&PeerScenario {
+                members,
+                wan,
+                ordering,
+                payload_len: 100,
+                pace: Duration::from_millis(if wan { 6 } else { 1 }),
+                time_silence: Duration::from_millis(25),
+                duration: Duration::from_secs(if wan { 8 } else { 3 }),
+                seed,
+            });
+            let c = r.counts;
+            table.row(vec![
+                members.to_string(),
+                name.to_owned(),
+                format!("{:.1}", r.group_throughput),
+                c.msgs_sent.to_string(),
+                c.order_records.to_string(),
+                format!("{:.2}", c.records_per_delivery()),
+                c.nulls.to_string(),
+                c.suspicions.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// Protocol-metrics table accompanying the closed/open figures: per
+/// binding style, messages per completed request, ordering records per
+/// delivery, suspicion counts and reply-cache dedups.
+#[must_use]
+pub fn metrics_closed_open(placement: Placement, clients: usize, seed: u64) -> TextTable {
+    let mut table = TextTable::new(
+        "request-reply protocol metrics (per run)",
+        &[
+            "binding",
+            "req/s",
+            "msgs/request",
+            "order records",
+            "records/delivery",
+            "suspicions",
+            "dedups",
+        ],
+    );
+    for (binding, name) in [
+        (BindingPolicy::Closed, "closed"),
+        (BindingPolicy::OpenAnyServer, "open"),
+    ] {
+        let r = run_request_reply(&RequestReplyScenario {
+            binding,
+            ..RequestReplyScenario::paper_default(placement, clients, seed)
+        });
+        let c = r.counts;
+        table.row(vec![
+            name.to_owned(),
+            format!("{:.1}", r.throughput),
+            format!("{:.1}", c.msgs_per_request(r.completed)),
+            c.order_records.to_string(),
+            format!("{:.2}", c.records_per_delivery()),
+            c.suspicions.to_string(),
+            c.deduped.to_string(),
+        ]);
+    }
+    table
+}
+
 /// §5.1.3's omitted figures — ordering protocol × binding style, one
 /// placement, fixed client count. Returns rows
 /// `(label, mean ms, req/s)`.
@@ -245,8 +345,18 @@ pub fn ablation_open_optimisations(
     seed: u64,
 ) -> Vec<(String, f64, f64)> {
     let cases = [
-        ("open (any manager)", BindingPolicy::OpenAnyServer, OpenOptimisation::None, Replication::Active),
-        ("restricted", BindingPolicy::OpenRestricted, OpenOptimisation::Restricted, Replication::Active),
+        (
+            "open (any manager)",
+            BindingPolicy::OpenAnyServer,
+            OpenOptimisation::None,
+            Replication::Active,
+        ),
+        (
+            "restricted",
+            BindingPolicy::OpenRestricted,
+            OpenOptimisation::Restricted,
+            Replication::Active,
+        ),
         (
             "restricted + async forwarding",
             BindingPolicy::OpenRestricted,
@@ -424,6 +534,35 @@ mod tests {
             long > short * 3.0,
             "a 10x longer period slows sparse delivery: {short} -> {long} ms"
         );
+    }
+
+    #[test]
+    fn sequencer_records_flow_only_under_asymmetric_ordering() {
+        // §5.2: the asymmetric protocol redirects every multicast through
+        // the sequencer's ordering records; the symmetric protocol infers
+        // order from vector time and sends none.
+        let run = |ordering| {
+            run_peer(&PeerScenario {
+                members: 3,
+                wan: false,
+                ordering,
+                payload_len: 100,
+                pace: Duration::from_millis(5),
+                time_silence: Duration::from_millis(25),
+                duration: Duration::from_secs(1),
+                seed: SEED,
+            })
+        };
+        let asym = run(OrderProtocol::Asymmetric);
+        let sym = run(OrderProtocol::Symmetric);
+        assert!(asym.counts.delivered > 0 && sym.counts.delivered > 0);
+        assert_eq!(sym.counts.order_records, 0, "symmetric sends no records");
+        assert!(
+            asym.counts.order_records > 0,
+            "asymmetric orders through sequencer records"
+        );
+        let per = asym.counts.records_per_delivery();
+        assert!(per > 0.2, "records per delivery {per}");
     }
 
     #[test]

@@ -25,9 +25,7 @@ impl RandomServant {
     /// Creates the servant with a seed.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        RandomServant {
-            state: seed | 1,
-        }
+        RandomServant { state: seed | 1 }
     }
 
     /// The next pseudo-random value (LCG step).
@@ -179,7 +177,11 @@ mod tests {
         let client = sim.node_ref::<PlainClient>(client_id).unwrap();
         // With ~1 ms per call, a second of closed-loop traffic yields
         // hundreds of completions.
-        assert!(client.completions.len() > 300, "{}", client.completions.len());
+        assert!(
+            client.completions.len() > 300,
+            "{}",
+            client.completions.len()
+        );
         let mean: f64 = client
             .completions
             .iter()

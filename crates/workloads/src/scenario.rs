@@ -152,14 +152,84 @@ pub struct RequestReplyResult {
     pub completed: u64,
     /// Rebinds observed (failure experiments).
     pub rebinds: u32,
+    /// Protocol counters summed over every node in the run.
+    pub counts: ProtocolCounts,
+}
+
+/// Protocol counters harvested from every node's [`newtop::Nso::metrics`]
+/// snapshot after a run and summed across the whole system. These are
+/// whole-run totals (no warm-up window), so ratios against windowed
+/// completion counts are approximate but comparable between
+/// configurations.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProtocolCounts {
+    /// Group-communication messages sent (`gcs.msgs_sent`).
+    pub msgs_sent: u64,
+    /// Sequencer ordering records multicast (`gcs.order_records`) — the
+    /// asymmetric protocol's redirection traffic; zero under the
+    /// symmetric protocol.
+    pub order_records: u64,
+    /// Totally ordered deliveries (`gcs.delivered`).
+    pub delivered: u64,
+    /// Time-silence null messages sent (`ev.time_silence_null`).
+    pub nulls: u64,
+    /// Failure-detector suspicions raised (`ev.suspected`).
+    pub suspicions: u64,
+    /// Server-side request executions (`ev.executed`).
+    pub executed: u64,
+    /// Retries answered from the reply cache without re-execution
+    /// (`ev.retry_deduped`).
+    pub deduped: u64,
+}
+
+impl ProtocolCounts {
+    /// Group-communication messages per completed request (zero when
+    /// nothing completed).
+    #[must_use]
+    pub fn msgs_per_request(&self, completed: u64) -> f64 {
+        if completed == 0 {
+            0.0
+        } else {
+            self.msgs_sent as f64 / completed as f64
+        }
+    }
+
+    /// Sequencer ordering records per totally ordered delivery — ≈1 for
+    /// the asymmetric protocol (every delivery is redirected through the
+    /// sequencer), 0 for the symmetric one.
+    #[must_use]
+    pub fn records_per_delivery(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.order_records as f64 / self.delivered as f64
+        }
+    }
+}
+
+/// Sums the listed nodes' metric snapshots into one count set. Nodes that
+/// crashed mid-run still contribute the counts they accumulated.
+fn harvest_counts(sim: &Sim, nodes: &[NodeId]) -> ProtocolCounts {
+    let mut c = ProtocolCounts::default();
+    for &id in nodes {
+        let Some(node) = sim.node_ref::<NsoNode>(id) else {
+            continue;
+        };
+        let snap = node.nso().metrics();
+        c.msgs_sent += snap.counter("gcs.msgs_sent");
+        c.order_records += snap.counter("gcs.order_records");
+        c.delivered += snap.counter("gcs.delivered");
+        c.nulls += snap.counter("ev.time_silence_null");
+        c.suspicions += snap.counter("ev.suspected");
+        c.executed += snap.counter("ev.executed");
+        c.deduped += snap.counter("ev.retry_deduped");
+    }
+    c
 }
 
 fn window(duration: Duration) -> (SimTime, SimTime) {
     let d = duration.as_nanos() as u64;
-    (
-        SimTime::from_nanos(d / 4),
-        SimTime::from_nanos(d * 19 / 20),
-    )
+    (SimTime::from_nanos(d / 4), SimTime::from_nanos(d * 19 / 20))
 }
 
 fn summarize(completions: &[(SimTime, Duration)], duration: Duration) -> RequestReplyResult {
@@ -184,6 +254,7 @@ fn summarize(completions: &[(SimTime, Duration)], duration: Duration) -> Request
         throughput: completed as f64 / span,
         completed,
         rebinds: 0,
+        counts: ProtocolCounts::default(),
     }
 }
 
@@ -242,7 +313,7 @@ pub fn run_request_reply(s: &RequestReplyScenario) -> RequestReplyResult {
     sim.run_until(SimTime::ZERO + s.duration);
     let mut all = Vec::new();
     let mut rebinds = 0;
-    for id in client_ids {
+    for &id in &client_ids {
         let node = sim.node_ref::<NsoNode>(id).expect("client node");
         let app = node.app_ref::<ClientApp>().expect("client app");
         all.extend(app.completions.iter().copied());
@@ -250,6 +321,9 @@ pub fn run_request_reply(s: &RequestReplyScenario) -> RequestReplyResult {
     }
     let mut result = summarize(&all, s.duration);
     result.rebinds = rebinds;
+    let mut nodes = server_ids;
+    nodes.extend(client_ids);
+    result.counts = harvest_counts(&sim, &nodes);
     result
 }
 
@@ -325,6 +399,8 @@ pub struct PeerResult {
     pub group_throughput: f64,
     /// Multicasts measured.
     pub measured: u64,
+    /// Protocol counters summed over every member.
+    pub counts: ProtocolCounts,
 }
 
 /// Runs a peer-participation scenario.
@@ -412,8 +488,7 @@ pub fn run_peer(s: &PeerScenario) -> PeerResult {
         if lats.is_empty() {
             continue;
         }
-        let mean =
-            lats.iter().map(Duration::as_secs_f64).sum::<f64>() / lats.len() as f64;
+        let mean = lats.iter().map(Duration::as_secs_f64).sum::<f64>() / lats.len() as f64;
         if mean > 0.0 {
             total_rate += 1.0 / mean;
         }
@@ -430,6 +505,7 @@ pub fn run_peer(s: &PeerScenario) -> PeerResult {
         mean_latency,
         group_throughput: total_rate,
         measured: all.len() as u64,
+        counts: harvest_counts(&sim, &members),
     }
 }
 

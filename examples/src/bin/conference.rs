@@ -91,13 +91,12 @@ fn main() {
         println!("  {line}");
     }
     for (i, t) in transcripts.iter().enumerate().skip(1) {
-        assert_eq!(
-            t, &transcripts[0],
-            "{}'s transcript diverged",
-            names[i]
-        );
+        assert_eq!(t, &transcripts[0], "{}'s transcript diverged", names[i]);
     }
-    println!("\nall {} transcripts identical (causality-preserving total order)", names.len());
+    println!(
+        "\nall {} transcripts identical (causality-preserving total order)",
+        names.len()
+    );
 
     for h in handles {
         h.shutdown();

@@ -113,7 +113,13 @@ impl NsoApp for ClientMember {
     fn on_timer(&mut self, nso: &mut Nso, _tag: u64, now: SimTime, out: &mut Outbox) {
         // Totally-ordered trigger in gx keeps every member's group-call
         // counter aligned.
-        let _ = nso.peer_send(&gx(), Bytes::from_static(b"query"), DeliveryOrder::Total, now, out);
+        let _ = nso.peer_send(
+            &gx(),
+            Bytes::from_static(b"query"),
+            DeliveryOrder::Total,
+            now,
+            out,
+        );
     }
 
     fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {
@@ -121,7 +127,9 @@ impl NsoApp for ClientMember {
             NsoOutput::PeerDeliver { group, payload, .. } if group == gx() => {
                 let _ = nso.g2g_invoke(&gz(), "survey", payload, ReplyMode::All, now, out);
             }
-            NsoOutput::G2gComplete { number, replies, .. } => {
+            NsoOutput::G2gComplete {
+                number, replies, ..
+            } => {
                 self.results.push((number, replies));
             }
             _ => {}
@@ -167,7 +175,11 @@ fn main() {
     }
     sim.run_until(SimTime::from_secs(5));
 
-    println!("group-to-group: client group gx{:?} -> server group gy{:?}", [3, 4, 5], [0, 1, 2]);
+    println!(
+        "group-to-group: client group gx{:?} -> server group gy{:?}",
+        [3, 4, 5],
+        [0, 1, 2]
+    );
     println!("request manager {manager}; monitor group gz = gx + manager\n");
     let all: Vec<_> = gx_members
         .iter()

@@ -56,9 +56,9 @@ impl NsoApp for StoreReplica {
                         }
                         Bytes::from_static(b"ok")
                     }
-                    "get" => Bytes::from(
-                        data.get(&text).cloned().unwrap_or_else(|| "<none>".into()),
-                    ),
+                    "get" => {
+                        Bytes::from(data.get(&text).cloned().unwrap_or_else(|| "<none>".into()))
+                    }
                     "dump" => Bytes::from(
                         data.iter()
                             .map(|(k, v)| format!("{k}={v}"))
@@ -122,7 +122,7 @@ impl NsoApp for StoreClient {
         // Bind to the designated manager (restricted group): the lowest
         // surviving server.
         let manager = self.servers[self.manager_index % self.servers.len()];
-        nso.bind_open(service(), manager, BindOptions::default(), now, out)
+        nso.bind(service(), BindOptions::open(manager), now, out)
             .expect("bind");
     }
 
@@ -141,7 +141,8 @@ impl NsoApp for StoreClient {
             }
             NsoOutput::BindFailed { .. } | NsoOutput::BindingBroken { .. } => {
                 if matches!(output, NsoOutput::BindingBroken { .. }) {
-                    self.log.push("binding broken: rebinding to a backup".into());
+                    self.log
+                        .push("binding broken: rebinding to a backup".into());
                 }
                 self.binding = None;
                 self.manager_index += 1;
@@ -214,6 +215,9 @@ fn main() {
     }
     let dump = client.final_dump.clone().expect("final dump");
     println!("\nfinal store at the promoted primary: {dump}");
-    assert_eq!(dump, "a=1,b=2,c=3,d=4,e=5,f=6", "no write lost or duplicated");
+    assert_eq!(
+        dump, "a=1,b=2,c=3,d=4,e=5,f=6",
+        "no write lost or duplicated"
+    );
     println!("all six writes survived the primary crash exactly once");
 }

@@ -62,7 +62,7 @@ fn main() {
     let group = service.clone();
     let manager = servers[0];
     client.with_nso(move |nso, now, out| {
-        nso.bind_open(group, manager, BindOptions::default(), now, out)
+        nso.bind(group, BindOptions::open(manager), now, out)
             .expect("bind");
     });
     let ready = client

@@ -11,7 +11,6 @@
 
 use std::time::Duration;
 
-
 use newtop::nso::{BindOptions, Nso, NsoOutput};
 use newtop::simnode::{NsoApp, NsoNode};
 use newtop::tags;
@@ -53,10 +52,9 @@ impl NsoApp for BankReplica {
                 let amount = dec.read_i64().unwrap_or(0);
                 match op {
                     "deposit" => balance += amount,
-                    "withdraw"
-                        if balance >= amount => {
-                            balance -= amount;
-                        }
+                    "withdraw" if balance >= amount => {
+                        balance -= amount;
+                    }
                     _ => {}
                 }
                 let mut enc = CdrEncoder::new();
@@ -100,10 +98,9 @@ impl NsoApp for Teller {
     }
 
     fn on_timer(&mut self, nso: &mut Nso, _tag: u64, now: SimTime, out: &mut Outbox) {
-        nso.bind_closed(
+        nso.bind(
             service(),
-            self.servers.clone(),
-            BindOptions::default(),
+            BindOptions::closed(self.servers.clone()),
             now,
             out,
         )
@@ -120,9 +117,7 @@ impl NsoApp for Teller {
                 let (op, amount) = self.script[self.step];
                 let balances: Vec<i64> = replies
                     .iter()
-                    .map(|(_, body)| {
-                        CdrDecoder::new(body).read_i64().expect("balance")
-                    })
+                    .map(|(_, body)| CdrDecoder::new(body).read_i64().expect("balance"))
                     .collect();
                 assert!(
                     balances.windows(2).all(|w| w[0] == w[1]),
@@ -191,7 +186,10 @@ fn main() {
         .app_ref::<Teller>()
         .unwrap();
     println!("replicated bank over a closed client/server group");
-    println!("(replica {} crashed at t=18ms — masked, no rebind)\n", servers[2]);
+    println!(
+        "(replica {} crashed at t=18ms — masked, no rebind)\n",
+        servers[2]
+    );
     for line in &teller.log {
         println!("  {line}");
     }

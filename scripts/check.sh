@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints, tests. Offline-friendly —
+# everything below works from the vendored deps with no network access.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo test -q"
+cargo test --workspace --offline -q
+
+echo "OK"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/churn-19c6fcc03322e027.d: tests/tests/churn.rs
+
+/root/repo/target/debug/deps/churn-19c6fcc03322e027: tests/tests/churn.rs
+
+tests/tests/churn.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/churn-eced2c3b1304c440.d: tests/tests/churn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchurn-eced2c3b1304c440.rmeta: tests/tests/churn.rs Cargo.toml
+
+tests/tests/churn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

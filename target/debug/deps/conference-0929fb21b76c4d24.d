@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conference-0929fb21b76c4d24.d: examples/src/bin/conference.rs
+
+/root/repo/target/debug/deps/conference-0929fb21b76c4d24: examples/src/bin/conference.rs
+
+examples/src/bin/conference.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conference-116680cdceda8804.d: examples/src/bin/conference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconference-116680cdceda8804.rmeta: examples/src/bin/conference.rs Cargo.toml
+
+examples/src/bin/conference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

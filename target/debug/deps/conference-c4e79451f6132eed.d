@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conference-c4e79451f6132eed.d: examples/src/bin/conference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconference-c4e79451f6132eed.rmeta: examples/src/bin/conference.rs Cargo.toml
+
+examples/src/bin/conference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

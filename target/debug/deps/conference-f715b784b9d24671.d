@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conference-f715b784b9d24671.d: examples/src/bin/conference.rs
+
+/root/repo/target/debug/deps/conference-f715b784b9d24671: examples/src/bin/conference.rs
+
+examples/src/bin/conference.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_prop-6e8643772037be5b.d: crates/gcs/tests/engine_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_prop-6e8643772037be5b.rmeta: crates/gcs/tests/engine_prop.rs Cargo.toml
+
+crates/gcs/tests/engine_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

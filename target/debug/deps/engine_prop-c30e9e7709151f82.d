@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_prop-c30e9e7709151f82.d: crates/gcs/tests/engine_prop.rs
+
+/root/repo/target/debug/deps/engine_prop-c30e9e7709151f82: crates/gcs/tests/engine_prop.rs
+
+crates/gcs/tests/engine_prop.rs:

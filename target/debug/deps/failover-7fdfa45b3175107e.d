@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failover-7fdfa45b3175107e.d: tests/tests/failover.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailover-7fdfa45b3175107e.rmeta: tests/tests/failover.rs Cargo.toml
+
+tests/tests/failover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

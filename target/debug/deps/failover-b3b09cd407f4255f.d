@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failover-b3b09cd407f4255f.d: tests/tests/failover.rs
+
+/root/repo/target/debug/deps/failover-b3b09cd407f4255f: tests/tests/failover.rs
+
+tests/tests/failover.rs:

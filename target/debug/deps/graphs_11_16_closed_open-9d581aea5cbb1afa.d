@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graphs_11_16_closed_open-9d581aea5cbb1afa.d: crates/bench/benches/graphs_11_16_closed_open.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraphs_11_16_closed_open-9d581aea5cbb1afa.rmeta: crates/bench/benches/graphs_11_16_closed_open.rs Cargo.toml
+
+crates/bench/benches/graphs_11_16_closed_open.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graphs_17_18_peer-5f8615adf8caad8e.d: crates/bench/benches/graphs_17_18_peer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraphs_17_18_peer-5f8615adf8caad8e.rmeta: crates/bench/benches/graphs_17_18_peer.rs Cargo.toml
+
+crates/bench/benches/graphs_17_18_peer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

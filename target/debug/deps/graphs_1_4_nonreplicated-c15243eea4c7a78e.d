@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graphs_1_4_nonreplicated-c15243eea4c7a78e.d: crates/bench/benches/graphs_1_4_nonreplicated.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraphs_1_4_nonreplicated-c15243eea4c7a78e.rmeta: crates/bench/benches/graphs_1_4_nonreplicated.rs Cargo.toml
+
+crates/bench/benches/graphs_1_4_nonreplicated.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graphs_5_10_optimised-e49ae5c8d4290bc4.d: crates/bench/benches/graphs_5_10_optimised.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraphs_5_10_optimised-e49ae5c8d4290bc4.rmeta: crates/bench/benches/graphs_5_10_optimised.rs Cargo.toml
+
+crates/bench/benches/graphs_5_10_optimised.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/group_to_group-875a4ac3070331ba.d: examples/src/bin/group_to_group.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgroup_to_group-875a4ac3070331ba.rmeta: examples/src/bin/group_to_group.rs Cargo.toml
+
+examples/src/bin/group_to_group.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

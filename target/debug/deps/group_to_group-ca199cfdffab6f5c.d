@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/group_to_group-ca199cfdffab6f5c.d: examples/src/bin/group_to_group.rs
+
+/root/repo/target/debug/deps/group_to_group-ca199cfdffab6f5c: examples/src/bin/group_to_group.rs
+
+examples/src/bin/group_to_group.rs:

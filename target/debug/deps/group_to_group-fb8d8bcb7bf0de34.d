@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/group_to_group-fb8d8bcb7bf0de34.d: examples/src/bin/group_to_group.rs
+
+/root/repo/target/debug/deps/group_to_group-fb8d8bcb7bf0de34: examples/src/bin/group_to_group.rs
+
+examples/src/bin/group_to_group.rs:

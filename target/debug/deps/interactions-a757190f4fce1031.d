@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interactions-a757190f4fce1031.d: tests/tests/interactions.rs
+
+/root/repo/target/debug/deps/interactions-a757190f4fce1031: tests/tests/interactions.rs
+
+tests/tests/interactions.rs:

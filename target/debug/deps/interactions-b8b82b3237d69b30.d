@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interactions-b8b82b3237d69b30.d: tests/tests/interactions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinteractions-b8b82b3237d69b30.rmeta: tests/tests/interactions.rs Cargo.toml
+
+tests/tests/interactions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/membership-b4b8afd8d0ee66bf.d: tests/tests/membership.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmembership-b4b8afd8d0ee66bf.rmeta: tests/tests/membership.rs Cargo.toml
+
+tests/tests/membership.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/membership-c3338b43d963ea1e.d: tests/tests/membership.rs
+
+/root/repo/target/debug/deps/membership-c3338b43d963ea1e: tests/tests/membership.rs
+
+tests/tests/membership.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/newtop-7bb2fc6cbd391008.d: crates/core/src/lib.rs crates/core/src/control.rs crates/core/src/nso.rs crates/core/src/proxy.rs crates/core/src/simnode.rs
+
+/root/repo/target/debug/deps/newtop-7bb2fc6cbd391008: crates/core/src/lib.rs crates/core/src/control.rs crates/core/src/nso.rs crates/core/src/proxy.rs crates/core/src/simnode.rs
+
+crates/core/src/lib.rs:
+crates/core/src/control.rs:
+crates/core/src/nso.rs:
+crates/core/src/proxy.rs:
+crates/core/src/simnode.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/newtop-cb90abf009d0ce0a.d: crates/core/src/lib.rs crates/core/src/control.rs crates/core/src/nso.rs crates/core/src/proxy.rs crates/core/src/simnode.rs
+
+/root/repo/target/debug/deps/libnewtop-cb90abf009d0ce0a.rlib: crates/core/src/lib.rs crates/core/src/control.rs crates/core/src/nso.rs crates/core/src/proxy.rs crates/core/src/simnode.rs
+
+/root/repo/target/debug/deps/libnewtop-cb90abf009d0ce0a.rmeta: crates/core/src/lib.rs crates/core/src/control.rs crates/core/src/nso.rs crates/core/src/proxy.rs crates/core/src/simnode.rs
+
+crates/core/src/lib.rs:
+crates/core/src/control.rs:
+crates/core/src/nso.rs:
+crates/core/src/proxy.rs:
+crates/core/src/simnode.rs:

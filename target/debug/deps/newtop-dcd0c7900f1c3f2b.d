@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/newtop-dcd0c7900f1c3f2b.d: crates/core/src/lib.rs crates/core/src/control.rs crates/core/src/nso.rs crates/core/src/proxy.rs crates/core/src/simnode.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewtop-dcd0c7900f1c3f2b.rmeta: crates/core/src/lib.rs crates/core/src/control.rs crates/core/src/nso.rs crates/core/src/proxy.rs crates/core/src/simnode.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/control.rs:
+crates/core/src/nso.rs:
+crates/core/src/proxy.rs:
+crates/core/src/simnode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

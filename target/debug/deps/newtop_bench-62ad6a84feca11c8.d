@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/newtop_bench-62ad6a84feca11c8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/newtop_bench-62ad6a84feca11c8: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

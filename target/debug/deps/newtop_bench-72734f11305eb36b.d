@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/newtop_bench-72734f11305eb36b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewtop_bench-72734f11305eb36b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

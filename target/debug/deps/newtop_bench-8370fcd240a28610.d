@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/newtop_bench-8370fcd240a28610.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnewtop_bench-8370fcd240a28610.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnewtop_bench-8370fcd240a28610.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

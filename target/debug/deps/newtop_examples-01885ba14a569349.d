@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/newtop_examples-01885ba14a569349.d: examples/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewtop_examples-01885ba14a569349.rmeta: examples/src/lib.rs Cargo.toml
+
+examples/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/newtop_examples-7943345802326220.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/newtop_examples-7943345802326220: examples/src/lib.rs
+
+examples/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/newtop_examples-c4b43b89a32a4a25.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/libnewtop_examples-c4b43b89a32a4a25.rlib: examples/src/lib.rs
+
+/root/repo/target/debug/deps/libnewtop_examples-c4b43b89a32a4a25.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

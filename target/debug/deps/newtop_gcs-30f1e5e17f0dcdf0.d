@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/newtop_gcs-30f1e5e17f0dcdf0.d: crates/gcs/src/lib.rs crates/gcs/src/clock.rs crates/gcs/src/engine.rs crates/gcs/src/group.rs crates/gcs/src/member.rs crates/gcs/src/messages.rs crates/gcs/src/testkit.rs crates/gcs/src/view.rs
+
+/root/repo/target/debug/deps/newtop_gcs-30f1e5e17f0dcdf0: crates/gcs/src/lib.rs crates/gcs/src/clock.rs crates/gcs/src/engine.rs crates/gcs/src/group.rs crates/gcs/src/member.rs crates/gcs/src/messages.rs crates/gcs/src/testkit.rs crates/gcs/src/view.rs
+
+crates/gcs/src/lib.rs:
+crates/gcs/src/clock.rs:
+crates/gcs/src/engine.rs:
+crates/gcs/src/group.rs:
+crates/gcs/src/member.rs:
+crates/gcs/src/messages.rs:
+crates/gcs/src/testkit.rs:
+crates/gcs/src/view.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/newtop_gcs-9405b49b4ba7a834.d: crates/gcs/src/lib.rs crates/gcs/src/clock.rs crates/gcs/src/engine.rs crates/gcs/src/group.rs crates/gcs/src/member.rs crates/gcs/src/messages.rs crates/gcs/src/testkit.rs crates/gcs/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewtop_gcs-9405b49b4ba7a834.rmeta: crates/gcs/src/lib.rs crates/gcs/src/clock.rs crates/gcs/src/engine.rs crates/gcs/src/group.rs crates/gcs/src/member.rs crates/gcs/src/messages.rs crates/gcs/src/testkit.rs crates/gcs/src/view.rs Cargo.toml
+
+crates/gcs/src/lib.rs:
+crates/gcs/src/clock.rs:
+crates/gcs/src/engine.rs:
+crates/gcs/src/group.rs:
+crates/gcs/src/member.rs:
+crates/gcs/src/messages.rs:
+crates/gcs/src/testkit.rs:
+crates/gcs/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/newtop_gcs-f4b72963d5aa475f.d: crates/gcs/src/lib.rs crates/gcs/src/clock.rs crates/gcs/src/engine.rs crates/gcs/src/group.rs crates/gcs/src/member.rs crates/gcs/src/messages.rs crates/gcs/src/testkit.rs crates/gcs/src/view.rs
+
+/root/repo/target/debug/deps/libnewtop_gcs-f4b72963d5aa475f.rlib: crates/gcs/src/lib.rs crates/gcs/src/clock.rs crates/gcs/src/engine.rs crates/gcs/src/group.rs crates/gcs/src/member.rs crates/gcs/src/messages.rs crates/gcs/src/testkit.rs crates/gcs/src/view.rs
+
+/root/repo/target/debug/deps/libnewtop_gcs-f4b72963d5aa475f.rmeta: crates/gcs/src/lib.rs crates/gcs/src/clock.rs crates/gcs/src/engine.rs crates/gcs/src/group.rs crates/gcs/src/member.rs crates/gcs/src/messages.rs crates/gcs/src/testkit.rs crates/gcs/src/view.rs
+
+crates/gcs/src/lib.rs:
+crates/gcs/src/clock.rs:
+crates/gcs/src/engine.rs:
+crates/gcs/src/group.rs:
+crates/gcs/src/member.rs:
+crates/gcs/src/messages.rs:
+crates/gcs/src/testkit.rs:
+crates/gcs/src/view.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/newtop_integration-18d2beff2716fbee.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewtop_integration-18d2beff2716fbee.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/newtop_integration-df6b7efdff1f21d4.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/newtop_integration-df6b7efdff1f21d4: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/newtop_integration-dfdd1c6103214395.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libnewtop_integration-dfdd1c6103214395.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libnewtop_integration-dfdd1c6103214395.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

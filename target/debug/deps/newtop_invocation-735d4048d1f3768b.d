@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/newtop_invocation-735d4048d1f3768b.d: crates/invocation/src/lib.rs crates/invocation/src/api.rs crates/invocation/src/client.rs crates/invocation/src/g2g.rs crates/invocation/src/server.rs
+
+/root/repo/target/debug/deps/newtop_invocation-735d4048d1f3768b: crates/invocation/src/lib.rs crates/invocation/src/api.rs crates/invocation/src/client.rs crates/invocation/src/g2g.rs crates/invocation/src/server.rs
+
+crates/invocation/src/lib.rs:
+crates/invocation/src/api.rs:
+crates/invocation/src/client.rs:
+crates/invocation/src/g2g.rs:
+crates/invocation/src/server.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/newtop_invocation-74950239629bab93.d: crates/invocation/src/lib.rs crates/invocation/src/api.rs crates/invocation/src/client.rs crates/invocation/src/g2g.rs crates/invocation/src/server.rs
+
+/root/repo/target/debug/deps/libnewtop_invocation-74950239629bab93.rlib: crates/invocation/src/lib.rs crates/invocation/src/api.rs crates/invocation/src/client.rs crates/invocation/src/g2g.rs crates/invocation/src/server.rs
+
+/root/repo/target/debug/deps/libnewtop_invocation-74950239629bab93.rmeta: crates/invocation/src/lib.rs crates/invocation/src/api.rs crates/invocation/src/client.rs crates/invocation/src/g2g.rs crates/invocation/src/server.rs
+
+crates/invocation/src/lib.rs:
+crates/invocation/src/api.rs:
+crates/invocation/src/client.rs:
+crates/invocation/src/g2g.rs:
+crates/invocation/src/server.rs:

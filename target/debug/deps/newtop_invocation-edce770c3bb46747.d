@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/newtop_invocation-edce770c3bb46747.d: crates/invocation/src/lib.rs crates/invocation/src/api.rs crates/invocation/src/client.rs crates/invocation/src/g2g.rs crates/invocation/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewtop_invocation-edce770c3bb46747.rmeta: crates/invocation/src/lib.rs crates/invocation/src/api.rs crates/invocation/src/client.rs crates/invocation/src/g2g.rs crates/invocation/src/server.rs Cargo.toml
+
+crates/invocation/src/lib.rs:
+crates/invocation/src/api.rs:
+crates/invocation/src/client.rs:
+crates/invocation/src/g2g.rs:
+crates/invocation/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

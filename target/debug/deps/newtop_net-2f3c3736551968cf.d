@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/newtop_net-2f3c3736551968cf.d: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/latency.rs crates/net/src/metrics.rs crates/net/src/sim.rs crates/net/src/site.rs crates/net/src/stats.rs crates/net/src/tcp.rs crates/net/src/time.rs crates/net/src/trace.rs crates/net/src/transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewtop_net-2f3c3736551968cf.rmeta: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/latency.rs crates/net/src/metrics.rs crates/net/src/sim.rs crates/net/src/site.rs crates/net/src/stats.rs crates/net/src/tcp.rs crates/net/src/time.rs crates/net/src/trace.rs crates/net/src/transport.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/channel.rs:
+crates/net/src/latency.rs:
+crates/net/src/metrics.rs:
+crates/net/src/sim.rs:
+crates/net/src/site.rs:
+crates/net/src/stats.rs:
+crates/net/src/tcp.rs:
+crates/net/src/time.rs:
+crates/net/src/trace.rs:
+crates/net/src/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

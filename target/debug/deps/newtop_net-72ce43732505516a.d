@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/newtop_net-72ce43732505516a.d: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/latency.rs crates/net/src/metrics.rs crates/net/src/sim.rs crates/net/src/site.rs crates/net/src/stats.rs crates/net/src/tcp.rs crates/net/src/time.rs crates/net/src/trace.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/newtop_net-72ce43732505516a: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/latency.rs crates/net/src/metrics.rs crates/net/src/sim.rs crates/net/src/site.rs crates/net/src/stats.rs crates/net/src/tcp.rs crates/net/src/time.rs crates/net/src/trace.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/channel.rs:
+crates/net/src/latency.rs:
+crates/net/src/metrics.rs:
+crates/net/src/sim.rs:
+crates/net/src/site.rs:
+crates/net/src/stats.rs:
+crates/net/src/tcp.rs:
+crates/net/src/time.rs:
+crates/net/src/trace.rs:
+crates/net/src/transport.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/newtop_net-eadae617f13a7322.d: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/latency.rs crates/net/src/metrics.rs crates/net/src/sim.rs crates/net/src/site.rs crates/net/src/stats.rs crates/net/src/tcp.rs crates/net/src/time.rs crates/net/src/trace.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/libnewtop_net-eadae617f13a7322.rlib: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/latency.rs crates/net/src/metrics.rs crates/net/src/sim.rs crates/net/src/site.rs crates/net/src/stats.rs crates/net/src/tcp.rs crates/net/src/time.rs crates/net/src/trace.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/libnewtop_net-eadae617f13a7322.rmeta: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/latency.rs crates/net/src/metrics.rs crates/net/src/sim.rs crates/net/src/site.rs crates/net/src/stats.rs crates/net/src/tcp.rs crates/net/src/time.rs crates/net/src/trace.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/channel.rs:
+crates/net/src/latency.rs:
+crates/net/src/metrics.rs:
+crates/net/src/sim.rs:
+crates/net/src/site.rs:
+crates/net/src/stats.rs:
+crates/net/src/tcp.rs:
+crates/net/src/time.rs:
+crates/net/src/trace.rs:
+crates/net/src/transport.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/newtop_orb-416a063480f28b47.d: crates/orb/src/lib.rs crates/orb/src/cdr.rs crates/orb/src/giop.rs crates/orb/src/ior.rs crates/orb/src/naming.rs crates/orb/src/orb.rs crates/orb/src/servant.rs
+
+/root/repo/target/debug/deps/newtop_orb-416a063480f28b47: crates/orb/src/lib.rs crates/orb/src/cdr.rs crates/orb/src/giop.rs crates/orb/src/ior.rs crates/orb/src/naming.rs crates/orb/src/orb.rs crates/orb/src/servant.rs
+
+crates/orb/src/lib.rs:
+crates/orb/src/cdr.rs:
+crates/orb/src/giop.rs:
+crates/orb/src/ior.rs:
+crates/orb/src/naming.rs:
+crates/orb/src/orb.rs:
+crates/orb/src/servant.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/newtop_orb-6f9b61f2527c66d0.d: crates/orb/src/lib.rs crates/orb/src/cdr.rs crates/orb/src/giop.rs crates/orb/src/ior.rs crates/orb/src/naming.rs crates/orb/src/orb.rs crates/orb/src/servant.rs
+
+/root/repo/target/debug/deps/libnewtop_orb-6f9b61f2527c66d0.rlib: crates/orb/src/lib.rs crates/orb/src/cdr.rs crates/orb/src/giop.rs crates/orb/src/ior.rs crates/orb/src/naming.rs crates/orb/src/orb.rs crates/orb/src/servant.rs
+
+/root/repo/target/debug/deps/libnewtop_orb-6f9b61f2527c66d0.rmeta: crates/orb/src/lib.rs crates/orb/src/cdr.rs crates/orb/src/giop.rs crates/orb/src/ior.rs crates/orb/src/naming.rs crates/orb/src/orb.rs crates/orb/src/servant.rs
+
+crates/orb/src/lib.rs:
+crates/orb/src/cdr.rs:
+crates/orb/src/giop.rs:
+crates/orb/src/ior.rs:
+crates/orb/src/naming.rs:
+crates/orb/src/orb.rs:
+crates/orb/src/servant.rs:

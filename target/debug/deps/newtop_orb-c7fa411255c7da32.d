@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/newtop_orb-c7fa411255c7da32.d: crates/orb/src/lib.rs crates/orb/src/cdr.rs crates/orb/src/giop.rs crates/orb/src/ior.rs crates/orb/src/naming.rs crates/orb/src/orb.rs crates/orb/src/servant.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewtop_orb-c7fa411255c7da32.rmeta: crates/orb/src/lib.rs crates/orb/src/cdr.rs crates/orb/src/giop.rs crates/orb/src/ior.rs crates/orb/src/naming.rs crates/orb/src/orb.rs crates/orb/src/servant.rs Cargo.toml
+
+crates/orb/src/lib.rs:
+crates/orb/src/cdr.rs:
+crates/orb/src/giop.rs:
+crates/orb/src/ior.rs:
+crates/orb/src/naming.rs:
+crates/orb/src/orb.rs:
+crates/orb/src/servant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

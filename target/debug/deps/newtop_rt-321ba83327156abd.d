@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/newtop_rt-321ba83327156abd.d: crates/rt/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewtop_rt-321ba83327156abd.rmeta: crates/rt/src/lib.rs Cargo.toml
+
+crates/rt/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/newtop_rt-7fd5ad4c4b3327ff.d: crates/rt/src/lib.rs
+
+/root/repo/target/debug/deps/libnewtop_rt-7fd5ad4c4b3327ff.rlib: crates/rt/src/lib.rs
+
+/root/repo/target/debug/deps/libnewtop_rt-7fd5ad4c4b3327ff.rmeta: crates/rt/src/lib.rs
+
+crates/rt/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/newtop_rt-e12183ba6e8e17dc.d: crates/rt/src/lib.rs
+
+/root/repo/target/debug/deps/newtop_rt-e12183ba6e8e17dc: crates/rt/src/lib.rs
+
+crates/rt/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/newtop_rt-f65566006906dd3f.d: crates/rt/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewtop_rt-f65566006906dd3f.rmeta: crates/rt/src/lib.rs Cargo.toml
+
+crates/rt/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

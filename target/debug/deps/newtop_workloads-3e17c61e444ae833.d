@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/newtop_workloads-3e17c61e444ae833.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/figures.rs crates/workloads/src/plain.rs crates/workloads/src/scenario.rs
+
+/root/repo/target/debug/deps/libnewtop_workloads-3e17c61e444ae833.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/figures.rs crates/workloads/src/plain.rs crates/workloads/src/scenario.rs
+
+/root/repo/target/debug/deps/libnewtop_workloads-3e17c61e444ae833.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/figures.rs crates/workloads/src/plain.rs crates/workloads/src/scenario.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/figures.rs:
+crates/workloads/src/plain.rs:
+crates/workloads/src/scenario.rs:

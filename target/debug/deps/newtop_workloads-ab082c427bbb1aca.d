@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/newtop_workloads-ab082c427bbb1aca.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/figures.rs crates/workloads/src/plain.rs crates/workloads/src/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewtop_workloads-ab082c427bbb1aca.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/figures.rs crates/workloads/src/plain.rs crates/workloads/src/scenario.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/figures.rs:
+crates/workloads/src/plain.rs:
+crates/workloads/src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

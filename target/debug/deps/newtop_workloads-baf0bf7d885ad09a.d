@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/newtop_workloads-baf0bf7d885ad09a.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/figures.rs crates/workloads/src/plain.rs crates/workloads/src/scenario.rs
+
+/root/repo/target/debug/deps/newtop_workloads-baf0bf7d885ad09a: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/figures.rs crates/workloads/src/plain.rs crates/workloads/src/scenario.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/figures.rs:
+crates/workloads/src/plain.rs:
+crates/workloads/src/scenario.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nso_edges-8fe0bab64bf3e586.d: crates/core/tests/nso_edges.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnso_edges-8fe0bab64bf3e586.rmeta: crates/core/tests/nso_edges.rs Cargo.toml
+
+crates/core/tests/nso_edges.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

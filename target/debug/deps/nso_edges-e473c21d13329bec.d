@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nso_edges-e473c21d13329bec.d: crates/core/tests/nso_edges.rs
+
+/root/repo/target/debug/deps/nso_edges-e473c21d13329bec: crates/core/tests/nso_edges.rs
+
+crates/core/tests/nso_edges.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-8959ddb4b111edb8.d: tests/tests/observability.rs
+
+/root/repo/target/debug/deps/observability-8959ddb4b111edb8: tests/tests/observability.rs
+
+tests/tests/observability.rs:

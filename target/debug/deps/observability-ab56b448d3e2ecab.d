@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/observability-ab56b448d3e2ecab.d: tests/tests/observability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobservability-ab56b448d3e2ecab.rmeta: tests/tests/observability.rs Cargo.toml
+
+tests/tests/observability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/partitions-5ee782d96b59a64f.d: tests/tests/partitions.rs
+
+/root/repo/target/debug/deps/partitions-5ee782d96b59a64f: tests/tests/partitions.rs
+
+tests/tests/partitions.rs:

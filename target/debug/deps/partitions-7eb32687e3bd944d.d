@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/partitions-7eb32687e3bd944d.d: tests/tests/partitions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpartitions-7eb32687e3bd944d.rmeta: tests/tests/partitions.rs Cargo.toml
+
+tests/tests/partitions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/passive_store-6d25ab590f32464b.d: examples/src/bin/passive_store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpassive_store-6d25ab590f32464b.rmeta: examples/src/bin/passive_store.rs Cargo.toml
+
+examples/src/bin/passive_store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/passive_store-7c1733495d354404.d: examples/src/bin/passive_store.rs
+
+/root/repo/target/debug/deps/passive_store-7c1733495d354404: examples/src/bin/passive_store.rs
+
+examples/src/bin/passive_store.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/passive_store-85fc2ccd9b1febe5.d: examples/src/bin/passive_store.rs
+
+/root/repo/target/debug/deps/passive_store-85fc2ccd9b1febe5: examples/src/bin/passive_store.rs
+
+examples/src/bin/passive_store.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/passive_store-a8fe904a72ff1c72.d: examples/src/bin/passive_store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpassive_store-a8fe904a72ff1c72.rmeta: examples/src/bin/passive_store.rs Cargo.toml
+
+examples/src/bin/passive_store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol-58bb143de34413de.d: crates/gcs/tests/protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol-58bb143de34413de.rmeta: crates/gcs/tests/protocol.rs Cargo.toml
+
+crates/gcs/tests/protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

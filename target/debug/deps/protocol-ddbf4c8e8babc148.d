@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol-ddbf4c8e8babc148.d: crates/gcs/tests/protocol.rs
+
+/root/repo/target/debug/deps/protocol-ddbf4c8e8babc148: crates/gcs/tests/protocol.rs
+
+crates/gcs/tests/protocol.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proxy-45ff5e47ccf36235.d: crates/core/tests/proxy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproxy-45ff5e47ccf36235.rmeta: crates/core/tests/proxy.rs Cargo.toml
+
+crates/core/tests/proxy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proxy-8f1c2acb15a6c6d5.d: crates/core/tests/proxy.rs
+
+/root/repo/target/debug/deps/proxy-8f1c2acb15a6c6d5: crates/core/tests/proxy.rs
+
+crates/core/tests/proxy.rs:

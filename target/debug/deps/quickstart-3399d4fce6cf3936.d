@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-3399d4fce6cf3936.d: examples/src/bin/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-3399d4fce6cf3936: examples/src/bin/quickstart.rs
+
+examples/src/bin/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quickstart-5a8bc85eaa068a2f.d: examples/src/bin/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquickstart-5a8bc85eaa068a2f.rmeta: examples/src/bin/quickstart.rs Cargo.toml
+
+examples/src/bin/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-df166d71e3cb8dd7.d: examples/src/bin/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-df166d71e3cb8dd7: examples/src/bin/quickstart.rs
+
+examples/src/bin/quickstart.rs:

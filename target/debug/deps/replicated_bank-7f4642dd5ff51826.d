@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replicated_bank-7f4642dd5ff51826.d: examples/src/bin/replicated_bank.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplicated_bank-7f4642dd5ff51826.rmeta: examples/src/bin/replicated_bank.rs Cargo.toml
+
+examples/src/bin/replicated_bank.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replicated_bank-cfadc06d33dc35cc.d: examples/src/bin/replicated_bank.rs
+
+/root/repo/target/debug/deps/replicated_bank-cfadc06d33dc35cc: examples/src/bin/replicated_bank.rs
+
+examples/src/bin/replicated_bank.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replicated_bank-dd788eb0b9609442.d: examples/src/bin/replicated_bank.rs
+
+/root/repo/target/debug/deps/replicated_bank-dd788eb0b9609442: examples/src/bin/replicated_bank.rs
+
+examples/src/bin/replicated_bank.rs:

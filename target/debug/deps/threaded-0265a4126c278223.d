@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threaded-0265a4126c278223.d: tests/tests/threaded.rs
+
+/root/repo/target/debug/deps/threaded-0265a4126c278223: tests/tests/threaded.rs
+
+tests/tests/threaded.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/threaded-70770c005781182c.d: tests/tests/threaded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthreaded-70770c005781182c.rmeta: tests/tests/threaded.rs Cargo.toml
+
+tests/tests/threaded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/conference-782de58ead8366c2.d: examples/src/bin/conference.rs
+
+/root/repo/target/release/deps/conference-782de58ead8366c2: examples/src/bin/conference.rs
+
+examples/src/bin/conference.rs:

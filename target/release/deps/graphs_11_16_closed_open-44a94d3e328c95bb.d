@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/graphs_11_16_closed_open-44a94d3e328c95bb.d: crates/bench/benches/graphs_11_16_closed_open.rs
+
+/root/repo/target/release/deps/graphs_11_16_closed_open-44a94d3e328c95bb: crates/bench/benches/graphs_11_16_closed_open.rs
+
+crates/bench/benches/graphs_11_16_closed_open.rs:

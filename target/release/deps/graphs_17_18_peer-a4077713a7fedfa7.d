@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/graphs_17_18_peer-a4077713a7fedfa7.d: crates/bench/benches/graphs_17_18_peer.rs
+
+/root/repo/target/release/deps/graphs_17_18_peer-a4077713a7fedfa7: crates/bench/benches/graphs_17_18_peer.rs
+
+crates/bench/benches/graphs_17_18_peer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/group_to_group-db5e411971140ac9.d: examples/src/bin/group_to_group.rs
+
+/root/repo/target/release/deps/group_to_group-db5e411971140ac9: examples/src/bin/group_to_group.rs
+
+examples/src/bin/group_to_group.rs:

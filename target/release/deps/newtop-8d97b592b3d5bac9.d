@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/newtop-8d97b592b3d5bac9.d: crates/core/src/lib.rs crates/core/src/control.rs crates/core/src/nso.rs crates/core/src/proxy.rs crates/core/src/simnode.rs
+
+/root/repo/target/release/deps/libnewtop-8d97b592b3d5bac9.rlib: crates/core/src/lib.rs crates/core/src/control.rs crates/core/src/nso.rs crates/core/src/proxy.rs crates/core/src/simnode.rs
+
+/root/repo/target/release/deps/libnewtop-8d97b592b3d5bac9.rmeta: crates/core/src/lib.rs crates/core/src/control.rs crates/core/src/nso.rs crates/core/src/proxy.rs crates/core/src/simnode.rs
+
+crates/core/src/lib.rs:
+crates/core/src/control.rs:
+crates/core/src/nso.rs:
+crates/core/src/proxy.rs:
+crates/core/src/simnode.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/newtop_bench-4a39a2ad8677536e.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnewtop_bench-4a39a2ad8677536e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnewtop_bench-4a39a2ad8677536e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/newtop_examples-08ae5d9e24710fe6.d: examples/src/lib.rs
+
+/root/repo/target/release/deps/libnewtop_examples-08ae5d9e24710fe6.rlib: examples/src/lib.rs
+
+/root/repo/target/release/deps/libnewtop_examples-08ae5d9e24710fe6.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/newtop_gcs-349d6cc69afee633.d: crates/gcs/src/lib.rs crates/gcs/src/clock.rs crates/gcs/src/engine.rs crates/gcs/src/group.rs crates/gcs/src/member.rs crates/gcs/src/messages.rs crates/gcs/src/testkit.rs crates/gcs/src/view.rs
+
+/root/repo/target/release/deps/libnewtop_gcs-349d6cc69afee633.rlib: crates/gcs/src/lib.rs crates/gcs/src/clock.rs crates/gcs/src/engine.rs crates/gcs/src/group.rs crates/gcs/src/member.rs crates/gcs/src/messages.rs crates/gcs/src/testkit.rs crates/gcs/src/view.rs
+
+/root/repo/target/release/deps/libnewtop_gcs-349d6cc69afee633.rmeta: crates/gcs/src/lib.rs crates/gcs/src/clock.rs crates/gcs/src/engine.rs crates/gcs/src/group.rs crates/gcs/src/member.rs crates/gcs/src/messages.rs crates/gcs/src/testkit.rs crates/gcs/src/view.rs
+
+crates/gcs/src/lib.rs:
+crates/gcs/src/clock.rs:
+crates/gcs/src/engine.rs:
+crates/gcs/src/group.rs:
+crates/gcs/src/member.rs:
+crates/gcs/src/messages.rs:
+crates/gcs/src/testkit.rs:
+crates/gcs/src/view.rs:

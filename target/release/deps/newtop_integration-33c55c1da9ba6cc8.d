@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/newtop_integration-33c55c1da9ba6cc8.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libnewtop_integration-33c55c1da9ba6cc8.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libnewtop_integration-33c55c1da9ba6cc8.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/newtop_invocation-65bde7454ffd5862.d: crates/invocation/src/lib.rs crates/invocation/src/api.rs crates/invocation/src/client.rs crates/invocation/src/g2g.rs crates/invocation/src/server.rs
+
+/root/repo/target/release/deps/libnewtop_invocation-65bde7454ffd5862.rlib: crates/invocation/src/lib.rs crates/invocation/src/api.rs crates/invocation/src/client.rs crates/invocation/src/g2g.rs crates/invocation/src/server.rs
+
+/root/repo/target/release/deps/libnewtop_invocation-65bde7454ffd5862.rmeta: crates/invocation/src/lib.rs crates/invocation/src/api.rs crates/invocation/src/client.rs crates/invocation/src/g2g.rs crates/invocation/src/server.rs
+
+crates/invocation/src/lib.rs:
+crates/invocation/src/api.rs:
+crates/invocation/src/client.rs:
+crates/invocation/src/g2g.rs:
+crates/invocation/src/server.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/newtop_net-0be701340040c484.d: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/latency.rs crates/net/src/metrics.rs crates/net/src/sim.rs crates/net/src/site.rs crates/net/src/stats.rs crates/net/src/tcp.rs crates/net/src/time.rs crates/net/src/trace.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/libnewtop_net-0be701340040c484.rlib: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/latency.rs crates/net/src/metrics.rs crates/net/src/sim.rs crates/net/src/site.rs crates/net/src/stats.rs crates/net/src/tcp.rs crates/net/src/time.rs crates/net/src/trace.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/libnewtop_net-0be701340040c484.rmeta: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/latency.rs crates/net/src/metrics.rs crates/net/src/sim.rs crates/net/src/site.rs crates/net/src/stats.rs crates/net/src/tcp.rs crates/net/src/time.rs crates/net/src/trace.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/channel.rs:
+crates/net/src/latency.rs:
+crates/net/src/metrics.rs:
+crates/net/src/sim.rs:
+crates/net/src/site.rs:
+crates/net/src/stats.rs:
+crates/net/src/tcp.rs:
+crates/net/src/time.rs:
+crates/net/src/trace.rs:
+crates/net/src/transport.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/newtop_orb-2e8aa31d26ca90e1.d: crates/orb/src/lib.rs crates/orb/src/cdr.rs crates/orb/src/giop.rs crates/orb/src/ior.rs crates/orb/src/naming.rs crates/orb/src/orb.rs crates/orb/src/servant.rs
+
+/root/repo/target/release/deps/libnewtop_orb-2e8aa31d26ca90e1.rlib: crates/orb/src/lib.rs crates/orb/src/cdr.rs crates/orb/src/giop.rs crates/orb/src/ior.rs crates/orb/src/naming.rs crates/orb/src/orb.rs crates/orb/src/servant.rs
+
+/root/repo/target/release/deps/libnewtop_orb-2e8aa31d26ca90e1.rmeta: crates/orb/src/lib.rs crates/orb/src/cdr.rs crates/orb/src/giop.rs crates/orb/src/ior.rs crates/orb/src/naming.rs crates/orb/src/orb.rs crates/orb/src/servant.rs
+
+crates/orb/src/lib.rs:
+crates/orb/src/cdr.rs:
+crates/orb/src/giop.rs:
+crates/orb/src/ior.rs:
+crates/orb/src/naming.rs:
+crates/orb/src/orb.rs:
+crates/orb/src/servant.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/newtop_rt-5a6c69f426003009.d: crates/rt/src/lib.rs
+
+/root/repo/target/release/deps/libnewtop_rt-5a6c69f426003009.rlib: crates/rt/src/lib.rs
+
+/root/repo/target/release/deps/libnewtop_rt-5a6c69f426003009.rmeta: crates/rt/src/lib.rs
+
+crates/rt/src/lib.rs:

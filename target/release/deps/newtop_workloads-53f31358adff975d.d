@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/newtop_workloads-53f31358adff975d.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/figures.rs crates/workloads/src/plain.rs crates/workloads/src/scenario.rs
+
+/root/repo/target/release/deps/libnewtop_workloads-53f31358adff975d.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/figures.rs crates/workloads/src/plain.rs crates/workloads/src/scenario.rs
+
+/root/repo/target/release/deps/libnewtop_workloads-53f31358adff975d.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/figures.rs crates/workloads/src/plain.rs crates/workloads/src/scenario.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/figures.rs:
+crates/workloads/src/plain.rs:
+crates/workloads/src/scenario.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/passive_store-b17d2226ff0c365e.d: examples/src/bin/passive_store.rs
+
+/root/repo/target/release/deps/passive_store-b17d2226ff0c365e: examples/src/bin/passive_store.rs
+
+examples/src/bin/passive_store.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-5339f4a4662c6734.d: examples/src/bin/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-5339f4a4662c6734: examples/src/bin/quickstart.rs
+
+examples/src/bin/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/replicated_bank-68320ebce9879ea7.d: examples/src/bin/replicated_bank.rs
+
+/root/repo/target/release/deps/replicated_bank-68320ebce9879ea7: examples/src/bin/replicated_bank.rs
+
+examples/src/bin/replicated_bank.rs:

@@ -73,13 +73,9 @@ const TICK_TAG: u64 = tags::APP_BASE + 1;
 impl Client {
     fn bind(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
         let manager = self.servers[self.manager_index % self.servers.len()];
-        let _ = nso.bind_open(
+        let _ = nso.bind(
             gid(),
-            manager,
-            BindOptions {
-                time_silence: Duration::from_millis(20),
-                ..BindOptions::default()
-            },
+            BindOptions::open(manager).with_time_silence(Duration::from_millis(20)),
             now,
             out,
         );

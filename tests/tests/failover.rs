@@ -95,17 +95,14 @@ impl RetryClient {
     }
 
     fn bind(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
-        let opts = BindOptions {
-            time_silence: Duration::from_millis(20),
-            ..BindOptions::default()
-        };
-        if self.open {
+        let opts = if self.open {
             let manager = self.servers[self.manager_index % self.servers.len()];
-            nso.bind_open(gid(), manager, opts, now, out).expect("bind");
+            BindOptions::open(manager)
         } else {
-            nso.bind_closed(gid(), self.servers.clone(), opts, now, out)
-                .expect("bind");
+            BindOptions::closed(self.servers.clone())
         }
+        .with_time_silence(Duration::from_millis(20));
+        nso.bind(gid(), opts, now, out).expect("bind");
     }
 
     fn issue(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
@@ -115,9 +112,14 @@ impl RetryClient {
         let Some(binding) = self.binding.clone() else {
             return;
         };
-        if let Ok(call) =
-            nso.invoke(&binding, "work", Bytes::from(vec![self.issued as u8]), self.mode, now, out)
-        {
+        if let Ok(call) = nso.invoke(
+            &binding,
+            "work",
+            Bytes::from(vec![self.issued as u8]),
+            self.mode,
+            now,
+            out,
+        ) {
             self.issued += 1;
             self.issued_at.insert(call.number, now);
         }
@@ -208,7 +210,9 @@ fn build(
     seed: u64,
 ) -> Cluster {
     let mut sim = Sim::new(SimConfig::lan(seed));
-    let servers: Vec<NodeId> = (0..n_servers).map(|i| NodeId::from_index(i as u32)).collect();
+    let servers: Vec<NodeId> = (0..n_servers)
+        .map(|i| NodeId::from_index(i as u32))
+        .collect();
     let mut executions = Vec::new();
     for &s in &servers {
         let count = Arc::new(AtomicU32::new(0));

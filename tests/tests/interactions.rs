@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 
-use newtop::nso::{Nso, NsoOutput};
+use newtop::nso::{BindOptions, Nso, NsoOutput};
 use newtop::simnode::{NsoApp, NsoNode};
 use newtop::tags;
 use newtop_gcs::group::{DeliveryOrder, GroupConfig, GroupId};
@@ -126,7 +126,14 @@ impl NsoApp for GxMember {
     fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {
         match output {
             NsoOutput::PeerDeliver { group, .. } if group == gx() => {
-                let _ = nso.g2g_invoke(&gz(), "tally", Bytes::from(vec![1]), ReplyMode::All, now, out);
+                let _ = nso.g2g_invoke(
+                    &gz(),
+                    "tally",
+                    Bytes::from(vec![1]),
+                    ReplyMode::All,
+                    now,
+                    out,
+                );
             }
             NsoOutput::G2gComplete {
                 origin,
@@ -204,7 +211,10 @@ fn group_to_group_invocation_fans_replies_to_every_client_member() {
         "trigger member completed {} group calls",
         states[0].len()
     );
-    assert_eq!(states[0], states[1], "both gx members saw identical results");
+    assert_eq!(
+        states[0], states[1],
+        "both gx members saw identical results"
+    );
     for (_, replies) in &states[0] {
         assert_eq!(replies.len(), 3, "wait-for-all gathered every gy member");
     }
@@ -248,7 +258,10 @@ impl NsoApp for Peer {
     }
 
     fn on_output(&mut self, _nso: &mut Nso, output: NsoOutput, _now: SimTime, _out: &mut Outbox) {
-        if let NsoOutput::PeerDeliver { sender, payload, .. } = output {
+        if let NsoOutput::PeerDeliver {
+            sender, payload, ..
+        } = output
+        {
             self.delivered.push((sender, payload));
         }
     }
@@ -349,10 +362,9 @@ fn a_node_can_serve_and_peer_simultaneously() {
     }
     impl NsoApp for SimpleClient {
         fn on_start(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
-            nso.bind_open(
+            nso.bind(
                 GroupId::new("dual-svc"),
-                self.servers[1],
-                Default::default(),
+                BindOptions::open(self.servers[1]),
                 now,
                 out,
             )

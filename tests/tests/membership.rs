@@ -46,7 +46,10 @@ impl NsoApp for Founder {
         out.set_timer(Duration::from_millis(25), tags::APP_BASE);
     }
     fn on_output(&mut self, _: &mut Nso, output: NsoOutput, _: SimTime, _: &mut Outbox) {
-        if let NsoOutput::PeerDeliver { sender, payload, .. } = output {
+        if let NsoOutput::PeerDeliver {
+            sender, payload, ..
+        } = output
+        {
             self.delivered.push((sender, payload));
         }
     }
@@ -101,16 +104,18 @@ impl NsoApp for Latecomer {
     }
     fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, _: SimTime, out: &mut Outbox) {
         match output {
-            NsoOutput::ViewChanged { group, view } if group == room() => {
-                if view.contains(nso.node()) && self.joined_view.is_none() {
-                    self.joined_view = Some(view.len());
-                    out.set_timer(Duration::from_millis(5), CHAT_TAG);
-                    if let Some(after) = self.leave_after {
-                        out.set_timer(after, LEAVE_TAG);
-                    }
+            NsoOutput::ViewChanged { group, view }
+                if group == room() && view.contains(nso.node()) && self.joined_view.is_none() =>
+            {
+                self.joined_view = Some(view.len());
+                out.set_timer(Duration::from_millis(5), CHAT_TAG);
+                if let Some(after) = self.leave_after {
+                    out.set_timer(after, LEAVE_TAG);
                 }
             }
-            NsoOutput::PeerDeliver { sender, payload, .. } => {
+            NsoOutput::PeerDeliver {
+                sender, payload, ..
+            } => {
                 self.delivered.push((sender, payload));
             }
             _ => {}
@@ -221,7 +226,10 @@ fn causal_one_way_sends_preserve_sender_fifo() {
             }
         }
         fn on_output(&mut self, _: &mut Nso, output: NsoOutput, _: SimTime, _: &mut Outbox) {
-            if let NsoOutput::PeerDeliver { sender, payload, .. } = output {
+            if let NsoOutput::PeerDeliver {
+                sender, payload, ..
+            } = output
+            {
                 self.delivered.push((sender, payload));
             }
         }
@@ -250,7 +258,11 @@ fn causal_one_way_sends_preserve_sender_fifo() {
             .unwrap()
             .app_ref::<CausalPeer>()
             .unwrap();
-        assert_eq!(app.delivered.len(), 30, "all causal multicasts delivered at {m}");
+        assert_eq!(
+            app.delivered.len(),
+            30,
+            "all causal multicasts delivered at {m}"
+        );
         // Per-sender FIFO (a consequence of causal order).
         for &q in &members {
             let from_q: Vec<String> = app

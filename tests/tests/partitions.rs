@@ -59,13 +59,9 @@ struct Client {
 impl Client {
     fn bind(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
         let manager = self.servers[self.manager_index % self.servers.len()];
-        let _ = nso.bind_open(
+        let _ = nso.bind(
             gid(),
-            manager,
-            BindOptions {
-                time_silence: Duration::from_millis(20),
-                ..BindOptions::default()
-            },
+            BindOptions::open(manager).with_time_silence(Duration::from_millis(20)),
             now,
             out,
         );
@@ -169,8 +165,14 @@ fn client_side_of_a_partition_keeps_working() {
         .app_ref::<Client>()
         .unwrap();
     let (mid_completed, mid_rebinds) = (mid.completed, mid.rebinds);
-    assert!(mid_rebinds >= 1, "the client rebound away from the isolated manager");
-    assert!(mid_completed > 50, "traffic continued on the majority side: {mid_completed}");
+    assert!(
+        mid_rebinds >= 1,
+        "the client rebound away from the isolated manager"
+    );
+    assert!(
+        mid_completed > 50,
+        "traffic continued on the majority side: {mid_completed}"
+    );
 
     // The majority side's server group excluded s0.
     let view = sim
@@ -180,7 +182,10 @@ fn client_side_of_a_partition_keeps_working() {
         .view_of(&gid())
         .expect("view")
         .clone();
-    assert!(!view.contains(servers[0]), "majority view excludes the isolated server");
+    assert!(
+        !view.contains(servers[0]),
+        "majority view excludes the isolated server"
+    );
     assert_eq!(view.len(), 2);
 
     // Heal; traffic keeps flowing (the departed replica stays excluded
@@ -193,7 +198,10 @@ fn client_side_of_a_partition_keeps_working() {
         .unwrap()
         .app_ref::<Client>()
         .unwrap();
-    assert!(end.completed > mid_completed + 50, "traffic continued after healing");
+    assert!(
+        end.completed > mid_completed + 50,
+        "traffic continued after healing"
+    );
 }
 
 #[test]
@@ -226,7 +234,10 @@ fn peer_partition_splits_and_both_sides_deliver_internally() {
             out.set_timer(Duration::from_millis(40), tags::APP_BASE);
         }
         fn on_output(&mut self, _: &mut Nso, output: NsoOutput, _: SimTime, _: &mut Outbox) {
-            if let NsoOutput::PeerDeliver { sender, payload, .. } = output {
+            if let NsoOutput::PeerDeliver {
+                sender, payload, ..
+            } = output
+            {
                 self.delivered.push((sender, payload));
             }
         }

@@ -49,16 +49,20 @@ fn setup_service(nodes: &[NodeHandle], servers: &[NodeId], group: &GroupId) {
     }
 }
 
-fn bind_and_invoke(client: &NodeHandle, group: &GroupId, servers: Vec<NodeId>, open: bool) -> usize {
+fn bind_and_invoke(
+    client: &NodeHandle,
+    group: &GroupId,
+    servers: Vec<NodeId>,
+    open: bool,
+) -> usize {
     let g = group.clone();
     client.with_nso(move |nso, now, out| {
-        if open {
-            nso.bind_open(g, servers[0], BindOptions::default(), now, out)
-                .unwrap();
+        let opts = if open {
+            BindOptions::open(servers[0])
         } else {
-            nso.bind_closed(g, servers, BindOptions::default(), now, out)
-                .unwrap();
-        }
+            BindOptions::closed(servers)
+        };
+        nso.bind(g, opts, now, out).unwrap();
     });
     let ready = client
         .wait_for_output(Duration::from_secs(15), |o| {

@@ -1,0 +1,176 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset this workspace's micro-benchmarks use:
+//! benchmark groups, `bench_function` with `iter`/`iter_batched`,
+//! throughput annotation, and the `criterion_group!`/`criterion_main!`
+//! macros. Timing is a simple warm-up plus timed batch; results print as
+//! mean ns/iteration (and derived element throughput where annotated).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How setup outputs are batched in `iter_batched` (accepted for API
+/// compatibility; the stand-in always runs one setup per iteration).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup { throughput: None }
+    }
+}
+
+/// A group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Annotates per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean_ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.total.as_nanos() as f64 / b.iters as f64
+        };
+        match self.throughput {
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                let per_sec = n as f64 * 1e9 / mean_ns;
+                println!("  {name}: {mean_ns:.1} ns/iter ({per_sec:.0} elem/s)");
+            }
+            Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+                let per_sec = n as f64 * 1e9 / mean_ns;
+                println!("  {name}: {mean_ns:.1} ns/iter ({per_sec:.0} B/s)");
+            }
+            _ => println!("  {name}: {mean_ns:.1} ns/iter"),
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Measures one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+const WARMUP_ITERS: u64 = 50;
+const MEASURE_ITERS: u64 = 2_000;
+
+impl Bencher {
+    /// Times `routine` over a fixed iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = MEASURE_ITERS;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let batched_iters = MEASURE_ITERS / 20;
+        for _ in 0..WARMUP_ITERS.min(batched_iters) {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut total = Duration::ZERO;
+        for _ in 0..batched_iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total = total;
+        self.iters = batched_iters;
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

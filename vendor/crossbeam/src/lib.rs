@@ -1,0 +1,188 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements the channel subset this workspace uses on top of
+//! `std::sync::mpsc`: cloneable senders *and* receivers (the receiver is
+//! shared behind a mutex), `unbounded`/`bounded` constructors, and a
+//! polling [`select!`] macro supporting `recv(..) -> ..` arms with a
+//! `default(timeout)` arm.
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing if all receivers are gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// The receiving half of a channel. Cloneable: clones share the same
+    /// queue, each message going to exactly one receiver.
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn guard(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Blocks until a message arrives or the channel disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.guard().recv()
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.guard().recv_timeout(timeout)
+        }
+
+        /// Receives without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.guard().try_recv()
+        }
+
+        /// Drains currently queued messages without blocking.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(move || self.try_recv().ok())
+        }
+
+        /// Polls once for the [`select!`] macro: `Some(Ok(v))` on a
+        /// message, `Some(Err(_))` on disconnect, `None` when empty.
+        #[doc(hidden)]
+        pub fn poll_for_select(&self) -> Option<Result<T, RecvError>> {
+            match self.try_recv() {
+                Ok(v) => Some(Ok(v)),
+                Err(TryRecvError::Disconnected) => Some(Err(RecvError)),
+                Err(TryRecvError::Empty) => None,
+            }
+        }
+
+        /// The deadline helper used by the [`select!`] macro.
+        #[doc(hidden)]
+        #[must_use]
+        pub fn select_deadline(timeout: Duration) -> Instant {
+            Instant::now() + timeout
+        }
+    }
+
+    /// Creates a channel with unbounded capacity.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+
+    /// Creates a bounded channel. The stand-in does not enforce the
+    /// capacity for senders (std's sync_channel would block differently
+    /// from crossbeam for zero capacity); the workspace only uses small
+    /// rendezvous buffers where unbounded behaviour is indistinguishable.
+    #[must_use]
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+
+    /// A polling select over channel receive operations.
+    ///
+    /// Supports the shape this workspace uses:
+    ///
+    /// ```ignore
+    /// select! {
+    ///     recv(rx_a) -> msg => { ... }
+    ///     recv(rx_b) -> msg => { ... }
+    ///     default(timeout) => { ... }
+    /// }
+    /// ```
+    ///
+    /// Receivers are polled in order with a short sleep between rounds
+    /// until one is ready or the timeout elapses.
+    #[macro_export]
+    macro_rules! select {
+        (
+            $(recv($rx:expr) -> $res:pat => $body:block)+
+            default($timeout:expr) => $def:block
+        ) => {{
+            let deadline = ::std::time::Instant::now() + $timeout;
+            'select: loop {
+                $(
+                    if let ::std::option::Option::Some(polled) = $rx.poll_for_select() {
+                        let $res = polled;
+                        // The arm body may diverge (e.g. `return`), making
+                        // the break unreachable in some expansions.
+                        #[allow(unreachable_code)]
+                        {
+                            { $body }
+                            break 'select;
+                        }
+                    }
+                )+
+                if ::std::time::Instant::now() >= deadline {
+                    { $def }
+                    break 'select;
+                }
+                ::std::thread::sleep(::std::time::Duration::from_micros(200));
+            }
+        }};
+    }
+
+    pub use crate::select;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_and_select() {
+        let (tx, rx) = unbounded();
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv().unwrap(), 5);
+        let (tx2, rx2) = bounded(1);
+        tx2.send("x").unwrap();
+        let mut got = None;
+        crate::select! {
+            recv(rx) -> _v => { unreachable!() }
+            recv(rx2) -> v => { got = v.ok(); }
+            default(Duration::from_millis(10)) => {}
+        }
+        assert_eq!(got, Some("x"));
+        let mut timed_out = false;
+        crate::select! {
+            recv(rx) -> _v => {}
+            default(Duration::from_millis(5)) => { timed_out = true; }
+        }
+        assert!(timed_out);
+    }
+}
