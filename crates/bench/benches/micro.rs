@@ -81,7 +81,7 @@ fn bench_giop(c: &mut Criterion) {
     g.bench_function("parse_request", |b| {
         b.iter(|| GiopMessage::from_frame(&frame).unwrap())
     });
-    let wire = GcsMessage::Data(data_msg(1, 9, 100));
+    let wire = GcsMessage::Data(data_msg(1, 9, 100).into());
     g.bench_function("gcs_data_encode", |b| b.iter(|| wire.to_cdr()));
     let body = wire.to_cdr();
     g.bench_function("gcs_data_decode", |b| {

@@ -437,6 +437,11 @@ fn with_net<R>(
     if sent > 0 {
         obs.metrics.add("gcs.msgs_sent", sent);
     }
+    let encodes = net.encode_calls();
+    if encodes > 0 {
+        obs.metrics.add("gcs.encode_calls", encodes);
+        obs.metrics.add("gcs.bytes_encoded", net.bytes_encoded());
+    }
     r
 }
 

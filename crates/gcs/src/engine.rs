@@ -27,7 +27,8 @@
 //! was attached to. Without this, a null message racing ahead of a lost
 //! data message could commit a total-order position too early.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use crate::group::{DeliveryOrder, OrderProtocol};
 use crate::messages::{ContigVector, DataMsg};
@@ -47,7 +48,9 @@ pub enum Ingest {
 struct SenderTrack {
     /// Received messages by sequence, retained until delivered *and*
     /// stable (they may be needed for retransmission or the flush).
-    buffer: BTreeMap<u64, DataMsg>,
+    /// Refcounted: delivery, retransmission, and view-change unions hand
+    /// out `Arc` clones instead of copying payloads.
+    buffer: BTreeMap<u64, Arc<DataMsg>>,
     /// Highest contiguously received sequence.
     contig: u64,
     /// Highest delivered sequence (always ≤ `contig`).
@@ -170,8 +173,10 @@ impl DeliveryEngine {
     }
 
     /// Offers a received data message (including the member's own, which
-    /// arrive via self-loopback).
-    pub fn ingest_data(&mut self, msg: DataMsg) -> Ingest {
+    /// arrive via self-loopback). Accepts an owned message or an already
+    /// shared `Arc<DataMsg>`; the engine buffers the shared form.
+    pub fn ingest_data(&mut self, msg: impl Into<Arc<DataMsg>>) -> Ingest {
+        let msg: Arc<DataMsg> = msg.into();
         debug_assert_eq!(msg.view, self.view, "caller must filter stale views");
         let Some(track) = self.senders.get_mut(&msg.sender) else {
             return Ingest::Duplicate; // not a member of this view
@@ -245,7 +250,7 @@ impl DeliveryEngine {
     /// Messages this member holds with sequences beyond `contig` — the
     /// state-response payload during view agreement.
     #[must_use]
-    pub fn export_msgs_beyond(&self, contig: &ContigVector) -> Vec<DataMsg> {
+    pub fn export_msgs_beyond(&self, contig: &ContigVector) -> Vec<Arc<DataMsg>> {
         let floor = |sender: NodeId| {
             contig
                 .iter()
@@ -257,7 +262,7 @@ impl DeliveryEngine {
             let fl = floor(sender);
             for (&seq, msg) in &track.buffer {
                 if seq > fl {
-                    out.push(msg.clone());
+                    out.push(Arc::clone(msg));
                 }
             }
         }
@@ -292,9 +297,11 @@ impl DeliveryEngine {
         out
     }
 
-    /// A buffered message, if still held (serves NACKs).
+    /// A buffered message, if still held (serves NACKs). Returned by
+    /// shared reference so retransmissions can `Arc::clone` it without
+    /// copying the payload.
     #[must_use]
-    pub fn get_buffered(&self, sender: NodeId, seq: u64) -> Option<&DataMsg> {
+    pub fn get_buffered(&self, sender: NodeId, seq: u64) -> Option<&Arc<DataMsg>> {
         self.senders.get(&sender)?.buffer.get(&seq)
     }
 
@@ -389,7 +396,10 @@ impl DeliveryEngine {
         let mut new_entries = Vec::new();
         loop {
             let mut progressed = false;
-            for &sender in &self.members.clone() {
+            // Index loop: iterating `self.members` by reference would pin
+            // `self` borrowed across the mutations below.
+            for i in 0..self.members.len() {
+                let sender = self.members[i];
                 loop {
                     let processed = *self.seq_state.processed.get(&sender).unwrap_or(&0);
                     let next_seq = processed + 1;
@@ -437,8 +447,10 @@ impl DeliveryEngine {
             .any(|t| t.buffer.keys().any(|&s| s > t.delivered))
     }
 
-    /// Delivers everything currently deliverable, in order.
-    pub fn drain_deliverable(&mut self) -> Vec<DataMsg> {
+    /// Delivers everything currently deliverable, in order. The returned
+    /// messages are `Arc` clones of the buffered copies — no payload is
+    /// duplicated.
+    pub fn drain_deliverable(&mut self) -> Vec<Arc<DataMsg>> {
         let mut out = Vec::new();
         loop {
             let mut progressed = false;
@@ -456,12 +468,12 @@ impl DeliveryEngine {
 
     /// Delivers causal-order messages whose FIFO and dependency conditions
     /// hold.
-    fn deliver_causal(&mut self, out: &mut Vec<DataMsg>) -> bool {
+    fn deliver_causal(&mut self, out: &mut Vec<Arc<DataMsg>>) -> bool {
         let mut progressed = false;
-        let members = self.members.clone();
         loop {
             let mut round = false;
-            for &sender in &members {
+            for i in 0..self.members.len() {
+                let sender = self.members[i];
                 loop {
                     let track = &self.senders[&sender];
                     let next = track.delivered + 1;
@@ -474,10 +486,10 @@ impl DeliveryEngine {
                     if msg.order != DeliveryOrder::Causal {
                         break;
                     }
-                    if !self.deps_satisfied(&msg.deps.clone()) {
+                    if !self.deps_satisfied(&msg.deps) {
                         break;
                     }
-                    let msg = msg.clone();
+                    let msg = Arc::clone(msg);
                     self.mark_delivered(sender, next);
                     out.push(msg);
                     round = true;
@@ -503,7 +515,7 @@ impl DeliveryEngine {
 
     /// Symmetric total order: deliver from the head of the timestamp
     /// queue while the head is safe.
-    fn deliver_symmetric(&mut self, out: &mut Vec<DataMsg>) -> bool {
+    fn deliver_symmetric(&mut self, out: &mut Vec<Arc<DataMsg>>) -> bool {
         let mut progressed = false;
         while let Some(&(ts, sender, seq)) = self.total_queue.iter().next() {
             let track = &self.senders[&sender];
@@ -519,7 +531,7 @@ impl DeliveryEngine {
                 break;
             }
             let msg = match track.buffer.get(&seq) {
-                Some(m) => m.clone(),
+                Some(m) => Arc::clone(m),
                 None => {
                     self.total_queue.remove(&(ts, sender, seq));
                     continue;
@@ -553,7 +565,7 @@ impl DeliveryEngine {
     }
 
     /// Asymmetric total order: deliver along the sequencer's global log.
-    fn deliver_asymmetric(&mut self, out: &mut Vec<DataMsg>) -> bool {
+    fn deliver_asymmetric(&mut self, out: &mut Vec<Arc<DataMsg>>) -> bool {
         let mut progressed = false;
         loop {
             let idx = (self.next_deliver_pos - 1) as usize;
@@ -567,7 +579,7 @@ impl DeliveryEngine {
             if track.delivered + 1 != seq {
                 break; // an earlier causal message must go first
             }
-            let Some(msg) = track.buffer.get(&seq).cloned() else {
+            let Some(msg) = track.buffer.get(&seq).map(Arc::clone) else {
                 break;
             };
             if !self.deps_satisfied(&msg.deps) {
@@ -588,7 +600,7 @@ impl DeliveryEngine {
     /// Messages beyond a sequence gap of a (necessarily crashed) sender
     /// are dropped: no survivor holds the gap message, and FIFO forbids
     /// skipping it.
-    pub fn flush_remaining(&mut self) -> Vec<DataMsg> {
+    pub fn flush_remaining(&mut self) -> Vec<Arc<DataMsg>> {
         let mut out = Vec::new();
         loop {
             // Candidate per sender: the next FIFO message, if buffered.
@@ -605,7 +617,7 @@ impl DeliveryEngine {
             let Some((_, sender, seq)) = best else {
                 break;
             };
-            let msg = self.senders[&sender].buffer[&seq].clone();
+            let msg = Arc::clone(&self.senders[&sender].buffer[&seq]);
             self.total_queue.remove(&(msg.lamport, sender, seq));
             self.mark_delivered(sender, seq);
             out.push(msg);
@@ -616,10 +628,11 @@ impl DeliveryEngine {
     /// Garbage-collects messages that are delivered locally and
     /// acknowledged by every member.
     pub fn gc_stable(&mut self) {
-        let members = self.members.clone();
+        // Disjoint field borrows: `senders` is mutated while `members`,
+        // `acked`, and `me` are only read.
         for (&sender, track) in &mut self.senders {
             let mut stable = track.contig;
-            for &by in &members {
+            for &by in &self.members {
                 if by == self.me {
                     continue;
                 }
@@ -651,10 +664,11 @@ impl DeliveryEngine {
     }
 
     /// Ingests a batch of union messages during a view change (duplicates
-    /// ignored), without delivering.
-    pub fn ingest_union(&mut self, msgs: Vec<DataMsg>) {
-        let mut arrivals: VecDeque<DataMsg> = msgs.into();
-        while let Some(m) = arrivals.pop_front() {
+    /// ignored), without delivering. Shared `Arc<DataMsg>`s are buffered
+    /// as-is; owned messages are wrapped.
+    pub fn ingest_union(&mut self, msgs: impl IntoIterator<Item = impl Into<Arc<DataMsg>>>) {
+        for m in msgs {
+            let m: Arc<DataMsg> = m.into();
             if m.view == self.view {
                 let _ = self.ingest_data(m);
             }
@@ -708,7 +722,7 @@ mod tests {
         )
     }
 
-    fn ids(msgs: &[DataMsg]) -> Vec<(u32, u64)> {
+    fn ids(msgs: &[Arc<DataMsg>]) -> Vec<(u32, u64)> {
         msgs.iter().map(|m| (m.sender.index(), m.seq)).collect()
     }
 

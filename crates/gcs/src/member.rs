@@ -25,6 +25,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use bytes::Bytes;
 
@@ -34,7 +35,7 @@ use newtop_net::site::NodeId;
 use newtop_net::time::SimTime;
 use newtop_net::trace::TraceEvent;
 use newtop_orb::cdr::CdrEncode;
-use newtop_orb::ior::ObjectRef;
+use newtop_orb::ior::{ObjectKey, ObjectRef};
 use newtop_orb::orb::OrbCore;
 
 use crate::clock::{DepsVector, LamportClock};
@@ -133,12 +134,20 @@ pub struct GcsNet<'a> {
     /// The action sink.
     pub out: &'a mut Outbox,
     sent: u64,
+    encode_calls: u64,
+    bytes_encoded: u64,
 }
 
 impl<'a> GcsNet<'a> {
     /// Creates a context.
     pub fn new(orb: &'a mut OrbCore, out: &'a mut Outbox) -> Self {
-        GcsNet { orb, out, sent: 0 }
+        GcsNet {
+            orb,
+            out,
+            sent: 0,
+            encode_calls: 0,
+            bytes_encoded: 0,
+        }
     }
 
     /// Point-to-point GCS messages sent through this context (multicast
@@ -149,9 +158,35 @@ impl<'a> GcsNet<'a> {
         self.sent
     }
 
+    /// CDR body encodes performed through this context. A multicast
+    /// fan-out counts exactly one, whatever the group size — the
+    /// encode-once invariant the metrics registry asserts.
+    #[must_use]
+    pub fn encode_calls(&self) -> u64 {
+        self.encode_calls
+    }
+
+    /// Total CDR body bytes produced by [`Self::encode_calls`].
+    #[must_use]
+    pub fn bytes_encoded(&self) -> u64 {
+        self.bytes_encoded
+    }
+
+    /// Marshals `msg` once through the ORB's capacity-retaining scratch
+    /// encoder, producing one refcounted body frame.
+    fn encode_body(&mut self, msg: &GcsMessage) -> Bytes {
+        let enc = self.orb.scratch_encoder();
+        enc.clear();
+        msg.encode(enc);
+        let body = enc.take_frame();
+        self.encode_calls += 1;
+        self.bytes_encoded += body.len() as u64;
+        body
+    }
+
     fn send(&mut self, to: NodeId, msg: &GcsMessage) {
         self.sent += 1;
-        let body = msg.to_cdr();
+        let body = self.encode_body(msg);
         self.orb.oneway(
             &ObjectRef::new(to, NSO_OBJECT_KEY),
             GCS_OPERATION,
@@ -163,6 +198,10 @@ impl<'a> GcsNet<'a> {
     /// Sends one message to many members as a single multicast fan-out.
     /// Synchronous mode chains the per-member invocations' round trips
     /// (§2.2); asynchronous mode issues them back-to-back (§5.2).
+    ///
+    /// The message body and the GIOP frame are each encoded exactly once;
+    /// every recipient gets a cheap refcount clone of the one shared
+    /// frame.
     fn send_fanout<I: IntoIterator<Item = NodeId>>(
         &mut self,
         mode: crate::group::FanoutMode,
@@ -172,9 +211,14 @@ impl<'a> GcsNet<'a> {
         if mode == crate::group::FanoutMode::Synchronous {
             self.out.begin_fanout();
         }
-        for t in targets {
-            self.send(t, msg);
-        }
+        let body = self.encode_body(msg);
+        self.sent += self.orb.oneway_fanout(
+            targets,
+            &ObjectKey::new(NSO_OBJECT_KEY),
+            GCS_OPERATION,
+            &body,
+            self.out,
+        );
         self.out.end_fanout();
     }
 }
@@ -236,7 +280,7 @@ struct GroupState {
     /// The last install this member sent as coordinator, kept so a
     /// participant whose install was lost (it re-sends its state
     /// response) can be served again.
-    last_install: Option<(u64, View, Vec<DataMsg>)>,
+    last_install: Option<(u64, View, Vec<Arc<DataMsg>>)>,
     last_sent: SimTime,
     last_activity: SimTime,
     liveness_running: bool,
@@ -573,7 +617,7 @@ impl GcsMember {
             acks: state.engine.contig_vector(),
             payload,
         };
-        let wire = GcsMessage::Data(msg);
+        let wire = GcsMessage::Data(Arc::new(msg));
         let targets: Vec<NodeId> = state.view.members().to_vec();
         net.send_fanout(state.config.fanout, targets, &wire);
         state.last_sent = now;
@@ -685,7 +729,7 @@ impl GcsMember {
 
     // --- data path -----------------------------------------------------------
 
-    fn on_data(&mut self, group: &GroupId, d: DataMsg, now: SimTime, net: &mut GcsNet<'_>) {
+    fn on_data(&mut self, group: &GroupId, d: Arc<DataMsg>, now: SimTime, net: &mut GcsNet<'_>) {
         self.clock.observe(d.lamport);
         let state = self.groups.get_mut(group).expect("checked");
         if !state.is_member() || d.view != state.view.id() {
@@ -743,7 +787,7 @@ impl GcsMember {
                 sender: m.sender,
                 order: m.order,
                 lamport: m.lamport,
-                payload: m.payload,
+                payload: m.payload.clone(),
             });
         }
         if delivered > 0 {
@@ -780,7 +824,7 @@ impl GcsMember {
         let mut served = 0;
         for seq in from_seq..=to_seq {
             if let Some(m) = state.engine.get_buffered(sender, seq) {
-                net.send(from, &GcsMessage::Data(m.clone()));
+                net.send(from, &GcsMessage::Data(Arc::clone(m)));
                 served += 1;
             }
         }
@@ -1067,7 +1111,7 @@ impl GcsMember {
         attempt: u64,
         from: NodeId,
         contig: ContigVector,
-        msgs: Vec<DataMsg>,
+        msgs: Vec<Arc<DataMsg>>,
         now: SimTime,
         net: &mut GcsNet<'_>,
     ) {
@@ -1171,7 +1215,7 @@ impl GcsMember {
         group: &GroupId,
         attempt: u64,
         view: View,
-        msgs: Vec<DataMsg>,
+        msgs: Vec<Arc<DataMsg>>,
         now: SimTime,
         net: &mut GcsNet<'_>,
     ) {
@@ -1193,7 +1237,7 @@ impl GcsMember {
         &mut self,
         group: &GroupId,
         view: View,
-        msgs: Vec<DataMsg>,
+        msgs: Vec<Arc<DataMsg>>,
         now: SimTime,
         net: &mut GcsNet<'_>,
     ) {
@@ -1210,7 +1254,7 @@ impl GcsMember {
                     sender: m.sender,
                     order: m.order,
                     lamport: m.lamport,
-                    payload: m.payload,
+                    payload: m.payload.clone(),
                 });
             }
             if delivered > 0 {

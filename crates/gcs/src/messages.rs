@@ -8,6 +8,7 @@
 //! per-member ORB invocations (§2.2).
 
 use std::fmt;
+use std::sync::Arc;
 
 use bytes::Bytes;
 
@@ -79,8 +80,10 @@ pub struct NullMsg {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum GcsMessage {
     /// Application data (multicast to all view members, including the
-    /// sender itself via loopback).
-    Data(DataMsg),
+    /// sender itself via loopback). Refcounted so retransmissions,
+    /// buffered copies, and view-change unions share one allocation; the
+    /// wire representation is unchanged (`Arc<T>` marshals as `T`).
+    Data(Arc<DataMsg>),
     /// Time-silence heartbeat.
     Null(NullMsg),
     /// Retransmission request: `from` is missing `sender`'s messages with
@@ -186,7 +189,7 @@ pub enum GcsMessage {
         /// The responder's contiguously-received vector.
         contig: ContigVector,
         /// Messages the responder holds beyond the coordinator's vector.
-        msgs: Vec<DataMsg>,
+        msgs: Vec<Arc<DataMsg>>,
     },
     /// View agreement, phase 2: flush-and-install. Carries the union
     /// messages so every survivor can deliver the same set (virtual
@@ -199,7 +202,7 @@ pub enum GcsMessage {
         /// The new view.
         view: View,
         /// Messages some members may be missing.
-        msgs: Vec<DataMsg>,
+        msgs: Vec<Arc<DataMsg>>,
     },
 }
 
@@ -468,7 +471,7 @@ impl CdrDecode for GcsMessage {
     fn decode(dec: &mut CdrDecoder<'_>) -> Result<Self, CdrError> {
         let tag = dec.read_u8()?;
         Ok(match tag {
-            TAG_DATA => GcsMessage::Data(DataMsg::decode(dec)?),
+            TAG_DATA => GcsMessage::Data(Arc::new(DataMsg::decode(dec)?)),
             TAG_NULL => GcsMessage::Null(NullMsg::decode(dec)?),
             TAG_NACK => GcsMessage::Nack {
                 group: GroupId::decode(dec)?,
@@ -568,7 +571,7 @@ mod tests {
         let g = GroupId::new("grp");
         let v = ViewId(5);
         let msgs = vec![
-            GcsMessage::Data(sample_data()),
+            GcsMessage::Data(Arc::new(sample_data())),
             GcsMessage::Null(NullMsg {
                 group: g.clone(),
                 view: v,
@@ -628,13 +631,13 @@ mod tests {
                 attempt: 2,
                 from: n(1),
                 contig: vec![(n(0), 9), (n(1), 2)],
-                msgs: vec![sample_data()],
+                msgs: vec![Arc::new(sample_data())],
             },
             GcsMessage::Install {
                 group: g.clone(),
                 attempt: 2,
                 view: View::new(g.clone(), ViewId(6), vec![n(0), n(1)]),
-                msgs: vec![sample_data()],
+                msgs: vec![Arc::new(sample_data())],
             },
         ];
         for m in msgs {

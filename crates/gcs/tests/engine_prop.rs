@@ -194,6 +194,55 @@ proptest! {
         prop_assert_eq!(a, b, "total order must not depend on arrival order");
     }
 
+    /// Large (≥64 KiB) payloads stay refcount-shared through the whole
+    /// buffer/retransmit/state-transfer path: the message handed to
+    /// `ingest_data`, the buffered copy a NACK retransmits, the
+    /// state-transfer export, and the delivered message are all the same
+    /// allocation — no byte copy anywhere.
+    #[test]
+    fn prop_large_payloads_share_one_allocation(
+        fill in any::<u8>(),
+        extra in 0usize..4096,
+    ) {
+        use std::sync::Arc;
+
+        let size = 64 * 1024 + extra;
+        let view: Vec<NodeId> = (0..3).map(n).collect();
+        let mut e = DeliveryEngine::new(n(2), ViewId(1), view, OrderProtocol::Symmetric);
+        let msg = Arc::new(DataMsg {
+            group: GroupId::new("prop"),
+            view: ViewId(1),
+            sender: n(0),
+            seq: 1,
+            lamport: 1,
+            order: DeliveryOrder::Total,
+            deps: DepsVector::default(),
+            acks: vec![],
+            payload: Bytes::from(vec![fill; size]),
+        });
+        let _ = e.ingest_data(Arc::clone(&msg));
+
+        // The retransmit path (NACK answering) hands back the very same
+        // allocation the sender multicast.
+        let buffered = e.get_buffered(n(0), 1).expect("buffered for retransmit");
+        prop_assert!(Arc::ptr_eq(buffered, &msg), "buffer shares, not copies");
+
+        // State transfer exports the same allocation too.
+        let exported = e.export_msgs_beyond(&vec![(n(0), 0)]);
+        prop_assert_eq!(exported.len(), 1);
+        prop_assert!(Arc::ptr_eq(&exported[0], &msg), "export shares, not copies");
+
+        // Deliver it (everyone goes quiet past its timestamp) and check the
+        // delivered message still points at the original payload bytes.
+        for q in 0..3 {
+            e.note_null(n(q), 10 + u64::from(q), u64::from(q == 0));
+        }
+        let delivered = e.drain_deliverable();
+        prop_assert_eq!(delivered.len(), 1);
+        prop_assert_eq!(delivered[0].payload.as_ptr(), msg.payload.as_ptr());
+        prop_assert_eq!(delivered[0].payload.len(), size);
+    }
+
     /// Causal precedence: a message never delivers before the per-sender
     /// prefixes named in its dependency vector.
     #[test]

@@ -338,7 +338,7 @@ impl ServerCore {
                 mode: _,
                 manager,
                 no_reply,
-            } => self.on_forwarded(group, call, &op, &args, manager, no_reply, exec),
+            } => self.on_forwarded(group, call, &op, args, manager, no_reply, exec),
             InvMessage::ServerReply {
                 call,
                 replier,
@@ -566,7 +566,7 @@ impl ServerCore {
         group: &GroupId,
         call: CallId,
         op: &str,
-        args: &[u8],
+        args: Bytes,
         _manager: NodeId,
         no_reply: bool,
         exec: Exec<'_>,
@@ -576,18 +576,19 @@ impl ServerCore {
         }
         let passive_backup = self.replication == Replication::Passive && !self.is_primary();
         if passive_backup {
-            // Receive but do not act upon (§4.2); kept for promotion.
+            // Receive but do not act upon (§4.2); kept for promotion. The
+            // decoded frame already owns the argument bytes, so the backlog
+            // shares them instead of re-copying.
             let seen = self
                 .last_exec
                 .get(&call.client)
                 .is_some_and(|(num, _)| *num >= call.number);
             if !seen {
-                self.backlog
-                    .push((call, op.to_owned(), Bytes::copy_from_slice(args)));
+                self.backlog.push((call, op.to_owned(), args));
             }
             return Vec::new();
         }
-        let Some(result) = self.execute_once(call, op, args, exec) else {
+        let Some(result) = self.execute_once(call, op, &args, exec) else {
             return Vec::new();
         };
         if no_reply {

@@ -208,16 +208,18 @@ impl WireTransport for TcpTransport {
             .lock()
             .get(&dst)
             .ok_or(TransportError::UnknownPeer(dst))?;
-        let mut frame = Vec::with_capacity(8 + payload.len());
-        frame.extend_from_slice(
+        // Stack-allocated header; the payload is written straight from the
+        // (possibly shared) `Bytes` buffer, so a multicast frame is never
+        // copied per recipient here.
+        let mut header = [0u8; 8];
+        header[0..4].copy_from_slice(
             &u32::try_from(payload.len())
                 .expect("frame too large")
                 .to_be_bytes(),
         );
-        frame.extend_from_slice(&self.shared.local.index().to_be_bytes());
-        frame.extend_from_slice(&payload);
+        header[4..8].copy_from_slice(&self.shared.local.index().to_be_bytes());
         // Write under the connection-table lock so concurrent sends to one
-        // peer cannot interleave frames.
+        // peer cannot interleave frames (the header/payload pair included).
         let mut conns = self.shared.conns.lock();
         if let std::collections::hash_map::Entry::Vacant(e) = conns.entry(dst) {
             let stream = TcpStream::connect(addr)?;
@@ -225,7 +227,10 @@ impl WireTransport for TcpTransport {
             e.insert(stream);
         }
         let stream = conns.get_mut(&dst).expect("just inserted");
-        if let Err(e) = stream.write_all(&frame) {
+        if let Err(e) = stream
+            .write_all(&header)
+            .and_then(|()| stream.write_all(&payload))
+        {
             conns.remove(&dst);
             return Err(TransportError::Io(e));
         }

@@ -94,6 +94,23 @@ impl CdrEncoder {
         Bytes::from(self.buf)
     }
 
+    /// Discards everything written so far, retaining the allocation, so
+    /// the encoder can be reused as a scratch buffer on a hot path.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Copies the marshalled bytes into a fresh refcounted frame and
+    /// clears the encoder, retaining its capacity. This is the
+    /// scratch-encoder companion to [`Self::finish`]: one copy per frame,
+    /// no allocator round trip for the working buffer.
+    #[must_use]
+    pub fn take_frame(&mut self) -> Bytes {
+        let frame = Bytes::copy_from_slice(&self.buf);
+        self.buf.clear();
+        frame
+    }
+
     /// Bytes written so far.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -478,6 +495,21 @@ impl CdrDecode for newtop_net::site::NodeId {
     }
 }
 
+/// Shared values marshal exactly like their pointee: refcounted buffers
+/// (e.g. `Arc<DataMsg>` in the GCS delivery engine) go on the wire with
+/// no representation change.
+impl<T: CdrEncode> CdrEncode for std::sync::Arc<T> {
+    fn encode(&self, enc: &mut CdrEncoder) {
+        (**self).encode(enc);
+    }
+}
+
+impl<T: CdrDecode> CdrDecode for std::sync::Arc<T> {
+    fn decode(dec: &mut CdrDecoder<'_>) -> Result<Self, CdrError> {
+        Ok(std::sync::Arc::new(T::decode(dec)?))
+    }
+}
+
 impl CdrEncode for Bytes {
     fn encode(&self, enc: &mut CdrEncoder) {
         enc.write_bytes(self);
@@ -598,6 +630,28 @@ mod tests {
         assert_eq!(dec.read::<Option<String>>().unwrap(), o);
         assert_eq!(dec.read::<Option<String>>().unwrap(), n);
         assert_eq!(dec.read::<(u8, i64)>().unwrap(), t);
+    }
+
+    #[test]
+    fn take_frame_matches_finish_and_retains_capacity() {
+        let mut scratch = CdrEncoder::with_capacity(256);
+        for round in 0..3u32 {
+            scratch.write_u32(round);
+            scratch.write_string("reused");
+            let mut fresh = CdrEncoder::new();
+            fresh.write_u32(round);
+            fresh.write_string("reused");
+            assert_eq!(scratch.take_frame(), fresh.finish());
+            assert!(scratch.is_empty(), "take_frame clears the buffer");
+        }
+    }
+
+    #[test]
+    fn arc_values_marshal_like_their_pointee() {
+        let v = std::sync::Arc::new("shared".to_owned());
+        assert_eq!(v.to_cdr(), "shared".to_owned().to_cdr());
+        let back = std::sync::Arc::<String>::from_cdr(&v.to_cdr()).unwrap();
+        assert_eq!(back, v);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use bytes::Bytes;
 use newtop_net::sim::{Outbox, Packet};
 use newtop_net::site::NodeId;
 
+use crate::cdr::CdrEncoder;
 use crate::giop::{FrameError, GiopMessage, ReplyStatus, SystemException};
 use crate::ior::{ObjectKey, ObjectRef};
 use crate::servant::{ObjectAdapter, ServantError};
@@ -95,6 +96,10 @@ pub struct OrbCore {
     next_request: u64,
     pending: HashMap<u64, Pending>,
     adapter: ObjectAdapter,
+    /// Capacity-retaining scratch buffer for the oneway hot path: frames
+    /// are marshalled here and copied out once into a refcounted `Bytes`,
+    /// so steady-state multicasts allocate nothing for the working buffer.
+    scratch: CdrEncoder,
 }
 
 impl fmt::Debug for OrbCore {
@@ -116,7 +121,15 @@ impl OrbCore {
             next_request: 1,
             pending: HashMap::new(),
             adapter: ObjectAdapter::new(),
+            scratch: CdrEncoder::with_capacity(256),
         }
+    }
+
+    /// Borrows the ORB's scratch encoder so callers marshalling message
+    /// bodies on the hot path can reuse its capacity instead of allocating
+    /// per message. The scratch is always left empty between uses.
+    pub fn scratch_encoder(&mut self) -> &mut CdrEncoder {
+        &mut self.scratch
     }
 
     /// The node this ORB runs on.
@@ -168,14 +181,42 @@ impl OrbCore {
     pub fn oneway(&mut self, target: &ObjectRef, operation: &str, body: Bytes, out: &mut Outbox) {
         let id = self.next_request;
         self.next_request += 1;
-        let msg = GiopMessage::Request {
-            request_id: id,
-            object_key: target.key.clone(),
-            operation: operation.to_owned(),
-            response_expected: false,
-            body,
-        };
-        out.send(target.node, msg.to_frame());
+        let frame = GiopMessage::encode_request_frame(
+            &mut self.scratch,
+            id,
+            &target.key,
+            operation,
+            false,
+            &body,
+        );
+        out.send(target.node, frame);
+    }
+
+    /// Issues the same oneway request to every target, encoding the wire
+    /// frame exactly once: each recipient gets a cheap refcount clone of
+    /// one shared `Bytes` frame. Returns how many sends were issued.
+    ///
+    /// All recipients share a single request id. That is safe for oneways
+    /// — `response_expected` is false, nothing is entered in the pending
+    /// table, and no reply will ever correlate against the id.
+    pub fn oneway_fanout<I: IntoIterator<Item = NodeId>>(
+        &mut self,
+        targets: I,
+        key: &ObjectKey,
+        operation: &str,
+        body: &[u8],
+        out: &mut Outbox,
+    ) -> u64 {
+        let id = self.next_request;
+        self.next_request += 1;
+        let frame =
+            GiopMessage::encode_request_frame(&mut self.scratch, id, key, operation, false, body);
+        let mut sent = 0;
+        for t in targets {
+            out.send(t, frame.clone());
+            sent += 1;
+        }
+        sent
     }
 
     /// Forgets an in-flight request (e.g. the owner timed it out). Returns
@@ -509,5 +550,43 @@ mod tests {
             &mut out,
         );
         assert_eq!(orb.pending_count(), 0);
+    }
+
+    #[test]
+    fn oneway_fanout_shares_one_frame_across_recipients() {
+        let targets: Vec<NodeId> = (1..=4).map(NodeId::from_index).collect();
+        let mut orb = OrbCore::new(NodeId::from_index(0));
+        let mut sent = 0;
+        let sends = collect_sends(|out| {
+            sent = orb.oneway_fanout(
+                targets.iter().copied(),
+                &ObjectKey::new("svc"),
+                "notify",
+                b"shared body",
+                out,
+            );
+        });
+        assert_eq!(sent, 4);
+        assert_eq!(orb.pending_count(), 0, "fanout oneways are untracked");
+        let dsts: Vec<NodeId> = sends.iter().map(|(d, _)| *d).collect();
+        assert_eq!(dsts, targets);
+        // Every recipient got the *same* frame — byte-identical and, with
+        // `Bytes`, the same refcounted allocation.
+        let first = &sends[0].1;
+        for (_, frame) in &sends {
+            assert_eq!(frame, first);
+            assert_eq!(frame.as_ptr(), first.as_ptr(), "shared, not copied");
+        }
+        // And that frame is exactly what a per-recipient oneway would
+        // have sent for the same request id.
+        let expected = GiopMessage::Request {
+            request_id: 1,
+            object_key: ObjectKey::new("svc"),
+            operation: "notify".to_owned(),
+            response_expected: false,
+            body: Bytes::from_static(b"shared body"),
+        }
+        .to_frame();
+        assert_eq!(first, &expected);
     }
 }

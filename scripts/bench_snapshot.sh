@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Performance snapshot for the encode-once fan-out PR: runs the
+# bench_snapshot binary (LAN closed-group invocation latency + fan-out
+# encode throughput) and writes the JSON next to the repo root as
+# BENCH_PR2.json. Offline-friendly; NEWTOP_BENCH_SEED overrides the
+# simulation seed.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_PR2.json"
+
+echo "==> cargo run --release -p newtop-bench --bin bench_snapshot"
+cargo run --release --offline -p newtop-bench --bin bench_snapshot > "$OUT"
+
+echo "==> wrote $OUT"
+cat "$OUT"

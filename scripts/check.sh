@@ -14,4 +14,13 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test -q"
 cargo test --workspace --offline -q
 
+echo "==> cargo bench --no-run (bench targets must compile)"
+cargo bench --workspace --offline --no-run
+
+echo "==> no build artifacts under version control"
+if [ -n "$(git ls-files target/)" ]; then
+    echo "ERROR: target/ files are tracked by git; run 'git rm -r --cached target/'" >&2
+    exit 1
+fi
+
 echo "OK"

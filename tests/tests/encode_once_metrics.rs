@@ -1,0 +1,147 @@
+//! End-to-end proof of the encode-once multicast invariant through the
+//! public metrics surface: a member that multicasts K data messages to a
+//! group CDR-encodes each exactly once, however many recipients the
+//! fan-out has.
+//!
+//! The counters make the invariant checkable without touching internals:
+//! `gcs.encode_calls` counts encodes (one per fan-out or unicast) while
+//! `gcs.msgs_sent` counts per-recipient sends. Per-recipient encoding
+//! would force the two to be equal; encode-once makes every fan-out to
+//! `R` recipients contribute `R - 1` to the difference. In a stable
+//! `G`-member view each multicast reaches `G - 1` peers, so `K` data
+//! multicasts alone guarantee a difference of at least `K * (G - 2)`.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use newtop::nso::{Nso, NsoOutput};
+use newtop::simnode::{NsoApp, NsoNode};
+use newtop::tags;
+use newtop_gcs::group::{DeliveryOrder, GroupConfig, GroupId};
+use newtop_net::sim::{Outbox, Sim, SimConfig};
+use newtop_net::site::{NodeId, Site};
+use newtop_net::time::SimTime;
+
+const PAYLOAD: usize = 64;
+const CALLS: u64 = 40;
+
+fn room() -> GroupId {
+    GroupId::new("enc-once")
+}
+
+fn config() -> GroupConfig {
+    GroupConfig::peer().with_time_silence(Duration::from_millis(15))
+}
+
+/// Member 0 multicasts `CALLS` fixed-size messages; everyone records what
+/// it delivers from member 0.
+struct Chatter {
+    members: Vec<NodeId>,
+    talker: bool,
+    sent: u64,
+    delivered_from_talker: u64,
+}
+
+impl NsoApp for Chatter {
+    fn on_start(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        nso.create_peer_group(room(), self.members.clone(), config(), now, out)
+            .expect("create");
+        if self.talker {
+            out.set_timer(Duration::from_millis(20), tags::APP_BASE);
+        }
+    }
+
+    fn on_timer(&mut self, nso: &mut Nso, _tag: u64, now: SimTime, out: &mut Outbox) {
+        if self.sent < CALLS {
+            if nso
+                .peer_send(
+                    &room(),
+                    Bytes::from(vec![0xAB; PAYLOAD]),
+                    DeliveryOrder::Total,
+                    now,
+                    out,
+                )
+                .is_ok()
+            {
+                self.sent += 1;
+            }
+            out.set_timer(Duration::from_millis(25), tags::APP_BASE);
+        }
+    }
+
+    fn on_output(&mut self, _: &mut Nso, output: NsoOutput, _: SimTime, _: &mut Outbox) {
+        if let NsoOutput::PeerDeliver { sender, .. } = output {
+            if sender == NodeId::from_index(0) {
+                self.delivered_from_talker += 1;
+            }
+        }
+    }
+}
+
+/// Runs a `group_size`-member group and returns the talker's
+/// `(encode_calls, bytes_encoded, msgs_sent)` counters.
+fn run_group(group_size: u32) -> (u64, u64, u64) {
+    let mut sim = Sim::new(SimConfig::lan(97));
+    let members: Vec<NodeId> = (0..group_size).map(NodeId::from_index).collect();
+    for &m in &members {
+        sim.add_node(
+            Site::Lan,
+            Box::new(NsoNode::new(
+                m,
+                Box::new(Chatter {
+                    members: members.clone(),
+                    talker: m == members[0],
+                    sent: 0,
+                    delivered_from_talker: 0,
+                }),
+            )),
+        );
+    }
+    sim.run_until(SimTime::from_secs(10));
+
+    // Correctness first: every member (talker included, via loopback)
+    // delivered all CALLS messages through the shared-frame path.
+    for &m in &members {
+        let node = sim.node_ref::<NsoNode>(m).expect("node");
+        let app = node.app_ref::<Chatter>().expect("app");
+        assert_eq!(
+            app.delivered_from_talker, CALLS,
+            "member {m} missed talker messages in a {group_size}-group"
+        );
+    }
+
+    let talker = sim.node_ref::<NsoNode>(members[0]).expect("talker");
+    assert_eq!(talker.app_ref::<Chatter>().expect("app").sent, CALLS);
+    let snap = talker.nso().metrics();
+    (
+        snap.counter("gcs.encode_calls"),
+        snap.counter("gcs.bytes_encoded"),
+        snap.counter("gcs.msgs_sent"),
+    )
+}
+
+#[test]
+fn one_encode_per_multicast_independent_of_group_size() {
+    for group_size in [3u64, 5] {
+        let (encodes, bytes, sends) = run_group(group_size as u32);
+        assert!(encodes > 0, "encode counter must be wired up");
+        assert!(
+            bytes >= CALLS * PAYLOAD as u64,
+            "bytes_encoded ({bytes}) must cover at least the data payloads"
+        );
+        // Per-recipient encoding would make every send its own encode
+        // (encodes == sends). Encode-once leaves a deficit of R-1 per
+        // fan-out to R recipients; the CALLS data multicasts alone (each
+        // reaching group_size - 1 peers) guarantee this floor.
+        let deficit = sends
+            .checked_sub(encodes)
+            .expect("cannot encode more often than we send");
+        assert!(
+            deficit >= CALLS * (group_size - 2),
+            "group of {group_size}: deficit {deficit} < {} — multicasts \
+             are being re-encoded per recipient",
+            CALLS * (group_size - 2)
+        );
+    }
+}
