@@ -1,0 +1,46 @@
+//! Property tests: the causal-order and no-duplicate invariants must
+//! hold for overlapping groups under lossy links, whatever the seed and
+//! multicast interleaving.
+
+use newtop_check::scenario::GcsScenario;
+use newtop_check::Invariant;
+use newtop_gcs::group::OrderProtocol;
+use newtop_net::faults::FaultPlan;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The scenario's two groups share members n2/n3, so causal edges
+    /// cross group boundaries; drops force the NACK machinery to run.
+    /// Both orderings must keep causality and never deliver a message
+    /// twice (or one never sent).
+    #[test]
+    fn prop_causal_and_no_dup_hold_under_drops(
+        seed in 0u64..10_000,
+        drop in 0.01f64..0.10,
+        symmetric in any::<bool>(),
+        rounds in 3u64..7,
+    ) {
+        let ordering = if symmetric {
+            OrderProtocol::Symmetric
+        } else {
+            OrderProtocol::Asymmetric
+        };
+        let run = GcsScenario::new(seed, ordering, false, FaultPlan::calm())
+            .with_drop(drop)
+            .with_rounds(rounds)
+            .run();
+        let report = run.check();
+        for v in &report.violations {
+            prop_assert!(
+                v.invariant != Invariant::CausalOrder
+                    && v.invariant != Invariant::NoDupGhost,
+                "[{}] {} ({} drop={drop} rounds={rounds})",
+                v.invariant.label(),
+                v.detail,
+                run.repro
+            );
+        }
+    }
+}

@@ -290,6 +290,13 @@ struct GroupState {
     pending_order: Vec<(NodeId, u64)>,
     last_order_flush: SimTime,
     order_flush_scheduled: bool,
+    /// Multicasts requested while a view agreement was in flight. The
+    /// old view's delivery set is frozen the moment this member snapshots
+    /// its state for the coordinator, so sending into it would let the
+    /// message straddle the install (delivered in view *v* by members
+    /// that received it early, in *v+1* — or never — by the rest). They
+    /// are sent into the new view right after it installs.
+    queued_multicasts: Vec<(DeliveryOrder, Bytes)>,
 }
 
 impl GroupState {
@@ -465,6 +472,7 @@ impl GcsMember {
             pending_order: Vec::new(),
             last_order_flush: SimTime::ZERO,
             order_flush_scheduled: false,
+            queued_multicasts: Vec::new(),
         };
         self.groups.insert(group.clone(), state);
         self.obs.record(
@@ -528,6 +536,7 @@ impl GcsMember {
                 pending_order: Vec::new(),
                 last_order_flush: SimTime::ZERO,
                 order_flush_scheduled: false,
+                queued_multicasts: Vec::new(),
             },
         );
         net.send(
@@ -600,6 +609,17 @@ impl GcsMember {
         }
         if !self.groups[group].is_member() {
             return Err(GcsError::NotMember(group.clone()));
+        }
+        if self.groups[group].vc.is_some() {
+            // A view agreement is in flight: the old view's delivery set
+            // is already frozen (see `queued_multicasts`), so hold the
+            // message and send it into the new view once it installs.
+            self.groups
+                .get_mut(group)
+                .expect("checked")
+                .queued_multicasts
+                .push((order, payload));
+            return Ok(());
         }
         let lamport = self.clock.tick();
         let node = self.node;
@@ -732,7 +752,21 @@ impl GcsMember {
     fn on_data(&mut self, group: &GroupId, d: Arc<DataMsg>, now: SimTime, net: &mut GcsNet<'_>) {
         self.clock.observe(d.lamport);
         let state = self.groups.get_mut(group).expect("checked");
-        if !state.is_member() || d.view != state.view.id() {
+        // `vc.is_some()`: once this member has snapshotted its state for
+        // a view agreement, the old view's delivery set is fixed — late
+        // arrivals must not widen it (they would be delivered here but
+        // flushed nowhere else, breaking virtual synchrony). Anything
+        // a survivor holds reaches everyone through the install union.
+        //
+        // `contains(d.sender)`: partition sides number their views
+        // independently, so a message from a same-numbered foreign view
+        // can pass the id check — but the sides' member sets are
+        // disjoint, so its sender is never in our view.
+        if !state.is_member()
+            || d.view != state.view.id()
+            || state.vc.is_some()
+            || !state.view.contains(d.sender)
+        {
             return;
         }
         state.last_heard.insert(d.sender, now);
@@ -745,7 +779,13 @@ impl GcsMember {
     fn on_null(&mut self, group: &GroupId, n: NullMsg, now: SimTime, net: &mut GcsNet<'_>) {
         self.clock.observe(n.lamport);
         let state = self.groups.get_mut(group).expect("checked");
-        if !state.is_member() || n.view != state.view.id() {
+        // Frozen during a view agreement and guarded against foreign
+        // same-numbered views, like `on_data`.
+        if !state.is_member()
+            || n.view != state.view.id()
+            || state.vc.is_some()
+            || !state.view.contains(n.sender)
+        {
             return;
         }
         state.last_heard.insert(n.sender, now);
@@ -854,7 +894,16 @@ impl GcsMember {
     ) {
         self.clock.observe(lamport);
         let state = self.groups.get_mut(group).expect("checked");
-        if !state.is_member() || view != state.view.id() {
+        // Frozen during a view agreement, like `on_data`. The sequencer
+        // check also rejects records from a *foreign* view that happens
+        // to share our view number: partition sides number their views
+        // independently, and the two sides' member sets are disjoint, so
+        // the other side's sequencer is never ours.
+        if !state.is_member()
+            || view != state.view.id()
+            || state.vc.is_some()
+            || Some(sender) != state.view.sequencer()
+        {
             return;
         }
         state.last_heard.insert(sender, now);
@@ -1309,6 +1358,18 @@ impl GcsMember {
             departed,
         });
         self.ensure_liveness(group, now, net);
+        // Multicasts requested while the agreement ran go out now, into
+        // the view that will actually deliver them.
+        let queued = std::mem::take(
+            &mut self
+                .groups
+                .get_mut(group)
+                .expect("checked")
+                .queued_multicasts,
+        );
+        for (order, payload) in queued {
+            let _ = self.multicast(group, order, payload, now, net);
+        }
         if more_joiners {
             self.initiate_view_change(group, now, net);
         }

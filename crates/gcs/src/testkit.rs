@@ -338,6 +338,13 @@ impl GcsHarness {
         }
     }
 
+    /// The simulator seed, for reproduction messages: a failing run is
+    /// re-created byte-for-byte by re-running with the same seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.sim.seed()
+    }
+
     /// Adds `count` nodes at `site`, returning their ids.
     pub fn add_nodes(&mut self, site: Site, count: usize) -> Vec<NodeId> {
         let mut ids = Vec::with_capacity(count);

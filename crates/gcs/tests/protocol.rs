@@ -24,13 +24,19 @@ fn assert_same_total_order(h: &GcsHarness, members: &[NodeId], expect_len: usize
     assert_eq!(
         reference.len(),
         expect_len,
-        "member {} delivered {} of {expect_len}",
+        "member {} delivered {} of {expect_len} (repro: seed={})",
         members[0],
-        reference.len()
+        reference.len(),
+        h.seed()
     );
     for &m in &members[1..] {
         let got = h.delivered(m, &gid());
-        assert_eq!(got, reference, "delivery sequences diverge at {m}");
+        assert_eq!(
+            got,
+            reference,
+            "delivery sequences diverge at {m} (repro: seed={})",
+            h.seed()
+        );
     }
 }
 
@@ -144,7 +150,7 @@ fn causal_multicasts_deliver_everywhere() {
     h.run_until(SimTime::from_secs(3));
     for &m in &members {
         let got = h.delivered(m, &gid());
-        assert_eq!(got.len(), 5, "member {m}");
+        assert_eq!(got.len(), 5, "member {m} (repro: seed={})", h.seed());
         // FIFO from a single sender.
         for (i, (sender, p)) in got.iter().enumerate() {
             assert_eq!(*sender, members[0]);
@@ -176,14 +182,24 @@ fn crash_triggers_view_change_and_survivors_agree() {
     for &m in survivors {
         let views = h.views(m, &gid());
         let last = views.last().expect("views installed");
-        assert_eq!(last.len(), 3, "crashed member excluded at {m}");
+        assert_eq!(
+            last.len(),
+            3,
+            "crashed member excluded at {m} (repro: seed={})",
+            h.seed()
+        );
         assert!(!last.contains(members[3]));
     }
     // Virtual synchrony: all survivors delivered the same sequence.
     let reference = h.delivered(members[0], &gid());
-    assert_eq!(reference.len(), 20);
+    assert_eq!(reference.len(), 20, "repro: seed={}", h.seed());
     for &m in &survivors[1..] {
-        assert_eq!(h.delivered(m, &gid()), reference);
+        assert_eq!(
+            h.delivered(m, &gid()),
+            reference,
+            "diverges at {m} (repro: seed={})",
+            h.seed()
+        );
     }
 }
 
@@ -220,11 +236,11 @@ fn sequencer_crash_elects_replacement_and_recovers() {
     h.run_until(SimTime::from_secs(10));
     let d1 = h.delivered(members[1], &gid());
     let d2 = h.delivered(members[2], &gid());
-    assert_eq!(d1, d2, "survivors agree");
+    assert_eq!(d1, d2, "survivors agree (repro: seed={})", h.seed());
     // All post-crash messages delivered (pre-crash ones may be partially
     // lost with the sequencer, but whatever survives is common).
     let b_count = d1.iter().filter(|(s, _)| *s == members[2]).count();
-    assert_eq!(b_count, 10);
+    assert_eq!(b_count, 10, "repro: seed={}", h.seed());
     let last_view = h.views(members[1], &gid()).last().unwrap().clone();
     assert_eq!(last_view.sequencer(), Some(members[1]));
 }
@@ -239,7 +255,12 @@ fn graceful_leave_installs_smaller_view() {
     h.run_until(SimTime::from_secs(5));
     for &m in &members[..2] {
         let last = h.views(m, &gid()).last().unwrap().clone();
-        assert_eq!(last.members(), &members[..2], "at {m}");
+        assert_eq!(
+            last.members(),
+            &members[..2],
+            "at {m} (repro: seed={})",
+            h.seed()
+        );
     }
     // The leaver saw its own departure.
     assert!(h
@@ -536,4 +557,75 @@ fn coordinator_crash_during_view_change_recovers() {
         h.delivered(survivors[0], &gid()),
         h.delivered(survivors[1], &gid())
     );
+}
+
+#[test]
+fn sequencer_kill_mid_stream_preserves_total_order_prefix() {
+    // Regression for the campaign's seq-kill cell: under the asymmetric
+    // protocol, killing the sequencer while total-order traffic is in
+    // flight must leave the survivors in agreement after the view
+    // change — pairwise, one delivery sequence is a prefix of the other,
+    // and the stream sent after the change is fully delivered.
+    use newtop_net::faults::FaultPlan;
+
+    let mut h = GcsHarness::new(SimConfig::lan(30));
+    let members = h.add_nodes(Site::Lan, 4);
+    let config = GroupConfig::default()
+        .with_ordering(OrderProtocol::Asymmetric)
+        .with_liveness(Liveness::Lively)
+        .with_time_silence(Duration::from_millis(20));
+    h.create_group(SimTime::from_millis(1), &gid(), &config, &members);
+    let plan = FaultPlan::named("seq-kill").kill_sequencer(Duration::from_millis(80));
+    plan.apply(&mut h.sim, &members);
+    // Streams from two senders straddle the kill; a third starts only
+    // after the replacement sequencer must be in charge.
+    for i in 0..12 {
+        h.multicast(
+            SimTime::from_millis(10 + i * 12),
+            members[1],
+            &gid(),
+            DeliveryOrder::Total,
+            payload("a", i as usize),
+        );
+        h.multicast(
+            SimTime::from_millis(14 + i * 12),
+            members[2],
+            &gid(),
+            DeliveryOrder::Total,
+            payload("b", i as usize),
+        );
+    }
+    for i in 0..8 {
+        h.multicast(
+            SimTime::from_millis(600 + i * 10),
+            members[3],
+            &gid(),
+            DeliveryOrder::Total,
+            payload("post", i as usize),
+        );
+    }
+    h.run_until(SimTime::from_secs(10));
+
+    let repro = format!("seed={} plan \"{plan}\"", h.seed());
+    let survivors = &members[1..];
+    for &m in survivors {
+        let last = h.views(m, &gid()).last().unwrap().clone();
+        assert_eq!(last.members(), survivors, "post-kill view at {m} ({repro})");
+    }
+    let seqs: Vec<_> = survivors.iter().map(|&m| h.delivered(m, &gid())).collect();
+    for (i, a) in seqs.iter().enumerate() {
+        for b in &seqs[i + 1..] {
+            let shorter = a.len().min(b.len());
+            assert_eq!(
+                &a[..shorter],
+                &b[..shorter],
+                "total-order prefixes diverge ({repro})"
+            );
+        }
+    }
+    // Everything multicast after the view change is delivered everywhere.
+    for (&m, seq) in survivors.iter().zip(&seqs) {
+        let post = seq.iter().filter(|(s, _)| *s == members[3]).count();
+        assert_eq!(post, 8, "post-change stream incomplete at {m} ({repro})");
+    }
 }

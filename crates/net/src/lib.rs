@@ -12,6 +12,10 @@
 //! * [`latency`] — latency models, including presets calibrated to the
 //!   paper's two environments ([`latency::LatencyMatrix::lan`] and
 //!   [`latency::LatencyMatrix::internet`]).
+//! * [`faults`] — declarative fault-injection plans ([`faults::FaultPlan`])
+//!   scheduling crashes, partition/heal pairs, drop bursts, delay spikes,
+//!   duplication windows and sequencer-targeted kills onto a running
+//!   simulation, with a printable form for byte-identical reproduction.
 //! * [`channel`] and [`tcp`] — real transports (in-process channels and
 //!   framed TCP) used by the threaded runtime for the runnable examples.
 //! * [`stats`] — histograms, throughput meters and text tables used by the
@@ -62,6 +66,7 @@
 #![forbid(unsafe_code)]
 
 pub mod channel;
+pub mod faults;
 pub mod latency;
 pub mod metrics;
 pub mod sim;
@@ -72,6 +77,7 @@ pub mod time;
 pub mod trace;
 pub mod transport;
 
+pub use faults::{FaultOp, FaultPlan, FaultTarget};
 pub use latency::{LatencyMatrix, LatencySpec};
 pub use metrics::{MetricRegistry, MetricsSnapshot, Observability};
 pub use sim::{NodeEvent, Outbox, Packet, Sim, SimConfig, SimNode, TimerId};

@@ -303,6 +303,13 @@ enum Control {
     /// every cell is unreachable by everyone.
     Partition(Vec<Vec<NodeId>>),
     Heal,
+    /// Replace the network-wide drop probability (drop bursts).
+    SetDrop(f64),
+    /// Replace the network-wide duplication probability.
+    SetDuplicate(f64),
+    /// Add a fixed delay to every non-loopback packet (delay spikes);
+    /// `Duration::ZERO` ends the spike.
+    SetExtraDelay(Duration),
 }
 
 struct QueuedEvent {
@@ -362,6 +369,7 @@ pub struct Sim {
     next_timer: u64,
     next_seq: u64,
     partition: Option<Vec<Vec<NodeId>>>,
+    extra_delay: Duration,
     stats: NetStats,
     events_processed: u64,
 }
@@ -381,6 +389,7 @@ impl Sim {
             next_timer: 0,
             next_seq: 0,
             partition: None,
+            extra_delay: Duration::ZERO,
             stats: NetStats::default(),
             events_processed: 0,
         }
@@ -417,6 +426,21 @@ impl Sim {
     #[must_use]
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The configuration this simulation was created with. Loss and
+    /// duplication probabilities reflect any scheduled overrides that
+    /// have already taken effect.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The seed this simulation was created with — print it in every
+    /// assertion message so a red run reproduces byte-identically.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.cfg.seed
     }
 
     /// Traffic counters so far.
@@ -470,6 +494,29 @@ impl Sim {
     /// Schedules the removal of any active partition.
     pub fn schedule_heal(&mut self, at: SimTime) {
         self.push(at, None, QueuedKind::Control(Control::Heal));
+    }
+
+    /// Schedules a change of the network-wide drop probability. Schedule a
+    /// raised value followed by a restore to model a loss burst.
+    pub fn schedule_set_drop(&mut self, at: SimTime, probability: f64) {
+        self.push(at, None, QueuedKind::Control(Control::SetDrop(probability)));
+    }
+
+    /// Schedules a change of the network-wide duplication probability
+    /// (a duplication window when paired with a later restore).
+    pub fn schedule_set_duplicate(&mut self, at: SimTime, probability: f64) {
+        self.push(
+            at,
+            None,
+            QueuedKind::Control(Control::SetDuplicate(probability)),
+        );
+    }
+
+    /// Schedules a delay spike: from `at` on, every non-loopback packet
+    /// takes `extra` additional one-way latency. Schedule a second call
+    /// with `Duration::ZERO` to end the spike.
+    pub fn schedule_set_extra_delay(&mut self, at: SimTime, extra: Duration) {
+        self.push(at, None, QueuedKind::Control(Control::SetExtraDelay(extra)));
     }
 
     /// Injects an event directly into a node, as if it arrived over the
@@ -542,6 +589,9 @@ impl Sim {
             }
             Control::Partition(cells) => self.partition = Some(cells),
             Control::Heal => self.partition = None,
+            Control::SetDrop(p) => self.cfg.drop_probability = p,
+            Control::SetDuplicate(p) => self.cfg.duplicate_probability = p,
+            Control::SetExtraDelay(d) => self.extra_delay = d,
         }
     }
 
@@ -690,7 +740,7 @@ impl Sim {
                 Duration::from_micros(1)
             } else {
                 let (a, b) = (self.site_of(src), self.site_of(dst));
-                self.cfg.latency.sample(a, b, &mut self.rng)
+                self.cfg.latency.sample(a, b, &mut self.rng) + self.extra_delay
             };
             let at = depart + latency;
             let pkt = Packet {
@@ -886,6 +936,70 @@ mod tests {
         sim.run_until_idle();
         // Echo sees duplicated pings, and its replies are duplicated too.
         assert_eq!(sim.node_ref::<Echo>(echo).unwrap().seen, 8);
+    }
+
+    #[test]
+    fn scheduled_drop_burst_starts_and_ends() {
+        // A 100 % drop window that opens after the first ping and closes
+        // before the last: only the pings inside the window vanish.
+        struct Ticker {
+            peer: NodeId,
+            left: u32,
+        }
+        impl SimNode for Ticker {
+            fn on_event(&mut self, _now: SimTime, ev: NodeEvent, out: &mut Outbox) {
+                match ev {
+                    NodeEvent::Start | NodeEvent::Timer(..) => {
+                        if self.left > 0 {
+                            self.left -= 1;
+                            out.send(self.peer, Bytes::from_static(b"t"));
+                            out.set_timer(Duration::from_millis(10), 0);
+                        }
+                    }
+                    NodeEvent::Packet(_) => {}
+                }
+            }
+        }
+        let mut sim = Sim::new(SimConfig::default());
+        let echo = sim.add_node(Site::Lan, Box::new(Echo { seen: 0 }));
+        sim.add_node(
+            Site::Lan,
+            Box::new(Ticker {
+                peer: echo,
+                left: 10,
+            }),
+        );
+        // Ticks at 0,10,..,90 ms; window [15ms, 55ms) swallows 4 of them.
+        sim.schedule_set_drop(SimTime::from_millis(15), 1.0);
+        sim.schedule_set_drop(SimTime::from_millis(55), 0.0);
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<Echo>(echo).unwrap().seen, 6);
+    }
+
+    #[test]
+    fn scheduled_duplicate_window_doubles_delivery() {
+        let (mut sim, echo, _) = two_node_sim(SimConfig::default(), 4);
+        sim.schedule_set_duplicate(SimTime::ZERO, 1.0);
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<Echo>(echo).unwrap().seen, 8);
+    }
+
+    #[test]
+    fn scheduled_delay_spike_slows_packets_then_clears() {
+        let rtt = |spike: bool| {
+            let (mut sim, _, pinger) = two_node_sim(SimConfig::lan(5), 1);
+            if spike {
+                sim.schedule_set_extra_delay(SimTime::ZERO, Duration::from_millis(50));
+            }
+            sim.run_until_idle();
+            sim.node_ref::<Pinger>(pinger).unwrap().last_at
+        };
+        let plain = rtt(false);
+        let spiked = rtt(true);
+        assert!(
+            spiked >= plain + Duration::from_millis(100),
+            "spike adds 50ms each way: plain {plain}, spiked {spiked}"
+        );
     }
 
     #[test]

@@ -92,10 +92,25 @@ pub struct ClientApp {
     pub completions: Vec<(SimTime, Duration)>,
     /// Times a binding broke and the client rebound.
     pub rebinds: u32,
+    /// Completions for calls that had already completed — a reply
+    /// surfaced twice to the application. Exactly-once delivery requires
+    /// this to stay zero even across rebind + retry.
+    pub duplicate_completions: u32,
+    /// How long a call may stay unanswered before it is re-issued with
+    /// the same number (§4.1 retry; the server reply cache deduplicates,
+    /// so a spurious retry costs bandwidth, never correctness). Chosen
+    /// far above any fault-free response time so it only fires when a
+    /// request or reply was actually lost.
+    pub retry_after: Duration,
+    /// Calls re-issued by the retry timer.
+    pub retries: u32,
     binding: Option<GroupId>,
     issued_at: HashMap<u64, SimTime>,
     current_manager_index: usize,
 }
+
+/// Timer tag for the call-retry check ([`ClientApp::retry_after`]).
+const RETRY_TAG: u64 = tags::APP_BASE + 1;
 
 impl ClientApp {
     /// Creates a client for the standard sweep.
@@ -121,6 +136,9 @@ impl ClientApp {
             start_delay,
             completions: Vec::new(),
             rebinds: 0,
+            duplicate_completions: 0,
+            retry_after: Duration::from_millis(100),
+            retries: 0,
             binding: None,
             issued_at: HashMap::new(),
             current_manager_index,
@@ -147,10 +165,37 @@ impl ClientApp {
         match nso.invoke(&binding, "rand", Bytes::new(), self.mode, now, out) {
             Ok(call) => {
                 self.issued_at.insert(call.number, now);
+                out.set_timer(self.retry_after, RETRY_TAG);
             }
             Err(_) => {
                 // Binding raced away; a rebind is in flight.
             }
+        }
+    }
+
+    /// Re-issues calls that have been pending longer than `retry_after`.
+    /// This is what recovers a lost request *or* reply: the group may
+    /// look quiet to everyone else, so no other layer will.
+    fn check_retries(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        let Some(binding) = self.binding.clone() else {
+            // A rebind is in flight; `BindingReady` re-issues pending
+            // calls itself.
+            return;
+        };
+        let mut stale: Vec<u64> = self
+            .issued_at
+            .iter()
+            .filter(|&(_, &at)| now - at >= self.retry_after)
+            .map(|(&n, _)| n)
+            .collect();
+        stale.sort_unstable();
+        for number in stale {
+            if nso.retry(number, &binding, now, out).is_ok() {
+                self.retries += 1;
+            }
+        }
+        if !self.issued_at.is_empty() {
+            out.set_timer(self.retry_after, RETRY_TAG);
         }
     }
 }
@@ -160,8 +205,12 @@ impl NsoApp for ClientApp {
         out.set_timer(self.start_delay, tags::APP_BASE);
     }
 
-    fn on_timer(&mut self, nso: &mut Nso, _tag: u64, now: SimTime, out: &mut Outbox) {
-        self.bind(nso, now, out);
+    fn on_timer(&mut self, nso: &mut Nso, tag: u64, now: SimTime, out: &mut Outbox) {
+        if tag == RETRY_TAG {
+            self.check_retries(nso, now, out);
+        } else {
+            self.bind(nso, now, out);
+        }
     }
 
     fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {
@@ -193,6 +242,8 @@ impl NsoApp for ClientApp {
             NsoOutput::InvocationComplete { call, .. } => {
                 if let Some(at) = self.issued_at.remove(&call.number) {
                     self.completions.push((now, now - at));
+                } else {
+                    self.duplicate_completions += 1;
                 }
                 self.issue(nso, now, out);
             }

@@ -12,9 +12,11 @@ use std::time::Duration;
 use newtop::simnode::NsoNode;
 use newtop_gcs::group::{FanoutMode, GroupConfig, GroupId, Liveness, OrderProtocol};
 use newtop_invocation::api::{OpenOptimisation, Replication, ReplyMode};
+use newtop_net::faults::FaultPlan;
 use newtop_net::sim::{Sim, SimConfig};
 use newtop_net::site::{NodeId, Site};
 use newtop_net::time::SimTime;
+use newtop_net::trace::TraceEvent;
 
 use crate::apps::{ClientApp, ClientStyle, PeerApp, ServerApp};
 use crate::plain::{PlainClient, PlainServer};
@@ -106,6 +108,10 @@ pub struct RequestReplyScenario {
     pub duration: Duration,
     /// RNG seed.
     pub seed: u64,
+    /// Optional fault schedule, applied to the roster (servers first,
+    /// then clients — so `FaultTarget::Sequencer` resolves to the
+    /// lowest-ranked live server) when the run starts.
+    pub faults: Option<FaultPlan>,
 }
 
 /// How clients attach to the service.
@@ -136,6 +142,7 @@ impl RequestReplyScenario {
             ordering: OrderProtocol::Asymmetric,
             duration: placement.default_duration(),
             seed,
+            faults: None,
         }
     }
 }
@@ -152,6 +159,17 @@ pub struct RequestReplyResult {
     pub completed: u64,
     /// Rebinds observed (failure experiments).
     pub rebinds: u32,
+    /// Replies that surfaced twice to a client application — must stay
+    /// zero for exactly-once semantics (fault campaigns assert on it).
+    pub duplicated: u32,
+    /// Executions a server performed more than once for the same
+    /// `(client, call)` pair, counted from the per-server trace rings —
+    /// must stay zero (retries are answered from the reply cache).
+    pub double_executions: u64,
+    /// Virtual time of the last completion anywhere (whole run, not just
+    /// the measurement window); fault campaigns use it to confirm the
+    /// system made progress after the last fault cleared.
+    pub last_completion_at: SimTime,
     /// Protocol counters summed over every node in the run.
     pub counts: ProtocolCounts,
 }
@@ -254,8 +272,38 @@ fn summarize(completions: &[(SimTime, Duration)], duration: Duration) -> Request
         throughput: completed as f64 / span,
         completed,
         rebinds: 0,
+        duplicated: 0,
+        double_executions: 0,
+        last_completion_at: completions
+            .iter()
+            .map(|&(at, _)| at)
+            .max()
+            .unwrap_or(SimTime::ZERO),
         counts: ProtocolCounts::default(),
     }
+}
+
+/// Counts executions a server performed more than once for the same
+/// `(client, call number)` pair, from its bounded trace ring. The ring
+/// holds 512 records — far more than a campaign run's executions — but
+/// even under eviction this can only under-count (miss a duplicate),
+/// never report a false positive.
+fn count_double_executions(sim: &Sim, servers: &[NodeId]) -> u64 {
+    let mut doubles = 0u64;
+    for &id in servers {
+        let Some(node) = sim.node_ref::<NsoNode>(id) else {
+            continue;
+        };
+        let mut seen: std::collections::HashMap<(NodeId, u64), u64> =
+            std::collections::HashMap::new();
+        for record in node.nso().trace() {
+            if let TraceEvent::Executed { client, number } = record.event {
+                *seen.entry((client, number)).or_insert(0) += 1;
+            }
+        }
+        doubles += seen.values().map(|&c| c.saturating_sub(1)).sum::<u64>();
+    }
+    doubles
 }
 
 /// Runs a request-reply scenario through the NewTop service.
@@ -310,17 +358,26 @@ pub fn run_request_reply(s: &RequestReplyScenario) -> RequestReplyResult {
         assert_eq!(added, id);
         client_ids.push(id);
     }
+    if let Some(plan) = &s.faults {
+        let mut roster = server_ids.clone();
+        roster.extend(client_ids.iter().copied());
+        plan.apply(&mut sim, &roster);
+    }
     sim.run_until(SimTime::ZERO + s.duration);
     let mut all = Vec::new();
     let mut rebinds = 0;
+    let mut duplicated = 0;
     for &id in &client_ids {
         let node = sim.node_ref::<NsoNode>(id).expect("client node");
         let app = node.app_ref::<ClientApp>().expect("client app");
         all.extend(app.completions.iter().copied());
         rebinds += app.rebinds;
+        duplicated += app.duplicate_completions;
     }
     let mut result = summarize(&all, s.duration);
     result.rebinds = rebinds;
+    result.duplicated = duplicated;
+    result.double_executions = count_double_executions(&sim, &server_ids);
     let mut nodes = server_ids;
     nodes.extend(client_ids);
     result.counts = harvest_counts(&sim, &nodes);

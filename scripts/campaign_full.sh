@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full fault-injection campaign: 500 seeds per cell across every fault
+# plan x {symmetric,asymmetric} x {open,closed membership}, all five
+# protocol invariants checked, plus the mutation runs that validate the
+# checker itself. Offline-friendly. Takes ~10 minutes.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SEEDS="${SEEDS:-500}"
+
+echo "==> build campaign runner (release)"
+cargo build --release --offline -p newtop-check
+
+echo "==> campaign: $SEEDS seeds per cell"
+./target/release/campaign --seeds "$SEEDS"
+
+echo "==> mutation runs (checker must catch every injected bug)"
+for m in swap-order dup-delivery drop-delivery drop-view; do
+    ./target/release/campaign --seeds 10 --mutate "$m" --quiet
+done
+
+echo "OK"

@@ -17,6 +17,10 @@ cargo test --workspace --offline -q
 echo "==> cargo bench --no-run (bench targets must compile)"
 cargo bench --workspace --offline --no-run
 
+echo "==> fault-injection campaign (quick, 25 seeds)"
+cargo build --release --offline -p newtop-check
+./target/release/campaign --seeds 25 --quiet
+
 echo "==> no build artifacts under version control"
 if [ -n "$(git ls-files target/)" ]; then
     echo "ERROR: target/ files are tracked by git; run 'git rm -r --cached target/'" >&2

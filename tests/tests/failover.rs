@@ -384,3 +384,62 @@ fn replies_identify_the_executing_servers() {
         }
     }
 }
+
+#[test]
+fn contact_server_crash_retry_served_from_reply_cache() {
+    // §4.1 end to end: the open-binding contact server dies mid-stream,
+    // the client rebinds to the next manager and retries the stranded
+    // calls with their original numbers. The surviving replicas answer
+    // those retries from the reply cache — each call executes at most
+    // once per replica, and the cache demonstrably absorbed at least one
+    // retry — so the client completes every call exactly once.
+    use newtop_net::trace::TraceEvent;
+    use std::collections::HashMap;
+
+    let seed = 47;
+    let total = 40;
+    let mut c = build(
+        3,
+        Replication::Active,
+        OpenOptimisation::None,
+        ReplyMode::All,
+        true,
+        total,
+        seed,
+    );
+    c.sim.schedule_crash(SimTime::from_millis(60), c.servers[0]);
+    c.sim.run_until(SimTime::from_secs(20));
+
+    let (numbers, rebinds) = client_state(&c.sim, c.client);
+    assert!(rebinds >= 1, "crash must break the binding (seed={seed})");
+    assert_eq!(
+        numbers,
+        (1..=total as u64).collect::<Vec<_>>(),
+        "exactly-once completion across the rebind (seed={seed})"
+    );
+
+    let mut deduped = 0u32;
+    for &s in &c.servers[1..] {
+        let node = c.sim.node_ref::<NsoNode>(s).expect("server node");
+        let mut executed: HashMap<u64, u32> = HashMap::new();
+        for rec in node.nso().trace() {
+            match rec.event {
+                TraceEvent::Executed { number, .. } => {
+                    *executed.entry(number).or_default() += 1;
+                }
+                TraceEvent::RetryDeduped { .. } => deduped += 1,
+                _ => {}
+            }
+        }
+        for (number, count) in executed {
+            assert_eq!(
+                count, 1,
+                "server {s} executed call {number} {count} times (seed={seed})"
+            );
+        }
+    }
+    assert!(
+        deduped > 0,
+        "no retry hit the reply cache — the crash window missed (seed={seed})"
+    );
+}
