@@ -172,6 +172,37 @@ impl GcsScenario {
             }
         }
 
+        // Saturation bursts: inside every `saturate` window of the plan
+        // the `ga` members fire a dense extra salvo on top of the normal
+        // rounds, overrunning the credit window while CPU costs are
+        // inflated. Sends the flow controller sheds are still recorded
+        // here — the invariants never require sent ⇒ delivered, so the
+        // checker verifies that whatever *was* admitted stayed safe.
+        for (wi, (from, until, _factor)) in self.plan.saturate_windows().iter().enumerate() {
+            let start = from.as_millis() as u64;
+            let span = until.saturating_sub(*from).as_millis() as u64;
+            let shots = 10u64;
+            for (k, &node) in roster[0..4].iter().enumerate() {
+                for s in 0..shots {
+                    let at = SimTime::from_millis(
+                        start
+                            + s * span.max(1) / shots
+                            + (k as u64) * 3
+                            + jitter.gen_range(0u64..7),
+                    );
+                    let payload = format!("{ga}/{node}/s{wi}.{s}");
+                    h.multicast(at, node, &ga, DeliveryOrder::Total, payload.clone());
+                    sent.push(SentRecord {
+                        group: ga.clone(),
+                        sender: node,
+                        payload: Bytes::from(payload),
+                        scheduled_at: at,
+                        order: DeliveryOrder::Total,
+                    });
+                }
+            }
+        }
+
         // Past the last fault (quiesce_at ≤ 1.5 s) plus suspicion
         // (280 ms) and view-change margin, everything still deliverable
         // has been delivered.
@@ -182,6 +213,11 @@ impl GcsScenario {
             .iter()
             .map(|&id| NodeLog::from_outputs(id, h.sim.is_alive(id), &h.node(id).outputs))
             .collect();
+        // The checker reads per-sender send order from this vec's order;
+        // the saturation salvo was appended out of chronological order,
+        // so restore it (stable: equal times keep schedule order, which
+        // is how the simulator breaks ties too).
+        sent.sort_by_key(|s| s.scheduled_at);
         ScenarioRun {
             repro: self.repro(),
             logs,
@@ -258,6 +294,30 @@ mod tests {
             false,
             FaultPlan::named("seq-kill").kill_sequencer(Duration::from_millis(150)),
         ));
+    }
+
+    #[test]
+    fn saturate_run_sheds_safely_under_both_orderings() {
+        for ordering in [OrderProtocol::Symmetric, OrderProtocol::Asymmetric] {
+            let scenario = GcsScenario::new(
+                5,
+                ordering,
+                false,
+                FaultPlan::named("saturate").saturate(
+                    Duration::from_millis(100),
+                    Duration::from_millis(700),
+                    3.0,
+                ),
+            );
+            let repro = scenario.repro();
+            let run = scenario.run();
+            assert!(
+                run.sent.len() > 6 * 7,
+                "{repro}: saturation salvo missing from the schedule"
+            );
+            let report = run.check();
+            assert!(report.passed(), "{repro}: {:?}", report.violations);
+        }
     }
 
     #[test]

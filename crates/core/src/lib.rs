@@ -97,8 +97,6 @@ pub mod nso;
 pub mod proxy;
 pub mod simnode;
 
-#[allow(deprecated)]
-pub use nso::NsoError;
 pub use nso::{BindOptions, BindTarget, GroupServant, NewtopError, Nso, NsoOutput};
 pub use proxy::{ProxyEvent, ProxyStyle, SmartProxy};
 

@@ -75,15 +75,15 @@ pub enum NewtopError {
     /// [`Nso::bind`] was called without a [`BindTarget`] — the options
     /// never said *who* to bind to.
     BindTargetMissing(GroupId),
+    /// Admission control shed the operation: the group's send window,
+    /// the pending-call table or a view-change buffer is full. The call
+    /// was not sent; retry after in-flight work drains.
+    Overloaded(GroupId),
     /// An error from the group communication layer.
     Gcs(GcsError),
     /// An error from the client invocation core.
     Client(ClientError),
 }
-
-/// Former name of [`NewtopError`].
-#[deprecated(note = "renamed to NewtopError")]
-pub type NsoError = NewtopError;
 
 impl fmt::Display for NewtopError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -96,6 +96,9 @@ impl fmt::Display for NewtopError {
                     f,
                     "bind to {g} has no target (set BindOptions::open/closed/restricted)"
                 )
+            }
+            NewtopError::Overloaded(g) => {
+                write!(f, "overloaded: admission control shed the call to {g}")
             }
             NewtopError::Gcs(e) => write!(f, "group communication error: {e}"),
             NewtopError::Client(e) => write!(f, "invocation error: {e}"),
@@ -115,21 +118,26 @@ impl Error for NewtopError {
 
 impl From<GcsError> for NewtopError {
     fn from(e: GcsError) -> Self {
-        NewtopError::Gcs(e)
+        match e {
+            GcsError::Overloaded(g) => NewtopError::Overloaded(g),
+            other => NewtopError::Gcs(other),
+        }
     }
 }
 
 impl From<ClientError> for NewtopError {
     fn from(e: ClientError) -> Self {
-        NewtopError::Client(e)
+        match e {
+            ClientError::Overloaded(g) => NewtopError::Overloaded(g),
+            other => NewtopError::Client(other),
+        }
     }
 }
 
 /// Things the NSO reports to the application.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum NsoOutput {
-    /// A binding initiated with [`Nso::bind_open`] / [`Nso::bind_closed`]
-    /// is ready for invocations.
+    /// A binding initiated with [`Nso::bind`] is ready for invocations.
     BindingReady {
         /// The client/server group of the binding.
         group: GroupId,
@@ -671,48 +679,6 @@ impl Nso {
         }
     }
 
-    /// Starts an **open** binding through `manager`.
-    ///
-    /// # Errors
-    ///
-    /// [`NewtopError::GroupInUse`] if the chosen group id already exists.
-    #[deprecated(note = "use Nso::bind with BindOptions::open")]
-    pub fn bind_open(
-        &mut self,
-        server_group: GroupId,
-        manager: NodeId,
-        opts: BindOptions,
-        now: SimTime,
-        out: &mut Outbox,
-    ) -> Result<GroupId, NewtopError> {
-        let opts = BindOptions {
-            target: BindTarget::Open { manager },
-            ..opts
-        };
-        self.bind(server_group, opts, now, out)
-    }
-
-    /// Starts a **closed** binding spanning the listed servers.
-    ///
-    /// # Errors
-    ///
-    /// [`NewtopError::GroupInUse`] if the chosen group id already exists.
-    #[deprecated(note = "use Nso::bind with BindOptions::closed")]
-    pub fn bind_closed(
-        &mut self,
-        server_group: GroupId,
-        servers: Vec<NodeId>,
-        opts: BindOptions,
-        now: SimTime,
-        out: &mut Outbox,
-    ) -> Result<GroupId, NewtopError> {
-        let opts = BindOptions {
-            target: BindTarget::Closed { servers },
-            ..opts
-        };
-        self.bind(server_group, opts, now, out)
-    }
-
     #[allow(clippy::too_many_arguments)]
     fn start_bind(
         &mut self,
@@ -1028,7 +994,7 @@ impl Nso {
             .g2g_callers
             .get_mut(monitor)
             .ok_or_else(|| NewtopError::Unbound(monitor.clone()))?;
-        let (number, cmds, done) = caller.invoke(op, args, mode);
+        let (number, cmds, done) = caller.invoke(op, args, mode)?;
         if let Some(done) = done {
             self.outputs.push(NsoOutput::G2gComplete {
                 origin: done.origin,

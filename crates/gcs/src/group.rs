@@ -148,6 +148,13 @@ pub struct GroupConfig {
     /// How long a view-change coordinator waits for state responses (and
     /// participants wait for the install) before escalating.
     pub view_change_timeout: Duration,
+    /// Credit-based send window: the most multicasts a member may have
+    /// outstanding (sent this view but unacknowledged by some member)
+    /// before further sends are shed with `GcsError::Overloaded`.
+    pub flow_window: u64,
+    /// The most multicasts buffered while a view agreement is in flight;
+    /// beyond this the send is shed instead of queued.
+    pub max_queued_multicasts: u32,
 }
 
 impl GroupConfig {
@@ -194,6 +201,13 @@ impl GroupConfig {
         self
     }
 
+    /// Sets the credit-based send window.
+    #[must_use]
+    pub fn with_flow_window(mut self, window: u64) -> Self {
+        self.flow_window = window;
+        self
+    }
+
     /// The suspicion timeout implied by the configuration.
     #[must_use]
     pub fn suspicion_timeout(&self) -> Duration {
@@ -214,6 +228,8 @@ impl Default for GroupConfig {
             suspicion_multiple: 14,
             nack_delay: Duration::from_millis(10),
             view_change_timeout: Duration::from_millis(150),
+            flow_window: 64,
+            max_queued_multicasts: 128,
         }
     }
 }

@@ -38,6 +38,8 @@ use newtop_orb::cdr::CdrEncode;
 use newtop_orb::ior::{ObjectKey, ObjectRef};
 use newtop_orb::orb::OrbCore;
 
+use newtop_flow::FlowController;
+
 use crate::clock::{DepsVector, LamportClock};
 use crate::engine::DeliveryEngine;
 use crate::group::{DeliveryOrder, GroupConfig, GroupId, Liveness, OrderProtocol};
@@ -73,6 +75,10 @@ pub enum GcsError {
     /// `create_group` was called with a member list not containing the
     /// local node, or an empty list.
     BadMembership,
+    /// The group's credit-based send window (or its view-change send
+    /// buffer) is exhausted: the multicast was shed. Retry after
+    /// acknowledgements from the slowest member replenish credits.
+    Overloaded(GroupId),
 }
 
 impl fmt::Display for GcsError {
@@ -83,6 +89,9 @@ impl fmt::Display for GcsError {
             GcsError::NotMember(g) => write!(f, "not a full member of {g}"),
             GcsError::BadMembership => {
                 f.write_str("initial membership must include the local node")
+            }
+            GcsError::Overloaded(g) => {
+                write!(f, "send window of {g} exhausted; multicast shed")
             }
         }
     }
@@ -297,6 +306,9 @@ struct GroupState {
     /// that received it early, in *v+1* — or never — by the rest). They
     /// are sent into the new view right after it installs.
     queued_multicasts: Vec<(DeliveryOrder, Bytes)>,
+    /// Credit-based send window for this group (see `newtop_flow`):
+    /// reset per view, replenished by the piggybacked ack vectors.
+    flow: FlowController<NodeId>,
 }
 
 impl GroupState {
@@ -357,6 +369,28 @@ impl GcsMember {
     /// Mutable access, e.g. for the owner to fold in transport counters.
     pub fn observability_mut(&mut self) -> &mut Observability {
         &mut self.obs
+    }
+
+    /// The flow-control ledger of a group this node belongs to (send
+    /// window, in-flight count, shed total, peak).
+    #[must_use]
+    pub fn flow_of(&self, group: &GroupId) -> Option<&FlowController<NodeId>> {
+        self.groups.get(group).map(|g| &g.flow)
+    }
+
+    /// Counts one shed multicast in the metrics registry.
+    fn note_flow_shed(&mut self, _group: &GroupId) {
+        self.obs.metrics.incr("flow.shed");
+    }
+
+    /// Raises the `flow.queue_depth_peak` gauge to the group's peak
+    /// in-flight count.
+    fn note_flow_peak(&mut self, group: &GroupId) {
+        let peak = self.groups[group].flow.peak_in_flight();
+        let peak = i64::try_from(peak).unwrap_or(i64::MAX);
+        if self.obs.metrics.gauge("flow.queue_depth_peak").unwrap_or(0) < peak {
+            self.obs.metrics.set_gauge("flow.queue_depth_peak", peak);
+        }
     }
 
     /// The local node.
@@ -452,6 +486,9 @@ impl GcsMember {
             view.members().to_vec(),
             config.ordering,
         );
+        let me = self.node;
+        let mut flow = FlowController::new(config.flow_window);
+        flow.install_view(view.members().iter().copied().filter(|&m| m != me));
         let state = GroupState {
             config,
             role: Role::Member,
@@ -473,6 +510,7 @@ impl GcsMember {
             last_order_flush: SimTime::ZERO,
             order_flush_scheduled: false,
             queued_multicasts: Vec::new(),
+            flow,
         };
         self.groups.insert(group.clone(), state);
         self.obs.record(
@@ -514,6 +552,9 @@ impl GcsMember {
         let view = View::new(group.clone(), ViewId(0), vec![self.node]);
         let engine = DeliveryEngine::new(self.node, view.id(), vec![self.node], config.ordering);
         let retry = config.view_change_timeout;
+        // Singleton placeholder membership: never sheds before the real
+        // view installs (a joiner cannot multicast yet anyway).
+        let flow = FlowController::new(config.flow_window);
         self.groups.insert(
             group.clone(),
             GroupState {
@@ -537,6 +578,7 @@ impl GcsMember {
                 last_order_flush: SimTime::ZERO,
                 order_flush_scheduled: false,
                 queued_multicasts: Vec::new(),
+                flow,
             },
         );
         net.send(
@@ -613,14 +655,28 @@ impl GcsMember {
         if self.groups[group].vc.is_some() {
             // A view agreement is in flight: the old view's delivery set
             // is already frozen (see `queued_multicasts`), so hold the
-            // message and send it into the new view once it installs.
-            self.groups
-                .get_mut(group)
-                .expect("checked")
-                .queued_multicasts
-                .push((order, payload));
+            // message and send it into the new view once it installs —
+            // up to the configured bound, beyond which the send is shed.
+            let state = self.groups.get_mut(group).expect("checked");
+            if state.queued_multicasts.len() >= state.config.max_queued_multicasts as usize {
+                state.flow.note_shed();
+                self.note_flow_shed(group);
+                return Err(GcsError::Overloaded(group.clone()));
+            }
+            state.queued_multicasts.push((order, payload));
             return Ok(());
         }
+        // Credit gate: admission happens before a sequence number is
+        // consumed, so a shed send leaves no gap for receivers to NACK.
+        let granted = {
+            let state = self.groups.get_mut(group).expect("checked");
+            state.flow.try_acquire().is_granted()
+        };
+        if !granted {
+            self.note_flow_shed(group);
+            return Err(GcsError::Overloaded(group.clone()));
+        }
+        self.note_flow_peak(group);
         let lamport = self.clock.tick();
         let node = self.node;
         let state = self.groups.get_mut(group).expect("checked");
@@ -637,9 +693,21 @@ impl GcsMember {
             acks: state.engine.contig_vector(),
             payload,
         };
-        let wire = GcsMessage::Data(Arc::new(msg));
+        let msg = Arc::new(msg);
+        let wire = GcsMessage::Data(Arc::clone(&msg));
         let targets: Vec<NodeId> = state.view.members().to_vec();
         net.send_fanout(state.config.fanout, targets, &wire);
+        // Buffer our own copy immediately rather than waiting for the
+        // network loopback. The symmetric delivery rule exempts the
+        // local member from its stability horizon on the assumption that
+        // its own sends are always already buffered — if the loopback
+        // lagged behind a peer's equal-timestamp message (heavy load
+        // inflates the fan-out's CPU cost past the in-flight latency),
+        // that message could be delivered ahead of ours while every
+        // other member orders ours first, diverging the total order.
+        // The loopback packet later ingests as a duplicate and merely
+        // triggers the delivery drain.
+        let _ = state.engine.ingest_data(msg);
         state.last_sent = now;
         state.last_activity = now;
         self.ensure_liveness(group, now, net);
@@ -772,6 +840,12 @@ impl GcsMember {
         state.last_heard.insert(d.sender, now);
         state.last_activity = now;
         state.engine.apply_acks(d.sender, &d.acks);
+        // The piggybacked ack vector doubles as flow-control credit
+        // replenishment: the entry about this node is the contiguous
+        // prefix of our multicasts the sender has received.
+        if let Some(&(_, upto)) = d.acks.iter().find(|(n, _)| *n == self.node) {
+            state.flow.on_ack(d.sender, upto);
+        }
         let _ = state.engine.ingest_data(d);
         self.after_ingest(group, now, net);
     }
@@ -791,6 +865,11 @@ impl GcsMember {
         state.last_heard.insert(n.sender, now);
         state.engine.note_null(n.sender, n.lamport, n.last_seq);
         state.engine.apply_acks(n.sender, &n.acks);
+        // Nulls replenish send credits too — the time-silence mechanism
+        // carries flow control for free (see `on_data`).
+        if let Some(&(_, upto)) = n.acks.iter().find(|(m, _)| *m == self.node) {
+            state.flow.on_ack(n.sender, upto);
+        }
         self.after_ingest(group, now, net);
     }
 
@@ -1330,6 +1409,11 @@ impl GcsMember {
         );
         state.role = Role::Member;
         state.next_seq = 1;
+        // New view, new flow ledger: sends renumber from 1 and credits
+        // are granted against the new membership.
+        state
+            .flow
+            .install_view(view.members().iter().copied().filter(|&m| m != node));
         state.last_heard = view.members().iter().map(|&m| (m, now)).collect();
         state.suspects.clear();
         state.leavers.clear();
@@ -1843,6 +1927,75 @@ mod tests {
             ),
             Err(GcsError::UnknownGroup(_))
         ));
+    }
+
+    #[test]
+    fn multicast_sheds_when_the_send_window_is_exhausted() {
+        let mut m = GcsMember::new(n(0), 0);
+        let (mut orb, mut out) = net_parts(n(0));
+        let mut net = GcsNet::new(&mut orb, &mut out);
+        let g = GroupId::new("g");
+        m.create_group(
+            g.clone(),
+            GroupConfig::peer().with_flow_window(2),
+            vec![n(0), n(1)],
+            SimTime::ZERO,
+            &mut net,
+        )
+        .unwrap();
+        for _ in 0..2 {
+            m.multicast(
+                &g,
+                DeliveryOrder::Total,
+                Bytes::from_static(b"x"),
+                SimTime::ZERO,
+                &mut net,
+            )
+            .unwrap();
+        }
+        assert_eq!(
+            m.multicast(
+                &g,
+                DeliveryOrder::Total,
+                Bytes::from_static(b"x"),
+                SimTime::ZERO,
+                &mut net
+            ),
+            Err(GcsError::Overloaded(g.clone()))
+        );
+        assert_eq!(m.observability().metrics.counter("flow.shed"), 1);
+        assert_eq!(
+            m.observability().metrics.gauge("flow.queue_depth_peak"),
+            Some(2)
+        );
+
+        // A data message from the peer acking our first send replenishes
+        // one credit.
+        let peer_msg = DataMsg {
+            group: g.clone(),
+            view: m.view_of(&g).unwrap().id(),
+            sender: n(1),
+            seq: 1,
+            lamport: 5,
+            order: DeliveryOrder::Causal,
+            deps: DepsVector::from_pairs(Vec::new()),
+            acks: vec![(n(0), 1)],
+            payload: Bytes::from_static(b"y"),
+        };
+        m.on_message(
+            GcsMessage::Data(Arc::new(peer_msg)),
+            SimTime::ZERO,
+            &mut net,
+        );
+        assert_eq!(m.flow_of(&g).unwrap().in_flight(), 1);
+        m.multicast(
+            &g,
+            DeliveryOrder::Total,
+            Bytes::from_static(b"z"),
+            SimTime::ZERO,
+            &mut net,
+        )
+        .unwrap();
     }
 
     #[test]

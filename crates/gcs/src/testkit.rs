@@ -81,6 +81,8 @@ fn encode_config(enc: &mut CdrEncoder, c: &GroupConfig) {
     enc.write_u32(c.suspicion_multiple);
     enc.write_u64(c.nack_delay.as_micros() as u64);
     enc.write_u64(c.view_change_timeout.as_micros() as u64);
+    enc.write_u64(c.flow_window);
+    enc.write_u32(c.max_queued_multicasts);
 }
 
 fn decode_config(dec: &mut CdrDecoder<'_>) -> Result<GroupConfig, CdrError> {
@@ -100,6 +102,8 @@ fn decode_config(dec: &mut CdrDecoder<'_>) -> Result<GroupConfig, CdrError> {
     let suspicion_multiple = dec.read_u32()?;
     let nack_delay = std::time::Duration::from_micros(dec.read_u64()?);
     let view_change_timeout = std::time::Duration::from_micros(dec.read_u64()?);
+    let flow_window = dec.read_u64()?;
+    let max_queued_multicasts = dec.read_u32()?;
     Ok(GroupConfig {
         ordering,
         liveness,
@@ -108,6 +112,8 @@ fn decode_config(dec: &mut CdrDecoder<'_>) -> Result<GroupConfig, CdrError> {
         suspicion_multiple,
         nack_delay,
         view_change_timeout,
+        flow_window,
+        max_queued_multicasts,
     })
 }
 

@@ -24,6 +24,9 @@ pub enum ClientError {
     UnknownBinding(GroupId),
     /// The call number is not pending (already complete or never made).
     UnknownCall(u64),
+    /// The pending-call table is full: admission control shed the call
+    /// before anything was sent. Retry after in-flight calls complete.
+    Overloaded(GroupId),
 }
 
 impl fmt::Display for ClientError {
@@ -31,6 +34,9 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::UnknownBinding(g) => write!(f, "no binding for group {g}"),
             ClientError::UnknownCall(n) => write!(f, "no pending call #{n}"),
+            ClientError::Overloaded(g) => {
+                write!(f, "pending-call table full; call to {g} shed")
+            }
         }
     }
 }
@@ -85,10 +91,15 @@ pub struct ClientCore {
     next_call: u64,
     bindings: HashMap<GroupId, BindingState>,
     calls: HashMap<u64, CallState>,
+    /// Admission bound on `calls`; new invocations beyond it are shed.
+    max_pending: usize,
+    /// Invocations shed by the admission bound since creation.
+    shed: u64,
 }
 
 impl ClientCore {
-    /// Creates the client core for `node`.
+    /// Creates the client core for `node` with the default pending-call
+    /// bound from [`newtop_flow::FlowConfig`].
     #[must_use]
     pub fn new(node: NodeId) -> Self {
         ClientCore {
@@ -96,7 +107,23 @@ impl ClientCore {
             next_call: 1,
             bindings: HashMap::new(),
             calls: HashMap::new(),
+            max_pending: newtop_flow::FlowConfig::default().max_pending_calls,
+            shed: 0,
         }
+    }
+
+    /// Sets the most calls that may await replies at once (clamped to at
+    /// least 1); further invocations shed with [`ClientError::Overloaded`].
+    #[must_use]
+    pub fn with_max_pending_calls(mut self, max: usize) -> Self {
+        self.max_pending = max.max(1);
+        self
+    }
+
+    /// Invocations shed by the pending-call bound since creation.
+    #[must_use]
+    pub fn shed_count(&self) -> u64 {
+        self.shed
     }
 
     /// The owning node.
@@ -150,7 +177,10 @@ impl ClientCore {
     ///
     /// # Errors
     ///
-    /// [`ClientError::UnknownBinding`] if `group` is not bound.
+    /// [`ClientError::UnknownBinding`] if `group` is not bound;
+    /// [`ClientError::Overloaded`] if the pending-call table is full (the
+    /// call is shed before anything is sent; one-way sends, which never
+    /// enter the table, are exempt).
     pub fn invoke(
         &mut self,
         group: &GroupId,
@@ -162,6 +192,10 @@ impl ClientCore {
             .bindings
             .get(group)
             .ok_or_else(|| ClientError::UnknownBinding(group.clone()))?;
+        if mode != ReplyMode::OneWay && self.calls.len() >= self.max_pending {
+            self.shed += 1;
+            return Err(ClientError::Overloaded(group.clone()));
+        }
         let call = CallId {
             client: self.node,
             number: self.next_call,
@@ -549,6 +583,30 @@ mod tests {
         let events = c.on_binding_view_change(&gid(), &[n(0), n(1), n(2)]);
         assert_eq!(events.len(), 1);
         assert!(matches!(&events[0], ClientEvent::Complete { .. }));
+    }
+
+    #[test]
+    fn pending_call_bound_sheds_and_recovers() {
+        let mut c = closed_client().with_max_pending_calls(2);
+        let (c1, _, _) = c
+            .invoke(&gid(), "op", Bytes::new(), ReplyMode::First)
+            .unwrap();
+        c.invoke(&gid(), "op", Bytes::new(), ReplyMode::First)
+            .unwrap();
+        assert_eq!(
+            c.invoke(&gid(), "op", Bytes::new(), ReplyMode::First),
+            Err(ClientError::Overloaded(gid()))
+        );
+        assert_eq!(c.shed_count(), 1);
+        // One-way sends never enter the table, so they are exempt.
+        assert!(c
+            .invoke(&gid(), "notify", Bytes::new(), ReplyMode::OneWay)
+            .is_ok());
+        // Completing a call frees a slot.
+        c.on_message(&direct(c1, n(1), b"r"));
+        assert!(c
+            .invoke(&gid(), "op", Bytes::new(), ReplyMode::First)
+            .is_ok());
     }
 
     #[test]

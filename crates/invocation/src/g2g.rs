@@ -17,6 +17,7 @@ use newtop_net::site::NodeId;
 use newtop_orb::cdr::CdrDecode;
 
 use crate::api::{InvCommand, InvMessage, ReplyMode};
+use crate::client::ClientError;
 
 /// A completed group-to-group call.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -41,11 +42,16 @@ pub struct G2gCaller {
     /// call (possible: the group reply may be totally ordered before a
     /// slow member's request copy).
     early: HashMap<u64, Vec<(NodeId, Bytes)>>,
+    /// Admission bound on `pending` (and `early`); calls beyond it shed.
+    max_pending: usize,
+    /// Calls shed by the admission bound since creation.
+    shed: u64,
 }
 
 impl G2gCaller {
     /// Creates the caller for a member of `origin` attached to the
-    /// monitor group `monitor`.
+    /// monitor group `monitor`, with the default pending-call bound from
+    /// [`newtop_flow::FlowConfig`].
     #[must_use]
     pub fn new(node: NodeId, origin: GroupId, monitor: GroupId) -> Self {
         G2gCaller {
@@ -55,7 +61,23 @@ impl G2gCaller {
             next_number: 1,
             pending: HashMap::new(),
             early: HashMap::new(),
+            max_pending: newtop_flow::FlowConfig::default().max_pending_calls,
+            shed: 0,
         }
+    }
+
+    /// Sets the most calls that may await replies at once (clamped to at
+    /// least 1); further calls shed with [`ClientError::Overloaded`].
+    #[must_use]
+    pub fn with_max_pending_calls(mut self, max: usize) -> Self {
+        self.max_pending = max.max(1);
+        self
+    }
+
+    /// Calls shed by the pending-call bound since creation.
+    #[must_use]
+    pub fn shed_count(&self) -> u64 {
+        self.shed
     }
 
     /// The owning node.
@@ -91,12 +113,24 @@ impl G2gCaller {
     /// If the group's reply already arrived (another member's copy was
     /// forwarded and answered before this member invoked), the completion
     /// is returned immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Overloaded`] if the pending-call table is full. The
+    /// call counter is *not* consumed, so the member stays in step with
+    /// the rest of the origin group: the manager forwards another member's
+    /// copy, the reply buffers here as an early arrival, and this member's
+    /// retried invoke completes from the buffer.
     pub fn invoke(
         &mut self,
         op: &str,
         args: Bytes,
         mode: ReplyMode,
-    ) -> (u64, Vec<InvCommand>, Option<G2gComplete>) {
+    ) -> Result<(u64, Vec<InvCommand>, Option<G2gComplete>), ClientError> {
+        if mode != ReplyMode::OneWay && self.pending.len() >= self.max_pending {
+            self.shed += 1;
+            return Err(ClientError::Overloaded(self.monitor.clone()));
+        }
         let number = self.next_number;
         self.next_number += 1;
         let msg = InvMessage::G2gRequest {
@@ -108,10 +142,10 @@ impl G2gCaller {
         };
         let commands = vec![InvCommand::multicast(self.monitor.clone(), &msg)];
         if mode == ReplyMode::OneWay {
-            return (number, commands, None);
+            return Ok((number, commands, None));
         }
         if let Some(replies) = self.early.remove(&number) {
-            return (
+            return Ok((
                 number,
                 commands,
                 Some(G2gComplete {
@@ -119,10 +153,10 @@ impl G2gCaller {
                     number,
                     replies,
                 }),
-            );
+            ));
         }
         self.pending.insert(number, ());
-        (number, commands, None)
+        Ok((number, commands, None))
     }
 
     /// Feeds a message delivered in the monitor group. Returns the
@@ -144,8 +178,12 @@ impl G2gCaller {
         }
         if self.pending.remove(&number).is_none() {
             // Not yet invoked here (or a duplicate): buffer fresh replies
-            // for numbers we have not issued; drop true duplicates.
-            if number >= self.next_number && !self.early.contains_key(&number) {
+            // for numbers we have not issued, up to the same admission
+            // bound as `pending`; drop true duplicates and overflow.
+            if number >= self.next_number
+                && !self.early.contains_key(&number)
+                && self.early.len() < self.max_pending
+            {
                 self.early.insert(number, replies);
             }
             return None;
@@ -174,8 +212,8 @@ mod tests {
     #[test]
     fn invoke_numbers_are_sequential() {
         let mut c = caller();
-        let (n1, cmds, _) = c.invoke("op", Bytes::new(), ReplyMode::All);
-        let (n2, _, _) = c.invoke("op", Bytes::new(), ReplyMode::All);
+        let (n1, cmds, _) = c.invoke("op", Bytes::new(), ReplyMode::All).unwrap();
+        let (n2, _, _) = c.invoke("op", Bytes::new(), ReplyMode::All).unwrap();
         assert_eq!((n1, n2), (1, 2));
         assert_eq!(c.pending(), vec![1, 2]);
         let InvCommand::Multicast { group, .. } = &cmds[0] else {
@@ -187,7 +225,7 @@ mod tests {
     #[test]
     fn one_way_does_not_wait() {
         let mut c = caller();
-        let (_, cmds, _) = c.invoke("op", Bytes::new(), ReplyMode::OneWay);
+        let (_, cmds, _) = c.invoke("op", Bytes::new(), ReplyMode::OneWay).unwrap();
         assert_eq!(cmds.len(), 1);
         assert!(c.pending().is_empty());
     }
@@ -195,7 +233,7 @@ mod tests {
     #[test]
     fn reply_completes_exactly_once() {
         let mut c = caller();
-        let (number, _, _) = c.invoke("op", Bytes::new(), ReplyMode::All);
+        let (number, _, _) = c.invoke("op", Bytes::new(), ReplyMode::All).unwrap();
         let reply = InvMessage::G2gReply {
             origin: GroupId::new("gx"),
             number,
@@ -212,7 +250,7 @@ mod tests {
     #[test]
     fn foreign_replies_are_ignored() {
         let mut c = caller();
-        let (number, _, _) = c.invoke("op", Bytes::new(), ReplyMode::All);
+        let (number, _, _) = c.invoke("op", Bytes::new(), ReplyMode::All).unwrap();
         let wrong_origin = InvMessage::G2gReply {
             origin: GroupId::new("other"),
             number,
@@ -244,7 +282,7 @@ mod tests {
         assert!(c
             .on_delivered(&GroupId::new("gz"), &reply.to_cdr())
             .is_none());
-        let (number, _, done) = c.invoke("op", Bytes::new(), ReplyMode::All);
+        let (number, _, done) = c.invoke("op", Bytes::new(), ReplyMode::All).unwrap();
         assert_eq!(number, 1);
         let done = done.expect("buffered reply surfaces at invoke");
         assert_eq!(done.replies.len(), 1);
@@ -254,11 +292,44 @@ mod tests {
     #[test]
     fn own_request_copies_are_not_replies() {
         let mut c = caller();
-        let (_number, cmds, _) = c.invoke("op", Bytes::new(), ReplyMode::All);
+        let (_number, cmds, _) = c.invoke("op", Bytes::new(), ReplyMode::All).unwrap();
         let InvCommand::Multicast { payload, .. } = &cmds[0] else {
             panic!()
         };
         // Seeing another member's (or our own) request copy does nothing.
         assert!(c.on_delivered(&GroupId::new("gz"), payload).is_none());
+    }
+
+    #[test]
+    fn shed_call_keeps_the_counter_in_step() {
+        let mut c = caller().with_max_pending_calls(1);
+        c.invoke("op", Bytes::new(), ReplyMode::All).unwrap();
+        assert_eq!(
+            c.invoke("op", Bytes::new(), ReplyMode::All),
+            Err(ClientError::Overloaded(GroupId::new("gz")))
+        );
+        assert_eq!(c.shed_count(), 1);
+        // The group meanwhile answered call 2 (the other members issued
+        // it); the reply buffers as an early arrival because the counter
+        // was not consumed by the shed...
+        let reply = InvMessage::G2gReply {
+            origin: GroupId::new("gx"),
+            number: 2,
+            replies: vec![(n(9), Bytes::from_static(b"r"))],
+        };
+        assert!(c
+            .on_delivered(&GroupId::new("gz"), &reply.to_cdr())
+            .is_none());
+        // ...and call 1 completing frees the slot, so the retried invoke
+        // is number 2 and completes from the buffer.
+        let one = InvMessage::G2gReply {
+            origin: GroupId::new("gx"),
+            number: 1,
+            replies: vec![],
+        };
+        assert!(c.on_delivered(&GroupId::new("gz"), &one.to_cdr()).is_some());
+        let (number, _, done) = c.invoke("op", Bytes::new(), ReplyMode::All).unwrap();
+        assert_eq!(number, 2);
+        assert!(done.is_some());
     }
 }

@@ -81,8 +81,13 @@ pub struct ServerCore {
     monitor_groups: HashMap<GroupId, MonitorState>,
     managed: HashMap<CallId, ManagedCall>,
     reply_cache: HashMap<NodeId, (u64, CachedReply)>,
-    /// Passive backups: requests logged for replay on promotion.
+    /// Passive backups: requests logged for replay on promotion. Bounded
+    /// by `max_backlog`; the oldest entry is dropped on overflow.
     backlog: Vec<(CallId, String, Bytes)>,
+    /// Admission bound on `backlog`.
+    max_backlog: usize,
+    /// Backlog entries dropped by the bound since creation.
+    backlog_shed: u64,
     /// Per client: the last executed call number and its result (§4.1:
     /// "servers retain the data of the last reply message"), so a retried
     /// call is answered without re-execution.
@@ -126,6 +131,8 @@ impl ServerCore {
             managed: HashMap::new(),
             reply_cache: HashMap::new(),
             backlog: Vec::new(),
+            max_backlog: newtop_flow::FlowConfig::default().max_pending_calls,
+            backlog_shed: 0,
             last_exec: HashMap::new(),
             next_local_call: 1,
             events: Vec::new(),
@@ -293,6 +300,20 @@ impl ServerCore {
     #[must_use]
     pub fn backlog_len(&self) -> usize {
         self.backlog.len()
+    }
+
+    /// Sets the most requests a passive backup logs for replay (clamped
+    /// to at least 1); the oldest is dropped when a new one overflows it.
+    #[must_use]
+    pub fn with_max_backlog(mut self, max: usize) -> Self {
+        self.max_backlog = max.max(1);
+        self
+    }
+
+    /// Backlog entries dropped by the bound since creation.
+    #[must_use]
+    pub fn backlog_shed_count(&self) -> u64 {
+        self.backlog_shed
     }
 
     /// Passive replication: replay the logged requests after promotion to
@@ -584,6 +605,13 @@ impl ServerCore {
                 .get(&call.client)
                 .is_some_and(|(num, _)| *num >= call.number);
             if !seen {
+                if self.backlog.len() >= self.max_backlog {
+                    // Keep the newest requests: on promotion the primary's
+                    // reply cache masks re-sent old calls, while a dropped
+                    // recent call is retried by its client (§4.1).
+                    self.backlog.remove(0);
+                    self.backlog_shed += 1;
+                }
                 self.backlog.push((call, op.to_owned(), args));
             }
             return Vec::new();
@@ -993,6 +1021,44 @@ mod tests {
         assert_eq!(promoted, 3);
         assert_eq!(count, 3, "backlog replayed exactly once");
         assert_eq!(s.backlog_len(), 0);
+    }
+
+    #[test]
+    fn passive_backlog_is_bounded_dropping_the_oldest() {
+        let mut s = ServerCore::new(
+            n(2),
+            gs(),
+            Replication::Passive,
+            OpenOptimisation::AsyncForwarding,
+        )
+        .with_max_backlog(2);
+        s.set_server_view(vec![n(1), n(2), n(3)]);
+        let fwd = |num: u64| InvMessage::Forwarded {
+            call: CallId {
+                client: n(0),
+                number: num,
+            },
+            op: "set".to_owned(),
+            args: Bytes::new(),
+            mode: ReplyMode::First,
+            manager: n(1),
+            no_reply: true,
+        };
+        let mut count = 0;
+        {
+            let mut exec = counting_exec(2, &mut count);
+            for i in 1..=4 {
+                s.on_delivered(&gs(), n(1), &enc(&fwd(i)), &mut exec);
+            }
+        }
+        assert_eq!(s.backlog_len(), 2, "bounded at the configured cap");
+        assert_eq!(s.backlog_shed_count(), 2, "oldest two dropped");
+        s.set_server_view(vec![n(2), n(3)]);
+        let promoted = {
+            let mut exec = counting_exec(2, &mut count);
+            s.promote(&mut exec)
+        };
+        assert_eq!(promoted, 2, "only the retained newest calls replay");
     }
 
     #[test]

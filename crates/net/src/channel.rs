@@ -1,14 +1,19 @@
 //! In-process channel transport.
 //!
-//! Connects nodes living in one process through crossbeam channels. This is
-//! the default transport for the threaded runtime's loopback examples and
-//! integration tests: real threads, real wall-clock timers, no sockets.
+//! Connects nodes living in one process through *bounded* flow-control
+//! queues ([`newtop_flow::queue`]). This is the default transport for the
+//! threaded runtime's loopback examples and integration tests: real
+//! threads, real wall-clock timers, no sockets. A full inbox sheds the
+//! packet with [`TransportError::Overloaded`] — the protocol layers treat
+//! that as loss and recover via NACKs — and the shed is visible through
+//! the inbox's [`newtop_flow::queue::QueueStats`].
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use newtop_flow::queue::{bounded, Receiver, Sender, TrySendError};
+use newtop_flow::FlowConfig;
 use parking_lot::RwLock;
 
 use crate::sim::Packet;
@@ -37,16 +42,35 @@ struct Registry {
 /// assert_eq!(&pkt.payload[..], b"hello");
 /// assert_eq!(pkt.src, NodeId::from_index(0));
 /// ```
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct ChannelNetwork {
     registry: Arc<RwLock<Registry>>,
+    inbox_capacity: usize,
+}
+
+impl Default for ChannelNetwork {
+    fn default() -> Self {
+        ChannelNetwork::new()
+    }
 }
 
 impl ChannelNetwork {
-    /// Creates an empty network.
+    /// Creates an empty network with the default flow-config inbox
+    /// capacity.
     #[must_use]
     pub fn new() -> Self {
-        ChannelNetwork::default()
+        ChannelNetwork::with_capacity(FlowConfig::default().queue_capacity)
+    }
+
+    /// Creates an empty network whose inboxes hold at most `capacity`
+    /// packets each (further sends shed with
+    /// [`TransportError::Overloaded`]).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        ChannelNetwork {
+            registry: Arc::new(RwLock::new(Registry::default())),
+            inbox_capacity: capacity,
+        }
     }
 
     /// Registers a node and returns its sending handle and inbox.
@@ -54,7 +78,7 @@ impl ChannelNetwork {
     /// Registering the same node id twice replaces the previous inbox.
     #[must_use]
     pub fn endpoint(&self, node: NodeId) -> (ChannelTransport, Receiver<Packet>) {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = bounded(self.inbox_capacity);
         self.registry.write().inboxes.insert(node, tx);
         (
             ChannelTransport {
@@ -102,12 +126,15 @@ impl WireTransport for ChannelTransport {
             .inboxes
             .get(&dst)
             .ok_or(TransportError::UnknownPeer(dst))?;
-        tx.send(Packet {
+        tx.try_send(Packet {
             src: self.local,
             dst,
             payload,
         })
-        .map_err(|_| TransportError::Closed)
+        .map_err(|e| match e {
+            TrySendError::Full(_) => TransportError::Overloaded(dst),
+            TrySendError::Disconnected(_) => TransportError::Closed,
+        })
     }
 }
 
@@ -144,6 +171,27 @@ mod tests {
         let (_b, _b_rx) = net.endpoint(NodeId::from_index(1));
         net.remove(NodeId::from_index(1));
         assert!(a.send(NodeId::from_index(1), Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn full_inbox_sheds_with_overloaded() {
+        let net = ChannelNetwork::with_capacity(2);
+        let (a, _a_rx) = net.endpoint(NodeId::from_index(0));
+        let (_b, b_rx) = net.endpoint(NodeId::from_index(1));
+        a.send(NodeId::from_index(1), Bytes::from_static(b"1"))
+            .unwrap();
+        a.send(NodeId::from_index(1), Bytes::from_static(b"2"))
+            .unwrap();
+        let err = a
+            .send(NodeId::from_index(1), Bytes::from_static(b"3"))
+            .unwrap_err();
+        assert!(matches!(err, TransportError::Overloaded(_)));
+        assert_eq!(b_rx.stats().shed(), 1);
+        assert_eq!(b_rx.stats().peak_depth(), 2);
+        // Draining restores capacity.
+        assert_eq!(&b_rx.recv().unwrap().payload[..], b"1");
+        a.send(NodeId::from_index(1), Bytes::from_static(b"4"))
+            .unwrap();
     }
 
     #[test]

@@ -97,6 +97,18 @@ pub enum FaultOp {
         /// Duplication probability inside the window.
         probability: f64,
     },
+    /// Sustained overload: every node's CPU service costs are multiplied
+    /// by `factor` inside the window (restored to nominal at `until`).
+    /// Under the flow-control layer this drives send windows and bounded
+    /// queues into shedding, which the invariants must survive.
+    Saturate {
+        /// Window start.
+        from: Duration,
+        /// Window end (service costs return to nominal).
+        until: Duration,
+        /// CPU cost multiplier inside the window (> 1 slows nodes down).
+        factor: f64,
+    },
 }
 
 impl FaultOp {
@@ -108,7 +120,8 @@ impl FaultOp {
             FaultOp::Partition { heal_at, .. } => *heal_at,
             FaultOp::DropBurst { until, .. }
             | FaultOp::DelaySpike { until, .. }
-            | FaultOp::Duplication { until, .. } => *until,
+            | FaultOp::Duplication { until, .. }
+            | FaultOp::Saturate { until, .. } => *until,
         }
     }
 }
@@ -156,6 +169,16 @@ impl fmt::Display for FaultOp {
             } => write!(
                 f,
                 "dup {probability:.2} [{}ms..{}ms]",
+                from.as_millis(),
+                until.as_millis()
+            ),
+            FaultOp::Saturate {
+                from,
+                until,
+                factor,
+            } => write!(
+                f,
+                "saturate x{factor:.1} [{}ms..{}ms]",
                 from.as_millis(),
                 until.as_millis()
             ),
@@ -252,6 +275,39 @@ impl FaultPlan {
             probability,
         });
         self
+    }
+
+    /// Adds a saturation window: every node's CPU costs are multiplied
+    /// by `factor` inside `[from, until)` (sustained overload, restored
+    /// to nominal after).
+    #[must_use]
+    pub fn saturate(mut self, from: Duration, until: Duration, factor: f64) -> Self {
+        assert!(until >= from, "window must end after it starts");
+        assert!(factor >= 1.0, "saturation slows nodes down");
+        self.ops.push(FaultOp::Saturate {
+            from,
+            until,
+            factor,
+        });
+        self
+    }
+
+    /// The saturation windows of this plan, as `(from, until, factor)`
+    /// triples. Workload drivers use these to aim overload traffic at
+    /// the windows where nodes are slow.
+    #[must_use]
+    pub fn saturate_windows(&self) -> Vec<(Duration, Duration, f64)> {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                FaultOp::Saturate {
+                    from,
+                    until,
+                    factor,
+                } => Some((*from, *until, *factor)),
+                _ => None,
+            })
+            .collect()
     }
 
     /// The instant by which every fault has ended: partitions healed,
@@ -378,6 +434,14 @@ impl FaultPlan {
                     sim.schedule_set_duplicate(base + *from, *probability);
                     sim.schedule_set_duplicate(base + *until, 0.0);
                 }
+                FaultOp::Saturate {
+                    from,
+                    until,
+                    factor,
+                } => {
+                    sim.schedule_set_service_factor(base + *from, None, *factor);
+                    sim.schedule_set_service_factor(base + *until, None, 1.0);
+                }
             }
         }
     }
@@ -395,6 +459,10 @@ impl FaultPlan {
             FaultPlan::named("drop-burst").drop_burst(ms(100), ms(500), 0.25),
             FaultPlan::named("delay-spike").delay_spike(ms(100), ms(600), ms(15)),
             FaultPlan::named("dup-window").duplication(ms(80), ms(600), 0.3),
+            FaultPlan::named("saturate").saturate(ms(100), ms(700), 3.0),
+            FaultPlan::named("saturate-loss")
+                .saturate(ms(100), ms(800), 4.0)
+                .drop_burst(ms(300), ms(600), 0.15),
             FaultPlan::named("chaos")
                 .drop_burst(ms(60), ms(400), 0.15)
                 .duplication(ms(200), ms(700), 0.2)
@@ -566,6 +634,19 @@ mod tests {
              partition n0,n1|n2 [200ms..600ms]"
         );
         assert_eq!(FaultPlan::calm().to_string(), "plan \"calm\": (no faults)");
+        let plan = FaultPlan::named("hot").saturate(
+            Duration::from_millis(100),
+            Duration::from_millis(700),
+            3.0,
+        );
+        assert_eq!(
+            plan.to_string(),
+            "plan \"hot\": saturate x3.0 [100ms..700ms]"
+        );
+        assert_eq!(
+            plan.saturate_windows(),
+            vec![(Duration::from_millis(100), Duration::from_millis(700), 3.0)]
+        );
     }
 
     #[test]

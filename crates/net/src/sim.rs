@@ -310,6 +310,10 @@ enum Control {
     /// Add a fixed delay to every non-loopback packet (delay spikes);
     /// `Duration::ZERO` ends the spike.
     SetExtraDelay(Duration),
+    /// Scale a node's CPU service costs (`None` targets every node).
+    /// A factor above 1 models overload or a degraded machine;
+    /// `1.0` restores nominal speed.
+    SetServiceFactor(Option<NodeId>, f64),
 }
 
 struct QueuedEvent {
@@ -340,6 +344,8 @@ struct Slot {
     node: Box<dyn SimNode>,
     site: Site,
     service: ServiceProfile,
+    /// Multiplier on every CPU cost (see `Control::SetServiceFactor`).
+    service_factor: f64,
     busy_until: SimTime,
     alive: bool,
     started: bool,
@@ -414,6 +420,7 @@ impl Sim {
             node,
             site,
             service,
+            service_factor: 1.0,
             busy_until: SimTime::ZERO,
             alive: true,
             started: false,
@@ -519,6 +526,18 @@ impl Sim {
         self.push(at, None, QueuedKind::Control(Control::SetExtraDelay(extra)));
     }
 
+    /// Schedules a CPU service-cost scaling: from `at` on, every cost in
+    /// the targeted node's [`ServiceProfile`] is multiplied by `factor`
+    /// (`None` targets every node). Pair a factor above 1 with a later
+    /// `1.0` restore to model an overload or slow-member window.
+    pub fn schedule_set_service_factor(&mut self, at: SimTime, node: Option<NodeId>, factor: f64) {
+        self.push(
+            at,
+            None,
+            QueuedKind::Control(Control::SetServiceFactor(node, factor)),
+        );
+    }
+
     /// Injects an event directly into a node, as if it arrived over the
     /// network at time `at` (which must not be in the past). This is how
     /// test harnesses and workload drivers prod their actors.
@@ -592,6 +611,25 @@ impl Sim {
             Control::SetDrop(p) => self.cfg.drop_probability = p,
             Control::SetDuplicate(p) => self.cfg.duplicate_probability = p,
             Control::SetExtraDelay(d) => self.extra_delay = d,
+            Control::SetServiceFactor(target, factor) => {
+                let factor = if factor.is_finite() && factor > 0.0 {
+                    factor
+                } else {
+                    1.0
+                };
+                match target {
+                    Some(id) => {
+                        if let Some(slot) = self.nodes.get_mut(id.index() as usize) {
+                            slot.service_factor = factor;
+                        }
+                    }
+                    None => {
+                        for slot in &mut self.nodes {
+                            slot.service_factor = factor;
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -621,6 +659,7 @@ impl Sim {
             NodeEvent::Timer(..) => slot.service.per_timer,
             NodeEvent::Start => Duration::ZERO,
         };
+        let cost = mul_duration(cost, slot.service_factor);
         let begin = self.now.max(slot.busy_until);
         let completion = begin + cost;
         slot.busy_until = completion;
@@ -680,7 +719,9 @@ impl Sim {
         let per_send = self
             .nodes
             .get(src.index() as usize)
-            .map_or(Duration::ZERO, |slot| slot.service.per_send);
+            .map_or(Duration::ZERO, |slot| {
+                mul_duration(slot.service.per_send, slot.service_factor)
+            });
         let src_site = self.site_of(src);
         let mut cpu_depart = self.now;
         let mut chains: std::collections::HashMap<u64, Duration> = std::collections::HashMap::new();
@@ -911,6 +952,48 @@ mod tests {
             p.last_at >= SimTime::from_micros(6_200),
             "last reply at {}",
             p.last_at
+        );
+    }
+
+    #[test]
+    fn service_factor_scales_cpu_costs_and_restores() {
+        // Same CPU-queueing setup as above, but the echo node runs 4×
+        // slower during the window: 5 pings serialise at 4 ms each.
+        let cfg = SimConfig {
+            latency: LatencyMatrix::uniform(
+                LatencySpec::constant(Duration::from_micros(100)),
+                LatencySpec::constant(Duration::from_micros(100)),
+            ),
+            default_service: ServiceProfile {
+                per_message: Duration::from_millis(1),
+                per_kib: Duration::ZERO,
+                per_timer: Duration::ZERO,
+                per_send: Duration::ZERO,
+            },
+            ..SimConfig::default()
+        };
+        let (mut sim, echo, pinger) = two_node_sim(cfg.clone(), 5);
+        sim.schedule_set_service_factor(SimTime::ZERO, Some(echo), 4.0);
+        sim.run_until_idle();
+        let slow = sim.node_ref::<Pinger>(pinger).unwrap();
+        assert_eq!(slow.replies, 5);
+        // 5 pings × 4 ms at the echo node plus the pinger's 1 ms handler.
+        assert!(
+            slow.last_at >= SimTime::from_micros(21_200),
+            "last reply at {}",
+            slow.last_at
+        );
+
+        // A restore to 1.0 before traffic leaves timings nominal.
+        let (mut sim, echo, pinger) = two_node_sim(cfg, 5);
+        sim.schedule_set_service_factor(SimTime::ZERO, Some(echo), 4.0);
+        sim.schedule_set_service_factor(SimTime::ZERO, None, 1.0);
+        sim.run_until_idle();
+        let nominal = sim.node_ref::<Pinger>(pinger).unwrap();
+        assert!(
+            nominal.last_at < SimTime::from_micros(21_200),
+            "last reply at {}",
+            nominal.last_at
         );
     }
 

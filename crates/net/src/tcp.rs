@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use bytes::Bytes;
-use crossbeam::channel::Sender;
+use newtop_flow::queue::Sender;
 use parking_lot::Mutex;
 
 use crate::sim::Packet;
@@ -61,6 +61,13 @@ impl TcpEndpoint {
     /// Binds a listener for `local` on `addr` (use port 0 for an ephemeral
     /// port; see [`Self::local_addr`]) and spawns the accept loop, which
     /// pushes every received frame to `incoming`.
+    ///
+    /// `incoming` is a *bounded* flow queue (see
+    /// [`newtop_flow::queue::bounded`]); when it fills, the reader
+    /// threads block — backpressure propagates to the senders through
+    /// TCP's own window rather than buffering without bound. Blocking
+    /// events are counted in the queue's
+    /// [`newtop_flow::queue::QueueStats::blocked`].
     ///
     /// # Errors
     ///
@@ -241,17 +248,24 @@ impl WireTransport for TcpTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossbeam::channel::unbounded;
+    use newtop_flow::queue::bounded;
     use std::time::Duration;
 
     fn ephemeral() -> SocketAddr {
         "127.0.0.1:0".parse().expect("valid addr")
     }
 
+    fn inbox() -> (
+        newtop_flow::queue::Sender<Packet>,
+        newtop_flow::queue::Receiver<Packet>,
+    ) {
+        bounded(newtop_flow::FlowConfig::default().queue_capacity)
+    }
+
     #[test]
     fn two_endpoints_exchange_frames() {
-        let (tx_a, rx_a) = unbounded();
-        let (tx_b, rx_b) = unbounded();
+        let (tx_a, rx_a) = inbox();
+        let (tx_b, rx_b) = inbox();
         let a = TcpEndpoint::bind(NodeId::from_index(0), ephemeral(), tx_a).unwrap();
         let b = TcpEndpoint::bind(NodeId::from_index(1), ephemeral(), tx_b).unwrap();
         a.register_peer(NodeId::from_index(1), b.local_addr());
@@ -273,8 +287,8 @@ mod tests {
 
     #[test]
     fn many_frames_stay_ordered_per_peer() {
-        let (tx_a, _rx_a) = unbounded();
-        let (tx_b, rx_b) = unbounded();
+        let (tx_a, _rx_a) = inbox();
+        let (tx_b, rx_b) = inbox();
         let a = TcpEndpoint::bind(NodeId::from_index(0), ephemeral(), tx_a).unwrap();
         let b = TcpEndpoint::bind(NodeId::from_index(1), ephemeral(), tx_b).unwrap();
         a.register_peer(NodeId::from_index(1), b.local_addr());
@@ -291,7 +305,7 @@ mod tests {
 
     #[test]
     fn unknown_peer_and_shutdown_errors() {
-        let (tx, _rx) = unbounded();
+        let (tx, _rx) = inbox();
         let mut e = TcpEndpoint::bind(NodeId::from_index(7), ephemeral(), tx).unwrap();
         let h = e.handle();
         assert!(matches!(

@@ -19,6 +19,10 @@ pub enum TransportError {
     UnknownPeer(NodeId),
     /// The transport has been shut down.
     Closed,
+    /// The destination's bounded inbox is full; the packet was shed.
+    /// The protocol layers treat this like loss (NACK-driven recovery),
+    /// and the shed is counted in the inbox's queue statistics.
+    Overloaded(NodeId),
     /// An underlying I/O failure.
     Io(std::io::Error),
 }
@@ -28,6 +32,7 @@ impl fmt::Display for TransportError {
         match self {
             TransportError::UnknownPeer(n) => write!(f, "unknown peer {n}"),
             TransportError::Closed => write!(f, "transport closed"),
+            TransportError::Overloaded(n) => write!(f, "inbox of {n} overloaded; packet shed"),
             TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
         }
     }

@@ -35,7 +35,8 @@ use std::collections::{BinaryHeap, HashSet};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use newtop_flow::queue::{bounded, QueueStats, Receiver, Sender};
+use newtop_flow::FlowConfig;
 
 use newtop::nso::{Nso, NsoOutput};
 use newtop_net::sim::{Outbox, Packet, TimerId};
@@ -86,10 +87,19 @@ impl NodeHandle {
         rx.recv().expect("node event loop stopped")
     }
 
-    /// The stream of NSO outputs.
+    /// The stream of NSO outputs. The queue is bounded: if the
+    /// application stops draining it, the event loop sheds the oldest
+    /// unread outputs' successors rather than buffering without limit
+    /// (count via [`NodeHandle::output_stats`]).
     #[must_use]
     pub fn outputs(&self) -> &Receiver<NsoOutput> {
         &self.outputs
+    }
+
+    /// Flow statistics of the output queue: sheds, peak depth, capacity.
+    #[must_use]
+    pub fn output_stats(&self) -> QueueStats {
+        self.outputs.stats()
     }
 
     /// Waits until an output matching `pred` arrives (discarding
@@ -118,7 +128,7 @@ impl NodeHandle {
 
     fn stop(&mut self) {
         // Closing the command channel stops the loop.
-        let (dead_tx, _) = unbounded();
+        let (dead_tx, _) = bounded(1);
         let _ = std::mem::replace(&mut self.commands, dead_tx);
         if let Some(j) = self.join.take() {
             let _ = j.join();
@@ -137,14 +147,27 @@ pub struct NodeRuntime;
 
 impl NodeRuntime {
     /// Spawns a node: an NSO event loop over `transport`, receiving
-    /// packets from `incoming`.
+    /// packets from `incoming`, with the default [`FlowConfig`] queue
+    /// bounds.
     pub fn spawn<T: WireTransport>(
         node: NodeId,
         transport: T,
         incoming: Receiver<Packet>,
     ) -> NodeHandle {
-        let (cmd_tx, cmd_rx) = unbounded::<Command>();
-        let (out_tx, out_rx) = unbounded::<NsoOutput>();
+        NodeRuntime::spawn_with_flow(node, transport, incoming, &FlowConfig::default())
+    }
+
+    /// Spawns a node with explicit queue bounds: the command queue
+    /// backpressures callers of [`NodeHandle::with_nso`] when full, and
+    /// the output queue sheds (never blocking the event loop).
+    pub fn spawn_with_flow<T: WireTransport>(
+        node: NodeId,
+        transport: T,
+        incoming: Receiver<Packet>,
+        flow: &FlowConfig,
+    ) -> NodeHandle {
+        let (cmd_tx, cmd_rx) = bounded::<Command>(flow.queue_capacity);
+        let (out_tx, out_rx) = bounded::<NsoOutput>(flow.queue_capacity);
         let join = std::thread::Builder::new()
             .name(format!("nso-{node}"))
             .spawn(move || event_loop(node, &transport, &incoming, &cmd_rx, &out_tx))
@@ -280,7 +303,9 @@ fn apply_outbox(
 
 fn drain_outputs(nso: &mut Nso, outputs: &Sender<NsoOutput>) {
     for o in nso.take_outputs() {
-        let _ = outputs.send(o);
+        // Never block the event loop on a slow consumer: shed instead
+        // (counted in the queue's stats).
+        let _ = outputs.try_send(o);
     }
 }
 

@@ -309,6 +309,16 @@ fn count_double_executions(sim: &Sim, servers: &[NodeId]) -> u64 {
 /// Runs a request-reply scenario through the NewTop service.
 #[must_use]
 pub fn run_request_reply(s: &RequestReplyScenario) -> RequestReplyResult {
+    run_request_reply_latencies(s).0
+}
+
+/// Like [`run_request_reply`] but also returns every in-window
+/// completion latency, in completion order — the `loadgen` binary
+/// reports percentiles from these.
+#[must_use]
+pub fn run_request_reply_latencies(
+    s: &RequestReplyScenario,
+) -> (RequestReplyResult, Vec<Duration>) {
     let mut sim = Sim::new(s.placement.sim_config(s.seed));
     let group = GroupId::new("service");
     let server_ids: Vec<NodeId> = (0..s.servers)
@@ -381,7 +391,13 @@ pub fn run_request_reply(s: &RequestReplyScenario) -> RequestReplyResult {
     let mut nodes = server_ids;
     nodes.extend(client_ids);
     result.counts = harvest_counts(&sim, &nodes);
-    result
+    let (lo, hi) = window(s.duration);
+    let latencies = all
+        .iter()
+        .filter(|(at, _)| *at >= lo && *at < hi)
+        .map(|&(_, d)| d)
+        .collect();
+    (result, latencies)
 }
 
 /// Runs the plain-CORBA baseline: `clients` closed-loop clients against

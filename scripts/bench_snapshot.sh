@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# Performance snapshot for the encode-once fan-out PR: runs the
-# bench_snapshot binary (LAN closed-group invocation latency + fan-out
-# encode throughput) and writes the JSON next to the repo root as
-# BENCH_PR2.json. Offline-friendly; NEWTOP_BENCH_SEED overrides the
-# simulation seed.
+# Performance snapshots:
+#
+# * BENCH_PR2.json — the encode-once fan-out PR's numbers (LAN
+#   closed-group invocation latency + fan-out encode throughput), from
+#   the bench_snapshot binary.
+# * BENCH_PR4.json — the flow-control PR's numbers (closed-loop knee,
+#   open-loop saturation sheds and peak queue depth, threaded-runtime
+#   latency percentiles), from the loadgen binary.
+#
+# Offline-friendly; NEWTOP_BENCH_SEED overrides the simulation seed.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,3 +20,11 @@ cargo run --release --offline -p newtop-bench --bin bench_snapshot > "$OUT"
 
 echo "==> wrote $OUT"
 cat "$OUT"
+
+OUT4="BENCH_PR4.json"
+
+echo "==> cargo run --release -p newtop-bench --bin loadgen -- --json"
+cargo run --release --offline -p newtop-bench --bin loadgen -- --json > "$OUT4"
+
+echo "==> wrote $OUT4"
+cat "$OUT4"

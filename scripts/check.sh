@@ -21,6 +21,10 @@ echo "==> fault-injection campaign (quick, 25 seeds)"
 cargo build --release --offline -p newtop-check
 ./target/release/campaign --seeds 25 --quiet
 
+echo "==> loadgen smoke (flow control engages, queues stay bounded)"
+cargo build --release --offline -p newtop-bench --bin loadgen
+./target/release/loadgen --smoke > /dev/null
+
 echo "==> no build artifacts under version control"
 if [ -n "$(git ls-files target/)" ]; then
     echo "ERROR: target/ files are tracked by git; run 'git rm -r --cached target/'" >&2

@@ -118,7 +118,8 @@ fn request_reply_over_real_tcp_sockets() {
     let mut endpoints = Vec::new();
     let mut rxs = Vec::new();
     for &id in &ids {
-        let (tx, rx) = crossbeam::channel::unbounded();
+        let (tx, rx) =
+            newtop_flow::queue::bounded(newtop_flow::FlowConfig::default().queue_capacity);
         let ep = TcpEndpoint::bind(id, "127.0.0.1:0".parse().unwrap(), tx).unwrap();
         endpoints.push(ep);
         rxs.push(rx);
