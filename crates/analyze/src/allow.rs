@@ -1,0 +1,182 @@
+//! The committed allowlist (`analyze.allow`).
+//!
+//! Each entry suppresses one (rule, file, fn) cluster and must carry a
+//! one-line justification. The file is capped at 10 entries so the
+//! allowlist stays an exception record, not an escape hatch; entries
+//! that no longer match anything are themselves errors, so the file
+//! cannot rot.
+
+use crate::rules::Finding;
+use std::fmt::Write as _;
+
+/// One allowlist entry: suppresses findings for `rule` inside `fn` of
+/// `file`, with a mandatory justification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub file: String,
+    pub func: String,
+    pub reason: String,
+    /// 1-based line in `analyze.allow`, for error reporting.
+    pub line: u32,
+}
+
+/// Hard cap on allowlist size (acceptance criterion: ≤ 10 entries).
+pub const MAX_ENTRIES: usize = 10;
+
+/// Parses `analyze.allow` text. Lines are
+/// `rule=<rule> file=<path> fn=<name> reason=<free text>`; blank lines
+/// and `#` comments are skipped.
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+        let l = raw.trim();
+        if l.is_empty() || l.starts_with('#') {
+            continue;
+        }
+        let entry = parse_line(l, line).map_err(|e| format!("analyze.allow:{line}: {e}"))?;
+        entries.push(entry);
+    }
+    if entries.len() > MAX_ENTRIES {
+        return Err(format!(
+            "analyze.allow has {} entries; the cap is {MAX_ENTRIES} — fix violations instead of allowlisting them",
+            entries.len()
+        ));
+    }
+    Ok(entries)
+}
+
+fn parse_line(l: &str, line: u32) -> Result<AllowEntry, String> {
+    let rest = l
+        .strip_prefix("rule=")
+        .ok_or("expected `rule=<rule> file=<path> fn=<name> reason=<text>`")?;
+    let (rule, rest) = rest
+        .split_once(" file=")
+        .ok_or("missing ` file=` after the rule")?;
+    let (file, rest) = rest
+        .split_once(" fn=")
+        .ok_or("missing ` fn=` after the file")?;
+    let (func, reason) = rest
+        .split_once(" reason=")
+        .ok_or("missing ` reason=` after the fn")?;
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err("the justification after `reason=` must not be empty".to_owned());
+    }
+    for (key, val) in [("rule", rule), ("file", file), ("fn", func)] {
+        if val.trim().is_empty() || val.contains(char::is_whitespace) {
+            return Err(format!("`{key}=` value must be a single non-empty token"));
+        }
+    }
+    Ok(AllowEntry {
+        rule: rule.to_owned(),
+        file: file.to_owned(),
+        func: func.to_owned(),
+        reason: reason.to_owned(),
+        line,
+    })
+}
+
+/// Splits findings into (suppressed, surviving) and reports entries that
+/// matched nothing as errors — a stale allowlist line means the
+/// violation it justified is gone and the entry must be removed.
+pub fn apply(
+    findings: Vec<Finding>,
+    entries: &[AllowEntry],
+) -> Result<(Vec<Finding>, Vec<Finding>), String> {
+    let mut used = vec![false; entries.len()];
+    let mut suppressed = Vec::new();
+    let mut surviving = Vec::new();
+    for f in findings {
+        let hit = entries
+            .iter()
+            .position(|e| e.rule == f.rule && e.file == f.file && e.func == f.func);
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                suppressed.push(f);
+            }
+            None => surviving.push(f),
+        }
+    }
+    let mut stale = String::new();
+    for (e, u) in entries.iter().zip(&used) {
+        if !u {
+            let _ = writeln!(
+                stale,
+                "analyze.allow:{}: entry matches no finding (rule={} file={} fn={}); remove it",
+                e.line, e.rule, e.file, e.func
+            );
+        }
+    }
+    if stale.is_empty() {
+        Ok((suppressed, surviving))
+    } else {
+        Err(stale.trim_end().to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, func: &str) -> Finding {
+        Finding {
+            file: file.to_owned(),
+            line: 1,
+            rule,
+            func: func.to_owned(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parses_entries_and_comments() {
+        let e = parse(
+            "# comment\n\nrule=determinism file=crates/flow/src/queue.rs fn=recv_timeout reason=condvar wall-clock deadline\n",
+        )
+        .unwrap();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].rule, "determinism");
+        assert_eq!(e[0].func, "recv_timeout");
+        assert_eq!(e[0].reason, "condvar wall-clock deadline");
+        assert_eq!(e[0].line, 3);
+    }
+
+    #[test]
+    fn rejects_missing_reason_and_overflow() {
+        assert!(parse("rule=r file=f fn=g reason=").is_err());
+        assert!(parse("rule=r file=f fn=g").is_err());
+        let many = (0..11)
+            .map(|i| format!("rule=r file=f{i} fn=g reason=x"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = parse(&many).unwrap_err();
+        assert!(err.contains("cap is 10"), "{err}");
+    }
+
+    #[test]
+    fn apply_suppresses_and_flags_stale() {
+        let entries = parse(
+            "rule=determinism file=a.rs fn=f reason=ok\nrule=bounded file=b.rs fn=g reason=ok",
+        )
+        .unwrap();
+        // Both entries used: one suppressed, one survives.
+        let (supp, surv) = apply(
+            vec![
+                finding("determinism", "a.rs", "f"),
+                finding("bounded", "b.rs", "g"),
+                finding("panic-free", "a.rs", "f"),
+            ],
+            &entries,
+        )
+        .unwrap();
+        assert_eq!(supp.len(), 2);
+        assert_eq!(surv.len(), 1);
+        assert_eq!(surv[0].rule, "panic-free");
+        // Stale entry errors.
+        let err = apply(vec![finding("determinism", "a.rs", "f")], &entries).unwrap_err();
+        assert!(err.contains("matches no finding"), "{err}");
+    }
+}

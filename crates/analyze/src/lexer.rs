@@ -1,0 +1,450 @@
+//! A minimal Rust lexer.
+//!
+//! The workspace builds offline from vendored stand-ins, so `syn` is not
+//! available; the analyzer instead works on a token stream produced by
+//! this hand-rolled scanner. It understands exactly as much Rust as the
+//! rules need: comments (line, nested block, doc), string/char/byte/raw
+//! literals, lifetimes, numbers, attributes (captured whole, with their
+//! inner text), identifiers and single-character punctuation. Everything
+//! the rules match on — call shapes, indexing, lock/guard bindings — is
+//! expressed over this stream.
+
+/// What a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident,
+    /// A single punctuation character.
+    Punct,
+    /// A literal (string, char, number, lifetime); `text` is a
+    /// placeholder, not the literal's value.
+    Lit,
+    /// An attribute `#[...]` / `#![...]`; `text` is the inner text.
+    Attr,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// Identifier text, punctuation character, literal placeholder, or
+    /// attribute interior.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes Rust source into a token stream. Never fails: unrecognized
+/// bytes become single-character punctuation tokens, which at worst
+/// makes a rule miss — the self-test guards against systematic misses.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = cur.peek() {
+        let line = cur.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => skip_line_comment(&mut cur),
+            b'/' if cur.peek_at(1) == Some(b'*') => skip_block_comment(&mut cur),
+            b'"' => {
+                skip_string(&mut cur);
+                out.push(lit(line));
+            }
+            b'r' | b'b' | b'c' if starts_raw_or_byte_string(&cur) => {
+                skip_prefixed_string(&mut cur);
+                out.push(lit(line));
+            }
+            b'\'' => {
+                lex_quote(&mut cur);
+                out.push(lit(line));
+            }
+            b'#' if matches!(cur.peek_at(1), Some(b'[')) || is_inner_attr(&cur) => {
+                let text = lex_attr(&mut cur);
+                out.push(Token {
+                    kind: TokKind::Attr,
+                    text,
+                    line,
+                });
+            }
+            _ if is_ident_start(b) => {
+                let text = lex_ident(&mut cur);
+                out.push(Token {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                lex_number(&mut cur);
+                out.push(lit(line));
+            }
+            _ => {
+                cur.bump();
+                out.push(Token {
+                    kind: TokKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn lit(line: u32) -> Token {
+    Token {
+        kind: TokKind::Lit,
+        text: String::new(),
+        line,
+    }
+}
+
+fn skip_line_comment(cur: &mut Cursor<'_>) {
+    while let Some(b) = cur.bump() {
+        if b == b'\n' {
+            break;
+        }
+    }
+}
+
+fn skip_block_comment(cur: &mut Cursor<'_>) {
+    cur.bump();
+    cur.bump();
+    let mut depth = 1u32;
+    while depth > 0 {
+        match (cur.peek(), cur.peek_at(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some(b'*'), Some(b'/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => return,
+        }
+    }
+}
+
+fn skip_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(b) = cur.bump() {
+        match b {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => return,
+            _ => {}
+        }
+    }
+}
+
+/// True at `r`/`b`/`c` when what follows forms a raw or byte or C string
+/// (as opposed to an identifier starting with that letter).
+fn starts_raw_or_byte_string(cur: &Cursor<'_>) -> bool {
+    let mut off = 1;
+    // Allow `br`, `cr`, `rb` style double prefixes.
+    if matches!(cur.peek_at(off), Some(b'r' | b'b')) && cur.peek() != cur.peek_at(off) {
+        off += 1;
+    }
+    let mut hashes = 0;
+    while cur.peek_at(off + hashes) == Some(b'#') {
+        hashes += 1;
+    }
+    // `r#ident` (raw identifier) has hashes but no quote.
+    cur.peek_at(off + hashes) == Some(b'"') && !(hashes > 0 && off == 1 && cur.peek() != Some(b'r'))
+}
+
+fn skip_prefixed_string(cur: &mut Cursor<'_>) {
+    let mut raw = false;
+    while let Some(b) = cur.peek() {
+        match b {
+            b'r' => {
+                raw = true;
+                cur.bump();
+            }
+            b'b' | b'c' => {
+                cur.bump();
+            }
+            _ => break,
+        }
+    }
+    let mut hashes = 0usize;
+    while cur.peek() == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if !raw && hashes == 0 {
+        skip_string(cur);
+        return;
+    }
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            None => return,
+            Some(b'"') => {
+                let mut seen = 0;
+                while seen < hashes && cur.peek() == Some(b'#') {
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Disambiguates `'a` (lifetime) from `'x'` (char literal) and consumes
+/// either.
+fn lex_quote(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    if let Some(b) = cur.peek() {
+        if is_ident_start(b) {
+            // Could be a lifetime or a char like 'a'. Scan the ident run;
+            // a closing quote right after one char means char literal.
+            let mut len = 0;
+            while cur.peek_at(len).map(is_ident_continue).unwrap_or(false) {
+                len += 1;
+            }
+            if len == 1 && cur.peek_at(1) == Some(b'\'') {
+                cur.bump();
+                cur.bump();
+                return;
+            }
+            for _ in 0..len {
+                cur.bump();
+            }
+            return; // lifetime: no closing quote
+        }
+    }
+    // Escaped or punctuation char literal.
+    while let Some(b) = cur.bump() {
+        match b {
+            b'\\' => {
+                cur.bump();
+            }
+            b'\'' => return,
+            _ => {}
+        }
+    }
+}
+
+fn is_inner_attr(cur: &Cursor<'_>) -> bool {
+    cur.peek_at(1) == Some(b'!') && cur.peek_at(2) == Some(b'[')
+}
+
+fn lex_attr(cur: &mut Cursor<'_>) -> String {
+    cur.bump(); // '#'
+    if cur.peek() == Some(b'!') {
+        cur.bump();
+    }
+    cur.bump(); // '['
+    let start = cur.pos;
+    let mut depth = 1u32;
+    while let Some(b) = cur.peek() {
+        match b {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+                    cur.bump();
+                    return text;
+                }
+            }
+            b'"' => {
+                skip_string(cur);
+                continue;
+            }
+            _ => {}
+        }
+        cur.bump();
+    }
+    String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned()
+}
+
+fn lex_ident(cur: &mut Cursor<'_>) -> String {
+    let start = cur.pos;
+    while cur.peek().map(is_ident_continue).unwrap_or(false) {
+        cur.bump();
+    }
+    String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned()
+}
+
+fn lex_number(cur: &mut Cursor<'_>) {
+    // Loose: digits, hex/binary prefixes, underscores, suffixes, and a
+    // fractional part — but never swallow the second dot of `0..n`.
+    while let Some(b) = cur.peek() {
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            cur.bump();
+        } else if b == b'.' && cur.peek_at(1) != Some(b'.') {
+            if cur.peek_at(1).map(|n| n.is_ascii_digit()) == Some(true) {
+                cur.bump();
+            } else {
+                // method call on a literal like `1.to_string()`
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Lit)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(
+            texts("fn foo(x: u32) -> u32 { x }"),
+            vec!["fn", "foo", "(", "x", ":", "u32", ")", "-", ">", "u32", "{", "x", "}"]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            texts("a // line\nb /* block /* nested */ still */ c"),
+            vec!["a", "b", "c"]
+        );
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        let toks = lex(r#"let s = "fn bad() { x.unwrap() }"; done"#);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "s", "done"]);
+    }
+
+    #[test]
+    fn raw_strings_and_bytes() {
+        let toks = lex(r###"let s = r#"has "quotes" and unwrap()"#; let b = b"x"; end"###);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "s", "let", "b", "end"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let esc = '\\''; }");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        // Lifetimes are consumed whole (no `a` ident leaks out), and
+        // char literals never open a string.
+        assert_eq!(
+            idents,
+            vec!["fn", "f", "x", "str", "let", "c", "let", "esc"]
+        );
+    }
+
+    #[test]
+    fn attributes_are_captured_whole() {
+        let toks = lex("#[cfg(test)]\nmod tests {}");
+        assert_eq!(toks[0].kind, TokKind::Attr);
+        assert_eq!(toks[0].text, "cfg(test)");
+        assert!(toks[1].is_ident("mod"));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        assert_eq!(
+            texts("for i in 0..10 {}"),
+            vec!["for", "i", "in", ".", ".", "{", "}"]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = lex("let r#type = 1;");
+        assert!(toks.iter().any(|t| t.is_ident("type") || t.text == "r"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

@@ -1,0 +1,123 @@
+//! `cargo run -p newtop-analyze` — the workspace protocol-invariant
+//! linter.
+//!
+//! Exit codes: 0 clean (or allowlisted), 1 surviving findings or failed
+//! self-test, 2 usage/configuration error (bad allowlist, missing
+//! workspace).
+
+use newtop_analyze::{allow, analyze_workspace, selftest};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+newtop-analyze — NewTop protocol-invariant static analysis
+
+USAGE:
+    cargo run -p newtop-analyze [--] [OPTIONS]
+
+OPTIONS:
+    --self-test          inject known-bad snippets per rule and assert
+                         each is caught (and each good twin is clean)
+    --root <DIR>         workspace root (default: .)
+    --allowlist <FILE>   allowlist path (default: <root>/analyze.allow)
+    --show-allowed       also print the findings the allowlist suppressed
+    -h, --help           this text
+";
+
+fn main() -> ExitCode {
+    let mut self_test = false;
+    let mut root = PathBuf::from(".");
+    let mut allowlist: Option<PathBuf> = None;
+    let mut show_allowed = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--self-test" => self_test = true,
+            "--show-allowed" => show_allowed = true,
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage_error("--root needs a value"),
+            },
+            "--allowlist" => match args.next() {
+                Some(v) => allowlist = Some(PathBuf::from(v)),
+                None => return usage_error("--allowlist needs a value"),
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if self_test {
+        return match selftest::run() {
+            Ok(report) => {
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(report) => {
+                eprintln!("{report}");
+                eprintln!("newtop-analyze: SELF-TEST FAILED — a rule regressed");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let allow_path = allowlist.unwrap_or_else(|| root.join("analyze.allow"));
+    let entries = if allow_path.exists() {
+        let text = match std::fs::read_to_string(&allow_path) {
+            Ok(t) => t,
+            Err(e) => return usage_error(&format!("reading {}: {e}", allow_path.display())),
+        };
+        match allow::parse(&text) {
+            Ok(e) => e,
+            Err(e) => return usage_error(&e),
+        }
+    } else {
+        Vec::new()
+    };
+
+    let findings = match analyze_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&format!("analyzing workspace: {e}")),
+    };
+    let total = findings.len();
+
+    let (suppressed, surviving) = match allow::apply(findings, &entries) {
+        Ok(split) => split,
+        Err(stale) => return usage_error(&stale),
+    };
+
+    if show_allowed {
+        for f in &suppressed {
+            println!(
+                "allowed  [{}] {}:{} in {}: {}",
+                f.rule, f.file, f.line, f.func, f.message
+            );
+        }
+    }
+    for f in &surviving {
+        println!(
+            "VIOLATION [{}] {}:{} in {}: {}",
+            f.rule, f.file, f.line, f.func, f.message
+        );
+    }
+    println!(
+        "newtop-analyze: {total} finding(s), {} allowlisted ({} entries), {} surviving",
+        suppressed.len(),
+        entries.len(),
+        surviving.len()
+    );
+    if surviving.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("newtop-analyze: {msg}");
+    ExitCode::from(2)
+}

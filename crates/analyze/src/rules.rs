@@ -1,0 +1,615 @@
+//! The four NewTop rule families.
+//!
+//! Every rule runs over the token bodies of non-test functions produced
+//! by [`crate::items`]. The rules are deliberately over-approximate
+//! (name-based reachability, token-shape matching) — the committed
+//! allowlist absorbs the handful of justified exceptions, and
+//! `--self-test` proves each family still fires on known-bad input.
+
+use crate::items::{FnItem, ParsedFile};
+use crate::lexer::{TokKind, Token};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Rule family identifiers (used in findings and `analyze.allow`).
+pub const RULE_DETERMINISM: &str = "determinism";
+pub const RULE_PANIC_FREE: &str = "panic-free";
+pub const RULE_BOUNDED: &str = "bounded";
+pub const RULE_LOCK_HYGIENE: &str = "lock-hygiene";
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based source line of the offending token.
+    pub line: u32,
+    /// Rule family (`RULE_*`).
+    pub rule: &'static str,
+    /// Enclosing function name (allowlist key).
+    pub func: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Crates whose code must be deterministic (rule 1): the protocol
+/// decision logic. `newtop-net` is excluded — it owns the transports and
+/// the blessed `time::Clock` abstraction itself.
+pub const PROTOCOL_CRATES: &[&str] = &["gcs", "invocation", "flow", "core", "check"];
+
+/// The only crate allowed to construct unbounded channels (rule 3): the
+/// flow-control crate owns every queue discipline.
+pub const BOUNDED_EXEMPT_CRATE: &str = "flow";
+
+/// Crates analysed for panic-freedom (rule 2): the ones that carry
+/// network-input decode/ingest paths. The name-based call graph is
+/// over-approximate, so the set is kept to where the entry points and
+/// their callees actually live — widening it to harness crates
+/// (`check`, `workloads`, the analyzer itself) only manufactures
+/// name-collision noise.
+pub const PANIC_FREE_CRATES: &[&str] = &["gcs", "orb", "invocation", "core"];
+
+/// Network-input entry points (rule 2). `owner`/`name` of `None` match
+/// anything: every `CdrDecoder` method is a decode boundary, and every
+/// `from_cdr`/`from_frame`/`decode` constructor on any message type is
+/// one too, as is `GcsMember::on_message` (the member ingest path).
+pub const ENTRY_POINTS: &[(Option<&str>, Option<&str>)] = &[
+    (Some("CdrDecoder"), None),
+    (None, Some("from_cdr")),
+    (None, Some("from_frame")),
+    (None, Some("decode")),
+    (Some("GcsMember"), Some("on_message")),
+];
+
+/// Calls that hand data to a transport or queue (rule 4): holding a lock
+/// guard across any of these risks deadlock and priority inversion.
+const SEND_LIKE: &[&str] = &[
+    "send",
+    "try_send",
+    "send_fanout",
+    "write_all",
+    "oneway",
+    "oneway_fanout",
+    "connect",
+    "recv",
+];
+
+/// Extracts `gcs` from `crates/gcs/src/member.rs`.
+#[must_use]
+pub fn crate_of(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("crates/")?;
+    rest.split('/').next()
+}
+
+fn is_protocol_crate(path: &str) -> bool {
+    crate_of(path).is_some_and(|c| PROTOCOL_CRATES.contains(&c))
+}
+
+/// Runs every rule family over the parsed workspace.
+#[must_use]
+pub fn run_all(files: &[ParsedFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    determinism(files, &mut out);
+    panic_free(files, &mut out);
+    bounded(files, &mut out);
+    lock_hygiene(files, &mut out);
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn production_fns(files: &[ParsedFile]) -> impl Iterator<Item = (&ParsedFile, &FnItem)> {
+    files.iter().flat_map(|f| {
+        f.fns
+            .iter()
+            .filter(|item| !item.is_test)
+            .map(move |item| (f, item))
+    })
+}
+
+fn body<'a>(file: &'a ParsedFile, item: &FnItem) -> &'a [Token] {
+    &file.tokens[item.body.0..item.body.1]
+}
+
+// ---------------------------------------------------------------- rule 1
+
+/// Determinism: protocol crates must not read wall-clock time, sample
+/// OS randomness, or make decisions over `HashMap`/`HashSet` iteration
+/// order. All time flows through `newtop_net::time`; all keyed protocol
+/// state uses ordered maps.
+fn determinism(files: &[ParsedFile], out: &mut Vec<Finding>) {
+    for (file, item) in production_fns(files) {
+        if !is_protocol_crate(&file.path) {
+            continue;
+        }
+        let toks = body(file, item);
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let msg = match t.text.as_str() {
+                "Instant" if path_call(toks, i, "now") => {
+                    Some("Instant::now() in protocol code; route time through newtop_net::time")
+                }
+                "SystemTime" => {
+                    Some("SystemTime in protocol code; route time through newtop_net::time")
+                }
+                "thread_rng" | "from_entropy" => {
+                    Some("OS randomness in protocol code; seed RNGs explicitly")
+                }
+                "HashMap" | "HashSet" => Some(
+                    "HashMap/HashSet iteration order is nondeterministic; use BTreeMap/BTreeSet in protocol state",
+                ),
+                _ => None,
+            };
+            if let Some(m) = msg {
+                out.push(finding(RULE_DETERMINISM, file, item, t, m));
+            }
+        }
+    }
+}
+
+/// True when `toks[i]` starts the path call `Ident::method(`.
+fn path_call(toks: &[Token], i: usize, method: &str) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && toks
+            .get(i + 3)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == method)
+}
+
+// ---------------------------------------------------------------- rule 2
+
+/// Panic-freedom on message paths: no `unwrap`/`expect`/panicking macro/
+/// slice-indexing in any function reachable (by name) from a
+/// network-input entry point. Malformed bytes must surface as
+/// `NewtopError::Malformed`, never as a panic.
+fn panic_free(files: &[ParsedFile], out: &mut Vec<Finding>) {
+    // Name → function occurrences, for the over-approximate call graph.
+    // Restricted to the message-path crates; `testkit` is test harness
+    // living in src/.
+    let in_scope = |path: &str| {
+        crate_of(path).is_some_and(|c| PANIC_FREE_CRATES.contains(&c)) && !path.contains("testkit")
+    };
+    let mut by_name: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
+    let all: Vec<(&ParsedFile, &FnItem, usize, usize)> = files
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| in_scope(&f.path))
+        .flat_map(|(fi, f)| {
+            f.fns
+                .iter()
+                .enumerate()
+                .filter(|(_, item)| !item.is_test)
+                .map(move |(ii, item)| (f, item, fi, ii))
+        })
+        .collect();
+    for (_, item, fi, ii) in &all {
+        by_name
+            .entry(item.name.as_str())
+            .or_default()
+            .push((*fi, *ii));
+    }
+
+    // Seed with the entry points, then BFS over callee names.
+    let mut reachable: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut queue: Vec<(usize, usize)> = Vec::new();
+    for (_, item, fi, ii) in &all {
+        let hit = ENTRY_POINTS.iter().any(|(owner, name)| {
+            owner.is_none_or(|o| item.owner.as_deref() == Some(o))
+                && name.is_none_or(|n| item.name == n)
+        });
+        if hit && reachable.insert((*fi, *ii)) {
+            queue.push((*fi, *ii));
+        }
+    }
+    while let Some((fi, ii)) = queue.pop() {
+        let file = &files[fi];
+        let item = &file.fns[ii];
+        for callee in callee_names(body(file, item)) {
+            if let Some(targets) = by_name.get(callee.as_str()) {
+                for &t in targets {
+                    if reachable.insert(t) {
+                        queue.push(t);
+                    }
+                }
+            }
+        }
+    }
+
+    for &(fi, ii) in &reachable {
+        let file = &files[fi];
+        let item = &file.fns[ii];
+        let toks = body(file, item);
+        for (i, t) in toks.iter().enumerate() {
+            match t.kind {
+                TokKind::Ident => {
+                    let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+                    let after_dot = i > 0 && toks[i - 1].is_punct('.');
+                    let msg = match t.text.as_str() {
+                        "panic" | "unreachable" | "todo" | "unimplemented" if next_bang => {
+                            Some(format!(
+                                "{}! on a message path; return NewtopError::Malformed",
+                                t.text
+                            ))
+                        }
+                        "unwrap" | "expect" if after_dot => Some(format!(
+                            ".{}() on a message path; return NewtopError::Malformed",
+                            t.text
+                        )),
+                        _ => None,
+                    };
+                    if let Some(m) = msg {
+                        out.push(finding(RULE_PANIC_FREE, file, item, t, &m));
+                    }
+                }
+                TokKind::Punct if t.text == "[" && i > 0 => {
+                    let prev = &toks[i - 1];
+                    let indexing = matches!(prev.kind, TokKind::Ident | TokKind::Lit)
+                        && !is_keyword(&prev.text)
+                        || prev.is_punct(')')
+                        || prev.is_punct(']');
+                    if indexing {
+                        out.push(finding(
+                            RULE_PANIC_FREE,
+                            file,
+                            item,
+                            t,
+                            "slice/map indexing on a message path can panic; use .get() and return NewtopError::Malformed",
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    // `let [a, b] = ...` and `ref`/`box` patterns start arrays, not
+    // index expressions.
+    matches!(
+        s,
+        "return"
+            | "break"
+            | "in"
+            | "else"
+            | "match"
+            | "if"
+            | "while"
+            | "loop"
+            | "mut"
+            | "move"
+            | "as"
+            | "let"
+            | "ref"
+    )
+}
+
+/// Names invoked as `name(...)` or `.name(...)` inside a body.
+fn callee_names(toks: &[Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && !is_keyword(&t.text)
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            names.insert(t.text.clone());
+        }
+    }
+    names
+}
+
+// ---------------------------------------------------------------- rule 3
+
+/// Boundedness: PR 4 replaced every unbounded channel with
+/// `newtop_flow::queue`; this rule locks that in. Only `newtop-flow`
+/// itself may construct unbounded channels.
+fn bounded(files: &[ParsedFile], out: &mut Vec<Finding>) {
+    for (file, item) in production_fns(files) {
+        if crate_of(&file.path) == Some(BOUNDED_EXEMPT_CRATE) {
+            continue;
+        }
+        let toks = body(file, item);
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let call = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+            if t.text == "unbounded" && call {
+                out.push(finding(
+                    RULE_BOUNDED,
+                    file,
+                    item,
+                    t,
+                    "unbounded channel outside newtop-flow; use newtop_flow::queue::bounded",
+                ));
+            }
+            if t.text == "channel"
+                && call
+                && i >= 2
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && toks
+                    .get(i.wrapping_sub(3))
+                    .is_some_and(|p| p.kind == TokKind::Ident && p.text == "mpsc")
+            {
+                out.push(finding(
+                    RULE_BOUNDED,
+                    file,
+                    item,
+                    t,
+                    "std::sync::mpsc::channel is unbounded; use newtop_flow::queue::bounded",
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- rule 4
+
+/// Lock hygiene: a `Mutex`/`RwLock` guard bound with `let` must be
+/// dropped before any transport send or queue hand-off in the same
+/// block. Holding one across `send`/`write_all`/`connect`/… is the
+/// deadlock and priority-inversion shape PR 4 removed from
+/// `tcp.rs`/`channel.rs`.
+fn lock_hygiene(files: &[ParsedFile], out: &mut Vec<Finding>) {
+    for (file, item) in production_fns(files) {
+        let toks = body(file, item);
+        let mut i = 0;
+        while i < toks.len() {
+            if let Some((guard, stmt_end)) = guard_binding(toks, i) {
+                scan_guard_scope(file, item, toks, stmt_end, &guard, out);
+                i = stmt_end + 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Matches `let [mut] NAME = <expr containing .lock()/.read()/.write()>;`
+/// starting at `i`; returns the guard name and the index of the `;`.
+fn guard_binding(toks: &[Token], i: usize) -> Option<(String, usize)> {
+    if !toks[i].is_ident("let") {
+        return None;
+    }
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let name = toks
+        .get(j)
+        .filter(|t| t.kind == TokKind::Ident)?
+        .text
+        .clone();
+    if !toks.get(j + 1).is_some_and(|t| t.is_punct('=')) {
+        return None;
+    }
+    // Scan the initializer to the statement's `;` at depth 0 and look
+    // for a lock acquisition. Chained recovery like
+    // `.lock().unwrap_or_else(|e| e.into_inner())` still binds a guard.
+    let mut depth = 0i32;
+    let mut acquires = false;
+    let mut k = j + 2;
+    while k < toks.len() {
+        let t = &toks[k];
+        match t.kind {
+            TokKind::Punct if depth == 0 && t.text == ";" => {
+                return if acquires { Some((name, k)) } else { None };
+            }
+            TokKind::Punct if matches!(t.text.as_str(), "(" | "[" | "{") => depth += 1,
+            TokKind::Punct if matches!(t.text.as_str(), ")" | "]" | "}") => depth -= 1,
+            // Depth 0 only: a lock taken inside a nested block/closure
+            // in the initializer dies before the binding completes.
+            TokKind::Ident
+                if depth == 0
+                    && matches!(t.text.as_str(), "lock" | "read" | "write")
+                    && k >= 1
+                    && toks[k - 1].is_punct('.')
+                    && toks.get(k + 1).is_some_and(|n| n.is_punct('(')) =>
+            {
+                acquires = true;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Scans from the end of a guard binding to the end of its enclosing
+/// block (or an explicit `drop(guard)`), flagging send-like calls made
+/// while the guard is live.
+fn scan_guard_scope(
+    file: &ParsedFile,
+    item: &FnItem,
+    toks: &[Token],
+    stmt_end: usize,
+    guard: &str,
+    out: &mut Vec<Finding>,
+) {
+    let mut depth = 0i32;
+    let mut i = stmt_end + 1;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct if t.text == "{" => depth += 1,
+            TokKind::Punct if t.text == "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return; // guard's block closed; guard dropped
+                }
+            }
+            // `drop(guard)` releases it early.
+            TokKind::Ident
+                if t.text == "drop"
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                    && toks.get(i + 2).is_some_and(|n| n.is_ident(guard))
+                    && toks.get(i + 3).is_some_and(|n| n.is_punct(')')) =>
+            {
+                return;
+            }
+            TokKind::Ident
+                if SEND_LIKE.contains(&t.text.as_str())
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+            {
+                out.push(finding(
+                    RULE_LOCK_HYGIENE,
+                    file,
+                    item,
+                    t,
+                    &format!(
+                        "`{}` called while lock guard `{guard}` is held; drop the guard before the hand-off",
+                        t.text
+                    ),
+                ));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+fn finding(
+    rule: &'static str,
+    file: &ParsedFile,
+    item: &FnItem,
+    tok: &Token,
+    message: &str,
+) -> Finding {
+    Finding {
+        file: file.path.clone(),
+        line: tok.line,
+        rule,
+        func: item.name.clone(),
+        message: message.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_file;
+    use crate::lexer::lex;
+
+    fn check(path: &str, src: &str) -> Vec<Finding> {
+        run_all(&[parse_file(path, lex(src))])
+    }
+
+    #[test]
+    fn determinism_flags_wall_clock_in_protocol_crates() {
+        let f = check(
+            "crates/gcs/src/member.rs",
+            "fn tick(&mut self) { let t = Instant::now(); }",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RULE_DETERMINISM);
+    }
+
+    #[test]
+    fn determinism_ignores_net_and_tests() {
+        assert!(check(
+            "crates/net/src/tcp.rs",
+            "fn tick() { let t = Instant::now(); }",
+        )
+        .is_empty());
+        assert!(check(
+            "crates/gcs/src/member.rs",
+            "#[cfg(test)] mod tests { fn tick() { let t = Instant::now(); } }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn determinism_flags_hash_maps() {
+        let f = check(
+            "crates/core/src/nso.rs",
+            "fn route(&self) {\n let m: HashMap<u32, u32> =\n HashMap::new(); }",
+        );
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|x| x.rule == RULE_DETERMINISM));
+    }
+
+    #[test]
+    fn panic_free_reaches_through_calls() {
+        let f = check(
+            "crates/orb/src/cdr.rs",
+            "impl CdrDecoder { fn read_u8(&mut self) -> u8 { helper(self) } }\n\
+             fn helper(d: &mut CdrDecoder) -> u8 { d.buf[0] }\n\
+             fn unrelated(v: &[u8]) -> u8 { v[0] }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RULE_PANIC_FREE);
+        assert_eq!(f[0].func, "helper");
+    }
+
+    #[test]
+    fn panic_free_flags_unwrap_expect_and_macros() {
+        let f = check(
+            "crates/gcs/src/message.rs",
+            "impl GcsMessage { fn from_cdr(d: &[u8]) -> Self { let x: Option<u8> = None; x.unwrap(); x.expect(\"x\"); panic!(\"no\"); Self }}",
+        );
+        assert_eq!(f.len(), 3, "{f:?}");
+    }
+
+    #[test]
+    fn panic_free_ignores_array_literals_and_types() {
+        let f = check(
+            "crates/orb/src/cdr.rs",
+            "impl CdrDecoder { fn pad(&mut self) -> [u8; 4] { let b = [0u8; 4]; b } }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn bounded_flags_unbounded_outside_flow() {
+        let f = check(
+            "crates/net/src/channel.rs",
+            "fn mk() { let (tx, rx) = unbounded(); let p = mpsc::channel(); }",
+        );
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == RULE_BOUNDED));
+        assert!(check(
+            "crates/flow/src/queue.rs",
+            "fn mk() { let (tx, rx) = unbounded(); }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn lock_hygiene_flags_send_under_guard() {
+        let f = check(
+            "crates/net/src/tcp.rs",
+            "fn send(&self) { let mut conns = self.shared.conns.lock(); conns.stream.write_all(&frame); }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RULE_LOCK_HYGIENE);
+    }
+
+    #[test]
+    fn lock_hygiene_respects_block_end_and_drop() {
+        assert!(check(
+            "crates/net/src/channel.rs",
+            "fn a(&self) { { let g = self.registry.read(); let tx = g.tx.clone(); } tx.try_send(m); }",
+        )
+        .is_empty());
+        assert!(check(
+            "crates/net/src/channel.rs",
+            "fn a(&self) { let g = self.registry.read(); let tx = g.tx.clone(); drop(g); tx.try_send(m); }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn lock_hygiene_overapproximates_value_bindings() {
+        // `let n = ...lock().len();` binds a usize, not a guard, but the
+        // token scan cannot see types: it IS flagged, documenting the
+        // known over-approximation (allowlist if it ever appears).
+        let f = check(
+            "crates/net/src/tcp.rs",
+            "fn a(&self) { let n = self.map.lock().len(); self.tx.try_send(n); }",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RULE_LOCK_HYGIENE);
+    }
+}

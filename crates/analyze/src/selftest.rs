@@ -1,0 +1,175 @@
+//! `--self-test`: proves each rule family still fires.
+//!
+//! Same detectability discipline as PR 3's `--mutate`: for every rule we
+//! inject a known-bad snippet (under a virtual protocol-crate path) and
+//! assert the rule catches it, plus a known-good twin that must produce
+//! zero findings. A regressed rule therefore fails the `check.sh` gate
+//! even if the workspace itself happens to be clean.
+
+use crate::items::parse_file;
+use crate::lexer::lex;
+use crate::rules::{self, Finding};
+
+struct Case {
+    name: &'static str,
+    /// Rule expected to fire on `bad` (`None` for good twins).
+    expect: Option<&'static str>,
+    /// Virtual workspace path the snippet pretends to live at.
+    path: &'static str,
+    src: &'static str,
+}
+
+const CASES: &[Case] = &[
+    // rule 1 — determinism
+    Case {
+        name: "determinism/instant-now",
+        expect: Some(rules::RULE_DETERMINISM),
+        path: "crates/gcs/src/selftest.rs",
+        src: "impl GcsMember { fn on_timer(&mut self) { let deadline = Instant::now(); } }",
+    },
+    Case {
+        name: "determinism/system-time",
+        expect: Some(rules::RULE_DETERMINISM),
+        path: "crates/invocation/src/selftest.rs",
+        src: "fn stamp() -> u64 { SystemTime::now().elapsed().as_secs() }",
+    },
+    Case {
+        name: "determinism/thread-rng",
+        expect: Some(rules::RULE_DETERMINISM),
+        path: "crates/check/src/selftest.rs",
+        src: "fn jitter() -> u64 { thread_rng().gen() }",
+    },
+    Case {
+        name: "determinism/hashmap-iteration",
+        expect: Some(rules::RULE_DETERMINISM),
+        path: "crates/core/src/selftest.rs",
+        src: "fn pick(&self) { for (k, v) in self.routes { } let m: HashMap<u32, u32> = Default::default(); }",
+    },
+    Case {
+        name: "determinism/good-sim-time",
+        expect: None,
+        path: "crates/gcs/src/selftest.rs",
+        src: "fn on_timer(&mut self, now: SimTime) { let deadline = now + self.timeout; let m: BTreeMap<u32, u32> = BTreeMap::new(); }",
+    },
+    // rule 2 — panic-freedom on message paths
+    Case {
+        name: "panic-free/unwrap-in-decode",
+        expect: Some(rules::RULE_PANIC_FREE),
+        path: "crates/orb/src/selftest.rs",
+        src: "impl CdrDecoder { fn read_u32(&mut self) -> u32 { let b: Option<u32> = None; b.unwrap() } }",
+    },
+    Case {
+        name: "panic-free/indexing-reachable-from-ingest",
+        expect: Some(rules::RULE_PANIC_FREE),
+        path: "crates/gcs/src/selftest.rs",
+        src: "impl GcsMember { fn on_message(&mut self, b: &[u8]) { helper(b); } }\n\
+              fn helper(b: &[u8]) -> u8 { b[0] }",
+    },
+    Case {
+        name: "panic-free/panic-macro-in-from-cdr",
+        expect: Some(rules::RULE_PANIC_FREE),
+        path: "crates/gcs/src/selftest.rs",
+        src: "impl GcsMessage { fn from_cdr(d: &mut CdrDecoder) -> Self { panic!(\"bad tag\") } }",
+    },
+    Case {
+        name: "panic-free/good-typed-error",
+        expect: None,
+        path: "crates/orb/src/selftest.rs",
+        src: "impl CdrDecoder { fn read_u32(&mut self) -> Result<u32, CdrError> { self.bytes.get(0).copied().ok_or(CdrError::Truncated) } }",
+    },
+    // rule 3 — boundedness
+    Case {
+        name: "bounded/unbounded-channel",
+        expect: Some(rules::RULE_BOUNDED),
+        path: "crates/net/src/selftest.rs",
+        src: "fn mk() { let (tx, rx) = crossbeam_channel::unbounded(); }",
+    },
+    Case {
+        name: "bounded/std-mpsc",
+        expect: Some(rules::RULE_BOUNDED),
+        path: "crates/rt/src/selftest.rs",
+        src: "fn mk() { let (tx, rx) = std::sync::mpsc::channel(); }",
+    },
+    Case {
+        name: "bounded/good-flow-queue",
+        expect: None,
+        path: "crates/net/src/selftest.rs",
+        src: "fn mk() { let (tx, rx) = newtop_flow::queue::bounded(64, Discipline::Backpressure); }",
+    },
+    // rule 4 — lock hygiene
+    Case {
+        name: "lock-hygiene/send-under-guard",
+        expect: Some(rules::RULE_LOCK_HYGIENE),
+        path: "crates/net/src/selftest.rs",
+        src: "fn fwd(&self) { let reg = self.registry.read(); reg.tx.try_send(frame); }",
+    },
+    Case {
+        name: "lock-hygiene/write-all-under-guard",
+        expect: Some(rules::RULE_LOCK_HYGIENE),
+        path: "crates/net/src/selftest.rs",
+        src: "fn fwd(&self) { let mut conns = self.conns.lock(); conns.stream.write_all(&frame); }",
+    },
+    Case {
+        name: "lock-hygiene/good-clone-then-send",
+        expect: None,
+        path: "crates/net/src/selftest.rs",
+        src: "fn fwd(&self) { let tx = { let reg = self.registry.read(); reg.tx.clone() }; tx.try_send(frame); }",
+    },
+];
+
+/// Runs the injected-violation suite. Returns a human-readable report;
+/// `Err` lists every case whose outcome differed from its expectation.
+pub fn run() -> Result<String, String> {
+    let mut report = String::new();
+    let mut failures = Vec::new();
+    for case in CASES {
+        let parsed = parse_file(case.path, lex(case.src));
+        let findings: Vec<Finding> = rules::run_all(std::slice::from_ref(&parsed));
+        let outcome = match case.expect {
+            Some(rule) => {
+                if findings.iter().any(|f| f.rule == rule) {
+                    "caught"
+                } else {
+                    failures.push(format!(
+                        "{}: expected rule `{rule}` to fire, findings: {findings:?}",
+                        case.name
+                    ));
+                    "MISSED"
+                }
+            }
+            None => {
+                if findings.is_empty() {
+                    "clean"
+                } else {
+                    failures.push(format!(
+                        "{}: expected no findings, got: {findings:?}",
+                        case.name
+                    ));
+                    "FALSE-POSITIVE"
+                }
+            }
+        };
+        report.push_str(&format!("self-test {:<44} {outcome}\n", case.name));
+    }
+    let injected = CASES.iter().filter(|c| c.expect.is_some()).count();
+    report.push_str(&format!(
+        "self-test: {injected} injected violations, {} good twins, {} failures\n",
+        CASES.len() - injected,
+        failures.len()
+    ));
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(format!("{report}\n{}", failures.join("\n")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn self_test_passes() {
+        if let Err(e) = super::run() {
+            panic!("self-test failed:\n{e}");
+        }
+    }
+}

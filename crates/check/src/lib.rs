@@ -32,7 +32,7 @@
 
 pub mod scenario;
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use bytes::Bytes;
@@ -112,7 +112,7 @@ impl NodeLog {
     #[must_use]
     pub fn from_outputs(node: NodeId, alive: bool, outputs: &[(SimTime, GcsOutput)]) -> Self {
         let mut groups: Vec<GroupLog> = Vec::new();
-        let mut index: HashMap<GroupId, usize> = HashMap::new();
+        let mut index: BTreeMap<GroupId, usize> = BTreeMap::new();
         let mut push = |group: &GroupId, ev: LogEvent| {
             let i = *index.entry(group.clone()).or_insert_with(|| {
                 groups.push(GroupLog {
@@ -515,7 +515,7 @@ impl InvariantChecker {
     /// group, every node delivering both sees m' first.
     fn check_causal_order(&self, group: &GroupId, report: &mut CheckReport) {
         // Per-sender send order within the group, from the ground truth.
-        let mut send_order: HashMap<NodeId, Vec<&Bytes>> = HashMap::new();
+        let mut send_order: BTreeMap<NodeId, Vec<&Bytes>> = BTreeMap::new();
         for s in self.sent.iter().filter(|s| &s.group == group) {
             send_order.entry(s.sender).or_default().push(&s.payload);
         }
@@ -523,7 +523,7 @@ impl InvariantChecker {
             let Some(glog) = log.group(group) else {
                 continue;
             };
-            let mut per_sender: HashMap<NodeId, Vec<(u64, &Bytes)>> = HashMap::new();
+            let mut per_sender: BTreeMap<NodeId, Vec<(u64, &Bytes)>> = BTreeMap::new();
             for ev in &glog.events {
                 if let LogEvent::Delivered {
                     sender,
@@ -587,7 +587,7 @@ impl InvariantChecker {
             let Some(glog) = log.group(group) else {
                 continue;
             };
-            let mut position: HashMap<&Bytes, usize> = HashMap::new();
+            let mut position: BTreeMap<&Bytes, usize> = BTreeMap::new();
             let mut pos = 0usize;
             for ev in &glog.events {
                 if let LogEvent::Delivered { payload, .. } = ev {
@@ -615,7 +615,7 @@ impl InvariantChecker {
     /// Invariant 4: no payload delivered twice at a node, and everything
     /// delivered matches a real multicast (sender included).
     fn check_dup_ghost(&self, group: &GroupId, report: &mut CheckReport) {
-        let sent: HashSet<(NodeId, &Bytes)> = self
+        let sent: BTreeSet<(NodeId, &Bytes)> = self
             .sent
             .iter()
             .filter(|s| &s.group == group)
@@ -626,7 +626,7 @@ impl InvariantChecker {
             let Some(glog) = log.group(group) else {
                 continue;
             };
-            let mut seen: HashSet<&Bytes> = HashSet::new();
+            let mut seen: BTreeSet<&Bytes> = BTreeSet::new();
             for ev in &glog.events {
                 let LogEvent::Delivered {
                     sender, payload, ..

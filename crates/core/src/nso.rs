@@ -12,7 +12,7 @@
 //! [`Nso::on_packet`] / [`Nso::on_timer`] and applies the queued outbox
 //! actions; results surface through [`Nso::take_outputs`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 use std::time::Duration;
@@ -25,7 +25,7 @@ use newtop_gcs::messages::GcsMessage;
 use newtop_gcs::view::View;
 use newtop_gcs::{GCS_OPERATION, NSO_OBJECT_KEY};
 use newtop_invocation::api::{
-    BindingStyle, CallId, InvCommand, OpenOptimisation, Replication, ReplyMode,
+    BindingStyle, CallId, InvCommand, InvMessage, OpenOptimisation, Replication, ReplyMode,
 };
 use newtop_invocation::client::{ClientCore, ClientError, ClientEvent};
 use newtop_invocation::g2g::G2gCaller;
@@ -79,6 +79,12 @@ pub enum NewtopError {
     /// the pending-call table or a view-change buffer is full. The call
     /// was not sent; retry after in-flight work drains.
     Overloaded(GroupId),
+    /// An incoming message body failed to unmarshal. The packet is
+    /// dropped (never panicked on), counted under the
+    /// `decode.malformed` metric and traced as
+    /// [`TraceEvent::MalformedDropped`]; the payload names the ORB
+    /// operation the body arrived under.
+    Malformed(&'static str),
     /// An error from the group communication layer.
     Gcs(GcsError),
     /// An error from the client invocation core.
@@ -100,6 +106,7 @@ impl fmt::Display for NewtopError {
             NewtopError::Overloaded(g) => {
                 write!(f, "overloaded: admission control shed the call to {g}")
             }
+            NewtopError::Malformed(op) => write!(f, "malformed {op} message body dropped"),
             NewtopError::Gcs(e) => write!(f, "group communication error: {e}"),
             NewtopError::Client(e) => write!(f, "invocation error: {e}"),
         }
@@ -400,14 +407,14 @@ pub struct Nso {
     orb: OrbCore,
     gcs: GcsMember,
     client: ClientCore,
-    servers: HashMap<GroupId, ServerCore>,
-    servants: HashMap<GroupId, Box<dyn GroupServant>>,
-    g2g_callers: HashMap<GroupId, G2gCaller>,
-    roles: HashMap<GroupId, GroupRole>,
-    pending_bind_requests: HashMap<RequestId, GroupId>,
-    binds: HashMap<GroupId, PendingBind>,
-    was_primary: HashMap<GroupId, bool>,
-    nso_timers: HashMap<u64, NsoTimer>,
+    servers: BTreeMap<GroupId, ServerCore>,
+    servants: BTreeMap<GroupId, Box<dyn GroupServant>>,
+    g2g_callers: BTreeMap<GroupId, G2gCaller>,
+    roles: BTreeMap<GroupId, GroupRole>,
+    pending_bind_requests: BTreeMap<RequestId, GroupId>,
+    binds: BTreeMap<GroupId, PendingBind>,
+    was_primary: BTreeMap<GroupId, bool>,
+    nso_timers: BTreeMap<u64, NsoTimer>,
     next_tag: u64,
     next_binding: u64,
     outputs: Vec<NsoOutput>,
@@ -415,10 +422,10 @@ pub struct Nso {
     /// [`Nso::metrics`] / [`Nso::trace`] merge the two).
     obs: Observability,
     /// Per-binding default reply mode (from [`BindOptions`]).
-    default_modes: HashMap<GroupId, ReplyMode>,
+    default_modes: BTreeMap<GroupId, ReplyMode>,
     /// Issue time of outstanding calls, for the end-to-end invocation
     /// latency histogram.
-    call_issued: HashMap<u64, SimTime>,
+    call_issued: BTreeMap<u64, SimTime>,
 }
 
 impl fmt::Debug for Nso {
@@ -462,20 +469,20 @@ impl Nso {
             orb: OrbCore::new(node),
             gcs: GcsMember::new(node, tags::GCS_BASE),
             client: ClientCore::new(node),
-            servers: HashMap::new(),
-            servants: HashMap::new(),
-            g2g_callers: HashMap::new(),
-            roles: HashMap::new(),
-            pending_bind_requests: HashMap::new(),
-            binds: HashMap::new(),
-            was_primary: HashMap::new(),
-            nso_timers: HashMap::new(),
+            servers: BTreeMap::new(),
+            servants: BTreeMap::new(),
+            g2g_callers: BTreeMap::new(),
+            roles: BTreeMap::new(),
+            pending_bind_requests: BTreeMap::new(),
+            binds: BTreeMap::new(),
+            was_primary: BTreeMap::new(),
+            nso_timers: BTreeMap::new(),
             next_tag: 0,
             next_binding: 1,
             outputs: Vec::new(),
             obs: Observability::new(),
-            default_modes: HashMap::new(),
-            call_issued: HashMap::new(),
+            default_modes: BTreeMap::new(),
+            call_issued: BTreeMap::new(),
         }
     }
 
@@ -1066,18 +1073,22 @@ impl Nso {
                     return;
                 }
                 match operation.as_str() {
-                    GCS_OPERATION => {
-                        if let Ok(msg) = GcsMessage::from_cdr(&body) {
+                    GCS_OPERATION => match GcsMessage::from_cdr(&body) {
+                        Ok(msg) => {
                             let outs = with_net(&mut self.orb, &mut self.obs, out, |net| {
                                 self.gcs.on_message(msg, now, net)
                             });
                             self.route_gcs(outs, now, out);
                         }
-                    }
-                    INV_OPERATION => {
-                        let events = self.client.on_message(&body);
-                        self.map_client_events(events, now, out);
-                    }
+                        Err(_) => self.note_malformed(GCS_OPERATION, now),
+                    },
+                    INV_OPERATION => match InvMessage::from_cdr(&body) {
+                        Ok(msg) => {
+                            let events = self.client.on_decoded(msg);
+                            self.map_client_events(events, now, out);
+                        }
+                        Err(_) => self.note_malformed(INV_OPERATION, now),
+                    },
                     INV_CTRL_OPERATION => {
                         let result = self.handle_ctrl(&body, now, out);
                         if response_expected {
@@ -1143,8 +1154,12 @@ impl Nso {
         now: SimTime,
         out: &mut Outbox,
     ) -> Result<Bytes, ServantError> {
-        let msg = CtrlMessage::from_cdr(body)
-            .map_err(|_| ServantError::User(Bytes::from_static(b"malformed control message")))?;
+        let msg = CtrlMessage::from_cdr(body).map_err(|_| {
+            self.note_malformed(INV_CTRL_OPERATION, now);
+            ServantError::User(Bytes::from(
+                NewtopError::Malformed(INV_CTRL_OPERATION).to_string(),
+            ))
+        })?;
         match msg {
             CtrlMessage::BindRequest {
                 group,
@@ -1339,10 +1354,13 @@ impl Nso {
             return;
         };
         match role {
-            GroupRole::ClientBinding => {
-                let events = self.client.on_message(&payload);
-                self.map_client_events(events, now, out);
-            }
+            GroupRole::ClientBinding => match InvMessage::from_cdr(&payload) {
+                Ok(msg) => {
+                    let events = self.client.on_decoded(msg);
+                    self.map_client_events(events, now, out);
+                }
+                Err(_) => self.note_malformed(INV_OPERATION, now),
+            },
             GroupRole::ServerGroup => {
                 self.serve_delivery(group.clone(), group, sender, &payload, now, out);
             }
@@ -1381,6 +1399,10 @@ impl Nso {
         now: SimTime,
         out: &mut Outbox,
     ) {
+        let Ok(msg) = InvMessage::from_cdr(payload) else {
+            self.note_malformed(INV_OPERATION, now);
+            return;
+        };
         let cmds = {
             let Some(core) = self.servers.get_mut(&server_group) else {
                 return;
@@ -1392,10 +1414,24 @@ impl Nso {
                     None => Bytes::new(),
                 }
             };
-            core.on_delivered(delivered_in, sender, payload, &mut exec)
+            core.on_decoded(delivered_in, sender, msg, &mut exec)
         };
         self.drain_server_events(&server_group, now);
         self.run_commands(cmds, now, out);
+    }
+
+    /// Counts and traces a message body that failed to unmarshal; the
+    /// condition is queryable as the `decode.malformed` metric and
+    /// renders as [`NewtopError::Malformed`] where an error channel
+    /// exists (the binding-control request path).
+    fn note_malformed(&mut self, operation: &'static str, now: SimTime) {
+        self.obs.metrics.incr("decode.malformed");
+        self.obs.record(
+            now,
+            TraceEvent::MalformedDropped {
+                operation: operation.to_string(),
+            },
+        );
     }
 
     /// Stamps and records the trace events a server core accumulated

@@ -15,7 +15,7 @@
 //!   requests — e.g. one caught in a view-change window — are recovered);
 //! * after exhausting every replica [`ProxyEvent::GaveUp`] is reported.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 use bytes::Bytes;
@@ -98,7 +98,7 @@ pub struct SmartProxy {
     queued: Vec<(u64, QueuedCall)>,
     /// Issued and awaiting completion: the NSO core's call number →
     /// (proxy number, issue time, the call for re-issue).
-    outstanding: HashMap<u64, (u64, SimTime, QueuedCall)>,
+    outstanding: BTreeMap<u64, (u64, SimTime, QueuedCall)>,
     next_number: u64,
     ticker_armed: bool,
 }
@@ -131,7 +131,7 @@ impl SmartProxy {
             manager_index: 0,
             failures_in_a_row: 0,
             queued: Vec::new(),
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             next_number: 1,
             ticker_armed: false,
         }

@@ -20,8 +20,17 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+// Under `--cfg loom` the lock and condvar come from the model-checking
+// harness, which injects preemption points at every acquisition so the
+// loom tests (and the regular unit tests, rerun under the same cfg)
+// explore adversarial schedules. The std and loom APIs are identical,
+// including poison recovery, so no other line of this module changes.
+#[cfg(loom)]
+use loom::sync::{Arc, Condvar, Mutex, MutexGuard};
+#[cfg(not(loom))]
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Error returned by [`Sender::send`] when every receiver is gone; the
 /// unsent message is handed back.
@@ -481,6 +490,37 @@ mod tests {
         assert_eq!(rx.poll_for_select(), Some(Ok(7)));
         drop(tx);
         assert_eq!(rx.poll_for_select(), Some(Err(RecvError)));
+    }
+
+    #[test]
+    fn queue_survives_a_poisoned_lock() {
+        // Regression test for poison propagation: every internal lock
+        // acquisition recovers with `PoisonError::into_inner` instead
+        // of unwrapping, so one panicking thread must not take the
+        // queue down for every other handle. Poison the mutex directly
+        // (the public API never runs user code under the lock, so this
+        // is the only way the state can arise).
+        let (tx, rx) = bounded(4);
+        tx.try_send(1).unwrap();
+        let shared = Arc::clone(&tx.shared);
+        let poisoner = thread::spawn(move || {
+            let _guard = shared.inner.lock().unwrap();
+            panic!("poisoning the queue lock on purpose");
+        });
+        assert!(poisoner.join().is_err(), "poisoner thread must panic");
+        // Every operation still works and the queued state is intact.
+        tx.send(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        let tx2 = tx.clone();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Err(RecvError));
     }
 
     #[test]

@@ -384,7 +384,12 @@ impl DeliveryEngine {
             return (start, Vec::new());
         }
         let end = (idx + max).min(self.order_log.len());
-        (start, self.order_log[idx..end].to_vec())
+        let entries = self
+            .order_log
+            .get(idx..end)
+            .map(<[_]>::to_vec)
+            .unwrap_or_default();
+        (start, entries)
     }
 
     /// Sequencer duty cycle: assign global positions to newly-orderable
@@ -399,11 +404,15 @@ impl DeliveryEngine {
             // Index loop: iterating `self.members` by reference would pin
             // `self` borrowed across the mutations below.
             for i in 0..self.members.len() {
-                let sender = self.members[i];
+                let Some(&sender) = self.members.get(i) else {
+                    break;
+                };
                 loop {
                     let processed = *self.seq_state.processed.get(&sender).unwrap_or(&0);
                     let next_seq = processed + 1;
-                    let track = &self.senders[&sender];
+                    let Some(track) = self.senders.get(&sender) else {
+                        break;
+                    };
                     if next_seq > track.contig {
                         break;
                     }
@@ -473,9 +482,10 @@ impl DeliveryEngine {
         loop {
             let mut round = false;
             for i in 0..self.members.len() {
-                let sender = self.members[i];
-                loop {
-                    let track = &self.senders[&sender];
+                let Some(&sender) = self.members.get(i) else {
+                    break;
+                };
+                while let Some(track) = self.senders.get(&sender) {
                     let next = track.delivered + 1;
                     if next > track.contig {
                         break;
@@ -508,7 +518,9 @@ impl DeliveryEngine {
     }
 
     fn mark_delivered(&mut self, sender: NodeId, seq: u64) {
-        let track = self.senders.get_mut(&sender).expect("sender tracked");
+        let Some(track) = self.senders.get_mut(&sender) else {
+            return;
+        };
         debug_assert_eq!(track.delivered + 1, seq, "FIFO delivery");
         track.delivered = seq;
     }
@@ -518,7 +530,9 @@ impl DeliveryEngine {
     fn deliver_symmetric(&mut self, out: &mut Vec<Arc<DataMsg>>) -> bool {
         let mut progressed = false;
         while let Some(&(ts, sender, seq)) = self.total_queue.iter().next() {
-            let track = &self.senders[&sender];
+            let Some(track) = self.senders.get(&sender) else {
+                break;
+            };
             if seq > track.contig {
                 // Head not contiguously received yet (should not happen:
                 // queue entries are only inserted when buffered, but a
@@ -551,7 +565,9 @@ impl DeliveryEngine {
                 if q == sender || q == self.me {
                     return true;
                 }
-                self.senders[&q].effective_heard() >= ts
+                self.senders
+                    .get(&q)
+                    .is_some_and(|t| t.effective_heard() >= ts)
             });
             if !safe {
                 break;
@@ -572,7 +588,9 @@ impl DeliveryEngine {
             let Some(&(sender, seq)) = self.order_log.get(idx) else {
                 break;
             };
-            let track = &self.senders[&sender];
+            let Some(track) = self.senders.get(&sender) else {
+                break;
+            };
             if seq > track.contig {
                 break; // data not yet received
             }
@@ -609,7 +627,7 @@ impl DeliveryEngine {
                 let next = track.delivered + 1;
                 if let Some(msg) = track.buffer.get(&next) {
                     let key = (msg.lamport, sender, next);
-                    if best.is_none() || key < best.expect("checked") {
+                    if best.is_none_or(|b| key < b) {
                         best = Some(key);
                     }
                 }
@@ -617,7 +635,14 @@ impl DeliveryEngine {
             let Some((_, sender, seq)) = best else {
                 break;
             };
-            let msg = Arc::clone(&self.senders[&sender].buffer[&seq]);
+            let Some(msg) = self
+                .senders
+                .get(&sender)
+                .and_then(|t| t.buffer.get(&seq))
+                .map(Arc::clone)
+            else {
+                break;
+            };
             self.total_queue.remove(&(msg.lamport, sender, seq));
             self.mark_delivered(sender, seq);
             out.push(msg);

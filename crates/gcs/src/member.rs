@@ -22,7 +22,7 @@
 //! All methods are sans-IO: network sends go through a [`GcsNet`]
 //! (an ORB plus an outbox) and time is a parameter.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
@@ -323,7 +323,7 @@ pub struct GcsMember {
     node: NodeId,
     clock: LamportClock,
     groups: BTreeMap<GroupId, GroupState>,
-    timer_routes: HashMap<u64, TimerRoute>,
+    timer_routes: BTreeMap<u64, TimerRoute>,
     tag_base: u64,
     next_tag: u64,
     /// Outputs produced by internal handlers, drained by the public entry
@@ -352,7 +352,7 @@ impl GcsMember {
             node,
             clock: LamportClock::new(),
             groups: BTreeMap::new(),
-            timer_routes: HashMap::new(),
+            timer_routes: BTreeMap::new(),
             tag_base,
             next_tag: 0,
             pending: Vec::new(),
@@ -386,7 +386,10 @@ impl GcsMember {
     /// Raises the `flow.queue_depth_peak` gauge to the group's peak
     /// in-flight count.
     fn note_flow_peak(&mut self, group: &GroupId) {
-        let peak = self.groups[group].flow.peak_in_flight();
+        let Some(state) = self.groups.get(group) else {
+            return;
+        };
+        let peak = state.flow.peak_in_flight();
         let peak = i64::try_from(peak).unwrap_or(i64::MAX);
         if self.obs.metrics.gauge("flow.queue_depth_peak").unwrap_or(0) < peak {
             self.obs.metrics.set_gauge("flow.queue_depth_peak", peak);
@@ -646,18 +649,20 @@ impl GcsMember {
         now: SimTime,
         net: &mut GcsNet<'_>,
     ) -> Result<(), GcsError> {
-        if !self.groups.contains_key(group) {
+        let Some(head) = self.groups.get(group) else {
             return Err(GcsError::UnknownGroup(group.clone()));
-        }
-        if !self.groups[group].is_member() {
+        };
+        if !head.is_member() {
             return Err(GcsError::NotMember(group.clone()));
         }
-        if self.groups[group].vc.is_some() {
+        if head.vc.is_some() {
             // A view agreement is in flight: the old view's delivery set
             // is already frozen (see `queued_multicasts`), so hold the
             // message and send it into the new view once it installs —
             // up to the configured bound, beyond which the send is shed.
-            let state = self.groups.get_mut(group).expect("checked");
+            let Some(state) = self.groups.get_mut(group) else {
+                return Err(GcsError::UnknownGroup(group.clone()));
+            };
             if state.queued_multicasts.len() >= state.config.max_queued_multicasts as usize {
                 state.flow.note_shed();
                 self.note_flow_shed(group);
@@ -669,7 +674,9 @@ impl GcsMember {
         // Credit gate: admission happens before a sequence number is
         // consumed, so a shed send leaves no gap for receivers to NACK.
         let granted = {
-            let state = self.groups.get_mut(group).expect("checked");
+            let Some(state) = self.groups.get_mut(group) else {
+                return Err(GcsError::UnknownGroup(group.clone()));
+            };
             state.flow.try_acquire().is_granted()
         };
         if !granted {
@@ -679,7 +686,9 @@ impl GcsMember {
         self.note_flow_peak(group);
         let lamport = self.clock.tick();
         let node = self.node;
-        let state = self.groups.get_mut(group).expect("checked");
+        let Some(state) = self.groups.get_mut(group) else {
+            return Err(GcsError::UnknownGroup(group.clone()));
+        };
         let seq = state.next_seq;
         state.next_seq += 1;
         let msg = DataMsg {
@@ -819,7 +828,9 @@ impl GcsMember {
 
     fn on_data(&mut self, group: &GroupId, d: Arc<DataMsg>, now: SimTime, net: &mut GcsNet<'_>) {
         self.clock.observe(d.lamport);
-        let state = self.groups.get_mut(group).expect("checked");
+        let Some(state) = self.groups.get_mut(group) else {
+            return;
+        };
         // `vc.is_some()`: once this member has snapshotted its state for
         // a view agreement, the old view's delivery set is fixed — late
         // arrivals must not widen it (they would be delivered here but
@@ -852,7 +863,9 @@ impl GcsMember {
 
     fn on_null(&mut self, group: &GroupId, n: NullMsg, now: SimTime, net: &mut GcsNet<'_>) {
         self.clock.observe(n.lamport);
-        let state = self.groups.get_mut(group).expect("checked");
+        let Some(state) = self.groups.get_mut(group) else {
+            return;
+        };
         // Frozen during a view agreement and guarded against foreign
         // same-numbered views, like `on_data`.
         if !state.is_member()
@@ -877,13 +890,16 @@ impl GcsMember {
     /// schedule gap repair, keep liveness running.
     fn after_ingest(&mut self, group: &GroupId, now: SimTime, net: &mut GcsNet<'_>) {
         let sequencer_duty = {
-            let state = &self.groups[group];
-            state.is_member()
-                && state.config.ordering == OrderProtocol::Asymmetric
-                && state.engine.is_sequencer()
+            self.groups.get(group).is_some_and(|state| {
+                state.is_member()
+                    && state.config.ordering == OrderProtocol::Asymmetric
+                    && state.engine.is_sequencer()
+            })
         };
         if sequencer_duty {
-            let state = self.groups.get_mut(group).expect("checked");
+            let Some(state) = self.groups.get_mut(group) else {
+                return;
+            };
             let entries = state.engine.sequencer_poll();
             state.pending_order.extend(entries);
             if !state.pending_order.is_empty() {
@@ -897,7 +913,9 @@ impl GcsMember {
                 }
             }
         }
-        let state = self.groups.get_mut(group).expect("checked");
+        let Some(state) = self.groups.get_mut(group) else {
+            return;
+        };
         let mut delivered = 0u64;
         for m in state.engine.drain_deliverable() {
             delivered += 1;
@@ -935,7 +953,9 @@ impl GcsMember {
         now: SimTime,
         net: &mut GcsNet<'_>,
     ) {
-        let state = &self.groups[group];
+        let Some(state) = self.groups.get(group) else {
+            return;
+        };
         if view != state.view.id() || !state.is_member() {
             return;
         }
@@ -972,7 +992,9 @@ impl GcsMember {
         net: &mut GcsNet<'_>,
     ) {
         self.clock.observe(lamport);
-        let state = self.groups.get_mut(group).expect("checked");
+        let Some(state) = self.groups.get_mut(group) else {
+            return;
+        };
         // Frozen during a view agreement, like `on_data`. The sequencer
         // check also rejects records from a *foreign* view that happens
         // to share our view number: partition sides number their views
@@ -998,7 +1020,9 @@ impl GcsMember {
         from_order_seq: u64,
         net: &mut GcsNet<'_>,
     ) {
-        let state = &self.groups[group];
+        let Some(state) = self.groups.get(group) else {
+            return;
+        };
         if view != state.view.id() || !state.is_member() || !state.engine.is_sequencer() {
             return;
         }
@@ -1024,7 +1048,9 @@ impl GcsMember {
     // --- membership events -----------------------------------------------------
 
     fn on_join(&mut self, group: &GroupId, joiner: NodeId, now: SimTime, net: &mut GcsNet<'_>) {
-        let state = self.groups.get_mut(group).expect("checked");
+        let Some(state) = self.groups.get_mut(group) else {
+            return;
+        };
         if !state.is_member() || state.view.contains(joiner) {
             return;
         }
@@ -1041,7 +1067,9 @@ impl GcsMember {
         now: SimTime,
         net: &mut GcsNet<'_>,
     ) {
-        let state = self.groups.get_mut(group).expect("checked");
+        let Some(state) = self.groups.get_mut(group) else {
+            return;
+        };
         if !state.is_member() || view != state.view.id() || !state.view.contains(leaver) {
             return;
         }
@@ -1060,7 +1088,9 @@ impl GcsMember {
         net: &mut GcsNet<'_>,
     ) {
         let node = self.node;
-        let state = self.groups.get_mut(group).expect("checked");
+        let Some(state) = self.groups.get_mut(group) else {
+            return;
+        };
         if !state.is_member() {
             return;
         }
@@ -1085,7 +1115,9 @@ impl GcsMember {
     /// reports to the coordinator.
     fn initiate_view_change(&mut self, group: &GroupId, now: SimTime, net: &mut GcsNet<'_>) {
         let node = self.node;
-        let state = self.groups.get_mut(group).expect("checked");
+        let Some(state) = self.groups.get_mut(group) else {
+            return;
+        };
         if !state.is_member() {
             return;
         }
@@ -1108,7 +1140,9 @@ impl GcsMember {
                 return;
             }
         }
-        let coordinator = candidates[0];
+        let Some(&coordinator) = candidates.first() else {
+            return;
+        };
         if coordinator == node {
             self.start_agreement(group, candidates, now, net);
         } else {
@@ -1136,7 +1170,9 @@ impl GcsMember {
         net: &mut GcsNet<'_>,
     ) {
         let node = self.node;
-        let state = self.groups.get_mut(group).expect("checked");
+        let Some(state) = self.groups.get_mut(group) else {
+            return;
+        };
         state.attempt += 1;
         let attempt = state.attempt;
         let contig = state.engine.contig_vector();
@@ -1184,7 +1220,9 @@ impl GcsMember {
         net: &mut GcsNet<'_>,
     ) {
         let node = self.node;
-        let state = self.groups.get_mut(group).expect("checked");
+        let Some(state) = self.groups.get_mut(group) else {
+            return;
+        };
         if !candidates.contains(&node) {
             return;
         }
@@ -1244,7 +1282,9 @@ impl GcsMember {
         net: &mut GcsNet<'_>,
     ) {
         let node = self.node;
-        let state = self.groups.get_mut(group).expect("checked");
+        let Some(state) = self.groups.get_mut(group) else {
+            return;
+        };
         state.last_heard.insert(from, now);
         {
             let Some(vc) = state.vc.as_mut() else {
@@ -1282,7 +1322,9 @@ impl GcsMember {
     fn maybe_finish_agreement(&mut self, group: &GroupId, now: SimTime, net: &mut GcsNet<'_>) {
         let node = self.node;
         let (new_view, union, attempt) = {
-            let state = &self.groups[group];
+            let Some(state) = self.groups.get(group) else {
+                return;
+            };
             let Some(vc) = state.vc.as_ref() else {
                 return;
             };
@@ -1325,7 +1367,9 @@ impl GcsMember {
             view: new_view.clone(),
             msgs: union.clone(),
         };
-        let fanout = self.groups[group].config.fanout;
+        let Some(fanout) = self.groups.get(group).map(|s| s.config.fanout) else {
+            return;
+        };
         net.send_fanout(
             fanout,
             new_view.members().iter().copied().filter(|&c| c != node),
@@ -1334,8 +1378,9 @@ impl GcsMember {
         self.apply_install(group, new_view.clone(), union.clone(), now, net);
         // Kept *after* the local install (which resets per-view state) so
         // a participant whose install was lost can be served again.
-        self.groups.get_mut(group).expect("checked").last_install =
-            Some((attempt, new_view, union));
+        if let Some(state) = self.groups.get_mut(group) {
+            state.last_install = Some((attempt, new_view, union));
+        }
     }
 
     fn on_install(
@@ -1348,7 +1393,9 @@ impl GcsMember {
         net: &mut GcsNet<'_>,
     ) {
         {
-            let state = self.groups.get_mut(group).expect("checked");
+            let Some(state) = self.groups.get_mut(group) else {
+                return;
+            };
             if !view.contains(self.node) {
                 return;
             }
@@ -1370,7 +1417,9 @@ impl GcsMember {
         net: &mut GcsNet<'_>,
     ) {
         let node = self.node;
-        let state = self.groups.get_mut(group).expect("checked");
+        let Some(state) = self.groups.get_mut(group) else {
+            return;
+        };
         let was_member = state.is_member();
         if was_member {
             state.engine.ingest_union(msgs);
@@ -1389,7 +1438,9 @@ impl GcsMember {
                 self.obs.metrics.add("gcs.delivered", delivered);
             }
         }
-        let state = self.groups.get_mut(group).expect("checked");
+        let Some(state) = self.groups.get_mut(group) else {
+            return;
+        };
         let old_view = std::mem::replace(&mut state.view, view.clone());
         let joined = if was_member {
             view.members_not_in(&old_view)
@@ -1444,13 +1495,10 @@ impl GcsMember {
         self.ensure_liveness(group, now, net);
         // Multicasts requested while the agreement ran go out now, into
         // the view that will actually deliver them.
-        let queued = std::mem::take(
-            &mut self
-                .groups
-                .get_mut(group)
-                .expect("checked")
-                .queued_multicasts,
-        );
+        let queued = match self.groups.get_mut(group) {
+            Some(state) => std::mem::take(&mut state.queued_multicasts),
+            None => Vec::new(),
+        };
         for (order, payload) in queued {
             let _ = self.multicast(group, order, payload, now, net);
         }
@@ -1464,16 +1512,23 @@ impl GcsMember {
     fn on_null_timer(&mut self, group: &GroupId, now: SimTime, net: &mut GcsNet<'_>) {
         let node = self.node;
         if !self.should_run_liveness(group, now) {
-            self.groups
-                .get_mut(group)
-                .expect("checked")
-                .liveness_running = false;
+            if let Some(state) = self.groups.get_mut(group) {
+                state.liveness_running = false;
+            }
             return;
         }
-        let period = self.groups[group].config.time_silence;
-        if now.saturating_since(self.groups[group].last_sent) >= period {
+        let Some((period, last_sent)) = self
+            .groups
+            .get(group)
+            .map(|s| (s.config.time_silence, s.last_sent))
+        else {
+            return;
+        };
+        if now.saturating_since(last_sent) >= period {
             let lamport = self.clock.tick();
-            let state = self.groups.get_mut(group).expect("checked");
+            let Some(state) = self.groups.get_mut(group) else {
+                return;
+            };
             let msg = GcsMessage::Null(NullMsg {
                 group: group.clone(),
                 view: state.view.id(),
@@ -1504,13 +1559,14 @@ impl GcsMember {
     fn on_suspicion_timer(&mut self, group: &GroupId, now: SimTime, net: &mut GcsNet<'_>) {
         let node = self.node;
         if !self.should_run_liveness(group, now) {
-            self.groups
-                .get_mut(group)
-                .expect("checked")
-                .liveness_running = false;
+            if let Some(state) = self.groups.get_mut(group) {
+                state.liveness_running = false;
+            }
             return;
         }
-        let state = self.groups.get_mut(group).expect("checked");
+        let Some(state) = self.groups.get_mut(group) else {
+            return;
+        };
         let timeout = state.config.suspicion_timeout();
         let mut newly_suspected = Vec::new();
         for &m in state.view.members() {
@@ -1541,7 +1597,9 @@ impl GcsMember {
 
     fn on_nack_timer(&mut self, group: &GroupId, now: SimTime, net: &mut GcsNet<'_>) {
         let node = self.node;
-        let state = self.groups.get_mut(group).expect("checked");
+        let Some(state) = self.groups.get_mut(group) else {
+            return;
+        };
         state.nack_scheduled = false;
         if !state.is_member() {
             return;
@@ -1594,7 +1652,9 @@ impl GcsMember {
 
     fn on_vc_timer(&mut self, group: &GroupId, stamp: u64, now: SimTime, net: &mut GcsNet<'_>) {
         let node = self.node;
-        let state = self.groups.get_mut(group).expect("checked");
+        let Some(state) = self.groups.get_mut(group) else {
+            return;
+        };
         match state.vc.as_mut() {
             Some(vc) if vc.attempt != stamp => {} // superseded
             Some(vc) if vc.coordinator == node => {
@@ -1730,7 +1790,9 @@ impl GcsMember {
     fn flush_order_records(&mut self, group: &GroupId, now: SimTime, net: &mut GcsNet<'_>) {
         let node = self.node;
         let lamport = self.clock.tick();
-        let state = self.groups.get_mut(group).expect("checked");
+        let Some(state) = self.groups.get_mut(group) else {
+            return;
+        };
         let entries = std::mem::take(&mut state.pending_order);
         state.last_order_flush = now;
         state.order_flush_scheduled = false;
@@ -1767,7 +1829,9 @@ impl GcsMember {
     }
 
     fn on_order_flush_timer(&mut self, group: &GroupId, now: SimTime, net: &mut GcsNet<'_>) {
-        let state = self.groups.get_mut(group).expect("checked");
+        let Some(state) = self.groups.get_mut(group) else {
+            return;
+        };
         state.order_flush_scheduled = false;
         if !state.is_member() || !state.engine.is_sequencer() {
             state.pending_order.clear();
@@ -1778,7 +1842,9 @@ impl GcsMember {
 
     fn on_join_retry(&mut self, group: &GroupId, _now: SimTime, net: &mut GcsNet<'_>) {
         let node = self.node;
-        let state = &self.groups[group];
+        let Some(state) = self.groups.get(group) else {
+            return;
+        };
         let Role::Joining { contact } = state.role else {
             return; // joined already
         };
@@ -1821,7 +1887,9 @@ impl GcsMember {
         if !self.should_run_liveness(group, now) {
             return;
         }
-        let state = self.groups.get_mut(group).expect("checked");
+        let Some(state) = self.groups.get_mut(group) else {
+            return;
+        };
         if state.liveness_running {
             return;
         }

@@ -5,7 +5,7 @@
 //! delivered group messages and direct replies, and executes the
 //! [`InvCommand`]s it emits.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -89,8 +89,8 @@ struct CallState {
 pub struct ClientCore {
     node: NodeId,
     next_call: u64,
-    bindings: HashMap<GroupId, BindingState>,
-    calls: HashMap<u64, CallState>,
+    bindings: BTreeMap<GroupId, BindingState>,
+    calls: BTreeMap<u64, CallState>,
     /// Admission bound on `calls`; new invocations beyond it are shed.
     max_pending: usize,
     /// Invocations shed by the admission bound since creation.
@@ -105,8 +105,8 @@ impl ClientCore {
         ClientCore {
             node,
             next_call: 1,
-            bindings: HashMap::new(),
-            calls: HashMap::new(),
+            bindings: BTreeMap::new(),
+            calls: BTreeMap::new(),
             max_pending: newtop_flow::FlowConfig::default().max_pending_calls,
             shed: 0,
         }
@@ -277,6 +277,13 @@ impl ClientCore {
         let Ok(msg) = InvMessage::from_cdr(payload) else {
             return Vec::new();
         };
+        self.on_decoded(msg)
+    }
+
+    /// Like [`ClientCore::on_message`] for an already-unmarshalled
+    /// message. Hosts that decode at their ingest boundary (to count
+    /// malformed input) use this to avoid unmarshalling twice.
+    pub fn on_decoded(&mut self, msg: InvMessage) -> Vec<ClientEvent> {
         match msg {
             InvMessage::RelayedReply { call, replies } => self.complete_with(call, replies),
             InvMessage::DirectReply {

@@ -8,7 +8,7 @@
 //! forwards one into the server group, and multicasts the collected
 //! replies back in gz, where every gx member receives them atomically.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bytes::Bytes;
 
@@ -37,11 +37,11 @@ pub struct G2gCaller {
     origin: GroupId,
     monitor: GroupId,
     next_number: u64,
-    pending: HashMap<u64, ()>,
+    pending: BTreeMap<u64, ()>,
     /// Replies that arrived before this member issued its own copy of the
     /// call (possible: the group reply may be totally ordered before a
     /// slow member's request copy).
-    early: HashMap<u64, Vec<(NodeId, Bytes)>>,
+    early: BTreeMap<u64, Vec<(NodeId, Bytes)>>,
     /// Admission bound on `pending` (and `early`); calls beyond it shed.
     max_pending: usize,
     /// Calls shed by the admission bound since creation.
@@ -59,8 +59,8 @@ impl G2gCaller {
             origin,
             monitor,
             next_number: 1,
-            pending: HashMap::new(),
-            early: HashMap::new(),
+            pending: BTreeMap::new(),
+            early: BTreeMap::new(),
             max_pending: newtop_flow::FlowConfig::default().max_pending_calls,
             shed: 0,
         }

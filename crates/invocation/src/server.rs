@@ -17,7 +17,7 @@
 //! asynchronous forwarding short-circuits wait-for-first requests), and
 //! the group-to-group manager role of Fig. 6.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use bytes::Bytes;
@@ -67,7 +67,7 @@ struct MonitorState {
     origin: GroupId,
     /// Numbers already forwarded into the server group (duplicates from
     /// the other origin-group members are filtered, §4.3).
-    forwarded: HashSet<u64>,
+    forwarded: BTreeSet<u64>,
 }
 
 /// Server-side invocation state machine. See the [module docs](self).
@@ -77,10 +77,10 @@ pub struct ServerCore {
     server_members: Vec<NodeId>,
     replication: Replication,
     optimisation: OpenOptimisation,
-    client_groups: HashMap<GroupId, ClientGroupState>,
-    monitor_groups: HashMap<GroupId, MonitorState>,
-    managed: HashMap<CallId, ManagedCall>,
-    reply_cache: HashMap<NodeId, (u64, CachedReply)>,
+    client_groups: BTreeMap<GroupId, ClientGroupState>,
+    monitor_groups: BTreeMap<GroupId, MonitorState>,
+    managed: BTreeMap<CallId, ManagedCall>,
+    reply_cache: BTreeMap<NodeId, (u64, CachedReply)>,
     /// Passive backups: requests logged for replay on promotion. Bounded
     /// by `max_backlog`; the oldest entry is dropped on overflow.
     backlog: Vec<(CallId, String, Bytes)>,
@@ -91,7 +91,7 @@ pub struct ServerCore {
     /// Per client: the last executed call number and its result (§4.1:
     /// "servers retain the data of the last reply message"), so a retried
     /// call is answered without re-execution.
-    last_exec: HashMap<NodeId, (u64, Bytes)>,
+    last_exec: BTreeMap<NodeId, (u64, Bytes)>,
     /// Counter for synthesising call ids on the g2g forwarded leg.
     next_local_call: u64,
     /// Protocol events produced by handlers, drained (and timestamped) by
@@ -126,14 +126,14 @@ impl ServerCore {
             server_members: vec![node],
             replication,
             optimisation,
-            client_groups: HashMap::new(),
-            monitor_groups: HashMap::new(),
-            managed: HashMap::new(),
-            reply_cache: HashMap::new(),
+            client_groups: BTreeMap::new(),
+            monitor_groups: BTreeMap::new(),
+            managed: BTreeMap::new(),
+            reply_cache: BTreeMap::new(),
             backlog: Vec::new(),
             max_backlog: newtop_flow::FlowConfig::default().max_pending_calls,
             backlog_shed: 0,
-            last_exec: HashMap::new(),
+            last_exec: BTreeMap::new(),
             next_local_call: 1,
             events: Vec::new(),
         }
@@ -268,7 +268,7 @@ impl ServerCore {
             monitor,
             MonitorState {
                 origin,
-                forwarded: HashSet::new(),
+                forwarded: BTreeSet::new(),
             },
         );
     }
@@ -345,6 +345,19 @@ impl ServerCore {
         let Ok(msg) = InvMessage::from_cdr(payload) else {
             return Vec::new();
         };
+        self.on_decoded(group, sender, msg, exec)
+    }
+
+    /// Like [`ServerCore::on_delivered`] for an already-unmarshalled
+    /// message. Hosts that decode at their ingest boundary (to count
+    /// malformed input) use this to avoid unmarshalling twice.
+    pub fn on_decoded(
+        &mut self,
+        group: &GroupId,
+        sender: NodeId,
+        msg: InvMessage,
+        exec: Exec<'_>,
+    ) -> Vec<InvCommand> {
         match msg {
             InvMessage::Request {
                 call,

@@ -121,11 +121,16 @@ impl WireTransport for ChannelTransport {
     }
 
     fn send(&self, dst: NodeId, payload: Bytes) -> Result<(), TransportError> {
-        let registry = self.registry.read();
-        let tx = registry
-            .inboxes
-            .get(&dst)
-            .ok_or(TransportError::UnknownPeer(dst))?;
+        // Clone the sender inside the lock, hand off outside it: a full
+        // queue must never block readers of (or writers to) the registry.
+        let tx = {
+            let registry = self.registry.read();
+            registry
+                .inboxes
+                .get(&dst)
+                .ok_or(TransportError::UnknownPeer(dst))?
+                .clone()
+        };
         tx.try_send(Packet {
             src: self.local,
             dst,

@@ -29,10 +29,15 @@ use crate::transport::{TransportError, WireTransport};
 
 const MAX_FRAME: u32 = 64 * 1024 * 1024;
 
+/// One peer's cached connection. Sends lock the slot (not the whole
+/// table) for the duration of a frame write, so frames to one peer stay
+/// atomic while sends to other peers proceed in parallel.
+type ConnSlot = Arc<Mutex<Option<TcpStream>>>;
+
 struct Shared {
     local: NodeId,
     peers: Mutex<HashMap<NodeId, SocketAddr>>,
-    conns: Mutex<HashMap<NodeId, TcpStream>>,
+    conns: Mutex<HashMap<NodeId, ConnSlot>>,
     closed: AtomicBool,
 }
 
@@ -88,8 +93,7 @@ impl TcpEndpoint {
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
             .name(format!("tcp-accept-{local}"))
-            .spawn(move || accept_loop(&listener, &accept_shared, &incoming))
-            .expect("failed to spawn accept thread");
+            .spawn(move || accept_loop(&listener, &accept_shared, &incoming))?;
         Ok(TcpEndpoint {
             shared,
             local_addr,
@@ -122,8 +126,10 @@ impl TcpEndpoint {
         if self.shared.closed.swap(true, Ordering::SeqCst) {
             return;
         }
-        for (_, conn) in self.shared.conns.lock().drain() {
-            let _ = conn.shutdown(Shutdown::Both);
+        for (_, slot) in self.shared.conns.lock().drain() {
+            if let Some(conn) = slot.lock().take() {
+                let _ = conn.shutdown(Shutdown::Both);
+            }
         }
         // Poke the listener so `accept` returns and the loop observes
         // `closed`.
@@ -160,16 +166,19 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, incoming: &Sender<P
 }
 
 fn read_loop(mut stream: TcpStream, shared: &Arc<Shared>, incoming: &Sender<Packet>) {
-    let mut header = [0u8; 8];
+    // Two fixed-size reads: no fallible slice-to-array conversion on the
+    // network-input path.
+    let mut len_buf = [0u8; 4];
+    let mut src_buf = [0u8; 4];
     loop {
         if shared.closed.load(Ordering::SeqCst) {
             return;
         }
-        if stream.read_exact(&mut header).is_err() {
+        if stream.read_exact(&mut len_buf).is_err() || stream.read_exact(&mut src_buf).is_err() {
             return;
         }
-        let len = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes"));
-        let src = u32::from_be_bytes(header[4..8].try_into().expect("4 bytes"));
+        let len = u32::from_be_bytes(len_buf);
+        let src = u32::from_be_bytes(src_buf);
         if len > MAX_FRAME {
             return;
         }
@@ -215,30 +224,44 @@ impl WireTransport for TcpTransport {
             .lock()
             .get(&dst)
             .ok_or(TransportError::UnknownPeer(dst))?;
+        let len = u32::try_from(payload.len())
+            .ok()
+            .filter(|&l| l <= MAX_FRAME)
+            .ok_or_else(|| {
+                TransportError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "frame too large",
+                ))
+            })?;
         // Stack-allocated header; the payload is written straight from the
         // (possibly shared) `Bytes` buffer, so a multicast frame is never
         // copied per recipient here.
         let mut header = [0u8; 8];
-        header[0..4].copy_from_slice(
-            &u32::try_from(payload.len())
-                .expect("frame too large")
-                .to_be_bytes(),
-        );
+        header[0..4].copy_from_slice(&len.to_be_bytes());
         header[4..8].copy_from_slice(&self.shared.local.index().to_be_bytes());
-        // Write under the connection-table lock so concurrent sends to one
-        // peer cannot interleave frames (the header/payload pair included).
-        let mut conns = self.shared.conns.lock();
-        if let std::collections::hash_map::Entry::Vacant(e) = conns.entry(dst) {
+        // Take the per-peer slot under the table lock, then drop the table
+        // lock before any I/O: sends to different peers never serialize on
+        // each other, and a slow connect cannot stall the whole endpoint.
+        let slot = {
+            let mut conns = self.shared.conns.lock();
+            Arc::clone(conns.entry(dst).or_default())
+        };
+        // The slot lock is held across connect + write on purpose: frames
+        // to one peer must not interleave (allowlisted for lock-hygiene).
+        let mut guard = slot.lock();
+        if guard.is_none() {
             let stream = TcpStream::connect(addr)?;
             stream.set_nodelay(true)?;
-            e.insert(stream);
+            *guard = Some(stream);
         }
-        let stream = conns.get_mut(&dst).expect("just inserted");
+        let Some(stream) = guard.as_mut() else {
+            return Err(TransportError::Closed);
+        };
         if let Err(e) = stream
             .write_all(&header)
             .and_then(|()| stream.write_all(&payload))
         {
-            conns.remove(&dst);
+            *guard = None;
             return Err(TransportError::Io(e));
         }
         Ok(())

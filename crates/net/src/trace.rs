@@ -129,6 +129,12 @@ pub enum TraceEvent {
         /// Backlogged requests replayed.
         replayed: usize,
     },
+    /// An incoming message body failed to unmarshal and was dropped
+    /// (also counted under the `decode.malformed` metric).
+    MalformedDropped {
+        /// The ORB operation the body arrived under.
+        operation: String,
+    },
 }
 
 impl TraceEvent {
@@ -151,6 +157,7 @@ impl TraceEvent {
             TraceEvent::BindReady { .. } => "bind_ready",
             TraceEvent::BindFailed { .. } => "bind_failed",
             TraceEvent::Promoted { .. } => "promoted",
+            TraceEvent::MalformedDropped { .. } => "malformed_dropped",
         }
     }
 }
@@ -193,6 +200,9 @@ impl fmt::Display for TraceEvent {
             TraceEvent::BindFailed { group } => write!(f, "bind_failed {group}"),
             TraceEvent::Promoted { group, replayed } => {
                 write!(f, "promoted in {group} ({replayed} replayed)")
+            }
+            TraceEvent::MalformedDropped { operation } => {
+                write!(f, "malformed_dropped ({operation} body)")
             }
         }
     }

@@ -250,20 +250,34 @@ impl<'a> CdrDecoder<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CdrError> {
-        if self.remaining() < n {
+        let end = self.pos.checked_add(n).ok_or(CdrError::UnexpectedEof {
+            needed: n,
+            remaining: self.remaining(),
+        })?;
+        let Some(s) = self.data.get(self.pos..end) else {
             return Err(CdrError::UnexpectedEof {
                 needed: n,
                 remaining: self.remaining(),
             });
-        }
-        let s = &self.data[self.pos..self.pos + n];
-        self.pos += n;
+        };
+        self.pos = end;
         Ok(s)
+    }
+
+    /// Like [`Self::take`], but yields a fixed-size array so the integer
+    /// readers never need a fallible slice-to-array conversion.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CdrError> {
+        let s = self.take(N)?;
+        <[u8; N]>::try_from(s).map_err(|_| CdrError::UnexpectedEof {
+            needed: N,
+            remaining: 0,
+        })
     }
 
     /// Reads a `u8`.
     pub fn read_u8(&mut self) -> Result<u8, CdrError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.take_array::<1>()?;
+        Ok(b)
     }
 
     /// Reads a `bool`.
@@ -274,49 +288,37 @@ impl<'a> CdrDecoder<'a> {
     /// Reads a `u16` (2-byte aligned).
     pub fn read_u16(&mut self) -> Result<u16, CdrError> {
         self.align(2);
-        Ok(u16::from_be_bytes(
-            self.take(2)?.try_into().expect("2 bytes"),
-        ))
+        Ok(u16::from_be_bytes(self.take_array::<2>()?))
     }
 
     /// Reads a `u32` (4-byte aligned).
     pub fn read_u32(&mut self) -> Result<u32, CdrError> {
         self.align(4);
-        Ok(u32::from_be_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_be_bytes(self.take_array::<4>()?))
     }
 
     /// Reads a `u64` (8-byte aligned).
     pub fn read_u64(&mut self) -> Result<u64, CdrError> {
         self.align(8);
-        Ok(u64::from_be_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_be_bytes(self.take_array::<8>()?))
     }
 
     /// Reads an `i32` (4-byte aligned).
     pub fn read_i32(&mut self) -> Result<i32, CdrError> {
         self.align(4);
-        Ok(i32::from_be_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(i32::from_be_bytes(self.take_array::<4>()?))
     }
 
     /// Reads an `i64` (8-byte aligned).
     pub fn read_i64(&mut self) -> Result<i64, CdrError> {
         self.align(8);
-        Ok(i64::from_be_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(i64::from_be_bytes(self.take_array::<8>()?))
     }
 
     /// Reads an `f64` (8-byte aligned).
     pub fn read_f64(&mut self) -> Result<f64, CdrError> {
         self.align(8);
-        Ok(f64::from_be_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(f64::from_be_bytes(self.take_array::<8>()?))
     }
 
     /// Reads a length-prefixed UTF-8 string.

@@ -1,9 +1,24 @@
 #!/usr/bin/env bash
-# Repo-wide hygiene gate: formatting, lints, tests. Offline-friendly —
-# everything below works from the vendored deps with no network access.
+# Repo-wide hygiene gate: formatting, lints, static analysis, tests.
+# Offline-friendly — everything below works from the vendored deps with
+# no network access.
+#
+# Modes:
+#   scripts/check.sh          quick gate (every step below except loom
+#                             execution and Miri; loom tests still
+#                             compile)
+#   scripts/check.sh --full   also runs the flow-queue model checks
+#                             under --cfg loom and, when a miri
+#                             toolchain is installed, the CDR tests
+#                             under Miri
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+FULL=0
+if [ "${1:-}" = "--full" ]; then
+    FULL=1
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -11,8 +26,27 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> static analysis (newtop-analyze: determinism, panic-freedom, boundedness, lock hygiene)"
+cargo run --release --offline -q -p newtop-analyze -- --self-test
+cargo run --release --offline -q -p newtop-analyze
+
 echo "==> cargo test -q"
 cargo test --workspace --offline -q
+
+echo "==> loom model tests compile (--cfg loom)"
+RUSTFLAGS="--cfg loom" cargo test --offline -q -p newtop-flow --no-run
+
+if [ "$FULL" = 1 ]; then
+    echo "==> loom model tests run (--cfg loom, release)"
+    RUSTFLAGS="--cfg loom" cargo test --offline -q -p newtop-flow --release
+
+    if rustup run miri true >/dev/null 2>&1 || command -v miri >/dev/null 2>&1; then
+        echo "==> miri over the CDR marshalling tests"
+        cargo miri test --offline -p newtop-orb cdr
+    else
+        echo "==> miri not installed; skipping (install with: rustup component add miri)"
+    fi
+fi
 
 echo "==> cargo bench --no-run (bench targets must compile)"
 cargo bench --workspace --offline --no-run

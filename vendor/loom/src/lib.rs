@@ -1,0 +1,243 @@
+//! Offline stand-in for the [`loom`](https://docs.rs/loom) model checker.
+//!
+//! The real loom exhaustively enumerates thread interleavings of a test
+//! body by running it under a cooperative scheduler. That crate is not
+//! available in this offline workspace, so this stand-in keeps the same
+//! API shape — `loom::model`, `loom::thread`, `loom::sync` — but checks
+//! by *randomized schedule exploration* instead: [`model`] runs the test
+//! body many times on real threads while the `sync` wrappers inject
+//! pseudo-random preemption points (yields and zero-length sleeps) at
+//! every lock acquisition and condvar operation, perturbing the OS
+//! schedule differently on each iteration.
+//!
+//! That is strictly weaker than exhaustive model checking — it can miss
+//! rare interleavings — but it explores far more schedules than a plain
+//! `cargo test` run, and code written against this API is source
+//! compatible with the real crate: swap the path dependency for the
+//! registry crate and the same `#[cfg(loom)]` tests become exhaustive.
+//!
+//! Determinism: every preemption decision derives from a per-iteration
+//! seed and the thread's spawn order, never from wall-clock time or OS
+//! entropy, so a given `LOOM_ITERS` value replays the same exploration
+//! sequence (modulo the OS scheduler itself, which randomized
+//! exploration deliberately leans on).
+
+#![warn(missing_docs)]
+
+mod sched {
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    /// Seed for the current `model` iteration; folded into each
+    /// thread's local PRNG state the first time that thread preempts.
+    static ITER_SEED: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+    /// Monotone spawn counter: gives each thread a distinct, schedule-
+    /// independent stream without consulting OS thread ids.
+    static SPAWN_SALT: AtomicU64 = AtomicU64::new(1);
+
+    thread_local! {
+        static RNG: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub(crate) fn set_iteration(iter: u64) {
+        // SplitMix64 finalizer spreads consecutive iteration numbers
+        // into well-separated seeds.
+        let mut z = iter.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ITER_SEED.store(z ^ (z >> 31) | 1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn reseed_thread() {
+        let salt = SPAWN_SALT.fetch_add(1, Ordering::SeqCst);
+        RNG.with(|c| c.set(ITER_SEED.load(Ordering::SeqCst) ^ salt.rotate_left(17)));
+    }
+
+    fn next(c: &Cell<u64>) -> u64 {
+        let mut s = c.get();
+        if s == 0 {
+            s = ITER_SEED.load(Ordering::SeqCst);
+        }
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        c.set(s);
+        s
+    }
+
+    /// A potential context switch: sometimes yield, rarely park for a
+    /// scheduler quantum, usually proceed. Called by every `sync`
+    /// wrapper before touching the underlying primitive.
+    pub(crate) fn preempt() {
+        RNG.with(|c| match next(c) % 16 {
+            0..=3 => std::thread::yield_now(),
+            4 => std::thread::sleep(Duration::from_micros(50)),
+            _ => {}
+        });
+    }
+}
+
+/// Runs `body` under randomized schedule exploration.
+///
+/// The body is executed `LOOM_ITERS` times (default 64); each iteration
+/// reseeds the preemption PRNG so lock/condvar operations interleave
+/// differently. A panic in any iteration propagates immediately, so a
+/// failing schedule fails the test the way real loom does.
+pub fn model<F>(body: F)
+where
+    F: Fn(),
+{
+    let iters = std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64);
+    for iter in 0..iters {
+        sched::set_iteration(iter);
+        sched::reseed_thread();
+        body();
+    }
+}
+
+/// Thread spawning with a preemption point at thread start, mirroring
+/// `loom::thread`.
+pub mod thread {
+    pub use std::thread::JoinHandle;
+
+    /// Spawns a thread whose preemption stream is seeded from the
+    /// current model iteration.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        std::thread::spawn(move || {
+            crate::sched::reseed_thread();
+            crate::sched::preempt();
+            f()
+        })
+    }
+
+    /// Explicit preemption point.
+    pub fn yield_now() {
+        crate::sched::preempt();
+        std::thread::yield_now();
+    }
+}
+
+/// Synchronization primitives with injected preemption points,
+/// mirroring the `loom::sync` module tree.
+pub mod sync {
+    pub use std::sync::{Arc, LockResult, WaitTimeoutResult};
+
+    /// Re-export of std atomics (the stand-in perturbs schedules at
+    /// lock boundaries, not per atomic op).
+    pub mod atomic {
+        pub use std::sync::atomic::*;
+    }
+
+    /// Guard type is std's own, so `PoisonError::into_inner` recovery
+    /// code behaves identically under both cfgs.
+    pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+    /// A `std::sync::Mutex` that may yield before acquiring.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// Creates a new mutex.
+        pub fn new(value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        /// Acquires the lock after a potential preemption point.
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            crate::sched::preempt();
+            self.0.lock()
+        }
+    }
+
+    /// A `std::sync::Condvar` with preemption points around waits and
+    /// notifications.
+    #[derive(Debug, Default)]
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Condvar {
+        /// Creates a new condition variable.
+        #[must_use]
+        pub fn new() -> Self {
+            Condvar(std::sync::Condvar::new())
+        }
+
+        /// Waits on the condvar; preempts before sleeping so the
+        /// notify/wait race is explored from both sides.
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            crate::sched::preempt();
+            self.0.wait(guard)
+        }
+
+        /// Waits with a timeout.
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            dur: std::time::Duration,
+        ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+            crate::sched::preempt();
+            self.0.wait_timeout(guard, dur)
+        }
+
+        /// Wakes one waiter, preempting first so the waiter may observe
+        /// either the pre- or post-notify state.
+        pub fn notify_one(&self) {
+            crate::sched::preempt();
+            self.0.notify_one();
+        }
+
+        /// Wakes every waiter.
+        pub fn notify_all(&self) {
+            crate::sched::preempt();
+            self.0.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_runs_body_the_configured_number_of_times() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static RUNS: AtomicU64 = AtomicU64::new(0);
+        model(|| {
+            RUNS.fetch_add(1, Ordering::SeqCst);
+        });
+        let expected = std::env::var("LOOM_ITERS")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64);
+        assert_eq!(RUNS.load(Ordering::SeqCst), expected);
+    }
+
+    #[test]
+    fn wrapped_mutex_and_condvar_round_trip() {
+        let pair = sync::Arc::new((sync::Mutex::new(false), sync::Condvar::new()));
+        let p2 = sync::Arc::clone(&pair);
+        let t = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock().unwrap();
+            *ready = true;
+            cv.notify_one();
+            drop(ready);
+        });
+        let (m, cv) = &*pair;
+        let mut ready = m.lock().unwrap();
+        while !*ready {
+            ready = cv.wait(ready).unwrap();
+        }
+        drop(ready);
+        t.join().unwrap();
+    }
+}
