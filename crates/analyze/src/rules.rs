@@ -92,6 +92,7 @@ pub fn run_all(files: &[ParsedFile]) -> Vec<Finding> {
     panic_free(files, &mut out);
     bounded(files, &mut out);
     lock_hygiene(files, &mut out);
+    cross_shard_channels(files, &mut out);
     out.sort();
     out.dedup();
     out
@@ -470,6 +471,67 @@ fn scan_guard_scope(
     }
 }
 
+/// Lock-hygiene extension (PR 6): cross-shard channel ownership. A
+/// function that constructs channel endpoints while dealing in shards is
+/// wiring a cross-shard hand-off, and only the `newtop-rt` shard-worker
+/// pipeline — the functions that actually spawn the
+/// `newtop-rt-shard{k}-{node}` threads — may own those channels.
+/// Open-coding a shard fan-in/fan-out anywhere else bypasses the
+/// runtime's bounded ingress discipline.
+///
+/// Token shape, over-approximate like the other families: a production
+/// function body that mentions a `shard*` identifier AND calls
+/// `bounded(...)`/`unbounded(...)` (turbofish included) is flagged
+/// unless it lives in crate `rt` and also spawns a worker thread.
+fn cross_shard_channels(files: &[ParsedFile], out: &mut Vec<Finding>) {
+    for (file, item) in production_fns(files) {
+        // The analyzer's own rule plumbing names both shards and the
+        // bounded() rule function; it is not protocol wiring.
+        if crate_of(&file.path) == Some("analyze") {
+            continue;
+        }
+        let toks = body(file, item);
+        let mentions_shard = toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text.to_ascii_lowercase().contains("shard"));
+        if !mentions_shard {
+            continue;
+        }
+        let spawns_worker = toks.iter().enumerate().any(|(i, t)| {
+            t.kind == TokKind::Ident
+                && t.text == "spawn"
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        });
+        if crate_of(&file.path) == Some("rt") && spawns_worker {
+            continue;
+        }
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind == TokKind::Ident
+                && matches!(t.text.as_str(), "bounded" | "unbounded")
+                && channel_ctor_call(toks, i)
+            {
+                out.push(finding(
+                    RULE_LOCK_HYGIENE,
+                    file,
+                    item,
+                    t,
+                    "cross-shard channel constructed outside the newtop-rt shard workers; route shard fan-in/fan-out through the runtime's ingress pipeline",
+                ));
+            }
+        }
+    }
+}
+
+/// Matches `name(` or the turbofish form `name::<T>(` at `toks[i]`.
+fn channel_ctor_call(toks: &[Token], i: usize) -> bool {
+    if toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+        return true;
+    }
+    toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 3).is_some_and(|t| t.is_punct('<'))
+}
+
 fn finding(
     rule: &'static str,
     file: &ParsedFile,
@@ -596,6 +658,45 @@ mod tests {
         assert!(check(
             "crates/net/src/channel.rs",
             "fn a(&self) { let g = self.registry.read(); let tx = g.tx.clone(); drop(g); tx.try_send(m); }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn cross_shard_channels_flagged_outside_rt() {
+        let f = check(
+            "crates/bench/src/bin/loadgen.rs",
+            "fn fan_out(n: usize) { let shards = n; let (tx, rx) = bounded::<Packet>(64); }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RULE_LOCK_HYGIENE);
+        assert!(f[0].message.contains("cross-shard"));
+    }
+
+    #[test]
+    fn cross_shard_channels_flagged_in_rt_without_worker_spawn() {
+        // Even inside newtop-rt, owning a cross-shard channel is reserved
+        // for the functions that spawn the shard worker threads.
+        let f = check(
+            "crates/rt/src/lib.rs",
+            "fn stash(&mut self) { let shard = self.next_shard; let (tx, rx) = bounded(8); self.queues.push(tx); }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("cross-shard"));
+    }
+
+    #[test]
+    fn cross_shard_channels_allowed_for_rt_shard_workers() {
+        assert!(check(
+            "crates/rt/src/lib.rs",
+            "fn spawn_ingress(n: usize) { let shards = n; for k in 0..shards { let (tx, rx) = bounded::<Packet>(64); } std::thread::Builder::new().spawn(move || {}); }",
+        )
+        .is_empty());
+        // Channels with no shard involvement stay governed by the
+        // boundedness rule alone.
+        assert!(check(
+            "crates/net/src/channel.rs",
+            "fn mk(&self) { let (tx, rx) = bounded(self.inbox_capacity); }",
         )
         .is_empty());
     }

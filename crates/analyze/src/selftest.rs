@@ -115,6 +115,19 @@ const CASES: &[Case] = &[
         path: "crates/net/src/selftest.rs",
         src: "fn fwd(&self) { let tx = { let reg = self.registry.read(); reg.tx.clone() }; tx.try_send(frame); }",
     },
+    // rule 4 extension — cross-shard channel ownership
+    Case {
+        name: "lock-hygiene/cross-shard-channel-outside-rt",
+        expect: Some(rules::RULE_LOCK_HYGIENE),
+        path: "crates/workloads/src/selftest.rs",
+        src: "fn fan_in(n: usize) { let shards = n; let (tx, rx) = bounded::<Frame>(64); }",
+    },
+    Case {
+        name: "lock-hygiene/good-rt-shard-worker-channel",
+        expect: None,
+        path: "crates/rt/src/selftest.rs",
+        src: "fn spawn_ingress(n: usize) { let shards = n; let (tx, rx) = bounded::<Frame>(64); std::thread::Builder::new().spawn(move || {}); }",
+    },
 ];
 
 /// Runs the injected-violation suite. Returns a human-readable report;

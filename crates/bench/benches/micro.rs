@@ -6,7 +6,7 @@ use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
 use newtop_gcs::clock::{DepsVector, LamportClock};
-use newtop_gcs::engine::DeliveryEngine;
+use newtop_gcs::engine::EngineConfig;
 use newtop_gcs::group::{DeliveryOrder, GroupId, OrderProtocol};
 use newtop_gcs::messages::{DataMsg, GcsMessage};
 use newtop_gcs::view::ViewId;
@@ -96,12 +96,14 @@ fn bench_engine_symmetric(c: &mut Criterion) {
     g.bench_function("ingest_and_drain_100", |b| {
         b.iter_batched(
             || {
-                DeliveryEngine::new(
-                    n(0),
-                    ViewId(1),
-                    vec![n(0), n(1), n(2)],
-                    OrderProtocol::Symmetric,
-                )
+                EngineConfig {
+                    me: n(0),
+                    view: ViewId(1),
+                    members: vec![n(0), n(1), n(2)],
+                    protocol: OrderProtocol::Symmetric,
+                }
+                .build()
+                .unwrap()
             },
             |mut e| {
                 for i in 1..=100u64 {
@@ -123,12 +125,14 @@ fn bench_engine_asymmetric(c: &mut Criterion) {
     g.bench_function("sequencer_order_100", |b| {
         b.iter_batched(
             || {
-                DeliveryEngine::new(
-                    n(0),
-                    ViewId(1),
-                    vec![n(0), n(1), n(2)],
-                    OrderProtocol::Asymmetric,
-                )
+                EngineConfig {
+                    me: n(0),
+                    view: ViewId(1),
+                    members: vec![n(0), n(1), n(2)],
+                    protocol: OrderProtocol::Asymmetric,
+                }
+                .build()
+                .unwrap()
             },
             |mut e| {
                 for i in 1..=100u64 {
@@ -144,12 +148,14 @@ fn bench_engine_asymmetric(c: &mut Criterion) {
     g.bench_function("follower_deliver_100", |b| {
         b.iter_batched(
             || {
-                let mut e = DeliveryEngine::new(
-                    n(1),
-                    ViewId(1),
-                    vec![n(0), n(1), n(2)],
-                    OrderProtocol::Asymmetric,
-                );
+                let mut e = EngineConfig {
+                    me: n(1),
+                    view: ViewId(1),
+                    members: vec![n(0), n(1), n(2)],
+                    protocol: OrderProtocol::Asymmetric,
+                }
+                .build()
+                .unwrap();
                 for i in 1..=100u64 {
                     let _ = e.ingest_data(data_msg(2, i, i * 2));
                 }

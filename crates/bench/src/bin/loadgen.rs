@@ -41,10 +41,10 @@ use newtop_net::site::{NodeId, Site};
 use newtop_net::stats::Histogram;
 use newtop_net::tcp::TcpEndpoint;
 use newtop_net::time::SimTime;
-use newtop_net::transport::WireTransport;
-use newtop_rt::{NodeHandle, NodeRuntime};
+use newtop_rt::{NodeHandle, NodeRuntime, RuntimeOptions};
 use newtop_workloads::scenario::{
-    run_request_reply_latencies, BindingPolicy, Placement, RequestReplyScenario,
+    run_multi_group, run_request_reply_latencies, BindingPolicy, MultiGroupScenario, Placement,
+    RequestReplyScenario,
 };
 
 /// How many members the open-loop simulator group has.
@@ -63,6 +63,10 @@ struct Args {
     duration_ms: u64,
     /// Closed-loop client sweep.
     clients: Vec<usize>,
+    /// Shard count for the multi-group run and the threaded runtimes.
+    shards: usize,
+    /// Independent services in the multi-group run.
+    groups: usize,
 }
 
 fn parse_args() -> Args {
@@ -73,6 +77,8 @@ fn parse_args() -> Args {
         rate: 800,
         duration_ms: 1000,
         clients: vec![1, 2, 4, 8],
+        shards: 4,
+        groups: 8,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -88,9 +94,12 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value("--seed"),
             "--rate" => args.rate = value("--rate"),
             "--duration-ms" => args.duration_ms = value("--duration-ms"),
+            "--shards" => args.shards = value("--shards") as usize,
+            "--groups" => args.groups = value("--groups") as usize,
             "--help" | "-h" => {
                 println!(
-                    "loadgen [--smoke] [--json] [--seed N] [--rate N] [--duration-ms N]\n\
+                    "loadgen [--smoke] [--json] [--seed N] [--rate N] [--duration-ms N] \
+                     [--shards N] [--groups N]\n\
                      Closed/open-loop load generator; see the crate docs."
                 );
                 std::process::exit(0);
@@ -215,9 +224,11 @@ fn open_loop_sim(args: &Args, rate: u64) -> OpenSimPoint {
     let mut lat = Histogram::new();
     for &node in &roster {
         let n = h.node(node);
-        let metrics = &n.member().observability().metrics;
-        shed += metrics.counter("flow.shed");
-        peak_depth = peak_depth.max(metrics.gauge("flow.queue_depth_peak").unwrap_or(0));
+        for obs in n.gcs().observabilities() {
+            let metrics = &obs.metrics;
+            shed += metrics.counter("flow.shed");
+            peak_depth = peak_depth.max(metrics.gauge("flow.queue_depth_peak").unwrap_or(0));
+        }
         for (at, out) in &n.outputs {
             if let GcsOutput::Delivered { payload, .. } = out {
                 delivered += 1;
@@ -233,7 +244,7 @@ fn open_loop_sim(args: &Args, rate: u64) -> OpenSimPoint {
     }
     let window = h
         .node(roster[0])
-        .member()
+        .gcs()
         .flow_of(&group)
         .map_or(0, |f| f.window());
     let (p50_ms, p95_ms, p99_ms) = quantiles(&mut lat);
@@ -282,7 +293,7 @@ fn closed_loop_threaded(args: &Args) -> ClosedThreaded {
     let nodes: Vec<NodeHandle> = endpoints
         .iter()
         .zip(rxs)
-        .map(|(ep, rx)| NodeRuntime::spawn(ep.handle().local(), ep.handle(), rx))
+        .map(|(ep, rx)| NodeRuntime::spawn(ep.handle(), rx, runtime_options(args)))
         .collect();
 
     let servers = vec![ids[0], ids[1]];
@@ -329,15 +340,17 @@ fn closed_loop_threaded(args: &Args) -> ClosedThreaded {
         let call_start = Instant::now();
         let binding = binding.clone();
         client.with_nso(move |nso, now, out| {
-            nso.invoke(
-                &binding,
-                "ping",
-                Bytes::from(format!("{i}")),
-                ReplyMode::First,
-                now,
-                out,
-            )
-            .expect("invoke");
+            let binding = nso.handle_for(&binding).expect("binding handle");
+            binding
+                .invoke(
+                    nso,
+                    "ping",
+                    Bytes::from(format!("{i}")),
+                    ReplyMode::First,
+                    now,
+                    out,
+                )
+                .expect("invoke");
         });
         client
             .wait_for_output(Duration::from_secs(15), |o| {
@@ -388,7 +401,7 @@ fn open_loop_threaded(args: &Args) -> OpenThreaded {
         .iter()
         .map(|&id| {
             let (transport, rx) = net.endpoint(id);
-            NodeRuntime::spawn(id, transport, rx)
+            NodeRuntime::spawn(transport, rx, runtime_options(args))
         })
         .collect();
     let group = GroupId::new("loadgen-peers");
@@ -448,8 +461,11 @@ fn open_loop_threaded(args: &Args) -> OpenThreaded {
             let group = group.clone();
             stamps.lock().unwrap()[i as usize] = Some(Instant::now());
             let ok = handle.with_nso(move |nso, now, out| {
-                nso.peer_send(
-                    &group,
+                let Some(peer) = nso.handle_for(&group) else {
+                    return false;
+                };
+                peer.send(
+                    nso,
                     Bytes::from(format!("{i}")),
                     DeliveryOrder::Total,
                     now,
@@ -495,6 +511,61 @@ fn open_loop_threaded(args: &Args) -> OpenThreaded {
     result
 }
 
+/// Runtime construction shared by the threaded modes: the configured
+/// shard count with batching on.
+fn runtime_options(args: &Args) -> RuntimeOptions {
+    RuntimeOptions::new().with_shards(args.shards)
+}
+
+/// The multi-group sharded run: aggregate closed-loop throughput over
+/// `--groups` independent services from hub clients bound to all of
+/// them, at `--shards` shards with batching on.
+struct MultiGroupPoint {
+    groups: usize,
+    hubs: usize,
+    shards: usize,
+    throughput: f64,
+    completed: u64,
+    duplicated: u32,
+    batch_frames: u64,
+    batch_msgs: u64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+fn multi_group_sim(args: &Args) -> MultiGroupPoint {
+    let mut scenario = MultiGroupScenario {
+        groups: args.groups,
+        shards: args.shards,
+        ..MultiGroupScenario::bench_default(args.seed)
+    };
+    if args.smoke {
+        scenario.groups = scenario.groups.min(3);
+        scenario.hubs = 4;
+        scenario.duration = Duration::from_millis(1200);
+    }
+    let (result, latencies) = run_multi_group(&scenario);
+    let mut h = Histogram::new();
+    for d in latencies {
+        h.record(d);
+    }
+    let (p50_ms, p95_ms, p99_ms) = quantiles(&mut h);
+    MultiGroupPoint {
+        groups: scenario.groups,
+        hubs: scenario.hubs,
+        shards: scenario.shards,
+        throughput: result.throughput,
+        completed: result.completed,
+        duplicated: result.duplicated,
+        batch_frames: result.batch_frames,
+        batch_msgs: result.batch_msgs,
+        p50_ms,
+        p95_ms,
+        p99_ms,
+    }
+}
+
 fn main() {
     let args = parse_args();
 
@@ -503,6 +574,7 @@ fn main() {
     let open_2x = open_loop_sim(&args, args.rate * 2);
     let closed_t = closed_loop_threaded(&args);
     let open_t = open_loop_threaded(&args);
+    let multi = multi_group_sim(&args);
 
     let knee = closed_sim
         .iter()
@@ -523,6 +595,26 @@ fn main() {
         }
         println!("  ],");
         println!("  \"closed_sim_knee_per_sec\": {knee:.1},");
+        println!("  \"multi_group_sim\": {{");
+        println!(
+            "    \"groups\": {}, \"hubs\": {}, \"shards\": {}, \"batching\": true,",
+            multi.groups, multi.hubs, multi.shards
+        );
+        println!(
+            "    \"throughput_per_sec\": {:.1}, \"completed\": {},",
+            multi.throughput, multi.completed
+        );
+        println!(
+            "    \"batch_frames\": {}, \"batch_msgs\": {}, \"msgs_per_frame\": {:.2},",
+            multi.batch_frames,
+            multi.batch_msgs,
+            multi.batch_msgs as f64 / multi.batch_frames.max(1) as f64
+        );
+        println!(
+            "    \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}",
+            multi.p50_ms, multi.p95_ms, multi.p99_ms
+        );
+        println!("  }},");
         for (name, p) in [("open_sim_1x", &open_base), ("open_sim_2x", &open_2x)] {
             println!("  \"{name}\": {{");
             println!("    \"rate_per_member_per_sec\": {},", p.rate);
@@ -572,6 +664,19 @@ fn main() {
             );
         }
         println!("  knee: {knee:.1}/s");
+        println!(
+            "multi-group / simulator ({} services x3, {} hubs, {} shards, batching on)",
+            multi.groups, multi.hubs, multi.shards
+        );
+        println!(
+            "  {:.1}/s aggregate ({} completed), batch {:.2} msgs/frame, p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms",
+            multi.throughput,
+            multi.completed,
+            multi.batch_msgs as f64 / multi.batch_frames.max(1) as f64,
+            multi.p50_ms,
+            multi.p95_ms,
+            multi.p99_ms
+        );
         println!(
             "open-loop / simulator ({OPEN_SIM_MEMBERS} members, x{OPEN_SIM_FACTOR} CPU inflation)"
         );
@@ -638,6 +743,17 @@ fn main() {
         );
         assert!(open_2x.delivered > 0, "saturated run delivered nothing");
         assert!(closed_t.iters > 0 && closed_t.p50_ms > 0.0);
+        assert!(
+            multi.completed > 0 && multi.duplicated == 0,
+            "multi-group run must make duplicate-free progress \
+             (completed {}, duplicated {})",
+            multi.completed,
+            multi.duplicated
+        );
+        assert!(
+            multi.batch_frames > 0,
+            "batching was on but no batch frames were sent"
+        );
         assert!(
             open_t.delivered >= open_t.admitted,
             "threaded peers delivered {} < admitted {}",

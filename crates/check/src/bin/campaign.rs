@@ -22,7 +22,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use newtop_check::scenario::{GcsScenario, NODES};
+use newtop_check::scenario::{delivery_divergence, GcsScenario, NODES};
 use newtop_check::{Invariant, InvariantChecker, InvariantCounts, Mutation};
 use newtop_gcs::group::OrderProtocol;
 use newtop_net::faults::{FaultOp, FaultPlan};
@@ -43,6 +43,9 @@ OPTIONS:
   --random-plans K   add K seeded random plans to the preset set
   --ordering KIND    sym | asym (default: both)
   --binding KIND     open | closed (default: both)
+  --shards N         per-node shard engines for the GCS scenario
+                     (default 4; each seed is also replayed at shards=1
+                     and the delivery logs must match)
   --gcs-only         skip the request-reply (NSO) scenario
   --nso-only         skip the GCS scenario
   --mutate KIND      swap-order | dup-delivery | drop-delivery | drop-view:
@@ -60,6 +63,7 @@ struct Options {
     bindings: Vec<bool>,
     gcs: bool,
     nso: bool,
+    shards: usize,
     mutate: Option<Mutation>,
     quiet: bool,
 }
@@ -74,6 +78,7 @@ fn parse_args() -> Result<Options, String> {
         bindings: vec![false, true],
         gcs: true,
         nso: true,
+        shards: 4,
         mutate: None,
         quiet: false,
     };
@@ -107,6 +112,12 @@ fn parse_args() -> Result<Options, String> {
                     "closed" => vec![false],
                     other => return Err(format!("unknown binding {other}\n\n{USAGE}")),
                 };
+            }
+            "--shards" => {
+                opts.shards = value("--shards")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("{e}"))?
+                    .max(1);
             }
             "--gcs-only" => opts.nso = false,
             "--nso-only" => opts.gcs = false,
@@ -258,12 +269,28 @@ fn main() -> ExitCode {
                         binding_label(open),
                     );
                     if opts.gcs {
-                        let scenario = GcsScenario::new(seed, ordering, open, plan.clone());
-                        let report = scenario.run().check();
+                        let scenario = GcsScenario::new(seed, ordering, open, plan.clone())
+                            .with_shards(opts.shards);
+                        let run = scenario.run();
+                        let report = run.check();
                         cell.runs += 1;
                         cell.counts.merge(&report.counts);
                         for v in &report.violations {
                             cell.failures.push(format!("{repro}: {v}"));
+                        }
+                        // Shard determinism: the same seeded cell replayed
+                        // on a single engine must deliver the exact same
+                        // per-group sequences the sharded node delivered.
+                        if opts.shards > 1 {
+                            let baseline = GcsScenario::new(seed, ordering, open, plan.clone())
+                                .with_shards(1)
+                                .run();
+                            if let Some(diff) = delivery_divergence(&baseline, &run) {
+                                cell.failures.push(format!(
+                                    "{repro}: shards=1 vs shards={} delivery logs diverged: {diff}",
+                                    opts.shards
+                                ));
+                            }
                         }
                     }
                     if opts.nso {
@@ -384,7 +411,8 @@ fn run_mutation_campaign(opts: &Options, plans: &[FaultPlan], mutation: Mutation
     for plan in plans {
         for &ordering in &opts.orderings {
             for seed in opts.start_seed..opts.start_seed + opts.seeds {
-                let scenario = GcsScenario::new(seed, ordering, false, plan.clone());
+                let scenario =
+                    GcsScenario::new(seed, ordering, false, plan.clone()).with_shards(opts.shards);
                 let run = scenario.run();
                 let mut logs = run.logs;
                 if !mutation.apply(&mut logs) {

@@ -6,7 +6,7 @@
 //! every server has acknowledged. These control messages travel as
 //! ordinary ORB requests of [`crate::INV_CTRL_OPERATION`].
 
-use newtop_gcs::group::{GroupId, OrderProtocol};
+use newtop_gcs::group::{FanoutMode, GroupId, OrderProtocol};
 use newtop_net::site::NodeId;
 use newtop_orb::cdr::{CdrDecode, CdrDecoder, CdrEncode, CdrEncoder, CdrError};
 
@@ -30,6 +30,10 @@ pub enum CtrlMessage {
         ordering: OrderProtocol,
         /// Time-silence period for the client/server group, microseconds.
         time_silence_micros: u64,
+        /// Fan-out mode for the client/server group. Every member must
+        /// agree, or one side would chain round trips while the other
+        /// expects back-to-back (batchable) sends.
+        fanout: FanoutMode,
     },
 }
 
@@ -46,6 +50,7 @@ impl CdrEncode for CtrlMessage {
                 closed,
                 ordering,
                 time_silence_micros,
+                fanout,
             } => {
                 enc.write_u8(TAG_BIND);
                 group.encode(enc);
@@ -58,6 +63,10 @@ impl CdrEncode for CtrlMessage {
                     OrderProtocol::Asymmetric => 1,
                 });
                 enc.write_u64(*time_silence_micros);
+                enc.write_u8(match fanout {
+                    FanoutMode::Synchronous => 0,
+                    FanoutMode::Asynchronous => 1,
+                });
             }
         }
     }
@@ -77,6 +86,10 @@ impl CdrDecode for CtrlMessage {
                     _ => OrderProtocol::Asymmetric,
                 },
                 time_silence_micros: dec.read_u64()?,
+                fanout: match dec.read_u8()? {
+                    0 => FanoutMode::Synchronous,
+                    _ => FanoutMode::Asynchronous,
+                },
             }),
             other => Err(CdrError::BadDiscriminant(u32::from(other))),
         }
@@ -97,6 +110,7 @@ mod tests {
             closed: false,
             ordering: OrderProtocol::Asymmetric,
             time_silence_micros: 25_000,
+            fanout: FanoutMode::Synchronous,
         };
         assert_eq!(CtrlMessage::from_cdr(&m.to_cdr()).unwrap(), m);
     }
@@ -111,6 +125,7 @@ mod tests {
             closed: true,
             ordering: OrderProtocol::Symmetric,
             time_silence_micros: 1,
+            fanout: FanoutMode::Asynchronous,
         };
         assert_eq!(CtrlMessage::from_cdr(&m.to_cdr()).unwrap(), m);
     }

@@ -62,7 +62,9 @@
 //!     fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {
 //!         match output {
 //!             NsoOutput::BindingReady { group } => {
-//!                 nso.invoke(&group, "double", Bytes::from_static(&[21]), ReplyMode::All, now, out).unwrap();
+//!                 // Readiness is asynchronous: recover the handle and invoke over it.
+//!                 let binding = nso.handle_for(&group).unwrap();
+//!                 binding.invoke(nso, "double", Bytes::from_static(&[21]), ReplyMode::All, now, out).unwrap();
 //!             }
 //!             NsoOutput::InvocationComplete { replies, .. } => {
 //!                 self.answer = Some(replies[0].1[0]);
@@ -97,7 +99,9 @@ pub mod nso;
 pub mod proxy;
 pub mod simnode;
 
-pub use nso::{BindOptions, BindTarget, GroupServant, NewtopError, Nso, NsoOutput};
+pub use nso::{
+    BindOptions, BindTarget, GroupHandle, GroupServant, NewtopError, Nso, NsoOptions, NsoOutput,
+};
 pub use proxy::{ProxyEvent, ProxyStyle, SmartProxy};
 
 /// The ORB operation carrying binding-control requests between NSOs.

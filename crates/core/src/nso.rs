@@ -19,9 +19,10 @@ use std::time::Duration;
 
 use bytes::Bytes;
 
-use newtop_gcs::group::{DeliveryOrder, GroupConfig, GroupId, Liveness, OrderProtocol};
-use newtop_gcs::member::{GcsError, GcsMember, GcsNet, GcsOutput};
+use newtop_gcs::group::{DeliveryOrder, FanoutMode, GroupConfig, GroupId, Liveness, OrderProtocol};
+use newtop_gcs::member::{GcsError, GcsNet, GcsOutput, SendBuffer};
 use newtop_gcs::messages::GcsMessage;
+use newtop_gcs::shard::ShardedGcs;
 use newtop_gcs::view::View;
 use newtop_gcs::{GCS_OPERATION, NSO_OBJECT_KEY};
 use newtop_invocation::api::{
@@ -37,6 +38,7 @@ use newtop_net::site::NodeId;
 use newtop_net::time::SimTime;
 use newtop_net::trace::{TraceEvent, TraceRecord};
 use newtop_orb::cdr::{CdrDecode, CdrEncode};
+use newtop_orb::giop::GiopMessage;
 use newtop_orb::ior::ObjectRef;
 use newtop_orb::orb::{InvokeError, OrbCore, OrbIncoming, RequestId};
 use newtop_orb::servant::ServantError;
@@ -264,6 +266,11 @@ pub struct BindOptions {
     pub ordering: OrderProtocol,
     /// Time-silence period of the client/server group.
     pub time_silence: Duration,
+    /// Fan-out mode of the client/server group. [`FanoutMode::Synchronous`]
+    /// chains per-member round trips (§2.2); [`FanoutMode::Asynchronous`]
+    /// issues sends back-to-back, which also lets a batching-enabled node
+    /// pack them into one frame per destination.
+    pub fanout: FanoutMode,
     /// How long to wait for the servers' acknowledgements.
     pub timeout: Duration,
     /// Explicit group id; autogenerated when `None`.
@@ -290,6 +297,7 @@ impl Default for BindOptions {
             target: BindTarget::Unspecified,
             ordering: OrderProtocol::Asymmetric,
             time_silence: Duration::from_millis(100),
+            fanout: FanoutMode::Synchronous,
             timeout: Duration::from_secs(2),
             group_id: None,
             default_mode: ReplyMode::All,
@@ -341,6 +349,15 @@ impl BindOptions {
         self
     }
 
+    /// Sets the fan-out mode of the client/server group. Asynchronous
+    /// fan-outs are a prerequisite for send-path batching: only
+    /// back-to-back sends can share a frame.
+    #[must_use]
+    pub fn with_fanout(mut self, fanout: FanoutMode) -> Self {
+        self.fanout = fanout;
+        self
+    }
+
     /// Sets how long to wait for the servers' acknowledgements.
     #[must_use]
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
@@ -367,6 +384,160 @@ impl BindOptions {
     pub fn with_async_forwarding(mut self, on: bool) -> Self {
         self.async_forwarding = on;
         self
+    }
+}
+
+/// What kind of group a [`GroupHandle`] refers to — which operations it
+/// supports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum HandleKind {
+    /// A client binding from [`Nso::bind`]: invoke / retry / unbind.
+    Binding,
+    /// A peer group: send / leave.
+    Peer,
+}
+
+/// A handle to a group this NSO participates in, returned by
+/// [`Nso::bind`], [`Nso::create_peer_group`] and
+/// [`Nso::join_peer_group`]. The handle carries the group id plus the
+/// binding's invocation defaults, so call-side operations hang off it
+/// instead of re-threading raw [`GroupId`]s through every call:
+///
+/// ```ignore
+/// let binding = nso.bind(server_group, opts, now, &mut out)?;
+/// // ... after NsoOutput::BindingReady ...
+/// binding.invoke(&mut nso, "op", args, ReplyMode::All, now, &mut out)?;
+/// binding.unbind(&mut nso, now, &mut out)?;
+/// ```
+///
+/// Handles are plain values (clonable, no liveness of their own): the
+/// group they name can still fail or be torn down underneath them, in
+/// which case operations return the same errors the group-id methods
+/// did. A handle for an already-established group can be recovered with
+/// [`Nso::handle_for`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupHandle {
+    group: GroupId,
+    kind: HandleKind,
+    default_mode: ReplyMode,
+}
+
+impl GroupHandle {
+    /// The group this handle refers to.
+    #[must_use]
+    pub fn id(&self) -> &GroupId {
+        &self.group
+    }
+
+    /// Rejects an operation the handle's group kind does not support
+    /// (e.g. [`GroupHandle::send`] on a client binding).
+    fn expect_kind(&self, kind: HandleKind) -> Result<(), NewtopError> {
+        if self.kind == kind {
+            Ok(())
+        } else {
+            Err(NewtopError::Unbound(self.group.clone()))
+        }
+    }
+
+    /// The default reply mode of invocations issued with
+    /// [`GroupHandle::invoke_default`] (fixed at bind time).
+    #[must_use]
+    pub fn default_mode(&self) -> ReplyMode {
+        self.default_mode
+    }
+
+    /// Invokes an operation over this binding with the given reply mode.
+    /// Completion surfaces as [`NsoOutput::InvocationComplete`].
+    ///
+    /// # Errors
+    ///
+    /// [`NewtopError::Client`] if the binding is unknown (not ready yet,
+    /// torn down, or a peer-group handle).
+    pub fn invoke(
+        &self,
+        nso: &mut Nso,
+        op: &str,
+        args: Bytes,
+        mode: ReplyMode,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<CallId, NewtopError> {
+        self.expect_kind(HandleKind::Binding)?;
+        nso.do_invoke(&self.group, op, args, mode, now, out)
+    }
+
+    /// Invokes with the handle's default reply mode (set at bind time via
+    /// [`BindOptions::with_reply_mode`]).
+    ///
+    /// # Errors
+    ///
+    /// [`NewtopError::Client`] if the binding is unknown.
+    pub fn invoke_default(
+        &self,
+        nso: &mut Nso,
+        op: &str,
+        args: Bytes,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<CallId, NewtopError> {
+        self.expect_kind(HandleKind::Binding)?;
+        nso.do_invoke(&self.group, op, args, self.default_mode, now, out)
+    }
+
+    /// Re-issues a pending call over this (new) binding with its original
+    /// call number (§4.1 rebind-and-retry).
+    ///
+    /// # Errors
+    ///
+    /// [`NewtopError::Client`] if the call or binding is unknown.
+    pub fn retry(
+        &self,
+        nso: &mut Nso,
+        call_number: u64,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<(), NewtopError> {
+        self.expect_kind(HandleKind::Binding)?;
+        nso.do_retry(call_number, &self.group, now, out)
+    }
+
+    /// Tears down this client binding: leaves the client/server group and
+    /// forgets it.
+    ///
+    /// # Errors
+    ///
+    /// [`NewtopError::Unbound`] if no such binding exists.
+    pub fn unbind(&self, nso: &mut Nso, now: SimTime, out: &mut Outbox) -> Result<(), NewtopError> {
+        self.expect_kind(HandleKind::Binding)?;
+        nso.do_unbind(&self.group, now, out)
+    }
+
+    /// One-way multicast in this peer group (the peer-participation
+    /// mode).
+    ///
+    /// # Errors
+    ///
+    /// Any [`GcsError`] if the node is not a member.
+    pub fn send(
+        &self,
+        nso: &mut Nso,
+        payload: Bytes,
+        order: DeliveryOrder,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<(), NewtopError> {
+        self.expect_kind(HandleKind::Peer)?;
+        nso.do_peer_send(&self.group, payload, order, now, out)
+    }
+
+    /// Gracefully leaves this peer group.
+    ///
+    /// # Errors
+    ///
+    /// [`NewtopError::Unbound`] if this node is not a member.
+    pub fn leave(&self, nso: &mut Nso, now: SimTime, out: &mut Outbox) -> Result<(), NewtopError> {
+        self.expect_kind(HandleKind::Peer)?;
+        nso.leave_peer_group(&self.group, now, out)
     }
 }
 
@@ -401,11 +572,77 @@ enum NsoTimer {
     BindTimeout(GroupId),
 }
 
+/// Reserved tag of the send-path batch-flush micro-timer (the first tag
+/// of the NSO's range; [`Nso::alloc_tag`] starts above it).
+const BATCH_FLUSH_TAG: u64 = tags::NSO_BASE;
+
+/// How long staged sends may wait for company. Messages staged within
+/// one window share a frame per destination, so this bounds both the
+/// added latency and the coalescing opportunity. Matches the order-record
+/// aggregation cadence of the GCS sequencer.
+const BATCH_FLUSH_DELAY: Duration = Duration::from_micros(300);
+
+/// Construction options for an [`Nso`]: how many parallel shard engines
+/// partition the node's groups (see [`newtop_gcs::shard::ShardedGcs`])
+/// and whether the send path batches small protocol messages into one
+/// GIOP frame per destination per event. Both default off (one shard, no
+/// batching), which is bit-identical to the pre-sharding stack.
+#[derive(Clone, Debug)]
+pub struct NsoOptions {
+    shards: usize,
+    batching: bool,
+}
+
+impl Default for NsoOptions {
+    fn default() -> Self {
+        NsoOptions {
+            shards: 1,
+            batching: false,
+        }
+    }
+}
+
+impl NsoOptions {
+    /// One shard, batching off.
+    #[must_use]
+    pub fn new() -> Self {
+        NsoOptions::default()
+    }
+
+    /// Sets the number of parallel shard engines (clamped to
+    /// `1..=`[`newtop_gcs::shard::MAX_SHARDS`] at construction).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Enables per-destination batching of small protocol messages.
+    #[must_use]
+    pub fn with_batching(mut self, on: bool) -> Self {
+        self.batching = on;
+        self
+    }
+
+    /// The configured shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Whether send-path batching is enabled.
+    #[must_use]
+    pub fn batching(&self) -> bool {
+        self.batching
+    }
+}
+
 /// The NewTop service object. See the [module docs](self).
 pub struct Nso {
     node: NodeId,
     orb: OrbCore,
-    gcs: GcsMember,
+    gcs: ShardedGcs,
+    batching: bool,
     client: ClientCore,
     servers: BTreeMap<GroupId, ServerCore>,
     servants: BTreeMap<GroupId, Box<dyn GroupServant>>,
@@ -421,6 +658,10 @@ pub struct Nso {
     /// Invocation-layer metrics and trace (the GCS member keeps its own;
     /// [`Nso::metrics`] / [`Nso::trace`] merge the two).
     obs: Observability,
+    /// Staged batchable sends, persisted across handler events so the
+    /// flush window spans them (see [`SendBuffer`]). Flushed by the
+    /// [`BATCH_FLUSH_TAG`] micro-timer.
+    send_buf: SendBuffer,
     /// Per-binding default reply mode (from [`BindOptions`]).
     default_modes: BTreeMap<GroupId, ReplyMode>,
     /// Issue time of outstanding calls, for the end-to-end invocation
@@ -437,16 +678,23 @@ impl fmt::Debug for Nso {
     }
 }
 
-/// Runs `f` with a fresh [`GcsNet`], then folds the context's send count
-/// into the metric registry. Takes field-precise borrows (rather than
+/// Runs `f` with a fresh [`GcsNet`] staging into the node's persistent
+/// [`SendBuffer`], then folds the context's counters into the metric
+/// registry. Staged sends are NOT flushed here: they wait (at most
+/// [`BATCH_FLUSH_DELAY`]) for the batch-flush micro-timer, so messages
+/// from several handler events can share a frame per destination. The
+/// epilogue arms that timer whenever the buffer is non-empty and no
+/// timer is already in flight. Takes field-precise borrows (rather than
 /// `&mut Nso`) so the closure can still use `self.gcs`.
 fn with_net<R>(
     orb: &mut OrbCore,
     obs: &mut Observability,
     out: &mut Outbox,
+    batching: bool,
+    buf: &mut SendBuffer,
     f: impl FnOnce(&mut GcsNet<'_>) -> R,
 ) -> R {
-    let mut net = GcsNet::new(orb, out);
+    let mut net = GcsNet::with_buffer(orb, out, batching, buf);
     let r = f(&mut net);
     let sent = net.sent();
     if sent > 0 {
@@ -457,17 +705,36 @@ fn with_net<R>(
         obs.metrics.add("gcs.encode_calls", encodes);
         obs.metrics.add("gcs.bytes_encoded", net.bytes_encoded());
     }
+    let frames = net.batch_frames();
+    if frames > 0 {
+        obs.metrics.add("gcs.batch_frames", frames);
+        obs.metrics.add("gcs.batch_msgs", net.batch_msgs());
+    }
+    drop(net);
+    if buf.has_staged() && !buf.scheduled {
+        buf.scheduled = true;
+        out.set_timer(BATCH_FLUSH_DELAY, BATCH_FLUSH_TAG);
+    }
     r
 }
 
 impl Nso {
-    /// Creates the service object for `node`.
+    /// Creates the service object for `node` with the default options:
+    /// one shard engine and no batching (the deterministic baseline).
     #[must_use]
     pub fn new(node: NodeId) -> Self {
+        Nso::with_options(node, NsoOptions::default())
+    }
+
+    /// Creates the service object for `node` with explicit
+    /// [`NsoOptions`] (shard-engine count, send-path batching).
+    #[must_use]
+    pub fn with_options(node: NodeId, opts: NsoOptions) -> Self {
         Nso {
             node,
             orb: OrbCore::new(node),
-            gcs: GcsMember::new(node, tags::GCS_BASE),
+            gcs: ShardedGcs::new(node, tags::GCS_BASE, opts.shards),
+            batching: opts.batching,
             client: ClientCore::new(node),
             servers: BTreeMap::new(),
             servants: BTreeMap::new(),
@@ -477,8 +744,11 @@ impl Nso {
             binds: BTreeMap::new(),
             was_primary: BTreeMap::new(),
             nso_timers: BTreeMap::new(),
-            next_tag: 0,
+            // Tag 0 (NSO_BASE itself) is reserved for the batch-flush
+            // micro-timer; allocated tags start at 1.
+            next_tag: 1,
             next_binding: 1,
+            send_buf: SendBuffer::new(),
             outputs: Vec::new(),
             obs: Observability::new(),
             default_modes: BTreeMap::new(),
@@ -524,7 +794,9 @@ impl Nso {
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut merged = self.obs.metrics.clone();
-        merged.merge(&self.gcs.observability().metrics);
+        for shard_obs in self.gcs.observabilities() {
+            merged.merge(&shard_obs.metrics);
+        }
         merged.snapshot()
     }
 
@@ -534,7 +806,9 @@ impl Nso {
     #[must_use]
     pub fn trace(&self) -> Vec<TraceRecord> {
         let mut records = self.obs.trace.to_vec();
-        records.extend(self.gcs.observability().trace.iter().cloned());
+        for shard_obs in self.gcs.observabilities() {
+            records.extend(shard_obs.trace.iter().cloned());
+        }
         records.sort_by_key(|r| r.at);
         records
     }
@@ -557,7 +831,7 @@ impl Nso {
     /// application layer).
     #[must_use]
     pub fn owns_tag(&self, tag: u64) -> bool {
-        self.gcs.owns_tag(tag) || self.nso_timers.contains_key(&tag)
+        tag == BATCH_FLUSH_TAG || self.gcs.owns_tag(tag) || self.nso_timers.contains_key(&tag)
     }
 
     // --- server-side setup ------------------------------------------------
@@ -580,10 +854,17 @@ impl Nso {
         now: SimTime,
         out: &mut Outbox,
     ) -> Result<(), NewtopError> {
-        let outs = with_net(&mut self.orb, &mut self.obs, out, |net| {
-            self.gcs
-                .create_group(group.clone(), config, members.clone(), now, net)
-        })?;
+        let outs = with_net(
+            &mut self.orb,
+            &mut self.obs,
+            out,
+            self.batching,
+            &mut self.send_buf,
+            |net| {
+                self.gcs
+                    .create_group(group.clone(), config, members.clone(), now, net)
+            },
+        )?;
         let mut core = ServerCore::new(self.node, group.clone(), replication, optimisation);
         core.set_server_view(members);
         self.was_primary.insert(group.clone(), core.is_primary());
@@ -622,8 +903,9 @@ impl Nso {
     ///   have been created with [`OpenOptimisation::Restricted`] for
     ///   forwarding to be skipped).
     ///
-    /// Completion surfaces as [`NsoOutput::BindingReady`]; the binding's
-    /// default reply mode (for [`Nso::invoke_default`]) and the
+    /// Returns a [`GroupHandle`] that invocations hang off; readiness
+    /// surfaces as [`NsoOutput::BindingReady`]. The handle's default
+    /// reply mode (for [`GroupHandle::invoke_default`]) and the
     /// async-forwarding preference are taken from `opts`.
     ///
     /// # Errors
@@ -637,8 +919,9 @@ impl Nso {
         opts: BindOptions,
         now: SimTime,
         out: &mut Outbox,
-    ) -> Result<GroupId, NewtopError> {
-        match opts.target.clone() {
+    ) -> Result<GroupHandle, NewtopError> {
+        let default_mode = opts.default_mode;
+        let group = match opts.target.clone() {
             BindTarget::Unspecified => Err(NewtopError::BindTargetMissing(server_group)),
             BindTarget::Open { manager } => {
                 let members = vec![self.node, manager];
@@ -683,7 +966,34 @@ impl Nso {
                     out,
                 )
             }
-        }
+        }?;
+        Ok(GroupHandle {
+            group,
+            kind: HandleKind::Binding,
+            default_mode,
+        })
+    }
+
+    /// Recovers a [`GroupHandle`] for a group that is already established
+    /// on this node (a ready client binding or a peer group). `None` for
+    /// unknown groups and for roles that have no handle-based surface
+    /// (server groups, monitor groups).
+    #[must_use]
+    pub fn handle_for(&self, group: &GroupId) -> Option<GroupHandle> {
+        let kind = match self.roles.get(group)? {
+            GroupRole::ClientBinding => HandleKind::Binding,
+            GroupRole::Peer => HandleKind::Peer,
+            _ => return None,
+        };
+        Some(GroupHandle {
+            group: group.clone(),
+            kind,
+            default_mode: self
+                .default_modes
+                .get(group)
+                .copied()
+                .unwrap_or(ReplyMode::All),
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -710,6 +1020,7 @@ impl Nso {
             ordering: opts.ordering,
             liveness: Liveness::EventDriven,
             time_silence: opts.time_silence,
+            fanout: opts.fanout,
             ..GroupConfig::default()
         };
         let ctrl = CtrlMessage::BindRequest {
@@ -720,6 +1031,7 @@ impl Nso {
             closed: style == BindingStyle::Closed,
             ordering: opts.ordering,
             time_silence_micros: opts.time_silence.as_micros() as u64,
+            fanout: opts.fanout,
         };
         let body = ctrl.to_cdr();
         let servers: Vec<NodeId> = members
@@ -757,7 +1069,17 @@ impl Nso {
     /// # Errors
     ///
     /// [`NewtopError::Unbound`] if no such binding exists.
+    #[deprecated(since = "0.2.0", note = "use GroupHandle::unbind from Nso::bind")]
     pub fn unbind(
+        &mut self,
+        group: &GroupId,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<(), NewtopError> {
+        self.do_unbind(group, now, out)
+    }
+
+    fn do_unbind(
         &mut self,
         group: &GroupId,
         now: SimTime,
@@ -769,9 +1091,14 @@ impl Nso {
         self.roles.remove(group);
         self.client.remove_binding(group);
         self.default_modes.remove(group);
-        let outs = with_net(&mut self.orb, &mut self.obs, out, |net| {
-            self.gcs.leave_group(group, now, net).unwrap_or_default()
-        });
+        let outs = with_net(
+            &mut self.orb,
+            &mut self.obs,
+            out,
+            self.batching,
+            &mut self.send_buf,
+            |net| self.gcs.leave_group(group, now, net).unwrap_or_default(),
+        );
         self.route_gcs(outs, now, out);
         Ok(())
     }
@@ -782,8 +1109,22 @@ impl Nso {
     /// # Errors
     ///
     /// [`NewtopError::Client`] if the binding is unknown.
+    #[deprecated(since = "0.2.0", note = "use GroupHandle::invoke from Nso::bind")]
     #[allow(clippy::too_many_arguments)]
     pub fn invoke(
+        &mut self,
+        binding: &GroupId,
+        op: &str,
+        args: Bytes,
+        mode: ReplyMode,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<CallId, NewtopError> {
+        self.do_invoke(binding, op, args, mode, now, out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn do_invoke(
         &mut self,
         binding: &GroupId,
         op: &str,
@@ -808,6 +1149,10 @@ impl Nso {
     /// # Errors
     ///
     /// [`NewtopError::Client`] if the binding is unknown.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use GroupHandle::invoke_default from Nso::bind"
+    )]
     pub fn invoke_default(
         &mut self,
         binding: &GroupId,
@@ -821,7 +1166,7 @@ impl Nso {
             .get(binding)
             .copied()
             .unwrap_or(ReplyMode::All);
-        self.invoke(binding, op, args, mode, now, out)
+        self.do_invoke(binding, op, args, mode, now, out)
     }
 
     /// Re-issues a pending call over a (new) binding with its original
@@ -830,7 +1175,18 @@ impl Nso {
     /// # Errors
     ///
     /// [`NewtopError::Client`] if the call or binding is unknown.
+    #[deprecated(since = "0.2.0", note = "use GroupHandle::retry from Nso::bind")]
     pub fn retry(
+        &mut self,
+        call_number: u64,
+        binding: &GroupId,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<(), NewtopError> {
+        self.do_retry(call_number, binding, now, out)
+    }
+
+    fn do_retry(
         &mut self,
         call_number: u64,
         binding: &GroupId,
@@ -845,7 +1201,8 @@ impl Nso {
     // --- peer groups ---------------------------------------------------------
 
     /// Statically creates a peer group (every member calls this with the
-    /// same arguments). Deliveries surface as [`NsoOutput::PeerDeliver`].
+    /// same arguments) and returns its [`GroupHandle`]. Deliveries
+    /// surface as [`NsoOutput::PeerDeliver`].
     ///
     /// # Errors
     ///
@@ -857,14 +1214,25 @@ impl Nso {
         config: GroupConfig,
         now: SimTime,
         out: &mut Outbox,
-    ) -> Result<(), NewtopError> {
-        let outs = with_net(&mut self.orb, &mut self.obs, out, |net| {
-            self.gcs
-                .create_group(group.clone(), config, members, now, net)
-        })?;
-        self.roles.insert(group, GroupRole::Peer);
+    ) -> Result<GroupHandle, NewtopError> {
+        let outs = with_net(
+            &mut self.orb,
+            &mut self.obs,
+            out,
+            self.batching,
+            &mut self.send_buf,
+            |net| {
+                self.gcs
+                    .create_group(group.clone(), config, members, now, net)
+            },
+        )?;
+        self.roles.insert(group.clone(), GroupRole::Peer);
         self.route_gcs(outs, now, out);
-        Ok(())
+        Ok(GroupHandle {
+            group,
+            kind: HandleKind::Peer,
+            default_mode: ReplyMode::All,
+        })
     }
 
     /// Dynamically joins an existing peer group through `contact`, a
@@ -882,13 +1250,24 @@ impl Nso {
         contact: NodeId,
         now: SimTime,
         out: &mut Outbox,
-    ) -> Result<(), NewtopError> {
-        with_net(&mut self.orb, &mut self.obs, out, |net| {
-            self.gcs
-                .join_group(group.clone(), config, contact, now, net)
-        })?;
-        self.roles.insert(group, GroupRole::Peer);
-        Ok(())
+    ) -> Result<GroupHandle, NewtopError> {
+        with_net(
+            &mut self.orb,
+            &mut self.obs,
+            out,
+            self.batching,
+            &mut self.send_buf,
+            |net| {
+                self.gcs
+                    .join_group(group.clone(), config, contact, now, net)
+            },
+        )?;
+        self.roles.insert(group.clone(), GroupRole::Peer);
+        Ok(GroupHandle {
+            group,
+            kind: HandleKind::Peer,
+            default_mode: ReplyMode::All,
+        })
     }
 
     /// Gracefully leaves a peer group; the remaining members install a
@@ -906,9 +1285,14 @@ impl Nso {
         if !matches!(self.roles.get(group), Some(GroupRole::Peer)) {
             return Err(NewtopError::Unbound(group.clone()));
         }
-        let outs = with_net(&mut self.orb, &mut self.obs, out, |net| {
-            self.gcs.leave_group(group, now, net)
-        })?;
+        let outs = with_net(
+            &mut self.orb,
+            &mut self.obs,
+            out,
+            self.batching,
+            &mut self.send_buf,
+            |net| self.gcs.leave_group(group, now, net),
+        )?;
         self.route_gcs(outs, now, out);
         Ok(())
     }
@@ -918,6 +1302,10 @@ impl Nso {
     /// # Errors
     ///
     /// Any [`GcsError`] if the node is not a member.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use GroupHandle::send from Nso::create_peer_group / join_peer_group"
+    )]
     pub fn peer_send(
         &mut self,
         group: &GroupId,
@@ -926,9 +1314,25 @@ impl Nso {
         now: SimTime,
         out: &mut Outbox,
     ) -> Result<(), NewtopError> {
-        with_net(&mut self.orb, &mut self.obs, out, |net| {
-            self.gcs.multicast(group, order, payload, now, net)
-        })?;
+        self.do_peer_send(group, payload, order, now, out)
+    }
+
+    fn do_peer_send(
+        &mut self,
+        group: &GroupId,
+        payload: Bytes,
+        order: DeliveryOrder,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<(), NewtopError> {
+        with_net(
+            &mut self.orb,
+            &mut self.obs,
+            out,
+            self.batching,
+            &mut self.send_buf,
+            |net| self.gcs.multicast(group, order, payload, now, net),
+        )?;
         Ok(())
     }
 
@@ -958,10 +1362,17 @@ impl Nso {
         if self.node == manager && !self.servers.contains_key(&server_group) {
             return Err(NewtopError::NotAServer(server_group));
         }
-        let outs = with_net(&mut self.orb, &mut self.obs, out, |net| {
-            self.gcs
-                .create_group(monitor.clone(), config, members, now, net)
-        })?;
+        let outs = with_net(
+            &mut self.orb,
+            &mut self.obs,
+            out,
+            self.batching,
+            &mut self.send_buf,
+            |net| {
+                self.gcs
+                    .create_group(monitor.clone(), config, members, now, net)
+            },
+        )?;
         if self.node == manager {
             self.servers
                 .get_mut(&server_group)
@@ -1074,12 +1485,7 @@ impl Nso {
                 }
                 match operation.as_str() {
                     GCS_OPERATION => match GcsMessage::from_cdr(&body) {
-                        Ok(msg) => {
-                            let outs = with_net(&mut self.orb, &mut self.obs, out, |net| {
-                                self.gcs.on_message(msg, now, net)
-                            });
-                            self.route_gcs(outs, now, out);
-                        }
+                        Ok(msg) => self.on_gcs_message(msg, now, out),
                         Err(_) => self.note_malformed(GCS_OPERATION, now),
                     },
                     INV_OPERATION => match InvMessage::from_cdr(&body) {
@@ -1110,12 +1516,84 @@ impl Nso {
         }
     }
 
+    /// Feeds a GCS protocol message the host already decoded off the
+    /// wire — the ingress path for runtimes whose shard workers parse
+    /// and unbatch frames in parallel (see [`Nso::decode_gcs_frame`]).
+    /// Equivalent to [`Nso::on_packet`] on the frame the message came
+    /// from; the message is routed to the shard engine that owns its
+    /// group.
+    pub fn on_gcs_message(&mut self, msg: GcsMessage, now: SimTime, out: &mut Outbox) {
+        let outs = with_net(
+            &mut self.orb,
+            &mut self.obs,
+            out,
+            self.batching,
+            &mut self.send_buf,
+            |net| self.gcs.on_message(msg, now, net),
+        );
+        self.route_gcs(outs, now, out);
+    }
+
+    /// Pre-decodes a wire frame when it is a oneway GCS protocol
+    /// message: returns its constituent [`GcsMessage`]s (batch envelopes
+    /// unpacked, in send order) if the frame is a well-formed oneway
+    /// `GCS_OPERATION` request for the NSO endpoint, and `None`
+    /// otherwise.
+    ///
+    /// This is the CPU-heavy part of packet ingress, and it is pure —
+    /// hosts may run it on parallel decode workers and feed the results
+    /// to [`Nso::on_gcs_message`]. Frames it declines (replies, control
+    /// traffic, invocation messages, malformed bodies) must be fed to
+    /// [`Nso::on_packet`] unchanged so their accounting still happens.
+    #[must_use]
+    pub fn decode_gcs_frame(payload: &[u8]) -> Option<Vec<GcsMessage>> {
+        let Ok(GiopMessage::Request {
+            object_key,
+            operation,
+            response_expected: false,
+            body,
+            ..
+        }) = GiopMessage::from_frame(payload)
+        else {
+            return None;
+        };
+        if object_key.as_str() != NSO_OBJECT_KEY || operation != GCS_OPERATION {
+            return None;
+        }
+        match GcsMessage::from_cdr(&body).ok()? {
+            GcsMessage::Batch(msgs) => Some(msgs),
+            msg => Some(vec![msg]),
+        }
+    }
+
     /// Feeds a fired timer whose tag this NSO owns.
     pub fn on_timer(&mut self, tag: u64, now: SimTime, out: &mut Outbox) {
+        if tag == BATCH_FLUSH_TAG {
+            // The coalescing window closed: everything staged since the
+            // timer was armed leaves now, packed per destination. The
+            // epilogue of `with_net` re-arms if the flush itself staged
+            // anything new (it does not, but handlers racing in the
+            // threaded runtime may have).
+            self.send_buf.scheduled = false;
+            with_net(
+                &mut self.orb,
+                &mut self.obs,
+                out,
+                self.batching,
+                &mut self.send_buf,
+                |net| net.flush(),
+            );
+            return;
+        }
         if self.gcs.owns_tag(tag) {
-            let outs = with_net(&mut self.orb, &mut self.obs, out, |net| {
-                self.gcs.on_timer(tag, now, net)
-            });
+            let outs = with_net(
+                &mut self.orb,
+                &mut self.obs,
+                out,
+                self.batching,
+                &mut self.send_buf,
+                |net| self.gcs.on_timer(tag, now, net),
+            );
             self.route_gcs(outs, now, out);
             return;
         }
@@ -1169,6 +1647,7 @@ impl Nso {
                 closed,
                 ordering,
                 time_silence_micros,
+                fanout,
             } => {
                 if !self.servers.contains_key(&server_group) {
                     return Err(ServantError::User(Bytes::from_static(
@@ -1180,12 +1659,20 @@ impl Nso {
                         ordering,
                         liveness: Liveness::EventDriven,
                         time_silence: Duration::from_micros(time_silence_micros),
+                        fanout,
                         ..GroupConfig::default()
                     };
-                    let outs = with_net(&mut self.orb, &mut self.obs, out, |net| {
-                        self.gcs
-                            .create_group(group.clone(), config, members, now, net)
-                    })
+                    let outs = with_net(
+                        &mut self.orb,
+                        &mut self.obs,
+                        out,
+                        self.batching,
+                        &mut self.send_buf,
+                        |net| {
+                            self.gcs
+                                .create_group(group.clone(), config, members, now, net)
+                        },
+                    )
                     .map_err(|_| {
                         ServantError::User(Bytes::from_static(b"group creation failed"))
                     })?;
@@ -1225,15 +1712,22 @@ impl Nso {
             return;
         }
         let bind = self.binds.remove(&group).expect("present");
-        let created = with_net(&mut self.orb, &mut self.obs, out, |net| {
-            self.gcs.create_group(
-                group.clone(),
-                bind.config.clone(),
-                bind.members.clone(),
-                now,
-                net,
-            )
-        });
+        let created = with_net(
+            &mut self.orb,
+            &mut self.obs,
+            out,
+            self.batching,
+            &mut self.send_buf,
+            |net| {
+                self.gcs.create_group(
+                    group.clone(),
+                    bind.config.clone(),
+                    bind.members.clone(),
+                    now,
+                    net,
+                )
+            },
+        );
         let outs = match created {
             Ok(o) => o,
             Err(_) => {
@@ -1265,10 +1759,17 @@ impl Nso {
         for cmd in cmds {
             match cmd {
                 InvCommand::Multicast { group, payload } => {
-                    let _ = with_net(&mut self.orb, &mut self.obs, out, |net| {
-                        self.gcs
-                            .multicast(&group, DeliveryOrder::Total, payload, now, net)
-                    });
+                    let _ = with_net(
+                        &mut self.orb,
+                        &mut self.obs,
+                        out,
+                        self.batching,
+                        &mut self.send_buf,
+                        |net| {
+                            self.gcs
+                                .multicast(&group, DeliveryOrder::Total, payload, now, net)
+                        },
+                    );
                 }
                 InvCommand::Direct { to, payload } => {
                     self.orb.oneway(
@@ -1309,9 +1810,14 @@ impl Nso {
                     );
                     self.roles.remove(&group);
                     self.default_modes.remove(&group);
-                    let _ = with_net(&mut self.orb, &mut self.obs, out, |net| {
-                        self.gcs.leave_group(&group, now, net)
-                    });
+                    let _ = with_net(
+                        &mut self.orb,
+                        &mut self.obs,
+                        out,
+                        self.batching,
+                        &mut self.send_buf,
+                        |net| self.gcs.leave_group(&group, now, net),
+                    );
                     self.outputs.push(NsoOutput::BindingBroken {
                         group,
                         manager,
@@ -1492,9 +1998,14 @@ impl Nso {
                         core.remove_client_group(group);
                     }
                     self.roles.remove(group);
-                    let _ = with_net(&mut self.orb, &mut self.obs, out, |net| {
-                        self.gcs.leave_group(group, now, net)
-                    });
+                    let _ = with_net(
+                        &mut self.orb,
+                        &mut self.obs,
+                        out,
+                        self.batching,
+                        &mut self.send_buf,
+                        |net| self.gcs.leave_group(group, now, net),
+                    );
                 }
             }
             GroupRole::MonitorManager { .. } | GroupRole::MonitorCaller | GroupRole::Peer => {}

@@ -26,7 +26,7 @@ use newtop_net::sim::Outbox;
 use newtop_net::site::NodeId;
 use newtop_net::time::SimTime;
 
-use crate::nso::{BindOptions, BindTarget, Nso, NsoOutput};
+use crate::nso::{BindOptions, BindTarget, GroupHandle, Nso, NsoOutput};
 use crate::tags;
 
 /// How the proxy attaches to the service.
@@ -78,7 +78,7 @@ struct QueuedCall {
 enum State {
     Unbound,
     Binding,
-    Bound(GroupId),
+    Bound(GroupHandle),
     Failed,
 }
 
@@ -213,7 +213,7 @@ impl SmartProxy {
     fn issue(
         &mut self,
         nso: &mut Nso,
-        binding: &GroupId,
+        binding: &GroupHandle,
         number: u64,
         call: &QueuedCall,
         now: SimTime,
@@ -222,7 +222,7 @@ impl SmartProxy {
         // The NSO's client core allocates its own call numbers; the proxy
         // maps them back to its own. (`invoke` only fails if the binding
         // raced away — the call is then re-queued.)
-        match nso.invoke(binding, &call.op, call.args.clone(), call.mode, now, out) {
+        match binding.invoke(nso, &call.op, call.args.clone(), call.mode, now, out) {
             Ok(id) => {
                 self.outstanding
                     .insert(id.number, (number, now, call.clone()));
@@ -245,14 +245,15 @@ impl SmartProxy {
                 if !matches!(self.state, State::Binding) {
                     return None;
                 }
-                self.state = State::Bound(group.clone());
+                let binding = nso.handle_for(group)?;
+                self.state = State::Bound(binding.clone());
                 self.failures_in_a_row = 0;
                 // Retry outstanding calls (original core numbers, so
                 // servers deduplicate), then flush the queue.
                 let mut numbers: Vec<u64> = self.outstanding.keys().copied().collect();
                 numbers.sort_unstable();
                 for number in numbers {
-                    if nso.retry(number, group, now, out).is_err() {
+                    if binding.retry(nso, number, now, out).is_err() {
                         // The core dropped the call (shouldn't happen);
                         // fall back to re-issuing it fresh.
                         if let Some((pn, _, call)) = self.outstanding.remove(&number) {
@@ -261,7 +262,6 @@ impl SmartProxy {
                     }
                 }
                 let queued = std::mem::take(&mut self.queued);
-                let binding = group.clone();
                 for (number, call) in queued {
                     self.issue(nso, &binding, number, &call, now, out);
                 }
@@ -305,7 +305,7 @@ impl SmartProxy {
                 .map(|(&n, _)| n)
                 .collect();
             for number in stalled {
-                let _ = nso.retry(number, &binding, now, out);
+                let _ = binding.retry(nso, number, now, out);
                 if let Some(entry) = self.outstanding.get_mut(&number) {
                     entry.1 = now;
                 }

@@ -13,7 +13,7 @@ use newtop_net::sim::{NodeEvent, Outbox, SimNode};
 use newtop_net::site::NodeId;
 use newtop_net::time::SimTime;
 
-use crate::nso::{Nso, NsoOutput};
+use crate::nso::{Nso, NsoOptions, NsoOutput};
 
 /// The application half of a simulated node.
 ///
@@ -38,11 +38,18 @@ pub struct NsoNode {
 }
 
 impl NsoNode {
-    /// Creates the node state.
+    /// Creates the node state with the default [`NsoOptions`].
     #[must_use]
     pub fn new(node: NodeId, app: Box<dyn NsoApp>) -> Self {
+        NsoNode::with_options(node, NsoOptions::default(), app)
+    }
+
+    /// Creates the node state with explicit [`NsoOptions`] (shard count,
+    /// send-path batching).
+    #[must_use]
+    pub fn with_options(node: NodeId, opts: NsoOptions, app: Box<dyn NsoApp>) -> Self {
         NsoNode {
-            nso: Nso::new(node),
+            nso: Nso::with_options(node, opts),
             app,
         }
     }
@@ -155,7 +162,9 @@ mod tests {
         fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {
             match output {
                 NsoOutput::BindingReady { group } => {
-                    nso.invoke(&group, "get", Bytes::new(), self.mode, now, out)
+                    let binding = nso.handle_for(&group).unwrap();
+                    binding
+                        .invoke(nso, "get", Bytes::new(), self.mode, now, out)
                         .unwrap();
                 }
                 NsoOutput::InvocationComplete { replies, .. } => {

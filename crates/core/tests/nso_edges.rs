@@ -120,7 +120,11 @@ fn binding_to_a_dead_node_times_out() {
         .any(|o| matches!(o, NsoOutput::BindFailed { .. })));
 }
 
+/// The deprecated group-id methods still delegate to the same cores as
+/// the [`newtop::GroupHandle`] surface; this is the one place keeping
+/// them covered until they are removed.
 #[test]
+#[allow(deprecated)]
 fn api_errors_are_reported_synchronously() {
     let mut sim = Sim::new(SimConfig::lan(73));
     sim.add_node(
@@ -333,12 +337,16 @@ fn unbind_tears_the_binding_down() {
         fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {
             if let NsoOutput::BindingReady { group } = output {
                 self.phase = 1;
-                nso.unbind(&group, now, out).unwrap();
-                // Invoking after unbind fails synchronously.
-                let err = nso
-                    .invoke(&group, "op", Bytes::new(), ReplyMode::All, now, out)
+                let binding = nso.handle_for(&group).unwrap();
+                binding.unbind(nso, now, out).unwrap();
+                // Invoking through the now-stale handle fails
+                // synchronously.
+                let err = binding
+                    .invoke(nso, "op", Bytes::new(), ReplyMode::All, now, out)
                     .unwrap_err();
                 assert!(matches!(err, NewtopError::Client(_)));
+                // And the handle is no longer recoverable.
+                assert!(nso.handle_for(&group).is_none());
                 self.phase = 2;
             }
         }

@@ -31,8 +31,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use crate::group::{DeliveryOrder, OrderProtocol};
+use crate::member::GcsError;
 use crate::messages::{ContigVector, DataMsg};
-use crate::view::ViewId;
+use crate::view::{canonical_members, ViewId};
 use newtop_net::site::NodeId;
 
 /// Outcome of offering a data message to the engine.
@@ -109,31 +110,43 @@ pub struct DeliveryEngine {
     acked: BTreeMap<NodeId, BTreeMap<NodeId, u64>>,
 }
 
-impl DeliveryEngine {
-    /// Creates an engine for one view of a group.
+/// Everything needed to build a [`DeliveryEngine`] for one view of a
+/// group. Replaces the old positional `DeliveryEngine::new`, which
+/// panicked when `me` was missing from the member list; [`Self::build`]
+/// surfaces that as [`GcsError::BadMembership`] instead.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// The local member the engine delivers for.
+    pub me: NodeId,
+    /// The view this engine serves.
+    pub view: ViewId,
+    /// View membership; canonicalised (sorted, deduplicated) by `build`.
+    pub members: Vec<NodeId>,
+    /// Total-order protocol the view runs.
+    pub protocol: OrderProtocol,
+}
+
+impl EngineConfig {
+    /// Builds the engine, canonicalising `members` with the same helper
+    /// the [`View`](crate::view::View) constructor uses.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `me` is not in `members`.
-    #[must_use]
-    pub fn new(
-        me: NodeId,
-        view: ViewId,
-        mut members: Vec<NodeId>,
-        protocol: OrderProtocol,
-    ) -> Self {
-        members.sort_unstable();
-        members.dedup();
-        assert!(members.contains(&me), "engine owner must be a view member");
+    /// [`GcsError::BadMembership`] if `me` is not in `members`.
+    pub fn build(self) -> Result<DeliveryEngine, GcsError> {
+        let members = canonical_members(self.members);
+        if members.binary_search(&self.me).is_err() {
+            return Err(GcsError::BadMembership);
+        }
         let senders = members
             .iter()
             .map(|&m| (m, SenderTrack::default()))
             .collect();
-        DeliveryEngine {
-            me,
-            view,
+        Ok(DeliveryEngine {
+            me: self.me,
+            view: self.view,
             members,
-            protocol,
+            protocol: self.protocol,
             senders,
             total_queue: BTreeSet::new(),
             order_log: Vec::new(),
@@ -144,9 +157,11 @@ impl DeliveryEngine {
                 next_pos: 1,
             },
             acked: BTreeMap::new(),
-        }
+        })
     }
+}
 
+impl DeliveryEngine {
     /// The view this engine serves.
     #[must_use]
     pub fn view_id(&self) -> ViewId {
@@ -739,12 +754,39 @@ mod tests {
     }
 
     fn engine(me: u32, members: &[u32], protocol: OrderProtocol) -> DeliveryEngine {
-        DeliveryEngine::new(
-            n(me),
-            ViewId(1),
-            members.iter().map(|&i| n(i)).collect(),
+        EngineConfig {
+            me: n(me),
+            view: ViewId(1),
+            members: members.iter().map(|&i| n(i)).collect(),
             protocol,
-        )
+        }
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn build_rejects_owner_outside_membership() {
+        let err = EngineConfig {
+            me: n(9),
+            view: ViewId(1),
+            members: vec![n(0), n(1)],
+            protocol: OrderProtocol::Symmetric,
+        }
+        .build();
+        assert_eq!(err.err(), Some(GcsError::BadMembership));
+    }
+
+    #[test]
+    fn build_canonicalises_membership_like_view_new() {
+        let e = EngineConfig {
+            me: n(1),
+            view: ViewId(1),
+            members: vec![n(3), n(1), n(2), n(1)],
+            protocol: OrderProtocol::Symmetric,
+        }
+        .build()
+        .unwrap();
+        assert_eq!(e.members(), &[n(1), n(2), n(3)]);
     }
 
     fn ids(msgs: &[Arc<DataMsg>]) -> Vec<(u32, u64)> {
@@ -1066,11 +1108,5 @@ mod tests {
         e.drain_deliverable();
         assert_eq!(e.delivered_vector(), vec![(n(1), 1)]);
         assert_eq!(e.delivered_of(n(1)), 1);
-    }
-
-    #[test]
-    #[should_panic(expected = "view member")]
-    fn owner_must_be_member() {
-        let _ = engine(9, &[0, 1], OrderProtocol::Symmetric);
     }
 }

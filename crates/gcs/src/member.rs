@@ -41,7 +41,7 @@ use newtop_orb::orb::OrbCore;
 use newtop_flow::FlowController;
 
 use crate::clock::{DepsVector, LamportClock};
-use crate::engine::DeliveryEngine;
+use crate::engine::{DeliveryEngine, EngineConfig};
 use crate::group::{DeliveryOrder, GroupConfig, GroupId, Liveness, OrderProtocol};
 use crate::messages::{ContigVector, DataMsg, GcsMessage, NullMsg};
 use crate::view::{View, ViewId};
@@ -135,6 +135,54 @@ pub enum GcsOutput {
     },
 }
 
+/// Staged sends awaiting a batch flush. The buffer is owned by the stack
+/// host (the NSO), not by the per-call [`GcsNet`], so one flush window
+/// can span several handler events: every message staged between two
+/// flushes shares a frame per destination, Nagle-style. The host arms a
+/// micro flush timer whenever the buffer is non-empty.
+#[derive(Debug, Default)]
+pub struct SendBuffer {
+    /// Staged messages, in send order.
+    staged: Vec<GcsMessage>,
+    /// Per destination: indices into `staged` awaiting the flush.
+    staged_for: BTreeMap<NodeId, Vec<u32>>,
+    /// A flush timer is outstanding. The host sets this when it arms the
+    /// timer and clears it when the timer fires, keeping exactly one
+    /// timer in flight while anything is staged.
+    pub scheduled: bool,
+}
+
+impl SendBuffer {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when messages are staged and not yet flushed.
+    #[must_use]
+    pub fn has_staged(&self) -> bool {
+        !self.staged_for.is_empty()
+    }
+}
+
+/// Where a [`GcsNet`] stages batchable sends: its own window-local
+/// buffer (unit tests, non-batching contexts) or the host's persistent
+/// one (cross-event coalescing).
+enum Staging<'a> {
+    Inline(SendBuffer),
+    Host(&'a mut SendBuffer),
+}
+
+impl Staging<'_> {
+    fn get(&mut self) -> &mut SendBuffer {
+        match self {
+            Staging::Inline(b) => b,
+            Staging::Host(b) => b,
+        }
+    }
+}
+
 /// The network context for one call: the node's ORB plus the outbox the
 /// runtime will apply.
 pub struct GcsNet<'a> {
@@ -145,17 +193,60 @@ pub struct GcsNet<'a> {
     sent: u64,
     encode_calls: u64,
     bytes_encoded: u64,
+    /// Send-path batching: when set, point-to-point sends and
+    /// asynchronous fan-outs are staged and packed per destination into
+    /// [`GcsMessage::Batch`] frames by [`Self::flush`].
+    batching: bool,
+    staging: Staging<'a>,
+    batch_frames: u64,
+    batch_msgs: u64,
 }
 
 impl<'a> GcsNet<'a> {
-    /// Creates a context.
+    /// Creates a context with batching off: every send goes out as its
+    /// own frame immediately.
     pub fn new(orb: &'a mut OrbCore, out: &'a mut Outbox) -> Self {
+        Self::with_batching(orb, out, false)
+    }
+
+    /// Creates a context with a window-local staging buffer, optionally
+    /// staging sends for a per-destination batch flush. A batching
+    /// context MUST have [`Self::flush`] called before it is dropped, or
+    /// the staged messages never leave the node.
+    pub fn with_batching(orb: &'a mut OrbCore, out: &'a mut Outbox, batching: bool) -> Self {
         GcsNet {
             orb,
             out,
             sent: 0,
             encode_calls: 0,
             bytes_encoded: 0,
+            batching,
+            staging: Staging::Inline(SendBuffer::new()),
+            batch_frames: 0,
+            batch_msgs: 0,
+        }
+    }
+
+    /// Creates a context staging into the host's persistent `buf`, so
+    /// messages from several handler events coalesce until the host's
+    /// flush timer fires. The host is responsible for eventually calling
+    /// [`Self::flush`] on a context over the same buffer.
+    pub fn with_buffer(
+        orb: &'a mut OrbCore,
+        out: &'a mut Outbox,
+        batching: bool,
+        buf: &'a mut SendBuffer,
+    ) -> Self {
+        GcsNet {
+            orb,
+            out,
+            sent: 0,
+            encode_calls: 0,
+            bytes_encoded: 0,
+            batching,
+            staging: Staging::Host(buf),
+            batch_frames: 0,
+            batch_msgs: 0,
         }
     }
 
@@ -195,6 +286,10 @@ impl<'a> GcsNet<'a> {
 
     fn send(&mut self, to: NodeId, msg: &GcsMessage) {
         self.sent += 1;
+        if self.batching {
+            self.stage(to, msg);
+            return;
+        }
         let body = self.encode_body(msg);
         self.orb.oneway(
             &ObjectRef::new(to, NSO_OBJECT_KEY),
@@ -202,6 +297,78 @@ impl<'a> GcsNet<'a> {
             body,
             self.out,
         );
+    }
+
+    /// Stages `msg` for `to`, sharing one staged copy when the same
+    /// message fans out to several destinations in this flush window.
+    fn stage(&mut self, to: NodeId, msg: &GcsMessage) {
+        let buf = self.staging.get();
+        let idx = match buf.staged.last() {
+            Some(last) if last == msg => buf.staged.len() - 1,
+            _ => {
+                buf.staged.push(msg.clone());
+                buf.staged.len() - 1
+            }
+        };
+        #[allow(clippy::cast_possible_truncation)]
+        buf.staged_for.entry(to).or_default().push(idx as u32);
+    }
+
+    /// Flushes staged sends: destinations whose staged message lists are
+    /// identical share one frame (encoded once, refcount-cloned per
+    /// recipient, like the fan-out path); a destination with a single
+    /// staged message gets the plain frame, byte-identical to an
+    /// unbatched send; multiple messages are wrapped in one
+    /// [`GcsMessage::Batch`] envelope.
+    pub fn flush(&mut self) {
+        let buf = self.staging.get();
+        if buf.staged_for.is_empty() {
+            buf.staged.clear();
+            return;
+        }
+        let staged = std::mem::take(&mut buf.staged);
+        let staged_for = std::mem::take(&mut buf.staged_for);
+        // Deterministic: BTreeMap iteration groups destinations by list
+        // in list order; ties inside a group keep NodeId order.
+        let mut by_list: BTreeMap<Vec<u32>, Vec<NodeId>> = BTreeMap::new();
+        for (to, list) in staged_for {
+            by_list.entry(list).or_default().push(to);
+        }
+        for (list, dests) in by_list {
+            let frame = if let [only] = list.as_slice() {
+                match staged.get(*only as usize) {
+                    Some(m) => self.encode_body(m),
+                    None => continue,
+                }
+            } else {
+                let msgs: Vec<GcsMessage> = list
+                    .iter()
+                    .filter_map(|&i| staged.get(i as usize).cloned())
+                    .collect();
+                self.batch_msgs += msgs.len() as u64;
+                self.batch_frames += 1;
+                self.encode_body(&GcsMessage::Batch(msgs))
+            };
+            self.orb.oneway_fanout(
+                dests,
+                &ObjectKey::new(NSO_OBJECT_KEY),
+                GCS_OPERATION,
+                &frame,
+                self.out,
+            );
+        }
+    }
+
+    /// Batch frames emitted by [`Self::flush`] (multi-message only).
+    #[must_use]
+    pub fn batch_frames(&self) -> u64 {
+        self.batch_frames
+    }
+
+    /// Messages carried inside those batch frames.
+    #[must_use]
+    pub fn batch_msgs(&self) -> u64 {
+        self.batch_msgs
     }
 
     /// Sends one message to many members as a single multicast fan-out.
@@ -217,6 +384,16 @@ impl<'a> GcsNet<'a> {
         targets: I,
         msg: &GcsMessage,
     ) {
+        // Synchronous fan-outs chain per-member round trips and must go
+        // out immediately to keep that timing; only asynchronous
+        // fan-outs are batchable.
+        if self.batching && mode == crate::group::FanoutMode::Asynchronous {
+            for t in targets {
+                self.sent += 1;
+                self.stage(t, msg);
+            }
+            return;
+        }
         if mode == crate::group::FanoutMode::Synchronous {
             self.out.begin_fanout();
         }
@@ -483,12 +660,13 @@ impl GcsMember {
             return Err(GcsError::BadMembership);
         }
         let view = View::new(group.clone(), ViewId(1), members);
-        let engine = DeliveryEngine::new(
-            self.node,
-            view.id(),
-            view.members().to_vec(),
-            config.ordering,
-        );
+        let engine = EngineConfig {
+            me: self.node,
+            view: view.id(),
+            members: view.members().to_vec(),
+            protocol: config.ordering,
+        }
+        .build()?;
         let me = self.node;
         let mut flow = FlowController::new(config.flow_window);
         flow.install_view(view.members().iter().copied().filter(|&m| m != me));
@@ -553,7 +731,13 @@ impl GcsMember {
         }
         // Placeholder view until the install arrives.
         let view = View::new(group.clone(), ViewId(0), vec![self.node]);
-        let engine = DeliveryEngine::new(self.node, view.id(), vec![self.node], config.ordering);
+        let engine = EngineConfig {
+            me: self.node,
+            view: view.id(),
+            members: vec![self.node],
+            protocol: config.ordering,
+        }
+        .build()?;
         let retry = config.view_change_timeout;
         // Singleton placeholder membership: never sheds before the real
         // view installs (a joiner cannot multicast yet anyway).
@@ -733,11 +917,28 @@ impl GcsMember {
         now: SimTime,
         net: &mut GcsNet<'_>,
     ) -> Vec<GcsOutput> {
-        let group = msg.group().clone();
+        // A batch envelope is unpacked here and its constituents handled
+        // in send order. Decode already rejects nested batches, so the
+        // recursion is exactly one level deep.
+        if let GcsMessage::Batch(msgs) = msg {
+            let mut outputs = Vec::new();
+            for m in msgs {
+                if !matches!(m, GcsMessage::Batch(_)) {
+                    outputs.extend(self.on_message(m, now, net));
+                }
+            }
+            return outputs;
+        }
+        let Some(group) = msg.group().cloned() else {
+            return Vec::new();
+        };
         if !self.groups.contains_key(&group) {
             return Vec::new();
         }
         match msg {
+            // Handled above; an inner batch cannot decode (nesting is a
+            // wire error), so this arm is dead but must stay panic-free.
+            GcsMessage::Batch(_) => {}
             GcsMessage::Data(d) => self.on_data(&group, d, now, net),
             GcsMessage::Null(n) => self.on_null(&group, n, now, net),
             GcsMessage::Nack {
@@ -1452,12 +1653,19 @@ impl GcsMember {
         } else {
             Vec::new()
         };
-        state.engine = DeliveryEngine::new(
-            node,
-            view.id(),
-            view.members().to_vec(),
-            state.config.ordering,
-        );
+        // A view that excludes the local node cannot reach here from the
+        // network (`on_install` filters it), so a build failure marks a
+        // hostile or corrupted install: drop it rather than panic.
+        let Ok(engine) = (EngineConfig {
+            me: node,
+            view: view.id(),
+            members: view.members().to_vec(),
+            protocol: state.config.ordering,
+        })
+        .build() else {
+            return;
+        };
+        state.engine = engine;
         state.role = Role::Member;
         state.next_seq = 1;
         // New view, new flow ledger: sends renumber from 1 and credits
@@ -2173,5 +2381,101 @@ mod tests {
                 &mut GcsNet::new(&mut orb, &mut out)
             )
             .is_err());
+    }
+
+    fn data_msg(seq: u64) -> GcsMessage {
+        GcsMessage::Data(Arc::new(DataMsg {
+            group: GroupId::new("g"),
+            view: ViewId(1),
+            sender: n(0),
+            seq,
+            lamport: 10 + seq,
+            order: DeliveryOrder::Total,
+            deps: DepsVector::new(),
+            acks: vec![(n(0), seq)],
+            payload: Bytes::from(format!("payload-{seq}")),
+        }))
+    }
+
+    #[test]
+    fn single_staged_send_flushes_byte_identical_to_unbatched() {
+        // A destination holding exactly one staged message must get the
+        // plain frame — the whole wire packet, GIOP header included,
+        // byte-identical to what an unbatched context sends.
+        let msg = data_msg(1);
+
+        let (mut orb_a, mut out_a) = net_parts(n(0));
+        let mut plain = GcsNet::new(&mut orb_a, &mut out_a);
+        plain.send(n(1), &msg);
+        drop(plain);
+
+        let (mut orb_b, mut out_b) = net_parts(n(0));
+        let mut batched = GcsNet::with_batching(&mut orb_b, &mut out_b, true);
+        batched.send(n(1), &msg);
+        batched.flush();
+        assert_eq!(batched.batch_frames(), 0, "one message must not wrap");
+        drop(batched);
+
+        let (sa, sb) = (out_a.into_parts().sends, out_b.into_parts().sends);
+        assert_eq!(sa.len(), 1);
+        assert_eq!(
+            sa, sb,
+            "batching=on with one staged send changed the wire bytes"
+        );
+    }
+
+    #[test]
+    fn batch_frame_unbatches_to_byte_identical_messages() {
+        // Several staged messages for one destination pack into a single
+        // Batch frame; unpacking it must yield constituents whose
+        // individual encodings are byte-identical to the originals'.
+        let msgs = [data_msg(1), data_msg(2), data_msg(3)];
+
+        let (mut orb, mut out) = net_parts(n(0));
+        let mut net = GcsNet::with_batching(&mut orb, &mut out, true);
+        for m in &msgs {
+            net.send(n(1), m);
+        }
+        net.flush();
+        assert_eq!(net.batch_frames(), 1);
+        assert_eq!(net.batch_msgs(), 3);
+        drop(net);
+
+        let sends = out.into_parts().sends;
+        assert_eq!(sends.len(), 1, "three staged sends must share one frame");
+
+        // Receive the frame through a peer ORB to recover the GIOP body.
+        let pkt = newtop_net::sim::Packet {
+            src: n(0),
+            dst: n(1),
+            payload: sends[0].1.clone(),
+        };
+        let mut peer = OrbCore::new(n(1));
+        let mut peer_out = Outbox::detached(0);
+        let Some(newtop_orb::orb::OrbIncoming::Upcall { body, .. }) =
+            peer.handle_packet(&pkt, &mut peer_out)
+        else {
+            panic!("batch frame did not arrive as a oneway upcall");
+        };
+
+        use newtop_orb::cdr::CdrDecode as _;
+        let mut dec = newtop_orb::cdr::CdrDecoder::new(&body);
+        let GcsMessage::Batch(unpacked) = GcsMessage::decode(&mut dec).unwrap() else {
+            panic!("multi-message flush must produce a Batch envelope");
+        };
+        assert_eq!(unpacked.len(), msgs.len());
+        for (original, recovered) in msgs.iter().zip(&unpacked) {
+            assert_eq!(original, recovered);
+            let encode = |m: &GcsMessage| {
+                let mut enc = newtop_orb::cdr::CdrEncoder::new();
+                m.encode(&mut enc);
+                enc.finish()
+            };
+            assert_eq!(
+                encode(original),
+                encode(recovered),
+                "unbatched constituent re-encodes to different bytes"
+            );
+        }
     }
 }

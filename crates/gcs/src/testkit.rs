@@ -20,8 +20,9 @@ use newtop_orb::cdr::{CdrDecode, CdrDecoder, CdrEncode, CdrEncoder, CdrError};
 use newtop_orb::orb::{OrbCore, OrbIncoming};
 
 use crate::group::{DeliveryOrder, FanoutMode, GroupConfig, GroupId, Liveness, OrderProtocol};
-use crate::member::{GcsMember, GcsNet, GcsOutput};
+use crate::member::{GcsNet, GcsOutput};
 use crate::messages::GcsMessage;
+use crate::shard::ShardedGcs;
 use crate::view::View;
 use crate::GCS_OPERATION;
 
@@ -201,29 +202,38 @@ fn decode_command(payload: &[u8]) -> Option<Command> {
     Some(cmd)
 }
 
-/// A simulated node hosting one GCS member and its ORB.
+/// A simulated node hosting its GCS shard engines and ORB.
 pub struct GcsNode {
-    member: GcsMember,
+    gcs: ShardedGcs,
     orb: OrbCore,
     /// Every output the member produced, stamped with virtual time.
     pub outputs: Vec<(SimTime, GcsOutput)>,
 }
 
 impl GcsNode {
-    /// Creates the node state for `id`.
+    /// Creates the node state for `id` with a single shard engine (the
+    /// pre-sharding baseline).
     #[must_use]
     pub fn new(id: NodeId) -> Self {
+        Self::with_shards(id, 1)
+    }
+
+    /// Creates the node state for `id` with `shards` parallel shard
+    /// engines; groups are placed by the [`ShardedGcs`] rule (overlapping
+    /// groups pin to a common shard).
+    #[must_use]
+    pub fn with_shards(id: NodeId, shards: usize) -> Self {
         GcsNode {
-            member: GcsMember::new(id, 1 << 40),
+            gcs: ShardedGcs::new(id, 1 << 40, shards),
             orb: OrbCore::new(id),
             outputs: Vec::new(),
         }
     }
 
-    /// The member under test.
+    /// The sharded engine set under test.
     #[must_use]
-    pub fn member(&self) -> &GcsMember {
-        &self.member
+    pub fn gcs(&self) -> &ShardedGcs {
+        &self.gcs
     }
 
     /// Delivered payloads for one group, in delivery order.
@@ -269,7 +279,7 @@ impl SimNode for GcsNode {
                             config,
                             members,
                         } => self
-                            .member
+                            .gcs
                             .create_group(group, config, members, now, &mut net)
                             .unwrap_or_default(),
                         Command::Join {
@@ -277,13 +287,11 @@ impl SimNode for GcsNode {
                             config,
                             contact,
                         } => {
-                            let _ = self
-                                .member
-                                .join_group(group, config, contact, now, &mut net);
+                            let _ = self.gcs.join_group(group, config, contact, now, &mut net);
                             Vec::new()
                         }
                         Command::Leave { group } => self
-                            .member
+                            .gcs
                             .leave_group(&group, now, &mut net)
                             .unwrap_or_default(),
                         Command::Multicast {
@@ -291,7 +299,7 @@ impl SimNode for GcsNode {
                             order,
                             payload,
                         } => {
-                            let _ = self.member.multicast(&group, order, payload, now, &mut net);
+                            let _ = self.gcs.multicast(&group, order, payload, now, &mut net);
                             Vec::new()
                         }
                     };
@@ -306,16 +314,16 @@ impl SimNode for GcsNode {
                     if operation == GCS_OPERATION {
                         if let Ok(msg) = GcsMessage::from_cdr(&body) {
                             let mut net = GcsNet::new(&mut self.orb, out);
-                            let outputs = self.member.on_message(msg, now, &mut net);
+                            let outputs = self.gcs.on_message(msg, now, &mut net);
                             self.outputs.extend(outputs.into_iter().map(|o| (now, o)));
                         }
                     }
                 }
             }
             NodeEvent::Timer(_, tag) => {
-                if self.member.owns_tag(tag) {
+                if self.gcs.owns_tag(tag) {
                     let mut net = GcsNet::new(&mut self.orb, out);
-                    let outputs = self.member.on_timer(tag, now, &mut net);
+                    let outputs = self.gcs.on_timer(tag, now, &mut net);
                     self.outputs.extend(outputs.into_iter().map(|o| (now, o)));
                 }
             }
@@ -329,19 +337,30 @@ pub struct GcsHarness {
     /// scheduling).
     pub sim: Sim,
     nodes: Vec<NodeId>,
+    /// Shard engines per node added from here on.
+    shards: usize,
     /// Commands queued before their injection time.
     queued: VecDeque<()>,
 }
 
 impl GcsHarness {
-    /// Creates a harness over a fresh simulator.
+    /// Creates a harness over a fresh simulator. Nodes host a single
+    /// shard engine unless [`Self::with_shards`] raises the count.
     #[must_use]
     pub fn new(cfg: SimConfig) -> Self {
         GcsHarness {
             sim: Sim::new(cfg),
             nodes: Vec::new(),
+            shards: 1,
             queued: VecDeque::new(),
         }
+    }
+
+    /// Sets the shard-engine count for nodes added after this call.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 
     /// The simulator seed, for reproduction messages: a failing run is
@@ -357,7 +376,7 @@ impl GcsHarness {
         for _ in 0..count {
             // Two-phase: the node needs its own id.
             let id = NodeId::from_index(self.next_index());
-            let node = GcsNode::new(id);
+            let node = GcsNode::with_shards(id, self.shards);
             let actual = self.sim.add_node(site, Box::new(node));
             assert_eq!(actual, id, "node id allocation must be dense");
             self.nodes.push(id);

@@ -42,6 +42,16 @@ impl CdrDecode for ViewId {
     }
 }
 
+/// Canonicalises a member list: sorted ascending, duplicates removed.
+/// The single definition shared by [`View::new`] and the delivery
+/// engine's [`crate::engine::EngineConfig`], so the two can never drift.
+#[must_use]
+pub fn canonical_members(mut members: Vec<NodeId>) -> Vec<NodeId> {
+    members.sort_unstable();
+    members.dedup();
+    members
+}
+
 /// One epoch of a group's membership.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct View {
@@ -54,10 +64,12 @@ pub struct View {
 impl View {
     /// Creates a view; the member list is sorted and deduplicated.
     #[must_use]
-    pub fn new(group: GroupId, id: ViewId, mut members: Vec<NodeId>) -> Self {
-        members.sort_unstable();
-        members.dedup();
-        View { group, id, members }
+    pub fn new(group: GroupId, id: ViewId, members: Vec<NodeId>) -> Self {
+        View {
+            group,
+            id,
+            members: canonical_members(members),
+        }
     }
 
     /// The group this view belongs to.

@@ -7,7 +7,7 @@ use bytes::Bytes;
 use proptest::prelude::*;
 
 use newtop_gcs::clock::DepsVector;
-use newtop_gcs::engine::DeliveryEngine;
+use newtop_gcs::engine::EngineConfig;
 use newtop_gcs::group::{DeliveryOrder, GroupId, OrderProtocol};
 use newtop_gcs::messages::DataMsg;
 use newtop_gcs::view::ViewId;
@@ -60,12 +60,14 @@ fn history(senders: u32, per_sender: u64, causal_every: u64) -> Vec<DataMsg> {
 /// the sequencer ingests messages in its own arrival order and assigns
 /// global positions.
 fn sequencer_log(members: u32, msgs: &[DataMsg], arrival: &[usize]) -> Vec<(NodeId, u64)> {
-    let mut seqr = DeliveryEngine::new(
-        n(0),
-        ViewId(1),
-        (0..members).map(n).collect(),
-        OrderProtocol::Asymmetric,
-    );
+    let mut seqr = EngineConfig {
+        me: n(0),
+        view: ViewId(1),
+        members: (0..members).map(n).collect(),
+        protocol: OrderProtocol::Asymmetric,
+    }
+    .build()
+    .unwrap();
     for &idx in arrival {
         let _ = seqr.ingest_data(msgs[idx].clone());
         let _ = seqr.sequencer_poll();
@@ -87,7 +89,14 @@ fn run_engine(
     shared_log: Option<&[(NodeId, u64)]>,
 ) -> Vec<(u32, u64)> {
     let view: Vec<NodeId> = (0..members).map(n).collect();
-    let mut e = DeliveryEngine::new(n(me), ViewId(1), view, protocol);
+    let mut e = EngineConfig {
+        me: n(me),
+        view: ViewId(1),
+        members: view,
+        protocol,
+    }
+    .build()
+    .unwrap();
     let mut delivered = Vec::new();
     let max_ts = msgs.iter().map(|m| m.lamport).max().unwrap_or(0);
     for &idx in arrival {
@@ -208,7 +217,14 @@ proptest! {
 
         let size = 64 * 1024 + extra;
         let view: Vec<NodeId> = (0..3).map(n).collect();
-        let mut e = DeliveryEngine::new(n(2), ViewId(1), view, OrderProtocol::Symmetric);
+        let mut e = EngineConfig {
+            me: n(2),
+            view: ViewId(1),
+            members: view,
+            protocol: OrderProtocol::Symmetric,
+        }
+        .build()
+        .unwrap();
         let msg = Arc::new(DataMsg {
             group: GroupId::new("prop"),
             view: ViewId(1),

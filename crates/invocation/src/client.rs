@@ -322,11 +322,13 @@ impl ClientCore {
         }
         state.replies.push((replier, result));
         if state.replies.len() >= state.needed {
-            let state = self.calls.remove(&call.number).expect("present");
-            return vec![ClientEvent::Complete {
-                call,
-                replies: state.replies,
-            }];
+            if let Some(state) = self.calls.remove(&call.number) {
+                return vec![ClientEvent::Complete {
+                    call,
+                    replies: state.replies,
+                }];
+            }
+            return Vec::new();
         }
         Vec::new()
     }

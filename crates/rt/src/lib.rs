@@ -7,21 +7,28 @@
 //! genuinely concurrent programs rather than simulations.
 //!
 //! Each node runs an event loop selecting over incoming packets,
-//! application commands and its timer wheel. Applications drive the node
+//! application commands and its timer wheel. With more than one shard
+//! configured ([`RuntimeOptions::with_shards`]), packet ingress is
+//! parallelised across shard workers: a distributor fans incoming
+//! packets out to `N` bounded worker queues by source (preserving
+//! per-source FIFO order), each worker pre-decodes and unbatches GCS
+//! frames ([`Nso::decode_gcs_frame`] — the CPU-heavy part of ingress),
+//! and the decoded messages fan back into the event loop, which applies
+//! them to the per-shard protocol engines. Applications drive the node
 //! through a [`NodeHandle`]: [`NodeHandle::with_nso`] runs a closure
 //! against the NSO inside the loop (so no locking is ever needed), and
 //! [`NodeHandle::outputs`] / [`NodeHandle::wait_for_output`] receive the
 //! NSO's outputs.
 //!
 //! ```
-//! use newtop_rt::NodeRuntime;
+//! use newtop_rt::{NodeRuntime, RuntimeOptions};
 //! use newtop_net::channel::ChannelNetwork;
 //! use newtop_net::site::NodeId;
 //!
 //! let net = ChannelNetwork::new();
 //! let a = NodeId::from_index(0);
 //! let (transport, incoming) = net.endpoint(a);
-//! let node = NodeRuntime::spawn(a, transport, incoming);
+//! let node = NodeRuntime::spawn(transport, incoming, RuntimeOptions::new());
 //! let id = node.with_nso(|nso, _now, _out| nso.node());
 //! assert_eq!(id, a);
 //! node.shutdown();
@@ -38,11 +45,86 @@ use std::time::{Duration, Instant};
 use newtop_flow::queue::{bounded, QueueStats, Receiver, Sender};
 use newtop_flow::FlowConfig;
 
-use newtop::nso::{Nso, NsoOutput};
+use newtop::nso::{Nso, NsoOptions, NsoOutput};
+use newtop_gcs::messages::GcsMessage;
 use newtop_net::sim::{Outbox, Packet, TimerId};
 use newtop_net::site::NodeId;
 use newtop_net::time::SimTime;
 use newtop_net::transport::WireTransport;
+
+/// Construction options for [`NodeRuntime::spawn`]: shard count, flow
+/// bounds, and send-path batching.
+///
+/// The defaults are the production posture — `min(4, cores)` shards,
+/// batching on, default [`FlowConfig`] queue bounds.
+#[derive(Clone, Debug)]
+pub struct RuntimeOptions {
+    shards: usize,
+    batching: bool,
+    flow: FlowConfig,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        RuntimeOptions {
+            shards: cores.min(4),
+            batching: true,
+            flow: FlowConfig::default(),
+        }
+    }
+}
+
+impl RuntimeOptions {
+    /// The default options (see the type docs).
+    #[must_use]
+    pub fn new() -> Self {
+        RuntimeOptions::default()
+    }
+
+    /// Sets the number of protocol shards (clamped to at least 1).
+    /// Groups hash to a shard; each shard owns its engines, clock
+    /// domain, flow ledgers, and ingress queue.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Enables or disables send-path batching (packing small protocol
+    /// messages for one destination into one batch frame per flush).
+    #[must_use]
+    pub fn with_batching(mut self, batching: bool) -> Self {
+        self.batching = batching;
+        self
+    }
+
+    /// Sets the flow configuration: the command/output/ingress queue
+    /// bounds and the flow-control window.
+    #[must_use]
+    pub fn with_flow(mut self, flow: FlowConfig) -> Self {
+        self.flow = flow;
+        self
+    }
+
+    /// The configured shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Whether send-path batching is enabled.
+    #[must_use]
+    pub fn batching(&self) -> bool {
+        self.batching
+    }
+
+    /// The configured flow bounds.
+    #[must_use]
+    pub fn flow(&self) -> &FlowConfig {
+        &self.flow
+    }
+}
 
 type Command = Box<dyn FnOnce(&mut Nso, SimTime, &mut Outbox) + Send>;
 
@@ -146,31 +228,27 @@ impl Drop for NodeHandle {
 pub struct NodeRuntime;
 
 impl NodeRuntime {
-    /// Spawns a node: an NSO event loop over `transport`, receiving
-    /// packets from `incoming`, with the default [`FlowConfig`] queue
-    /// bounds.
+    /// Spawns a node: an NSO event loop over `transport` (which names
+    /// the node via [`WireTransport::local`]), receiving packets from
+    /// `incoming`, configured by `opts`.
+    ///
+    /// With `opts.shards() > 1` the runtime also spawns an ingress
+    /// distributor and one decode worker per shard (threads
+    /// `newtop-rt-shard{k}-{node}`); see the crate docs for the
+    /// pipeline. With one shard, packets flow straight into the event
+    /// loop as before.
     pub fn spawn<T: WireTransport>(
-        node: NodeId,
         transport: T,
         incoming: Receiver<Packet>,
+        opts: RuntimeOptions,
     ) -> NodeHandle {
-        NodeRuntime::spawn_with_flow(node, transport, incoming, &FlowConfig::default())
-    }
-
-    /// Spawns a node with explicit queue bounds: the command queue
-    /// backpressures callers of [`NodeHandle::with_nso`] when full, and
-    /// the output queue sheds (never blocking the event loop).
-    pub fn spawn_with_flow<T: WireTransport>(
-        node: NodeId,
-        transport: T,
-        incoming: Receiver<Packet>,
-        flow: &FlowConfig,
-    ) -> NodeHandle {
-        let (cmd_tx, cmd_rx) = bounded::<Command>(flow.queue_capacity);
-        let (out_tx, out_rx) = bounded::<NsoOutput>(flow.queue_capacity);
+        let node = transport.local();
+        let (cmd_tx, cmd_rx) = bounded::<Command>(opts.flow.queue_capacity);
+        let (out_tx, out_rx) = bounded::<NsoOutput>(opts.flow.queue_capacity);
+        let ingress = spawn_ingress(node, incoming, &opts);
         let join = std::thread::Builder::new()
             .name(format!("nso-{node}"))
-            .spawn(move || event_loop(node, &transport, &incoming, &cmd_rx, &out_tx))
+            .spawn(move || event_loop(node, &transport, &opts, &ingress, &cmd_rx, &out_tx))
             .expect("failed to spawn node thread");
         NodeHandle {
             node,
@@ -179,6 +257,107 @@ impl NodeRuntime {
             join: Some(join),
         }
     }
+
+    /// Spawns a node with explicit queue bounds on a single shard with
+    /// batching off — the pre-sharding construction surface.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use NodeRuntime::spawn(transport, incoming, RuntimeOptions) instead"
+    )]
+    pub fn spawn_with_flow<T: WireTransport>(
+        node: NodeId,
+        transport: T,
+        incoming: Receiver<Packet>,
+        flow: &FlowConfig,
+    ) -> NodeHandle {
+        debug_assert_eq!(node, transport.local(), "node id must match the transport");
+        NodeRuntime::spawn(
+            transport,
+            incoming,
+            RuntimeOptions::new()
+                .with_shards(1)
+                .with_batching(false)
+                .with_flow(*flow),
+        )
+    }
+}
+
+/// What the ingress path hands the event loop: either a raw packet (the
+/// single-shard path, and anything the workers decline to pre-decode) or
+/// the decoded GCS messages of one frame.
+enum Ingress {
+    Raw(Packet),
+    Gcs(Vec<GcsMessage>),
+}
+
+/// Builds the ingress pipeline. With one shard the event loop consumes
+/// `incoming` directly; otherwise a distributor thread fans packets out
+/// to per-shard decode workers (hashing on the source so per-source FIFO
+/// order survives) and the workers' decoded output fans back in over one
+/// bounded channel.
+fn spawn_ingress(
+    node: NodeId,
+    incoming: Receiver<Packet>,
+    opts: &RuntimeOptions,
+) -> Receiver<Ingress> {
+    let capacity = opts.flow.queue_capacity;
+    if opts.shards == 1 {
+        let (tx, rx) = bounded::<Ingress>(capacity);
+        std::thread::Builder::new()
+            .name(format!("newtop-rt-ingress-{node}"))
+            .spawn(move || {
+                while let Ok(pkt) = incoming.recv() {
+                    if tx.send(Ingress::Raw(pkt)).is_err() {
+                        return;
+                    }
+                }
+            })
+            .expect("failed to spawn ingress thread");
+        return rx;
+    }
+    let (fan_in_tx, fan_in_rx) = bounded::<Ingress>(capacity);
+    let mut shard_queues = Vec::with_capacity(opts.shards);
+    for k in 0..opts.shards {
+        let (tx, rx) = bounded::<Packet>(capacity);
+        shard_queues.push(tx);
+        let fan_in = fan_in_tx.clone();
+        std::thread::Builder::new()
+            .name(format!("newtop-rt-shard{k}-{node}"))
+            .spawn(move || {
+                while let Ok(pkt) = rx.recv() {
+                    let event = match Nso::decode_gcs_frame(&pkt.payload) {
+                        Some(msgs) => Ingress::Gcs(msgs),
+                        None => Ingress::Raw(pkt),
+                    };
+                    if fan_in.send(event).is_err() {
+                        return;
+                    }
+                }
+            })
+            .expect("failed to spawn shard worker");
+    }
+    std::thread::Builder::new()
+        .name(format!("newtop-rt-ingress-{node}"))
+        .spawn(move || {
+            while let Ok(pkt) = incoming.recv() {
+                let shard = (fnv1a(pkt.src.index()) as usize) % shard_queues.len();
+                if shard_queues[shard].send(pkt).is_err() {
+                    return;
+                }
+            }
+        })
+        .expect("failed to spawn ingress thread");
+    fan_in_rx
+}
+
+/// FNV-1a over the source id — cheap, deterministic shard placement.
+fn fnv1a(x: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in x.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 struct TimerEntry {
@@ -208,12 +387,18 @@ impl Ord for TimerEntry {
 fn event_loop(
     node: NodeId,
     transport: &dyn WireTransport,
-    incoming: &Receiver<Packet>,
+    opts: &RuntimeOptions,
+    ingress: &Receiver<Ingress>,
     commands: &Receiver<Command>,
     outputs: &Sender<NsoOutput>,
 ) {
     let start = Instant::now();
-    let mut nso = Nso::new(node);
+    let mut nso = Nso::with_options(
+        node,
+        NsoOptions::new()
+            .with_shards(opts.shards)
+            .with_batching(opts.batching),
+    );
     let mut timers: BinaryHeap<Reverse<TimerEntry>> = BinaryHeap::new();
     let mut cancelled: HashSet<TimerId> = HashSet::new();
     let mut next_outbox_timer: u64 = 0;
@@ -250,11 +435,22 @@ fn event_loop(
             });
 
         crossbeam::channel::select! {
-            recv(incoming) -> pkt => {
-                let Ok(pkt) = pkt else { return };
-                let mut out = Outbox::detached(next_outbox_timer);
-                nso.on_packet(&pkt, now(start), &mut out);
-                next_outbox_timer = apply_outbox(transport, &mut timers, &mut cancelled, &mut timer_seq, out);
+            recv(ingress) -> event => {
+                let Ok(event) = event else { return };
+                match event {
+                    Ingress::Raw(pkt) => {
+                        let mut out = Outbox::detached(next_outbox_timer);
+                        nso.on_packet(&pkt, now(start), &mut out);
+                        next_outbox_timer = apply_outbox(transport, &mut timers, &mut cancelled, &mut timer_seq, out);
+                    }
+                    Ingress::Gcs(msgs) => {
+                        for msg in msgs {
+                            let mut out = Outbox::detached(next_outbox_timer);
+                            nso.on_gcs_message(msg, now(start), &mut out);
+                            next_outbox_timer = apply_outbox(transport, &mut timers, &mut cancelled, &mut timer_seq, out);
+                        }
+                    }
+                }
                 drain_outputs(&mut nso, outputs);
             }
             recv(commands) -> cmd => {
@@ -318,27 +514,40 @@ mod tests {
     use newtop_invocation::api::{OpenOptimisation, Replication, ReplyMode};
     use newtop_net::channel::ChannelNetwork;
 
-    fn spawn_cluster(n: usize) -> Vec<NodeHandle> {
+    fn spawn_cluster(n: usize, opts: &RuntimeOptions) -> Vec<NodeHandle> {
         let net = ChannelNetwork::new();
         (0..n)
             .map(|i| {
                 let id = NodeId::from_index(i as u32);
                 let (transport, rx) = net.endpoint(id);
-                NodeRuntime::spawn(id, transport, rx)
+                NodeRuntime::spawn(transport, rx, opts.clone())
             })
             .collect()
     }
 
     #[test]
     fn with_nso_runs_in_the_loop() {
-        let nodes = spawn_cluster(1);
+        let nodes = spawn_cluster(1, &RuntimeOptions::new());
         let id = nodes[0].with_nso(|nso, _, _| nso.node());
         assert_eq!(id, NodeId::from_index(0));
     }
 
+    /// The pre-sharding construction surface still works while callers
+    /// migrate to [`NodeRuntime::spawn`] with [`RuntimeOptions`].
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_spawn_with_flow_still_hosts_a_node() {
+        let net = ChannelNetwork::new();
+        let id = NodeId::from_index(0);
+        let (transport, rx) = net.endpoint(id);
+        let node = NodeRuntime::spawn_with_flow(id, transport, rx, &FlowConfig::default());
+        assert_eq!(node.with_nso(|nso, _, _| nso.node()), id);
+        node.shutdown();
+    }
+
     #[test]
     fn request_reply_over_threads() {
-        let nodes = spawn_cluster(3);
+        let nodes = spawn_cluster(3, &RuntimeOptions::new());
         let servers: Vec<NodeId> = (0..2).map(NodeId::from_index).collect();
         let group = GroupId::new("svc");
 
@@ -380,7 +589,8 @@ mod tests {
         };
         let b = binding.clone();
         client.with_nso(move |nso, now, out| {
-            nso.invoke(&b, "ping", Bytes::new(), ReplyMode::All, now, out)
+            let b = nso.handle_for(&b).unwrap();
+            b.invoke(nso, "ping", Bytes::new(), ReplyMode::All, now, out)
                 .unwrap();
         });
         let done = client

@@ -11,10 +11,10 @@ use std::time::Duration;
 
 use bytes::Bytes;
 
-use newtop::nso::{BindOptions, Nso, NsoOutput};
+use newtop::nso::{BindOptions, GroupHandle, Nso, NsoOutput};
 use newtop::simnode::NsoApp;
 use newtop::tags;
-use newtop_gcs::group::{DeliveryOrder, GroupConfig, GroupId, OrderProtocol};
+use newtop_gcs::group::{DeliveryOrder, FanoutMode, GroupConfig, GroupId, OrderProtocol};
 use newtop_invocation::api::{OpenOptimisation, Replication, ReplyMode};
 use newtop_net::sim::Outbox;
 use newtop_net::site::NodeId;
@@ -104,7 +104,7 @@ pub struct ClientApp {
     pub retry_after: Duration,
     /// Calls re-issued by the retry timer.
     pub retries: u32,
-    binding: Option<GroupId>,
+    binding: Option<GroupHandle>,
     issued_at: HashMap<u64, SimTime>,
     current_manager_index: usize,
 }
@@ -162,7 +162,7 @@ impl ClientApp {
         let Some(binding) = self.binding.clone() else {
             return;
         };
-        match nso.invoke(&binding, "rand", Bytes::new(), self.mode, now, out) {
+        match binding.invoke(nso, "rand", Bytes::new(), self.mode, now, out) {
             Ok(call) => {
                 self.issued_at.insert(call.number, now);
                 out.set_timer(self.retry_after, RETRY_TAG);
@@ -190,7 +190,7 @@ impl ClientApp {
             .collect();
         stale.sort_unstable();
         for number in stale {
-            if nso.retry(number, &binding, now, out).is_ok() {
+            if binding.retry(nso, number, now, out).is_ok() {
                 self.retries += 1;
             }
         }
@@ -216,7 +216,10 @@ impl NsoApp for ClientApp {
     fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {
         match output {
             NsoOutput::BindingReady { group } => {
-                self.binding = Some(group.clone());
+                let Some(binding) = nso.handle_for(&group) else {
+                    return;
+                };
+                self.binding = Some(binding.clone());
                 // Rebind-and-retry (§4.1): re-issue whatever is still
                 // pending with the original call numbers; only start fresh
                 // traffic when nothing is outstanding.
@@ -225,7 +228,7 @@ impl NsoApp for ClientApp {
                     self.issue(nso, now, out);
                 }
                 for number in pending {
-                    let _ = nso.retry(number, &group, now, out);
+                    let _ = binding.retry(nso, number, now, out);
                 }
             }
             NsoOutput::BindFailed { .. } => {
@@ -280,6 +283,7 @@ pub struct PeerApp {
     pub deliveries: Vec<(NodeId, u64, SimTime)>,
     next_index: u64,
     own_delivered: u64,
+    peer: Option<GroupHandle>,
 }
 
 impl PeerApp {
@@ -307,6 +311,7 @@ impl PeerApp {
             deliveries: Vec::new(),
             next_index: 1,
             own_delivered: 0,
+            peer: None,
         }
     }
 
@@ -319,7 +324,9 @@ impl PeerApp {
         let body = "x".repeat(self.payload_len.saturating_sub(12));
         enc.write_string(&body);
         self.sent_at.insert(idx, now);
-        let _ = nso.peer_send(&self.group, enc.finish(), DeliveryOrder::Total, now, out);
+        if let Some(peer) = self.peer.clone() {
+            let _ = peer.send(nso, enc.finish(), DeliveryOrder::Total, now, out);
+        }
     }
 
     /// Decodes a peer payload into `(sender index, message index)`.
@@ -333,14 +340,16 @@ impl PeerApp {
 
 impl NsoApp for PeerApp {
     fn on_start(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
-        nso.create_peer_group(
-            self.group.clone(),
-            self.members.clone(),
-            self.config.clone(),
-            now,
-            out,
-        )
-        .expect("peer group creation");
+        let peer = nso
+            .create_peer_group(
+                self.group.clone(),
+                self.members.clone(),
+                self.config.clone(),
+                now,
+                out,
+            )
+            .expect("peer group creation");
+        self.peer = Some(peer);
         out.set_timer(self.start_delay, tags::APP_BASE);
     }
 
@@ -369,6 +378,187 @@ impl NsoApp for PeerApp {
                     self.own_delivered = self.own_delivered.max(msg_idx);
                 }
             }
+        }
+    }
+}
+
+/// One service a [`HubApp`] talks to: its group, replicas, and the
+/// hub's closed-loop state for it.
+struct HubSlot {
+    service: GroupId,
+    servers: Vec<NodeId>,
+    binding: Option<GroupHandle>,
+    /// The binding group id returned by `bind`, used to route
+    /// `BindingReady` back to this slot before the handle is live.
+    bound_as: Option<GroupId>,
+    /// `(call number, issued at)` of the outstanding call, if any.
+    outstanding: Option<(u64, SimTime)>,
+}
+
+/// A multi-service client hub: binds to several independent services at
+/// once and runs a closed loop (one outstanding call) against each.
+///
+/// This is the workload the sharded engine partitions: the hub's
+/// bindings share no member but the hub itself, so each client/server
+/// group lands on its own shard, and the hub's protocol work for
+/// independent services proceeds on independent engines.
+pub struct HubApp {
+    /// Reply-collection primitive for every call.
+    pub mode: ReplyMode,
+    /// Ordering protocol for the client/server groups.
+    pub ordering: OrderProtocol,
+    /// Stagger before binding.
+    pub start_delay: Duration,
+    /// `(completion time, response time)` per completed call, across all
+    /// services.
+    pub completions: Vec<(SimTime, Duration)>,
+    /// Completions that surfaced twice — must stay zero.
+    pub duplicate_completions: u32,
+    /// How long a call may stay unanswered before it is re-issued with
+    /// the same number (the server reply cache deduplicates).
+    pub retry_after: Duration,
+    slots: Vec<HubSlot>,
+    /// Outstanding call number → slot index.
+    in_flight: HashMap<u64, usize>,
+}
+
+/// Timer tag for the hub's retry check.
+const HUB_RETRY_TAG: u64 = tags::APP_BASE + 2;
+
+impl HubApp {
+    /// Creates a hub bound to every listed `(service group, replicas)`.
+    #[must_use]
+    pub fn new(
+        services: Vec<(GroupId, Vec<NodeId>)>,
+        mode: ReplyMode,
+        ordering: OrderProtocol,
+        start_delay: Duration,
+    ) -> Self {
+        HubApp {
+            mode,
+            ordering,
+            start_delay,
+            completions: Vec::new(),
+            duplicate_completions: 0,
+            retry_after: Duration::from_millis(150),
+            slots: services
+                .into_iter()
+                .map(|(service, servers)| HubSlot {
+                    service,
+                    servers,
+                    binding: None,
+                    bound_as: None,
+                    outstanding: None,
+                })
+                .collect(),
+            in_flight: HashMap::new(),
+        }
+    }
+
+    fn bind_slot(&mut self, idx: usize, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        let slot = &mut self.slots[idx];
+        let opts = BindOptions::closed(slot.servers.clone())
+            .with_ordering(self.ordering)
+            // Asynchronous fan-outs let the data path batch: the data
+            // multicast, its acks and the piggybacked order records can
+            // share a frame per destination.
+            .with_fanout(FanoutMode::Asynchronous);
+        match nso.bind(slot.service.clone(), opts, now, out) {
+            Ok(handle) => slot.bound_as = Some(handle.id().clone()),
+            Err(_) => {
+                // The previous binding group is still tearing down; the
+                // retry timer re-attempts.
+            }
+        }
+    }
+
+    fn issue(&mut self, idx: usize, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        let slot = &mut self.slots[idx];
+        let Some(binding) = slot.binding.clone() else {
+            return;
+        };
+        if let Ok(call) = binding.invoke(nso, "rand", Bytes::new(), self.mode, now, out) {
+            slot.outstanding = Some((call.number, now));
+            self.in_flight.insert(call.number, idx);
+        }
+    }
+
+    fn check_retries(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        for idx in 0..self.slots.len() {
+            let slot = &self.slots[idx];
+            match (&slot.binding, slot.bound_as.is_some(), slot.outstanding) {
+                (Some(binding), _, Some((number, at))) if now - at >= self.retry_after => {
+                    let _ = binding.clone().retry(nso, number, now, out);
+                }
+                (None, false, _) => self.bind_slot(idx, nso, now, out),
+                _ => {}
+            }
+        }
+        out.set_timer(self.retry_after, HUB_RETRY_TAG);
+    }
+}
+
+impl NsoApp for HubApp {
+    fn on_start(&mut self, _nso: &mut Nso, _now: SimTime, out: &mut Outbox) {
+        out.set_timer(self.start_delay, tags::APP_BASE);
+        out.set_timer(self.start_delay + self.retry_after, HUB_RETRY_TAG);
+    }
+
+    fn on_timer(&mut self, nso: &mut Nso, tag: u64, now: SimTime, out: &mut Outbox) {
+        if tag == HUB_RETRY_TAG {
+            self.check_retries(nso, now, out);
+        } else {
+            // Stagger the binds slightly so control traffic doesn't burst.
+            for idx in 0..self.slots.len() {
+                self.bind_slot(idx, nso, now, out);
+            }
+        }
+    }
+
+    fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {
+        match output {
+            NsoOutput::BindingReady { group } => {
+                let Some(idx) = self
+                    .slots
+                    .iter()
+                    .position(|s| s.bound_as.as_ref() == Some(&group))
+                else {
+                    return;
+                };
+                let Some(binding) = nso.handle_for(&group) else {
+                    return;
+                };
+                self.slots[idx].binding = Some(binding.clone());
+                match self.slots[idx].outstanding {
+                    Some((number, _)) => {
+                        let _ = binding.retry(nso, number, now, out);
+                    }
+                    None => self.issue(idx, nso, now, out),
+                }
+            }
+            NsoOutput::BindFailed { group } | NsoOutput::BindingBroken { group, .. } => {
+                if let Some(idx) = self
+                    .slots
+                    .iter()
+                    .position(|s| s.bound_as.as_ref() == Some(&group))
+                {
+                    self.slots[idx].binding = None;
+                    self.slots[idx].bound_as = None;
+                    self.bind_slot(idx, nso, now, out);
+                }
+            }
+            NsoOutput::InvocationComplete { call, .. } => {
+                let Some(idx) = self.in_flight.remove(&call.number) else {
+                    self.duplicate_completions += 1;
+                    return;
+                };
+                if let Some((number, at)) = self.slots[idx].outstanding.take() {
+                    debug_assert_eq!(number, call.number);
+                    self.completions.push((now, now - at));
+                }
+                self.issue(idx, nso, now, out);
+            }
+            _ => {}
         }
     }
 }

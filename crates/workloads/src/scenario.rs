@@ -9,6 +9,7 @@
 
 use std::time::Duration;
 
+use newtop::nso::NsoOptions;
 use newtop::simnode::NsoNode;
 use newtop_gcs::group::{FanoutMode, GroupConfig, GroupId, Liveness, OrderProtocol};
 use newtop_invocation::api::{OpenOptimisation, Replication, ReplyMode};
@@ -18,7 +19,7 @@ use newtop_net::site::{NodeId, Site};
 use newtop_net::time::SimTime;
 use newtop_net::trace::TraceEvent;
 
-use crate::apps::{ClientApp, ClientStyle, PeerApp, ServerApp};
+use crate::apps::{ClientApp, ClientStyle, HubApp, PeerApp, ServerApp};
 use crate::plain::{PlainClient, PlainServer};
 
 /// The three client/server placements of §5.1.
@@ -580,6 +581,172 @@ pub fn run_peer(s: &PeerScenario) -> PeerResult {
         measured: all.len() as u64,
         counts: harvest_counts(&sim, &members),
     }
+}
+
+/// A multi-group experiment: `groups` independent replicated services
+/// with disjoint server sets, and `hubs` client nodes each bound to all
+/// of them, running a closed loop per binding. This is the workload the
+/// sharded protocol engine partitions: every node serves several
+/// unrelated groups, and with `shards > 1` each group's work runs on its
+/// own shard engine (batching packs the per-destination protocol traffic
+/// into shared frames).
+#[derive(Clone, Debug)]
+pub struct MultiGroupScenario {
+    /// Number of independent services.
+    pub groups: usize,
+    /// Replicas per service (disjoint between services).
+    pub servers_per_group: usize,
+    /// Number of hub clients, each bound to every service.
+    pub hubs: usize,
+    /// Shard count configured on every node.
+    pub shards: usize,
+    /// Whether send-path batching is on.
+    pub batching: bool,
+    /// Ordering protocol for all groups.
+    pub ordering: OrderProtocol,
+    /// Reply-collection primitive.
+    pub mode: ReplyMode,
+    /// Virtual duration of the run.
+    pub duration: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MultiGroupScenario {
+    /// The BENCH_PR6 configuration: 8 services x 3 replicas, 12 hubs,
+    /// 4 shards, batching on.
+    #[must_use]
+    pub fn bench_default(seed: u64) -> Self {
+        MultiGroupScenario {
+            groups: 8,
+            servers_per_group: 3,
+            hubs: 12,
+            shards: 4,
+            batching: true,
+            ordering: OrderProtocol::Asymmetric,
+            mode: ReplyMode::All,
+            duration: Duration::from_secs(2),
+            seed,
+        }
+    }
+}
+
+/// Results of a multi-group run.
+#[derive(Clone, Debug, Default)]
+pub struct MultiGroupResult {
+    /// Aggregate completions per second inside the window, over all
+    /// hubs and services.
+    pub throughput: f64,
+    /// Completions counted in the window.
+    pub completed: u64,
+    /// Mean response time inside the window.
+    pub mean_response: Duration,
+    /// Completions that surfaced twice anywhere — must stay zero.
+    pub duplicated: u32,
+    /// Batch frames sent across all nodes (`gcs.batch_frames`).
+    pub batch_frames: u64,
+    /// Protocol messages carried inside batch frames (`gcs.batch_msgs`).
+    pub batch_msgs: u64,
+}
+
+/// Runs a [`MultiGroupScenario`] and returns the aggregate result plus
+/// every in-window completion latency.
+///
+/// # Panics
+///
+/// Panics if the scenario has zero groups, servers, or hubs.
+#[must_use]
+pub fn run_multi_group(s: &MultiGroupScenario) -> (MultiGroupResult, Vec<Duration>) {
+    assert!(s.groups > 0 && s.servers_per_group > 0 && s.hubs > 0);
+    let mut sim = Sim::new(SimConfig::lan(s.seed));
+    let opts = NsoOptions::new()
+        .with_shards(s.shards)
+        .with_batching(s.batching);
+    let gs_config = GroupConfig {
+        ordering: s.ordering,
+        liveness: Liveness::EventDriven,
+        // Back-to-back fan-outs so a batching-enabled node can pack
+        // same-destination messages into one frame.
+        fanout: FanoutMode::Asynchronous,
+        ..GroupConfig::default()
+    };
+    let mut services: Vec<(GroupId, Vec<NodeId>)> = Vec::new();
+    for g in 0..s.groups {
+        let group = GroupId::new(format!("svc-{g}"));
+        let members: Vec<NodeId> = (0..s.servers_per_group)
+            .map(|i| NodeId::from_index((g * s.servers_per_group + i) as u32))
+            .collect();
+        for (i, &id) in members.iter().enumerate() {
+            let app = ServerApp {
+                group: group.clone(),
+                members: members.clone(),
+                replication: Replication::Active,
+                optimisation: OpenOptimisation::None,
+                config: gs_config.clone(),
+                seed: s.seed.wrapping_add(i as u64),
+            };
+            let added = sim.add_node(
+                Site::Lan,
+                Box::new(NsoNode::with_options(id, opts.clone(), Box::new(app))),
+            );
+            assert_eq!(added, id);
+        }
+        services.push((group, members));
+    }
+    let first_hub = s.groups * s.servers_per_group;
+    let hub_ids: Vec<NodeId> = (0..s.hubs)
+        .map(|i| NodeId::from_index((first_hub + i) as u32))
+        .collect();
+    for (i, &id) in hub_ids.iter().enumerate() {
+        let app = HubApp::new(
+            services.clone(),
+            s.mode,
+            s.ordering,
+            Duration::from_millis(1 + i as u64),
+        );
+        let added = sim.add_node(
+            Site::Lan,
+            Box::new(NsoNode::with_options(id, opts.clone(), Box::new(app))),
+        );
+        assert_eq!(added, id);
+    }
+    sim.run_until(SimTime::ZERO + s.duration);
+
+    let mut all: Vec<(SimTime, Duration)> = Vec::new();
+    let mut duplicated = 0;
+    for &id in &hub_ids {
+        let node = sim.node_ref::<NsoNode>(id).expect("hub node");
+        let app = node.app_ref::<HubApp>().expect("hub app");
+        all.extend(app.completions.iter().copied());
+        duplicated += app.duplicate_completions;
+    }
+    let (mut batch_frames, mut batch_msgs) = (0, 0);
+    for idx in 0..(first_hub + s.hubs) {
+        let node = sim
+            .node_ref::<NsoNode>(NodeId::from_index(idx as u32))
+            .expect("node");
+        let snap = node.nso().metrics();
+        batch_frames += snap.counter("gcs.batch_frames");
+        batch_msgs += snap.counter("gcs.batch_msgs");
+    }
+    let summary = summarize(&all, s.duration);
+    let (lo, hi) = window(s.duration);
+    let latencies = all
+        .iter()
+        .filter(|(at, _)| *at >= lo && *at < hi)
+        .map(|&(_, d)| d)
+        .collect();
+    (
+        MultiGroupResult {
+            throughput: summary.throughput,
+            completed: summary.completed,
+            mean_response: summary.mean_response,
+            duplicated,
+            batch_frames,
+            batch_msgs,
+        },
+        latencies,
+    )
 }
 
 #[cfg(test)]

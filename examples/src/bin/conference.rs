@@ -19,7 +19,7 @@ use newtop::nso::NsoOutput;
 use newtop_gcs::group::{DeliveryOrder, GroupConfig, GroupId};
 use newtop_net::channel::ChannelNetwork;
 use newtop_net::site::NodeId;
-use newtop_rt::{NodeHandle, NodeRuntime};
+use newtop_rt::{NodeHandle, NodeRuntime, RuntimeOptions};
 
 fn main() {
     let room = GroupId::new("conference-room");
@@ -31,7 +31,7 @@ fn main() {
         .iter()
         .map(|&id| {
             let (transport, rx) = net.endpoint(id);
-            let handle = NodeRuntime::spawn(id, transport, rx);
+            let handle = NodeRuntime::spawn(transport, rx, RuntimeOptions::new());
             let room = room.clone();
             let all = members.clone();
             handle.with_nso(move |nso, now, out| {
@@ -62,7 +62,8 @@ fn main() {
         let room = room.clone();
         let body = format!("{}: {}", names[who], text);
         handles[who].with_nso(move |nso, now, out| {
-            nso.peer_send(&room, Bytes::from(body), DeliveryOrder::Total, now, out)
+            let peer = nso.handle_for(&room).expect("room handle");
+            peer.send(nso, Bytes::from(body), DeliveryOrder::Total, now, out)
                 .expect("send");
         });
         // Small gap so the conversation reads naturally.

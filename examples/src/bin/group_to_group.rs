@@ -113,13 +113,15 @@ impl NsoApp for ClientMember {
     fn on_timer(&mut self, nso: &mut Nso, _tag: u64, now: SimTime, out: &mut Outbox) {
         // Totally-ordered trigger in gx keeps every member's group-call
         // counter aligned.
-        let _ = nso.peer_send(
-            &gx(),
-            Bytes::from_static(b"query"),
-            DeliveryOrder::Total,
-            now,
-            out,
-        );
+        if let Some(peer) = nso.handle_for(&gx()) {
+            let _ = peer.send(
+                nso,
+                Bytes::from_static(b"query"),
+                DeliveryOrder::Total,
+                now,
+                out,
+            );
+        }
     }
 
     fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {

@@ -15,7 +15,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 
-use newtop::nso::{BindOptions, Nso, NsoOutput};
+use newtop::nso::{BindOptions, GroupHandle, Nso, NsoOutput};
 use newtop::simnode::{NsoApp, NsoNode};
 use newtop::tags;
 use newtop_gcs::group::{GroupConfig, GroupId};
@@ -86,7 +86,7 @@ struct StoreClient {
     manager_index: usize,
     writes: Vec<&'static str>,
     step: usize,
-    binding: Option<GroupId>,
+    binding: Option<GroupHandle>,
     pending: Option<u64>,
     final_dump: Option<String>,
     log: Vec<String>,
@@ -106,7 +106,7 @@ impl StoreClient {
         };
         // The binding may race away between a completion and the next
         // call; the rebind path re-drives us via BindingReady.
-        match nso.invoke(&binding, op, args, ReplyMode::First, now, out) {
+        match binding.invoke(nso, op, args, ReplyMode::First, now, out) {
             Ok(call) => self.pending = Some(call.number),
             Err(_) => self.pending = None,
         }
@@ -129,12 +129,15 @@ impl NsoApp for StoreClient {
     fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {
         match output {
             NsoOutput::BindingReady { group } => {
-                self.binding = Some(group.clone());
+                let Some(binding) = nso.handle_for(&group) else {
+                    return;
+                };
+                self.binding = Some(binding.clone());
                 match self.pending {
                     // Retry the interrupted write with its original call
                     // number; the promoted primary deduplicates.
                     Some(number) => {
-                        let _ = nso.retry(number, &group, now, out);
+                        let _ = binding.retry(nso, number, now, out);
                     }
                     None => self.next(nso, now, out),
                 }

@@ -18,7 +18,7 @@ use newtop_gcs::group::{GroupConfig, GroupId};
 use newtop_invocation::api::{OpenOptimisation, Replication, ReplyMode};
 use newtop_net::channel::ChannelNetwork;
 use newtop_net::site::NodeId;
-use newtop_rt::NodeRuntime;
+use newtop_rt::{NodeRuntime, RuntimeOptions};
 
 fn main() {
     let service = GroupId::new("echo");
@@ -29,7 +29,7 @@ fn main() {
     let mut handles = Vec::new();
     for &id in &servers {
         let (transport, rx) = net.endpoint(id);
-        let handle = NodeRuntime::spawn(id, transport, rx);
+        let handle = NodeRuntime::spawn(transport, rx, RuntimeOptions::new());
         let group = service.clone();
         let members = servers.clone();
         handle.with_nso(move |nso, now, out| {
@@ -58,7 +58,7 @@ fn main() {
     // A client: bind openly to the first replica.
     let client_id = NodeId::from_index(3);
     let (transport, rx) = net.endpoint(client_id);
-    let client = NodeRuntime::spawn(client_id, transport, rx);
+    let client = NodeRuntime::spawn(transport, rx, RuntimeOptions::new());
     let group = service.clone();
     let manager = servers[0];
     client.with_nso(move |nso, now, out| {
@@ -79,7 +79,8 @@ fn main() {
         let b = binding.clone();
         let args = Bytes::from(text.as_bytes().to_vec());
         client.with_nso(move |nso, now, out| {
-            nso.invoke(&b, "echo", args, ReplyMode::All, now, out)
+            let b = nso.handle_for(&b).expect("binding handle");
+            b.invoke(nso, "echo", args, ReplyMode::All, now, out)
                 .expect("invoke");
         });
         let done = client

@@ -11,7 +11,7 @@
 
 use std::time::Duration;
 
-use newtop::nso::{BindOptions, Nso, NsoOutput};
+use newtop::nso::{BindOptions, GroupHandle, Nso, NsoOutput};
 use newtop::simnode::{NsoApp, NsoNode};
 use newtop::tags;
 use newtop_gcs::group::{GroupConfig, GroupId};
@@ -73,7 +73,7 @@ struct Teller {
     servers: Vec<NodeId>,
     script: Vec<(&'static str, i64)>,
     step: usize,
-    binding: Option<GroupId>,
+    binding: Option<GroupHandle>,
     log: Vec<String>,
 }
 
@@ -87,7 +87,8 @@ impl Teller {
         };
         let mut enc = CdrEncoder::new();
         enc.write_i64(amount);
-        nso.invoke(&binding, op, enc.finish(), ReplyMode::Majority, now, out)
+        binding
+            .invoke(nso, op, enc.finish(), ReplyMode::Majority, now, out)
             .expect("invoke");
     }
 }
@@ -110,7 +111,7 @@ impl NsoApp for Teller {
     fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {
         match output {
             NsoOutput::BindingReady { group } => {
-                self.binding = Some(group);
+                self.binding = nso.handle_for(&group);
                 self.next_op(nso, now, out);
             }
             NsoOutput::InvocationComplete { replies, .. } => {

@@ -6,7 +6,11 @@
 #   the bench_snapshot binary.
 # * BENCH_PR4.json — the flow-control PR's numbers (closed-loop knee,
 #   open-loop saturation sheds and peak queue depth, threaded-runtime
-#   latency percentiles), from the loadgen binary.
+#   latency percentiles), from the loadgen binary at shards=1 (the
+#   single-engine configuration those numbers were first taken in).
+# * BENCH_PR6.json — the sharded-engine PR's numbers: the same report
+#   at shards=4 with send-path batching, whose multi_group_sim section
+#   is the headline (aggregate throughput across independent groups).
 #
 # Offline-friendly; NEWTOP_BENCH_SEED overrides the simulation seed.
 set -euo pipefail
@@ -23,8 +27,16 @@ cat "$OUT"
 
 OUT4="BENCH_PR4.json"
 
-echo "==> cargo run --release -p newtop-bench --bin loadgen -- --json"
-cargo run --release --offline -p newtop-bench --bin loadgen -- --json > "$OUT4"
+echo "==> cargo run --release -p newtop-bench --bin loadgen -- --json --shards 1"
+cargo run --release --offline -p newtop-bench --bin loadgen -- --json --shards 1 > "$OUT4"
 
 echo "==> wrote $OUT4"
 cat "$OUT4"
+
+OUT6="BENCH_PR6.json"
+
+echo "==> cargo run --release -p newtop-bench --bin loadgen -- --json --shards 4"
+cargo run --release --offline -p newtop-bench --bin loadgen -- --json --shards 4 > "$OUT6"
+
+echo "==> wrote $OUT6"
+cat "$OUT6"

@@ -55,9 +55,9 @@ echo "==> fault-injection campaign (quick, 25 seeds)"
 cargo build --release --offline -p newtop-check
 ./target/release/campaign --seeds 25 --quiet
 
-echo "==> loadgen smoke (flow control engages, queues stay bounded)"
+echo "==> loadgen smoke (flow control engages, queues stay bounded, shards=2 batch)"
 cargo build --release --offline -p newtop-bench --bin loadgen
-./target/release/loadgen --smoke > /dev/null
+./target/release/loadgen --smoke --shards 2 > /dev/null
 
 echo "==> no build artifacts under version control"
 if [ -n "$(git ls-files target/)" ]; then

@@ -7,7 +7,7 @@ use std::time::Duration;
 use bytes::Bytes;
 use proptest::prelude::*;
 
-use newtop::nso::{BindOptions, Nso, NsoOutput};
+use newtop::nso::{BindOptions, GroupHandle, Nso, NsoOutput};
 use newtop::simnode::{NsoApp, NsoNode};
 use newtop::tags;
 use newtop_gcs::group::{GroupConfig, GroupId, OrderProtocol};
@@ -64,7 +64,7 @@ struct Client {
     issued: usize,
     completed: Vec<u64>,
     outstanding: std::collections::HashMap<u64, SimTime>,
-    binding: Option<GroupId>,
+    binding: Option<GroupHandle>,
 }
 
 const BIND_TAG: u64 = tags::APP_BASE;
@@ -88,8 +88,8 @@ impl Client {
         let Some(binding) = self.binding.clone() else {
             return;
         };
-        if let Ok(call) = nso.invoke(
-            &binding,
+        if let Ok(call) = binding.invoke(
+            nso,
             "work",
             Bytes::from(vec![(self.issued % 251) as u8]),
             self.mode,
@@ -120,7 +120,7 @@ impl NsoApp for Client {
                         .map(|(&n, _)| n)
                         .collect();
                     for number in stalled {
-                        let _ = nso.retry(number, &binding, now, out);
+                        let _ = binding.retry(nso, number, now, out);
                     }
                 }
                 out.set_timer(Duration::from_millis(250), TICK_TAG);
@@ -131,13 +131,16 @@ impl NsoApp for Client {
     fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {
         match output {
             NsoOutput::BindingReady { group } => {
-                self.binding = Some(group.clone());
+                let Some(binding) = nso.handle_for(&group) else {
+                    return;
+                };
+                self.binding = Some(binding.clone());
                 let pending: Vec<u64> = self.outstanding.keys().copied().collect();
                 if pending.is_empty() {
                     self.issue(nso, now, out);
                 }
                 for number in pending {
-                    let _ = nso.retry(number, &group, now, out);
+                    let _ = binding.retry(nso, number, now, out);
                 }
             }
             NsoOutput::BindFailed { .. } | NsoOutput::BindingBroken { .. } => {

@@ -54,9 +54,10 @@ impl NsoApp for Chatter {
 
     fn on_timer(&mut self, nso: &mut Nso, _tag: u64, now: SimTime, out: &mut Outbox) {
         if self.sent < CALLS {
-            if nso
-                .peer_send(
-                    &room(),
+            let peer = nso.handle_for(&room()).expect("peer handle");
+            if peer
+                .send(
+                    nso,
                     Bytes::from(vec![0xAB; PAYLOAD]),
                     DeliveryOrder::Total,
                     now,

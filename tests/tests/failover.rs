@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 
-use newtop::nso::{BindOptions, Nso, NsoOutput};
+use newtop::nso::{BindOptions, GroupHandle, Nso, NsoOutput};
 use newtop::simnode::{NsoApp, NsoNode};
 use newtop::tags;
 use newtop_gcs::group::{GroupConfig, GroupId, OrderProtocol};
@@ -74,7 +74,7 @@ struct RetryClient {
     issued: usize,
     completions: Vec<(u64, Vec<(NodeId, Bytes)>)>,
     rebinds: u32,
-    binding: Option<GroupId>,
+    binding: Option<GroupHandle>,
     issued_at: std::collections::HashMap<u64, SimTime>,
 }
 
@@ -112,8 +112,8 @@ impl RetryClient {
         let Some(binding) = self.binding.clone() else {
             return;
         };
-        if let Ok(call) = nso.invoke(
-            &binding,
+        if let Ok(call) = binding.invoke(
+            nso,
             "work",
             Bytes::from(vec![self.issued as u8]),
             self.mode,
@@ -150,7 +150,7 @@ impl NsoApp for RetryClient {
                         .map(|(&n, _)| n)
                         .collect();
                     for number in stalled {
-                        let _ = nso.retry(number, &binding, now, out);
+                        let _ = binding.retry(nso, number, now, out);
                     }
                 }
                 out.set_timer(Duration::from_millis(200), RETRY_TAG);
@@ -161,7 +161,10 @@ impl NsoApp for RetryClient {
     fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {
         match output {
             NsoOutput::BindingReady { group } => {
-                self.binding = Some(group.clone());
+                let Some(binding) = nso.handle_for(&group) else {
+                    return;
+                };
+                self.binding = Some(binding.clone());
                 // Retry anything outstanding with its original call number
                 // (§4.1); only start fresh traffic when nothing is pending.
                 let pending: Vec<u64> = self.issued_at.keys().copied().collect();
@@ -169,7 +172,7 @@ impl NsoApp for RetryClient {
                     self.issue(nso, now, out);
                 } else {
                     for number in pending {
-                        let _ = nso.retry(number, &group, now, out);
+                        let _ = binding.retry(nso, number, now, out);
                     }
                 }
             }

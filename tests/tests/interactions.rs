@@ -114,13 +114,15 @@ impl NsoApp for GxMember {
         // The trigger member multicasts in gx; every member (itself
         // included) reacts to the totally-ordered delivery by issuing the
         // group call, keeping the per-group call counters aligned (§4.3).
-        let _ = nso.peer_send(
-            &gx(),
-            Bytes::from_static(b"go"),
-            DeliveryOrder::Total,
-            now,
-            out,
-        );
+        if let Some(peer) = nso.handle_for(&gx()) {
+            let _ = peer.send(
+                nso,
+                Bytes::from_static(b"go"),
+                DeliveryOrder::Total,
+                now,
+                out,
+            );
+        }
     }
 
     fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {
@@ -245,13 +247,9 @@ impl NsoApp for Peer {
     fn on_timer(&mut self, nso: &mut Nso, _tag: u64, now: SimTime, out: &mut Outbox) {
         if self.sent < self.to_send {
             let body = format!("{}:{}", nso.node(), self.sent);
-            let _ = nso.peer_send(
-                &GroupId::new("conf"),
-                Bytes::from(body),
-                DeliveryOrder::Total,
-                now,
-                out,
-            );
+            if let Some(peer) = nso.handle_for(&GroupId::new("conf")) {
+                let _ = peer.send(nso, Bytes::from(body), DeliveryOrder::Total, now, out);
+            }
             self.sent += 1;
             out.set_timer(Duration::from_millis(7), tags::APP_BASE);
         }
@@ -341,13 +339,15 @@ fn a_node_can_serve_and_peer_simultaneously() {
             }
         }
         fn on_timer(&mut self, nso: &mut Nso, _tag: u64, now: SimTime, out: &mut Outbox) {
-            let _ = nso.peer_send(
-                &GroupId::new("dual-peer"),
-                Bytes::from_static(b"tick"),
-                DeliveryOrder::Total,
-                now,
-                out,
-            );
+            if let Some(peer) = nso.handle_for(&GroupId::new("dual-peer")) {
+                let _ = peer.send(
+                    nso,
+                    Bytes::from_static(b"tick"),
+                    DeliveryOrder::Total,
+                    now,
+                    out,
+                );
+            }
         }
         fn on_output(&mut self, _: &mut Nso, output: NsoOutput, _: SimTime, _: &mut Outbox) {
             if matches!(output, NsoOutput::PeerDeliver { .. }) {
@@ -373,7 +373,9 @@ fn a_node_can_serve_and_peer_simultaneously() {
         fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {
             match output {
                 NsoOutput::BindingReady { group } => {
-                    nso.invoke(&group, "op", Bytes::new(), ReplyMode::All, now, out)
+                    let binding = nso.handle_for(&group).unwrap();
+                    binding
+                        .invoke(nso, "op", Bytes::new(), ReplyMode::All, now, out)
                         .unwrap();
                 }
                 NsoOutput::InvocationComplete { replies, .. } => {

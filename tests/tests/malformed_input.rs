@@ -28,7 +28,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use newtop::control::CtrlMessage;
 use newtop_gcs::clock::DepsVector;
-use newtop_gcs::group::{DeliveryOrder, GroupId, OrderProtocol};
+use newtop_gcs::group::{DeliveryOrder, FanoutMode, GroupId, OrderProtocol};
 use newtop_gcs::messages::{DataMsg, GcsMessage, NullMsg};
 use newtop_gcs::view::{View, ViewId};
 use newtop_invocation::api::{CallId, InvMessage, ReplyMode};
@@ -173,6 +173,7 @@ fn samples() -> Vec<(&'static str, Bytes, DecodeFn)> {
                 closed: true,
                 ordering: OrderProtocol::Asymmetric,
                 time_silence_micros: 50_000,
+                fanout: FanoutMode::Synchronous,
             }
             .to_cdr(),
             via_cdr::<CtrlMessage>,

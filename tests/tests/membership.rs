@@ -36,13 +36,15 @@ impl NsoApp for Founder {
     }
     fn on_timer(&mut self, nso: &mut Nso, _tag: u64, now: SimTime, out: &mut Outbox) {
         self.sent += 1;
-        let _ = nso.peer_send(
-            &room(),
-            Bytes::from(format!("{}#{}", nso.node(), self.sent)),
-            DeliveryOrder::Total,
-            now,
-            out,
-        );
+        if let Some(peer) = nso.handle_for(&room()) {
+            let _ = peer.send(
+                nso,
+                Bytes::from(format!("{}#{}", nso.node(), self.sent)),
+                DeliveryOrder::Total,
+                now,
+                out,
+            );
+        }
         out.set_timer(Duration::from_millis(25), tags::APP_BASE);
     }
     fn on_output(&mut self, _: &mut Nso, output: NsoOutput, _: SimTime, _: &mut Outbox) {
@@ -86,13 +88,15 @@ impl NsoApp for Latecomer {
                     return;
                 }
                 self.sent += 1;
-                let _ = nso.peer_send(
-                    &room(),
-                    Bytes::from(format!("{}#{}", nso.node(), self.sent)),
-                    DeliveryOrder::Total,
-                    now,
-                    out,
-                );
+                if let Some(peer) = nso.handle_for(&room()) {
+                    let _ = peer.send(
+                        nso,
+                        Bytes::from(format!("{}#{}", nso.node(), self.sent)),
+                        DeliveryOrder::Total,
+                        now,
+                        out,
+                    );
+                }
                 out.set_timer(Duration::from_millis(25), CHAT_TAG);
             }
             LEAVE_TAG => {
@@ -215,13 +219,15 @@ fn causal_one_way_sends_preserve_sender_fifo() {
         fn on_timer(&mut self, nso: &mut Nso, _tag: u64, now: SimTime, out: &mut Outbox) {
             if self.sent < self.to_send {
                 self.sent += 1;
-                let _ = nso.peer_send(
-                    &room(),
-                    Bytes::from(format!("{}:{}", nso.node(), self.sent)),
-                    DeliveryOrder::Causal,
-                    now,
-                    out,
-                );
+                if let Some(peer) = nso.handle_for(&room()) {
+                    let _ = peer.send(
+                        nso,
+                        Bytes::from(format!("{}:{}", nso.node(), self.sent)),
+                        DeliveryOrder::Causal,
+                        now,
+                        out,
+                    );
+                }
                 out.set_timer(Duration::from_millis(8), tags::APP_BASE);
             }
         }

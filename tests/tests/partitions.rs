@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 
-use newtop::nso::{BindOptions, Nso, NsoOutput};
+use newtop::nso::{BindOptions, GroupHandle, Nso, NsoOutput};
 use newtop::simnode::{NsoApp, NsoNode};
 use newtop::tags;
 use newtop_gcs::group::{DeliveryOrder, GroupConfig, GroupId};
@@ -52,7 +52,7 @@ struct Client {
     manager_index: usize,
     completed: u32,
     rebinds: u32,
-    binding: Option<GroupId>,
+    binding: Option<GroupHandle>,
     outstanding: Option<u64>,
 }
 
@@ -68,7 +68,7 @@ impl Client {
     }
     fn issue(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
         if let Some(b) = self.binding.clone() {
-            if let Ok(call) = nso.invoke(&b, "ping", Bytes::new(), ReplyMode::First, now, out) {
+            if let Ok(call) = b.invoke(nso, "ping", Bytes::new(), ReplyMode::First, now, out) {
                 self.outstanding = Some(call.number);
             }
         }
@@ -85,7 +85,7 @@ impl NsoApp for Client {
             self.bind(nso, now, out);
         } else {
             if let (Some(b), Some(number)) = (self.binding.clone(), self.outstanding) {
-                let _ = nso.retry(number, &b, now, out);
+                let _ = b.retry(nso, number, now, out);
             }
             out.set_timer(Duration::from_millis(200), tags::APP_BASE + 1);
         }
@@ -93,10 +93,13 @@ impl NsoApp for Client {
     fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {
         match output {
             NsoOutput::BindingReady { group } => {
-                self.binding = Some(group.clone());
+                let Some(binding) = nso.handle_for(&group) else {
+                    return;
+                };
+                self.binding = Some(binding.clone());
                 match self.outstanding {
                     Some(number) => {
-                        let _ = nso.retry(number, &group, now, out);
+                        let _ = binding.retry(nso, number, now, out);
                     }
                     None => self.issue(nso, now, out),
                 }
@@ -224,13 +227,9 @@ fn peer_partition_splits_and_both_sides_deliver_internally() {
         }
         fn on_timer(&mut self, nso: &mut Nso, _tag: u64, now: SimTime, out: &mut Outbox) {
             let body = format!("{}@{}", nso.node(), now);
-            let _ = nso.peer_send(
-                &GroupId::new("pp"),
-                Bytes::from(body),
-                DeliveryOrder::Total,
-                now,
-                out,
-            );
+            if let Some(peer) = nso.handle_for(&GroupId::new("pp")) {
+                let _ = peer.send(nso, Bytes::from(body), DeliveryOrder::Total, now, out);
+            }
             out.set_timer(Duration::from_millis(40), tags::APP_BASE);
         }
         fn on_output(&mut self, _: &mut Nso, output: NsoOutput, _: SimTime, _: &mut Outbox) {

@@ -55,24 +55,22 @@ fn run_slow_member(ordering: OrderProtocol, seed: u64) {
     // window, and the metrics gauge agrees.
     let mut shed = 0u64;
     for &n in &roster {
-        let member = h.node(n).member();
-        let flow = member.flow_of(&group).expect("still a member");
+        let gcs = h.node(n).gcs();
+        let flow = gcs.flow_of(&group).expect("still a member");
         assert!(
             flow.peak_in_flight() <= flow.window(),
             "node {n}: peak in-flight {} burst past the window {}",
             flow.peak_in_flight(),
             flow.window()
         );
-        let peak_gauge = member
-            .observability()
-            .metrics
-            .gauge("flow.queue_depth_peak")
-            .unwrap_or(0);
-        assert!(
-            peak_gauge <= flow.window() as i64,
-            "node {n}: flow.queue_depth_peak {peak_gauge} exceeds the window"
-        );
-        shed += member.observability().metrics.counter("flow.shed");
+        for obs in gcs.observabilities() {
+            let peak_gauge = obs.metrics.gauge("flow.queue_depth_peak").unwrap_or(0);
+            assert!(
+                peak_gauge <= flow.window() as i64,
+                "node {n}: flow.queue_depth_peak {peak_gauge} exceeds the window"
+            );
+            shed += obs.metrics.counter("flow.shed");
+        }
     }
     assert!(
         shed > 0,

@@ -11,8 +11,7 @@ use newtop_invocation::api::{OpenOptimisation, Replication, ReplyMode};
 use newtop_net::channel::ChannelNetwork;
 use newtop_net::site::NodeId;
 use newtop_net::tcp::TcpEndpoint;
-use newtop_net::transport::WireTransport;
-use newtop_rt::{NodeHandle, NodeRuntime};
+use newtop_rt::{NodeHandle, NodeRuntime, RuntimeOptions};
 
 fn spawn_channel_cluster(n: usize) -> Vec<NodeHandle> {
     let net = ChannelNetwork::new();
@@ -20,7 +19,7 @@ fn spawn_channel_cluster(n: usize) -> Vec<NodeHandle> {
         .map(|i| {
             let id = NodeId::from_index(i as u32);
             let (transport, rx) = net.endpoint(id);
-            NodeRuntime::spawn(id, transport, rx)
+            NodeRuntime::spawn(transport, rx, RuntimeOptions::new())
         })
         .collect()
 }
@@ -73,7 +72,9 @@ fn bind_and_invoke(
         unreachable!()
     };
     client.with_nso(move |nso, now, out| {
-        nso.invoke(&binding, "hello", Bytes::new(), ReplyMode::All, now, out)
+        let binding = nso.handle_for(&binding).unwrap();
+        binding
+            .invoke(nso, "hello", Bytes::new(), ReplyMode::All, now, out)
             .unwrap();
     });
     let done = client
@@ -133,7 +134,7 @@ fn request_reply_over_real_tcp_sockets() {
     let nodes: Vec<NodeHandle> = endpoints
         .iter()
         .zip(rxs)
-        .map(|(ep, rx)| NodeRuntime::spawn(ep.handle().local(), ep.handle(), rx))
+        .map(|(ep, rx)| NodeRuntime::spawn(ep.handle(), rx, RuntimeOptions::new()))
         .collect();
 
     let servers = vec![ids[0], ids[1]];
@@ -172,7 +173,8 @@ fn peer_group_over_threads() {
         let group = group.clone();
         let body = format!("from-{}", handle.node());
         handle.with_nso(move |nso, now, out| {
-            nso.peer_send(&group, Bytes::from(body), DeliveryOrder::Total, now, out)
+            let peer = nso.handle_for(&group).unwrap();
+            peer.send(nso, Bytes::from(body), DeliveryOrder::Total, now, out)
                 .unwrap();
         });
     }
