@@ -19,6 +19,8 @@
 //! Run everything with `cargo bench --workspace`; each figure target also
 //! accepts `NEWTOP_BENCH_SEED` to vary the simulation seed.
 
+pub mod scale;
+
 /// The default seed used by the figure benches (override with the
 /// `NEWTOP_BENCH_SEED` environment variable).
 #[must_use]

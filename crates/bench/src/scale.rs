@@ -1,0 +1,392 @@
+//! The geo-distributed capacity sweep behind the `scale` binary.
+//!
+//! Each cell of the sweep matrix fixes a service configuration —
+//! ordering protocol × binding policy × reply-collection mode × region
+//! matrix — and asks one question: **how many modeled clients can this
+//! configuration sustain** before the p99 response time crosses the
+//! bound or the service stops keeping up with its arrivals? The probe
+//! is [`newtop_workloads::scale::run_scale`]: an open-loop Poisson
+//! population at a given size, billed honestly (serial-CPU servers,
+//! free-CPU aggregate actors).
+//!
+//! The search doubles the population from [`SweepConfig::start_clients`]
+//! until a probe fails (or [`SweepConfig::max_clients`] is reached),
+//! then bisects between the last sustainable and first unsustainable
+//! sizes. Every probe derives from the single campaign seed, so the
+//! whole sweep — capacities, digests, the rendered JSON — is a pure
+//! function of `(seed, config)` and can be replayed byte-for-byte.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use newtop_gcs::group::OrderProtocol;
+use newtop_invocation::api::ReplyMode;
+use newtop_workloads::scenario::BindingPolicy;
+use newtop_workloads::{run_scale, RegionMatrix, ScaleResult, ScaleScenario};
+
+/// Parameters shared by every cell of one sweep.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Campaign seed; per-cell seeds are mixed from it.
+    pub seed: u64,
+    /// Shard count configured on every node.
+    pub shards: usize,
+    /// The sustainability bound on p99 response time.
+    pub p99_bound: Duration,
+    /// Mean modeled-client think time.
+    pub think_time: Duration,
+    /// Virtual duration of each probe.
+    pub duration: Duration,
+    /// First population size probed.
+    pub start_clients: u64,
+    /// Ceiling on the doubling ladder.
+    pub max_clients: u64,
+    /// Region matrices swept (each multiplies the cell count).
+    pub regions: Vec<RegionMatrix>,
+}
+
+impl SweepConfig {
+    /// The full sweep: 2 orderings × 3 bindings × 2 reply modes over the
+    /// paper WAN and the synthetic five-region matrix, probing 12.5 k to
+    /// 1.6 M modeled clients.
+    #[must_use]
+    pub fn full(seed: u64) -> Self {
+        SweepConfig {
+            seed,
+            shards: 1,
+            p99_bound: Duration::from_millis(400),
+            think_time: Duration::from_secs(120),
+            duration: Duration::from_millis(2_400),
+            start_clients: 12_500,
+            max_clients: 1_600_000,
+            regions: vec![RegionMatrix::PaperWan, RegionMatrix::Global5],
+        }
+    }
+
+    /// The CI smoke sweep: one region, a short ladder, short probes —
+    /// seconds of wall clock, same code paths.
+    #[must_use]
+    pub fn smoke(seed: u64) -> Self {
+        SweepConfig {
+            seed,
+            shards: 1,
+            p99_bound: Duration::from_millis(400),
+            think_time: Duration::from_secs(120),
+            duration: Duration::from_millis(1_000),
+            start_clients: 4_000,
+            max_clients: 16_000,
+            regions: vec![RegionMatrix::PaperWan],
+        }
+    }
+}
+
+/// One cell of the sweep matrix.
+#[derive(Clone, Debug)]
+pub struct CellSpec {
+    /// Geography.
+    pub region: RegionMatrix,
+    /// Total-order protocol.
+    pub ordering: OrderProtocol,
+    /// Binding policy of the modeled population.
+    pub binding: BindingPolicy,
+    /// Reply-collection mode.
+    pub mode: ReplyMode,
+}
+
+impl CellSpec {
+    /// Short ordering label for tables and JSON.
+    #[must_use]
+    pub fn ordering_label(&self) -> &'static str {
+        match self.ordering {
+            OrderProtocol::Symmetric => "sym",
+            OrderProtocol::Asymmetric => "asym",
+        }
+    }
+
+    /// Short binding label.
+    #[must_use]
+    pub fn binding_label(&self) -> &'static str {
+        match self.binding {
+            BindingPolicy::Closed => "closed",
+            BindingPolicy::OpenAnyServer => "open",
+            BindingPolicy::OpenRestricted => "restricted",
+        }
+    }
+
+    /// Short reply-mode label.
+    #[must_use]
+    pub fn mode_label(&self) -> &'static str {
+        match self.mode {
+            ReplyMode::OneWay => "oneway",
+            ReplyMode::First => "first",
+            ReplyMode::Majority => "majority",
+            ReplyMode::All => "all",
+        }
+    }
+}
+
+/// The cells of one sweep, in a fixed, reproducible order.
+#[must_use]
+pub fn cells(cfg: &SweepConfig) -> Vec<CellSpec> {
+    let mut out = Vec::new();
+    for &region in &cfg.regions {
+        for ordering in [OrderProtocol::Symmetric, OrderProtocol::Asymmetric] {
+            for binding in [
+                BindingPolicy::Closed,
+                BindingPolicy::OpenAnyServer,
+                BindingPolicy::OpenRestricted,
+            ] {
+                for mode in [ReplyMode::First, ReplyMode::All] {
+                    out.push(CellSpec {
+                        region,
+                        ordering,
+                        binding,
+                        mode,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The outcome of the capacity search in one cell.
+#[derive(Clone, Debug)]
+pub struct CellOutcome {
+    /// The cell.
+    pub spec: CellSpec,
+    /// Largest probed population that was sustainable (0 = even the
+    /// first probe failed).
+    pub capacity: u64,
+    /// Number of probes the search spent.
+    pub probes: u32,
+    /// The measurement at `capacity` — or, when `capacity` is 0, at the
+    /// failing first probe (so the table shows *why* the cell failed).
+    pub measured: ScaleResult,
+}
+
+/// Whether one probe counts as sustainable: p99 within the bound, the
+/// service keeping up with ≥ 90 % of its in-window arrivals, and at most
+/// 1 % of arrivals shed at admission.
+#[must_use]
+pub fn sustainable(r: &ScaleResult, bound: Duration) -> bool {
+    r.completed > 0
+        && r.p99 <= bound
+        && r.completed as f64 >= 0.9 * r.arrivals_in_window as f64
+        && r.shed_in_window * 100 <= r.arrivals_in_window
+}
+
+fn cell_seed(cfg: &SweepConfig, index: usize) -> u64 {
+    cfg.seed ^ (0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(index as u64 + 1))
+}
+
+fn probe(cfg: &SweepConfig, spec: &CellSpec, seed: u64, clients: u64) -> ScaleResult {
+    let scenario = ScaleScenario {
+        modeled_clients: clients,
+        think_time: cfg.think_time,
+        binding: spec.binding,
+        mode: spec.mode,
+        ordering: spec.ordering,
+        region: spec.region,
+        shards: cfg.shards,
+        duration: cfg.duration,
+        ..ScaleScenario::default_cell(seed)
+    };
+    run_scale(&scenario)
+}
+
+/// Binary-searches the capacity of one cell: double from
+/// `start_clients` until a probe fails, then bisect.
+#[must_use]
+pub fn search_cell(cfg: &SweepConfig, index: usize, spec: &CellSpec) -> CellOutcome {
+    let seed = cell_seed(cfg, index);
+    let mut probes = 0u32;
+    let mut best: Option<(u64, ScaleResult)> = None;
+    let mut first_failure: Option<ScaleResult> = None;
+    let mut lo = 0u64;
+    let mut hi: Option<u64> = None;
+    let mut n = cfg.start_clients;
+    loop {
+        let r = probe(cfg, spec, seed, n);
+        probes += 1;
+        if sustainable(&r, cfg.p99_bound) {
+            lo = n;
+            best = Some((n, r));
+            if n >= cfg.max_clients {
+                break;
+            }
+            n = (n * 2).min(cfg.max_clients);
+        } else {
+            first_failure = Some(r);
+            hi = Some(n);
+            break;
+        }
+    }
+    if let Some(mut hi_n) = hi {
+        // Bisect only when something was sustainable at all; three
+        // halvings of a doubling gap give ±1/16 resolution.
+        if lo > 0 {
+            for _ in 0..3 {
+                let mid = lo + (hi_n - lo) / 2;
+                if mid == lo || mid == hi_n {
+                    break;
+                }
+                let r = probe(cfg, spec, seed, mid);
+                probes += 1;
+                if sustainable(&r, cfg.p99_bound) {
+                    lo = mid;
+                    best = Some((mid, r));
+                } else {
+                    hi_n = mid;
+                }
+            }
+        }
+    }
+    match best {
+        Some((capacity, measured)) => CellOutcome {
+            spec: spec.clone(),
+            capacity,
+            probes,
+            measured,
+        },
+        None => CellOutcome {
+            spec: spec.clone(),
+            capacity: 0,
+            probes,
+            measured: first_failure.expect("at least one probe ran"),
+        },
+    }
+}
+
+/// Runs the whole sweep, cell by cell.
+#[must_use]
+pub fn run_sweep(cfg: &SweepConfig) -> Vec<CellOutcome> {
+    cells(cfg)
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| search_cell(cfg, i, spec))
+        .collect()
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Renders the sweep as the JSON document `scripts/bench_snapshot.sh`
+/// records as `BENCH_PR8.json`. Built as a string (not printed) so the
+/// determinism tests can compare two sweeps byte for byte.
+#[must_use]
+pub fn render_json(cfg: &SweepConfig, outcomes: &[CellOutcome]) -> String {
+    let mut s = String::new();
+    let best = outcomes.iter().max_by_key(|o| o.capacity);
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"scale\",");
+    let _ = writeln!(s, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(s, "  \"shards\": {},", cfg.shards);
+    let _ = writeln!(s, "  \"p99_bound_ms\": {:.1},", ms(cfg.p99_bound));
+    let _ = writeln!(
+        s,
+        "  \"think_time_s\": {:.1},",
+        cfg.think_time.as_secs_f64()
+    );
+    let _ = writeln!(s, "  \"probe_duration_ms\": {},", cfg.duration.as_millis());
+    let _ = writeln!(s, "  \"start_clients\": {},", cfg.start_clients);
+    let _ = writeln!(s, "  \"max_clients\": {},", cfg.max_clients);
+    if let Some(b) = best {
+        let _ = writeln!(s, "  \"best\": {{");
+        let _ = writeln!(
+            s,
+            "    \"region\": \"{}\", \"ordering\": \"{}\", \"binding\": \"{}\", \"reply\": \"{}\",",
+            b.spec.region.label(),
+            b.spec.ordering_label(),
+            b.spec.binding_label(),
+            b.spec.mode_label()
+        );
+        let _ = writeln!(s, "    \"max_sustainable_clients\": {}", b.capacity);
+        let _ = writeln!(s, "  }},");
+    }
+    s.push_str("  \"cells\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        let sep = if i + 1 == outcomes.len() { "" } else { "," };
+        let r = &o.measured;
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(
+            s,
+            "      \"region\": \"{}\", \"ordering\": \"{}\", \"binding\": \"{}\", \"reply\": \"{}\",",
+            o.spec.region.label(),
+            o.spec.ordering_label(),
+            o.spec.binding_label(),
+            o.spec.mode_label()
+        );
+        let _ = writeln!(
+            s,
+            "      \"max_sustainable_clients\": {}, \"probes\": {},",
+            o.capacity, o.probes
+        );
+        let _ = writeln!(
+            s,
+            "      \"offered_per_sec\": {:.1}, \"goodput_per_sec\": {:.1},",
+            r.offered_per_sec, r.goodput_per_sec
+        );
+        let _ = writeln!(
+            s,
+            "      \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3},",
+            ms(r.p50),
+            ms(r.p95),
+            ms(r.p99)
+        );
+        let _ = writeln!(
+            s,
+            "      \"arrivals_in_window\": {}, \"completed\": {}, \"shed_in_window\": {}, \"expired\": {},",
+            r.arrivals_in_window, r.completed, r.shed_in_window, r.expired
+        );
+        let _ = writeln!(
+            s,
+            "      \"suspicions\": {}, \"arrival_digest\": \"{:#018x}\"",
+            r.suspicions, r.arrival_digest
+        );
+        let _ = writeln!(s, "    }}{sep}");
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Renders the sweep as the markdown capacity table recorded in
+/// `EXPERIMENTS.md`.
+#[must_use]
+pub fn render_markdown(cfg: &SweepConfig, outcomes: &[CellOutcome]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "| region | ordering | binding | reply | max clients | offered/s | goodput/s | p99 (ms) | shed | susp |"
+    );
+    let _ = writeln!(s, "|---|---|---|---|---:|---:|---:|---:|---:|---:|");
+    for o in outcomes {
+        let r = &o.measured;
+        let _ = writeln!(
+            s,
+            "| {} | {} | {} | {} | {} | {:.0} | {:.0} | {:.1} | {} | {} |",
+            o.spec.region.label(),
+            o.spec.ordering_label(),
+            o.spec.binding_label(),
+            o.spec.mode_label(),
+            o.capacity,
+            r.offered_per_sec,
+            r.goodput_per_sec,
+            ms(r.p99),
+            r.shed_in_window,
+            r.suspicions
+        );
+    }
+    let _ = writeln!(s);
+    let _ = writeln!(
+        s,
+        "(seed {}, shards {}, p99 bound {:.0} ms, think time {:.0} s, probe {} ms)",
+        cfg.seed,
+        cfg.shards,
+        ms(cfg.p99_bound),
+        cfg.think_time.as_secs_f64(),
+        cfg.duration.as_millis()
+    );
+    s
+}

@@ -409,6 +409,44 @@ mod tests {
     }
 
     #[test]
+    fn reorder_window_run_passes_under_both_orderings() {
+        // The PR8 wire-model extension: a reordering window permutes
+        // frame arrival order without losing or duplicating anything,
+        // so the causal/total-order invariants must be untouched.
+        for ordering in [OrderProtocol::Symmetric, OrderProtocol::Asymmetric] {
+            assert_clean(GcsScenario::new(
+                19,
+                ordering,
+                false,
+                FaultPlan::named("reorder").reorder(
+                    Duration::from_millis(80),
+                    Duration::from_millis(600),
+                    Duration::from_millis(5),
+                ),
+            ));
+        }
+    }
+
+    #[test]
+    fn bandwidth_cap_run_passes_under_both_orderings() {
+        // A per-link bandwidth cap delays frames (FIFO per link) but
+        // never drops them; the protocols must ride it out, including
+        // across the open-group join.
+        for ordering in [OrderProtocol::Symmetric, OrderProtocol::Asymmetric] {
+            assert_clean(GcsScenario::new(
+                23,
+                ordering,
+                true,
+                FaultPlan::named("bandwidth").throttle(
+                    Duration::from_millis(100),
+                    Duration::from_millis(700),
+                    200_000,
+                ),
+            ));
+        }
+    }
+
+    #[test]
     fn sharded_runs_match_single_shard_runs() {
         for ordering in [OrderProtocol::Symmetric, OrderProtocol::Asymmetric] {
             let make = |shards: usize| {

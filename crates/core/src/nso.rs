@@ -1063,22 +1063,6 @@ impl Nso {
         Ok(group)
     }
 
-    /// Tears down a client binding: leaves the client/server group and
-    /// forgets it.
-    ///
-    /// # Errors
-    ///
-    /// [`NewtopError::Unbound`] if no such binding exists.
-    #[deprecated(since = "0.2.0", note = "use GroupHandle::unbind from Nso::bind")]
-    pub fn unbind(
-        &mut self,
-        group: &GroupId,
-        now: SimTime,
-        out: &mut Outbox,
-    ) -> Result<(), NewtopError> {
-        self.do_unbind(group, now, out)
-    }
-
     fn do_unbind(
         &mut self,
         group: &GroupId,
@@ -1103,26 +1087,6 @@ impl Nso {
         Ok(())
     }
 
-    /// Invokes an operation over a binding with the given reply mode.
-    /// Completion surfaces as [`NsoOutput::InvocationComplete`].
-    ///
-    /// # Errors
-    ///
-    /// [`NewtopError::Client`] if the binding is unknown.
-    #[deprecated(since = "0.2.0", note = "use GroupHandle::invoke from Nso::bind")]
-    #[allow(clippy::too_many_arguments)]
-    pub fn invoke(
-        &mut self,
-        binding: &GroupId,
-        op: &str,
-        args: Bytes,
-        mode: ReplyMode,
-        now: SimTime,
-        out: &mut Outbox,
-    ) -> Result<CallId, NewtopError> {
-        self.do_invoke(binding, op, args, mode, now, out)
-    }
-
     #[allow(clippy::too_many_arguments)]
     fn do_invoke(
         &mut self,
@@ -1139,51 +1103,6 @@ impl Nso {
         self.run_commands(cmds, now, out);
         self.map_client_events(events, now, out);
         Ok(call)
-    }
-
-    /// Invokes with the binding's default reply mode (set at bind time
-    /// via [`BindOptions::with_reply_mode`]; [`ReplyMode::All`] when
-    /// never set). Completion surfaces as
-    /// [`NsoOutput::InvocationComplete`].
-    ///
-    /// # Errors
-    ///
-    /// [`NewtopError::Client`] if the binding is unknown.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use GroupHandle::invoke_default from Nso::bind"
-    )]
-    pub fn invoke_default(
-        &mut self,
-        binding: &GroupId,
-        op: &str,
-        args: Bytes,
-        now: SimTime,
-        out: &mut Outbox,
-    ) -> Result<CallId, NewtopError> {
-        let mode = self
-            .default_modes
-            .get(binding)
-            .copied()
-            .unwrap_or(ReplyMode::All);
-        self.do_invoke(binding, op, args, mode, now, out)
-    }
-
-    /// Re-issues a pending call over a (new) binding with its original
-    /// call number (§4.1 rebind-and-retry).
-    ///
-    /// # Errors
-    ///
-    /// [`NewtopError::Client`] if the call or binding is unknown.
-    #[deprecated(since = "0.2.0", note = "use GroupHandle::retry from Nso::bind")]
-    pub fn retry(
-        &mut self,
-        call_number: u64,
-        binding: &GroupId,
-        now: SimTime,
-        out: &mut Outbox,
-    ) -> Result<(), NewtopError> {
-        self.do_retry(call_number, binding, now, out)
     }
 
     fn do_retry(
@@ -1295,26 +1214,6 @@ impl Nso {
         )?;
         self.route_gcs(outs, now, out);
         Ok(())
-    }
-
-    /// One-way multicast in a peer group (the peer-participation mode).
-    ///
-    /// # Errors
-    ///
-    /// Any [`GcsError`] if the node is not a member.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use GroupHandle::send from Nso::create_peer_group / join_peer_group"
-    )]
-    pub fn peer_send(
-        &mut self,
-        group: &GroupId,
-        payload: Bytes,
-        order: DeliveryOrder,
-        now: SimTime,
-        out: &mut Outbox,
-    ) -> Result<(), NewtopError> {
-        self.do_peer_send(group, payload, order, now, out)
     }
 
     fn do_peer_send(

@@ -120,11 +120,14 @@ fn binding_to_a_dead_node_times_out() {
         .any(|o| matches!(o, NsoOutput::BindFailed { .. })));
 }
 
-/// The deprecated group-id methods still delegate to the same cores as
-/// the [`newtop::GroupHandle`] surface; this is the one place keeping
-/// them covered until they are removed.
+/// Call-side errors surface synchronously through the [`GroupHandle`]
+/// surface (the group-id-threading methods are gone): a handle is a
+/// plain value, so the group underneath it can be missing, pending or
+/// torn down, and every operation reports that as an error rather than
+/// silently dropping work.
+///
+/// [`GroupHandle`]: newtop::nso::GroupHandle
 #[test]
-#[allow(deprecated)]
 fn api_errors_are_reported_synchronously() {
     let mut sim = Sim::new(SimConfig::lan(73));
     sim.add_node(
@@ -132,18 +135,30 @@ fn api_errors_are_reported_synchronously() {
         Box::new(NsoNode::new(
             NodeId::from_index(0),
             Box::new(Probe::new(|nso, now, out| {
-                // Unknown binding.
-                let err = nso
-                    .invoke(
-                        &GroupId::new("nope"),
-                        "op",
-                        Bytes::new(),
-                        ReplyMode::All,
+                // A binding handle exists as soon as `bind` is issued,
+                // but the binding itself is not established until
+                // `BindingReady`: call-side operations in the gap fail.
+                let pending = nso
+                    .bind(
+                        GroupId::new("svc"),
+                        BindOptions::open(NodeId::from_index(9)),
                         now,
                         out,
                     )
+                    .unwrap();
+                let err = pending
+                    .invoke(nso, "op", Bytes::new(), ReplyMode::All, now, out)
                     .unwrap_err();
                 assert!(matches!(err, NewtopError::Client(_)));
+                let err = pending.retry(nso, 0, now, out).unwrap_err();
+                assert!(matches!(err, NewtopError::Client(_)));
+                let err = pending.unbind(nso, now, out).unwrap_err();
+                assert!(matches!(err, NewtopError::Unbound(_)));
+                // A client-binding handle refuses peer-group operations.
+                let err = pending
+                    .send(nso, Bytes::new(), DeliveryOrder::Total, now, out)
+                    .unwrap_err();
+                assert!(matches!(err, NewtopError::Unbound(_)));
                 // Unknown monitor attachment.
                 let err = nso
                     .g2g_invoke(
@@ -156,20 +171,22 @@ fn api_errors_are_reported_synchronously() {
                     )
                     .unwrap_err();
                 assert!(matches!(err, NewtopError::Unbound(_)));
-                // Unknown peer group.
-                let err = nso
-                    .peer_send(
-                        &GroupId::new("nope"),
-                        Bytes::new(),
-                        DeliveryOrder::Total,
+                // A peer handle outlives its membership: sending after
+                // leaving reports the GCS refusal.
+                let peers = nso
+                    .create_peer_group(
+                        GroupId::new("p"),
+                        vec![nso.node()],
+                        GroupConfig::peer(),
                         now,
                         out,
                     )
+                    .unwrap();
+                peers.leave(nso, now, out).unwrap();
+                let err = peers
+                    .send(nso, Bytes::new(), DeliveryOrder::Total, now, out)
                     .unwrap_err();
                 assert!(matches!(err, NewtopError::Gcs(_)));
-                // Unbind without a binding.
-                let err = nso.unbind(&GroupId::new("nope"), now, out).unwrap_err();
-                assert!(matches!(err, NewtopError::Unbound(_)));
                 // Group id collision for an explicit binding id.
                 nso.create_peer_group(
                     GroupId::new("taken"),

@@ -213,6 +213,35 @@ impl GroupConfig {
     pub fn suspicion_timeout(&self) -> Duration {
         self.time_silence * self.suspicion_multiple
     }
+
+    /// The smallest time-silence period at which this configuration's
+    /// failure detector is safe on a network whose worst one-way delay
+    /// (base latency + jitter + any expected transient spike) is
+    /// `worst_one_way`.
+    ///
+    /// A peer observes consecutive heartbeats up to
+    /// `time_silence + 2·worst_one_way` apart (one heartbeat maximally
+    /// delayed, the previous one not). Doubling that gap as slack for
+    /// queueing behind real traffic and requiring the suspicion timeout
+    /// to cover it — `m·ts ≥ 2·(ts + 2·D)` — solves to
+    /// `ts ≥ 4·D / (m − 2)`. See DESIGN.md §11 for the derivation and
+    /// the false-suspicion-storm regression that pins it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `suspicion_multiple ≤ 2`: such a detector cannot be
+    /// made safe by any time-silence period.
+    #[must_use]
+    pub fn recommended_time_silence(&self, worst_one_way: Duration) -> Duration {
+        assert!(
+            self.suspicion_multiple > 2,
+            "a suspicion multiple of {} leaves no safe time-silence period",
+            self.suspicion_multiple
+        );
+        let denom = u128::from(self.suspicion_multiple) - 2;
+        let nanos = worst_one_way.as_nanos().saturating_mul(4).div_ceil(denom);
+        Duration::from_nanos(nanos.min(u128::from(u64::MAX)) as u64).max(Duration::from_millis(1))
+    }
 }
 
 impl Default for GroupConfig {
@@ -272,5 +301,26 @@ mod tests {
             .with_time_silence(Duration::from_millis(10));
         assert_eq!(c.ordering, OrderProtocol::Symmetric);
         assert_eq!(c.suspicion_timeout(), Duration::from_millis(140));
+    }
+
+    #[test]
+    fn recommended_time_silence_satisfies_the_tuning_rule() {
+        let c = GroupConfig::default(); // suspicion_multiple = 14
+        for worst_ms in [1u64, 12, 47, 120, 500] {
+            let d = Duration::from_millis(worst_ms);
+            let ts = c.recommended_time_silence(d);
+            let tuned = GroupConfig::default().with_time_silence(ts);
+            // m·ts ≥ 2·(ts + 2·D): the timeout covers twice the
+            // worst observable heartbeat gap.
+            assert!(
+                tuned.suspicion_timeout() >= (ts + d * 2) * 2,
+                "rule violated at D={worst_ms}ms: ts={ts:?}"
+            );
+        }
+        // A sub-millisecond answer is floored at 1 ms.
+        assert_eq!(
+            c.recommended_time_silence(Duration::from_micros(10)),
+            Duration::from_millis(1)
+        );
     }
 }

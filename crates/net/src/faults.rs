@@ -109,6 +109,29 @@ pub enum FaultOp {
         /// CPU cost multiplier inside the window (> 1 slows nodes down).
         factor: f64,
     },
+    /// Scramble packet arrival order for a window: every non-loopback
+    /// packet gets extra one-way latency drawn uniformly from
+    /// `[0, window]`. Nothing is lost or duplicated — this isolates the
+    /// protocols' tolerance of reordering from their tolerance of loss.
+    Reorder {
+        /// Window start.
+        from: Duration,
+        /// Window end (ordering returns to latency-only).
+        until: Duration,
+        /// Upper bound of the per-packet uniform extra delay.
+        window: Duration,
+    },
+    /// Cap every link's bandwidth for a window: frames serialize at
+    /// `bytes_per_sec` FIFO per directed link, restoring the simulation's
+    /// configured bandwidth matrix at `until`.
+    Throttle {
+        /// Window start.
+        from: Duration,
+        /// Window end (the configured bandwidth matrix is restored).
+        until: Duration,
+        /// Link bandwidth inside the window, payload bytes per second.
+        bytes_per_sec: u64,
+    },
 }
 
 impl FaultOp {
@@ -121,7 +144,9 @@ impl FaultOp {
             FaultOp::DropBurst { until, .. }
             | FaultOp::DelaySpike { until, .. }
             | FaultOp::Duplication { until, .. }
-            | FaultOp::Saturate { until, .. } => *until,
+            | FaultOp::Saturate { until, .. }
+            | FaultOp::Reorder { until, .. }
+            | FaultOp::Throttle { until, .. } => *until,
         }
     }
 }
@@ -179,6 +204,27 @@ impl fmt::Display for FaultOp {
             } => write!(
                 f,
                 "saturate x{factor:.1} [{}ms..{}ms]",
+                from.as_millis(),
+                until.as_millis()
+            ),
+            FaultOp::Reorder {
+                from,
+                until,
+                window,
+            } => write!(
+                f,
+                "reorder {}ms [{}ms..{}ms]",
+                window.as_millis(),
+                from.as_millis(),
+                until.as_millis()
+            ),
+            FaultOp::Throttle {
+                from,
+                until,
+                bytes_per_sec,
+            } => write!(
+                f,
+                "throttle {bytes_per_sec}B/s [{}ms..{}ms]",
                 from.as_millis(),
                 until.as_millis()
             ),
@@ -288,6 +334,35 @@ impl FaultPlan {
             from,
             until,
             factor,
+        });
+        self
+    }
+
+    /// Adds a reordering window: every non-loopback packet inside
+    /// `[from, until)` gets extra one-way latency uniform in
+    /// `[0, window]`, scrambling arrival order without loss.
+    #[must_use]
+    pub fn reorder(mut self, from: Duration, until: Duration, window: Duration) -> Self {
+        assert!(until >= from, "window must end after it starts");
+        self.ops.push(FaultOp::Reorder {
+            from,
+            until,
+            window,
+        });
+        self
+    }
+
+    /// Adds a bandwidth throttle: every link serializes frames at
+    /// `bytes_per_sec` inside `[from, until)`, after which the
+    /// simulation's configured bandwidth matrix is restored.
+    #[must_use]
+    pub fn throttle(mut self, from: Duration, until: Duration, bytes_per_sec: u64) -> Self {
+        assert!(until >= from, "window must end after it starts");
+        assert!(bytes_per_sec > 0, "a zero-bandwidth link never delivers");
+        self.ops.push(FaultOp::Throttle {
+            from,
+            until,
+            bytes_per_sec,
         });
         self
     }
@@ -442,6 +517,22 @@ impl FaultPlan {
                     sim.schedule_set_service_factor(base + *from, None, *factor);
                     sim.schedule_set_service_factor(base + *until, None, 1.0);
                 }
+                FaultOp::Reorder {
+                    from,
+                    until,
+                    window,
+                } => {
+                    sim.schedule_set_reorder(base + *from, *window);
+                    sim.schedule_set_reorder(base + *until, Duration::ZERO);
+                }
+                FaultOp::Throttle {
+                    from,
+                    until,
+                    bytes_per_sec,
+                } => {
+                    sim.schedule_set_bandwidth(base + *from, Some(*bytes_per_sec));
+                    sim.schedule_set_bandwidth(base + *until, None);
+                }
             }
         }
     }
@@ -460,6 +551,8 @@ impl FaultPlan {
             FaultPlan::named("delay-spike").delay_spike(ms(100), ms(600), ms(15)),
             FaultPlan::named("dup-window").duplication(ms(80), ms(600), 0.3),
             FaultPlan::named("saturate").saturate(ms(100), ms(700), 3.0),
+            FaultPlan::named("reorder").reorder(ms(80), ms(600), ms(5)),
+            FaultPlan::named("bandwidth").throttle(ms(100), ms(700), 200_000),
             FaultPlan::named("saturate-loss")
                 .saturate(ms(100), ms(800), 4.0)
                 .drop_burst(ms(300), ms(600), 0.15),
@@ -647,6 +740,22 @@ mod tests {
             plan.saturate_windows(),
             vec![(Duration::from_millis(100), Duration::from_millis(700), 3.0)]
         );
+        let plan = FaultPlan::named("wire")
+            .reorder(
+                Duration::from_millis(80),
+                Duration::from_millis(600),
+                Duration::from_millis(5),
+            )
+            .throttle(
+                Duration::from_millis(100),
+                Duration::from_millis(700),
+                200_000,
+            );
+        assert_eq!(
+            plan.to_string(),
+            "plan \"wire\": reorder 5ms [80ms..600ms]; throttle 200000B/s [100ms..700ms]"
+        );
+        assert_eq!(plan.quiesce_at(), Duration::from_millis(700));
     }
 
     #[test]

@@ -87,6 +87,10 @@ pub struct LatencyMatrix {
     /// Fallback for site pairs with no explicit entry.
     default_remote: LatencySpec,
     pairs: HashMap<(Site, Site), LatencySpec>,
+    /// Largest possible one-way delay (base + jitter) over every spec
+    /// ever installed, maintained incrementally so no map iteration is
+    /// needed at query time.
+    worst_one_way: Duration,
 }
 
 impl LatencyMatrix {
@@ -100,10 +104,12 @@ impl LatencyMatrix {
     /// `default_remote` and co-located nodes use `local`.
     #[must_use]
     pub fn uniform(local: LatencySpec, default_remote: LatencySpec) -> Self {
+        let worst = (local.base + local.jitter).max(default_remote.base + default_remote.jitter);
         LatencyMatrix {
             local,
             default_remote,
             pairs: HashMap::new(),
+            worst_one_way: worst,
         }
     }
 
@@ -155,16 +161,90 @@ impl LatencyMatrix {
         m
     }
 
+    /// The sites of the synthetic five-region matrix ([`Self::global5`]),
+    /// in order: us-east, us-west, eu-west, ap-south, ap-northeast.
+    pub const GLOBAL5_SITES: [Site; 5] = [
+        Site::Custom(0),
+        Site::Custom(1),
+        Site::Custom(2),
+        Site::Custom(3),
+        Site::Custom(4),
+    ];
+
+    /// A synthetic five-region planetary matrix — us-east, us-west,
+    /// eu-west, ap-south, ap-northeast — with one-way base latencies of
+    /// 15–50 ms and ±25 % uniform jitter. This deliberately stretches the
+    /// paper's three-site Internet setup to the geographic spread a
+    /// millions-of-users deployment would face. Co-located nodes talk at
+    /// LAN latency.
+    #[must_use]
+    pub fn global5() -> Self {
+        let wan = |base_ms: u64| {
+            LatencySpec::new(
+                Duration::from_millis(base_ms),
+                Duration::from_micros(base_ms * 250),
+            )
+        };
+        let [use_, usw, euw, aps, apn] = Self::GLOBAL5_SITES;
+        let mut m = LatencyMatrix::uniform(Self::LAN_SPEC, wan(45));
+        m.set_pair(use_, usw, wan(15));
+        m.set_pair(use_, euw, wan(18));
+        m.set_pair(use_, aps, wan(45));
+        m.set_pair(use_, apn, wan(40));
+        m.set_pair(usw, euw, wan(30));
+        m.set_pair(usw, aps, wan(50));
+        m.set_pair(usw, apn, wan(25));
+        m.set_pair(euw, aps, wan(28));
+        m.set_pair(euw, apn, wan(45));
+        m.set_pair(aps, apn, wan(20));
+        m
+    }
+
+    /// The sites of the synthetic three-region continental matrix
+    /// ([`Self::continental3`]), in order: frankfurt, paris, warsaw.
+    pub const CONTINENTAL3_SITES: [Site; 3] =
+        [Site::Custom(10), Site::Custom(11), Site::Custom(12)];
+
+    /// A synthetic three-region continental matrix — frankfurt, paris,
+    /// warsaw — with one-way base latencies of 5–12 ms and ±25 % uniform
+    /// jitter: a step between the paper's Internet preset and
+    /// [`Self::global5`].
+    #[must_use]
+    pub fn continental3() -> Self {
+        let wan = |base_ms: u64| {
+            LatencySpec::new(
+                Duration::from_millis(base_ms),
+                Duration::from_micros(base_ms * 250),
+            )
+        };
+        let [fra, par, war] = Self::CONTINENTAL3_SITES;
+        let mut m = LatencyMatrix::uniform(Self::LAN_SPEC, wan(12));
+        m.set_pair(fra, par, wan(5));
+        m.set_pair(fra, war, wan(8));
+        m.set_pair(par, war, wan(12));
+        m
+    }
+
     /// Sets the latency for a pair of sites (both directions).
     pub fn set_pair(&mut self, a: Site, b: Site, spec: LatencySpec) -> &mut Self {
+        self.worst_one_way = self.worst_one_way.max(spec.base + spec.jitter);
         self.pairs.insert(key(a, b), spec);
         self
     }
 
     /// Sets the latency between co-located nodes.
     pub fn set_local(&mut self, spec: LatencySpec) -> &mut Self {
+        self.worst_one_way = self.worst_one_way.max(spec.base + spec.jitter);
         self.local = spec;
         self
+    }
+
+    /// The largest one-way delay (base + jitter) any pair of sites can
+    /// draw. Failure-detector tuning keys off this: a time-silence
+    /// interval must out-wait the worst link, not the average one.
+    #[must_use]
+    pub fn worst_one_way(&self) -> Duration {
+        self.worst_one_way
     }
 
     /// The latency spec for a pair of sites.
@@ -189,6 +269,65 @@ impl Default for LatencyMatrix {
     /// The LAN preset.
     fn default() -> Self {
         LatencyMatrix::lan()
+    }
+}
+
+/// Per-link bandwidth caps, in payload bytes per second.
+///
+/// `None` means an uncapped link — the default everywhere, which keeps the
+/// simulator's pre-bandwidth-model timings bit-identical. When a cap
+/// applies, the simulator charges each frame a serialization delay of
+/// `payload_len / bytes_per_sec` and queues frames FIFO per directed link
+/// (see `newtop_net::sim`). Lookups are symmetric like [`LatencyMatrix`].
+#[derive(Clone, Debug, Default)]
+pub struct BandwidthMatrix {
+    /// Cap between two nodes at the same site.
+    local: Option<u64>,
+    /// Fallback cap for site pairs with no explicit entry.
+    default_remote: Option<u64>,
+    pairs: HashMap<(Site, Site), u64>,
+}
+
+impl BandwidthMatrix {
+    /// No caps anywhere (the default).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        BandwidthMatrix::default()
+    }
+
+    /// Caps every remote (cross-site) link at `bytes_per_sec`; co-located
+    /// nodes stay uncapped.
+    #[must_use]
+    pub fn uniform_remote(bytes_per_sec: u64) -> Self {
+        assert!(bytes_per_sec > 0, "a zero-bandwidth link never delivers");
+        BandwidthMatrix {
+            local: None,
+            default_remote: Some(bytes_per_sec),
+            pairs: HashMap::new(),
+        }
+    }
+
+    /// Caps a specific pair of sites (both directions).
+    pub fn set_pair(&mut self, a: Site, b: Site, bytes_per_sec: u64) -> &mut Self {
+        assert!(bytes_per_sec > 0, "a zero-bandwidth link never delivers");
+        self.pairs.insert(key(a, b), bytes_per_sec);
+        self
+    }
+
+    /// Caps links between co-located nodes.
+    pub fn set_local(&mut self, bytes_per_sec: u64) -> &mut Self {
+        assert!(bytes_per_sec > 0, "a zero-bandwidth link never delivers");
+        self.local = Some(bytes_per_sec);
+        self
+    }
+
+    /// The cap for a pair of sites, or `None` if the link is uncapped.
+    #[must_use]
+    pub fn cap(&self, a: Site, b: Site) -> Option<u64> {
+        if a == b {
+            return self.local;
+        }
+        self.pairs.get(&key(a, b)).copied().or(self.default_remote)
     }
 }
 
@@ -259,5 +398,52 @@ mod tests {
         let m = LatencyMatrix::internet();
         let spec = m.spec(Site::Custom(1), Site::Custom(2));
         assert_eq!(spec, m.spec(Site::Custom(3), Site::Custom(4)));
+    }
+
+    #[test]
+    fn synthetic_region_presets_are_slower_than_the_paper_wan() {
+        let paper = LatencyMatrix::internet();
+        let global = LatencyMatrix::global5();
+        let continental = LatencyMatrix::continental3();
+        assert!(global.worst_one_way() > continental.worst_one_way());
+        assert!(continental.worst_one_way() > paper.worst_one_way());
+        // Every named region pair has an explicit entry (not the fallback
+        // default), and co-located nodes still talk at LAN latency.
+        let sites = LatencyMatrix::GLOBAL5_SITES;
+        for (i, &a) in sites.iter().enumerate() {
+            for &b in &sites[i + 1..] {
+                assert!(global.spec(a, b).base() >= Duration::from_millis(15));
+            }
+            assert_eq!(global.spec(a, a), global.spec(Site::Lan, Site::Lan));
+        }
+    }
+
+    #[test]
+    fn worst_one_way_tracks_installed_specs() {
+        let mut m = LatencyMatrix::lan();
+        let before = m.worst_one_way();
+        m.set_pair(
+            Site::Custom(7),
+            Site::Custom(8),
+            LatencySpec::new(Duration::from_millis(90), Duration::from_millis(10)),
+        );
+        assert_eq!(m.worst_one_way(), Duration::from_millis(100));
+        assert!(m.worst_one_way() > before);
+    }
+
+    #[test]
+    fn bandwidth_matrix_lookup_and_defaults() {
+        let unlimited = BandwidthMatrix::unlimited();
+        assert_eq!(unlimited.cap(Site::Newcastle, Site::Pisa), None);
+        assert_eq!(unlimited.cap(Site::Lan, Site::Lan), None);
+
+        let mut m = BandwidthMatrix::uniform_remote(250_000);
+        m.set_pair(Site::Newcastle, Site::Pisa, 125_000);
+        assert_eq!(m.cap(Site::Pisa, Site::Newcastle), Some(125_000));
+        assert_eq!(m.cap(Site::Newcastle, Site::London), Some(250_000));
+        // Co-located nodes stay uncapped until set_local.
+        assert_eq!(m.cap(Site::Pisa, Site::Pisa), None);
+        m.set_local(12_500_000);
+        assert_eq!(m.cap(Site::Pisa, Site::Pisa), Some(12_500_000));
     }
 }

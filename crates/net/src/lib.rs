@@ -9,9 +9,12 @@
 //!   per-site latency matrices, per-node serial CPU queues (so saturation
 //!   effects such as the sequencer bottleneck emerge naturally), seeded
 //!   jitter, message loss/duplication, partitions and crash injection.
-//! * [`latency`] — latency models, including presets calibrated to the
-//!   paper's two environments ([`latency::LatencyMatrix::lan`] and
-//!   [`latency::LatencyMatrix::internet`]).
+//! * [`latency`] — latency models: presets calibrated to the paper's two
+//!   environments ([`latency::LatencyMatrix::lan`] and
+//!   [`latency::LatencyMatrix::internet`]), synthetic multi-region
+//!   matrices ([`latency::LatencyMatrix::global5`],
+//!   [`latency::LatencyMatrix::continental3`]) and per-link bandwidth
+//!   caps ([`latency::BandwidthMatrix`]).
 //! * [`faults`] — declarative fault-injection plans ([`faults::FaultPlan`])
 //!   scheduling crashes, partition/heal pairs, drop bursts, delay spikes,
 //!   duplication windows and sequencer-targeted kills onto a running
@@ -78,7 +81,7 @@ pub mod trace;
 pub mod transport;
 
 pub use faults::{FaultOp, FaultPlan, FaultTarget};
-pub use latency::{LatencyMatrix, LatencySpec};
+pub use latency::{BandwidthMatrix, LatencyMatrix, LatencySpec};
 pub use metrics::{MetricRegistry, MetricsSnapshot, Observability};
 pub use sim::{NodeEvent, Outbox, Packet, Sim, SimConfig, SimNode, TimerId};
 pub use site::{NodeId, Site};

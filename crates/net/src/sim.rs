@@ -28,7 +28,7 @@ use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::latency::LatencyMatrix;
+use crate::latency::{BandwidthMatrix, LatencyMatrix};
 use crate::site::{NodeId, Site};
 use crate::time::SimTime;
 
@@ -251,6 +251,17 @@ pub struct SimConfig {
     pub drop_probability: f64,
     /// Probability that any packet is delivered twice.
     pub duplicate_probability: f64,
+    /// Packet reordering window: every non-loopback packet gets extra
+    /// one-way latency drawn uniformly from `[0, window]`, permuting
+    /// arrival order without losing or duplicating anything.
+    /// `Duration::ZERO` (the default) disables reordering and leaves the
+    /// RNG stream untouched, so existing seeds stay bit-identical.
+    pub reorder_window: Duration,
+    /// Per-link bandwidth caps. A capped frame occupies its directed
+    /// src→dst link for `payload_len / bytes_per_sec`, FIFO behind frames
+    /// already queued on that link, before its propagation latency starts.
+    /// The default is unlimited everywhere (no serialization delay).
+    pub bandwidth: BandwidthMatrix,
 }
 
 impl Default for SimConfig {
@@ -261,6 +272,8 @@ impl Default for SimConfig {
             default_service: ServiceProfile::default(),
             drop_probability: 0.0,
             duplicate_probability: 0.0,
+            reorder_window: Duration::ZERO,
+            bandwidth: BandwidthMatrix::unlimited(),
         }
     }
 }
@@ -310,6 +323,11 @@ enum Control {
     /// Add a fixed delay to every non-loopback packet (delay spikes);
     /// `Duration::ZERO` ends the spike.
     SetExtraDelay(Duration),
+    /// Replace the packet reordering window (`Duration::ZERO` disables).
+    SetReorder(Duration),
+    /// Override every link's bandwidth cap (`None` restores the
+    /// configured [`BandwidthMatrix`]).
+    SetBandwidth(Option<u64>),
     /// Scale a node's CPU service costs (`None` targets every node).
     /// A factor above 1 models overload or a degraded machine;
     /// `1.0` restores nominal speed.
@@ -376,6 +394,11 @@ pub struct Sim {
     next_seq: u64,
     partition: Option<Vec<Vec<NodeId>>>,
     extra_delay: Duration,
+    /// Network-wide bandwidth override (see `Control::SetBandwidth`).
+    bandwidth_override: Option<u64>,
+    /// When each directed link's last capped frame finishes serializing
+    /// (accessed per-link via `entry`, never iterated).
+    link_busy: std::collections::HashMap<(NodeId, NodeId), SimTime>,
     stats: NetStats,
     events_processed: u64,
 }
@@ -396,6 +419,8 @@ impl Sim {
             next_seq: 0,
             partition: None,
             extra_delay: Duration::ZERO,
+            bandwidth_override: None,
+            link_busy: std::collections::HashMap::new(),
             stats: NetStats::default(),
             events_processed: 0,
         }
@@ -526,6 +551,27 @@ impl Sim {
         self.push(at, None, QueuedKind::Control(Control::SetExtraDelay(extra)));
     }
 
+    /// Schedules a change of the packet reordering window: from `at` on,
+    /// every non-loopback packet gets extra one-way latency drawn
+    /// uniformly from `[0, window]`, which permutes arrival order without
+    /// losing or duplicating anything. Schedule a second call with
+    /// `Duration::ZERO` to end the scramble.
+    pub fn schedule_set_reorder(&mut self, at: SimTime, window: Duration) {
+        self.push(at, None, QueuedKind::Control(Control::SetReorder(window)));
+    }
+
+    /// Schedules a network-wide bandwidth override: from `at` on,
+    /// `Some(bytes_per_sec)` caps every non-loopback link (frames
+    /// serialize FIFO per directed link before their latency starts);
+    /// `None` restores the configured [`BandwidthMatrix`].
+    pub fn schedule_set_bandwidth(&mut self, at: SimTime, bytes_per_sec: Option<u64>) {
+        self.push(
+            at,
+            None,
+            QueuedKind::Control(Control::SetBandwidth(bytes_per_sec)),
+        );
+    }
+
     /// Schedules a CPU service-cost scaling: from `at` on, every cost in
     /// the targeted node's [`ServiceProfile`] is multiplied by `factor`
     /// (`None` targets every node). Pair a factor above 1 with a later
@@ -611,6 +657,8 @@ impl Sim {
             Control::SetDrop(p) => self.cfg.drop_probability = p,
             Control::SetDuplicate(p) => self.cfg.duplicate_probability = p,
             Control::SetExtraDelay(d) => self.extra_delay = d,
+            Control::SetReorder(w) => self.cfg.reorder_window = w,
+            Control::SetBandwidth(bps) => self.bandwidth_override = bps,
             Control::SetServiceFactor(target, factor) => {
                 let factor = if factor.is_finite() && factor > 0.0 {
                     factor
@@ -759,8 +807,26 @@ impl Sim {
             return;
         }
         // Loopback delivery is in-process (the paper's m1/m6 local
-        // messages): it cannot be lost or duplicated by the network.
+        // messages): it cannot be lost, duplicated, reordered or
+        // serialized by the network.
         let loopback = src == dst;
+        // Bandwidth: a capped frame occupies the directed src→dst link
+        // for its serialization time, FIFO behind frames already queued
+        // there, before its propagation latency starts. Duplicates share
+        // one serialization (the copy is made inside the network).
+        let mut depart = depart;
+        if !loopback {
+            let cap = self
+                .bandwidth_override
+                .or_else(|| self.cfg.bandwidth.cap(self.site_of(src), self.site_of(dst)));
+            if let Some(bytes_per_sec) = cap {
+                let ser = serialization_delay(payload.len(), bytes_per_sec);
+                let link = self.link_busy.entry((src, dst)).or_insert(SimTime::ZERO);
+                let done = (*link).max(depart) + ser;
+                *link = done;
+                depart = done;
+            }
+        }
         if !loopback
             && self.cfg.drop_probability > 0.0
             && self.rng.gen_bool(self.cfg.drop_probability)
@@ -777,11 +843,16 @@ impl Sim {
             1
         };
         for _ in 0..copies {
-            let latency = if src == dst {
+            let latency = if loopback {
                 Duration::from_micros(1)
             } else {
                 let (a, b) = (self.site_of(src), self.site_of(dst));
-                self.cfg.latency.sample(a, b, &mut self.rng) + self.extra_delay
+                let mut one_way = self.cfg.latency.sample(a, b, &mut self.rng) + self.extra_delay;
+                if !self.cfg.reorder_window.is_zero() {
+                    let bound = self.cfg.reorder_window.as_nanos() as u64;
+                    one_way += Duration::from_nanos(self.rng.gen_range(0..=bound));
+                }
+                one_way
             };
             let at = depart + latency;
             let pkt = Packet {
@@ -836,6 +907,15 @@ impl SimNode for PlaceholderNode {
 
 fn mul_duration(d: Duration, factor: f64) -> Duration {
     Duration::from_nanos((d.as_nanos() as f64 * factor) as u64)
+}
+
+/// Time a frame of `bytes` payload occupies a `bytes_per_sec` link.
+fn serialization_delay(bytes: usize, bytes_per_sec: u64) -> Duration {
+    if bytes_per_sec == 0 {
+        return Duration::ZERO;
+    }
+    let nanos = (bytes as u128 * 1_000_000_000).div_ceil(u128::from(bytes_per_sec));
+    Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX))
 }
 
 #[cfg(test)]
@@ -1221,5 +1301,219 @@ mod tests {
         let wan = elapsed(Site::Newcastle, Site::Pisa);
         assert!(wan > lan, "wan {wan} should exceed lan {lan}");
         assert!(wan >= SimTime::from_millis(13), "wan rtt was {wan}");
+    }
+
+    /// Emits one-byte sequence numbers on a fixed tick; the receiver
+    /// records the order they arrive in.
+    struct SeqSender {
+        peer: NodeId,
+        next: u8,
+        count: u8,
+        gap: Duration,
+    }
+    impl SimNode for SeqSender {
+        fn on_event(&mut self, _now: SimTime, ev: NodeEvent, out: &mut Outbox) {
+            match ev {
+                NodeEvent::Start | NodeEvent::Timer(..) => {
+                    if self.next < self.count {
+                        out.send(self.peer, Bytes::copy_from_slice(&[self.next]));
+                        self.next += 1;
+                        out.set_timer(self.gap, 0);
+                    }
+                }
+                NodeEvent::Packet(_) => {}
+            }
+        }
+    }
+    struct SeqRecorder {
+        order: Vec<u8>,
+    }
+    impl SimNode for SeqRecorder {
+        fn on_event(&mut self, _now: SimTime, ev: NodeEvent, _out: &mut Outbox) {
+            if let NodeEvent::Packet(p) = ev {
+                self.order.push(p.payload[0]);
+            }
+        }
+    }
+
+    fn seq_run(cfg: SimConfig, count: u8, gap: Duration) -> Vec<u8> {
+        let mut sim = Sim::new(cfg);
+        let rec = sim.add_node_with_service(
+            Site::Lan,
+            ServiceProfile::free(),
+            Box::new(SeqRecorder { order: Vec::new() }),
+        );
+        sim.add_node_with_service(
+            Site::Lan,
+            ServiceProfile::free(),
+            Box::new(SeqSender {
+                peer: rec,
+                next: 0,
+                count,
+                gap,
+            }),
+        );
+        sim.run_until_idle();
+        sim.node_ref::<SeqRecorder>(rec).unwrap().order.clone()
+    }
+
+    #[test]
+    fn reorder_window_permutes_without_loss_or_duplication() {
+        let base = SimConfig {
+            latency: LatencyMatrix::uniform(
+                LatencySpec::constant(Duration::from_micros(100)),
+                LatencySpec::constant(Duration::from_micros(100)),
+            ),
+            ..SimConfig::lan(11)
+        };
+        let plain = seq_run(base.clone(), 40, Duration::from_millis(1));
+        assert_eq!(plain, (0..40).collect::<Vec<u8>>());
+
+        let scrambled = seq_run(
+            SimConfig {
+                reorder_window: Duration::from_millis(20),
+                ..base
+            },
+            40,
+            Duration::from_millis(1),
+        );
+        // Same multiset of packets — nothing lost, nothing duplicated —
+        // but a 20 ms window over 1 ms send gaps must permute the order.
+        let mut sorted = scrambled.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..40).collect::<Vec<u8>>());
+        assert_ne!(scrambled, sorted, "window should scramble arrival order");
+    }
+
+    #[test]
+    fn scheduled_reorder_window_opens_and_closes() {
+        // Scramble only [5ms, 25ms): ticks outside the window stay in
+        // order, so the tail of the sequence must arrive sorted.
+        let cfg = SimConfig {
+            latency: LatencyMatrix::uniform(
+                LatencySpec::constant(Duration::from_micros(100)),
+                LatencySpec::constant(Duration::from_micros(100)),
+            ),
+            ..SimConfig::lan(3)
+        };
+        let mut sim = Sim::new(cfg);
+        let rec = sim.add_node_with_service(
+            Site::Lan,
+            ServiceProfile::free(),
+            Box::new(SeqRecorder { order: Vec::new() }),
+        );
+        sim.add_node_with_service(
+            Site::Lan,
+            ServiceProfile::free(),
+            Box::new(SeqSender {
+                peer: rec,
+                next: 0,
+                count: 60,
+                gap: Duration::from_millis(1),
+            }),
+        );
+        sim.schedule_set_reorder(SimTime::from_millis(5), Duration::from_millis(10));
+        sim.schedule_set_reorder(SimTime::from_millis(25), Duration::ZERO);
+        sim.run_until_idle();
+        let order = sim.node_ref::<SeqRecorder>(rec).unwrap().order.clone();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..60).collect::<Vec<u8>>());
+        // Ticks from 40 ms on left after the window closed and after every
+        // scrambled packet's worst-case arrival; they arrive in order.
+        let tail: Vec<u8> = order.iter().copied().filter(|&b| b >= 40).collect();
+        assert_eq!(tail, (40..60).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn bandwidth_cap_serialises_frames_fifo_per_link() {
+        // 8 KiB-sized frames sent back-to-back over a 1 MiB/s link take
+        // ~8 ms each to serialize: the last of 4 arrives after ~32 ms.
+        // Uncapped, all four arrive within the constant latency.
+        let last_arrival = |bandwidth: BandwidthMatrix| {
+            let cfg = SimConfig {
+                latency: LatencyMatrix::uniform(
+                    LatencySpec::constant(Duration::from_micros(100)),
+                    LatencySpec::constant(Duration::from_micros(100)),
+                ),
+                default_service: ServiceProfile::free(),
+                bandwidth,
+                ..SimConfig::default()
+            };
+            let mut sim = Sim::new(cfg);
+            let rec = sim.add_node(Site::Lan, Box::new(SeqRecorder { order: Vec::new() }));
+            struct Burst {
+                peer: NodeId,
+            }
+            impl SimNode for Burst {
+                fn on_event(&mut self, _now: SimTime, ev: NodeEvent, out: &mut Outbox) {
+                    if let NodeEvent::Start = ev {
+                        for i in 0..4u8 {
+                            out.send(self.peer, Bytes::from(vec![i; 8 * 1024]));
+                        }
+                    }
+                }
+            }
+            sim.add_node(Site::Lan, Box::new(Burst { peer: rec }));
+            sim.run_until_idle();
+            assert_eq!(sim.node_ref::<SeqRecorder>(rec).unwrap().order.len(), 4);
+            sim.now()
+        };
+        let mut capped = BandwidthMatrix::unlimited();
+        capped.set_local(1024 * 1024);
+        let slow = last_arrival(capped);
+        let fast = last_arrival(BandwidthMatrix::unlimited());
+        assert!(fast < SimTime::from_millis(1), "uncapped run took {fast}");
+        assert!(
+            slow >= SimTime::from_millis(31),
+            "capped run finished at {slow}"
+        );
+    }
+
+    #[test]
+    fn scheduled_bandwidth_override_applies_and_clears() {
+        // Throttle the whole network to 64 KiB/s for [0, 40ms): a 8 KiB
+        // frame takes 125 ms to serialize — but the link frees again
+        // after the override clears, so a frame sent at 200 ms flows at
+        // full speed.
+        let cfg = SimConfig {
+            latency: LatencyMatrix::uniform(
+                LatencySpec::constant(Duration::from_micros(100)),
+                LatencySpec::constant(Duration::from_micros(100)),
+            ),
+            default_service: ServiceProfile::free(),
+            ..SimConfig::default()
+        };
+        let mut sim = Sim::new(cfg);
+        let rec = sim.add_node(Site::Lan, Box::new(SeqRecorder { order: Vec::new() }));
+        struct TwoFrames {
+            peer: NodeId,
+        }
+        impl SimNode for TwoFrames {
+            fn on_event(&mut self, _now: SimTime, ev: NodeEvent, out: &mut Outbox) {
+                match ev {
+                    NodeEvent::Start => {
+                        out.send(self.peer, Bytes::from(vec![0u8; 8 * 1024]));
+                        out.set_timer(Duration::from_millis(200), 0);
+                    }
+                    NodeEvent::Timer(..) => {
+                        out.send(self.peer, Bytes::from(vec![1u8; 8 * 1024]));
+                    }
+                    NodeEvent::Packet(_) => {}
+                }
+            }
+        }
+        sim.add_node(Site::Lan, Box::new(TwoFrames { peer: rec }));
+        sim.schedule_set_bandwidth(SimTime::ZERO, Some(64 * 1024));
+        sim.schedule_set_bandwidth(SimTime::from_millis(40), None);
+        sim.run_until_idle();
+        // Frame 0 serialized at 64 KiB/s: arrives ~125 ms. Frame 1 left
+        // after the restore: arrives ~200.1 ms, well before 125+125.
+        assert!(
+            sim.now() < SimTime::from_millis(210),
+            "second frame should be uncapped, run ended at {}",
+            sim.now()
+        );
+        assert_eq!(sim.node_ref::<SeqRecorder>(rec).unwrap().order, vec![0, 1]);
     }
 }

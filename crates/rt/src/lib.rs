@@ -257,29 +257,6 @@ impl NodeRuntime {
             join: Some(join),
         }
     }
-
-    /// Spawns a node with explicit queue bounds on a single shard with
-    /// batching off — the pre-sharding construction surface.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use NodeRuntime::spawn(transport, incoming, RuntimeOptions) instead"
-    )]
-    pub fn spawn_with_flow<T: WireTransport>(
-        node: NodeId,
-        transport: T,
-        incoming: Receiver<Packet>,
-        flow: &FlowConfig,
-    ) -> NodeHandle {
-        debug_assert_eq!(node, transport.local(), "node id must match the transport");
-        NodeRuntime::spawn(
-            transport,
-            incoming,
-            RuntimeOptions::new()
-                .with_shards(1)
-                .with_batching(false)
-                .with_flow(*flow),
-        )
-    }
 }
 
 /// What the ingress path hands the event loop: either a raw packet (the
@@ -530,19 +507,6 @@ mod tests {
         let nodes = spawn_cluster(1, &RuntimeOptions::new());
         let id = nodes[0].with_nso(|nso, _, _| nso.node());
         assert_eq!(id, NodeId::from_index(0));
-    }
-
-    /// The pre-sharding construction surface still works while callers
-    /// migrate to [`NodeRuntime::spawn`] with [`RuntimeOptions`].
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_spawn_with_flow_still_hosts_a_node() {
-        let net = ChannelNetwork::new();
-        let id = NodeId::from_index(0);
-        let (transport, rx) = net.endpoint(id);
-        let node = NodeRuntime::spawn_with_flow(id, transport, rx, &FlowConfig::default());
-        assert_eq!(node.with_nso(|nso, _, _| nso.node()), id);
-        node.shutdown();
     }
 
     #[test]

@@ -21,6 +21,8 @@
 pub mod apps;
 pub mod figures;
 pub mod plain;
+pub mod scale;
 pub mod scenario;
 
+pub use scale::{run_scale, RegionMatrix, ScaleResult, ScaleScenario};
 pub use scenario::{PeerResult, Placement, RequestReplyResult};

@@ -228,7 +228,7 @@ impl ProtocolCounts {
 
 /// Sums the listed nodes' metric snapshots into one count set. Nodes that
 /// crashed mid-run still contribute the counts they accumulated.
-fn harvest_counts(sim: &Sim, nodes: &[NodeId]) -> ProtocolCounts {
+pub(crate) fn harvest_counts(sim: &Sim, nodes: &[NodeId]) -> ProtocolCounts {
     let mut c = ProtocolCounts::default();
     for &id in nodes {
         let Some(node) = sim.node_ref::<NsoNode>(id) else {

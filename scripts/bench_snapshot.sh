@@ -11,6 +11,9 @@
 # * BENCH_PR6.json — the sharded-engine PR's numbers: the same report
 #   at shards=4 with send-path batching, whose multi_group_sim section
 #   is the headline (aggregate throughput across independent groups).
+# * BENCH_PR8.json — the scale-model PR's numbers: the geo-distributed
+#   capacity sweep (max sustainable modeled clients per configuration
+#   cell at the p99 bound), from the scale binary.
 #
 # Offline-friendly; NEWTOP_BENCH_SEED overrides the simulation seed.
 set -euo pipefail
@@ -40,3 +43,11 @@ cargo run --release --offline -p newtop-bench --bin loadgen -- --json --shards 4
 
 echo "==> wrote $OUT6"
 cat "$OUT6"
+
+OUT8="BENCH_PR8.json"
+
+echo "==> cargo run --release -p newtop-bench --bin scale -- --json"
+cargo run --release --offline -p newtop-bench --bin scale -- --json > "$OUT8"
+
+echo "==> wrote $OUT8"
+cat "$OUT8"

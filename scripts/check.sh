@@ -59,6 +59,10 @@ echo "==> loadgen smoke (flow control engages, queues stay bounded, shards=2 bat
 cargo build --release --offline -p newtop-bench --bin loadgen
 ./target/release/loadgen --smoke --shards 2 > /dev/null
 
+echo "==> scale-model smoke (capacity sweep sustains its floor, replays byte-identically)"
+cargo build --release --offline -p newtop-bench --bin scale
+./target/release/scale --smoke > /dev/null
+
 echo "==> no build artifacts under version control"
 if [ -n "$(git ls-files target/)" ]; then
     echo "ERROR: target/ files are tracked by git; run 'git rm -r --cached target/'" >&2
