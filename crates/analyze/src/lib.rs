@@ -3,7 +3,7 @@
 //!
 //! PRs 3–4 caught determinism and boundedness bugs *dynamically*, via
 //! seeded campaigns; this crate enforces the underlying properties
-//! *statically*, as a `check.sh` gate. Four rule families (see
+//! *statically*, as a `check.sh` gate. Five rule families (see
 //! [`rules`]):
 //!
 //! 1. **determinism** — no wall-clock, OS randomness, or
@@ -15,6 +15,9 @@
 //! 3. **bounded** — no unbounded channels outside `newtop-flow`.
 //! 4. **lock-hygiene** — no `Mutex`/`RwLock` guard held across a
 //!    transport send or queue hand-off.
+//! 5. **durability** — no buffered log write acknowledged before its
+//!    flush point: a `newtop-dir` event handler that stages a store
+//!    append must reach a `sync` before it returns.
 //!
 //! The analysis is a hand-rolled token scan ([`lexer`] → [`items`] →
 //! [`rules`]): the vendored offline workspace has no `syn`, and the

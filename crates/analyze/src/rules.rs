@@ -15,6 +15,7 @@ pub const RULE_DETERMINISM: &str = "determinism";
 pub const RULE_PANIC_FREE: &str = "panic-free";
 pub const RULE_BOUNDED: &str = "bounded";
 pub const RULE_LOCK_HYGIENE: &str = "lock-hygiene";
+pub const RULE_DURABILITY: &str = "durability";
 
 /// One rule violation.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -93,6 +94,7 @@ pub fn run_all(files: &[ParsedFile]) -> Vec<Finding> {
     bounded(files, &mut out);
     lock_hygiene(files, &mut out);
     cross_shard_channels(files, &mut out);
+    durability(files, &mut out);
     out.sort();
     out.dedup();
     out
@@ -532,6 +534,108 @@ fn channel_ctor_call(toks: &[Token], i: usize) -> bool {
         && toks.get(i + 3).is_some_and(|t| t.is_punct('<'))
 }
 
+// ---------------------------------------------------------------- rule 5
+
+/// The crate whose event handlers stage durable log writes (rule 5).
+pub const DURABLE_CRATE: &str = "dir";
+
+/// Event-handler entry points that acknowledge work by returning
+/// (rule 5): the simulator / NSO callback surface. `on_restart` is
+/// deliberately absent — a restart acknowledges nothing; it only
+/// discards staged bytes.
+pub const DURABLE_HANDLERS: &[&str] =
+    &["on_event", "on_packet", "on_timer", "on_start", "on_output"];
+
+/// Durability (PR 9): no buffered log write may be acknowledged before
+/// its flush point. In the durable-log crate, an event handler whose
+/// call closure stages a store append (an `.append(` method call) must
+/// also reach a flush (a `.sync(` method call) before it returns —
+/// otherwise the handler acknowledges a write that is still sitting in
+/// the OS buffer, and a crash loses it. Reachability is the same
+/// name-based over-approximation as rule 2. `DurableStore`'s own
+/// internals frame onto plain buffers (`append_frame`; `Vec::append`
+/// inside `sync`) and only enter a closure through the very `.sync(`
+/// call that satisfies the rule, so they never trip it.
+fn durability(files: &[ParsedFile], out: &mut Vec<Finding>) {
+    // Name → function occurrences within the durable crate.
+    let mut by_name: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
+    let mut handlers: Vec<(usize, usize)> = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        if crate_of(&file.path) != Some(DURABLE_CRATE) {
+            continue;
+        }
+        for (ii, item) in file.fns.iter().enumerate() {
+            if item.is_test {
+                continue;
+            }
+            by_name
+                .entry(item.name.as_str())
+                .or_default()
+                .push((fi, ii));
+            if DURABLE_HANDLERS.contains(&item.name.as_str()) {
+                handlers.push((fi, ii));
+            }
+        }
+    }
+    for &handler in &handlers {
+        let mut reachable: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut queue = vec![handler];
+        reachable.insert(handler);
+        while let Some((fi, ii)) = queue.pop() {
+            let file = &files[fi];
+            for callee in callee_names(body(file, &file.fns[ii])) {
+                if let Some(targets) = by_name.get(callee.as_str()) {
+                    for &t in targets {
+                        if reachable.insert(t) {
+                            queue.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        // One pass over the closure: where the appends are staged, and
+        // whether any flush is reachable at all.
+        let mut appends: Vec<(usize, usize, usize)> = Vec::new();
+        let mut flushed = false;
+        for &(fi, ii) in &reachable {
+            let file = &files[fi];
+            let toks = body(file, &file.fns[ii]);
+            for (i, t) in toks.iter().enumerate() {
+                let method_call = t.kind == TokKind::Ident
+                    && i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+                if !method_call {
+                    continue;
+                }
+                match t.text.as_str() {
+                    "append" => appends.push((fi, ii, i)),
+                    "sync" => flushed = true,
+                    _ => {}
+                }
+            }
+        }
+        if flushed || appends.is_empty() {
+            continue;
+        }
+        let hname = files[handler.0].fns[handler.1].name.clone();
+        for (fi, ii, i) in appends {
+            let file = &files[fi];
+            let item = &file.fns[ii];
+            let tok = &body(file, item)[i];
+            out.push(finding(
+                RULE_DURABILITY,
+                file,
+                item,
+                tok,
+                &format!(
+                    "durable append with no `sync` reachable before `{hname}` returns; a crash after the handler acknowledges loses the staged write"
+                ),
+            ));
+        }
+    }
+}
+
 fn finding(
     rule: &'static str,
     file: &ParsedFile,
@@ -697,6 +801,50 @@ mod tests {
         assert!(check(
             "crates/net/src/channel.rs",
             "fn mk(&self) { let (tx, rx) = bounded(self.inbox_capacity); }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn durability_flags_append_without_reachable_sync() {
+        let f = check(
+            "crates/dir/src/harness.rs",
+            "impl DurableGcsNode { fn on_event(&mut self, ev: NodeEvent) { self.stage_one(ev); } \
+             fn stage_one(&mut self, ev: NodeEvent) { self.store.lock().unwrap().append(self.id, &rec); } }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RULE_DURABILITY);
+        // The finding anchors at the staging site (the allowlist key),
+        // with the acknowledging handler named in the message.
+        assert_eq!(f[0].func, "stage_one");
+        assert!(f[0].message.contains("on_event"), "{f:?}");
+    }
+
+    #[test]
+    fn durability_clean_when_sync_reachable_through_commit_point() {
+        assert!(check(
+            "crates/dir/src/harness.rs",
+            "impl DurableGcsNode { fn on_event(&mut self, ev: NodeEvent) { self.stage_one(ev); self.commit(); } \
+             fn stage_one(&mut self, ev: NodeEvent) { self.store.lock().unwrap().append(self.id, &rec); } \
+             fn commit(&mut self) { self.store.lock().unwrap().sync(self.id); } }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn durability_scoped_to_durable_crate_and_handlers() {
+        // The same unsynced shape outside the durable crate is not this
+        // rule's business.
+        let f = check(
+            "crates/workloads/src/apps.rs",
+            "impl ServerApp { fn on_timer(&mut self) { self.store.lock().unwrap().append(self.id, &rec); } }",
+        );
+        assert!(f.iter().all(|x| x.rule != RULE_DURABILITY), "{f:?}");
+        // A helper nobody's handler reaches is not an acknowledgement
+        // point — the store's own internals parse clean.
+        assert!(check(
+            "crates/dir/src/store.rs",
+            "impl DurableStore { fn append(&mut self, node: NodeId, record: &LogRecord) { append_frame(&mut slot.staged, record); } }",
         )
         .is_empty());
     }

@@ -128,6 +128,22 @@ const CASES: &[Case] = &[
         path: "crates/rt/src/selftest.rs",
         src: "fn spawn_ingress(n: usize) { let shards = n; let (tx, rx) = bounded::<Frame>(64); std::thread::Builder::new().spawn(move || {}); }",
     },
+    // rule 5 — durability (append acknowledged without reachable sync)
+    Case {
+        name: "durability/append-without-sync",
+        expect: Some(rules::RULE_DURABILITY),
+        path: "crates/dir/src/selftest.rs",
+        src: "impl DurableGcsNode { fn on_event(&mut self, ev: NodeEvent) { self.stage(ev); } \
+              fn stage(&mut self, ev: NodeEvent) { self.store.lock().unwrap().append(self.id, &rec); } }",
+    },
+    Case {
+        name: "durability/good-synced-commit-point",
+        expect: None,
+        path: "crates/dir/src/selftest.rs",
+        src: "impl DurableGcsNode { fn on_event(&mut self, ev: NodeEvent) { self.stage(ev); self.commit(); } \
+              fn stage(&mut self, ev: NodeEvent) { self.store.lock().unwrap().append(self.id, &rec); } \
+              fn commit(&mut self) { self.store.lock().unwrap().sync(self.id); } }",
+    },
 ];
 
 /// Runs the injected-violation suite. Returns a human-readable report;

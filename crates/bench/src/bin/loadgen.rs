@@ -140,8 +140,12 @@ fn closed_loop_sim(args: &Args) -> Vec<ClosedSimPoint> {
     args.clients
         .iter()
         .map(|&clients| {
+            // Directory-driven binding (PR 9): clients resolve the
+            // service by name through the replicated directory and form
+            // a closed binding to the resolved member set, so every
+            // loadgen run exercises the resolve path end to end.
             let mut scenario = RequestReplyScenario {
-                binding: BindingPolicy::Closed,
+                binding: BindingPolicy::Directory,
                 ..RequestReplyScenario::paper_default(Placement::AllLan, clients, args.seed)
             };
             if args.smoke {

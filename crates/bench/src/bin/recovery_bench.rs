@@ -1,0 +1,152 @@
+//! One-shot performance snapshot for the directory + durable-recovery
+//! PR.
+//!
+//! Prints a JSON document with the numbers the PR's acceptance criteria
+//! track:
+//!
+//! * cold-restart rejoin latency — virtual time from the recovery
+//!   replay (snapshot + log) to the rejoin view installing at the
+//!   victim, per group and ordering, from the campaign's
+//!   kill-and-recover scenario; the replay/delta breakdown rides along
+//!   (records replayed from durable state, delta bytes vs the full
+//!   history a naive transfer would ship);
+//! * directory resolve throughput — `DirRequest::Resolve` round trips
+//!   per second through a populated member table, decode + lookup +
+//!   encode included (the per-member serving cost of name-based
+//!   binding).
+//!
+//! `scripts/bench_snapshot.sh` redirects this into `BENCH_PR9.json`.
+//! `NEWTOP_BENCH_SEED` varies the simulation seed (default 2000).
+
+use std::time::Instant;
+
+use newtop::directory::{DirReply, DirRequest, GroupRecord};
+use newtop_bench::bench_seed;
+use newtop_check::recovery::RecoveryScenario;
+use newtop_dir::directory::DirectoryState;
+use newtop_gcs::group::{GroupConfig, OrderProtocol};
+use newtop_gcs::view::ViewId;
+use newtop_net::site::NodeId;
+use newtop_orb::cdr::{CdrDecode, CdrEncode};
+
+const DIR_RECORDS: usize = 64;
+const RESOLVE_ITERS: u64 = 200_000;
+
+/// One ordering's cold-restart evidence, flattened for JSON.
+struct ColdRestart {
+    recovered_at_ms: f64,
+    /// `(group, rejoin latency ms, replayed recs, delta bytes, full bytes)`.
+    groups: Vec<(String, f64, usize, u64, u64)>,
+    replayed_log_records: u64,
+    from_snapshot: bool,
+}
+
+fn measure_cold_restart(seed: u64, ordering: OrderProtocol) -> ColdRestart {
+    let run = RecoveryScenario::new(seed, ordering).run();
+    let violations = run.recovery_violations();
+    assert!(
+        violations.is_empty(),
+        "recovery obligations failed under {ordering:?}: {violations:?}"
+    );
+    let recovered_at = run.recovered_at.expect("victim recovered");
+    let groups = run
+        .groups
+        .iter()
+        .map(|g| {
+            let rejoined = g.rejoined_at.expect("victim rejoined");
+            let full_bytes: u64 = g.survivor_full.iter().map(|r| r.payload.len() as u64).sum();
+            (
+                g.group.to_string(),
+                rejoined.saturating_since(recovered_at).as_secs_f64() * 1e3,
+                g.replayed.len(),
+                g.delta_bytes,
+                full_bytes,
+            )
+        })
+        .collect();
+    ColdRestart {
+        recovered_at_ms: recovered_at.as_millis_f64(),
+        groups,
+        replayed_log_records: run.replayed_log_records,
+        from_snapshot: run.recovered_from_snapshot,
+    }
+}
+
+/// Resolve round trips per second through one member's table: decode
+/// the request, look the name up, encode the reply — the servant-side
+/// cost of a cache-miss `bind`.
+fn measure_resolve_throughput() -> f64 {
+    let mut state = DirectoryState::default();
+    for i in 0..DIR_RECORDS {
+        state.apply(GroupRecord {
+            name: format!("svc-{i}"),
+            config: GroupConfig::request_reply(),
+            members: (0..3u32).map(NodeId::from_index).collect(),
+            view: ViewId(1),
+        });
+    }
+    let requests: Vec<Vec<u8>> = (0..DIR_RECORDS)
+        .map(|i| {
+            DirRequest::Resolve {
+                name: format!("svc-{i}"),
+            }
+            .to_cdr()
+            .to_vec()
+        })
+        .collect();
+    let mut found = 0u64;
+    let start = Instant::now();
+    for n in 0..RESOLVE_ITERS {
+        let body = &requests[(n as usize) % DIR_RECORDS];
+        let reply = state.handle_raw(body).expect("well-formed request");
+        if matches!(DirReply::from_cdr(&reply), Ok(DirReply::Found { .. })) {
+            found += 1;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(found, RESOLVE_ITERS, "every resolve must hit");
+    assert_eq!(state.resolves, RESOLVE_ITERS);
+    RESOLVE_ITERS as f64 / secs
+}
+
+fn print_cold_restart(label: &str, c: &ColdRestart, trailing_comma: bool) {
+    println!("    \"{label}\": {{");
+    println!("      \"recovered_at_ms\": {:.3},", c.recovered_at_ms);
+    println!(
+        "      \"replayed_log_records\": {},",
+        c.replayed_log_records
+    );
+    println!("      \"from_snapshot\": {},", c.from_snapshot);
+    println!("      \"groups\": {{");
+    for (i, (group, latency, replayed, delta, full)) in c.groups.iter().enumerate() {
+        let comma = if i + 1 < c.groups.len() { "," } else { "" };
+        println!(
+            "        \"{group}\": {{ \"rejoin_latency_ms\": {latency:.3}, \
+             \"replayed_records\": {replayed}, \"delta_bytes\": {delta}, \
+             \"full_history_bytes\": {full} }}{comma}"
+        );
+    }
+    println!("      }}");
+    println!("    }}{}", if trailing_comma { "," } else { "" });
+}
+
+fn main() {
+    let seed = bench_seed();
+    let symmetric = measure_cold_restart(seed, OrderProtocol::Symmetric);
+    let asymmetric = measure_cold_restart(seed, OrderProtocol::Asymmetric);
+    let resolves_per_sec = measure_resolve_throughput();
+
+    println!("{{");
+    println!("  \"pr\": 9,");
+    println!("  \"seed\": {seed},");
+    println!("  \"cold_restart\": {{");
+    print_cold_restart("symmetric", &symmetric, true);
+    print_cold_restart("asymmetric", &asymmetric, false);
+    println!("  }},");
+    println!("  \"directory_resolve\": {{");
+    println!("    \"records\": {DIR_RECORDS},");
+    println!("    \"resolves\": {RESOLVE_ITERS},");
+    println!("    \"resolves_per_sec\": {resolves_per_sec:.0}");
+    println!("  }}");
+    println!("}}");
+}

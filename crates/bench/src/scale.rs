@@ -46,8 +46,9 @@ pub struct SweepConfig {
 }
 
 impl SweepConfig {
-    /// The full sweep: 2 orderings × 3 bindings × 2 reply modes over the
-    /// paper WAN and the synthetic five-region matrix, probing 12.5 k to
+    /// The full sweep: 2 orderings × 4 bindings (closed, open,
+    /// restricted, directory-resolved) × 2 reply modes over the paper
+    /// WAN and the synthetic five-region matrix, probing 12.5 k to
     /// 1.6 M modeled clients.
     #[must_use]
     pub fn full(seed: u64) -> Self {
@@ -110,6 +111,7 @@ impl CellSpec {
             BindingPolicy::Closed => "closed",
             BindingPolicy::OpenAnyServer => "open",
             BindingPolicy::OpenRestricted => "restricted",
+            BindingPolicy::Directory => "directory",
         }
     }
 
@@ -135,6 +137,7 @@ pub fn cells(cfg: &SweepConfig) -> Vec<CellSpec> {
                 BindingPolicy::Closed,
                 BindingPolicy::OpenAnyServer,
                 BindingPolicy::OpenRestricted,
+                BindingPolicy::Directory,
             ] {
                 for mode in [ReplyMode::First, ReplyMode::All] {
                     out.push(CellSpec {

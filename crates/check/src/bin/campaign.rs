@@ -22,7 +22,8 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use newtop_check::scenario::{delivery_divergence, GcsScenario, NODES};
+use newtop_check::recovery::RecoveryScenario;
+use newtop_check::scenario::{delivery_divergence, GcsScenario, ScenarioRun, NODES};
 use newtop_check::{Invariant, InvariantChecker, InvariantCounts, Mutation};
 use newtop_gcs::group::OrderProtocol;
 use newtop_net::faults::{FaultOp, FaultPlan};
@@ -48,6 +49,12 @@ OPTIONS:
                      and the delivery logs must match)
   --gcs-only         skip the request-reply (NSO) scenario
   --nso-only         skip the GCS scenario
+  --recovery         run the crash-recovery campaign instead: each cell
+                     kills a member mid-stream, recovers it from its
+                     durable log + snapshot via `recover(node@t)`, and
+                     checks the five invariants plus the recovery
+                     obligations (replay byte-identity, delta < full
+                     history, post-recovery convergence)
   --mutate KIND      swap-order | dup-delivery | drop-delivery | drop-view:
                      perturb the logs and require the checker to object
   --quiet            print only the summary table and failures
@@ -65,6 +72,7 @@ struct Options {
     nso: bool,
     shards: usize,
     mutate: Option<Mutation>,
+    recovery: bool,
     quiet: bool,
 }
 
@@ -80,6 +88,7 @@ fn parse_args() -> Result<Options, String> {
         nso: true,
         shards: 4,
         mutate: None,
+        recovery: false,
         quiet: false,
     };
     let mut args = std::env::args().skip(1);
@@ -121,6 +130,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--gcs-only" => opts.nso = false,
             "--nso-only" => opts.gcs = false,
+            "--recovery" => opts.recovery = true,
             "--mutate" => {
                 let kind = value("--mutate")?;
                 opts.mutate = Some(
@@ -242,6 +252,10 @@ fn main() -> ExitCode {
             eprintln!("no plan named {filter}");
             return ExitCode::from(2);
         }
+    }
+
+    if opts.recovery {
+        return run_recovery_campaign(&opts);
     }
 
     if let Some(mutation) = opts.mutate {
@@ -399,6 +413,81 @@ fn print_table(cells: &[CellStats], opts: &Options) {
             format!("{}/{}", cell.nso_runs - cell.nso_failures, cell.nso_runs),
             if cell.passed() { "ok" } else { "FAIL" },
         );
+    }
+}
+
+/// Recovery campaign: every cell kills a member of both overlapping
+/// groups mid-stream and later recovers it (`recover(node@t)`); the
+/// five standing invariants must hold on the post-recovery logs and the
+/// recovery obligations must hold on the durable evidence. Each seed is
+/// also replayed at shards=1 and the delivery logs must match.
+fn run_recovery_campaign(opts: &Options) -> ExitCode {
+    let mut counts = InvariantCounts::default();
+    let mut runs = 0u64;
+    let mut failures: Vec<String> = Vec::new();
+    for &ordering in &opts.orderings {
+        for seed in opts.start_seed..opts.start_seed + opts.seeds {
+            let scenario = RecoveryScenario::new(seed, ordering).with_shards(opts.shards);
+            let repro = scenario.repro();
+            let run = scenario.run();
+            runs += 1;
+            let report = run.check();
+            counts.merge(&report.counts);
+            for v in &report.violations {
+                failures.push(format!("{repro}: {v}"));
+            }
+            for v in run.recovery_violations() {
+                failures.push(format!("{repro}: recovery: {v}"));
+            }
+            if opts.shards > 1 {
+                let baseline = RecoveryScenario::new(seed, ordering).with_shards(1).run();
+                let a = ScenarioRun {
+                    repro: baseline.repro.clone(),
+                    logs: baseline.logs,
+                    sent: baseline.sent,
+                };
+                let b = ScenarioRun {
+                    repro: run.repro.clone(),
+                    logs: run.logs,
+                    sent: run.sent,
+                };
+                if let Some(diff) = delivery_divergence(&a, &b) {
+                    failures.push(format!(
+                        "{repro}: shards=1 vs shards={} delivery logs diverged: {diff}",
+                        opts.shards
+                    ));
+                }
+            }
+        }
+    }
+    println!(
+        "\nrecovery campaign: {} runs ({} orderings x {} seeds)",
+        runs,
+        opts.orderings.len(),
+        opts.seeds
+    );
+    for (i, inv) in Invariant::ALL.iter().enumerate() {
+        println!(
+            "  {:<14} {}/{} checks clean",
+            inv.label(),
+            counts.checks[i] - counts.violations[i],
+            counts.checks[i]
+        );
+    }
+    if failures.is_empty() {
+        println!("\nPASS: every member recovered from its durable log + snapshot cleanly");
+        ExitCode::SUCCESS
+    } else {
+        println!("\nFAILURES:");
+        for f in &failures {
+            println!("  FAIL {f}");
+        }
+        println!(
+            "\nFAIL: {} violations across {} recovery runs",
+            failures.len(),
+            runs
+        );
+        ExitCode::FAILURE
     }
 }
 

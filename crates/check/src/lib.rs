@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod recovery;
 pub mod scenario;
 
 use std::collections::{BTreeMap, BTreeSet};

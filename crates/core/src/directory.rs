@@ -1,0 +1,317 @@
+//! Wire types and the client-side cache for the replicated group
+//! directory.
+//!
+//! The directory is the runtime home of group metadata the paper's open
+//! binding story needs: a well-known bootstrap group maps service names
+//! to [`GroupRecord`]s (membership, configuration, current view). The
+//! *server* half — the replicated record table and its GCS-backed update
+//! path — lives in the `newtop-dir` crate; this module holds only what a
+//! client NSO needs: the request/reply encoding and a TTL'd
+//! [`DirCache`].
+//!
+//! Requests travel as plain ORB invocations (operation [`DIR_OPERATION`]
+//! on object key [`DIR_OBJECT_KEY`]) so a directory member can answer a
+//! resolve locally without a group round; updates are replicated among
+//! directory members through their own peer group.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use newtop_gcs::group::{GroupConfig, GroupId};
+use newtop_gcs::view::{View, ViewId};
+use newtop_net::site::NodeId;
+use newtop_net::time::SimTime;
+use newtop_orb::cdr::{CdrDecode, CdrDecoder, CdrEncode, CdrEncoder, CdrError};
+
+/// ORB operation name for directory requests.
+pub const DIR_OPERATION: &str = "dir";
+/// Object key the directory servant is activated under.
+pub const DIR_OBJECT_KEY: &str = "dir";
+
+/// One directory entry: everything a client needs to bind to the named
+/// service by name alone.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupRecord {
+    /// The service name (also the server group's id).
+    pub name: String,
+    /// The server group's configuration.
+    pub config: GroupConfig,
+    /// Current membership (the record's IOGR: who to contact).
+    pub members: Vec<NodeId>,
+    /// The view the membership was read at; higher wins on update.
+    pub view: ViewId,
+}
+
+impl CdrEncode for GroupRecord {
+    fn encode(&self, enc: &mut CdrEncoder) {
+        enc.write_string(&self.name);
+        self.config.encode(enc);
+        self.members.encode(enc);
+        self.view.encode(enc);
+    }
+}
+
+impl CdrDecode for GroupRecord {
+    fn decode(dec: &mut CdrDecoder<'_>) -> Result<Self, CdrError> {
+        Ok(GroupRecord {
+            name: dec.read_string()?,
+            config: GroupConfig::decode(dec)?,
+            members: Vec::<NodeId>::decode(dec)?,
+            view: ViewId::decode(dec)?,
+        })
+    }
+}
+
+impl GroupRecord {
+    /// The record's group id.
+    #[must_use]
+    pub fn group_id(&self) -> GroupId {
+        GroupId::new(self.name.clone())
+    }
+
+    /// A record snapshotting `view` of the named group.
+    #[must_use]
+    pub fn from_view(name: impl Into<String>, config: GroupConfig, view: &View) -> Self {
+        GroupRecord {
+            name: name.into(),
+            config,
+            members: view.members().to_vec(),
+            view: view.id(),
+        }
+    }
+}
+
+/// A client or server request to the directory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DirRequest {
+    /// Install (or refresh) a record. Applied in the directory group's
+    /// total order; a stale registration (lower view id for a known
+    /// name) is ignored.
+    Register {
+        /// The record to install.
+        record: GroupRecord,
+    },
+    /// Look a name up.
+    Resolve {
+        /// The service name.
+        name: String,
+    },
+}
+
+impl CdrEncode for DirRequest {
+    fn encode(&self, enc: &mut CdrEncoder) {
+        match self {
+            DirRequest::Register { record } => {
+                enc.write_u8(0);
+                record.encode(enc);
+            }
+            DirRequest::Resolve { name } => {
+                enc.write_u8(1);
+                enc.write_string(name);
+            }
+        }
+    }
+}
+
+impl CdrDecode for DirRequest {
+    fn decode(dec: &mut CdrDecoder<'_>) -> Result<Self, CdrError> {
+        match dec.read_u8()? {
+            0 => Ok(DirRequest::Register {
+                record: GroupRecord::decode(dec)?,
+            }),
+            1 => Ok(DirRequest::Resolve {
+                name: dec.read_string()?,
+            }),
+            other => Err(CdrError::BadDiscriminant(u32::from(other))),
+        }
+    }
+}
+
+/// The directory's answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DirReply {
+    /// Registration accepted (it replicates asynchronously).
+    Ok,
+    /// Resolution succeeded.
+    Found {
+        /// The current record for the requested name.
+        record: GroupRecord,
+    },
+    /// No record under that name.
+    NotFound {
+        /// The name that missed.
+        name: String,
+    },
+}
+
+impl CdrEncode for DirReply {
+    fn encode(&self, enc: &mut CdrEncoder) {
+        match self {
+            DirReply::Ok => enc.write_u8(0),
+            DirReply::Found { record } => {
+                enc.write_u8(1);
+                record.encode(enc);
+            }
+            DirReply::NotFound { name } => {
+                enc.write_u8(2);
+                enc.write_string(name);
+            }
+        }
+    }
+}
+
+impl CdrDecode for DirReply {
+    fn decode(dec: &mut CdrDecoder<'_>) -> Result<Self, CdrError> {
+        match dec.read_u8()? {
+            0 => Ok(DirReply::Ok),
+            1 => Ok(DirReply::Found {
+                record: GroupRecord::decode(dec)?,
+            }),
+            2 => Ok(DirReply::NotFound {
+                name: dec.read_string()?,
+            }),
+            other => Err(CdrError::BadDiscriminant(u32::from(other))),
+        }
+    }
+}
+
+/// TTL'd client-side record cache.
+///
+/// Entries expire `ttl` after insertion; they are also invalidated
+/// eagerly when the NSO observes evidence of staleness — a broken
+/// binding through a listed member, or a view change that removed one —
+/// so a client re-resolves instead of rebinding into a membership that
+/// no longer exists.
+#[derive(Debug)]
+pub struct DirCache {
+    ttl: Duration,
+    entries: BTreeMap<String, (GroupRecord, SimTime)>,
+}
+
+impl Default for DirCache {
+    fn default() -> Self {
+        DirCache::new(Duration::from_millis(500))
+    }
+}
+
+impl DirCache {
+    /// A cache whose entries live for `ttl`.
+    #[must_use]
+    pub fn new(ttl: Duration) -> Self {
+        DirCache {
+            ttl,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Caches a record, stamping its expiry.
+    pub fn insert(&mut self, record: GroupRecord, now: SimTime) {
+        let expiry = now + self.ttl;
+        self.entries.insert(record.name.clone(), (record, expiry));
+    }
+
+    /// The cached record for `name` if it has not expired.
+    #[must_use]
+    pub fn lookup(&self, name: &str, now: SimTime) -> Option<&GroupRecord> {
+        self.entries
+            .get(name)
+            .filter(|&&(_, expiry)| now < expiry)
+            .map(|(r, _)| r)
+    }
+
+    /// Drops the entry for `name`.
+    pub fn invalidate(&mut self, name: &str) {
+        self.entries.remove(name);
+    }
+
+    /// Drops every entry listing `member` — called when a binding
+    /// through that member broke or a view change removed it.
+    pub fn invalidate_member(&mut self, member: NodeId) {
+        self.entries
+            .retain(|_, (r, _)| !r.members.contains(&member));
+    }
+
+    /// Number of live (unexpired) entries.
+    #[must_use]
+    pub fn len(&self, now: SimTime) -> usize {
+        self.entries
+            .values()
+            .filter(|&&(_, expiry)| now < expiry)
+            .count()
+    }
+
+    /// Whether nothing is cached (expired entries count as absent).
+    #[must_use]
+    pub fn is_empty(&self, now: SimTime) -> bool {
+        self.len(now) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newtop_gcs::view::canonical_members;
+
+    fn record(name: &str, members: &[u32]) -> GroupRecord {
+        GroupRecord {
+            name: name.to_owned(),
+            config: GroupConfig::request_reply(),
+            members: canonical_members(members.iter().map(|&i| NodeId::from_index(i)).collect()),
+            view: ViewId(3),
+        }
+    }
+
+    #[test]
+    fn requests_and_replies_round_trip() {
+        let reqs = [
+            DirRequest::Register {
+                record: record("svc", &[0, 1, 2]),
+            },
+            DirRequest::Resolve {
+                name: "svc".to_owned(),
+            },
+        ];
+        for r in reqs {
+            assert_eq!(DirRequest::from_cdr(&r.to_cdr()).unwrap(), r);
+        }
+        let replies = [
+            DirReply::Ok,
+            DirReply::Found {
+                record: record("svc", &[0, 1]),
+            },
+            DirReply::NotFound {
+                name: "ghost".to_owned(),
+            },
+        ];
+        for r in replies {
+            assert_eq!(DirReply::from_cdr(&r.to_cdr()).unwrap(), r);
+        }
+        assert!(matches!(
+            DirRequest::from_cdr(&[9]),
+            Err(CdrError::BadDiscriminant(9))
+        ));
+        assert!(matches!(
+            DirReply::from_cdr(&[7]),
+            Err(CdrError::BadDiscriminant(7))
+        ));
+    }
+
+    #[test]
+    fn cache_expires_and_invalidates() {
+        let mut cache = DirCache::new(Duration::from_millis(100));
+        let t0 = SimTime::from_millis(10);
+        cache.insert(record("svc", &[0, 1, 2]), t0);
+        assert!(cache.lookup("svc", SimTime::from_millis(50)).is_some());
+        // Expired after the TTL.
+        assert!(cache.lookup("svc", SimTime::from_millis(110)).is_none());
+        assert!(cache.is_empty(SimTime::from_millis(110)));
+        // Member-based invalidation drops only records listing it.
+        cache.insert(record("svc", &[0, 1, 2]), t0);
+        cache.insert(record("other", &[5, 6]), t0);
+        cache.invalidate_member(NodeId::from_index(1));
+        assert!(cache.lookup("svc", t0).is_none());
+        assert!(cache.lookup("other", t0).is_some());
+        cache.invalidate("other");
+        assert!(cache.is_empty(t0));
+    }
+}

@@ -95,6 +95,7 @@
 #![forbid(unsafe_code)]
 
 pub mod control;
+pub mod directory;
 pub mod nso;
 pub mod proxy;
 pub mod simnode;

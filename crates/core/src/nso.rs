@@ -44,6 +44,9 @@ use newtop_orb::orb::{InvokeError, OrbCore, OrbIncoming, RequestId};
 use newtop_orb::servant::ServantError;
 
 use crate::control::CtrlMessage;
+use crate::directory::{
+    DirCache, DirReply, DirRequest, GroupRecord, DIR_OBJECT_KEY, DIR_OPERATION,
+};
 use crate::tags;
 use crate::INV_CTRL_OPERATION;
 
@@ -245,6 +248,39 @@ pub enum BindTarget {
         /// chosen from it).
         servers: Vec<NodeId>,
     },
+    /// Name-based binding through the replicated directory: the service
+    /// name is resolved to a [`GroupRecord`] (member set, configuration,
+    /// view id) by asking the listed directory members in order, with a
+    /// TTL'd client-side cache short-circuiting repeat resolutions. The
+    /// record then shapes the binding per `style`. Resolution is
+    /// asynchronous: [`Nso::bind`] returns the reserved handle at once
+    /// and [`NsoOutput::BindingReady`] (or `BindFailed`, when every
+    /// directory contact answers not-found or times out) follows.
+    Resolve {
+        /// The service name registered in the directory.
+        name: String,
+        /// Directory group members to consult, in preference order.
+        directory: Vec<NodeId>,
+        /// The binding shape to build from the resolved record.
+        style: ResolveStyle,
+    },
+}
+
+/// How a name-resolved binding is shaped once its [`GroupRecord`]
+/// arrives (the resolved analogues of the explicit [`BindTarget`]s).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ResolveStyle {
+    /// Closed binding to the record's full member set.
+    #[default]
+    Closed,
+    /// Open binding through the member at `rank` (modulo the member
+    /// count), letting co-located clients spread across managers.
+    Open {
+        /// Preference rank into the resolved member list.
+        rank: usize,
+    },
+    /// Open binding through the designated (lowest-ranked) member.
+    Restricted,
 }
 
 /// Options for creating a binding with [`Nso::bind`]: the target (open /
@@ -333,6 +369,30 @@ impl BindOptions {
             target: BindTarget::Restricted { servers },
             ..BindOptions::default()
         }
+    }
+
+    /// Options for a name-resolved binding through the directory (closed
+    /// shape by default; see [`BindOptions::with_resolve_style`]).
+    #[must_use]
+    pub fn resolve(name: impl Into<String>, directory: Vec<NodeId>) -> Self {
+        BindOptions {
+            target: BindTarget::Resolve {
+                name: name.into(),
+                directory,
+                style: ResolveStyle::Closed,
+            },
+            ..BindOptions::default()
+        }
+    }
+
+    /// Sets the shape a name-resolved binding takes once the record
+    /// arrives. No effect on non-resolve targets.
+    #[must_use]
+    pub fn with_resolve_style(mut self, new_style: ResolveStyle) -> Self {
+        if let BindTarget::Resolve { style, .. } = &mut self.target {
+            *style = new_style;
+        }
+        self
     }
 
     /// Sets the total-order protocol of the client/server group.
@@ -570,6 +630,36 @@ struct PendingBind {
 #[derive(Debug)]
 enum NsoTimer {
     BindTimeout(GroupId),
+    /// A directory resolution has waited long enough on its current
+    /// contact; advance to the next or fail the waiting binds. The
+    /// attempt stamp keeps a timer armed for an earlier contact from
+    /// cutting short its successor's wait.
+    ResolveTimeout {
+        name: String,
+        attempt: usize,
+    },
+}
+
+/// A bind waiting for its directory resolution.
+#[derive(Debug)]
+struct PendingResolve {
+    /// The reserved binding group id (already handed to the caller).
+    group: GroupId,
+    /// The shape to build once the record arrives.
+    style: ResolveStyle,
+    /// The original bind options (group id pinned to `group`).
+    opts: BindOptions,
+}
+
+/// Progress of one name's resolution against the directory contacts.
+#[derive(Debug)]
+struct ResolveProgress {
+    /// Directory members still to try (next first).
+    contacts: Vec<NodeId>,
+    /// Index of the next contact to ask.
+    next: usize,
+    /// Binds waiting on this name.
+    waiters: Vec<PendingResolve>,
 }
 
 /// Reserved tag of the send-path batch-flush micro-timer (the first tag
@@ -649,6 +739,16 @@ pub struct Nso {
     g2g_callers: BTreeMap<GroupId, G2gCaller>,
     roles: BTreeMap<GroupId, GroupRole>,
     pending_bind_requests: BTreeMap<RequestId, GroupId>,
+    /// Outstanding directory resolutions: ORB request → service name.
+    pending_dir_requests: BTreeMap<RequestId, String>,
+    /// Per-name resolution progress and the binds waiting on it.
+    pending_resolves: BTreeMap<String, ResolveProgress>,
+    /// TTL'd cache of resolved directory records, invalidated when a
+    /// view change reports a cached member departed.
+    dir_cache: DirCache,
+    /// Which service name a resolve-originated binding came from, so a
+    /// failed or broken binding invalidates its cache entry.
+    resolved_origin: BTreeMap<GroupId, String>,
     binds: BTreeMap<GroupId, PendingBind>,
     was_primary: BTreeMap<GroupId, bool>,
     nso_timers: BTreeMap<u64, NsoTimer>,
@@ -741,6 +841,10 @@ impl Nso {
             g2g_callers: BTreeMap::new(),
             roles: BTreeMap::new(),
             pending_bind_requests: BTreeMap::new(),
+            pending_dir_requests: BTreeMap::new(),
+            pending_resolves: BTreeMap::new(),
+            dir_cache: DirCache::default(),
+            resolved_origin: BTreeMap::new(),
             binds: BTreeMap::new(),
             was_primary: BTreeMap::new(),
             nso_timers: BTreeMap::new(),
@@ -766,6 +870,13 @@ impl Nso {
     #[must_use]
     pub fn view_of(&self, group: &GroupId) -> Option<&View> {
         self.gcs.view_of(group)
+    }
+
+    /// The client-side directory record cache (read-only; tests and
+    /// diagnostics inspect TTL/staleness behaviour through this).
+    #[must_use]
+    pub fn dir_cache(&self) -> &DirCache {
+        &self.dir_cache
     }
 
     /// Group-communication diagnostics for one group, with the node's
@@ -966,6 +1077,11 @@ impl Nso {
                     out,
                 )
             }
+            BindTarget::Resolve {
+                name,
+                directory,
+                style,
+            } => self.start_resolve(name, directory, style, opts, now, out),
         }?;
         Ok(GroupHandle {
             group,
@@ -1061,6 +1177,199 @@ impl Nso {
         let tag = self.alloc_tag(NsoTimer::BindTimeout(group.clone()));
         out.set_timer(opts.timeout, tag);
         Ok(group)
+    }
+
+    /// Begins a name-resolved bind: answers from the TTL'd cache when it
+    /// can, otherwise reserves the binding group id, queues the bind on
+    /// the name's resolution and asks the next directory contact.
+    fn start_resolve(
+        &mut self,
+        name: String,
+        directory: Vec<NodeId>,
+        style: ResolveStyle,
+        mut opts: BindOptions,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<GroupId, NewtopError> {
+        if directory.is_empty() {
+            return Err(NewtopError::BindTargetMissing(GroupId::new(name)));
+        }
+        if let Some(record) = self.dir_cache.lookup(&name, now).cloned() {
+            let group = self.bind_resolved(&record, style, opts, now, out)?;
+            self.resolved_origin.insert(group.clone(), name);
+            return Ok(group);
+        }
+        let group = opts.group_id.clone().unwrap_or_else(|| {
+            let id = GroupId::new(format!("cs:{}:{}", self.node, self.next_binding));
+            self.next_binding += 1;
+            id
+        });
+        if self.roles.contains_key(&group) || self.binds.contains_key(&group) {
+            return Err(NewtopError::GroupInUse(group));
+        }
+        opts.group_id = Some(group.clone());
+        self.resolved_origin.insert(group.clone(), name.clone());
+        let waiter = PendingResolve {
+            group: group.clone(),
+            style,
+            opts: opts.clone(),
+        };
+        match self.pending_resolves.get_mut(&name) {
+            Some(progress) => progress.waiters.push(waiter),
+            None => {
+                self.pending_resolves.insert(
+                    name.clone(),
+                    ResolveProgress {
+                        contacts: directory,
+                        next: 0,
+                        waiters: vec![waiter],
+                    },
+                );
+                self.issue_resolve(&name, opts.timeout, out);
+            }
+        }
+        Ok(group)
+    }
+
+    /// Asks the next directory contact for `name`'s record and arms the
+    /// per-contact timeout.
+    fn issue_resolve(&mut self, name: &str, timeout: Duration, out: &mut Outbox) {
+        let Some(progress) = self.pending_resolves.get_mut(name) else {
+            return;
+        };
+        let contact = progress.contacts[progress.next % progress.contacts.len()];
+        progress.next += 1;
+        let body = DirRequest::Resolve {
+            name: name.to_owned(),
+        }
+        .to_cdr();
+        let req = self.orb.invoke(
+            &ObjectRef::new(contact, DIR_OBJECT_KEY),
+            DIR_OPERATION,
+            body,
+            out,
+        );
+        self.pending_dir_requests.insert(req, name.to_owned());
+        let attempt = self
+            .pending_resolves
+            .get(name)
+            .map_or(0, |progress| progress.next);
+        let tag = self.alloc_tag(NsoTimer::ResolveTimeout {
+            name: name.to_owned(),
+            attempt,
+        });
+        out.set_timer(timeout, tag);
+    }
+
+    /// Shapes and starts the actual bind from a resolved record.
+    fn bind_resolved(
+        &mut self,
+        record: &GroupRecord,
+        style: ResolveStyle,
+        mut opts: BindOptions,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<GroupId, NewtopError> {
+        let server_group = record.group_id();
+        if record.members.is_empty() {
+            return Err(NewtopError::BindTargetMissing(server_group));
+        }
+        // The server group already exists with the record's parameters;
+        // the client/server group mirrors them rather than whatever the
+        // caller guessed.
+        opts.ordering = record.config.ordering;
+        opts.time_silence = record.config.time_silence;
+        opts.fanout = record.config.fanout;
+        let (members, bind_style, server_count) = match style {
+            ResolveStyle::Closed => {
+                let mut members = vec![self.node];
+                members.extend(record.members.iter().copied());
+                (members, BindingStyle::Closed, record.members.len())
+            }
+            ResolveStyle::Open { rank } => {
+                let manager = record.members[rank % record.members.len()];
+                (vec![self.node, manager], BindingStyle::Open { manager }, 0)
+            }
+            ResolveStyle::Restricted => {
+                let manager = record.members.iter().copied().min().expect("non-empty");
+                (vec![self.node, manager], BindingStyle::Open { manager }, 0)
+            }
+        };
+        self.start_bind(
+            server_group,
+            members,
+            bind_style,
+            server_count,
+            opts,
+            now,
+            out,
+        )
+    }
+
+    /// A directory contact answered (or errored) a resolution.
+    fn on_dir_reply(
+        &mut self,
+        name: String,
+        result: Result<Bytes, InvokeError>,
+        now: SimTime,
+        out: &mut Outbox,
+    ) {
+        let reply = result.ok().and_then(|body| DirReply::from_cdr(&body).ok());
+        match reply {
+            Some(DirReply::Found { record }) => {
+                self.dir_cache.insert(record.clone(), now);
+                let Some(progress) = self.pending_resolves.remove(&name) else {
+                    return;
+                };
+                for waiter in progress.waiters {
+                    if self
+                        .bind_resolved(&record, waiter.style, waiter.opts, now, out)
+                        .is_err()
+                    {
+                        self.fail_bind(waiter.group, now);
+                    }
+                }
+            }
+            // Not found, a malformed body or a transport error all mean
+            // the same thing here: this contact cannot help; rotate.
+            Some(DirReply::NotFound { .. } | DirReply::Ok) | None => {
+                self.advance_resolve(&name, now, out);
+            }
+        }
+    }
+
+    /// Moves a resolution to its next contact, failing every waiting
+    /// bind once all contacts have been tried.
+    fn advance_resolve(&mut self, name: &str, now: SimTime, out: &mut Outbox) {
+        let Some(progress) = self.pending_resolves.get(name) else {
+            return;
+        };
+        if progress.next < progress.contacts.len() {
+            let timeout = progress
+                .waiters
+                .first()
+                .map_or(Duration::from_secs(2), |w| w.opts.timeout);
+            self.issue_resolve(name, timeout, out);
+            return;
+        }
+        let progress = self.pending_resolves.remove(name).expect("present");
+        for waiter in progress.waiters {
+            self.fail_bind(waiter.group, now);
+        }
+    }
+
+    /// Emits `BindFailed` for a reserved binding that never started.
+    fn fail_bind(&mut self, group: GroupId, now: SimTime) {
+        if let Some(name) = self.resolved_origin.remove(&group) {
+            self.dir_cache.invalidate(&name);
+        }
+        self.obs.record(
+            now,
+            TraceEvent::BindFailed {
+                group: group.as_str().to_string(),
+            },
+        );
+        self.outputs.push(NsoOutput::BindFailed { group });
     }
 
     fn do_unbind(
@@ -1359,6 +1668,8 @@ impl Nso {
             OrbIncoming::Reply { request, result } => {
                 if let Some(group) = self.pending_bind_requests.remove(&request) {
                     self.on_bind_ack(group, result.is_ok(), now, out);
+                } else if let Some(name) = self.pending_dir_requests.remove(&request) {
+                    self.on_dir_reply(name, result, now, out);
                 } else {
                     self.outputs.push(NsoOutput::PlainReply { request, result });
                 }
@@ -1502,13 +1813,19 @@ impl Nso {
                     if self.binds.remove(&group).is_some() {
                         self.pending_bind_requests.retain(|_, g| g != &group);
                         self.default_modes.remove(&group);
-                        self.obs.record(
-                            now,
-                            TraceEvent::BindFailed {
-                                group: group.as_str().to_string(),
-                            },
-                        );
-                        self.outputs.push(NsoOutput::BindFailed { group });
+                        self.fail_bind(group, now);
+                    }
+                }
+                NsoTimer::ResolveTimeout { name, attempt } => {
+                    // Only the timer for the attempt still in flight
+                    // reacts; stale timers find nothing to do.
+                    let live = self
+                        .pending_resolves
+                        .get(&name)
+                        .is_some_and(|progress| progress.next == attempt);
+                    if live {
+                        self.pending_dir_requests.retain(|_, n| n != &name);
+                        self.advance_resolve(&name, now, out);
                     }
                 }
             }
@@ -1597,13 +1914,7 @@ impl Nso {
             self.binds.remove(&group);
             self.pending_bind_requests.retain(|_, g| g != &group);
             self.default_modes.remove(&group);
-            self.obs.record(
-                now,
-                TraceEvent::BindFailed {
-                    group: group.as_str().to_string(),
-                },
-            );
-            self.outputs.push(NsoOutput::BindFailed { group });
+            self.fail_bind(group, now);
             return;
         }
         bind.outstanding = bind.outstanding.saturating_sub(1);
@@ -1631,13 +1942,7 @@ impl Nso {
             Ok(o) => o,
             Err(_) => {
                 self.default_modes.remove(&group);
-                self.obs.record(
-                    now,
-                    TraceEvent::BindFailed {
-                        group: group.as_str().to_string(),
-                    },
-                );
-                self.outputs.push(NsoOutput::BindFailed { group });
+                self.fail_bind(group, now);
                 return;
             }
         };
@@ -1709,6 +2014,13 @@ impl Nso {
                     );
                     self.roles.remove(&group);
                     self.default_modes.remove(&group);
+                    // A broken binding means its manager is gone; any
+                    // cached record naming it — and the record this
+                    // binding came from — must be re-resolved.
+                    self.dir_cache.invalidate_member(manager);
+                    if let Some(name) = self.resolved_origin.remove(&group) {
+                        self.dir_cache.invalidate(&name);
+                    }
                     let _ = with_net(
                         &mut self.orb,
                         &mut self.obs,
@@ -1736,7 +2048,17 @@ impl Nso {
                     payload,
                     ..
                 } => self.route_delivery(&group, sender, payload, now, out),
-                GcsOutput::ViewInstalled { group, view, .. } => {
+                GcsOutput::ViewInstalled {
+                    group,
+                    view,
+                    departed,
+                    ..
+                } => {
+                    // A departed member makes any cached directory
+                    // record that names it suspect.
+                    for m in &departed {
+                        self.dir_cache.invalidate_member(*m);
+                    }
                     self.route_view_change(&group, &view, now, out);
                     self.outputs.push(NsoOutput::ViewChanged { group, view });
                 }

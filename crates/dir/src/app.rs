@@ -1,0 +1,144 @@
+//! Hosting the directory on simulated nodes.
+//!
+//! [`DirectoryApp`] is the [`NsoApp`] that turns a node into a directory
+//! member: it answers [`DIR_OPERATION`] requests from a plain ORB
+//! servant, replicates staged registrations through the directory's own
+//! peer group with total order, and applies records in delivery order so
+//! every member's table converges identically.
+//!
+//! [`register_service`] is the server-side half: one plain invocation
+//! carrying a [`DirRequest::Register`] for the service's current view.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use newtop::directory::{DirRequest, GroupRecord, DIR_OBJECT_KEY, DIR_OPERATION};
+use newtop::nso::{GroupHandle, Nso, NsoOutput};
+use newtop::simnode::NsoApp;
+use newtop::tags;
+use newtop_gcs::group::{DeliveryOrder, GroupConfig, GroupId};
+use newtop_net::sim::Outbox;
+use newtop_net::site::NodeId;
+use newtop_net::time::SimTime;
+use newtop_orb::cdr::{CdrDecode, CdrEncode};
+use newtop_orb::ior::ObjectRef;
+use newtop_orb::orb::RequestId;
+use newtop_orb::servant::ServantError;
+
+use crate::directory::SharedDirectory;
+
+/// The directory group's well-known name. The `#` prefix keeps it out of
+/// the service namespace (service names become their group ids).
+pub const DIR_GROUP: &str = "#dir";
+
+/// Timer tag for the replication pump.
+const PUMP_TAG: u64 = tags::APP_BASE + 7;
+
+/// One directory member: plain-ORB front end, peer-group replication.
+pub struct DirectoryApp {
+    /// Every directory member (the bootstrap set clients are given).
+    pub members: Vec<NodeId>,
+    /// The directory group's configuration (total order required).
+    pub config: GroupConfig,
+    /// The record table, shared with the servant closure.
+    pub state: SharedDirectory,
+    /// How often staged registrations are flushed into the group.
+    pub pump: Duration,
+    peer: Option<GroupHandle>,
+}
+
+impl DirectoryApp {
+    /// Creates a directory member over `members` with a 5 ms pump.
+    #[must_use]
+    pub fn new(members: Vec<NodeId>, state: SharedDirectory) -> Self {
+        DirectoryApp {
+            members,
+            config: GroupConfig::peer(),
+            state,
+            pump: Duration::from_millis(5),
+            peer: None,
+        }
+    }
+
+    fn flush_staged(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        let Some(peer) = self.peer.clone() else {
+            return;
+        };
+        let staged = {
+            let mut state = self.state.lock().expect("directory lock");
+            state.take_staged()
+        };
+        for record in staged {
+            let _ = peer.send(nso, record.to_cdr(), DeliveryOrder::Total, now, out);
+        }
+    }
+}
+
+impl NsoApp for DirectoryApp {
+    fn on_start(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        let state = self.state.clone();
+        nso.register_plain_servant(
+            DIR_OBJECT_KEY,
+            Box::new(move |op: &str, args: &[u8]| {
+                if op != DIR_OPERATION {
+                    return Err(ServantError::BadOperation(op.to_owned()));
+                }
+                state
+                    .lock()
+                    .expect("directory lock")
+                    .handle_raw(args)
+                    .map_err(|_| ServantError::User(Bytes::from_static(b"malformed dir request")))
+            }),
+        );
+        let peer = nso
+            .create_peer_group(
+                GroupId::new(DIR_GROUP),
+                self.members.clone(),
+                self.config.clone(),
+                now,
+                out,
+            )
+            .expect("directory group creation");
+        self.peer = Some(peer);
+        out.set_timer(self.pump, PUMP_TAG);
+    }
+
+    fn on_timer(&mut self, nso: &mut Nso, tag: u64, now: SimTime, out: &mut Outbox) {
+        if tag == PUMP_TAG {
+            self.flush_staged(nso, now, out);
+            out.set_timer(self.pump, PUMP_TAG);
+        }
+    }
+
+    fn on_output(&mut self, _nso: &mut Nso, output: NsoOutput, _now: SimTime, _out: &mut Outbox) {
+        if let NsoOutput::PeerDeliver { group, payload, .. } = output {
+            if group.as_str() != DIR_GROUP {
+                return;
+            }
+            if let Ok(record) = GroupRecord::from_cdr(&payload) {
+                self.state.lock().expect("directory lock").apply(record);
+            }
+        }
+    }
+}
+
+/// Registers (or re-registers) a service with the directory: one plain
+/// invocation carrying the record to `contact`, any directory member.
+/// The reply surfaces as [`NsoOutput::PlainReply`]; callers that care
+/// can match the returned [`RequestId`], but registration is idempotent
+/// (stale views lose on apply) so fire-and-forget is the normal mode.
+pub fn register_service(
+    nso: &mut Nso,
+    contact: NodeId,
+    record: GroupRecord,
+    out: &mut Outbox,
+) -> RequestId {
+    let body = DirRequest::Register { record }.to_cdr();
+    nso.plain_invoke(
+        &ObjectRef::new(contact, DIR_OBJECT_KEY),
+        DIR_OPERATION,
+        body,
+        out,
+    )
+}

@@ -1,0 +1,168 @@
+//! The replicated directory server: a record table kept consistent
+//! across directory members by replicating updates through the GCS
+//! itself.
+//!
+//! Registrations arrive at any member as plain ORB requests (see
+//! [`newtop::directory`]); the member stages them and a pump multicasts
+//! each staged record through the directory's own peer group with total
+//! order. Every member applies records in delivery order, so the table
+//! converges identically everywhere and any member can answer a resolve
+//! locally. Stale registrations (a lower view id for a known name) are
+//! ignored on apply, which makes re-registration after a view change
+//! safe to send from every server replica at once.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use bytes::Bytes;
+
+use newtop::directory::{DirReply, DirRequest, GroupRecord};
+use newtop_orb::cdr::{CdrDecode, CdrEncode, CdrError};
+
+/// The record table plus staged (not yet replicated) registrations.
+#[derive(Debug, Default)]
+pub struct DirectoryState {
+    records: BTreeMap<String, GroupRecord>,
+    staged: Vec<GroupRecord>,
+    /// Resolves answered (throughput accounting for benches).
+    pub resolves: u64,
+    /// Records applied in delivery order.
+    pub applied: u64,
+}
+
+/// A state handle shared between the servant closure and the pump.
+pub type SharedDirectory = Arc<Mutex<DirectoryState>>;
+
+/// Creates a fresh shared directory state.
+#[must_use]
+pub fn shared_directory() -> SharedDirectory {
+    Arc::new(Mutex::new(DirectoryState::default()))
+}
+
+impl DirectoryState {
+    /// Handles one decoded request at this member.
+    pub fn handle(&mut self, request: DirRequest) -> DirReply {
+        match request {
+            DirRequest::Register { record } => {
+                self.staged.push(record);
+                DirReply::Ok
+            }
+            DirRequest::Resolve { name } => {
+                self.resolves += 1;
+                match self.records.get(&name) {
+                    Some(record) => DirReply::Found {
+                        record: record.clone(),
+                    },
+                    None => DirReply::NotFound { name },
+                }
+            }
+        }
+    }
+
+    /// Decodes and handles one raw request body, returning the encoded
+    /// reply.
+    ///
+    /// # Errors
+    ///
+    /// The [`CdrError`] of a malformed request (the caller drops the
+    /// request or answers with an empty body; it never panics).
+    pub fn handle_raw(&mut self, body: &[u8]) -> Result<Bytes, CdrError> {
+        let request = DirRequest::from_cdr(body)?;
+        Ok(self.handle(request).to_cdr())
+    }
+
+    /// Drains registrations staged since the last pump; the caller
+    /// multicasts each through the directory group.
+    pub fn take_staged(&mut self) -> Vec<GroupRecord> {
+        std::mem::take(&mut self.staged)
+    }
+
+    /// Applies one record in the directory group's delivery order.
+    /// Returns whether the table changed (stale records are ignored).
+    pub fn apply(&mut self, record: GroupRecord) -> bool {
+        self.applied += 1;
+        match self.records.get(&record.name) {
+            Some(existing) if record.view < existing.view => false,
+            _ => {
+                self.records.insert(record.name.clone(), record);
+                true
+            }
+        }
+    }
+
+    /// The current record for `name`.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&GroupRecord> {
+        self.records.get(name)
+    }
+
+    /// Every record, sorted by name.
+    #[must_use]
+    pub fn records(&self) -> Vec<GroupRecord> {
+        self.records.values().cloned().collect()
+    }
+
+    /// Seeds the table from recovered durable state.
+    pub fn restore(&mut self, records: Vec<GroupRecord>) {
+        for record in records {
+            self.records.insert(record.name.clone(), record);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newtop_gcs::group::GroupConfig;
+    use newtop_gcs::view::ViewId;
+    use newtop_net::site::NodeId;
+
+    fn record(name: &str, view: u64, members: &[u32]) -> GroupRecord {
+        GroupRecord {
+            name: name.to_owned(),
+            config: GroupConfig::request_reply(),
+            members: members.iter().map(|&i| NodeId::from_index(i)).collect(),
+            view: ViewId(view),
+        }
+    }
+
+    #[test]
+    fn register_stages_and_apply_installs() {
+        let mut dir = DirectoryState::default();
+        assert_eq!(
+            dir.handle(DirRequest::Register {
+                record: record("svc", 1, &[0, 1, 2]),
+            }),
+            DirReply::Ok
+        );
+        // Not visible until replicated + applied.
+        assert!(matches!(
+            dir.handle(DirRequest::Resolve { name: "svc".into() }),
+            DirReply::NotFound { .. }
+        ));
+        let staged = dir.take_staged();
+        assert_eq!(staged.len(), 1);
+        assert!(dir.apply(staged[0].clone()));
+        match dir.handle(DirRequest::Resolve { name: "svc".into() }) {
+            DirReply::Found { record } => assert_eq!(record.view, ViewId(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_records_lose_to_newer_views() {
+        let mut dir = DirectoryState::default();
+        assert!(dir.apply(record("svc", 5, &[0, 1])));
+        assert!(!dir.apply(record("svc", 3, &[0, 1, 2])));
+        assert_eq!(dir.get("svc").unwrap().view, ViewId(5));
+        assert!(dir.apply(record("svc", 6, &[1, 2])));
+        assert_eq!(dir.get("svc").unwrap().members.len(), 2);
+    }
+
+    #[test]
+    fn malformed_requests_error_without_panicking() {
+        let mut dir = DirectoryState::default();
+        assert!(dir.handle_raw(&[0xFF, 0x00]).is_err());
+        assert!(dir.handle_raw(&[]).is_err());
+    }
+}

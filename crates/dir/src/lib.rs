@@ -1,0 +1,46 @@
+//! Replicated group directory and durable log/snapshot recovery for
+//! Newtop.
+//!
+//! Two halves, both new in PR 9:
+//!
+//! * **Durable state + crash recovery** ([`log`], [`snapshot`],
+//!   [`store`], [`recovery`], [`harness`]): every delivery and view
+//!   installation a node makes is appended to a CRC-framed, CDR-encoded
+//!   per-node log with batched fsyncs, compacted periodically into
+//!   snapshots. A killed node cold-restarts, replays snapshot + log
+//!   suffix, rejoins its groups through the last durably known view and
+//!   fetches the deliveries it missed as chunked *delta* state transfer
+//!   from its contiguous-ack floor — not the full history.
+//!
+//! * **Replicated directory** ([`directory`], plus the wire types in
+//!   `newtop::directory`): a well-known bootstrap group maps service
+//!   names to group records (configuration, member set, view id).
+//!   Registrations replicate through the GCS itself — staged at any
+//!   member, multicast with total order through the directory's own
+//!   peer group, applied in delivery order — so every member answers
+//!   resolves from an identical local table. Clients bind by *name*
+//!   (`BindTarget::Resolve`) with a TTL'd cache invalidated on view
+//!   changes.
+//!
+//! The simulator models crash/restart natively
+//! (`Sim::schedule_restart`); stable storage lives in a [`SharedStore`]
+//! held outside the volatile node state, exactly as a disk survives a
+//! process.
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod directory;
+pub mod harness;
+pub mod log;
+pub mod recovery;
+pub mod snapshot;
+pub mod store;
+
+pub use app::{register_service, DirectoryApp, DIR_GROUP};
+pub use directory::{shared_directory, DirectoryState, SharedDirectory};
+pub use harness::{DurableGcsNode, DurableHarness, RecoveryMsg};
+pub use log::{DeliveredRec, LogError, LogRecord};
+pub use recovery::{replay, RecoveredState};
+pub use snapshot::{GroupSnapshot, NodeSnapshot};
+pub use store::{shared_store, DurableStore, SharedStore};

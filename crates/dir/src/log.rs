@@ -1,0 +1,388 @@
+//! The per-node append-only durable log: CRC-framed, CDR-encoded
+//! records.
+//!
+//! Every frame is `len: u32 | crc: u32 | payload` (big-endian header,
+//! CDR payload). `len` counts payload bytes only and is capped at
+//! [`MAX_RECORD`]; `crc` is the IEEE CRC-32 of the payload. A reader
+//! that finds a short frame, an oversized length, a checksum mismatch
+//! or an undecodable payload reports a typed [`LogError`] — it never
+//! panics, and it never silently skips: a torn tail means the log ends
+//! there.
+
+use std::fmt;
+
+use bytes::Bytes;
+
+use newtop::directory::GroupRecord;
+use newtop_gcs::group::{DeliveryOrder, GroupConfig, GroupId};
+use newtop_gcs::view::View;
+use newtop_net::site::NodeId;
+use newtop_orb::cdr::{CdrDecode, CdrDecoder, CdrEncode, CdrEncoder, CdrError};
+
+/// Largest accepted frame payload (1 MiB): far above any real record,
+/// low enough that a corrupt length field cannot drive allocation.
+pub const MAX_RECORD: usize = 1 << 20;
+
+/// Bytes of framing overhead per record (`len` + `crc`).
+pub const FRAME_HEADER: usize = 8;
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// IEEE CRC-32 (the zlib/ethernet polynomial) of `bytes`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Why a durable log or snapshot failed to read back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogError {
+    /// The buffer ends inside a frame header or payload.
+    Truncated,
+    /// A frame header claims a payload larger than [`MAX_RECORD`].
+    Oversized(u32),
+    /// The payload checksum does not match its header.
+    BadCrc {
+        /// Checksum the header carries.
+        expected: u32,
+        /// Checksum of the bytes actually present.
+        actual: u32,
+    },
+    /// The payload passed its checksum but failed CDR decoding.
+    Cdr(CdrError),
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::Truncated => write!(f, "log frame truncated"),
+            LogError::Oversized(n) => write!(f, "log frame claims {n} bytes (cap {MAX_RECORD})"),
+            LogError::BadCrc { expected, actual } => {
+                write!(
+                    f,
+                    "log frame crc mismatch: header {expected:#x}, payload {actual:#x}"
+                )
+            }
+            LogError::Cdr(e) => write!(f, "log frame payload undecodable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+impl From<CdrError> for LogError {
+    fn from(e: CdrError) -> Self {
+        LogError::Cdr(e)
+    }
+}
+
+/// One delivered multicast as the durable log remembers it — enough to
+/// reproduce the delivery byte-for-byte on replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeliveredRec {
+    /// The multicasting member.
+    pub sender: NodeId,
+    /// The guarantee it was sent with.
+    pub order: DeliveryOrder,
+    /// Its Lamport timestamp.
+    pub lamport: u64,
+    /// The application payload.
+    pub payload: Bytes,
+}
+
+impl CdrEncode for DeliveredRec {
+    fn encode(&self, enc: &mut CdrEncoder) {
+        self.sender.encode(enc);
+        enc.write_u8(match self.order {
+            DeliveryOrder::Causal => 0,
+            DeliveryOrder::Total => 1,
+        });
+        enc.write_u64(self.lamport);
+        enc.write_bytes(&self.payload);
+    }
+}
+
+impl CdrDecode for DeliveredRec {
+    fn decode(dec: &mut CdrDecoder<'_>) -> Result<Self, CdrError> {
+        let sender = NodeId::decode(dec)?;
+        let order = match dec.read_u8()? {
+            0 => DeliveryOrder::Causal,
+            1 => DeliveryOrder::Total,
+            other => return Err(CdrError::BadDiscriminant(u32::from(other))),
+        };
+        Ok(DeliveredRec {
+            sender,
+            order,
+            lamport: dec.read_u64()?,
+            payload: Bytes::from(dec.read_bytes()?),
+        })
+    }
+}
+
+/// One durable log record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogRecord {
+    /// The node created or joined a group with this configuration.
+    Created {
+        /// Group concerned.
+        group: GroupId,
+        /// Its configuration.
+        config: GroupConfig,
+        /// Membership known at creation (empty for a join).
+        members: Vec<NodeId>,
+    },
+    /// A multicast was delivered locally.
+    Delivered {
+        /// Group it was delivered in.
+        group: GroupId,
+        /// The delivery.
+        rec: DeliveredRec,
+    },
+    /// A view was installed locally.
+    ViewInstalled {
+        /// Group concerned.
+        group: GroupId,
+        /// The installed view.
+        view: View,
+    },
+    /// A directory record was applied (directory members only).
+    DirRecord {
+        /// The applied record.
+        record: GroupRecord,
+    },
+}
+
+impl CdrEncode for LogRecord {
+    fn encode(&self, enc: &mut CdrEncoder) {
+        match self {
+            LogRecord::Created {
+                group,
+                config,
+                members,
+            } => {
+                enc.write_u8(0);
+                group.encode(enc);
+                config.encode(enc);
+                members.encode(enc);
+            }
+            LogRecord::Delivered { group, rec } => {
+                enc.write_u8(1);
+                group.encode(enc);
+                rec.encode(enc);
+            }
+            LogRecord::ViewInstalled { group, view } => {
+                enc.write_u8(2);
+                group.encode(enc);
+                view.encode(enc);
+            }
+            LogRecord::DirRecord { record } => {
+                enc.write_u8(3);
+                record.encode(enc);
+            }
+        }
+    }
+}
+
+impl CdrDecode for LogRecord {
+    fn decode(dec: &mut CdrDecoder<'_>) -> Result<Self, CdrError> {
+        match dec.read_u8()? {
+            0 => Ok(LogRecord::Created {
+                group: GroupId::decode(dec)?,
+                config: GroupConfig::decode(dec)?,
+                members: Vec::<NodeId>::decode(dec)?,
+            }),
+            1 => Ok(LogRecord::Delivered {
+                group: GroupId::decode(dec)?,
+                rec: DeliveredRec::decode(dec)?,
+            }),
+            2 => Ok(LogRecord::ViewInstalled {
+                group: GroupId::decode(dec)?,
+                view: View::decode(dec)?,
+            }),
+            3 => Ok(LogRecord::DirRecord {
+                record: GroupRecord::decode(dec)?,
+            }),
+            other => Err(CdrError::BadDiscriminant(u32::from(other))),
+        }
+    }
+}
+
+/// Appends one CRC-framed record to `buf`.
+pub fn append_frame<T: CdrEncode>(buf: &mut Vec<u8>, record: &T) {
+    let payload = record.to_cdr();
+    debug_assert!(payload.len() <= MAX_RECORD, "record exceeds frame cap");
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(&crc32(&payload).to_be_bytes());
+    buf.extend_from_slice(&payload);
+}
+
+/// Reads the frame starting at `buf[0]`, returning the decoded record
+/// and the bytes consumed.
+///
+/// # Errors
+///
+/// Any [`LogError`]: truncation, an oversized length, a checksum
+/// mismatch, or an undecodable payload.
+pub fn read_frame<T: CdrDecode>(buf: &[u8]) -> Result<(T, usize), LogError> {
+    if buf.len() < FRAME_HEADER {
+        return Err(LogError::Truncated);
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if len as usize > MAX_RECORD {
+        return Err(LogError::Oversized(len));
+    }
+    let expected = u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    let end = FRAME_HEADER + len as usize;
+    if buf.len() < end {
+        return Err(LogError::Truncated);
+    }
+    let payload = &buf[FRAME_HEADER..end];
+    let actual = crc32(payload);
+    if actual != expected {
+        return Err(LogError::BadCrc { expected, actual });
+    }
+    let mut dec = CdrDecoder::new(payload);
+    let record = T::decode(&mut dec)?;
+    Ok((record, end))
+}
+
+/// Decodes every frame in `buf` in order.
+///
+/// # Errors
+///
+/// The first [`LogError`] hit; earlier records are discarded (a durable
+/// log with a bad frame is treated as unreadable, not partially read —
+/// the caller decides whether to fall back to the snapshot).
+pub fn read_all<T: CdrDecode>(buf: &[u8]) -> Result<Vec<T>, LogError> {
+    let mut out = Vec::new();
+    let mut at = 0;
+    while at < buf.len() {
+        let (record, used) = read_frame::<T>(&buf[at..])?;
+        out.push(record);
+        at += used;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newtop_gcs::view::ViewId;
+
+    fn sample_records() -> Vec<LogRecord> {
+        let group = GroupId::new("ga");
+        vec![
+            LogRecord::Created {
+                group: group.clone(),
+                config: GroupConfig::peer(),
+                members: vec![NodeId::from_index(0), NodeId::from_index(1)],
+            },
+            LogRecord::Delivered {
+                group: group.clone(),
+                rec: DeliveredRec {
+                    sender: NodeId::from_index(1),
+                    order: DeliveryOrder::Total,
+                    lamport: 42,
+                    payload: Bytes::from_static(b"payload"),
+                },
+            },
+            LogRecord::ViewInstalled {
+                group: group.clone(),
+                view: View::new(
+                    group,
+                    ViewId(2),
+                    vec![NodeId::from_index(0), NodeId::from_index(1)],
+                ),
+            },
+        ]
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        let records = sample_records();
+        for r in &records {
+            append_frame(&mut buf, r);
+        }
+        assert_eq!(read_all::<LogRecord>(&buf).unwrap(), records);
+    }
+
+    #[test]
+    fn every_strict_prefix_errors() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, &sample_records()[1]);
+        for cut in 0..buf.len() {
+            assert!(
+                read_frame::<LogRecord>(&buf[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_is_detected() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, &sample_records()[1]);
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                read_frame::<LogRecord>(&bad).is_err(),
+                "flipped byte {i} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocation() {
+        let mut buf = vec![0xFF, 0xFF, 0xFF, 0xFF];
+        buf.extend_from_slice(&[0; 8]);
+        assert!(matches!(
+            read_frame::<LogRecord>(&buf),
+            Err(LogError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn bad_discriminant_is_rejected() {
+        let payload = vec![9u8];
+        let mut buf = (payload.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(&crc32(&payload).to_be_bytes());
+        buf.extend_from_slice(&payload);
+        assert!(matches!(
+            read_frame::<LogRecord>(&buf),
+            Err(LogError::Cdr(CdrError::BadDiscriminant(9)))
+        ));
+    }
+}

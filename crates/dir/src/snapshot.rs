@@ -1,0 +1,130 @@
+//! Periodic snapshots of group / view / directory state.
+//!
+//! A snapshot is the materialised result of replaying the log so far:
+//! per group, the configuration, the last installed view and the full
+//! delivery history; plus the directory record table for directory
+//! members. Installing a snapshot lets the store truncate the log —
+//! recovery then replays the (framed) snapshot followed by only the log
+//! suffix written since, which is what makes cold restarts cheap (see
+//! EXPERIMENTS.md for the replay-cost readings).
+
+use newtop::directory::GroupRecord;
+use newtop_gcs::group::{GroupConfig, GroupId};
+use newtop_gcs::view::View;
+use newtop_net::site::NodeId;
+use newtop_orb::cdr::{CdrDecode, CdrDecoder, CdrEncode, CdrEncoder, CdrError};
+
+use crate::log::DeliveredRec;
+
+/// One group's durable state at the snapshot point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupSnapshot {
+    /// Group concerned.
+    pub group: GroupId,
+    /// Its configuration.
+    pub config: GroupConfig,
+    /// Membership known at creation (empty for a join).
+    pub members_at_create: Vec<NodeId>,
+    /// The last view installed locally, if any.
+    pub last_view: Option<View>,
+    /// Every delivery so far, in delivery order.
+    pub history: Vec<DeliveredRec>,
+}
+
+impl CdrEncode for GroupSnapshot {
+    fn encode(&self, enc: &mut CdrEncoder) {
+        self.group.encode(enc);
+        self.config.encode(enc);
+        self.members_at_create.encode(enc);
+        self.last_view.encode(enc);
+        self.history.encode(enc);
+    }
+}
+
+impl CdrDecode for GroupSnapshot {
+    fn decode(dec: &mut CdrDecoder<'_>) -> Result<Self, CdrError> {
+        Ok(GroupSnapshot {
+            group: GroupId::decode(dec)?,
+            config: GroupConfig::decode(dec)?,
+            members_at_create: Vec::<NodeId>::decode(dec)?,
+            last_view: Option::<View>::decode(dec)?,
+            history: Vec::<DeliveredRec>::decode(dec)?,
+        })
+    }
+}
+
+/// A whole node's durable state at the snapshot point.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeSnapshot {
+    /// Per-group state, sorted by group id.
+    pub groups: Vec<GroupSnapshot>,
+    /// The directory record table (directory members only).
+    pub dir: Vec<GroupRecord>,
+}
+
+impl CdrEncode for NodeSnapshot {
+    fn encode(&self, enc: &mut CdrEncoder) {
+        self.groups.encode(enc);
+        self.dir.encode(enc);
+    }
+}
+
+impl CdrDecode for NodeSnapshot {
+    fn decode(dec: &mut CdrDecoder<'_>) -> Result<Self, CdrError> {
+        Ok(NodeSnapshot {
+            groups: Vec::<GroupSnapshot>::decode(dec)?,
+            dir: Vec::<GroupRecord>::decode(dec)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{append_frame, read_frame};
+    use bytes::Bytes;
+    use newtop_gcs::group::DeliveryOrder;
+    use newtop_gcs::view::ViewId;
+
+    fn sample() -> NodeSnapshot {
+        let group = GroupId::new("ga");
+        NodeSnapshot {
+            groups: vec![GroupSnapshot {
+                group: group.clone(),
+                config: GroupConfig::peer(),
+                members_at_create: vec![NodeId::from_index(0), NodeId::from_index(2)],
+                last_view: Some(View::new(
+                    group,
+                    ViewId(4),
+                    vec![NodeId::from_index(0), NodeId::from_index(2)],
+                )),
+                history: vec![DeliveredRec {
+                    sender: NodeId::from_index(2),
+                    order: DeliveryOrder::Total,
+                    lamport: 7,
+                    payload: Bytes::from_static(b"x"),
+                }],
+            }],
+            dir: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn snapshots_round_trip_framed() {
+        let snap = sample();
+        let mut buf = Vec::new();
+        append_frame(&mut buf, &snap);
+        let (back, used) = read_frame::<NodeSnapshot>(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_prefixes_error() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, &sample());
+        for cut in [0, 3, 8, buf.len() - 1] {
+            assert!(read_frame::<NodeSnapshot>(&buf[..cut]).is_err());
+        }
+    }
+}

@@ -128,6 +128,7 @@ pub struct FlowController<M: Ord + Copy> {
     acked: BTreeMap<M, u64>,
     shed: u64,
     peak_in_flight: u64,
+    replayed: u64,
 }
 
 impl<M: Ord + Copy> FlowController<M> {
@@ -142,6 +143,7 @@ impl<M: Ord + Copy> FlowController<M> {
             acked: BTreeMap::new(),
             shed: 0,
             peak_in_flight: 0,
+            replayed: 0,
         }
     }
 
@@ -167,6 +169,25 @@ impl<M: Ord + Copy> FlowController<M> {
         self.sent += 1;
         self.peak_in_flight = self.peak_in_flight.max(self.in_flight());
         Admission::Granted
+    }
+
+    /// Admits one *replay* send — state-transfer or log-replay traffic
+    /// that re-ships history the group already acknowledged. Replays are
+    /// always granted and never counted as in flight: the window bounds
+    /// *new* multicasts awaiting acknowledgement, and charging recovery
+    /// traffic against it would let a large delta starve live sends (or
+    /// a full window stall a rejoin indefinitely). Replays are counted
+    /// separately in [`FlowController::replayed_count`] so observability
+    /// still sees the volume.
+    pub fn admit_replay(&mut self) -> Admission {
+        self.replayed += 1;
+        Admission::Granted
+    }
+
+    /// Replay sends admitted outside the window (across all views).
+    #[must_use]
+    pub fn replayed_count(&self) -> u64 {
+        self.replayed
     }
 
     /// Records that `peer` has contiguously acknowledged this sender's
@@ -243,6 +264,26 @@ mod tests {
         assert_eq!(fc.try_acquire(), Admission::Shed);
         assert_eq!(fc.shed_count(), 1);
         assert_eq!(fc.peak_in_flight(), 3);
+    }
+
+    #[test]
+    fn replay_admission_bypasses_a_full_window() {
+        let mut fc: FlowController<u32> = FlowController::new(2);
+        fc.install_view([1, 2]);
+        assert!(fc.try_acquire().is_granted());
+        assert!(fc.try_acquire().is_granted());
+        assert_eq!(fc.try_acquire(), Admission::Shed);
+        // Recovery traffic is still admitted, and admitting it neither
+        // consumes live credits nor inflates the in-flight count.
+        assert!(fc.admit_replay().is_granted());
+        assert_eq!(fc.replayed_count(), 1);
+        assert_eq!(fc.in_flight(), 2);
+        assert_eq!(fc.credits(), 0);
+        // Live sends remain shed until a real ack replenishes.
+        assert_eq!(fc.try_acquire(), Admission::Shed);
+        fc.on_ack(1, 2);
+        fc.on_ack(2, 2);
+        assert!(fc.try_acquire().is_granted());
     }
 
     #[test]

@@ -244,6 +244,60 @@ impl GroupConfig {
     }
 }
 
+impl CdrEncode for GroupConfig {
+    fn encode(&self, enc: &mut CdrEncoder) {
+        enc.write_u8(match self.ordering {
+            OrderProtocol::Symmetric => 0,
+            OrderProtocol::Asymmetric => 1,
+        });
+        enc.write_u8(match self.liveness {
+            Liveness::Lively => 0,
+            Liveness::EventDriven => 1,
+        });
+        enc.write_u8(match self.fanout {
+            FanoutMode::Synchronous => 0,
+            FanoutMode::Asynchronous => 1,
+        });
+        enc.write_u64(self.time_silence.as_micros() as u64);
+        enc.write_u32(self.suspicion_multiple);
+        enc.write_u64(self.nack_delay.as_micros() as u64);
+        enc.write_u64(self.view_change_timeout.as_micros() as u64);
+        enc.write_u64(self.flow_window);
+        enc.write_u32(self.max_queued_multicasts);
+    }
+}
+
+impl CdrDecode for GroupConfig {
+    fn decode(dec: &mut CdrDecoder<'_>) -> Result<Self, CdrError> {
+        let ordering = match dec.read_u8()? {
+            0 => OrderProtocol::Symmetric,
+            1 => OrderProtocol::Asymmetric,
+            other => return Err(CdrError::BadDiscriminant(u32::from(other))),
+        };
+        let liveness = match dec.read_u8()? {
+            0 => Liveness::Lively,
+            1 => Liveness::EventDriven,
+            other => return Err(CdrError::BadDiscriminant(u32::from(other))),
+        };
+        let fanout = match dec.read_u8()? {
+            0 => FanoutMode::Synchronous,
+            1 => FanoutMode::Asynchronous,
+            other => return Err(CdrError::BadDiscriminant(u32::from(other))),
+        };
+        Ok(GroupConfig {
+            ordering,
+            liveness,
+            fanout,
+            time_silence: Duration::from_micros(dec.read_u64()?),
+            suspicion_multiple: dec.read_u32()?,
+            nack_delay: Duration::from_micros(dec.read_u64()?),
+            view_change_timeout: Duration::from_micros(dec.read_u64()?),
+            flow_window: dec.read_u64()?,
+            max_queued_multicasts: dec.read_u32()?,
+        })
+    }
+}
+
 impl Default for GroupConfig {
     /// Asymmetric, event-driven, 25 ms time-silence, 14× suspicion (a
     /// loaded member's heartbeats queue behind its traffic; suspicion must
@@ -281,6 +335,25 @@ mod tests {
             assert_eq!(DeliveryOrder::from_code(o.code()).unwrap(), o);
         }
         assert!(DeliveryOrder::from_code(9).is_err());
+    }
+
+    #[test]
+    fn group_config_round_trips_via_cdr() {
+        for cfg in [
+            GroupConfig::default(),
+            GroupConfig::peer().with_flow_window(7),
+            GroupConfig::request_reply().with_time_silence(Duration::from_millis(3)),
+        ] {
+            let b = cfg.to_cdr();
+            assert_eq!(GroupConfig::from_cdr(&b).unwrap(), cfg);
+        }
+        // A bad ordering discriminant is rejected, not defaulted.
+        let mut b = GroupConfig::default().to_cdr().to_vec();
+        b[0] = 9;
+        assert!(matches!(
+            GroupConfig::from_cdr(&b),
+            Err(CdrError::BadDiscriminant(9))
+        ));
     }
 
     #[test]

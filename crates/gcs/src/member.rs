@@ -555,6 +555,13 @@ impl GcsMember {
         self.groups.get(group).map(|g| &g.flow)
     }
 
+    /// Mutable flow-control access for the recovery path: state-transfer
+    /// sends are admitted with [`FlowController::admit_replay`] so they
+    /// pass the controller without consuming live send credits.
+    pub fn flow_of_mut(&mut self, group: &GroupId) -> Option<&mut FlowController<NodeId>> {
+        self.groups.get_mut(group).map(|g| &mut g.flow)
+    }
+
     /// Counts one shed multicast in the metrics registry.
     fn note_flow_shed(&mut self, _group: &GroupId) {
         self.obs.metrics.incr("flow.shed");
@@ -583,6 +590,15 @@ impl GcsMember {
     #[must_use]
     pub fn clock_value(&self) -> u64 {
         self.clock.value()
+    }
+
+    /// Advances the clock past an externally observed timestamp. A
+    /// recovering node calls this with the highest Lamport stamp in its
+    /// replayed history (and in each state-transfer chunk), so that
+    /// post-recovery sends never reuse a stamp other members already saw
+    /// from it — per-sender FIFO must survive the restart.
+    pub fn observe_clock(&mut self, ts: u64) {
+        self.clock.observe(ts);
     }
 
     /// The current view of a group, if the node belongs to it.

@@ -192,6 +192,36 @@ impl ShardedGcs {
         r
     }
 
+    /// Like [`ShardedGcs::join_group`], but places the group using a
+    /// full membership the caller already knows — a recovering node
+    /// rejoins with the member set of its last durably installed view,
+    /// so overlapping groups land on the same shard (and clock domain)
+    /// they occupied before the crash, keeping sharded replays
+    /// byte-identical to single-shard ones.
+    ///
+    /// # Errors
+    ///
+    /// Any [`GcsError`] from the owning shard.
+    pub fn join_group_with_membership(
+        &mut self,
+        group: GroupId,
+        config: GroupConfig,
+        contact: NodeId,
+        known_members: &[NodeId],
+        now: SimTime,
+        net: &mut GcsNet<'_>,
+    ) -> Result<(), GcsError> {
+        if self.placement.contains_key(&group) {
+            return Err(GcsError::AlreadyMember(group));
+        }
+        let shard = self.place(&group, known_members);
+        let r = self.shards[shard].join_group(group.clone(), config, contact, now, net);
+        if r.is_err() {
+            self.unplace(&group);
+        }
+        r
+    }
+
     /// Gracefully leaves a group. See [`GcsMember::leave_group`].
     ///
     /// # Errors
@@ -311,6 +341,12 @@ impl ShardedGcs {
             .and_then(|s| self.shards[s].flow_of(group))
     }
 
+    /// Mutable flow-control access (recovery replay admission).
+    pub fn flow_of_mut(&mut self, group: &GroupId) -> Option<&mut FlowController<NodeId>> {
+        let s = self.shard_of(group)?;
+        self.shards[s].flow_of_mut(group)
+    }
+
     /// Internal-state summary for one group, prefixed with its shard.
     #[doc(hidden)]
     #[must_use]
@@ -336,6 +372,16 @@ impl ShardedGcs {
     #[must_use]
     pub fn clock_value_of(&self, group: &GroupId) -> Option<u64> {
         self.shard_of(group).map(|s| self.shards[s].clock_value())
+    }
+
+    /// Advances every shard's clock past an externally observed
+    /// timestamp (see [`GcsMember::observe_clock`]); recovery replay
+    /// does not know which shard will own a group it is yet to rejoin,
+    /// and over-advancing a clock is always safe.
+    pub fn observe_clock(&mut self, ts: u64) {
+        for shard in &mut self.shards {
+            shard.observe_clock(ts);
+        }
     }
 }
 

@@ -19,7 +19,7 @@ use newtop_net::time::SimTime;
 use newtop_orb::cdr::{CdrDecode, CdrDecoder, CdrEncode, CdrEncoder, CdrError};
 use newtop_orb::orb::{OrbCore, OrbIncoming};
 
-use crate::group::{DeliveryOrder, FanoutMode, GroupConfig, GroupId, Liveness, OrderProtocol};
+use crate::group::{DeliveryOrder, GroupConfig, GroupId};
 use crate::member::{GcsNet, GcsOutput};
 use crate::messages::GcsMessage;
 use crate::shard::ShardedGcs;
@@ -66,59 +66,18 @@ pub enum Command {
 }
 
 fn encode_config(enc: &mut CdrEncoder, c: &GroupConfig) {
-    enc.write_u8(match c.ordering {
-        OrderProtocol::Symmetric => 0,
-        OrderProtocol::Asymmetric => 1,
-    });
-    enc.write_u8(match c.liveness {
-        Liveness::Lively => 0,
-        Liveness::EventDriven => 1,
-    });
-    enc.write_u8(match c.fanout {
-        FanoutMode::Synchronous => 0,
-        FanoutMode::Asynchronous => 1,
-    });
-    enc.write_u64(c.time_silence.as_micros() as u64);
-    enc.write_u32(c.suspicion_multiple);
-    enc.write_u64(c.nack_delay.as_micros() as u64);
-    enc.write_u64(c.view_change_timeout.as_micros() as u64);
-    enc.write_u64(c.flow_window);
-    enc.write_u32(c.max_queued_multicasts);
+    c.encode(enc);
 }
 
 fn decode_config(dec: &mut CdrDecoder<'_>) -> Result<GroupConfig, CdrError> {
-    let ordering = match dec.read_u8()? {
-        0 => OrderProtocol::Symmetric,
-        _ => OrderProtocol::Asymmetric,
-    };
-    let liveness = match dec.read_u8()? {
-        0 => Liveness::Lively,
-        _ => Liveness::EventDriven,
-    };
-    let fanout = match dec.read_u8()? {
-        0 => FanoutMode::Synchronous,
-        _ => FanoutMode::Asynchronous,
-    };
-    let time_silence = std::time::Duration::from_micros(dec.read_u64()?);
-    let suspicion_multiple = dec.read_u32()?;
-    let nack_delay = std::time::Duration::from_micros(dec.read_u64()?);
-    let view_change_timeout = std::time::Duration::from_micros(dec.read_u64()?);
-    let flow_window = dec.read_u64()?;
-    let max_queued_multicasts = dec.read_u32()?;
-    Ok(GroupConfig {
-        ordering,
-        liveness,
-        fanout,
-        time_silence,
-        suspicion_multiple,
-        nack_delay,
-        view_change_timeout,
-        flow_window,
-        max_queued_multicasts,
-    })
+    GroupConfig::decode(dec)
 }
 
-fn encode_command(cmd: &Command) -> Bytes {
+/// Encodes a scripted command as a magic-prefixed control packet
+/// payload. Public so downstream harnesses (the durable-recovery
+/// harness in `newtop-dir`) can script the same operations.
+#[must_use]
+pub fn encode_command(cmd: &Command) -> Bytes {
     let mut enc = CdrEncoder::new();
     for b in CTRL_MAGIC {
         enc.write_u8(*b);
@@ -165,7 +124,10 @@ fn encode_command(cmd: &Command) -> Bytes {
     enc.finish()
 }
 
-fn decode_command(payload: &[u8]) -> Option<Command> {
+/// Decodes a scripted command from a packet payload, or `None` when the
+/// payload is not a magic-prefixed control packet.
+#[must_use]
+pub fn decode_command(payload: &[u8]) -> Option<Command> {
     if payload.len() < CTRL_MAGIC.len() || &payload[..CTRL_MAGIC.len()] != CTRL_MAGIC {
         return None;
     }

@@ -60,6 +60,18 @@ pub enum FaultOp {
         /// Which node dies.
         target: FaultTarget,
     },
+    /// Cold-restart a node crashed by an earlier op of the same plan: the
+    /// node loses its volatile state, replays whatever it made durable,
+    /// and rejoins its groups (crash-recovery, the extension of the
+    /// paper's crash-stop model). Recovering a never-crashed target is a
+    /// no-op.
+    Recover {
+        /// When the node comes back.
+        at: Duration,
+        /// Which node recovers. `Sequencer` resolves to the lowest-ranked
+        /// index dead at that point.
+        target: FaultTarget,
+    },
     /// Split the roster into cells (roster indices), then heal. Roster
     /// members missing from every cell are isolated on their own.
     Partition {
@@ -139,7 +151,7 @@ impl FaultOp {
     #[must_use]
     pub fn ends_at(&self) -> Duration {
         match self {
-            FaultOp::Crash { at, .. } => *at,
+            FaultOp::Crash { at, .. } | FaultOp::Recover { at, .. } => *at,
             FaultOp::Partition { heal_at, .. } => *heal_at,
             FaultOp::DropBurst { until, .. }
             | FaultOp::DelaySpike { until, .. }
@@ -155,6 +167,7 @@ impl fmt::Display for FaultOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FaultOp::Crash { at, target } => write!(f, "crash {target}@{}ms", at.as_millis()),
+            FaultOp::Recover { at, target } => write!(f, "recover {target}@{}ms", at.as_millis()),
             FaultOp::Partition { at, heal_at, cells } => {
                 write!(f, "partition ")?;
                 for (i, cell) in cells.iter().enumerate() {
@@ -277,6 +290,18 @@ impl FaultPlan {
         self.ops.push(FaultOp::Crash {
             at,
             target: FaultTarget::Sequencer,
+        });
+        self
+    }
+
+    /// Adds a recovery of the roster member at `index`, which an earlier
+    /// op of this plan must have crashed (otherwise the recovery is a
+    /// no-op).
+    #[must_use]
+    pub fn recover(mut self, at: Duration, index: usize) -> Self {
+        self.ops.push(FaultOp::Recover {
+            at,
+            target: FaultTarget::Index(index),
         });
         self
     }
@@ -406,35 +431,71 @@ impl FaultPlan {
             .count()
     }
 
-    /// Resolves the roster indices this plan crashes, in schedule order.
-    /// Sequencer targets resolve to the lowest index not already crashed
-    /// by an earlier (by time, then insertion order) crash of the plan.
+    /// Resolves the roster indices this plan leaves crashed at its end,
+    /// in crash order. Sequencer crash targets resolve to the lowest
+    /// index not dead at that (time, then insertion order) point; a
+    /// `recover` op removes its index from the dead set again.
     #[must_use]
     pub fn crashed_indices(&self, roster_len: usize) -> Vec<usize> {
-        let mut crashes: Vec<(Duration, usize, &FaultTarget)> = self
+        self.resolve_lifecycle(roster_len).into_iter().fold(
+            Vec::new(),
+            |mut dead, (_, idx, crash)| {
+                if crash {
+                    dead.push(idx);
+                } else {
+                    dead.retain(|&d| d != idx);
+                }
+                dead
+            },
+        )
+    }
+
+    /// Resolves every crash and recovery to `(at, roster index, is_crash)`
+    /// in time (then insertion) order, tracking the dead set so sequencer
+    /// targets and recoveries bind to the right member. Crashes of
+    /// already-dead indices and recoveries of never-crashed indices are
+    /// dropped here.
+    fn resolve_lifecycle(&self, roster_len: usize) -> Vec<(Duration, usize, bool)> {
+        let mut ordered: Vec<(Duration, usize, bool, &FaultTarget)> = self
             .ops
             .iter()
             .enumerate()
             .filter_map(|(i, op)| match op {
-                FaultOp::Crash { at, target } => Some((*at, i, target)),
+                FaultOp::Crash { at, target } => Some((*at, i, true, target)),
+                FaultOp::Recover { at, target } => Some((*at, i, false, target)),
                 _ => None,
             })
             .collect();
-        crashes.sort_by_key(|&(at, i, _)| (at, i));
+        ordered.sort_by_key(|&(at, i, ..)| (at, i));
         let mut dead: Vec<usize> = Vec::new();
-        for (_, _, target) in crashes {
-            let idx = match target {
-                FaultTarget::Index(i) => *i,
-                FaultTarget::Sequencer => match (0..roster_len).find(|i| !dead.contains(i)) {
+        let mut out = Vec::new();
+        for (at, _, crash, target) in ordered {
+            let idx = match (crash, target) {
+                (_, FaultTarget::Index(i)) => *i,
+                // A sequencer crash hits the lowest live index; a
+                // sequencer recovery revives the lowest dead one.
+                (true, FaultTarget::Sequencer) => {
+                    match (0..roster_len).find(|i| !dead.contains(i)) {
+                        Some(i) => i,
+                        None => continue,
+                    }
+                }
+                (false, FaultTarget::Sequencer) => match dead.iter().copied().min() {
                     Some(i) => i,
                     None => continue,
                 },
             };
-            if idx < roster_len && !dead.contains(&idx) {
-                dead.push(idx);
+            if idx >= roster_len || dead.contains(&idx) == crash {
+                continue;
             }
+            if crash {
+                dead.push(idx);
+            } else {
+                dead.retain(|&d| d != idx);
+            }
+            out.push((at, idx, crash));
         }
-        dead
+        out
     }
 
     /// Schedules every op of the plan onto `sim`, resolving roster
@@ -442,40 +503,19 @@ impl FaultPlan {
     /// so a plan written for five nodes degrades gracefully on three.
     pub fn apply(&self, sim: &mut Sim, roster: &[NodeId]) {
         let base = sim.now();
-        let mut dead: Vec<usize> = Vec::new();
-        let mut crashes: Vec<(Duration, usize)> = Vec::new();
-        // Resolve targeted kills first, in time order, so "sequencer"
-        // means the lowest-ranked member still alive at that point.
-        let mut ordered: Vec<(Duration, usize, &FaultTarget)> = self
-            .ops
-            .iter()
-            .enumerate()
-            .filter_map(|(i, op)| match op {
-                FaultOp::Crash { at, target } => Some((*at, i, target)),
-                _ => None,
-            })
-            .collect();
-        ordered.sort_by_key(|&(at, i, _)| (at, i));
-        for (at, _, target) in ordered {
-            let idx = match target {
-                FaultTarget::Index(i) => *i,
-                FaultTarget::Sequencer => match (0..roster.len()).find(|i| !dead.contains(i)) {
-                    Some(i) => i,
-                    None => continue,
-                },
-            };
-            if idx >= roster.len() || dead.contains(&idx) {
-                continue;
+        // Resolve targeted kills and recoveries first, in time order, so
+        // "sequencer" means the lowest-ranked member still alive at that
+        // point and recoveries bind to members an earlier op crashed.
+        for (at, idx, crash) in self.resolve_lifecycle(roster.len()) {
+            if crash {
+                sim.schedule_crash(base + at, roster[idx]);
+            } else {
+                sim.schedule_restart(base + at, roster[idx]);
             }
-            dead.push(idx);
-            crashes.push((at, idx));
-        }
-        for (at, idx) in crashes {
-            sim.schedule_crash(base + at, roster[idx]);
         }
         for op in &self.ops {
             match op {
-                FaultOp::Crash { .. } => {}
+                FaultOp::Crash { .. } | FaultOp::Recover { .. } => {}
                 FaultOp::Partition { at, heal_at, cells } => {
                     let cells: Vec<Vec<NodeId>> = cells
                         .iter()
@@ -709,6 +749,49 @@ mod tests {
         // While split, n0 hears only n1 (one peer); after healing it hears
         // all three again, so the rate must more than double.
         assert!(heard_end > heard_mid * 2, "{heard_mid} -> {heard_end}");
+    }
+
+    #[test]
+    fn recover_revives_the_crashed_index() {
+        let ms = Duration::from_millis;
+        let plan = FaultPlan::named("p").crash(ms(100), 2).recover(ms(400), 2);
+        // The dead set at plan end is empty: n2 came back.
+        assert_eq!(plan.crashed_indices(5), Vec::<usize>::new());
+        // A recovery of a never-crashed index is dropped at resolution.
+        let plan = FaultPlan::named("p").recover(ms(400), 1);
+        assert_eq!(plan.crashed_indices(5), Vec::<usize>::new());
+        // Sequencer kills after a recovery see the revived member again:
+        // kill n0, revive n0, kill "sequencer" → n0 dies again.
+        let plan = FaultPlan::named("p")
+            .kill_sequencer(ms(100))
+            .recover(ms(300), 0)
+            .kill_sequencer(ms(500));
+        assert_eq!(plan.crashed_indices(5), vec![0]);
+    }
+
+    #[test]
+    fn recover_op_restarts_the_node_in_the_sim() {
+        let (mut sim, ids) = chatter_sim(3, 9);
+        FaultPlan::named("p")
+            .crash(Duration::from_millis(50), 1)
+            .recover(Duration::from_millis(200), 1)
+            .apply(&mut sim, &ids);
+        sim.run_until(SimTime::from_millis(100));
+        assert!(!sim.is_alive(ids[1]));
+        sim.run_until(SimTime::from_millis(400));
+        assert!(sim.is_alive(ids[1]));
+    }
+
+    #[test]
+    fn recover_prints_in_the_repro_line() {
+        let plan = FaultPlan::named("kr")
+            .crash(Duration::from_millis(120), 2)
+            .recover(Duration::from_millis(400), 2);
+        assert_eq!(
+            plan.to_string(),
+            "plan \"kr\": crash n2@120ms; recover n2@400ms"
+        );
+        assert_eq!(plan.quiesce_at(), Duration::from_millis(400));
     }
 
     #[test]

@@ -175,6 +175,14 @@ impl Outbox {
 pub trait SimNode: Any + Send {
     /// Handles one event, queueing any resulting actions into `out`.
     fn on_event(&mut self, now: SimTime, ev: NodeEvent, out: &mut Outbox);
+
+    /// Called when the node is cold-restarted after a crash (see
+    /// [`Sim::schedule_restart`]), before the fresh [`NodeEvent::Start`]
+    /// is delivered. Implementations discard volatile state here; state
+    /// that should survive the crash must live outside the node (e.g. a
+    /// shared durable store). No outbox is available — recovery actions
+    /// belong in the `Start` handler that follows.
+    fn on_restart(&mut self, _now: SimTime) {}
 }
 
 impl dyn SimNode {
@@ -312,6 +320,10 @@ enum QueuedKind {
 #[derive(Debug)]
 enum Control {
     Crash(NodeId),
+    /// Cold-restart a crashed node: volatile state is discarded
+    /// ([`SimNode::on_restart`]), a fresh `Start` is delivered, and
+    /// pre-crash timers and CPU work are invalidated.
+    Restart(NodeId),
     /// Nodes in different cells cannot exchange packets. A node absent from
     /// every cell is unreachable by everyone.
     Partition(Vec<Vec<NodeId>>),
@@ -334,11 +346,20 @@ enum Control {
     SetServiceFactor(Option<NodeId>, f64),
 }
 
+/// Incarnation stamp meaning "deliver regardless of restarts".
+const ANY_INCARNATION: u64 = u64::MAX;
+
 struct QueuedEvent {
     at: SimTime,
     seq: u64,
     target: Option<NodeId>,
     kind: QueuedKind,
+    /// Which incarnation of the target this event belongs to. Timers and
+    /// queued CPU work die with the incarnation that created them (a
+    /// restarted node must not receive a previous life's timers, whose
+    /// tags a rebuilt state machine may have reused); network packets and
+    /// harness injections carry [`ANY_INCARNATION`].
+    incarnation: u64,
 }
 
 impl PartialEq for QueuedEvent {
@@ -367,6 +388,8 @@ struct Slot {
     busy_until: SimTime,
     alive: bool,
     started: bool,
+    /// Bumped on every restart; see [`QueuedEvent::incarnation`].
+    incarnation: u64,
 }
 
 /// Aggregate traffic counters for a run.
@@ -449,6 +472,7 @@ impl Sim {
             busy_until: SimTime::ZERO,
             alive: true,
             started: false,
+            incarnation: 0,
         });
         self.push(self.now, Some(id), QueuedKind::Arrive(NodeEvent::Start));
         id
@@ -515,6 +539,15 @@ impl Sim {
     /// from it are dropped (crash-stop, the paper's failure model).
     pub fn schedule_crash(&mut self, at: SimTime, node: NodeId) {
         self.push(at, None, QueuedKind::Control(Control::Crash(node)));
+    }
+
+    /// Schedules a cold restart of a crashed node. Volatile state is
+    /// discarded through [`SimNode::on_restart`], timers and CPU work
+    /// from the previous incarnation are invalidated, and a fresh
+    /// [`NodeEvent::Start`] is delivered at `at`. A restart scheduled for
+    /// a node that is still alive is a no-op.
+    pub fn schedule_restart(&mut self, at: SimTime, node: NodeId) {
+        self.push(at, None, QueuedKind::Control(Control::Restart(node)));
     }
 
     /// Schedules a network partition. Nodes in different cells cannot
@@ -633,16 +666,31 @@ impl Sim {
                 let Some(target) = ev.target else {
                     return true;
                 };
-                self.on_arrival(target, event);
+                if self.incarnation_live(target, ev.incarnation) {
+                    self.on_arrival(target, event);
+                }
             }
             QueuedKind::Handle(event) => {
                 let Some(target) = ev.target else {
                     return true;
                 };
-                self.dispatch(target, event);
+                if self.incarnation_live(target, ev.incarnation) {
+                    self.dispatch(target, event);
+                }
             }
         }
         true
+    }
+
+    /// Whether an event stamped with `incarnation` may still reach
+    /// `target`: either it carries the wildcard stamp or the node has not
+    /// been restarted since the stamp was taken.
+    fn incarnation_live(&self, target: NodeId, incarnation: u64) -> bool {
+        incarnation == ANY_INCARNATION
+            || self
+                .nodes
+                .get(target.index() as usize)
+                .is_some_and(|s| s.incarnation == incarnation)
     }
 
     fn apply_control(&mut self, c: Control) {
@@ -650,6 +698,19 @@ impl Sim {
             Control::Crash(id) => {
                 if let Some(slot) = self.nodes.get_mut(id.index() as usize) {
                     slot.alive = false;
+                }
+            }
+            Control::Restart(id) => {
+                let now = self.now;
+                if let Some(slot) = self.nodes.get_mut(id.index() as usize) {
+                    if !slot.alive {
+                        slot.alive = true;
+                        slot.started = false;
+                        slot.busy_until = now;
+                        slot.incarnation += 1;
+                        slot.node.on_restart(now);
+                        self.push(now, Some(id), QueuedKind::Arrive(NodeEvent::Start));
+                    }
                 }
             }
             Control::Partition(cells) => self.partition = Some(cells),
@@ -714,7 +775,13 @@ impl Sim {
         if matches!(event, NodeEvent::Packet(_)) {
             self.stats.packets_delivered += 1;
         }
-        self.push(completion, Some(target), QueuedKind::Handle(event));
+        let incarnation = slot.incarnation;
+        self.push_stamped(
+            completion,
+            Some(target),
+            QueuedKind::Handle(event),
+            incarnation,
+        );
     }
 
     /// The node's CPU has finished with this event; run the handler and
@@ -753,7 +820,16 @@ impl Sim {
                 continue;
             }
             let at = self.now + delay;
-            self.push(at, Some(src), QueuedKind::Arrive(NodeEvent::Timer(id, tag)));
+            let incarnation = self
+                .nodes
+                .get(src.index() as usize)
+                .map_or(ANY_INCARNATION, |s| s.incarnation);
+            self.push_stamped(
+                at,
+                Some(src),
+                QueuedKind::Arrive(NodeEvent::Timer(id, tag)),
+                incarnation,
+            );
         }
         // Sends are per-member ORB invocations. Two costs, both from the
         // paper's architecture (§2.2): each invocation consumes sender
@@ -886,6 +962,16 @@ impl Sim {
     }
 
     fn push(&mut self, at: SimTime, target: Option<NodeId>, kind: QueuedKind) {
+        self.push_stamped(at, target, kind, ANY_INCARNATION);
+    }
+
+    fn push_stamped(
+        &mut self,
+        at: SimTime,
+        target: Option<NodeId>,
+        kind: QueuedKind,
+        incarnation: u64,
+    ) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.queue.push(Reverse(QueuedEvent {
@@ -893,6 +979,7 @@ impl Sim {
             seq,
             target,
             kind,
+            incarnation,
         }));
     }
 }
@@ -1173,6 +1260,96 @@ mod tests {
         assert_eq!(sim.node_ref::<Pinger>(pinger).unwrap().replies, 0);
         assert!(!sim.is_alive(echo));
         assert!(sim.is_alive(pinger));
+    }
+
+    #[test]
+    fn restart_redelivers_start_and_discards_old_timers() {
+        /// Counts its `Start`s; arms a long timer on every start whose
+        /// firing is recorded. After a crash+restart the first
+        /// incarnation's timer must never fire, the second's must.
+        struct Phoenix {
+            starts: u32,
+            restarts: u32,
+            fired: Vec<u64>,
+        }
+        impl SimNode for Phoenix {
+            fn on_event(&mut self, _now: SimTime, ev: NodeEvent, out: &mut Outbox) {
+                match ev {
+                    NodeEvent::Start => {
+                        self.starts += 1;
+                        // Tag collides across incarnations on purpose:
+                        // a rebuilt state machine reuses its tag space.
+                        out.set_timer(Duration::from_millis(300), u64::from(self.starts));
+                    }
+                    NodeEvent::Timer(_, tag) => self.fired.push(tag),
+                    NodeEvent::Packet(_) => {}
+                }
+            }
+            fn on_restart(&mut self, _now: SimTime) {
+                self.restarts += 1;
+            }
+        }
+        let mut sim = Sim::new(SimConfig::default());
+        let id = sim.add_node(
+            Site::Lan,
+            Box::new(Phoenix {
+                starts: 0,
+                restarts: 0,
+                fired: Vec::new(),
+            }),
+        );
+        sim.schedule_crash(SimTime::from_millis(100), id);
+        sim.schedule_restart(SimTime::from_millis(200), id);
+        sim.run_until(SimTime::from_millis(1000));
+        assert!(sim.is_alive(id));
+        let p = sim.node_ref::<Phoenix>(id).unwrap();
+        assert_eq!(p.starts, 2, "restart must re-deliver Start exactly once");
+        assert_eq!(p.restarts, 1);
+        // The 300 ms timer armed at t=0 (tag 1) would fire at 300 ms —
+        // after the restart — and must be suppressed; the one armed at
+        // the restart (tag 2) fires at 500 ms.
+        assert_eq!(p.fired, vec![2]);
+    }
+
+    #[test]
+    fn restart_of_a_live_node_is_a_no_op() {
+        let (mut sim, echo, pinger) = two_node_sim(SimConfig::default(), 2);
+        sim.schedule_restart(SimTime::from_millis(1), echo);
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<Echo>(echo).unwrap().seen, 2);
+        assert_eq!(sim.node_ref::<Pinger>(pinger).unwrap().replies, 2);
+    }
+
+    #[test]
+    fn restarted_node_communicates_again() {
+        let mut sim = Sim::new(SimConfig::default());
+        let echo = sim.add_node(Site::Lan, Box::new(Echo { seen: 0 }));
+        struct LatePinger {
+            peer: NodeId,
+            replies: u32,
+        }
+        impl SimNode for LatePinger {
+            fn on_event(&mut self, _now: SimTime, ev: NodeEvent, out: &mut Outbox) {
+                match ev {
+                    NodeEvent::Start => {
+                        out.set_timer(Duration::from_millis(500), 0);
+                    }
+                    NodeEvent::Timer(..) => out.send(self.peer, Bytes::from_static(b"hi")),
+                    NodeEvent::Packet(_) => self.replies += 1,
+                }
+            }
+        }
+        let pinger = sim.add_node(
+            Site::Lan,
+            Box::new(LatePinger {
+                peer: echo,
+                replies: 0,
+            }),
+        );
+        sim.schedule_crash(SimTime::from_millis(100), echo);
+        sim.schedule_restart(SimTime::from_millis(300), echo);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.node_ref::<LatePinger>(pinger).unwrap().replies, 1);
     }
 
     #[test]

@@ -11,9 +11,11 @@ use std::time::Duration;
 
 use bytes::Bytes;
 
-use newtop::nso::{BindOptions, GroupHandle, Nso, NsoOutput};
+use newtop::directory::GroupRecord;
+use newtop::nso::{BindOptions, GroupHandle, Nso, NsoOutput, ResolveStyle};
 use newtop::simnode::NsoApp;
 use newtop::tags;
+use newtop_dir::app::register_service;
 use newtop_gcs::group::{DeliveryOrder, FanoutMode, GroupConfig, GroupId, OrderProtocol};
 use newtop_invocation::api::{OpenOptimisation, Replication, ReplyMode};
 use newtop_net::sim::Outbox;
@@ -37,6 +39,11 @@ pub struct ServerApp {
     pub config: GroupConfig,
     /// Servant seed.
     pub seed: u64,
+    /// Directory members to register the service with (empty = the
+    /// service is not published; clients bind with explicit targets).
+    /// Every replica re-registers on every view change — registration is
+    /// idempotent and stale views lose on apply, so redundancy is free.
+    pub directory: Vec<NodeId>,
 }
 
 impl NsoApp for ServerApp {
@@ -58,7 +65,20 @@ impl NsoApp for ServerApp {
         );
     }
 
-    fn on_output(&mut self, _nso: &mut Nso, _output: NsoOutput, _now: SimTime, _out: &mut Outbox) {}
+    fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, _now: SimTime, out: &mut Outbox) {
+        if self.directory.is_empty() {
+            return;
+        }
+        if let NsoOutput::ViewChanged { group, view } = output {
+            if group != self.group {
+                return;
+            }
+            let record = GroupRecord::from_view(self.group.as_str(), self.config.clone(), &view);
+            for &contact in &self.directory {
+                let _ = register_service(nso, contact, record.clone(), out);
+            }
+        }
+    }
 }
 
 /// How a [`ClientApp`] binds to the service.
@@ -70,6 +90,15 @@ pub enum ClientStyle {
     Open {
         /// Which server acts as this client's request manager.
         manager_index: usize,
+    },
+    /// Name-based binding through the replicated directory: the server
+    /// group id doubles as the service name, resolved against the listed
+    /// directory members and shaped per `style`.
+    Directory {
+        /// The directory members to consult.
+        directory: Vec<NodeId>,
+        /// The binding shape built from the resolved record.
+        style: ResolveStyle,
     },
 }
 
@@ -125,7 +154,7 @@ impl ClientApp {
     ) -> Self {
         let current_manager_index = match &style {
             ClientStyle::Open { manager_index } => *manager_index,
-            ClientStyle::Closed => 0,
+            ClientStyle::Closed | ClientStyle::Directory { .. } => 0,
         };
         ClientApp {
             server_group,
@@ -151,6 +180,20 @@ impl ClientApp {
             ClientStyle::Open { .. } => {
                 let manager = self.servers[self.current_manager_index % self.servers.len()];
                 BindOptions::open(manager)
+            }
+            ClientStyle::Directory { directory, style } => {
+                // A rebind rotates the open rank, mirroring the
+                // explicit styles' next-server behaviour; the fresh
+                // resolution also drops any member the directory has
+                // already learned is gone.
+                let style = match *style {
+                    ResolveStyle::Open { rank } => ResolveStyle::Open {
+                        rank: rank + self.current_manager_index,
+                    },
+                    other => other,
+                };
+                BindOptions::resolve(self.server_group.as_str(), directory.clone())
+                    .with_resolve_style(style)
             }
         }
         .with_ordering(self.ordering);

@@ -38,9 +38,11 @@ use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use newtop::nso::{BindOptions, GroupHandle, Nso, NsoOptions, NsoOutput};
+use newtop::nso::{BindOptions, GroupHandle, Nso, NsoOptions, NsoOutput, ResolveStyle};
 use newtop::simnode::{NsoApp, NsoNode};
 use newtop::tags;
+use newtop_dir::app::DirectoryApp;
+use newtop_dir::directory::shared_directory;
 use newtop_gcs::group::{GroupConfig, GroupId, Liveness, OrderProtocol};
 use newtop_invocation::api::{OpenOptimisation, Replication, ReplyMode};
 use newtop_net::latency::{BandwidthMatrix, LatencyMatrix};
@@ -68,6 +70,9 @@ pub struct AggregateClientApp {
     pub binding: BindingPolicy,
     /// Which server this actor uses as its request manager when open.
     pub manager_index: usize,
+    /// Directory members to resolve through under
+    /// [`BindingPolicy::Directory`] (unused otherwise).
+    pub directory: Vec<NodeId>,
     /// Reply-collection primitive.
     pub mode: ReplyMode,
     /// Ordering protocol for the client/server group.
@@ -128,6 +133,7 @@ impl AggregateClientApp {
             servers,
             binding,
             manager_index,
+            directory: Vec::new(),
             mode,
             ordering,
             rate,
@@ -170,6 +176,12 @@ impl AggregateClientApp {
                 BindOptions::open(self.servers[self.manager_index % self.servers.len()])
             }
             BindingPolicy::OpenRestricted => BindOptions::open(self.servers[0]),
+            BindingPolicy::Directory => {
+                BindOptions::resolve(self.server_group.as_str(), self.directory.clone())
+                    .with_resolve_style(ResolveStyle::Open {
+                        rank: self.manager_index,
+                    })
+            }
         }
         .with_ordering(self.ordering);
         nso.bind(self.server_group.clone(), opts, now, out)
@@ -458,6 +470,13 @@ pub fn run_scale(s: &ScaleScenario) -> ScaleResult {
         BindingPolicy::OpenRestricted => OpenOptimisation::Restricted,
         _ => OpenOptimisation::None,
     };
+    let actors = s.actor_count();
+    let dir_ids: Vec<NodeId> = match s.binding {
+        BindingPolicy::Directory => (0..crate::scenario::DIRECTORY_MEMBERS)
+            .map(|j| NodeId::from_index((s.servers + actors + j) as u32))
+            .collect(),
+        _ => Vec::new(),
+    };
     for (i, &id) in server_ids.iter().enumerate() {
         let app = ServerApp {
             group: group.clone(),
@@ -466,6 +485,7 @@ pub fn run_scale(s: &ScaleScenario) -> ScaleResult {
             optimisation,
             config: gs_config.clone(),
             seed: s.seed,
+            directory: dir_ids.clone(),
         };
         let added = sim.add_node(
             s.region.server_site(i),
@@ -473,7 +493,6 @@ pub fn run_scale(s: &ScaleScenario) -> ScaleResult {
         );
         assert_eq!(added, id);
     }
-    let actors = s.actor_count();
     let mut actor_ids = Vec::new();
     for i in 0..actors {
         let id = NodeId::from_index((s.servers + i) as u32);
@@ -485,7 +504,7 @@ pub fn run_scale(s: &ScaleScenario) -> ScaleResult {
             continue;
         }
         let rate = share as f64 / s.think_time.as_secs_f64();
-        let app = AggregateClientApp::new(
+        let mut app = AggregateClientApp::new(
             group.clone(),
             server_ids.clone(),
             s.binding,
@@ -497,6 +516,7 @@ pub fn run_scale(s: &ScaleScenario) -> ScaleResult {
             s.seed ^ (0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(i as u64 + 1)),
             Duration::from_millis(1 + i as u64),
         );
+        app.directory = dir_ids.clone();
         // Free CPU: this actor stands in for `share` distributed client
         // machines, so its own dispatch must not serialise their traffic.
         let added = sim.add_node_with_service(
@@ -506,6 +526,14 @@ pub fn run_scale(s: &ScaleScenario) -> ScaleResult {
         );
         assert_eq!(added, id);
         actor_ids.push(id);
+    }
+    for (j, &id) in dir_ids.iter().enumerate() {
+        let app = DirectoryApp::new(dir_ids.clone(), shared_directory());
+        let added = sim.add_node(
+            s.region.server_site(j),
+            Box::new(NsoNode::with_options(id, opts.clone(), Box::new(app))),
+        );
+        assert_eq!(added, id);
     }
     sim.run_until(SimTime::ZERO + s.duration);
 

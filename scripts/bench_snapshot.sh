@@ -14,6 +14,10 @@
 # * BENCH_PR8.json — the scale-model PR's numbers: the geo-distributed
 #   capacity sweep (max sustainable modeled clients per configuration
 #   cell at the p99 bound), from the scale binary.
+# * BENCH_PR9.json — the directory + durable-recovery PR's numbers:
+#   cold-restart rejoin latency (recovery replay to rejoin view, with
+#   the replay/delta breakdown) and directory resolve throughput, from
+#   the recovery_bench binary.
 #
 # Offline-friendly; NEWTOP_BENCH_SEED overrides the simulation seed.
 set -euo pipefail
@@ -51,3 +55,11 @@ cargo run --release --offline -p newtop-bench --bin scale -- --json > "$OUT8"
 
 echo "==> wrote $OUT8"
 cat "$OUT8"
+
+OUT9="BENCH_PR9.json"
+
+echo "==> cargo run --release -p newtop-bench --bin recovery_bench"
+cargo run --release --offline -p newtop-bench --bin recovery_bench > "$OUT9"
+
+echo "==> wrote $OUT9"
+cat "$OUT9"

@@ -26,7 +26,7 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> static analysis (newtop-analyze: determinism, panic-freedom, boundedness, lock hygiene)"
+echo "==> static analysis (newtop-analyze: determinism, panic-freedom, boundedness, lock hygiene, durability)"
 cargo run --release --offline -q -p newtop-analyze -- --self-test
 cargo run --release --offline -q -p newtop-analyze
 
@@ -54,6 +54,9 @@ cargo bench --workspace --offline --no-run
 echo "==> fault-injection campaign (quick, 25 seeds)"
 cargo build --release --offline -p newtop-check
 ./target/release/campaign --seeds 25 --quiet
+
+echo "==> crash-recovery campaign smoke (5 seeds: replay + delta rejoin obligations)"
+./target/release/campaign --recovery --seeds 5 --quiet
 
 echo "==> loadgen smoke (flow control engages, queues stay bounded, shards=2 batch)"
 cargo build --release --offline -p newtop-bench --bin loadgen

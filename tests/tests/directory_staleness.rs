@@ -1,0 +1,350 @@
+//! Directory cache-staleness tests: a client that resolves through a
+//! TTL-live cached record while the service's membership is changing
+//! underneath it must converge to the new membership — no ghost
+//! deliveries from the departed replica, every call exactly once.
+//!
+//! The dangerous window is deliberately engineered: the client's first
+//! binding is open (client + manager only), so crashing a *different*
+//! replica gives the client no eager-invalidation evidence — its cached
+//! record stays TTL-live and stale. A scripted rebind then resolves
+//! through that stale record into a closed binding that lists the dead
+//! replica, and the test checks the stack digs itself out: the stale
+//! bind fails (or views the corpse out), the failure invalidates the
+//! cache, the fresh resolve returns the post-view-change record, and
+//! the retried calls complete exactly once on the new membership.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use newtop::nso::{BindOptions, GroupHandle, Nso, NsoOutput, ResolveStyle};
+use newtop::simnode::{NsoApp, NsoNode};
+use newtop::tags;
+use newtop_dir::app::DirectoryApp;
+use newtop_dir::directory::shared_directory;
+use newtop_gcs::group::{GroupConfig, GroupId, Liveness, OrderProtocol};
+use newtop_invocation::api::{OpenOptimisation, Replication, ReplyMode};
+use newtop_net::sim::{Outbox, Sim, SimConfig};
+use newtop_net::site::{NodeId, Site};
+use newtop_net::time::SimTime;
+use newtop_workloads::apps::ServerApp;
+
+const SERVICE: &str = "svc";
+const BIND_TAG: u64 = tags::APP_BASE;
+const SWITCH_TAG: u64 = tags::APP_BASE + 1;
+const RETRY_TAG: u64 = tags::APP_BASE + 2;
+
+/// A closed-loop client that binds by name, then — on a scripted timer,
+/// inside the cached record's TTL — rebinds through the cache while one
+/// of the listed replicas is already dead.
+struct StaleClient {
+    service: GroupId,
+    directory: Vec<NodeId>,
+    /// The replica the test crashes (never this client's open manager).
+    doomed: NodeId,
+    /// Completions at or after this time must not carry a reply from
+    /// `doomed` — by then the new view is long installed, so such a
+    /// reply would be a ghost delivery.
+    ghost_after: SimTime,
+    style: ResolveStyle,
+    total_calls: usize,
+    issued: usize,
+    completions: Vec<(u64, SimTime)>,
+    /// Replies from `doomed` observed at or after `ghost_after`.
+    ghost_replies: u32,
+    duplicates: u32,
+    bind_failures: u32,
+    rebinds: u32,
+    /// At the scripted rebind: was the cached record TTL-live and did it
+    /// still list the doomed replica? `None` until the switch fires.
+    stale_hit: Option<bool>,
+    /// Membership of the most recent view of the active binding.
+    final_members: Vec<NodeId>,
+    binding: Option<GroupHandle>,
+    bound_as: Option<GroupId>,
+    issued_at: HashMap<u64, SimTime>,
+}
+
+impl StaleClient {
+    fn new(directory: Vec<NodeId>, doomed: NodeId, ghost_after: SimTime) -> Self {
+        StaleClient {
+            service: GroupId::new(SERVICE),
+            directory,
+            doomed,
+            ghost_after,
+            style: ResolveStyle::Open { rank: 0 },
+            total_calls: 60,
+            issued: 0,
+            completions: Vec::new(),
+            ghost_replies: 0,
+            duplicates: 0,
+            bind_failures: 0,
+            rebinds: 0,
+            stale_hit: None,
+            final_members: Vec::new(),
+            binding: None,
+            bound_as: None,
+            issued_at: HashMap::new(),
+        }
+    }
+
+    fn bind(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        let opts = BindOptions::resolve(SERVICE, self.directory.clone())
+            .with_resolve_style(self.style)
+            // Short server-ack timeout so a bind into a membership that
+            // still lists the corpse fails fast instead of stalling.
+            .with_timeout(Duration::from_millis(300));
+        match nso.bind(self.service.clone(), opts, now, out) {
+            Ok(handle) => self.bound_as = Some(handle.id().clone()),
+            Err(_) => {
+                // Resolution raced a teardown; the retry timer rebinds.
+            }
+        }
+    }
+
+    fn issue(&mut self, nso: &mut Nso, now: SimTime, out: &mut Outbox) {
+        if self.issued >= self.total_calls {
+            return;
+        }
+        let Some(binding) = self.binding.clone() else {
+            return;
+        };
+        if let Ok(call) = binding.invoke(nso, "rand", Bytes::new(), ReplyMode::All, now, out) {
+            self.issued += 1;
+            self.issued_at.insert(call.number, now);
+        }
+    }
+}
+
+impl NsoApp for StaleClient {
+    fn on_start(&mut self, _nso: &mut Nso, _now: SimTime, out: &mut Outbox) {
+        // Bind after the first registration has replicated; switch to
+        // the stale-cache rebind well inside the record's 500 ms TTL.
+        out.set_timer(Duration::from_millis(20), BIND_TAG);
+        out.set_timer(Duration::from_millis(350), SWITCH_TAG);
+        out.set_timer(Duration::from_millis(400), RETRY_TAG);
+    }
+
+    fn on_timer(&mut self, nso: &mut Nso, tag: u64, now: SimTime, out: &mut Outbox) {
+        match tag {
+            BIND_TAG => self.bind(nso, now, out),
+            SWITCH_TAG => {
+                // The crash gave this client no eager-invalidation
+                // evidence (its open binding excludes the victim), so
+                // the record it resolves through here is the stale one.
+                self.stale_hit = Some(
+                    nso.dir_cache()
+                        .lookup(SERVICE, now)
+                        .is_some_and(|r| r.members.contains(&self.doomed)),
+                );
+                if let Some(binding) = self.binding.take() {
+                    let _ = binding.unbind(nso, now, out);
+                }
+                self.bound_as = None;
+                self.style = ResolveStyle::Closed;
+                self.bind(nso, now, out);
+            }
+            _ => {
+                if self.binding.is_none() && self.bound_as.is_none() {
+                    self.bind(nso, now, out);
+                } else if let Some(binding) = self.binding.clone() {
+                    let mut stalled: Vec<u64> = self
+                        .issued_at
+                        .iter()
+                        .filter(|(_, &at)| now.saturating_since(at) > Duration::from_millis(300))
+                        .map(|(&n, _)| n)
+                        .collect();
+                    stalled.sort_unstable();
+                    for number in stalled {
+                        let _ = binding.retry(nso, number, now, out);
+                    }
+                }
+                out.set_timer(Duration::from_millis(200), RETRY_TAG);
+            }
+        }
+    }
+
+    fn on_output(&mut self, nso: &mut Nso, output: NsoOutput, now: SimTime, out: &mut Outbox) {
+        match output {
+            NsoOutput::BindingReady { group } => {
+                if self.bound_as.as_ref() != Some(&group) {
+                    return;
+                }
+                let Some(binding) = nso.handle_for(&group) else {
+                    return;
+                };
+                self.binding = Some(binding.clone());
+                let mut pending: Vec<u64> = self.issued_at.keys().copied().collect();
+                pending.sort_unstable();
+                if pending.is_empty() {
+                    self.issue(nso, now, out);
+                }
+                for number in pending {
+                    let _ = binding.retry(nso, number, now, out);
+                }
+            }
+            NsoOutput::BindFailed { group } => {
+                if self.bound_as.as_ref() != Some(&group) {
+                    return;
+                }
+                self.bind_failures += 1;
+                self.bound_as = None;
+                self.bind(nso, now, out);
+            }
+            NsoOutput::BindingBroken { group, .. } => {
+                if self.bound_as.as_ref() != Some(&group) {
+                    return;
+                }
+                self.rebinds += 1;
+                self.binding = None;
+                self.bound_as = None;
+                self.bind(nso, now, out);
+            }
+            NsoOutput::InvocationComplete { call, replies } => {
+                if now >= self.ghost_after && replies.iter().any(|(s, _)| *s == self.doomed) {
+                    self.ghost_replies += 1;
+                }
+                if self.issued_at.remove(&call.number).is_some() {
+                    self.completions.push((call.number, now));
+                } else {
+                    self.duplicates += 1;
+                }
+                self.issue(nso, now, out);
+            }
+            NsoOutput::ViewChanged { group, view } if self.bound_as.as_ref() == Some(&group) => {
+                self.final_members = view.members().to_vec();
+            }
+            _ => {}
+        }
+    }
+}
+
+fn run_staleness_case(ordering: OrderProtocol, seed: u64) {
+    let mut sim = Sim::new(SimConfig::lan(seed));
+    let servers: Vec<NodeId> = (0..3).map(NodeId::from_index).collect();
+    let client = NodeId::from_index(3);
+    let dirs: Vec<NodeId> = (4..7).map(NodeId::from_index).collect();
+    let doomed = servers[2];
+    let crash_at = SimTime::from_millis(150);
+
+    // Lively liveness: under the asymmetric protocol the sequencer keeps
+    // delivering without the dead replica, so an event-driven detector
+    // would go quiet and never view the corpse out — the directory would
+    // keep publishing the stale membership forever.
+    let config = GroupConfig {
+        ordering,
+        time_silence: Duration::from_millis(20),
+        liveness: Liveness::Lively,
+        ..GroupConfig::request_reply()
+    };
+    for &s in &servers {
+        sim.add_node(
+            Site::Lan,
+            Box::new(NsoNode::new(
+                s,
+                Box::new(ServerApp {
+                    group: GroupId::new(SERVICE),
+                    members: servers.clone(),
+                    replication: Replication::Active,
+                    optimisation: OpenOptimisation::None,
+                    config: config.clone(),
+                    seed,
+                    directory: dirs.clone(),
+                }),
+            )),
+        );
+    }
+    sim.add_node(
+        Site::Lan,
+        Box::new(NsoNode::new(
+            client,
+            Box::new(StaleClient::new(
+                dirs.clone(),
+                doomed,
+                crash_at + Duration::from_secs(2),
+            )),
+        )),
+    );
+    for &d in &dirs {
+        sim.add_node(
+            Site::Lan,
+            Box::new(NsoNode::new(
+                d,
+                Box::new(DirectoryApp::new(dirs.clone(), shared_directory())),
+            )),
+        );
+    }
+    sim.schedule_crash(crash_at, doomed);
+    sim.run_until(SimTime::from_secs(15));
+
+    let app = sim
+        .node_ref::<NsoNode>(client)
+        .unwrap()
+        .app_ref::<StaleClient>()
+        .unwrap();
+
+    // The scripted rebind really went through a TTL-live record that
+    // still listed the corpse — the staleness window was exercised, not
+    // dodged by eager invalidation or TTL expiry.
+    assert_eq!(
+        app.stale_hit,
+        Some(true),
+        "{ordering:?}: the cached record was not stale at the rebind"
+    );
+    // Convergence: the client ended up bound, and the binding's final
+    // membership is the post-crash one.
+    assert!(
+        app.binding.is_some(),
+        "{ordering:?}: client never converged to a live binding"
+    );
+    assert!(
+        !app.final_members.is_empty() && !app.final_members.contains(&doomed),
+        "{ordering:?}: final membership {:?} still lists the crashed replica",
+        app.final_members
+    );
+    assert!(
+        app.final_members.contains(&client),
+        "{ordering:?}: final membership {:?} lost the client",
+        app.final_members
+    );
+    // No ghost deliveries: nothing completed twice, and no reply from
+    // the dead replica surfaced after the new membership settled.
+    assert_eq!(app.duplicates, 0, "{ordering:?}: duplicate completions");
+    assert_eq!(
+        app.ghost_replies, 0,
+        "{ordering:?}: replies from the crashed replica after convergence"
+    );
+    let mut numbers: Vec<u64> = app.completions.iter().map(|&(n, _)| n).collect();
+    numbers.sort_unstable();
+    numbers.dedup();
+    assert_eq!(
+        numbers.len(),
+        app.completions.len(),
+        "{ordering:?}: some call completed more than once"
+    );
+    assert_eq!(
+        numbers.len(),
+        app.total_calls,
+        "{ordering:?}: {} of {} calls completed",
+        numbers.len(),
+        app.total_calls
+    );
+    // The stale bind left a visible scar: it either failed outright or
+    // broke once the corpse was viewed out — silence would mean the
+    // stale path was never taken.
+    assert!(
+        app.bind_failures + app.rebinds >= 1,
+        "{ordering:?}: the stale rebind left no trace"
+    );
+}
+
+#[test]
+fn stale_cached_record_converges_symmetric() {
+    run_staleness_case(OrderProtocol::Symmetric, 61);
+}
+
+#[test]
+fn stale_cached_record_converges_asymmetric() {
+    run_staleness_case(OrderProtocol::Asymmetric, 62);
+}

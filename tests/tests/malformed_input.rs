@@ -5,8 +5,13 @@
 //! network input: GIOP frames ([`GiopMessage::from_frame`]), the raw CDR
 //! primitive reads ([`CdrDecoder`]), and the `CdrDecode` message roots —
 //! [`GcsMessage`] (plus its component types), [`InvMessage`],
-//! [`CtrlMessage`], and the IOR types. A peer (or a corrupted link) can
-//! hand any byte string to any of them, so the contract checked here is:
+//! [`CtrlMessage`], and the IOR types. The durability subsystem adds
+//! three more fed by disk or recovery traffic: CRC-framed [`LogRecord`]s
+//! ([`read_frame`]), [`NodeSnapshot`]s, and the [`RecoveryMsg`] transfer
+//! frames — plus the directory's [`DirRequest`]/[`DirReply`] bodies,
+//! which arrive as plain ORB arguments from arbitrary clients. A peer
+//! (or a corrupted link, or a half-written log file) can hand any byte
+//! string to any of them, so the contract checked here is:
 //!
 //! * **truncation** — every strict prefix of a valid encoding decodes to
 //!   `Err`, not a panic and not a bogus `Ok`;
@@ -27,8 +32,12 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use newtop::control::CtrlMessage;
+use newtop::directory::{DirReply, DirRequest, GroupRecord};
+use newtop_dir::harness::{decode_recovery, encode_recovery, RecoveryMsg};
+use newtop_dir::log::{append_frame, read_frame, DeliveredRec, LogRecord};
+use newtop_dir::snapshot::{GroupSnapshot, NodeSnapshot};
 use newtop_gcs::clock::DepsVector;
-use newtop_gcs::group::{DeliveryOrder, FanoutMode, GroupId, OrderProtocol};
+use newtop_gcs::group::{DeliveryOrder, FanoutMode, GroupConfig, GroupId, OrderProtocol};
 use newtop_gcs::messages::{DataMsg, GcsMessage, NullMsg};
 use newtop_gcs::view::{View, ViewId};
 use newtop_invocation::api::{CallId, InvMessage, ReplyMode};
@@ -72,6 +81,23 @@ fn via_primitives(data: &[u8]) -> Result<String, String> {
     Ok(format!("remaining={}", dec.remaining()))
 }
 
+/// The CRC-framed durable-log read boundary: frame header + checksum +
+/// CDR payload, all attacker- (or torn-write-) controlled.
+fn via_log_frame(data: &[u8]) -> Result<String, String> {
+    read_frame::<LogRecord>(data)
+        .map(|(v, used)| format!("{v:?}@{used}"))
+        .map_err(|e| e.to_string())
+}
+
+/// The recovery-transfer frame boundary: a wrong magic is `None` (not
+/// recovery traffic), a right magic with a bad body must be `Err`.
+fn via_recovery(data: &[u8]) -> Result<String, String> {
+    match decode_recovery(data) {
+        None => Err("not a recovery frame".to_string()),
+        Some(r) => r.map(|v| format!("{v:?}")).map_err(|e| e.to_string()),
+    }
+}
+
 /// Every network-facing decoder, by name.
 fn decoders() -> Vec<(&'static str, DecodeFn)> {
     vec![
@@ -89,6 +115,15 @@ fn decoders() -> Vec<(&'static str, DecodeFn)> {
         ("ObjectKey", via_cdr::<ObjectKey>),
         ("ObjectRef", via_cdr::<ObjectRef>),
         ("GroupObjectRef", via_cdr::<GroupObjectRef>),
+        ("LogRecord", via_cdr::<LogRecord>),
+        ("DeliveredRec", via_cdr::<DeliveredRec>),
+        ("log read_frame", via_log_frame),
+        ("GroupSnapshot", via_cdr::<GroupSnapshot>),
+        ("NodeSnapshot", via_cdr::<NodeSnapshot>),
+        ("GroupRecord", via_cdr::<GroupRecord>),
+        ("DirRequest", via_cdr::<DirRequest>),
+        ("DirReply", via_cdr::<DirReply>),
+        ("decode_recovery", via_recovery),
     ]
 }
 
@@ -353,6 +388,112 @@ fn samples() -> Vec<(&'static str, Bytes, DecodeFn)> {
     for (name, msg) in inv_msgs {
         out.push((name, msg.to_cdr(), via_cdr::<InvMessage>));
     }
+
+    // Durability + directory surfaces (PR 9): log records as raw CDR and
+    // as CRC-framed log entries, snapshots, directory bodies, and the
+    // recovery-transfer frames.
+    let record = GroupRecord::from_view("svc", GroupConfig::request_reply(), &view);
+    let delivered = DeliveredRec {
+        sender: node(1),
+        order: DeliveryOrder::Total,
+        lamport: 42,
+        payload: Bytes::from_static(b"state delta"),
+    };
+    let log_records: Vec<(&'static str, LogRecord)> = vec![
+        (
+            "log-created",
+            LogRecord::Created {
+                group: group.clone(),
+                config: GroupConfig::peer(),
+                members: vec![node(1), node(2)],
+            },
+        ),
+        (
+            "log-delivered",
+            LogRecord::Delivered {
+                group: group.clone(),
+                rec: delivered.clone(),
+            },
+        ),
+        (
+            "log-view-installed",
+            LogRecord::ViewInstalled {
+                group: group.clone(),
+                view: view.clone(),
+            },
+        ),
+        (
+            "log-dir-record",
+            LogRecord::DirRecord {
+                record: record.clone(),
+            },
+        ),
+    ];
+    for (name, rec) in &log_records {
+        out.push((name, rec.to_cdr(), via_cdr::<LogRecord>));
+    }
+    let mut framed = Vec::new();
+    append_frame(&mut framed, &log_records[1].1);
+    out.push(("log-frame-delivered", Bytes::from(framed), via_log_frame));
+    out.push((
+        "node-snapshot",
+        NodeSnapshot {
+            groups: vec![GroupSnapshot {
+                group: group.clone(),
+                config: GroupConfig::peer(),
+                members_at_create: vec![node(1), node(2), node(3)],
+                last_view: Some(view.clone()),
+                history: vec![delivered.clone()],
+            }],
+            dir: vec![record.clone()],
+        }
+        .to_cdr(),
+        via_cdr::<NodeSnapshot>,
+    ));
+    out.push((
+        "dir-request-register",
+        DirRequest::Register {
+            record: record.clone(),
+        }
+        .to_cdr(),
+        via_cdr::<DirRequest>,
+    ));
+    out.push((
+        "dir-request-resolve",
+        DirRequest::Resolve { name: "svc".into() }.to_cdr(),
+        via_cdr::<DirRequest>,
+    ));
+    out.push((
+        "dir-reply-found",
+        DirReply::Found {
+            record: record.clone(),
+        }
+        .to_cdr(),
+        via_cdr::<DirReply>,
+    ));
+    out.push((
+        "dir-reply-notfound",
+        DirReply::NotFound { name: "svc".into() }.to_cdr(),
+        via_cdr::<DirReply>,
+    ));
+    out.push((
+        "recovery-xfer-request",
+        encode_recovery(&RecoveryMsg::XferRequest {
+            group: group.clone(),
+            floor: 7,
+        }),
+        via_recovery,
+    ));
+    out.push((
+        "recovery-xfer-chunk",
+        encode_recovery(&RecoveryMsg::XferChunk {
+            group,
+            start: 8,
+            records: vec![delivered.clone(), delivered],
+            done: true,
+        }),
+        via_recovery,
+    ));
     out
 }
 
@@ -448,6 +589,68 @@ fn bad_discriminants_are_typed_errors() {
     // An oversized counted length must be rejected by the bound check
     // (LengthOverflow), not fed to an allocator.
     assert!(GroupId::from_cdr(&[0xFF, 0xFF, 0xFF, 0xFF]).is_err());
+
+    // Durability + directory discriminants.
+    assert!(LogRecord::from_cdr(&[4]).is_err());
+    assert!(DirRequest::from_cdr(&[5]).is_err());
+    assert!(DirReply::from_cdr(&[3]).is_err());
+    // A DeliveredRec whose delivery-order code is out of range.
+    let mut enc = CdrEncoder::new();
+    node(1).encode(&mut enc);
+    enc.write_u8(9);
+    assert!(DeliveredRec::from_cdr(&enc.finish()).is_err());
+    // A recovery frame with a good magic and a bad message tag: the
+    // magic is 6 bytes, so the discriminant is at offset 6.
+    let mut bad = encode_recovery(&RecoveryMsg::XferRequest {
+        group: GroupId::new("g"),
+        floor: 0,
+    })
+    .to_vec();
+    bad[6] = 9;
+    assert!(decode_recovery(&bad).unwrap().is_err());
+}
+
+#[test]
+fn log_frames_enforce_checksum_and_bounds() {
+    let rec = LogRecord::Delivered {
+        group: GroupId::new("g"),
+        rec: DeliveredRec {
+            sender: node(1),
+            order: DeliveryOrder::Causal,
+            lamport: 3,
+            payload: Bytes::from_static(b"x"),
+        },
+    };
+    let mut buf = Vec::new();
+    append_frame(&mut buf, &rec);
+    let (back, used) = read_frame::<LogRecord>(&buf).expect("intact frame");
+    assert_eq!(back, rec);
+    assert_eq!(used, buf.len());
+
+    // A single flipped payload bit is a checksum error, not a decode of
+    // corrupted content.
+    let mut corrupt = buf.clone();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0x01;
+    assert!(matches!(
+        read_frame::<LogRecord>(&corrupt),
+        Err(newtop_dir::log::LogError::BadCrc { .. })
+    ));
+
+    // A truncated checksum (or any partial header) is Truncated.
+    assert!(matches!(
+        read_frame::<LogRecord>(&buf[..6]),
+        Err(newtop_dir::log::LogError::Truncated)
+    ));
+
+    // A length prefix of u32::MAX is rejected by the frame cap before
+    // any allocation is sized from it.
+    let mut oversized = buf;
+    oversized[..4].copy_from_slice(&u32::MAX.to_be_bytes());
+    assert!(matches!(
+        read_frame::<LogRecord>(&oversized),
+        Err(newtop_dir::log::LogError::Oversized(_))
+    ));
 }
 
 #[test]
