@@ -127,6 +127,7 @@ mod tests {
             line: 1,
             rule,
             func: func.to_owned(),
+            kind: "k",
             message: String::new(),
         }
     }

@@ -1,0 +1,193 @@
+//! Memoized per-file parse cache.
+//!
+//! The analyzer runs inside every `check.sh` invocation, twice (self-
+//! test + gate), so the lex/parse of ~60 workspace files must stay well
+//! under the ~5 s budget. Tokens for each file are cached under
+//! `<root>/target/analyze-cache/`, keyed by an FNV-1a hash of the
+//! file's path and contents: an unchanged file deserializes its token
+//! stream instead of re-lexing, and item extraction re-runs over the
+//! cached tokens (it is cheap and keeps exactly one source of truth for
+//! parsing logic). A corrupt or unreadable cache entry silently falls
+//! back to a fresh lex — the cache can never change results, only
+//! speed.
+
+use crate::lexer::{lex, TokKind, Token};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// FNV-1a 64-bit.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A handle to the on-disk cache; `None` dir disables it (`--no-cache`).
+pub struct ParseCache {
+    dir: Option<PathBuf>,
+    /// Files whose tokens came from the cache this run.
+    pub hits: usize,
+    /// Files that were lexed fresh this run.
+    pub misses: usize,
+}
+
+impl ParseCache {
+    /// Cache rooted at `<root>/target/analyze-cache`, or disabled.
+    #[must_use]
+    pub fn new(root: &Path, enabled: bool) -> Self {
+        ParseCache {
+            dir: enabled.then(|| root.join("target").join("analyze-cache")),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Tokens for `src` (a file at workspace-relative `rel`), from cache
+    /// when possible.
+    pub fn tokens(&mut self, rel: &str, src: &str) -> Vec<Token> {
+        let Some(dir) = self.dir.clone() else {
+            self.misses += 1;
+            return lex(src);
+        };
+        let mut keyed = rel.as_bytes().to_vec();
+        keyed.push(0);
+        keyed.extend_from_slice(src.as_bytes());
+        let path = dir.join(format!("{:016x}.tok", fnv1a(&keyed)));
+        if let Ok(text) = fs::read_to_string(&path) {
+            if let Some(toks) = deserialize(&text) {
+                self.hits += 1;
+                return toks;
+            }
+        }
+        self.misses += 1;
+        let toks = lex(src);
+        // Best-effort write; a read-only target/ just means no cache.
+        if fs::create_dir_all(&dir).is_ok() {
+            let _ = fs::write(&path, serialize(&toks));
+        }
+        toks
+    }
+}
+
+const VERSION_LINE: &str = "newtop-analyze-cache v1";
+
+fn serialize(toks: &[Token]) -> String {
+    let mut out = String::with_capacity(toks.len() * 12);
+    out.push_str(VERSION_LINE);
+    out.push('\n');
+    for t in toks {
+        let k = match t.kind {
+            TokKind::Ident => 'I',
+            TokKind::Punct => 'P',
+            TokKind::Lit => 'L',
+            TokKind::Attr => 'A',
+        };
+        out.push(k);
+        out.push_str(&t.line.to_string());
+        out.push(' ');
+        // Attr interiors may span lines; escape so one token stays one
+        // cache line.
+        for c in t.text.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn deserialize(text: &str) -> Option<Vec<Token>> {
+    let mut lines = text.lines();
+    if lines.next() != Some(VERSION_LINE) {
+        return None;
+    }
+    let mut toks = Vec::new();
+    for line in lines {
+        let mut chars = line.chars();
+        let kind = match chars.next()? {
+            'I' => TokKind::Ident,
+            'P' => TokKind::Punct,
+            'L' => TokKind::Lit,
+            'A' => TokKind::Attr,
+            _ => return None,
+        };
+        let rest = chars.as_str();
+        let sp = rest.find(' ')?;
+        let line_no: u32 = rest[..sp].parse().ok()?;
+        let mut text = String::new();
+        let mut esc = rest[sp + 1..].chars();
+        while let Some(c) = esc.next() {
+            if c == '\\' {
+                match esc.next()? {
+                    'n' => text.push('\n'),
+                    '\\' => text.push('\\'),
+                    _ => return None,
+                }
+            } else {
+                text.push(c);
+            }
+        }
+        toks.push(Token {
+            kind,
+            text,
+            line: line_no,
+        });
+    }
+    Some(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_tokens() {
+        let src = "fn f() { let s = \"multi\\nline\"; x.lock(); }\n#[cfg(test)]\nmod t {}";
+        let toks = lex(src);
+        let back = deserialize(&serialize(&toks)).expect("roundtrip");
+        assert_eq!(toks.len(), back.len());
+        for (a, b) in toks.iter().zip(&back) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.text, b.text);
+            assert_eq!(a.line, b.line);
+        }
+    }
+
+    #[test]
+    fn corrupt_entries_are_rejected() {
+        assert!(deserialize("garbage").is_none());
+        assert!(deserialize("newtop-analyze-cache v1\nXbad").is_none());
+    }
+
+    #[test]
+    fn cache_hits_after_first_parse() {
+        let tmp =
+            std::env::temp_dir().join(format!("newtop-analyze-cache-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&tmp);
+        let mut cache = ParseCache::new(&tmp, true);
+        let src = "fn f() { g(); }";
+        let first = cache.tokens("crates/x/src/lib.rs", src);
+        assert_eq!((cache.hits, cache.misses), (0, 1));
+        let second = cache.tokens("crates/x/src/lib.rs", src);
+        assert_eq!((cache.hits, cache.misses), (1, 1));
+        assert_eq!(first.len(), second.len());
+        // Changed contents miss (different key), as does a different path.
+        cache.tokens("crates/x/src/lib.rs", "fn f() { h(); }");
+        assert_eq!(cache.misses, 2);
+        let _ = fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn disabled_cache_always_lexes() {
+        let mut cache = ParseCache::new(Path::new("/nonexistent"), false);
+        cache.tokens("a.rs", "fn f() {}");
+        cache.tokens("a.rs", "fn f() {}");
+        assert_eq!((cache.hits, cache.misses), (0, 2));
+    }
+}

@@ -37,22 +37,30 @@ pub struct ParsedFile {
     pub tokens: Vec<Token>,
     /// Functions with bodies, in source order.
     pub fns: Vec<FnItem>,
+    /// `macro_rules!` definitions whose bodies were skipped: macro
+    /// templates are token soup until expansion, so the scanner cannot
+    /// see functions inside them. The count is surfaced as a warning in
+    /// the report so skipped coverage is never silent.
+    pub skipped_macros: u32,
 }
 
 /// Parses a lexed file into items.
 #[must_use]
 pub fn parse_file(path: &str, tokens: Vec<Token>) -> ParsedFile {
     let mut fns = Vec::new();
+    let mut skipped_macros = 0;
     let mut walker = Walker {
         toks: &tokens,
         path,
         fns: &mut fns,
+        skipped_macros: &mut skipped_macros,
     };
     walker.block(0, tokens.len(), None, false);
     ParsedFile {
         path: path.to_owned(),
         tokens,
         fns,
+        skipped_macros,
     }
 }
 
@@ -67,6 +75,7 @@ struct Walker<'a> {
     toks: &'a [Token],
     path: &'a str,
     fns: &'a mut Vec<FnItem>,
+    skipped_macros: &'a mut u32,
 }
 
 impl Walker<'_> {
@@ -82,6 +91,19 @@ impl Walker<'_> {
                 TokKind::Attr => {
                     pending_test |= attr_is_test(&t.text);
                     i += 1;
+                }
+                TokKind::Ident if t.text == "macro_rules" || t.text == "macro" => {
+                    // Macro templates are unexpanded token soup; any
+                    // `fn` inside is not an item. Skip the whole
+                    // definition and count it (reported as a warning).
+                    pending_test = false;
+                    match self.find_block_open(i + 1, end) {
+                        Some(open) => {
+                            *self.skipped_macros += 1;
+                            i = self.match_brace(open, end) + 1;
+                        }
+                        None => i += 1,
+                    }
                 }
                 TokKind::Ident if t.text == "mod" || t.text == "trait" || t.text == "impl" => {
                     let item_test = in_test || pending_test;
@@ -375,5 +397,27 @@ mod tests {
         let f = parse("fn outer() { fn inner() {} inner(); }");
         let names: Vec<&str> = f.fns.iter().map(|i| i.name.as_str()).collect();
         assert_eq!(names, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_skipped_and_counted() {
+        let f = parse(
+            "macro_rules! make_fn {\n\
+               ($name:ident) => { fn $name() { x.unwrap() } };\n\
+             }\n\
+             fn real() {}",
+        );
+        let names: Vec<&str> = f.fns.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, vec!["real"], "macro template fns are not items");
+        assert_eq!(f.skipped_macros, 1);
+    }
+
+    #[test]
+    fn macro_invocations_with_braces_still_walked() {
+        // Only *definitions* are skipped; `thread_local! { ... }` style
+        // invocations contain real code and keep being scanned.
+        let f = parse("thread_local! { static X: u32 = 0; }\nfn real() {}");
+        assert_eq!(f.skipped_macros, 0);
+        assert_eq!(f.fns.len(), 1);
     }
 }

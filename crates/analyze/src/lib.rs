@@ -27,8 +27,11 @@
 //! [`selftest`] proves every family still fires on injected-bad input.
 
 pub mod allow;
+pub mod cache;
+pub mod graph;
 pub mod items;
 pub mod lexer;
+pub mod report;
 pub mod rules;
 pub mod selftest;
 
@@ -74,10 +77,28 @@ fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
+/// A full workspace analysis: the findings plus report warnings
+/// (skipped macro bodies, cache statistics).
+pub struct Analysis {
+    /// Sorted, deduplicated findings from every rule family.
+    pub findings: Vec<Finding>,
+    /// Non-fatal coverage warnings, surfaced in the JSON report so
+    /// skipped code is never silent.
+    pub warnings: Vec<String>,
+    /// Token-cache hits (for the runtime summary line).
+    pub cache_hits: usize,
+    /// Files lexed fresh.
+    pub cache_misses: usize,
+}
+
 /// Lexes, parses and runs every rule over the workspace at `root`.
-/// Finding paths are workspace-relative with `/` separators.
-pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+/// Finding paths are workspace-relative with `/` separators. When
+/// `use_cache` is set, per-file token streams are memoized under
+/// `<root>/target/analyze-cache/`.
+pub fn analyze_workspace_cached(root: &Path, use_cache: bool) -> io::Result<Analysis> {
+    let mut parse_cache = cache::ParseCache::new(root, use_cache);
     let mut parsed = Vec::new();
+    let mut skipped_macros = 0u32;
     for path in collect_files(root)? {
         let src = fs::read_to_string(&path)?;
         let rel = path
@@ -87,9 +108,29 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
             .join("/");
-        parsed.push(items::parse_file(&rel, lexer::lex(&src)));
+        let file = items::parse_file(&rel, parse_cache.tokens(&rel, &src));
+        skipped_macros += file.skipped_macros;
+        parsed.push(file);
     }
-    Ok(rules::run_all(&parsed))
+    let mut warnings = Vec::new();
+    if skipped_macros > 0 {
+        warnings.push(format!(
+            "{skipped_macros} macro definition bod{} skipped (unexpanded token soup is invisible to the scanner)",
+            if skipped_macros == 1 { "y" } else { "ies" }
+        ));
+    }
+    Ok(Analysis {
+        findings: rules::run_all(&parsed),
+        warnings,
+        cache_hits: parse_cache.hits,
+        cache_misses: parse_cache.misses,
+    })
+}
+
+/// [`analyze_workspace_cached`] without the cache or warnings — the
+/// findings alone.
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    Ok(analyze_workspace_cached(root, false)?.findings)
 }
 
 #[cfg(test)]

@@ -1,11 +1,11 @@
 //! `cargo run -p newtop-analyze` — the workspace protocol-invariant
 //! linter.
 //!
-//! Exit codes: 0 clean (or allowlisted), 1 surviving findings or failed
-//! self-test, 2 usage/configuration error (bad allowlist, missing
-//! workspace).
+//! Exit codes: 0 clean (or allowlisted/baselined), 1 surviving findings,
+//! baseline drift, or failed self-test, 2 usage/configuration error
+//! (bad allowlist, missing workspace, unwritable report).
 
-use newtop_analyze::{allow, analyze_workspace, selftest};
+use newtop_analyze::{allow, analyze_workspace_cached, report, selftest};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -21,6 +21,17 @@ OPTIONS:
     --root <DIR>         workspace root (default: .)
     --allowlist <FILE>   allowlist path (default: <root>/analyze.allow)
     --show-allowed       also print the findings the allowlist suppressed
+    --json <FILE>        write the surviving findings as a JSON report
+                         (`-` for stdout)
+    --baseline <FILE>    diff surviving findings against a committed
+                         baseline report: new findings fail, stale
+                         baseline entries fail (regenerate with
+                         --write-baseline)
+    --write-baseline <FILE>
+                         write the current surviving findings as the new
+                         baseline and exit clean
+    --no-cache           disable the per-file token cache under
+                         target/analyze-cache/
     -h, --help           this text
 ";
 
@@ -29,12 +40,17 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut allowlist: Option<PathBuf> = None;
     let mut show_allowed = false;
+    let mut json_out: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut use_cache = true;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--self-test" => self_test = true,
             "--show-allowed" => show_allowed = true,
+            "--no-cache" => use_cache = false,
             "--root" => match args.next() {
                 Some(v) => root = PathBuf::from(v),
                 None => return usage_error("--root needs a value"),
@@ -42,6 +58,18 @@ fn main() -> ExitCode {
             "--allowlist" => match args.next() {
                 Some(v) => allowlist = Some(PathBuf::from(v)),
                 None => return usage_error("--allowlist needs a value"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json_out = Some(PathBuf::from(v)),
+                None => return usage_error("--json needs a value"),
+            },
+            "--baseline" => match args.next() {
+                Some(v) => baseline = Some(PathBuf::from(v)),
+                None => return usage_error("--baseline needs a value"),
+            },
+            "--write-baseline" => match args.next() {
+                Some(v) => write_baseline = Some(PathBuf::from(v)),
+                None => return usage_error("--write-baseline needs a value"),
             },
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -79,16 +107,36 @@ fn main() -> ExitCode {
         Vec::new()
     };
 
-    let findings = match analyze_workspace(&root) {
-        Ok(f) => f,
+    let analysis = match analyze_workspace_cached(&root, use_cache) {
+        Ok(a) => a,
         Err(e) => return usage_error(&format!("analyzing workspace: {e}")),
     };
-    let total = findings.len();
+    let total = analysis.findings.len();
 
-    let (suppressed, surviving) = match allow::apply(findings, &entries) {
+    let (suppressed, surviving) = match allow::apply(analysis.findings, &entries) {
         Ok(split) => split,
         Err(stale) => return usage_error(&stale),
     };
+
+    let json = report::to_json(&surviving, &analysis.warnings);
+    if let Some(path) = &write_baseline {
+        if let Err(e) = std::fs::write(path, &json) {
+            return usage_error(&format!("writing baseline {}: {e}", path.display()));
+        }
+        println!(
+            "newtop-analyze: baseline {} written ({} finding(s))",
+            path.display(),
+            surviving.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    if let Some(path) = &json_out {
+        if path.as_os_str() == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(path, &json) {
+            return usage_error(&format!("writing report {}: {e}", path.display()));
+        }
+    }
 
     if show_allowed {
         for f in &suppressed {
@@ -98,6 +146,47 @@ fn main() -> ExitCode {
             );
         }
     }
+    for w in &analysis.warnings {
+        println!("warning: {w}");
+    }
+
+    // Baseline mode: the diff is the verdict, not the raw finding count.
+    if let Some(path) = &baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return usage_error(&format!("reading baseline {}: {e}", path.display())),
+        };
+        let base_ids = report::baseline_ids(&text);
+        let cur_ids = report::finding_ids(&surviving);
+        let (new, fixed) = report::diff(&cur_ids, &base_ids);
+        for (f, id) in surviving.iter().zip(&cur_ids) {
+            if new.contains(id) {
+                println!(
+                    "NEW FINDING [{}] {}:{} in {}: {}\n  id: {id}",
+                    f.rule, f.file, f.line, f.func, f.message
+                );
+            }
+        }
+        for id in &fixed {
+            println!("STALE BASELINE: `{id}` is no longer produced — a finding was fixed; regenerate with --write-baseline");
+        }
+        println!(
+            "newtop-analyze: {total} finding(s), {} allowlisted ({} entries), {} baselined, {} new, {} stale (cache: {} hit / {} miss)",
+            suppressed.len(),
+            entries.len(),
+            base_ids.len(),
+            new.len(),
+            fixed.len(),
+            analysis.cache_hits,
+            analysis.cache_misses,
+        );
+        return if new.is_empty() && fixed.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
     for f in &surviving {
         println!(
             "VIOLATION [{}] {}:{} in {}: {}",
@@ -105,10 +194,12 @@ fn main() -> ExitCode {
         );
     }
     println!(
-        "newtop-analyze: {total} finding(s), {} allowlisted ({} entries), {} surviving",
+        "newtop-analyze: {total} finding(s), {} allowlisted ({} entries), {} surviving (cache: {} hit / {} miss)",
         suppressed.len(),
         entries.len(),
-        surviving.len()
+        surviving.len(),
+        analysis.cache_hits,
+        analysis.cache_misses,
     );
     if surviving.is_empty() {
         ExitCode::SUCCESS

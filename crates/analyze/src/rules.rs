@@ -1,21 +1,35 @@
-//! The four NewTop rule families.
+//! The NewTop rule families.
 //!
-//! Every rule runs over the token bodies of non-test functions produced
-//! by [`crate::items`]. The rules are deliberately over-approximate
-//! (name-based reachability, token-shape matching) — the committed
-//! allowlist absorbs the handful of justified exceptions, and
-//! `--self-test` proves each family still fires on known-bad input.
+//! Two tiers. The *per-body* families scan each non-test function's
+//! token stream independently (determinism, boundedness, direct lock
+//! hygiene, durability, cross-shard channel ownership) — exactly the
+//! PR 5 shapes. The *reachability* families run over the workspace
+//! [`crate::graph::CallGraph`] and ask questions no single body can
+//! answer: is a panic reachable from a decode boundary two calls away?
+//! do two functions acquire the same pair of locks in opposite orders?
+//! does a protocol handler launder wall-clock time through a helper
+//! crate? can a shard-worker event handler block?
+//!
+//! Every rule stays deliberately over-approximate (name-based
+//! resolution, token-shape matching): the committed allowlist absorbs
+//! the few justified exceptions, the committed `analyze.baseline.json`
+//! must stay empty of protocol findings, and `--self-test` proves each
+//! family fires on graph-shaped bad input.
 
+use crate::graph::{CallGraph, FnId, SEND_LIKE};
 use crate::items::{FnItem, ParsedFile};
 use crate::lexer::{TokKind, Token};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Rule family identifiers (used in findings and `analyze.allow`).
+/// Rule family identifiers (used in findings, IDs, and `analyze.allow`).
 pub const RULE_DETERMINISM: &str = "determinism";
 pub const RULE_PANIC_FREE: &str = "panic-free";
 pub const RULE_BOUNDED: &str = "bounded";
 pub const RULE_LOCK_HYGIENE: &str = "lock-hygiene";
 pub const RULE_DURABILITY: &str = "durability";
+pub const RULE_LOCK_ORDER: &str = "lock-order";
+pub const RULE_TAINT: &str = "determinism-taint";
+pub const RULE_BLOCKING: &str = "blocking-in-worker";
 
 /// One rule violation.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -28,6 +42,9 @@ pub struct Finding {
     pub rule: &'static str,
     /// Enclosing function name (allowlist key).
     pub func: String,
+    /// Violation kind slug — the stable-ID discriminator within a
+    /// (rule, file, fn) cluster; never carries line numbers.
+    pub kind: &'static str,
     /// Human-readable description.
     pub message: String,
 }
@@ -41,13 +58,15 @@ pub const PROTOCOL_CRATES: &[&str] = &["gcs", "invocation", "flow", "core", "che
 /// flow-control crate owns every queue discipline.
 pub const BOUNDED_EXEMPT_CRATE: &str = "flow";
 
-/// Crates analysed for panic-freedom (rule 2): the ones that carry
-/// network-input decode/ingest paths. The name-based call graph is
-/// over-approximate, so the set is kept to where the entry points and
-/// their callees actually live — widening it to harness crates
-/// (`check`, `workloads`, the analyzer itself) only manufactures
-/// name-collision noise.
-pub const PANIC_FREE_CRATES: &[&str] = &["gcs", "orb", "invocation", "core"];
+/// Crates traversed for transitive panic-freedom (rule 2). PR 5 scoped
+/// this to the four crates holding decode entry points; the call graph
+/// now follows message paths wherever they go — through the flow queues,
+/// the shard runtime, and `newtop-dir`'s recovery code. The harness
+/// crates (`check`, `workloads`, `bench`, the analyzer) and `newtop-net`
+/// (transport/clock owner, threaded code with legitimate startup
+/// panics) stay out: their name collisions would only manufacture
+/// noise, and nothing on a message path calls into them.
+pub const PANIC_FREE_CRATES: &[&str] = &["gcs", "orb", "invocation", "core", "flow", "rt", "dir"];
 
 /// Network-input entry points (rule 2). `owner`/`name` of `None` match
 /// anything: every `CdrDecoder` method is a decode boundary, and every
@@ -61,17 +80,53 @@ pub const ENTRY_POINTS: &[(Option<&str>, Option<&str>)] = &[
     (Some("GcsMember"), Some("on_message")),
 ];
 
-/// Calls that hand data to a transport or queue (rule 4): holding a lock
-/// guard across any of these risks deadlock and priority inversion.
-const SEND_LIKE: &[&str] = &[
-    "send",
-    "try_send",
-    "send_fanout",
-    "write_all",
-    "oneway",
-    "oneway_fanout",
-    "connect",
-    "recv",
+/// Shard-worker event handlers (rules 2 and 8): the functions the
+/// `newtop-rt` event loop and `newtop-rt-shard{k}-{node}` decode workers
+/// invoke per packet/timer/frame. Everything reachable from these runs
+/// on a worker thread with the whole node behind it: a panic kills the
+/// node, a blocking call stalls every group on the shard.
+pub const WORKER_ENTRY_POINTS: &[(Option<&str>, Option<&str>)] = &[
+    (Some("Nso"), Some("on_packet")),
+    (Some("Nso"), Some("on_timer")),
+    (Some("Nso"), Some("on_gcs_message")),
+    (Some("Nso"), Some("decode_gcs_frame")),
+    (Some("ShardedGcs"), Some("on_message")),
+    (Some("ShardedGcs"), Some("on_timer")),
+];
+
+/// Handler names that seed the determinism-taint pass (rule 7): the
+/// simulator/NSO callback surface, wherever it is implemented.
+pub const HANDLER_NAMES: &[&str] = &[
+    "on_event",
+    "on_message",
+    "on_packet",
+    "on_timer",
+    "on_start",
+    "on_output",
+    "on_gcs_message",
+];
+
+/// Crates whose handler impls seed the taint pass: the protocol crates
+/// plus the deterministic harness layers whose replay guarantees
+/// (campaign seeds, scale-model digests) depend on them.
+pub const TAINT_SEED_CRATES: &[&str] = &[
+    "gcs",
+    "invocation",
+    "flow",
+    "core",
+    "check",
+    "dir",
+    "workloads",
+];
+
+/// Files where wall-clock and OS primitives are *blessed*: the clock
+/// abstraction itself and the threaded transports. The taint pass never
+/// reports inside these (nor inside `rt`/`bench`/`analyze`, which are
+/// wall-clock worlds by design).
+pub const TAINT_BLESSED_FILES: &[&str] = &[
+    "crates/net/src/time.rs",
+    "crates/net/src/tcp.rs",
+    "crates/net/src/channel.rs",
 ];
 
 /// Extracts `gcs` from `crates/gcs/src/member.rs`.
@@ -88,13 +143,18 @@ fn is_protocol_crate(path: &str) -> bool {
 /// Runs every rule family over the parsed workspace.
 #[must_use]
 pub fn run_all(files: &[ParsedFile]) -> Vec<Finding> {
+    let graph = CallGraph::build(files);
     let mut out = Vec::new();
     determinism(files, &mut out);
-    panic_free(files, &mut out);
     bounded(files, &mut out);
     lock_hygiene(files, &mut out);
     cross_shard_channels(files, &mut out);
     durability(files, &mut out);
+    panic_free(&graph, &mut out);
+    lock_order(&graph, &mut out);
+    transitive_send_under_lock(&graph, &mut out);
+    determinism_taint(&graph, &mut out);
+    blocking_in_worker(&graph, &mut out);
     out.sort();
     out.dedup();
     out
@@ -113,6 +173,22 @@ fn body<'a>(file: &'a ParsedFile, item: &FnItem) -> &'a [Token] {
     &file.tokens[item.body.0..item.body.1]
 }
 
+/// Seeds matching the given (owner, name) patterns, restricted by a
+/// scope predicate.
+fn seeds_matching(
+    graph: &CallGraph<'_>,
+    patterns: &[(Option<&str>, Option<&str>)],
+    in_scope: impl Fn(FnId) -> bool,
+) -> Vec<FnId> {
+    let mut seeds: Vec<FnId> = Vec::new();
+    for (owner, name) in patterns {
+        seeds.extend(graph.matching(*owner, *name).filter(|&id| in_scope(id)));
+    }
+    seeds.sort_unstable();
+    seeds.dedup();
+    seeds
+}
+
 // ---------------------------------------------------------------- rule 1
 
 /// Determinism: protocol crates must not read wall-clock time, sample
@@ -129,23 +205,27 @@ fn determinism(files: &[ParsedFile], out: &mut Vec<Finding>) {
             if t.kind != TokKind::Ident {
                 continue;
             }
-            let msg = match t.text.as_str() {
-                "Instant" if path_call(toks, i, "now") => {
-                    Some("Instant::now() in protocol code; route time through newtop_net::time")
-                }
-                "SystemTime" => {
-                    Some("SystemTime in protocol code; route time through newtop_net::time")
-                }
-                "thread_rng" | "from_entropy" => {
-                    Some("OS randomness in protocol code; seed RNGs explicitly")
-                }
-                "HashMap" | "HashSet" => Some(
+            let hit = match t.text.as_str() {
+                "Instant" if path_call(toks, i, "now") => Some((
+                    "instant-now",
+                    "Instant::now() in protocol code; route time through newtop_net::time",
+                )),
+                "SystemTime" => Some((
+                    "system-time",
+                    "SystemTime in protocol code; route time through newtop_net::time",
+                )),
+                "thread_rng" | "from_entropy" => Some((
+                    "os-random",
+                    "OS randomness in protocol code; seed RNGs explicitly",
+                )),
+                "HashMap" | "HashSet" => Some((
+                    "hash-iter",
                     "HashMap/HashSet iteration order is nondeterministic; use BTreeMap/BTreeSet in protocol state",
-                ),
+                )),
                 _ => None,
             };
-            if let Some(m) = msg {
-                out.push(finding(RULE_DETERMINISM, file, item, t, m));
+            if let Some((kind, m)) = hit {
+                out.push(finding(RULE_DETERMINISM, file, item, t, kind, m));
             }
         }
     }
@@ -162,87 +242,51 @@ fn path_call(toks: &[Token], i: usize, method: &str) -> bool {
 
 // ---------------------------------------------------------------- rule 2
 
-/// Panic-freedom on message paths: no `unwrap`/`expect`/panicking macro/
-/// slice-indexing in any function reachable (by name) from a
-/// network-input entry point. Malformed bytes must surface as
-/// `NewtopError::Malformed`, never as a panic.
-fn panic_free(files: &[ParsedFile], out: &mut Vec<Finding>) {
-    // Name → function occurrences, for the over-approximate call graph.
-    // Restricted to the message-path crates; `testkit` is test harness
-    // living in src/.
-    let in_scope = |path: &str| {
+/// Transitive panic-freedom on message paths: no `unwrap`/`expect`/
+/// panicking macro/raw indexing/modulo-by-variable in any function
+/// reachable from a network-input decode entry point or a shard-worker
+/// event handler. Malformed bytes must surface as
+/// `NewtopError::Malformed`, never as a panic — and a panic *anywhere*
+/// on the path takes the worker thread (and with it the node) down.
+fn panic_free(graph: &CallGraph<'_>, out: &mut Vec<Finding>) {
+    let in_scope = |id: FnId| {
+        let path = &graph.file(id).path;
         crate_of(path).is_some_and(|c| PANIC_FREE_CRATES.contains(&c)) && !path.contains("testkit")
     };
-    let mut by_name: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
-    let all: Vec<(&ParsedFile, &FnItem, usize, usize)> = files
-        .iter()
-        .enumerate()
-        .filter(|(_, f)| in_scope(&f.path))
-        .flat_map(|(fi, f)| {
-            f.fns
-                .iter()
-                .enumerate()
-                .filter(|(_, item)| !item.is_test)
-                .map(move |(ii, item)| (f, item, fi, ii))
-        })
-        .collect();
-    for (_, item, fi, ii) in &all {
-        by_name
-            .entry(item.name.as_str())
-            .or_default()
-            .push((*fi, *ii));
-    }
+    let mut seeds = seeds_matching(graph, ENTRY_POINTS, in_scope);
+    seeds.extend(seeds_matching(graph, WORKER_ENTRY_POINTS, in_scope));
+    seeds.sort_unstable();
+    seeds.dedup();
+    let reachable = graph.reachable(&seeds, in_scope);
 
-    // Seed with the entry points, then BFS over callee names.
-    let mut reachable: BTreeSet<(usize, usize)> = BTreeSet::new();
-    let mut queue: Vec<(usize, usize)> = Vec::new();
-    for (_, item, fi, ii) in &all {
-        let hit = ENTRY_POINTS.iter().any(|(owner, name)| {
-            owner.is_none_or(|o| item.owner.as_deref() == Some(o))
-                && name.is_none_or(|n| item.name == n)
-        });
-        if hit && reachable.insert((*fi, *ii)) {
-            queue.push((*fi, *ii));
-        }
-    }
-    while let Some((fi, ii)) = queue.pop() {
-        let file = &files[fi];
-        let item = &file.fns[ii];
-        for callee in callee_names(body(file, item)) {
-            if let Some(targets) = by_name.get(callee.as_str()) {
-                for &t in targets {
-                    if reachable.insert(t) {
-                        queue.push(t);
-                    }
-                }
-            }
-        }
-    }
-
-    for &(fi, ii) in &reachable {
-        let file = &files[fi];
-        let item = &file.fns[ii];
-        let toks = body(file, item);
+    for &id in &reachable {
+        let file = graph.file(id);
+        let item = graph.item(id);
+        let toks = graph.body(id);
         for (i, t) in toks.iter().enumerate() {
             match t.kind {
                 TokKind::Ident => {
                     let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
                     let after_dot = i > 0 && toks[i - 1].is_punct('.');
-                    let msg = match t.text.as_str() {
-                        "panic" | "unreachable" | "todo" | "unimplemented" if next_bang => {
-                            Some(format!(
+                    let hit = match t.text.as_str() {
+                        "panic" | "unreachable" | "todo" | "unimplemented" if next_bang => Some((
+                            "panic-macro",
+                            format!(
                                 "{}! on a message path; return NewtopError::Malformed",
                                 t.text
-                            ))
-                        }
-                        "unwrap" | "expect" if after_dot => Some(format!(
-                            ".{}() on a message path; return NewtopError::Malformed",
-                            t.text
+                            ),
+                        )),
+                        "unwrap" | "expect" if after_dot => Some((
+                            "unwrap",
+                            format!(
+                                ".{}() on a message path; return NewtopError::Malformed",
+                                t.text
+                            ),
                         )),
                         _ => None,
                     };
-                    if let Some(m) = msg {
-                        out.push(finding(RULE_PANIC_FREE, file, item, t, &m));
+                    if let Some((kind, m)) = hit {
+                        out.push(finding(RULE_PANIC_FREE, file, item, t, kind, &m));
                     }
                 }
                 TokKind::Punct if t.text == "[" && i > 0 => {
@@ -257,7 +301,29 @@ fn panic_free(files: &[ParsedFile], out: &mut Vec<Finding>) {
                             file,
                             item,
                             t,
+                            "indexing",
                             "slice/map indexing on a message path can panic; use .get() and return NewtopError::Malformed",
+                        ));
+                    }
+                }
+                TokKind::Punct if t.text == "%" && i > 0 => {
+                    // `x % var` panics when the divisor is zero; modulo
+                    // by a literal is always fine. `%=` never lexes here
+                    // (the next token would be `=`).
+                    let next_is_var = toks
+                        .get(i + 1)
+                        .is_some_and(|n| n.kind == TokKind::Ident && !is_keyword(&n.text));
+                    let prev_is_value = matches!(toks[i - 1].kind, TokKind::Ident | TokKind::Lit)
+                        || toks[i - 1].is_punct(')')
+                        || toks[i - 1].is_punct(']');
+                    if next_is_var && prev_is_value {
+                        out.push(finding(
+                            RULE_PANIC_FREE,
+                            file,
+                            item,
+                            t,
+                            "modulo",
+                            "modulo by a non-constant on a message path panics when the divisor is zero; guard it and return NewtopError::Malformed",
                         ));
                     }
                 }
@@ -288,7 +354,8 @@ fn is_keyword(s: &str) -> bool {
     )
 }
 
-/// Names invoked as `name(...)` or `.name(...)` inside a body.
+/// Names invoked as `name(...)` or `.name(...)` inside a body (used by
+/// the durability rule's crate-local reachability).
 fn callee_names(toks: &[Token]) -> BTreeSet<String> {
     let mut names = BTreeSet::new();
     for (i, t) in toks.iter().enumerate() {
@@ -324,6 +391,7 @@ fn bounded(files: &[ParsedFile], out: &mut Vec<Finding>) {
                     file,
                     item,
                     t,
+                    "unbounded",
                     "unbounded channel outside newtop-flow; use newtop_flow::queue::bounded",
                 ));
             }
@@ -341,6 +409,7 @@ fn bounded(files: &[ParsedFile], out: &mut Vec<Finding>) {
                     file,
                     item,
                     t,
+                    "std-mpsc",
                     "std::sync::mpsc::channel is unbounded; use newtop_flow::queue::bounded",
                 ));
             }
@@ -461,6 +530,7 @@ fn scan_guard_scope(
                     file,
                     item,
                     t,
+                    "held-across-send",
                     &format!(
                         "`{}` called while lock guard `{guard}` is held; drop the guard before the hand-off",
                         t.text
@@ -517,6 +587,7 @@ fn cross_shard_channels(files: &[ParsedFile], out: &mut Vec<Finding>) {
                     file,
                     item,
                     t,
+                    "cross-shard-channel",
                     "cross-shard channel constructed outside the newtop-rt shard workers; route shard fan-in/fan-out through the runtime's ingress pipeline",
                 ));
             }
@@ -628,10 +699,318 @@ fn durability(files: &[ParsedFile], out: &mut Vec<Finding>) {
                 file,
                 item,
                 tok,
+                "unsynced-append",
                 &format!(
                     "durable append with no `sync` reachable before `{hname}` returns; a crash after the handler acknowledges loses the staged write"
                 ),
             ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- rule 6
+
+/// Lock-order deadlock detection: build the workspace lock-acquisition
+/// graph — an edge A → B wherever lock B is acquired (directly, or
+/// transitively through any call edge) while lock A is held — and flag
+/// every cycle. Two threads walking a cycle's edges in opposite orders
+/// deadlock; the PR 9 durability audit caught two such sites by hand,
+/// this rule catches them structurally.
+///
+/// Lock identity is the crate-qualified final path segment of the
+/// receiver (`self.shared.conns.lock()` in `crates/net` → `net/conns`),
+/// an over-approximation both ways: distinct instances with one name
+/// alias (may over-flag), one instance reached through differently
+/// named bindings splits (may under-flag; the self-test pins the
+/// canonical shapes). Same-name re-acquisition (A while A) is skipped —
+/// indistinguishable from two instances of one shape.
+fn lock_order(graph: &CallGraph<'_>, out: &mut Vec<Finding>) {
+    // (held, acquired) → first witness (fn id, line). Call-site edges
+    // skip send-like callees: a lock held across a transport hand-off
+    // is the lock-hygiene family's finding, not an acquisition order.
+    let mut edges: BTreeMap<(String, String), (FnId, u32)> = BTreeMap::new();
+    let acquires = graph.acquires_transitively();
+    for (id, node) in graph.fns.iter().enumerate() {
+        for acq in &node.locks {
+            for h in &acq.held {
+                if *h != acq.lock {
+                    edges
+                        .entry((h.clone(), acq.lock.clone()))
+                        .or_insert((id, acq.line));
+                }
+            }
+        }
+        for &(callee, ci) in &graph.edges[id] {
+            let site = &node.calls[ci];
+            if site.locks_held.is_empty() || SEND_LIKE.contains(&site.name.as_str()) {
+                continue;
+            }
+            for h in &site.locks_held {
+                for a in &acquires[callee] {
+                    if a != h {
+                        edges
+                            .entry((h.clone(), a.clone()))
+                            .or_insert((id, site.line));
+                    }
+                }
+            }
+        }
+    }
+
+    // A deadlock needs a cycle; a cycle lives entirely inside one
+    // strongly connected component of the lock graph. Enumerating every
+    // elementary cycle of a dense component is combinatorial noise (one
+    // bad cluster of five locks has dozens), so the finding unit is the
+    // SCC: one report per mutually-reachable lock cluster, anchored at
+    // the lexicographically first witness edge inside it. The graph is
+    // tiny (one node per distinct lock name), so pairwise reachability
+    // is plenty.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (h, a) in edges.keys() {
+        adj.entry(h.as_str()).or_default().insert(a.as_str());
+        adj.entry(a.as_str()).or_default();
+    }
+    let reach = |from: &str| -> BTreeSet<&str> {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            for &next in adj.get(n).into_iter().flatten() {
+                if seen.insert(next) {
+                    stack.push(next);
+                }
+            }
+        }
+        seen
+    };
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    let reachable: BTreeMap<&str, BTreeSet<&str>> = nodes.iter().map(|&n| (n, reach(n))).collect();
+    let mut assigned: BTreeSet<&str> = BTreeSet::new();
+    for &n in &nodes {
+        if assigned.contains(n) || !reachable[n].contains(n) {
+            continue; // not on any cycle
+        }
+        let scc: Vec<&str> = nodes
+            .iter()
+            .copied()
+            .filter(|&m| reachable[n].contains(m) && reachable[m].contains(n))
+            .collect();
+        assigned.extend(scc.iter().copied());
+        // Witness: the first edge inside the component.
+        let &(wid, wline) = edges
+            .iter()
+            .find(|((h, a), _)| scc.contains(&h.as_str()) && scc.contains(&a.as_str()))
+            .map(|(_, w)| w)
+            .expect("an SCC on a cycle has an internal edge");
+        let file = graph.file(wid);
+        let item = graph.item(wid);
+        out.push(Finding {
+            file: file.path.clone(),
+            line: wline,
+            rule: RULE_LOCK_ORDER,
+            func: item.name.clone(),
+            kind: "cycle",
+            message: format!(
+                "lock-order cycle among {{{}}}: two threads taking these locks in opposite orders deadlock; impose one acquisition order",
+                scc.join(", ")
+            ),
+        });
+    }
+}
+
+/// Lock-hygiene, made transitive: a call made while a guard is held,
+/// whose callee *reaches* a transport send or queue hand-off any number
+/// of calls down, holds that lock across the hand-off just as surely as
+/// a direct send in the same body (which the per-body family already
+/// flags; send-like callee names are skipped here to avoid
+/// double-reporting).
+fn transitive_send_under_lock(graph: &CallGraph<'_>, out: &mut Vec<Finding>) {
+    let reaches = graph.reaches_send();
+    for (id, node) in graph.fns.iter().enumerate() {
+        let mut flagged_sites: BTreeSet<usize> = BTreeSet::new();
+        for &(callee, ci) in &graph.edges[id] {
+            let site = &node.calls[ci];
+            if site.locks_held.is_empty()
+                || SEND_LIKE.contains(&site.name.as_str())
+                || !reaches[callee]
+                || !flagged_sites.insert(ci)
+            {
+                continue;
+            }
+            let file = graph.file(id);
+            let item = graph.item(id);
+            out.push(Finding {
+                file: file.path.clone(),
+                line: site.line,
+                rule: RULE_LOCK_HYGIENE,
+                func: item.name.clone(),
+                kind: "transitive-send",
+                message: format!(
+                    "`{}` called while lock guard `{}` is held, and it transitively reaches a transport send/queue hand-off; drop the guard first",
+                    site.name,
+                    site.locks_held.join("`, `"),
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------- rule 7
+
+/// Determinism taint: wall-clock time, OS randomness, or unordered-map
+/// state in *any* function reachable from a protocol or deterministic-
+/// harness event handler — wherever that function lives. The per-body
+/// determinism family polices the protocol crates; this closes the
+/// laundering hole where a protocol handler calls a helper in `orb`,
+/// `dir`, `workloads`, or the simulator and the helper reads the clock.
+fn determinism_taint(graph: &CallGraph<'_>, out: &mut Vec<Finding>) {
+    let seed_scope = |id: FnId| {
+        let path = &graph.file(id).path;
+        crate_of(path).is_some_and(|c| TAINT_SEED_CRATES.contains(&c)) && !path.contains("testkit")
+    };
+    let patterns: Vec<(Option<&str>, Option<&str>)> =
+        HANDLER_NAMES.iter().map(|n| (None, Some(*n))).collect();
+    let seeds = seeds_matching(graph, &patterns, seed_scope);
+    // Traversal crosses every crate except the wall-clock worlds; the
+    // blessed transport/clock files terminate traversal too (whatever
+    // they call is their business).
+    let traverse = |id: FnId| {
+        let path = &graph.file(id).path;
+        !matches!(crate_of(path), Some("rt" | "bench" | "analyze"))
+            && !TAINT_BLESSED_FILES.contains(&path.as_str())
+            && !path.contains("testkit")
+    };
+    let reachable = graph.reachable(&seeds, traverse);
+    for &id in &reachable {
+        let file = graph.file(id);
+        // The per-body family owns the protocol crates; report only the
+        // laundering targets outside them.
+        if is_protocol_crate(&file.path) {
+            continue;
+        }
+        let item = graph.item(id);
+        let toks = graph.body(id);
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let hit = match t.text.as_str() {
+                "Instant" if path_call(toks, i, "now") => Some((
+                    "instant-now",
+                    "Instant::now() reachable from a protocol handler; take SimTime/Clock as a parameter",
+                )),
+                "SystemTime" => Some((
+                    "system-time",
+                    "SystemTime reachable from a protocol handler; take SimTime/Clock as a parameter",
+                )),
+                "thread_rng" | "from_entropy" => Some((
+                    "os-random",
+                    "OS randomness reachable from a protocol handler; thread a seeded RNG through",
+                )),
+                "HashMap" | "HashSet" => Some((
+                    "hash-iter",
+                    "HashMap/HashSet reachable from a protocol handler can leak iteration order into protocol state; use BTreeMap/BTreeSet",
+                )),
+                _ => None,
+            };
+            if let Some((kind, m)) = hit {
+                out.push(finding(RULE_TAINT, file, item, t, kind, m));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- rule 8
+
+/// Blocking tokens for rule 8, as (kind, message) classifiers run over
+/// each reachable body.
+fn blocking_hit(toks: &[Token], i: usize) -> Option<(&'static str, String)> {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let call = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+    let after_dot = i > 0 && toks[i - 1].is_punct('.');
+    match t.text.as_str() {
+        "sleep" if call => Some((
+            "sleep",
+            "thread sleep on a shard-worker path stalls every group on the shard".to_owned(),
+        )),
+        "File" | "OpenOptions" if path_call_any(toks, i) => Some((
+            "file-io",
+            format!("{} file I/O on a shard-worker path blocks the worker", t.text),
+        )),
+        "fs" if toks.get(i + 1).is_some_and(|n| n.is_punct(':')) => Some((
+            "file-io",
+            "std::fs file I/O on a shard-worker path blocks the worker".to_owned(),
+        )),
+        "sync_all" | "sync_data" if call && after_dot => Some((
+            "file-io",
+            format!("fsync (`{}`) on a shard-worker path blocks the worker", t.text),
+        )),
+        "wait" | "wait_timeout" | "park" if call && after_dot => Some((
+            "wait",
+            format!(
+                "`{}` on a shard-worker path is an unbounded wait inside the event pipeline",
+                t.text
+            ),
+        )),
+        "recv" | "recv_timeout" if call && after_dot => Some((
+            "blocking-recv",
+            format!(
+                "blocking `{}` on a shard-worker path; workers may only block on their own ingress queue",
+                t.text
+            ),
+        )),
+        // Thread join takes no arguments; `join("...")` on slices does.
+        "join"
+            if call
+                && after_dot
+                && toks.get(i + 2).is_some_and(|n| n.is_punct(')')) =>
+        {
+            Some((
+                "join",
+                "thread join on a shard-worker path blocks the worker".to_owned(),
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// `Ident::` shape (any method).
+fn path_call_any(toks: &[Token], i: usize) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+}
+
+/// Blocking-in-shard-worker: no sleep, file I/O, fsync, condvar wait,
+/// thread join, or foreign blocking recv anywhere reachable from the
+/// shard-worker event handlers. The `newtop-rt` loops themselves block
+/// on their own ingress queues by design — those loop bodies are not
+/// seeds; the handlers they invoke are.
+fn blocking_in_worker(graph: &CallGraph<'_>, out: &mut Vec<Finding>) {
+    // Traversal stays inside the sans-IO protocol stack (the dependency
+    // closure of the worker entry points' crates). The threaded
+    // transports and the flow queue internals are the blocking
+    // primitives' rightful owners — a worker reaches them only through
+    // the loop scaffolding, which is not seeded.
+    let in_scope = |id: FnId| {
+        let path = &graph.file(id).path;
+        matches!(
+            crate_of(path),
+            Some("core" | "gcs" | "orb" | "invocation" | "flow" | "net" | "rt" | "dir")
+        ) && !path.contains("testkit")
+            && !TAINT_BLESSED_FILES.contains(&path.as_str())
+    };
+    let seeds = seeds_matching(graph, WORKER_ENTRY_POINTS, in_scope);
+    let reachable = graph.reachable(&seeds, in_scope);
+    for &id in &reachable {
+        let file = graph.file(id);
+        let item = graph.item(id);
+        let toks = graph.body(id);
+        for i in 0..toks.len() {
+            if let Some((kind, m)) = blocking_hit(toks, i) {
+                out.push(finding(RULE_BLOCKING, file, item, &toks[i], kind, &m));
+            }
         }
     }
 }
@@ -641,6 +1020,7 @@ fn finding(
     file: &ParsedFile,
     item: &FnItem,
     tok: &Token,
+    kind: &'static str,
     message: &str,
 ) -> Finding {
     Finding {
@@ -648,6 +1028,7 @@ fn finding(
         line: tok.line,
         rule,
         func: item.name.clone(),
+        kind,
         message: message.to_owned(),
     }
 }
@@ -660,6 +1041,11 @@ mod tests {
 
     fn check(path: &str, src: &str) -> Vec<Finding> {
         run_all(&[parse_file(path, lex(src))])
+    }
+
+    fn check_files(files: &[(&str, &str)]) -> Vec<Finding> {
+        let parsed: Vec<ParsedFile> = files.iter().map(|(p, s)| parse_file(p, lex(s))).collect();
+        run_all(&parsed)
     }
 
     #[test]
@@ -710,12 +1096,92 @@ mod tests {
     }
 
     #[test]
+    fn panic_free_reaches_two_calls_deep_across_files() {
+        // The PR 5 scanner only followed one level of names within a
+        // file set; the graph follows arbitrary depth across files and
+        // crates (orb → gcs helper here).
+        let f = check_files(&[
+            (
+                "crates/orb/src/cdr.rs",
+                "impl CdrDecoder { fn read_u8(&mut self) -> u8 { step_one(self) } }",
+            ),
+            (
+                "crates/orb/src/giop.rs",
+                "fn step_one(d: &mut CdrDecoder) -> u8 { step_two(d) }",
+            ),
+            (
+                "crates/orb/src/ior.rs",
+                "fn step_two(d: &mut CdrDecoder) -> u8 { d.buf.pop().unwrap() }",
+            ),
+        ]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RULE_PANIC_FREE);
+        assert_eq!(f[0].func, "step_two");
+        assert_eq!(f[0].kind, "unwrap");
+    }
+
+    #[test]
+    fn panic_free_covers_shard_worker_handlers() {
+        // `Nso::on_packet` is a worker entry point; a panic reachable
+        // from it through a gcs helper is flagged even though no decode
+        // entry point reaches it.
+        let f = check_files(&[
+            (
+                "crates/core/src/nso.rs",
+                "impl Nso { fn on_packet(&mut self, pkt: &Packet) { route_packet(pkt); } }",
+            ),
+            (
+                "crates/gcs/src/engine.rs",
+                "fn route_packet(pkt: &Packet) { let r: Option<u8> = None; r.expect(\"route\"); }",
+            ),
+        ]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RULE_PANIC_FREE);
+        assert_eq!(f[0].func, "route_packet");
+    }
+
+    #[test]
+    fn panic_free_covers_dir_recovery_behind_decode() {
+        // `dir`'s log decode path was outside PR 5's crate scope; the
+        // graph's `decode` entry points now reach its recovery helpers.
+        let f = check_files(&[
+            (
+                "crates/dir/src/log.rs",
+                "impl LogRecord { fn decode(b: &[u8]) -> LogRecord { replay_record(b) } }",
+            ),
+            (
+                "crates/dir/src/recovery.rs",
+                "fn replay_record(b: &[u8]) -> LogRecord { let r: Option<LogRecord> = None; r.expect(\"replay\") }",
+            ),
+        ]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RULE_PANIC_FREE);
+        assert_eq!(f[0].func, "replay_record");
+    }
+
+    #[test]
     fn panic_free_flags_unwrap_expect_and_macros() {
         let f = check(
             "crates/gcs/src/message.rs",
             "impl GcsMessage { fn from_cdr(d: &[u8]) -> Self { let x: Option<u8> = None; x.unwrap(); x.expect(\"x\"); panic!(\"no\"); Self }}",
         );
         assert_eq!(f.len(), 3, "{f:?}");
+    }
+
+    #[test]
+    fn panic_free_flags_modulo_by_variable() {
+        let f = check(
+            "crates/gcs/src/message.rs",
+            "impl GcsMessage { fn from_cdr(d: &[u8], n: usize) -> usize { d.len() % n } }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].kind, "modulo");
+        // Modulo by a literal is fine.
+        assert!(check(
+            "crates/gcs/src/message.rs",
+            "impl GcsMessage { fn from_cdr(d: &[u8]) -> usize { d.len() % 4 } }",
+        )
+        .is_empty());
     }
 
     #[test]
@@ -764,6 +1230,156 @@ mod tests {
             "fn a(&self) { let g = self.registry.read(); let tx = g.tx.clone(); drop(g); tx.try_send(m); }",
         )
         .is_empty());
+    }
+
+    #[test]
+    fn transitive_send_under_lock_follows_call_edges() {
+        let f = check(
+            "crates/net/src/channel.rs",
+            "fn outer(&self) { let g = self.registry.read(); self.forward(m); }\n\
+             fn forward(&self, m: Frame) { self.tx.try_send(m); }",
+        );
+        assert!(
+            f.iter()
+                .any(|x| x.rule == RULE_LOCK_HYGIENE && x.kind == "transitive-send"),
+            "{f:?}"
+        );
+        // Dropping the guard before the call is clean.
+        let g = check(
+            "crates/net/src/channel.rs",
+            "fn outer(&self) { { let g = self.registry.read(); } self.forward(m); }\n\
+             fn forward(&self, m: Frame) { self.tx.try_send(m); }",
+        );
+        assert!(g.is_empty(), "{g:?}");
+    }
+
+    #[test]
+    fn lock_order_cycles_are_flagged() {
+        let f = check_files(&[
+            (
+                "crates/gcs/src/engine.rs",
+                "fn ab(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }",
+            ),
+            (
+                "crates/gcs/src/member.rs",
+                "fn ba(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); }",
+            ),
+        ]);
+        let cycles: Vec<&Finding> = f.iter().filter(|x| x.rule == RULE_LOCK_ORDER).collect();
+        assert_eq!(cycles.len(), 1, "{f:?}");
+        assert!(cycles[0].message.contains("gcs/alpha"), "{f:?}");
+        assert!(cycles[0].message.contains("gcs/beta"), "{f:?}");
+    }
+
+    #[test]
+    fn lock_order_cycle_through_call_edge() {
+        // fn one holds A and calls helper which takes B; fn two holds B
+        // and calls other_helper which takes A — a cycle with no single
+        // body acquiring both.
+        let f = check_files(&[
+            (
+                "crates/flow/src/lib.rs",
+                "fn one(&self) { let a = self.alpha.lock(); self.take_beta(); }\n\
+                 fn take_beta(&self) { let b = self.beta.lock(); }",
+            ),
+            (
+                "crates/flow/src/queue.rs",
+                "fn two(&self) { let b = self.beta.lock(); self.take_alpha(); }\n\
+                 fn take_alpha(&self) { let a = self.alpha.lock(); }",
+            ),
+        ]);
+        assert!(
+            f.iter().any(|x| x.rule == RULE_LOCK_ORDER),
+            "cycle through call edges must be found: {f:?}"
+        );
+    }
+
+    #[test]
+    fn consistent_lock_order_is_clean() {
+        let f = check_files(&[
+            (
+                "crates/gcs/src/engine.rs",
+                "fn ab(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }",
+            ),
+            (
+                "crates/gcs/src/member.rs",
+                "fn ab2(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }",
+            ),
+        ]);
+        assert!(f.iter().all(|x| x.rule != RULE_LOCK_ORDER), "{f:?}");
+    }
+
+    #[test]
+    fn taint_catches_laundering_through_helper_crates() {
+        // A gcs handler calls an orb helper that reads the wall clock:
+        // outside the per-body family's crates, inside the graph's
+        // reach.
+        let f = check_files(&[
+            (
+                "crates/gcs/src/member.rs",
+                "impl GcsMember { fn on_timer(&mut self, tag: u64) { jitter_ms(); } }",
+            ),
+            (
+                "crates/orb/src/poa.rs",
+                "fn jitter_ms() -> u64 { Instant::now().elapsed().as_millis() as u64 }",
+            ),
+        ]);
+        assert!(
+            f.iter()
+                .any(|x| x.rule == RULE_TAINT && x.func == "jitter_ms"),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn taint_ignores_blessed_clock_and_unreachable_helpers() {
+        // The blessed transport files may use wall-clock freely...
+        let f = check_files(&[
+            (
+                "crates/gcs/src/member.rs",
+                "impl GcsMember { fn on_timer(&mut self, tag: u64) { poll(); } }",
+            ),
+            (
+                "crates/net/src/tcp.rs",
+                "fn poll() -> u64 { Instant::now().elapsed().as_millis() as u64 }",
+            ),
+        ]);
+        assert!(f.iter().all(|x| x.rule != RULE_TAINT), "{f:?}");
+        // ...and helpers nothing reaches are not taint findings.
+        let g = check(
+            "crates/workloads/src/apps.rs",
+            "fn lonely() -> u64 { Instant::now().elapsed().as_millis() as u64 }",
+        );
+        assert!(g.iter().all(|x| x.rule != RULE_TAINT), "{g:?}");
+    }
+
+    #[test]
+    fn blocking_in_worker_flags_sleep_and_file_io() {
+        let f = check_files(&[
+            (
+                "crates/core/src/nso.rs",
+                "impl Nso { fn on_packet(&mut self, pkt: &Packet) { self.persist(pkt); } \
+                 fn persist(&mut self, pkt: &Packet) { std::thread::sleep(d); let f = File::open(p); } }",
+            ),
+        ]);
+        let kinds: BTreeSet<&str> = f
+            .iter()
+            .filter(|x| x.rule == RULE_BLOCKING)
+            .map(|x| x.kind)
+            .collect();
+        assert!(kinds.contains("sleep"), "{f:?}");
+        assert!(kinds.contains("file-io"), "{f:?}");
+    }
+
+    #[test]
+    fn blocking_in_worker_ignores_rt_loop_scaffolding() {
+        // The rt event loop blocks on its own ingress queue by design;
+        // it is not a seed, so its recv is clean.
+        let f = check(
+            "crates/rt/src/lib.rs",
+            "fn event_loop(ingress: &Receiver<Ingress>) { while let Ok(ev) = ingress.recv() { } }",
+        );
+        assert!(f.iter().all(|x| x.rule != RULE_BLOCKING), "{f:?}");
     }
 
     #[test]

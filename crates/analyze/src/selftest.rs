@@ -1,10 +1,15 @@
 //! `--self-test`: proves each rule family still fires.
 //!
 //! Same detectability discipline as PR 3's `--mutate`: for every rule we
-//! inject a known-bad snippet (under a virtual protocol-crate path) and
+//! inject a known-bad snippet (under virtual protocol-crate paths) and
 //! assert the rule catches it, plus a known-good twin that must produce
 //! zero findings. A regressed rule therefore fails the `check.sh` gate
-//! even if the workspace itself happens to be clean.
+//! even if the workspace itself happens to be clean. The graph rewrite
+//! added *multi-file* cases: a panic two calls deep across crates, an
+//! A→B/B→A lock cycle split between files, a determinism taint
+//! laundered through a helper crate, blocking I/O behind a shard-worker
+//! handler, and a lock held across a call that only sends transitively
+//! — none of which any per-body scan can see.
 
 use crate::items::parse_file;
 use crate::lexer::lex;
@@ -12,11 +17,11 @@ use crate::rules::{self, Finding};
 
 struct Case {
     name: &'static str,
-    /// Rule expected to fire on `bad` (`None` for good twins).
+    /// Rule expected to fire on the bad snippet (`None` for good twins).
     expect: Option<&'static str>,
-    /// Virtual workspace path the snippet pretends to live at.
-    path: &'static str,
-    src: &'static str,
+    /// The snippet's files: (virtual workspace path, source). Multi-file
+    /// cases exercise cross-file/cross-crate reachability.
+    files: &'static [(&'static str, &'static str)],
 }
 
 const CASES: &[Case] = &[
@@ -24,125 +29,296 @@ const CASES: &[Case] = &[
     Case {
         name: "determinism/instant-now",
         expect: Some(rules::RULE_DETERMINISM),
-        path: "crates/gcs/src/selftest.rs",
-        src: "impl GcsMember { fn on_timer(&mut self) { let deadline = Instant::now(); } }",
+        files: &[(
+            "crates/gcs/src/selftest.rs",
+            "impl GcsMember { fn on_timer(&mut self) { let deadline = Instant::now(); } }",
+        )],
     },
     Case {
         name: "determinism/system-time",
         expect: Some(rules::RULE_DETERMINISM),
-        path: "crates/invocation/src/selftest.rs",
-        src: "fn stamp() -> u64 { SystemTime::now().elapsed().as_secs() }",
+        files: &[(
+            "crates/invocation/src/selftest.rs",
+            "fn stamp() -> u64 { SystemTime::now().elapsed().as_secs() }",
+        )],
     },
     Case {
         name: "determinism/thread-rng",
         expect: Some(rules::RULE_DETERMINISM),
-        path: "crates/check/src/selftest.rs",
-        src: "fn jitter() -> u64 { thread_rng().gen() }",
+        files: &[(
+            "crates/check/src/selftest.rs",
+            "fn jitter() -> u64 { thread_rng().gen() }",
+        )],
     },
     Case {
         name: "determinism/hashmap-iteration",
         expect: Some(rules::RULE_DETERMINISM),
-        path: "crates/core/src/selftest.rs",
-        src: "fn pick(&self) { for (k, v) in self.routes { } let m: HashMap<u32, u32> = Default::default(); }",
+        files: &[(
+            "crates/core/src/selftest.rs",
+            "fn pick(&self) { for (k, v) in self.routes { } let m: HashMap<u32, u32> = Default::default(); }",
+        )],
     },
     Case {
         name: "determinism/good-sim-time",
         expect: None,
-        path: "crates/gcs/src/selftest.rs",
-        src: "fn on_timer(&mut self, now: SimTime) { let deadline = now + self.timeout; let m: BTreeMap<u32, u32> = BTreeMap::new(); }",
+        files: &[(
+            "crates/gcs/src/selftest.rs",
+            "fn on_timer(&mut self, now: SimTime) { let deadline = now + self.timeout; let m: BTreeMap<u32, u32> = BTreeMap::new(); }",
+        )],
     },
     // rule 2 — panic-freedom on message paths
     Case {
         name: "panic-free/unwrap-in-decode",
         expect: Some(rules::RULE_PANIC_FREE),
-        path: "crates/orb/src/selftest.rs",
-        src: "impl CdrDecoder { fn read_u32(&mut self) -> u32 { let b: Option<u32> = None; b.unwrap() } }",
+        files: &[(
+            "crates/orb/src/selftest.rs",
+            "impl CdrDecoder { fn read_u32(&mut self) -> u32 { let b: Option<u32> = None; b.unwrap() } }",
+        )],
     },
     Case {
         name: "panic-free/indexing-reachable-from-ingest",
         expect: Some(rules::RULE_PANIC_FREE),
-        path: "crates/gcs/src/selftest.rs",
-        src: "impl GcsMember { fn on_message(&mut self, b: &[u8]) { helper(b); } }\n\
-              fn helper(b: &[u8]) -> u8 { b[0] }",
+        files: &[(
+            "crates/gcs/src/selftest.rs",
+            "impl GcsMember { fn on_message(&mut self, b: &[u8]) { helper(b); } }\n\
+             fn helper(b: &[u8]) -> u8 { b[0] }",
+        )],
     },
     Case {
         name: "panic-free/panic-macro-in-from-cdr",
         expect: Some(rules::RULE_PANIC_FREE),
-        path: "crates/gcs/src/selftest.rs",
-        src: "impl GcsMessage { fn from_cdr(d: &mut CdrDecoder) -> Self { panic!(\"bad tag\") } }",
+        files: &[(
+            "crates/gcs/src/selftest.rs",
+            "impl GcsMessage { fn from_cdr(d: &mut CdrDecoder) -> Self { panic!(\"bad tag\") } }",
+        )],
     },
     Case {
         name: "panic-free/good-typed-error",
         expect: None,
-        path: "crates/orb/src/selftest.rs",
-        src: "impl CdrDecoder { fn read_u32(&mut self) -> Result<u32, CdrError> { self.bytes.get(0).copied().ok_or(CdrError::Truncated) } }",
+        files: &[(
+            "crates/orb/src/selftest.rs",
+            "impl CdrDecoder { fn read_u32(&mut self) -> Result<u32, CdrError> { self.bytes.get(0).copied().ok_or(CdrError::Truncated) } }",
+        )],
+    },
+    // rule 2, graph-shaped — a panic two calls deep, across crate files
+    Case {
+        name: "panic-free/transitive-two-calls-deep",
+        expect: Some(rules::RULE_PANIC_FREE),
+        files: &[
+            (
+                "crates/orb/src/selftest.rs",
+                "impl CdrDecoder { fn read_header(&mut self) -> Header { step_one(self) } }",
+            ),
+            (
+                "crates/orb/src/selftest_mid.rs",
+                "fn step_one(d: &mut CdrDecoder) -> Header { step_two(d) }",
+            ),
+            (
+                "crates/orb/src/selftest_leaf.rs",
+                "fn step_two(d: &mut CdrDecoder) -> Header { d.bytes.pop().expect(\"truncated\") }",
+            ),
+        ],
+    },
+    Case {
+        name: "panic-free/good-transitive-typed-error",
+        expect: None,
+        files: &[
+            (
+                "crates/orb/src/selftest.rs",
+                "impl CdrDecoder { fn read_header(&mut self) -> Result<Header, CdrError> { step_one(self) } }",
+            ),
+            (
+                "crates/orb/src/selftest_mid.rs",
+                "fn step_one(d: &mut CdrDecoder) -> Result<Header, CdrError> { step_two(d) }",
+            ),
+            (
+                "crates/orb/src/selftest_leaf.rs",
+                "fn step_two(d: &mut CdrDecoder) -> Result<Header, CdrError> { d.bytes.pop().ok_or(CdrError::Truncated) }",
+            ),
+        ],
     },
     // rule 3 — boundedness
     Case {
         name: "bounded/unbounded-channel",
         expect: Some(rules::RULE_BOUNDED),
-        path: "crates/net/src/selftest.rs",
-        src: "fn mk() { let (tx, rx) = crossbeam_channel::unbounded(); }",
+        files: &[(
+            "crates/net/src/selftest.rs",
+            "fn mk() { let (tx, rx) = crossbeam_channel::unbounded(); }",
+        )],
     },
     Case {
         name: "bounded/std-mpsc",
         expect: Some(rules::RULE_BOUNDED),
-        path: "crates/rt/src/selftest.rs",
-        src: "fn mk() { let (tx, rx) = std::sync::mpsc::channel(); }",
+        files: &[(
+            "crates/rt/src/selftest.rs",
+            "fn mk() { let (tx, rx) = std::sync::mpsc::channel(); }",
+        )],
     },
     Case {
         name: "bounded/good-flow-queue",
         expect: None,
-        path: "crates/net/src/selftest.rs",
-        src: "fn mk() { let (tx, rx) = newtop_flow::queue::bounded(64, Discipline::Backpressure); }",
+        files: &[(
+            "crates/net/src/selftest.rs",
+            "fn mk() { let (tx, rx) = newtop_flow::queue::bounded(64, Discipline::Backpressure); }",
+        )],
     },
     // rule 4 — lock hygiene
     Case {
         name: "lock-hygiene/send-under-guard",
         expect: Some(rules::RULE_LOCK_HYGIENE),
-        path: "crates/net/src/selftest.rs",
-        src: "fn fwd(&self) { let reg = self.registry.read(); reg.tx.try_send(frame); }",
+        files: &[(
+            "crates/net/src/selftest.rs",
+            "fn fwd(&self) { let reg = self.registry.read(); reg.tx.try_send(frame); }",
+        )],
     },
     Case {
         name: "lock-hygiene/write-all-under-guard",
         expect: Some(rules::RULE_LOCK_HYGIENE),
-        path: "crates/net/src/selftest.rs",
-        src: "fn fwd(&self) { let mut conns = self.conns.lock(); conns.stream.write_all(&frame); }",
+        files: &[(
+            "crates/net/src/selftest.rs",
+            "fn fwd(&self) { let mut conns = self.conns.lock(); conns.stream.write_all(&frame); }",
+        )],
     },
     Case {
         name: "lock-hygiene/good-clone-then-send",
         expect: None,
-        path: "crates/net/src/selftest.rs",
-        src: "fn fwd(&self) { let tx = { let reg = self.registry.read(); reg.tx.clone() }; tx.try_send(frame); }",
+        files: &[(
+            "crates/net/src/selftest.rs",
+            "fn fwd(&self) { let tx = { let reg = self.registry.read(); reg.tx.clone() }; tx.try_send(frame); }",
+        )],
+    },
+    // rule 4, graph-shaped — the send is one call away
+    Case {
+        name: "lock-hygiene/transitive-send-under-guard",
+        expect: Some(rules::RULE_LOCK_HYGIENE),
+        files: &[(
+            "crates/net/src/selftest.rs",
+            "fn fwd(&self) { let reg = self.registry.read(); forward(reg.frame()); }\n\
+             fn forward(frame: Frame) { TX.try_send(frame); }",
+        )],
+    },
+    Case {
+        name: "lock-hygiene/good-guard-dropped-before-call",
+        expect: None,
+        files: &[(
+            "crates/net/src/selftest.rs",
+            "fn fwd(&self) { let frame = { let reg = self.registry.read(); reg.frame() }; forward(frame); }\n\
+             fn forward(frame: Frame) { TX.try_send(frame); }",
+        )],
     },
     // rule 4 extension — cross-shard channel ownership
     Case {
         name: "lock-hygiene/cross-shard-channel-outside-rt",
         expect: Some(rules::RULE_LOCK_HYGIENE),
-        path: "crates/workloads/src/selftest.rs",
-        src: "fn fan_in(n: usize) { let shards = n; let (tx, rx) = bounded::<Frame>(64); }",
+        files: &[(
+            "crates/workloads/src/selftest.rs",
+            "fn fan_in(n: usize) { let shards = n; let (tx, rx) = bounded::<Frame>(64); }",
+        )],
     },
     Case {
         name: "lock-hygiene/good-rt-shard-worker-channel",
         expect: None,
-        path: "crates/rt/src/selftest.rs",
-        src: "fn spawn_ingress(n: usize) { let shards = n; let (tx, rx) = bounded::<Frame>(64); std::thread::Builder::new().spawn(move || {}); }",
+        files: &[(
+            "crates/rt/src/selftest.rs",
+            "fn spawn_ingress(n: usize) { let shards = n; let (tx, rx) = bounded::<Frame>(64); std::thread::Builder::new().spawn(move || {}); }",
+        )],
     },
     // rule 5 — durability (append acknowledged without reachable sync)
     Case {
         name: "durability/append-without-sync",
         expect: Some(rules::RULE_DURABILITY),
-        path: "crates/dir/src/selftest.rs",
-        src: "impl DurableGcsNode { fn on_event(&mut self, ev: NodeEvent) { self.stage(ev); } \
-              fn stage(&mut self, ev: NodeEvent) { self.store.lock().unwrap().append(self.id, &rec); } }",
+        files: &[(
+            "crates/dir/src/selftest.rs",
+            "impl DurableGcsNode { fn on_event(&mut self, ev: NodeEvent) { self.stage(ev); } \
+             fn stage(&mut self, ev: NodeEvent) { self.store.lock().unwrap().append(self.id, &rec); } }",
+        )],
     },
     Case {
         name: "durability/good-synced-commit-point",
         expect: None,
-        path: "crates/dir/src/selftest.rs",
-        src: "impl DurableGcsNode { fn on_event(&mut self, ev: NodeEvent) { self.stage(ev); self.commit(); } \
-              fn stage(&mut self, ev: NodeEvent) { self.store.lock().unwrap().append(self.id, &rec); } \
-              fn commit(&mut self) { self.store.lock().unwrap().sync(self.id); } }",
+        files: &[(
+            "crates/dir/src/selftest.rs",
+            "impl DurableGcsNode { fn on_event(&mut self, ev: NodeEvent) { self.stage(ev); self.commit(); } \
+             fn stage(&mut self, ev: NodeEvent) { self.store.lock().unwrap().append(self.id, &rec); } \
+             fn commit(&mut self) { self.store.lock().unwrap().sync(self.id); } }",
+        )],
+    },
+    // rule 6 — lock-order deadlock cycles, split across files
+    Case {
+        name: "lock-order/ab-ba-cycle-across-files",
+        expect: Some(rules::RULE_LOCK_ORDER),
+        files: &[
+            (
+                "crates/gcs/src/selftest.rs",
+                "fn grab_ab(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }",
+            ),
+            (
+                "crates/gcs/src/selftest_peer.rs",
+                "fn grab_ba(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); }",
+            ),
+        ],
+    },
+    Case {
+        name: "lock-order/good-consistent-order",
+        expect: None,
+        files: &[
+            (
+                "crates/gcs/src/selftest.rs",
+                "fn grab_ab(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }",
+            ),
+            (
+                "crates/gcs/src/selftest_peer.rs",
+                "fn also_ab(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }",
+            ),
+        ],
+    },
+    // rule 7 — determinism taint laundered through a helper crate
+    Case {
+        name: "determinism-taint/laundered-through-helper",
+        expect: Some(rules::RULE_TAINT),
+        files: &[
+            (
+                "crates/gcs/src/selftest.rs",
+                "impl GcsMember { fn on_timer(&mut self, tag: u64) { let j = jitter_ms(); } }",
+            ),
+            (
+                "crates/orb/src/selftest.rs",
+                "fn jitter_ms() -> u64 { Instant::now().elapsed().as_millis() as u64 }",
+            ),
+        ],
+    },
+    Case {
+        name: "determinism-taint/good-time-as-parameter",
+        expect: None,
+        files: &[
+            (
+                "crates/gcs/src/selftest.rs",
+                "impl GcsMember { fn on_timer(&mut self, now: SimTime) { let j = jitter_ms(now); } }",
+            ),
+            (
+                "crates/orb/src/selftest.rs",
+                "fn jitter_ms(now: SimTime) -> u64 { now.as_millis() }",
+            ),
+        ],
+    },
+    // rule 8 — blocking reachable from a shard-worker handler
+    Case {
+        name: "blocking-in-worker/file-io-behind-handler",
+        expect: Some(rules::RULE_BLOCKING),
+        files: &[(
+            "crates/core/src/selftest.rs",
+            "impl Nso { fn on_packet(&mut self, pkt: &Packet) { self.persist(pkt); } \
+             fn persist(&mut self, pkt: &Packet) { let f = File::open(self.path()); std::thread::sleep(RETRY); } }",
+        )],
+    },
+    Case {
+        name: "blocking-in-worker/good-outbox-staging",
+        expect: None,
+        files: &[(
+            "crates/core/src/selftest.rs",
+            "impl Nso { fn on_packet(&mut self, pkt: &Packet) { self.stage(pkt); } \
+             fn stage(&mut self, pkt: &Packet) { self.outbox.push(pkt.frame()); } }",
+        )],
     },
 ];
 
@@ -152,8 +328,12 @@ pub fn run() -> Result<String, String> {
     let mut report = String::new();
     let mut failures = Vec::new();
     for case in CASES {
-        let parsed = parse_file(case.path, lex(case.src));
-        let findings: Vec<Finding> = rules::run_all(std::slice::from_ref(&parsed));
+        let parsed: Vec<_> = case
+            .files
+            .iter()
+            .map(|(path, src)| parse_file(path, lex(src)))
+            .collect();
+        let findings: Vec<Finding> = rules::run_all(&parsed);
         let outcome = match case.expect {
             Some(rule) => {
                 if findings.iter().any(|f| f.rule == rule) {
@@ -178,7 +358,7 @@ pub fn run() -> Result<String, String> {
                 }
             }
         };
-        report.push_str(&format!("self-test {:<44} {outcome}\n", case.name));
+        report.push_str(&format!("self-test {:<48} {outcome}\n", case.name));
     }
     let injected = CASES.iter().filter(|c| c.expect.is_some()).count();
     report.push_str(&format!(

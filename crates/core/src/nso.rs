@@ -1237,7 +1237,13 @@ impl Nso {
         let Some(progress) = self.pending_resolves.get_mut(name) else {
             return;
         };
-        let contact = progress.contacts[progress.next % progress.contacts.len()];
+        let slot = progress
+            .next
+            .checked_rem(progress.contacts.len())
+            .unwrap_or(0);
+        let Some(&contact) = progress.contacts.get(slot) else {
+            return; // record had no contacts; nothing to ask
+        };
         progress.next += 1;
         let body = DirRequest::Resolve {
             name: name.to_owned(),
@@ -1287,11 +1293,21 @@ impl Nso {
                 (members, BindingStyle::Closed, record.members.len())
             }
             ResolveStyle::Open { rank } => {
-                let manager = record.members[rank % record.members.len()];
+                let slot = rank.checked_rem(record.members.len()).unwrap_or(0);
+                let manager = record
+                    .members
+                    .get(slot)
+                    .copied()
+                    .ok_or_else(|| NewtopError::BindTargetMissing(server_group.clone()))?;
                 (vec![self.node, manager], BindingStyle::Open { manager }, 0)
             }
             ResolveStyle::Restricted => {
-                let manager = record.members.iter().copied().min().expect("non-empty");
+                let manager = record
+                    .members
+                    .iter()
+                    .copied()
+                    .min()
+                    .ok_or_else(|| NewtopError::BindTargetMissing(server_group.clone()))?;
                 (vec![self.node, manager], BindingStyle::Open { manager }, 0)
             }
         };
@@ -1352,7 +1368,9 @@ impl Nso {
             self.issue_resolve(name, timeout, out);
             return;
         }
-        let progress = self.pending_resolves.remove(name).expect("present");
+        let Some(progress) = self.pending_resolves.remove(name) else {
+            return;
+        };
         for waiter in progress.waiters {
             self.fail_bind(waiter.group, now);
         }
@@ -1894,7 +1912,9 @@ impl Nso {
                     })?;
                     self.servers
                         .get_mut(&server_group)
-                        .expect("checked")
+                        .ok_or_else(|| {
+                            ServantError::User(Bytes::from_static(b"server group vanished"))
+                        })?
                         .register_client_group(group.clone(), client, closed);
                     self.roles
                         .insert(group.clone(), GroupRole::Served { server_group });
@@ -1921,7 +1941,9 @@ impl Nso {
         if bind.outstanding > 0 {
             return;
         }
-        let bind = self.binds.remove(&group).expect("present");
+        let Some(bind) = self.binds.remove(&group) else {
+            return; // raced with a timeout that already tore it down
+        };
         let created = with_net(
             &mut self.orb,
             &mut self.obs,

@@ -66,7 +66,14 @@ impl DirectoryApp {
             return;
         };
         let staged = {
-            let mut state = self.state.lock().expect("directory lock");
+            // A panicking writer elsewhere poisons the mutex but leaves
+            // the table itself consistent (every mutation is atomic at
+            // the record level), so recover the data instead of
+            // propagating the panic into the protocol path.
+            let mut state = self
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             state.take_staged()
         };
         for record in staged {
@@ -86,7 +93,7 @@ impl NsoApp for DirectoryApp {
                 }
                 state
                     .lock()
-                    .expect("directory lock")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .handle_raw(args)
                     .map_err(|_| ServantError::User(Bytes::from_static(b"malformed dir request")))
             }),
@@ -117,7 +124,10 @@ impl NsoApp for DirectoryApp {
                 return;
             }
             if let Ok(record) = GroupRecord::from_cdr(&payload) {
-                self.state.lock().expect("directory lock").apply(record);
+                self.state
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .apply(record);
             }
         }
     }
@@ -141,4 +151,53 @@ pub fn register_service(
         body,
         out,
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directory::shared_directory;
+    use newtop_gcs::view::ViewId;
+
+    #[test]
+    fn poisoned_state_still_applies_records() {
+        // Regression: the state mutex used to be locked with
+        // `.expect("directory lock")`, so one panicking writer turned
+        // every later delivery into a panic. Poison recovery keeps the
+        // member applying records.
+        let state = shared_directory();
+        let poisoner = state.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the directory lock");
+        })
+        .join();
+        assert!(state.lock().is_err(), "mutex should be poisoned");
+
+        let mut app = DirectoryApp::new(vec![NodeId::from_index(0)], state.clone());
+        let mut nso = Nso::new(NodeId::from_index(0));
+        let mut out = Outbox::detached(0);
+        let record = GroupRecord {
+            name: "svc".to_owned(),
+            config: GroupConfig::default(),
+            members: vec![NodeId::from_index(1)],
+            view: ViewId::default(),
+        };
+        app.on_output(
+            &mut nso,
+            NsoOutput::PeerDeliver {
+                group: GroupId::new(DIR_GROUP),
+                sender: NodeId::from_index(0),
+                payload: record.to_cdr(),
+            },
+            SimTime::ZERO,
+            &mut out,
+        );
+        let applied = state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .records();
+        assert_eq!(applied.len(), 1);
+        assert_eq!(applied[0].name, "svc");
+    }
 }

@@ -126,8 +126,11 @@ impl ShardedGcs {
                 None
             }
         });
-        let shard = overlap
-            .unwrap_or_else(|| (fnv1a(group.as_str().as_bytes()) as usize) % self.shards.len());
+        let shard = overlap.unwrap_or_else(|| {
+            (fnv1a(group.as_str().as_bytes()) as usize)
+                .checked_rem(self.shards.len())
+                .unwrap_or(0)
+        });
         self.placement.insert(group.clone(), shard);
         self.placed_members.insert(group.clone(), members.to_vec());
         shard
@@ -158,7 +161,10 @@ impl ShardedGcs {
             return Err(GcsError::AlreadyMember(group));
         }
         let shard = self.place(&group, &members);
-        let r = self.shards[shard].create_group(group.clone(), config, members, now, net);
+        let r = match self.shards.get_mut(shard) {
+            Some(s) => s.create_group(group.clone(), config, members, now, net),
+            None => Err(GcsError::UnknownGroup(group.clone())),
+        };
         if r.is_err() {
             self.unplace(&group);
         }
@@ -236,7 +242,11 @@ impl ShardedGcs {
         let shard = self
             .shard_of(group)
             .ok_or_else(|| GcsError::UnknownGroup(group.clone()))?;
-        let r = self.shards[shard].leave_group(group, now, net);
+        let r = self
+            .shards
+            .get_mut(shard)
+            .ok_or_else(|| GcsError::UnknownGroup(group.clone()))?
+            .leave_group(group, now, net);
         if r.is_ok() {
             self.unplace(group);
         }

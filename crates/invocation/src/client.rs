@@ -389,7 +389,9 @@ impl ClientCore {
                     })
                     .collect();
                 for n in ready {
-                    let state = self.calls.remove(&n).expect("present");
+                    let Some(state) = self.calls.remove(&n) else {
+                        continue;
+                    };
                     events.push(ClientEvent::Complete {
                         call: CallId {
                             client: self.node,
@@ -500,6 +502,25 @@ mod tests {
         assert_eq!(events.len(), 1, "majority of 3 is 2");
         // Late third reply is stale.
         assert!(c.on_message(&direct(call, n(3), b"r3")).is_empty());
+    }
+
+    #[test]
+    fn repeated_view_changes_complete_each_call_once() {
+        // Regression: a shrinking view used to complete ready calls with
+        // `remove().expect("present")`; a repeat of the same view change
+        // must be a clean no-op, not a panic.
+        let mut c = closed_client();
+        let (call, _, _) = c
+            .invoke(&gid(), "op", Bytes::new(), ReplyMode::All)
+            .unwrap();
+        assert!(c.on_message(&direct(call, n(1), b"r1")).is_empty());
+        // Two of three servers die: the one reply already in hand now
+        // satisfies the quorum.
+        let events = c.on_binding_view_change(&gid(), &[n(0), n(1)]);
+        assert_eq!(events.len(), 1);
+        assert!(c.pending_calls().is_empty());
+        // The identical notification again completes nothing further.
+        assert!(c.on_binding_view_change(&gid(), &[n(0), n(1)]).is_empty());
     }
 
     #[test]

@@ -848,7 +848,8 @@ impl Sim {
             });
         let src_site = self.site_of(src);
         let mut cpu_depart = self.now;
-        let mut chains: std::collections::HashMap<u64, Duration> = std::collections::HashMap::new();
+        let mut chains: std::collections::BTreeMap<u64, Duration> =
+            std::collections::BTreeMap::new();
         for (dst, payload, chain_id) in out.sends {
             cpu_depart += per_send;
             let chain = chains.entry(chain_id).or_insert(Duration::ZERO);

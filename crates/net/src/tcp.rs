@@ -126,7 +126,12 @@ impl TcpEndpoint {
         if self.shared.closed.swap(true, Ordering::SeqCst) {
             return;
         }
-        for (_, slot) in self.shared.conns.lock().drain() {
+        // Take the whole map under the guard, then close the sockets
+        // with it released: per-slot locks (and the socket teardown
+        // behind them) nest inside the registry lock everywhere else,
+        // so holding it here would invert that order.
+        let drained = std::mem::take(&mut *self.shared.conns.lock());
+        for (_, slot) in drained {
             if let Some(conn) = slot.lock().take() {
                 let _ = conn.shutdown(Shutdown::Both);
             }

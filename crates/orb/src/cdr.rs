@@ -124,7 +124,8 @@ impl CdrEncoder {
     }
 
     fn align(&mut self, n: usize) {
-        let rem = self.buf.len() % n;
+        // checked_rem: an alignment of zero is a no-op, not a panic.
+        let rem = self.buf.len().checked_rem(n).unwrap_or(0);
         if rem != 0 {
             self.buf.resize(self.buf.len() + (n - rem), 0);
         }
@@ -243,7 +244,8 @@ impl<'a> CdrDecoder<'a> {
     }
 
     fn align(&mut self, n: usize) {
-        let rem = self.pos % n;
+        // checked_rem: an alignment of zero is a no-op, not a panic.
+        let rem = self.pos.checked_rem(n).unwrap_or(0);
         if rem != 0 {
             self.pos = (self.pos + n - rem).min(self.data.len());
         }
@@ -562,6 +564,20 @@ mod tests {
         // 1 byte value, 3 bytes padding, 4 bytes u32.
         assert_eq!(b.len(), 8);
         assert_eq!(&b[4..], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn align_zero_is_a_noop() {
+        // Regression: `len % 0` / `pos % 0` used to panic; a zero
+        // alignment must simply do nothing on both sides.
+        let mut enc = CdrEncoder::new();
+        enc.write_u8(0xAA);
+        enc.align(0);
+        assert_eq!(&enc.finish()[..], &[0xAA]);
+        let data = [0xAA];
+        let mut dec = CdrDecoder::new(&data);
+        dec.align(0);
+        assert_eq!(dec.read_u8().unwrap(), 0xAA);
     }
 
     #[test]

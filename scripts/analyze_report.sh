@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Pretty-prints a newtop-analyze JSON report (the file check.sh leaves at
+# target/analyze-report.json, or any file produced with --json).
+#
+#   scripts/analyze_report.sh [report.json]
+#
+# Output: one line per finding, grouped by rule, plus the warning list
+# and a per-rule tally. Plain POSIX-ish tooling only (python3 is in the
+# toolchain image); no jq dependency.
+set -euo pipefail
+
+REPORT="${1:-target/analyze-report.json}"
+if [ ! -f "$REPORT" ]; then
+    echo "analyze_report: $REPORT not found" >&2
+    echo "  (run scripts/check.sh, or: cargo run -p newtop-analyze -- --json $REPORT)" >&2
+    exit 2
+fi
+
+python3 - "$REPORT" <<'PY'
+import json
+import sys
+from collections import Counter
+
+with open(sys.argv[1], encoding="utf-8") as fh:
+    report = json.load(fh)
+
+findings = report.get("findings", [])
+warnings = report.get("warnings", [])
+
+if not findings:
+    print("no findings" + (f" ({len(warnings)} warning(s))" if warnings else ""))
+else:
+    by_rule = {}
+    for f in findings:
+        by_rule.setdefault(f["rule"], []).append(f)
+    for rule in sorted(by_rule):
+        print(f"{rule} ({len(by_rule[rule])}):")
+        for f in sorted(by_rule[rule], key=lambda f: (f["file"], f["line"])):
+            print(f"  {f['file']}:{f['line']} in {f['fn']}")
+            print(f"    {f['message']}")
+            print(f"    id: {f['id']}")
+    tally = Counter(f["rule"] for f in findings)
+    summary = ", ".join(f"{n} {rule}" for rule, n in sorted(tally.items()))
+    print(f"total: {len(findings)} finding(s) — {summary}")
+
+for w in warnings:
+    print(f"warning: {w}")
+PY

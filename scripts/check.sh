@@ -26,9 +26,14 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> static analysis (newtop-analyze: determinism, panic-freedom, boundedness, lock hygiene, durability)"
+echo "==> static analysis (newtop-analyze: call-graph reachability rules + baseline diff gate)"
 cargo run --release --offline -q -p newtop-analyze -- --self-test
-cargo run --release --offline -q -p newtop-analyze
+# The gate diffs findings against the committed baseline: a new finding
+# fails, and a fixed finding fails until the baseline is regenerated
+# (cargo run -p newtop-analyze -- --write-baseline analyze.baseline.json).
+# Pretty-print the JSON report with scripts/analyze_report.sh.
+cargo run --release --offline -q -p newtop-analyze -- \
+    --json target/analyze-report.json --baseline analyze.baseline.json
 
 echo "==> cargo test -q"
 cargo test --workspace --offline -q
